@@ -1,0 +1,77 @@
+//! E01 — The performance–safety trade-off (paper Fig. 1 / §III).
+//!
+//! Compares the safety-kernel-controlled platoon against the two homogeneous
+//! baselines (always cooperative, always conservative) under increasingly
+//! degraded V2V conditions.  Expectation: the kernel matches the cooperative
+//! baseline's throughput when conditions are good and matches the
+//! conservative baseline's safety when they are not.
+
+use karyon_core::LevelOfService;
+use karyon_sim::table::{fmt3, fmt_pct};
+use karyon_sim::{SimDuration, SimTime, Table};
+use karyon_vehicles::{run_platoon, ControlMode, PlatoonConfig, V2VModel};
+
+fn config(mode: ControlMode, v2v: V2VModel, seed: u64) -> PlatoonConfig {
+    PlatoonConfig {
+        vehicles: 6,
+        duration: SimDuration::from_secs(150),
+        mode,
+        v2v,
+        lead_braking: 5.0,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let conditions: Vec<(&str, V2VModel)> = vec![
+        ("healthy V2V", V2VModel { loss: 0.05, ..Default::default() }),
+        ("lossy V2V (30%)", V2VModel { loss: 0.30, ..Default::default() }),
+        (
+            "V2V outage 40-100 s",
+            V2VModel {
+                loss: 0.05,
+                outages: vec![(SimTime::from_secs(40), SimTime::from_secs(100))],
+                ..Default::default()
+            },
+        ),
+    ];
+    let modes: Vec<(&str, ControlMode)> = vec![
+        ("KARYON safety kernel", ControlMode::SafetyKernel),
+        ("always cooperative (LoS2)", ControlMode::FixedLos(LevelOfService(2))),
+        ("always conservative (LoS0)", ControlMode::FixedLos(LevelOfService(0))),
+    ];
+
+    let mut table = Table::new(
+        "E01 — performance–safety trade-off (6-vehicle platoon, 150 s, hard braking events)",
+        &[
+            "V2V condition",
+            "control",
+            "collisions",
+            "hazard steps",
+            "min time gap [s]",
+            "throughput [veh/h]",
+            "time at LoS2",
+        ],
+    );
+    for (cond_name, v2v) in &conditions {
+        for (mode_name, mode) in &modes {
+            let result = run_platoon(&config(*mode, v2v.clone(), 42));
+            table.add_row(&[
+                cond_name.to_string(),
+                mode_name.to_string(),
+                result.collisions.to_string(),
+                result.hazard_steps.to_string(),
+                fmt3(result.min_time_gap),
+                format!("{:.0}", result.throughput_veh_per_hour),
+                fmt_pct(result.los_time_fraction[2]),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "Expectation (paper §III): the safety kernel keeps the hazard/collision figures of the\n\
+         conservative baseline while retaining most of the cooperative baseline's throughput; the\n\
+         homogeneous cooperative baseline degrades unsafely when V2V degrades."
+    );
+}

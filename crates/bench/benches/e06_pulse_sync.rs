@@ -1,0 +1,61 @@
+//! E06 — Autonomous pulse/slot alignment under clock drift (§V-A2).
+//!
+//! Nodes with drifting oscillators and random initial phases align their TDMA
+//! pulse timing using only overheard neighbour pulses.  The table reports the
+//! initial and steady-state worst pairwise phase error and the convergence
+//! time, including a no-correction baseline.
+
+use karyon_net::{PulseSyncConfig, PulseSyncSim};
+use karyon_sim::table::{fmt3, fmt_pct};
+use karyon_sim::Table;
+
+fn main() {
+    let mut table = Table::new(
+        "E06 — self-stabilizing pulse synchronization (10 nodes, 100 ms period)",
+        &[
+            "drift [ppm]",
+            "pulse loss",
+            "gain",
+            "initial max error",
+            "converged (<5%) after [s]",
+            "steady max error",
+        ],
+    );
+
+    let cases = vec![
+        (40e-6, 0.05, 0.5),
+        (40e-6, 0.30, 0.5),
+        (100e-6, 0.05, 0.5),
+        (100e-6, 0.30, 0.5),
+        (40e-6, 0.05, 0.0), // no-correction baseline
+    ];
+    for (drift, loss, gain) in cases {
+        let config = PulseSyncConfig {
+            nodes: 10,
+            period: 0.1,
+            gain,
+            drift,
+            loss_probability: loss,
+            dt: 0.001,
+        };
+        let mut sim = PulseSyncSim::new(config, 5);
+        let initial = sim.max_phase_error_fraction();
+        let converged = sim.run_until_converged(0.05, 60.0);
+        sim.run(10.0);
+        let steady = sim.max_phase_error_fraction();
+        table.add_row(&[
+            format!("{:.0}", drift * 1e6),
+            fmt_pct(loss),
+            fmt3(gain),
+            fmt_pct(initial),
+            converged.map(|t| format!("{t:.1}")).unwrap_or_else(|| "never".into()),
+            fmt_pct(steady),
+        ]);
+    }
+    table.print();
+    println!(
+        "Expectation (paper §V-A2, MicaZ validation): alignment to a few percent of the period\n\
+         within seconds despite drift and pulse loss; without the correction (gain 0) the phases\n\
+         never align — showing why an autonomous mechanism is needed when GPS is unavailable."
+    );
+}

@@ -1,0 +1,78 @@
+//! E07 — Self-stabilizing end-to-end FIFO delivery (§V-A2).
+//!
+//! 200 messages are pushed through a bounded-capacity channel that omits,
+//! duplicates and reorders packets, from both a clean and a corrupted initial
+//! configuration.  The table reports overhead (rounds per delivered message),
+//! whether eventual FIFO/no-omission/no-duplication held, and how much
+//! garbage the corrupted state produced.
+
+use karyon_net::end_to_end::{eventually_fifo, E2EConfig, EndToEndSession};
+use karyon_sim::table::fmt3;
+use karyon_sim::Table;
+
+fn run(config: &E2EConfig, corrupt: bool, seed: u64) -> (f64, bool, usize, usize) {
+    let mut session = EndToEndSession::new(config, seed);
+    if corrupt {
+        session.corrupt_initial_state(1_000_000);
+    }
+    let sent: Vec<u64> = (1..=200).collect();
+    for &m in &sent {
+        session.sender.enqueue(m);
+    }
+    session.run_until_drained(10_000_000);
+    let delivered = session.receiver.delivered().to_vec();
+    let garbage = delivered.iter().filter(|p| !sent.contains(p)).count();
+    let real: Vec<u64> = delivered.iter().copied().filter(|p| sent.contains(p)).collect();
+    let lost_prefix = sent.len().saturating_sub(real.len());
+    (
+        session.rounds() as f64 / sent.len() as f64,
+        eventually_fifo(&sent, &delivered, 3),
+        garbage,
+        lost_prefix,
+    )
+}
+
+fn main() {
+    let mut table = Table::new(
+        "E07 — self-stabilizing end-to-end FIFO over an omitting/duplicating/reordering channel (200 msgs)",
+        &[
+            "omission",
+            "duplication",
+            "capacity",
+            "initial state",
+            "rounds/message",
+            "eventual FIFO ok",
+            "garbage delivered",
+            "lost prefix",
+        ],
+    );
+    let sweeps = vec![
+        (0.0, 0.0, 4usize),
+        (0.1, 0.1, 8),
+        (0.3, 0.3, 8),
+        (0.3, 0.3, 16),
+    ];
+    for (omission, duplication, capacity) in sweeps {
+        for corrupt in [false, true] {
+            let config = E2EConfig { capacity, omission, duplication, reorder: true };
+            let (rounds, fifo_ok, garbage, lost) = run(&config, corrupt, 77);
+            table.add_row(&[
+                fmt3(omission),
+                fmt3(duplication),
+                capacity.to_string(),
+                if corrupt { "corrupted" } else { "clean" }.to_string(),
+                fmt3(rounds),
+                fifo_ok.to_string(),
+                garbage.to_string(),
+                lost.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "Expectation (paper §V-A2): eventual FIFO delivery without omission or duplication holds in\n\
+         every configuration; a corrupted initial channel state costs at most a bounded garbage\n\
+         prefix; overhead grows with the error rates and the channel capacity (the acknowledgement\n\
+         threshold scales with the capacity)."
+    );
+}

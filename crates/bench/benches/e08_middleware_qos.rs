@@ -1,0 +1,85 @@
+//! E08 — Event-channel QoS assessment and adaptation (§V-B, Fig. 5).
+//!
+//! Three event channels with different QoS requirements are announced over an
+//! in-vehicle bus bridged to a wireless network.  The table shows the
+//! admission decision at announcement time, the delivered quality, and how
+//! the dynamic re-assessment reacts when the monitored wireless capability
+//! degrades.
+
+use karyon_middleware::{
+    Admission, ContextFilter, EventBus, NetworkCapability, NetworkId, QosRequirement, SubscriberId,
+    Subject,
+};
+use karyon_sim::table::{fmt3, fmt_pct};
+use karyon_sim::{SimDuration, SimTime, Table};
+
+fn qos(latency_ms: u64, ratio: f64, rate: f64) -> QosRequirement {
+    QosRequirement {
+        max_latency: SimDuration::from_millis(latency_ms),
+        min_delivery_ratio: ratio,
+        max_rate: rate,
+    }
+}
+
+fn main() {
+    let mut bus = EventBus::new(3);
+    bus.attach_network(NetworkId(0), NetworkCapability::local_bus());
+    bus.attach_network(NetworkId(1), NetworkCapability::wireless_nominal());
+
+    let channels: Vec<(&str, Subject, NetworkId, QosRequirement)> = vec![
+        ("brake-command (local, 2 ms)", Subject::from_name("vehicle/brake"), NetworkId(0), qos(2, 0.99, 100.0)),
+        ("lead-state (V2V, 60 ms)", Subject::from_name("platoon/lead-state"), NetworkId(1), qos(60, 0.9, 50.0)),
+        ("hazard-warning (V2V, 10 ms)", Subject::from_name("hazard/warning"), NetworkId(1), qos(10, 0.99, 20.0)),
+    ];
+
+    // Subscribers: the brake command stays on the local bus; the V2V subjects
+    // are consumed by a remote vehicle on the wireless segment.
+    bus.subscribe(SubscriberId(1), NetworkId(0), channels[0].1, ContextFilter::accept_all());
+    bus.subscribe(SubscriberId(2), NetworkId(1), channels[1].1, ContextFilter::accept_all());
+    bus.subscribe(SubscriberId(2), NetworkId(1), channels[2].1, ContextFilter::accept_all());
+
+    let mut table = Table::new(
+        "E08 — event-channel QoS admission and delivered quality",
+        &["channel", "admission (nominal)", "delivered/published", "mean latency [ms]", "deadline misses", "admission (degraded)"],
+    );
+
+    let mut admissions = Vec::new();
+    for (_, subject, network, requirement) in &channels {
+        admissions.push(bus.announce(*subject, *network, *requirement));
+    }
+
+    // Publish 500 events per channel under nominal conditions.
+    for i in 0..500u64 {
+        let now = SimTime::from_millis(i * 20);
+        for (_, subject, _, _) in &channels {
+            bus.publish_from(*subject, None, vec![0], now);
+        }
+    }
+
+    // The monitoring layer then reports a degraded wireless network.
+    let changed = bus.update_capability(NetworkId(1), NetworkCapability::wireless_degraded());
+
+    for (i, (name, subject, _, _)) in channels.iter().enumerate() {
+        let (published, delivered, missed, mean_latency) = bus.channel_stats(*subject).unwrap();
+        table.add_row(&[
+            name.to_string(),
+            format!("{:?}", admissions[i]),
+            fmt_pct(delivered as f64 / published.max(1) as f64),
+            fmt3(mean_latency),
+            missed.to_string(),
+            format!("{:?}", bus.admission(*subject).unwrap()),
+        ]);
+    }
+    table.print();
+    println!(
+        "Channels re-assessed after degradation: {}",
+        changed.len()
+    );
+    println!(
+        "Expectation (paper §V-B): the strict hazard-warning channel cannot be guaranteed over the\n\
+         wireless segment and is rejected at announcement time ({} of 3 admitted); the in-vehicle\n\
+         channel keeps sub-millisecond latency; when the monitored capability degrades, the lead-state\n\
+         channel loses its admission — the trigger the safety kernel uses to lower the LoS.",
+        admissions.iter().filter(|a| **a == Admission::Admitted).count()
+    );
+}

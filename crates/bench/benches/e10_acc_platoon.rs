@@ -1,0 +1,83 @@
+//! E10 — ACC/platooning: time margin, throughput and hazards per LoS (§VI-A1).
+//!
+//! Reproduces the use-case A1 table: each fixed Level of Service trades the
+//! time margin between vehicles against road throughput; the safety kernel
+//! obtains (close to) the best throughput that is safe under the prevailing
+//! conditions.
+
+use karyon_core::LevelOfService;
+use karyon_sim::table::{fmt3, fmt_pct};
+use karyon_sim::{SimDuration, SimTime, Table};
+use karyon_vehicles::{run_platoon, time_margin_for_los, ControlMode, PlatoonConfig, V2VModel};
+
+fn run(mode: ControlMode, outage: bool, seed: u64) -> karyon_vehicles::PlatoonResult {
+    let v2v = if outage {
+        V2VModel {
+            loss: 0.05,
+            outages: vec![(SimTime::from_secs(50), SimTime::from_secs(110))],
+            ..Default::default()
+        }
+    } else {
+        V2VModel::default()
+    };
+    run_platoon(&PlatoonConfig {
+        vehicles: 8,
+        duration: SimDuration::from_secs(180),
+        mode,
+        v2v,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn main() {
+    let mut table = Table::new(
+        "E10 — ACC/platooning per Level of Service (8 vehicles, 180 s)",
+        &[
+            "condition",
+            "control",
+            "design time margin [s]",
+            "mean time gap [s]",
+            "min time gap [s]",
+            "hazard steps",
+            "collisions",
+            "throughput [veh/h]",
+            "time at LoS2",
+        ],
+    );
+    for &(cond, outage) in &[("healthy V2V", false), ("V2V outage 50-110 s", true)] {
+        for level in 0u8..=2 {
+            let los = LevelOfService(level);
+            let r = run(ControlMode::FixedLos(los), outage, 21);
+            table.add_row(&[
+                cond.to_string(),
+                format!("fixed {los}"),
+                fmt3(time_margin_for_los(los)),
+                fmt3(r.mean_time_gap),
+                fmt3(r.min_time_gap),
+                r.hazard_steps.to_string(),
+                r.collisions.to_string(),
+                format!("{:.0}", r.throughput_veh_per_hour),
+                fmt_pct(r.los_time_fraction[2]),
+            ]);
+        }
+        let r = run(ControlMode::SafetyKernel, outage, 21);
+        table.add_row(&[
+            cond.to_string(),
+            "KARYON safety kernel".into(),
+            "adaptive".into(),
+            fmt3(r.mean_time_gap),
+            fmt3(r.min_time_gap),
+            r.hazard_steps.to_string(),
+            r.collisions.to_string(),
+            format!("{:.0}", r.throughput_veh_per_hour),
+            fmt_pct(r.los_time_fraction[2]),
+        ]);
+    }
+    table.print();
+    println!(
+        "Expectation (paper §VI-A1): higher LoS ⇒ smaller time margin ⇒ higher throughput; under a\n\
+         V2V outage the fixed high-LoS platoon accumulates hazard steps while the kernel adapts its\n\
+         margin and stays as safe as the conservative setting."
+    );
+}

@@ -1,0 +1,60 @@
+//! E11 — Intersection crossing with traffic-light failure and the virtual
+//! traffic light fallback (§VI-A2).
+
+use karyon_sim::table::{fmt3, fmt_pct};
+use karyon_sim::{SimDuration, SimTime, Table};
+use karyon_vehicles::{run_intersection, FallbackMode, IntersectionConfig};
+
+fn main() {
+    let mut table = Table::new(
+        "E11 — intersection crossing (10 min, infrastructure light fails from 120 s to 480 s)",
+        &[
+            "arrivals [veh/min/approach]",
+            "failure handling",
+            "conflicts",
+            "throughput [veh/min]",
+            "mean wait [s]",
+            "max wait [s]",
+            "uncontrolled time",
+        ],
+    );
+    for &rate in &[6.0, 12.0, 20.0] {
+        let cases: Vec<(&str, Option<(SimTime, SimTime)>, FallbackMode)> = vec![
+            ("no failure (infrastructure)", None, FallbackMode::VirtualTrafficLight),
+            (
+                "failure + virtual traffic light",
+                Some((SimTime::from_secs(120), SimTime::from_secs(480))),
+                FallbackMode::VirtualTrafficLight,
+            ),
+            (
+                "failure + uncoordinated drivers",
+                Some((SimTime::from_secs(120), SimTime::from_secs(480))),
+                FallbackMode::Uncoordinated,
+            ),
+        ];
+        for (name, failure, fallback) in cases {
+            let result = run_intersection(&IntersectionConfig {
+                arrivals_per_minute: rate,
+                duration: SimDuration::from_secs(600),
+                light_failure: failure,
+                fallback,
+                seed: 17,
+            });
+            table.add_row(&[
+                format!("{rate:.0}"),
+                name.to_string(),
+                result.conflicts.to_string(),
+                fmt3(result.throughput_per_minute),
+                fmt3(result.mean_wait),
+                fmt3(result.max_wait),
+                fmt_pct(result.uncontrolled_fraction),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "Expectation (paper §VI-A2): the virtual traffic light keeps the crossing conflict-free\n\
+         during the infrastructure failure at a throughput comparable to the real light, while\n\
+         uncoordinated crossing produces conflicts that grow with the arrival rate."
+    );
+}

@@ -1,0 +1,54 @@
+//! E12 — Coordinated lane-change manoeuvres (§VI-A3): the at-most-one-per-
+//! region invariant vs. manoeuvre throughput.
+
+use karyon_sim::table::fmt3;
+use karyon_sim::{SimDuration, Table};
+use karyon_vehicles::{run_lane_changes, Coordination, LaneChangeConfig};
+
+fn main() {
+    let mut table = Table::new(
+        "E12 — coordinated lane changes (300 s, 2-lane ring road, 80 m coordination region)",
+        &[
+            "vehicles",
+            "desire rate [1/s]",
+            "coordination",
+            "desired",
+            "started",
+            "completed",
+            "aborted",
+            "invariant violations",
+            "mean start delay [s]",
+        ],
+    );
+    for &(vehicles, desire) in &[(12usize, 0.04f64), (20, 0.08)] {
+        for &(name, coordination) in
+            &[("KARYON agreement", Coordination::Agreement), ("uncoordinated", Coordination::None)]
+        {
+            let result = run_lane_changes(&LaneChangeConfig {
+                vehicles,
+                desire_rate: desire,
+                coordination,
+                duration: SimDuration::from_secs(300),
+                seed: 23,
+                ..Default::default()
+            });
+            table.add_row(&[
+                vehicles.to_string(),
+                fmt3(desire),
+                name.to_string(),
+                result.desired.to_string(),
+                result.started.to_string(),
+                result.completed.to_string(),
+                result.aborted.to_string(),
+                result.invariant_violations.to_string(),
+                fmt3(result.mean_start_delay),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "Expectation (paper §VI-A3): with agreement-based coordination the at-most-one-manoeuvre-\n\
+         per-region invariant never breaks (0 violations) at the cost of some aborted/delayed\n\
+         manoeuvres; without coordination violations appear and grow with traffic density."
+    );
+}

@@ -1,0 +1,72 @@
+//! E13 — Avionics separation assurance (§VI-B, Figs. 6–7): the three aerial
+//! encounter scenarios with collaborative vs. non-collaborative traffic.
+
+use karyon_sim::table::fmt3;
+use karyon_sim::Table;
+use karyon_vehicles::{
+    run_encounter, AerialScenario, AvionicsConfig, TrafficType, HORIZONTAL_MINIMUM, VERTICAL_MINIMUM,
+};
+
+fn main() {
+    println!(
+        "Separation minima: horizontal {HORIZONTAL_MINIMUM:.0} m (5 NM), vertical {VERTICAL_MINIMUM:.0} m.\n"
+    );
+    let mut table = Table::new(
+        "E13 — aerial encounter scenarios (900 s each)",
+        &[
+            "scenario",
+            "traffic",
+            "resolution",
+            "detected at [s]",
+            "min horiz sep [km]",
+            "min vert sep [m]",
+            "violation [s]",
+        ],
+    );
+    let scenarios = [
+        ("common trajectory, same direction", AerialScenario::SameDirection),
+        ("leveled crossing trajectories", AerialScenario::LeveledCrossing),
+        ("flight-level change", AerialScenario::FlightLevelChange),
+    ];
+    for (name, scenario) in scenarios {
+        for (traffic_name, traffic) in
+            [("collaborative", TrafficType::Collaborative), ("non-collaborative", TrafficType::NonCollaborative)]
+        {
+            for resolution in [true, false] {
+                let result = run_encounter(&AvionicsConfig {
+                    scenario,
+                    traffic,
+                    resolution_enabled: resolution,
+                    seed: 31,
+                    ..Default::default()
+                });
+                let min_h = if result.min_horizontal_separation == f64::MAX {
+                    "-".to_string()
+                } else {
+                    fmt3(result.min_horizontal_separation / 1_000.0)
+                };
+                let min_v = if result.min_vertical_separation == f64::MAX {
+                    "-".to_string()
+                } else {
+                    fmt3(result.min_vertical_separation)
+                };
+                table.add_row(&[
+                    name.to_string(),
+                    traffic_name.to_string(),
+                    if resolution { "on" } else { "off (baseline)" }.to_string(),
+                    result.detected_at.map(|t| format!("{t:.0}")).unwrap_or_else(|| "never".into()),
+                    min_h,
+                    min_v,
+                    format!("{:.0}", result.violation_seconds),
+                ]);
+            }
+        }
+    }
+    table.print();
+    println!(
+        "Expectation (paper §VI-B): without resolution every scenario violates the separation\n\
+         minima; with resolution and collaborative (ADS-B grade) surveillance all three scenarios\n\
+         stay separated; non-collaborative traffic is detected later and with smaller margins —\n\
+         the reason collaborative position dissemination is a prerequisite for RPV integration."
+    );
+}

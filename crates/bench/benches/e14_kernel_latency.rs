@@ -1,0 +1,104 @@
+//! E14 — Safety-kernel cycle latency and the bounded LoS-switch argument (§III).
+//!
+//! Measures the wall-clock cost of one safety-manager evaluation cycle as the
+//! rule set grows, and reports the design-time worst-case reaction bound
+//! (cycle period + switch bound) against the tightest hazard reaction bound.
+
+use std::time::Instant;
+
+use karyon_core::los::Asil;
+use karyon_core::{
+    Condition, DesignTimeSafetyInfo, Hazard, HazardAnalysis, LevelOfService, LosSpec, SafetyKernel,
+    SafetyRule,
+};
+use karyon_sensors::Validity;
+use karyon_sim::table::fmt3;
+use karyon_sim::{SimDuration, SimTime, Table};
+
+fn design_with_rules(rules_per_level: usize) -> DesignTimeSafetyInfo {
+    let mut hazards = HazardAnalysis::new();
+    hazards.add(Hazard::new("H1", "generic hazard", Asil::C, SimDuration::from_millis(500)));
+    let mut levels = vec![LosSpec {
+        level: LevelOfService(0),
+        description: "fallback".into(),
+        rules: vec![],
+        asil: Asil::QM,
+        performance_index: 1.0,
+    }];
+    for level in 1u8..=2 {
+        let rules: Vec<SafetyRule> = (0..rules_per_level)
+            .map(|i| {
+                SafetyRule::new(
+                    &format!("R{level}-{i}"),
+                    Condition::All(vec![
+                        Condition::MinValidity { item: format!("item-{i}"), threshold: 0.6 },
+                        Condition::MaxAge {
+                            item: format!("item-{i}"),
+                            bound: SimDuration::from_millis(500),
+                        },
+                        Condition::ComponentHealthy { component: format!("component-{i}") },
+                    ]),
+                )
+            })
+            .collect();
+        levels.push(LosSpec {
+            level: LevelOfService(level),
+            description: format!("level {level}"),
+            rules,
+            asil: Asil::B,
+            performance_index: level as f64 + 1.0,
+        });
+    }
+    DesignTimeSafetyInfo::new("bench", levels, hazards, SimDuration::from_millis(50))
+}
+
+fn main() {
+    let mut table = Table::new(
+        "E14 — safety-kernel evaluation cost and reaction bound (cycle period 100 ms)",
+        &[
+            "rules per level",
+            "data items",
+            "mean cycle cost [us]",
+            "worst-case reaction [ms]",
+            "tightest hazard bound [ms]",
+            "bound satisfied",
+        ],
+    );
+    for &rules in &[2usize, 8, 32, 128] {
+        let design = design_with_rules(rules);
+        let tightest = design.hazards().tightest_reaction_bound().unwrap();
+        let mut kernel = SafetyKernel::new(design, SimDuration::from_millis(100));
+        // Populate the runtime store.
+        for i in 0..rules {
+            kernel.info_mut().update_data(
+                &format!("item-{i}"),
+                1.0,
+                Validity::new(0.9),
+                SimTime::from_millis(1),
+            );
+            kernel.info_mut().update_health(&format!("component-{i}"), true, SimTime::from_millis(1));
+        }
+        let iterations = 2_000u64;
+        let start = Instant::now();
+        for i in 0..iterations {
+            kernel.run_cycle(SimTime::from_millis(10 + i));
+        }
+        let mean_us = start.elapsed().as_secs_f64() * 1e6 / iterations as f64;
+        let reaction = kernel.worst_case_reaction();
+        table.add_row(&[
+            rules.to_string(),
+            rules.to_string(),
+            fmt3(mean_us),
+            fmt3(reaction.as_secs_f64() * 1e3),
+            fmt3(tightest.as_secs_f64() * 1e3),
+            (reaction <= tightest).to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "Expectation (paper §III): the evaluation cycle is microseconds even for large rule sets —\n\
+         orders of magnitude below the cycle period — so the worst-case reaction (one cycle period\n\
+         plus the bounded switch time) stays far below the tightest hazard reaction bound, which is\n\
+         the property the safety argument rests on."
+    );
+}

@@ -1,0 +1,9 @@
+//! # karyon-bench — experiment harnesses for the KARYON reproduction
+//!
+//! Every table/figure-level experiment of DESIGN.md §4 is a `harness = false`
+//! bench target in `benches/`; running `cargo bench --workspace` executes all
+//! of them and prints their result tables, which EXPERIMENTS.md records.
+//! `benches/micro.rs` contains the Criterion micro-benchmarks (safety-kernel
+//! cycle, validity combination, fusion, TDMA slot handling, event publication).
+
+#![forbid(unsafe_code)]

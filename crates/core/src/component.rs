@@ -1,0 +1,136 @@
+//! Nominal system components and the hybridization line.
+//!
+//! "We draw an 'hybridization line' to clearly separate the components that
+//! behave in a predictable way and for which it will be possible to validate
+//! safety properties in design time, from the components that might be
+//! affected by run-time uncertainties" (paper §III, Fig. 1).
+
+use std::collections::BTreeMap;
+
+/// Which side of the hybridization line a component lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Below the line: predictable behaviour, all bounds proved in design
+    /// time (e.g. local sensors, actuators, the safety kernel itself).
+    Predictable,
+    /// Above the line: possibly affected by run-time uncertainty (e.g.
+    /// wireless communication, complex perception components).
+    Uncertain,
+}
+
+/// The role a component plays in the sense–compute–communicate–actuate chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentKind {
+    /// A sensing component.
+    Sensor,
+    /// A computing/control component.
+    Computing,
+    /// A communication component.
+    Communication,
+    /// An actuating component (always below the line; assumed not to fail).
+    Actuator,
+}
+
+/// A registered nominal system component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// The component's name.
+    pub name: String,
+    /// Its role.
+    pub kind: ComponentKind,
+    /// Its side of the hybridization line.
+    pub placement: Placement,
+}
+
+/// The registry of nominal system components of one vehicle.
+#[derive(Debug, Clone, Default)]
+pub struct ComponentRegistry {
+    components: BTreeMap<String, Component>,
+}
+
+impl ComponentRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a component.
+    ///
+    /// # Panics
+    /// Panics if an actuator is placed above the hybridization line: the
+    /// fault model assumes "actuators … are all below the hybridization
+    /// line" and do not fail.
+    pub fn register(&mut self, name: &str, kind: ComponentKind, placement: Placement) -> &mut Self {
+        assert!(
+            !(kind == ComponentKind::Actuator && placement == Placement::Uncertain),
+            "actuators must be below the hybridization line"
+        );
+        self.components
+            .insert(name.to_string(), Component { name: name.to_string(), kind, placement });
+        self
+    }
+
+    /// Looks up a component.
+    pub fn get(&self, name: &str) -> Option<&Component> {
+        self.components.get(name)
+    }
+
+    /// Number of registered components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when no components are registered.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The components on the given side of the hybridization line.
+    pub fn with_placement(&self, placement: Placement) -> Vec<&Component> {
+        self.components.values().filter(|c| c.placement == placement).collect()
+    }
+
+    /// Names of the components above the hybridization line — exactly the
+    /// components whose health/validity must be monitored at run time for
+    /// any LoS above the non-cooperative one.
+    pub fn monitored_components(&self) -> Vec<&str> {
+        self.with_placement(Placement::Uncertain).iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_classifies_components() {
+        let mut reg = ComponentRegistry::new();
+        assert!(reg.is_empty());
+        reg.register("radar", ComponentKind::Sensor, Placement::Predictable)
+            .register("v2v-radio", ComponentKind::Communication, Placement::Uncertain)
+            .register("trajectory-planner", ComponentKind::Computing, Placement::Uncertain)
+            .register("brake", ComponentKind::Actuator, Placement::Predictable);
+        assert_eq!(reg.len(), 4);
+        assert!(!reg.is_empty());
+        assert_eq!(reg.get("radar").unwrap().kind, ComponentKind::Sensor);
+        assert!(reg.get("missing").is_none());
+        assert_eq!(reg.with_placement(Placement::Predictable).len(), 2);
+        assert_eq!(reg.monitored_components(), vec!["trajectory-planner", "v2v-radio"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the hybridization line")]
+    fn actuators_above_the_line_are_rejected() {
+        let mut reg = ComponentRegistry::new();
+        reg.register("steering", ComponentKind::Actuator, Placement::Uncertain);
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut reg = ComponentRegistry::new();
+        reg.register("x", ComponentKind::Sensor, Placement::Predictable);
+        reg.register("x", ComponentKind::Sensor, Placement::Uncertain);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get("x").unwrap().placement, Placement::Uncertain);
+    }
+}

@@ -1,0 +1,273 @@
+//! Run-time environment model and hidden channels (paper §II-B).
+//!
+//! "One key concept that we pursue is keeping environment models in an
+//! appropriate form for run-time assessment.  This has major advantages, such
+//! as relating actuation and subsequent sensing events, assessing the
+//! temporal uncertainty of information arriving via a network with low
+//! predictability, and supporting the formulation and detection of a safety
+//! critical state.  … Hidden channels are understood as physical
+//! communication channels and as an opportunity rather than impairment,
+//! because they allow detecting unsafe states even when the network is down."
+//!
+//! The [`EnvironmentModel`] keeps, per tracked entity, the last *announced*
+//! behaviour (received over the network, e.g. "I will brake at 3 m/s²") and
+//! the behaviour *observed through local sensors* (the hidden channel: the
+//! physical world itself).  Comparing the two yields
+//!
+//! * a **plausibility check** on network information (announcements that the
+//!   physics contradicts lower the trust in that entity), and
+//! * **unsafe-state detection that survives network outages**: even with no
+//!   fresh announcements, a locally observed deviation from the last agreed
+//!   behaviour (e.g. the leader braking hard) is flagged within a bounded
+//!   time.
+
+use std::collections::BTreeMap;
+
+use karyon_sim::{SimDuration, SimTime};
+
+/// The announced (network-received) behaviour of a tracked entity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnouncedBehaviour {
+    /// Announced speed (m/s).
+    pub speed: f64,
+    /// Announced acceleration (m/s²).
+    pub acceleration: f64,
+    /// When the announcement was produced at its sender.
+    pub timestamp: SimTime,
+}
+
+/// A locally observed kinematic sample of a tracked entity (from on-board
+/// sensors — the hidden channel).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservedKinematics {
+    /// Observed speed (m/s).
+    pub speed: f64,
+    /// Observed acceleration (m/s²), typically differentiated from ranging.
+    pub acceleration: f64,
+    /// Observation time.
+    pub timestamp: SimTime,
+}
+
+/// The assessment of one tracked entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityAssessment {
+    /// Announcements and observations agree (within tolerances).
+    Consistent,
+    /// The physical observation contradicts the announcement — the networked
+    /// information should not be trusted at face value.
+    Implausible,
+    /// No sufficiently fresh announcement exists, but local observation shows
+    /// behaviour that requires a reaction (e.g. hard braking ahead).
+    UnsafeWithoutNetwork,
+    /// Nothing fresh is known at all (neither announcements nor observations).
+    Unknown,
+}
+
+/// Configuration of the environment model's consistency checks.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvironmentModelConfig {
+    /// Maximum age of an announcement before it is considered stale.
+    pub announcement_freshness: SimDuration,
+    /// Maximum age of an observation before it is considered stale.
+    pub observation_freshness: SimDuration,
+    /// Tolerated difference between announced and observed acceleration (m/s²).
+    pub acceleration_tolerance: f64,
+    /// Tolerated difference between announced and observed speed (m/s).
+    pub speed_tolerance: f64,
+    /// Observed deceleration magnitude beyond which the state is unsafe even
+    /// without any network information (m/s²).
+    pub unsafe_deceleration: f64,
+}
+
+impl Default for EnvironmentModelConfig {
+    fn default() -> Self {
+        EnvironmentModelConfig {
+            announcement_freshness: SimDuration::from_millis(500),
+            observation_freshness: SimDuration::from_millis(300),
+            acceleration_tolerance: 1.5,
+            speed_tolerance: 2.0,
+            unsafe_deceleration: 3.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct TrackedEntity {
+    announced: Option<AnnouncedBehaviour>,
+    observed: Option<ObservedKinematics>,
+    implausible_count: u64,
+}
+
+/// The per-vehicle environment model relating networked announcements to
+/// locally observed physics.
+#[derive(Debug, Clone)]
+pub struct EnvironmentModel {
+    config: EnvironmentModelConfig,
+    entities: BTreeMap<u32, TrackedEntity>,
+}
+
+impl EnvironmentModel {
+    /// Creates an environment model with the given consistency configuration.
+    pub fn new(config: EnvironmentModelConfig) -> Self {
+        EnvironmentModel { config, entities: BTreeMap::new() }
+    }
+
+    /// Records a network announcement from entity `id`.
+    pub fn record_announcement(&mut self, id: u32, behaviour: AnnouncedBehaviour) {
+        let entry = self.entities.entry(id).or_default();
+        match entry.announced {
+            Some(prev) if prev.timestamp > behaviour.timestamp => {}
+            _ => entry.announced = Some(behaviour),
+        }
+    }
+
+    /// Records a local sensor observation of entity `id` (the hidden channel).
+    pub fn record_observation(&mut self, id: u32, observation: ObservedKinematics) {
+        let entry = self.entities.entry(id).or_default();
+        match entry.observed {
+            Some(prev) if prev.timestamp > observation.timestamp => {}
+            _ => entry.observed = Some(observation),
+        }
+    }
+
+    /// Number of entities currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// How many times entity `id` has been assessed implausible.
+    pub fn implausibility_count(&self, id: u32) -> u64 {
+        self.entities.get(&id).map(|e| e.implausible_count).unwrap_or(0)
+    }
+
+    /// Assesses entity `id` at time `now`, updating its implausibility count.
+    pub fn assess(&mut self, id: u32, now: SimTime) -> EntityAssessment {
+        let config = self.config;
+        let Some(entity) = self.entities.get_mut(&id) else {
+            return EntityAssessment::Unknown;
+        };
+        let fresh_announcement = entity
+            .announced
+            .filter(|a| now.since(a.timestamp) <= config.announcement_freshness);
+        let fresh_observation = entity
+            .observed
+            .filter(|o| now.since(o.timestamp) <= config.observation_freshness);
+
+        match (fresh_announcement, fresh_observation) {
+            (Some(announced), Some(observed)) => {
+                let acc_dev = (announced.acceleration - observed.acceleration).abs();
+                let speed_dev = (announced.speed - observed.speed).abs();
+                if acc_dev > config.acceleration_tolerance || speed_dev > config.speed_tolerance {
+                    entity.implausible_count += 1;
+                    EntityAssessment::Implausible
+                } else {
+                    EntityAssessment::Consistent
+                }
+            }
+            (None, Some(observed)) => {
+                if observed.acceleration <= -config.unsafe_deceleration {
+                    EntityAssessment::UnsafeWithoutNetwork
+                } else {
+                    // Observation alone, nothing alarming: treat as consistent
+                    // non-cooperative traffic.
+                    EntityAssessment::Consistent
+                }
+            }
+            (Some(_), None) => {
+                // Announcements without any physical confirmation cannot be
+                // validated; the safety rules should not rely on them.
+                EntityAssessment::Unknown
+            }
+            (None, None) => EntityAssessment::Unknown,
+        }
+    }
+
+    /// Convenience for safety rules: a trust factor in `[0, 1]` for entity
+    /// `id` — 1 when consistent, reduced by every recorded implausibility.
+    pub fn trust(&self, id: u32) -> f64 {
+        let count = self.implausibility_count(id);
+        1.0 / (1.0 + count as f64 * 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnvironmentModel {
+        EnvironmentModel::new(EnvironmentModelConfig::default())
+    }
+
+    fn announced(speed: f64, acceleration: f64, ms: u64) -> AnnouncedBehaviour {
+        AnnouncedBehaviour { speed, acceleration, timestamp: SimTime::from_millis(ms) }
+    }
+
+    fn observed(speed: f64, acceleration: f64, ms: u64) -> ObservedKinematics {
+        ObservedKinematics { speed, acceleration, timestamp: SimTime::from_millis(ms) }
+    }
+
+    #[test]
+    fn consistent_announcement_and_observation() {
+        let mut m = model();
+        m.record_announcement(7, announced(25.0, -1.0, 900));
+        m.record_observation(7, observed(24.5, -0.8, 950));
+        assert_eq!(m.assess(7, SimTime::from_millis(1_000)), EntityAssessment::Consistent);
+        assert_eq!(m.tracked(), 1);
+        assert_eq!(m.implausibility_count(7), 0);
+        assert_eq!(m.trust(7), 1.0);
+    }
+
+    #[test]
+    fn contradicting_announcement_is_implausible() {
+        let mut m = model();
+        // Announces gentle cruising but is physically braking hard.
+        m.record_announcement(3, announced(25.0, 0.0, 900));
+        m.record_observation(3, observed(24.0, -4.0, 950));
+        assert_eq!(m.assess(3, SimTime::from_millis(1_000)), EntityAssessment::Implausible);
+        assert_eq!(m.implausibility_count(3), 1);
+        assert!(m.trust(3) < 1.0);
+        // Repeated implausibility keeps lowering the trust.
+        m.record_observation(3, observed(22.0, -4.0, 1_050));
+        m.assess(3, SimTime::from_millis(1_100));
+        assert!(m.trust(3) < 0.6);
+    }
+
+    #[test]
+    fn hidden_channel_detects_unsafe_state_without_network() {
+        let mut m = model();
+        // No announcement at all (network down), but the local sensors see
+        // the vehicle ahead braking hard.
+        m.record_observation(9, observed(20.0, -5.0, 980));
+        assert_eq!(
+            m.assess(9, SimTime::from_millis(1_000)),
+            EntityAssessment::UnsafeWithoutNetwork
+        );
+        // Mild behaviour without announcements is just non-cooperative traffic.
+        m.record_observation(9, observed(20.0, -0.5, 1_050));
+        assert_eq!(m.assess(9, SimTime::from_millis(1_100)), EntityAssessment::Consistent);
+    }
+
+    #[test]
+    fn stale_information_degrades_to_unknown() {
+        let mut m = model();
+        m.record_announcement(1, announced(20.0, 0.0, 100));
+        m.record_observation(1, observed(20.0, 0.0, 100));
+        // Both stale at t = 2 s.
+        assert_eq!(m.assess(1, SimTime::from_secs(2)), EntityAssessment::Unknown);
+        // Unknown entity.
+        assert_eq!(m.assess(42, SimTime::from_secs(2)), EntityAssessment::Unknown);
+        // A fresh announcement without physical confirmation is also Unknown.
+        m.record_announcement(2, announced(20.0, 0.0, 1_900));
+        assert_eq!(m.assess(2, SimTime::from_secs(2)), EntityAssessment::Unknown);
+    }
+
+    #[test]
+    fn out_of_order_updates_keep_the_newest() {
+        let mut m = model();
+        m.record_announcement(5, announced(20.0, 0.0, 500));
+        m.record_announcement(5, announced(25.0, 0.0, 400)); // older, ignored
+        m.record_observation(5, observed(20.0, 0.0, 520));
+        m.record_observation(5, observed(99.0, 0.0, 100)); // older, ignored
+        assert_eq!(m.assess(5, SimTime::from_millis(600)), EntityAssessment::Consistent);
+    }
+}

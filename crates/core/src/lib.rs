@@ -1,0 +1,54 @@
+//! # karyon-core — the KARYON safety kernel (paper §III, §V-C)
+//!
+//! KARYON "proposes a safety architecture that exploits the concept of
+//! architectural hybridization to define systems in which a small local
+//! safety kernel can be built for guaranteeing functional safety along a set
+//! of safety rules."  This crate is that kernel:
+//!
+//! * [`los`] — Levels of Service, ASIL grades and the design-time hazard
+//!   analysis,
+//! * [`rules`] — safety rules: conditions over validity, freshness, values
+//!   and component health,
+//! * [`design_time`] — the Design Time Safety Information: per-LoS rule sets
+//!   and the bounded switch time,
+//! * [`runtime`] — the Run Time Safety Information store and the lease-based
+//!   timing failure detector,
+//! * [`manager`] — the Safety Manager evaluation cycle and the Safety Kernel
+//!   (periodic execution, LoS switching, bounded-reaction accounting),
+//! * [`component`] — the nominal-component registry and the hybridization
+//!   line,
+//! * [`cooperation`] — cooperation-state assessment: group views and
+//!   bounded-round manoeuvre agreement,
+//! * [`virtual_node`] — virtual stationary automata (region-bound replicated
+//!   state machines), the substrate of the virtual traffic light,
+//! * [`environment`] — the run-time environment model and hidden channels:
+//!   relating networked announcements to locally observed physics, so unsafe
+//!   states are detectable even when the network is down (§II-B).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod component;
+pub mod cooperation;
+pub mod design_time;
+pub mod environment;
+pub mod los;
+pub mod manager;
+pub mod rules;
+pub mod runtime;
+pub mod virtual_node;
+
+pub use component::{Component, ComponentKind, ComponentRegistry, Placement};
+pub use environment::{
+    AnnouncedBehaviour, EntityAssessment, EnvironmentModel, EnvironmentModelConfig,
+    ObservedKinematics,
+};
+pub use cooperation::{
+    AgreementMessage, AgreementProtocol, CooperationView, ProposalState, StateAnnouncement, VehicleId,
+};
+pub use design_time::{DesignTimeSafetyInfo, LosSpec};
+pub use los::{Asil, Hazard, HazardAnalysis, LevelOfService};
+pub use manager::{LosDecision, SafetyKernel, SafetyManager, SwitchEvent};
+pub use rules::{Condition, SafetyRule};
+pub use runtime::{DataItem, HealthReport, RunTimeSafetyInfo, TimingFailureDetector};
+pub use virtual_node::{Region, Replica, ReplicatedMachine, StateSnapshot, VirtualNode};

@@ -1,0 +1,169 @@
+//! Levels of Service, ASIL grades and hazards.
+//!
+//! "We consider that functionality can be performed with possibly several
+//! LoS … in run-time it will be possible to select the LoS that will allow
+//! the highest performance for the functionality while making sure that all
+//! unacceptable risks are avoided" (paper §III).  There is always one LoS
+//! that meets all conditions for functional safety — the non-cooperative
+//! mode realized only with components below the hybridization line.
+
+use std::fmt;
+
+use karyon_sim::SimDuration;
+
+/// A Level of Service.  Higher values allow higher performance but impose
+/// more safety rules; level 0 is the always-safe non-cooperative mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LevelOfService(pub u8);
+
+impl LevelOfService {
+    /// The non-cooperative, always-safe level.
+    pub const NON_COOPERATIVE: LevelOfService = LevelOfService(0);
+
+    /// The next lower level (saturating at the non-cooperative level).
+    pub fn lower(self) -> LevelOfService {
+        LevelOfService(self.0.saturating_sub(1))
+    }
+
+    /// The next higher level.
+    pub fn higher(self) -> LevelOfService {
+        LevelOfService(self.0.saturating_add(1))
+    }
+
+    /// True when this is the non-cooperative fallback level.
+    pub fn is_non_cooperative(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for LevelOfService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LoS{}", self.0)
+    }
+}
+
+/// Automotive Safety Integrity Level (ISO 26262).  The avionics use cases map
+/// their assurance levels onto the same scale for the purpose of the
+/// reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Asil {
+    /// Quality managed — no safety requirement.
+    QM,
+    /// ASIL A (lowest integrity requirement).
+    A,
+    /// ASIL B.
+    B,
+    /// ASIL C.
+    C,
+    /// ASIL D (highest integrity requirement).
+    D,
+}
+
+impl fmt::Display for Asil {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Asil::QM => "QM",
+            Asil::A => "ASIL-A",
+            Asil::B => "ASIL-B",
+            Asil::C => "ASIL-C",
+            Asil::D => "ASIL-D",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A hazard identified by the design-time hazard analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hazard {
+    /// Stable identifier, e.g. `"H1-rear-end-collision"`.
+    pub id: String,
+    /// Human-readable description.
+    pub description: String,
+    /// Integrity level assigned to mitigating this hazard.
+    pub asil: Asil,
+    /// Maximum time the system may take to react once the hazard condition
+    /// is detected (drives the bounded LoS-switch requirement).
+    pub max_reaction: SimDuration,
+}
+
+impl Hazard {
+    /// Creates a hazard record.
+    pub fn new(id: &str, description: &str, asil: Asil, max_reaction: SimDuration) -> Self {
+        Hazard { id: id.to_string(), description: description.to_string(), asil, max_reaction }
+    }
+}
+
+/// The design-time hazard analysis: the set of hazards and the tightest
+/// reaction bound among them (which the safety-manager cycle must respect).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HazardAnalysis {
+    hazards: Vec<Hazard>,
+}
+
+impl HazardAnalysis {
+    /// Creates an empty analysis.
+    pub fn new() -> Self {
+        HazardAnalysis { hazards: Vec::new() }
+    }
+
+    /// Adds a hazard.
+    pub fn add(&mut self, hazard: Hazard) -> &mut Self {
+        self.hazards.push(hazard);
+        self
+    }
+
+    /// All recorded hazards.
+    pub fn hazards(&self) -> &[Hazard] {
+        &self.hazards
+    }
+
+    /// The highest ASIL among the hazards, if any.
+    pub fn highest_asil(&self) -> Option<Asil> {
+        self.hazards.iter().map(|h| h.asil).max()
+    }
+
+    /// The tightest (smallest) reaction bound among the hazards; the safety
+    /// manager's cycle time plus the LoS switch time must stay below it.
+    pub fn tightest_reaction_bound(&self) -> Option<SimDuration> {
+        self.hazards.iter().map(|h| h.max_reaction).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn los_ordering_and_navigation() {
+        let low = LevelOfService::NON_COOPERATIVE;
+        let high = LevelOfService(3);
+        assert!(low < high);
+        assert!(low.is_non_cooperative());
+        assert!(!high.is_non_cooperative());
+        assert_eq!(high.lower(), LevelOfService(2));
+        assert_eq!(low.lower(), low);
+        assert_eq!(low.higher(), LevelOfService(1));
+        assert_eq!(format!("{high}"), "LoS3");
+    }
+
+    #[test]
+    fn asil_ordering() {
+        assert!(Asil::QM < Asil::A);
+        assert!(Asil::A < Asil::D);
+        assert_eq!(format!("{}", Asil::C), "ASIL-C");
+        assert_eq!(format!("{}", Asil::QM), "QM");
+    }
+
+    #[test]
+    fn hazard_analysis_aggregates() {
+        let mut ha = HazardAnalysis::new();
+        assert_eq!(ha.highest_asil(), None);
+        assert_eq!(ha.tightest_reaction_bound(), None);
+        ha.add(Hazard::new("H1", "rear-end collision", Asil::C, SimDuration::from_millis(300)));
+        ha.add(Hazard::new("H2", "lane departure", Asil::B, SimDuration::from_millis(500)));
+        ha.add(Hazard::new("H3", "intersection conflict", Asil::D, SimDuration::from_millis(200)));
+        assert_eq!(ha.hazards().len(), 3);
+        assert_eq!(ha.highest_asil(), Some(Asil::D));
+        assert_eq!(ha.tightest_reaction_bound(), Some(SimDuration::from_millis(200)));
+    }
+}

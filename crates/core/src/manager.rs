@@ -1,0 +1,370 @@
+//! The Safety Manager and the Safety Kernel.
+//!
+//! "The Safety Manager is the component that triggers changes in the
+//! operation of the nominal system components in order to adjust the LoS as
+//! necessary … The safety manager will periodically check the run time safety
+//! data against safety rules and make the necessary adjustments in the
+//! nominal system components.  Upper bounds on the time needed to perform
+//! each cycle will be known at design time" (paper §III).
+
+use karyon_sim::{SimDuration, SimTime, TimeSeries};
+
+use crate::design_time::DesignTimeSafetyInfo;
+use crate::los::LevelOfService;
+use crate::runtime::RunTimeSafetyInfo;
+
+/// The outcome of one safety-manager evaluation cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LosDecision {
+    /// The highest level whose rules all hold (the level to enforce).
+    pub selected: LevelOfService,
+    /// The level that was active before this cycle.
+    pub previous: LevelOfService,
+    /// Rule identifiers that failed, per level that was rejected.
+    pub violations: Vec<(LevelOfService, Vec<String>)>,
+    /// When the decision was made.
+    pub decided_at: SimTime,
+}
+
+impl LosDecision {
+    /// True when the cycle changed the Level of Service.
+    pub fn switched(&self) -> bool {
+        self.selected != self.previous
+    }
+
+    /// True when the cycle lowered the Level of Service (a safety-driven
+    /// degradation).
+    pub fn degraded(&self) -> bool {
+        self.selected < self.previous
+    }
+}
+
+/// A record of one LoS switch, used to verify the bounded-switch property.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchEvent {
+    /// When the switch was decided.
+    pub at: SimTime,
+    /// The level before the switch.
+    pub from: LevelOfService,
+    /// The level after the switch.
+    pub to: LevelOfService,
+    /// How long enacting the switch took (reconfiguration latency).
+    pub latency: SimDuration,
+}
+
+/// The Safety Manager: evaluates safety rules and selects the LoS.
+#[derive(Debug, Clone)]
+pub struct SafetyManager {
+    design: DesignTimeSafetyInfo,
+    current: LevelOfService,
+    evaluations: u64,
+}
+
+impl SafetyManager {
+    /// Creates a manager that starts at the non-cooperative level.
+    pub fn new(design: DesignTimeSafetyInfo) -> Self {
+        SafetyManager { design, current: LevelOfService::NON_COOPERATIVE, evaluations: 0 }
+    }
+
+    /// The design-time safety information driving this manager.
+    pub fn design(&self) -> &DesignTimeSafetyInfo {
+        &self.design
+    }
+
+    /// The currently selected Level of Service.
+    pub fn current(&self) -> LevelOfService {
+        self.current
+    }
+
+    /// Number of evaluation cycles performed.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Performs one evaluation cycle: checks every level's rules against the
+    /// run-time safety information and selects the highest safe level.
+    pub fn evaluate(&mut self, info: &RunTimeSafetyInfo, now: SimTime) -> LosDecision {
+        self.evaluations += 1;
+        let previous = self.current;
+        let mut violations = Vec::new();
+        let mut selected = LevelOfService::NON_COOPERATIVE;
+        // Levels are ordered; walk from the lowest to the highest and keep
+        // the highest level whose *entire* rule set holds.  A higher level is
+        // only reachable if every lower level also holds (the rule sets are
+        // cumulative by construction of the use cases).
+        for spec in self.design.levels() {
+            let failed: Vec<String> =
+                spec.rules.iter().filter(|r| !r.holds(info)).map(|r| r.id.clone()).collect();
+            if failed.is_empty() {
+                selected = spec.level;
+            } else {
+                violations.push((spec.level, failed));
+                break;
+            }
+        }
+        self.current = selected;
+        LosDecision { selected, previous, violations, decided_at: now }
+    }
+}
+
+/// The Safety Kernel: the Safety Manager plus the run-time information store,
+/// periodic execution and switch-latency accounting.  There is logically one
+/// kernel per vehicle.
+#[derive(Debug)]
+pub struct SafetyKernel {
+    manager: SafetyManager,
+    info: RunTimeSafetyInfo,
+    cycle_period: SimDuration,
+    next_cycle: SimTime,
+    switches: Vec<SwitchEvent>,
+    los_trace: TimeSeries,
+    last_decision: Option<LosDecision>,
+}
+
+impl SafetyKernel {
+    /// Creates a kernel with the given design-time information and cycle
+    /// period.
+    ///
+    /// # Panics
+    /// Panics if the cycle period is zero, or if the cycle period plus the
+    /// design-time switch bound exceeds the tightest hazard reaction bound
+    /// (in which case safety cannot be argued, per §III).
+    pub fn new(design: DesignTimeSafetyInfo, cycle_period: SimDuration) -> Self {
+        assert!(!cycle_period.is_zero(), "cycle period must be non-zero");
+        assert!(
+            design.reaction_bound_satisfied(cycle_period),
+            "cycle period + switch bound exceeds the tightest hazard reaction bound"
+        );
+        SafetyKernel {
+            manager: SafetyManager::new(design),
+            info: RunTimeSafetyInfo::new(),
+            cycle_period,
+            next_cycle: SimTime::ZERO,
+            switches: Vec::new(),
+            los_trace: TimeSeries::new(),
+            last_decision: None,
+        }
+    }
+
+    /// The kernel's cycle period.
+    pub fn cycle_period(&self) -> SimDuration {
+        self.cycle_period
+    }
+
+    /// The current Level of Service.
+    pub fn current_los(&self) -> LevelOfService {
+        self.manager.current()
+    }
+
+    /// Mutable access to the run-time safety information (data collection).
+    pub fn info_mut(&mut self) -> &mut RunTimeSafetyInfo {
+        &mut self.info
+    }
+
+    /// Shared access to the run-time safety information.
+    pub fn info(&self) -> &RunTimeSafetyInfo {
+        &self.info
+    }
+
+    /// The manager (e.g. to inspect the design-time information).
+    pub fn manager(&self) -> &SafetyManager {
+        &self.manager
+    }
+
+    /// The most recent decision, if a cycle has run.
+    pub fn last_decision(&self) -> Option<&LosDecision> {
+        self.last_decision.as_ref()
+    }
+
+    /// All recorded LoS switches.
+    pub fn switches(&self) -> &[SwitchEvent] {
+        &self.switches
+    }
+
+    /// The LoS trace over time (one sample per executed cycle).
+    pub fn los_trace(&self) -> &TimeSeries {
+        &self.los_trace
+    }
+
+    /// Runs the periodic cycle if it is due at `now`; returns the decision if
+    /// a cycle was executed.  The enacted switch latency is bounded by the
+    /// design-time switch bound (modelled as exactly that bound, the worst
+    /// case used in the safety argument).
+    pub fn step(&mut self, now: SimTime) -> Option<LosDecision> {
+        if now < self.next_cycle {
+            return None;
+        }
+        self.next_cycle = now + self.cycle_period;
+        Some(self.run_cycle(now))
+    }
+
+    /// Forces an evaluation cycle at `now` regardless of the period (used
+    /// when a critical event demands immediate reassessment).
+    pub fn run_cycle(&mut self, now: SimTime) -> LosDecision {
+        self.info.set_now(now);
+        let decision = self.manager.evaluate(&self.info, now);
+        if decision.switched() {
+            self.switches.push(SwitchEvent {
+                at: now,
+                from: decision.previous,
+                to: decision.selected,
+                latency: self.manager.design().switch_time_bound(),
+            });
+        }
+        self.los_trace.record(now, decision.selected.0 as f64);
+        self.last_decision = Some(decision.clone());
+        decision
+    }
+
+    /// The worst-case time from a rule being violated to the lower LoS being
+    /// enforced: one full cycle period (detection latency) plus the switch
+    /// bound (enactment latency).  This is the quantity that must stay below
+    /// every hazard's reaction bound.
+    pub fn worst_case_reaction(&self) -> SimDuration {
+        self.cycle_period + self.manager.design().switch_time_bound()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design_time::LosSpec;
+    use crate::los::{Asil, Hazard, HazardAnalysis};
+    use crate::rules::{Condition, SafetyRule};
+    use karyon_sensors::Validity;
+
+    fn design() -> DesignTimeSafetyInfo {
+        let mut hazards = HazardAnalysis::new();
+        hazards.add(Hazard::new("H1", "rear-end", Asil::C, SimDuration::from_millis(500)));
+        DesignTimeSafetyInfo::new(
+            "acc",
+            vec![
+                LosSpec {
+                    level: LevelOfService(0),
+                    description: "autonomous sensors only".into(),
+                    rules: vec![],
+                    asil: Asil::QM,
+                    performance_index: 1.0,
+                },
+                LosSpec {
+                    level: LevelOfService(1),
+                    description: "cooperative with degraded data".into(),
+                    rules: vec![SafetyRule::new(
+                        "R1-v2v-health",
+                        Condition::ComponentHealthy { component: "v2v".into() },
+                    )],
+                    asil: Asil::B,
+                    performance_index: 2.0,
+                },
+                LosSpec {
+                    level: LevelOfService(2),
+                    description: "fully cooperative".into(),
+                    rules: vec![
+                        SafetyRule::new(
+                            "R2-v2v-health",
+                            Condition::ComponentHealthy { component: "v2v".into() },
+                        ),
+                        SafetyRule::new(
+                            "R3-remote-validity",
+                            Condition::MinValidity { item: "remote-headway".into(), threshold: 0.8 },
+                        ),
+                    ],
+                    asil: Asil::C,
+                    performance_index: 3.0,
+                },
+            ],
+            hazards,
+            SimDuration::from_millis(50),
+        )
+    }
+
+    fn kernel() -> SafetyKernel {
+        SafetyKernel::new(design(), SimDuration::from_millis(100))
+    }
+
+    #[test]
+    fn starts_at_non_cooperative_level() {
+        let k = kernel();
+        assert_eq!(k.current_los(), LevelOfService::NON_COOPERATIVE);
+        assert!(k.last_decision().is_none());
+        assert_eq!(k.cycle_period(), SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn selects_highest_level_whose_rules_hold() {
+        let mut k = kernel();
+        let now = SimTime::from_millis(100);
+        k.info_mut().update_health("v2v", true, now);
+        k.info_mut().update_data("remote-headway", 1.5, Validity::new(0.9), now);
+        let d = k.run_cycle(now);
+        assert_eq!(d.selected, LevelOfService(2));
+        assert!(d.switched());
+        assert!(!d.degraded());
+        assert!(d.violations.is_empty());
+        assert_eq!(k.current_los(), LevelOfService(2));
+    }
+
+    #[test]
+    fn degrades_when_rules_break_and_reports_violations() {
+        let mut k = kernel();
+        let t0 = SimTime::from_millis(100);
+        k.info_mut().update_health("v2v", true, t0);
+        k.info_mut().update_data("remote-headway", 1.5, Validity::new(0.9), t0);
+        k.run_cycle(t0);
+        assert_eq!(k.current_los(), LevelOfService(2));
+        // Remote data degrades below the validity threshold.
+        let t1 = SimTime::from_millis(200);
+        k.info_mut().update_data("remote-headway", 1.5, Validity::new(0.3), t1);
+        let d = k.run_cycle(t1);
+        assert_eq!(d.selected, LevelOfService(1));
+        assert!(d.degraded());
+        assert_eq!(d.violations.len(), 1);
+        assert_eq!(d.violations[0].0, LevelOfService(2));
+        assert_eq!(d.violations[0].1, vec!["R3-remote-validity".to_string()]);
+        // V2V dies entirely: fall back to non-cooperative.
+        let t2 = SimTime::from_millis(300);
+        k.info_mut().update_health("v2v", false, t2);
+        let d = k.run_cycle(t2);
+        assert_eq!(d.selected, LevelOfService::NON_COOPERATIVE);
+        assert_eq!(k.switches().len(), 3);
+        assert!(k.switches().iter().all(|s| s.latency == SimDuration::from_millis(50)));
+    }
+
+    #[test]
+    fn periodic_step_respects_cycle_period() {
+        let mut k = kernel();
+        assert!(k.step(SimTime::from_millis(0)).is_some());
+        assert!(k.step(SimTime::from_millis(50)).is_none());
+        assert!(k.step(SimTime::from_millis(100)).is_some());
+        assert_eq!(k.manager().evaluations(), 2);
+        assert_eq!(k.los_trace().len(), 2);
+    }
+
+    #[test]
+    fn worst_case_reaction_is_cycle_plus_switch_bound() {
+        let k = kernel();
+        assert_eq!(k.worst_case_reaction(), SimDuration::from_millis(150));
+        // And by construction it is below the tightest hazard bound (500 ms).
+        assert!(k.worst_case_reaction() <= SimDuration::from_millis(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "reaction bound")]
+    fn kernel_rejects_unsafe_cycle_period() {
+        // 480 ms cycle + 50 ms switch bound > 500 ms hazard reaction bound.
+        let _ = SafetyKernel::new(design(), SimDuration::from_millis(480));
+    }
+
+    #[test]
+    fn higher_level_unreachable_if_lower_level_fails() {
+        // Even if level 2's own rules hold, a violated level 1 blocks it.
+        let mut k = kernel();
+        let now = SimTime::from_millis(100);
+        // v2v unhealthy breaks level 1's rule (shared with level 2's R2).
+        k.info_mut().update_health("v2v", false, now);
+        k.info_mut().update_data("remote-headway", 1.0, Validity::FULL, now);
+        let d = k.run_cycle(now);
+        assert_eq!(d.selected, LevelOfService::NON_COOPERATIVE);
+        assert_eq!(d.violations[0].0, LevelOfService(1));
+    }
+}

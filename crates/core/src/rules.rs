@@ -1,0 +1,216 @@
+//! Safety rules: the design-time conditions that must hold at run time for a
+//! Level of Service to be functionally safe.
+//!
+//! "These safety rules express the needed validity of (sensor) data and
+//! integrity of components (e.g., timeliness requirements)" (paper §III).
+
+use karyon_sim::SimDuration;
+
+use crate::runtime::RunTimeSafetyInfo;
+
+/// A condition over the run-time safety information.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// The named data item must exist and have at least this validity
+    /// (fraction in `[0, 1]`).
+    MinValidity {
+        /// Data-item name (e.g. `"front-range"`).
+        item: String,
+        /// Required validity fraction.
+        threshold: f64,
+    },
+    /// The named data item must be fresher than the bound.
+    MaxAge {
+        /// Data-item name.
+        item: String,
+        /// Maximum acceptable age.
+        bound: SimDuration,
+    },
+    /// The named data item's value must not exceed the bound.
+    MaxValue {
+        /// Data-item name.
+        item: String,
+        /// Maximum acceptable value.
+        bound: f64,
+    },
+    /// The named data item's value must be at least the bound.
+    MinValue {
+        /// Data-item name.
+        item: String,
+        /// Minimum acceptable value.
+        bound: f64,
+    },
+    /// The named component must currently be reported healthy.
+    ComponentHealthy {
+        /// Component name (e.g. `"v2v-radio"`).
+        component: String,
+    },
+    /// All of the sub-conditions must hold.
+    All(Vec<Condition>),
+    /// At least one of the sub-conditions must hold.
+    Any(Vec<Condition>),
+}
+
+impl Condition {
+    /// Evaluates the condition against the run-time safety information.
+    pub fn holds(&self, info: &RunTimeSafetyInfo) -> bool {
+        match self {
+            Condition::MinValidity { item, threshold } => info
+                .data(item)
+                .map(|d| d.validity.fraction() >= *threshold)
+                .unwrap_or(false),
+            Condition::MaxAge { item, bound } => info
+                .data(item)
+                .map(|d| info.now().since(d.timestamp) <= *bound)
+                .unwrap_or(false),
+            Condition::MaxValue { item, bound } => {
+                info.data(item).map(|d| d.value <= *bound).unwrap_or(false)
+            }
+            Condition::MinValue { item, bound } => {
+                info.data(item).map(|d| d.value >= *bound).unwrap_or(false)
+            }
+            Condition::ComponentHealthy { component } => info.is_healthy(component),
+            Condition::All(subs) => subs.iter().all(|c| c.holds(info)),
+            Condition::Any(subs) => subs.iter().any(|c| c.holds(info)),
+        }
+    }
+
+    /// A short description of the first sub-condition that fails, if any.
+    pub fn first_violation(&self, info: &RunTimeSafetyInfo) -> Option<String> {
+        match self {
+            Condition::All(subs) => subs.iter().find_map(|c| c.first_violation(info)),
+            Condition::Any(subs) => {
+                if subs.iter().any(|c| c.holds(info)) {
+                    None
+                } else {
+                    Some(format!("none of {} alternatives hold", subs.len()))
+                }
+            }
+            other => {
+                if other.holds(info) {
+                    None
+                } else {
+                    Some(other.describe())
+                }
+            }
+        }
+    }
+
+    /// A human-readable description of the condition.
+    pub fn describe(&self) -> String {
+        match self {
+            Condition::MinValidity { item, threshold } => {
+                format!("validity({item}) >= {:.0}%", threshold * 100.0)
+            }
+            Condition::MaxAge { item, bound } => format!("age({item}) <= {bound}"),
+            Condition::MaxValue { item, bound } => format!("{item} <= {bound}"),
+            Condition::MinValue { item, bound } => format!("{item} >= {bound}"),
+            Condition::ComponentHealthy { component } => format!("healthy({component})"),
+            Condition::All(subs) => format!("all of {} conditions", subs.len()),
+            Condition::Any(subs) => format!("any of {} conditions", subs.len()),
+        }
+    }
+}
+
+/// A named safety rule: a condition plus bookkeeping metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SafetyRule {
+    /// Stable identifier, e.g. `"R3-v2v-freshness"`.
+    pub id: String,
+    /// The condition that must hold.
+    pub condition: Condition,
+}
+
+impl SafetyRule {
+    /// Creates a rule.
+    pub fn new(id: &str, condition: Condition) -> Self {
+        SafetyRule { id: id.to_string(), condition }
+    }
+
+    /// Evaluates the rule.
+    pub fn holds(&self, info: &RunTimeSafetyInfo) -> bool {
+        self.condition.holds(info)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RunTimeSafetyInfo;
+    use karyon_sensors::Validity;
+    use karyon_sim::SimTime;
+
+    fn info() -> RunTimeSafetyInfo {
+        let mut info = RunTimeSafetyInfo::new();
+        info.set_now(SimTime::from_millis(1_000));
+        info.update_data("front-range", 35.0, Validity::new(0.9), SimTime::from_millis(950));
+        info.update_data("v2v-headway", 1.2, Validity::new(0.4), SimTime::from_millis(400));
+        info.update_health("v2v-radio", true, SimTime::from_millis(990));
+        info.update_health("lidar", false, SimTime::from_millis(990));
+        info
+    }
+
+    #[test]
+    fn validity_and_age_conditions() {
+        let info = info();
+        assert!(Condition::MinValidity { item: "front-range".into(), threshold: 0.8 }.holds(&info));
+        assert!(!Condition::MinValidity { item: "v2v-headway".into(), threshold: 0.8 }.holds(&info));
+        assert!(!Condition::MinValidity { item: "missing".into(), threshold: 0.1 }.holds(&info));
+        assert!(Condition::MaxAge { item: "front-range".into(), bound: SimDuration::from_millis(100) }
+            .holds(&info));
+        assert!(!Condition::MaxAge { item: "v2v-headway".into(), bound: SimDuration::from_millis(100) }
+            .holds(&info));
+    }
+
+    #[test]
+    fn value_and_health_conditions() {
+        let info = info();
+        assert!(Condition::MaxValue { item: "front-range".into(), bound: 50.0 }.holds(&info));
+        assert!(!Condition::MaxValue { item: "front-range".into(), bound: 10.0 }.holds(&info));
+        assert!(Condition::MinValue { item: "v2v-headway".into(), bound: 1.0 }.holds(&info));
+        assert!(!Condition::MinValue { item: "v2v-headway".into(), bound: 2.0 }.holds(&info));
+        assert!(Condition::ComponentHealthy { component: "v2v-radio".into() }.holds(&info));
+        assert!(!Condition::ComponentHealthy { component: "lidar".into() }.holds(&info));
+        assert!(!Condition::ComponentHealthy { component: "unknown".into() }.holds(&info));
+    }
+
+    #[test]
+    fn composite_conditions() {
+        let info = info();
+        let all = Condition::All(vec![
+            Condition::ComponentHealthy { component: "v2v-radio".into() },
+            Condition::MinValidity { item: "front-range".into(), threshold: 0.5 },
+        ]);
+        assert!(all.holds(&info));
+        let broken = Condition::All(vec![
+            all.clone(),
+            Condition::ComponentHealthy { component: "lidar".into() },
+        ]);
+        assert!(!broken.holds(&info));
+        assert!(broken.first_violation(&info).unwrap().contains("lidar"));
+        let any = Condition::Any(vec![
+            Condition::ComponentHealthy { component: "lidar".into() },
+            Condition::ComponentHealthy { component: "v2v-radio".into() },
+        ]);
+        assert!(any.holds(&info));
+        assert!(any.first_violation(&info).is_none());
+        let none = Condition::Any(vec![Condition::ComponentHealthy { component: "lidar".into() }]);
+        assert!(none.first_violation(&info).unwrap().contains("alternatives"));
+    }
+
+    #[test]
+    fn rule_wrapper_and_descriptions() {
+        let info = info();
+        let rule = SafetyRule::new(
+            "R1",
+            Condition::MinValidity { item: "front-range".into(), threshold: 0.5 },
+        );
+        assert!(rule.holds(&info));
+        assert_eq!(rule.id, "R1");
+        assert!(rule.condition.describe().contains("front-range"));
+        assert!(Condition::MaxAge { item: "x".into(), bound: SimDuration::from_millis(5) }
+            .describe()
+            .contains("age"));
+        assert!(Condition::All(vec![]).describe().contains("all of"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Run-time safety information and timing failure detection.
+//!
+//! The Run Time Safety Information component "abstracts the concrete
+//! mechanisms that must be put in place to do this information collection
+//! (which will include, for instance, failure detectors for detecting timing
+//! faults)" (paper §III).  The store collects validity-annotated data items
+//! (from the abstract sensors and the cooperation layer) and component
+//! health reports (from timing failure detectors and self-checks).
+
+use std::collections::BTreeMap;
+
+use karyon_sensors::Validity;
+use karyon_sim::{SimDuration, SimTime};
+
+/// A validity-annotated data item collected for rule evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataItem {
+    /// The most recent value.
+    pub value: f64,
+    /// Its validity.
+    pub validity: Validity,
+    /// When the value was produced.
+    pub timestamp: SimTime,
+}
+
+/// A component health report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthReport {
+    /// Whether the component is currently considered healthy.
+    pub healthy: bool,
+    /// When the report was produced.
+    pub timestamp: SimTime,
+}
+
+/// The Run Time Safety Information store.
+#[derive(Debug, Clone, Default)]
+pub struct RunTimeSafetyInfo {
+    now: SimTime,
+    data: BTreeMap<String, DataItem>,
+    health: BTreeMap<String, HealthReport>,
+}
+
+impl RunTimeSafetyInfo {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the current time used for age checks.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// The current time used for age checks.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Records (or replaces) a data item.
+    pub fn update_data(&mut self, item: &str, value: f64, validity: Validity, timestamp: SimTime) {
+        self.data.insert(item.to_string(), DataItem { value, validity, timestamp });
+    }
+
+    /// Looks up a data item.
+    pub fn data(&self, item: &str) -> Option<&DataItem> {
+        self.data.get(item)
+    }
+
+    /// Records (or replaces) a component health report.
+    pub fn update_health(&mut self, component: &str, healthy: bool, timestamp: SimTime) {
+        self.health.insert(component.to_string(), HealthReport { healthy, timestamp });
+    }
+
+    /// True when the component has a current report and it says healthy.
+    pub fn is_healthy(&self, component: &str) -> bool {
+        self.health.get(component).map(|h| h.healthy).unwrap_or(false)
+    }
+
+    /// Number of data items currently held.
+    pub fn data_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of health reports currently held.
+    pub fn health_len(&self) -> usize {
+        self.health.len()
+    }
+
+    /// Names of all data items (sorted).
+    pub fn data_items(&self) -> Vec<&str> {
+        self.data.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+/// A lease-based timing failure detector: a monitored component must produce
+/// a heartbeat at least every `timeout`; otherwise it is reported failed.
+/// This is the crash/timing failure detector assumed for components above
+/// the hybridization line.
+#[derive(Debug, Clone)]
+pub struct TimingFailureDetector {
+    component: String,
+    timeout: SimDuration,
+    last_heartbeat: Option<SimTime>,
+    suspected: bool,
+    suspicions: u64,
+}
+
+impl TimingFailureDetector {
+    /// Creates a detector for `component` with the given heartbeat timeout.
+    pub fn new(component: &str, timeout: SimDuration) -> Self {
+        TimingFailureDetector {
+            component: component.to_string(),
+            timeout,
+            last_heartbeat: None,
+            suspected: false,
+            suspicions: 0,
+        }
+    }
+
+    /// The monitored component's name.
+    pub fn component(&self) -> &str {
+        &self.component
+    }
+
+    /// Registers a heartbeat from the component.
+    pub fn heartbeat(&mut self, now: SimTime) {
+        self.last_heartbeat = Some(now);
+        self.suspected = false;
+    }
+
+    /// Evaluates the detector and pushes the verdict into the run-time store.
+    /// Returns `true` when the component is currently considered healthy.
+    pub fn check(&mut self, now: SimTime, info: &mut RunTimeSafetyInfo) -> bool {
+        let healthy = match self.last_heartbeat {
+            Some(last) => now.since(last) <= self.timeout,
+            None => false,
+        };
+        if !healthy && !self.suspected {
+            self.suspected = true;
+            self.suspicions += 1;
+        }
+        info.update_health(&self.component, healthy, now);
+        healthy
+    }
+
+    /// Number of distinct times the component became suspected.
+    pub fn suspicions(&self) -> u64 {
+        self.suspicions
+    }
+
+    /// True while the component is suspected.
+    pub fn is_suspected(&self) -> bool {
+        self.suspected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_holds_data_and_health() {
+        let mut info = RunTimeSafetyInfo::new();
+        assert_eq!(info.data_len(), 0);
+        info.set_now(SimTime::from_secs(1));
+        info.update_data("a", 1.0, Validity::FULL, SimTime::from_millis(900));
+        info.update_data("b", 2.0, Validity::new(0.5), SimTime::from_millis(950));
+        info.update_health("c1", true, SimTime::from_secs(1));
+        assert_eq!(info.data_len(), 2);
+        assert_eq!(info.health_len(), 1);
+        assert_eq!(info.data("a").unwrap().value, 1.0);
+        assert!(info.data("missing").is_none());
+        assert!(info.is_healthy("c1"));
+        assert!(!info.is_healthy("other"));
+        assert_eq!(info.data_items(), vec!["a", "b"]);
+        assert_eq!(info.now(), SimTime::from_secs(1));
+        // Updating replaces.
+        info.update_data("a", 5.0, Validity::INVALID, SimTime::from_secs(1));
+        assert_eq!(info.data("a").unwrap().value, 5.0);
+        assert!(info.data("a").unwrap().validity.is_invalid());
+    }
+
+    #[test]
+    fn timing_failure_detector_lifecycle() {
+        let mut info = RunTimeSafetyInfo::new();
+        let mut fd = TimingFailureDetector::new("v2v-radio", SimDuration::from_millis(200));
+        assert_eq!(fd.component(), "v2v-radio");
+        // No heartbeat yet: unhealthy.
+        assert!(!fd.check(SimTime::from_millis(0), &mut info));
+        assert!(fd.is_suspected());
+        assert_eq!(fd.suspicions(), 1);
+        assert!(!info.is_healthy("v2v-radio"));
+        // Heartbeat arrives: healthy within the timeout.
+        fd.heartbeat(SimTime::from_millis(100));
+        assert!(fd.check(SimTime::from_millis(250), &mut info));
+        assert!(info.is_healthy("v2v-radio"));
+        assert!(!fd.is_suspected());
+        // Silence beyond the timeout: suspected again (a new suspicion).
+        assert!(!fd.check(SimTime::from_millis(400), &mut info));
+        assert_eq!(fd.suspicions(), 2);
+        // Repeated checks while already suspected do not double-count.
+        assert!(!fd.check(SimTime::from_millis(500), &mut info));
+        assert_eq!(fd.suspicions(), 2);
+        // Recovery.
+        fd.heartbeat(SimTime::from_millis(600));
+        assert!(fd.check(SimTime::from_millis(700), &mut info));
+    }
+}

@@ -1,0 +1,308 @@
+//! Virtual stationary automata / mobile virtual nodes (paper §V-C, after
+//! Dolev, Gilbert, Lahiani, Lynch and Nolte).
+//!
+//! "One of these approaches is based on virtual nodes that maintain shared
+//! finite state machines that tile the plane.  These state machines can
+//! monitor the activity in a given region, such as intersections, or a
+//! cluster of vehicles that cruise on the highway."
+//!
+//! A [`VirtualNode`] is a replicated state machine bound to a geographic
+//! region.  Every vehicle currently inside the region keeps a replica; the
+//! replica with the smallest vehicle identifier acts as leader, executes the
+//! operations submitted by the region's clients and disseminates the new
+//! state with a monotonically increasing version.  When the leader leaves
+//! the region (or fails), the next smallest id takes over from the freshest
+//! state it has seen — the virtual node survives as long as the region is
+//! populated.  The virtual traffic light of use case A2 is built on exactly
+//! this abstraction.
+
+use std::collections::BTreeMap;
+
+use karyon_sim::{SimTime, Vec2};
+
+/// A geographic region that hosts a virtual node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region {
+    /// Centre of the region.
+    pub center: Vec2,
+    /// Radius of the region in metres.
+    pub radius: f64,
+}
+
+impl Region {
+    /// Creates a region.
+    pub fn new(center: Vec2, radius: f64) -> Self {
+        Region { center, radius: radius.max(0.0) }
+    }
+
+    /// True when `position` lies inside the region.
+    pub fn contains(&self, position: Vec2) -> bool {
+        self.center.distance(position) <= self.radius
+    }
+}
+
+/// A state machine replicated by a virtual node.
+pub trait ReplicatedMachine: Clone {
+    /// The operations clients may submit.
+    type Op: Clone;
+
+    /// Applies one operation to the state.
+    fn apply(&mut self, op: &Self::Op, now: SimTime);
+}
+
+/// A versioned snapshot of the replicated state, as disseminated by the
+/// leader.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSnapshot<S> {
+    /// Monotonically increasing version.
+    pub version: u64,
+    /// The state at that version.
+    pub state: S,
+}
+
+/// The local replica of a virtual node held by one vehicle.
+#[derive(Debug, Clone)]
+pub struct Replica<S: ReplicatedMachine> {
+    vehicle: u32,
+    snapshot: StateSnapshot<S>,
+}
+
+impl<S: ReplicatedMachine> Replica<S> {
+    /// Creates a replica with the initial state at version 0.
+    pub fn new(vehicle: u32, initial: S) -> Self {
+        Replica { vehicle, snapshot: StateSnapshot { version: 0, state: initial } }
+    }
+
+    /// The owning vehicle's identifier.
+    pub fn vehicle(&self) -> u32 {
+        self.vehicle
+    }
+
+    /// The replica's current snapshot.
+    pub fn snapshot(&self) -> &StateSnapshot<S> {
+        &self.snapshot
+    }
+
+    /// Adopts a disseminated snapshot if it is newer than the local one.
+    pub fn adopt(&mut self, snapshot: &StateSnapshot<S>) {
+        if snapshot.version > self.snapshot.version {
+            self.snapshot = snapshot.clone();
+        }
+    }
+}
+
+/// The virtual node: region, replicas and leader-driven execution.
+#[derive(Debug, Clone)]
+pub struct VirtualNode<S: ReplicatedMachine> {
+    region: Region,
+    initial: S,
+    replicas: BTreeMap<u32, Replica<S>>,
+    operations_applied: u64,
+    leader_changes: u64,
+    last_leader: Option<u32>,
+}
+
+impl<S: ReplicatedMachine> VirtualNode<S> {
+    /// Creates a virtual node for a region with the given initial state.
+    pub fn new(region: Region, initial: S) -> Self {
+        VirtualNode {
+            region,
+            initial,
+            replicas: BTreeMap::new(),
+            operations_applied: 0,
+            leader_changes: 0,
+            last_leader: None,
+        }
+    }
+
+    /// The hosting region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Number of operations executed since creation.
+    pub fn operations_applied(&self) -> u64 {
+        self.operations_applied
+    }
+
+    /// Number of leader handovers observed.
+    pub fn leader_changes(&self) -> u64 {
+        self.leader_changes
+    }
+
+    /// Updates which vehicles are inside the region.  Vehicles entering get a
+    /// replica initialized from the freshest state currently known (or the
+    /// initial state if the region was empty — the "reset" case of a
+    /// depopulated virtual node); vehicles leaving drop their replica.
+    pub fn update_population(&mut self, vehicles: &[(u32, Vec2)]) {
+        let inside: Vec<u32> = vehicles
+            .iter()
+            .filter(|(_, pos)| self.region.contains(*pos))
+            .map(|(id, _)| *id)
+            .collect();
+        // Drop replicas of vehicles that left.
+        let to_remove: Vec<u32> =
+            self.replicas.keys().copied().filter(|id| !inside.contains(id)).collect();
+        for id in to_remove {
+            self.replicas.remove(&id);
+        }
+        // The freshest known snapshot seeds new arrivals.
+        let freshest = self
+            .replicas
+            .values()
+            .max_by_key(|r| r.snapshot.version)
+            .map(|r| r.snapshot.clone())
+            .unwrap_or(StateSnapshot { version: 0, state: self.initial.clone() });
+        for id in inside {
+            self.replicas.entry(id).or_insert_with(|| {
+                let mut r = Replica::new(id, self.initial.clone());
+                r.adopt(&freshest);
+                r
+            });
+        }
+        // Track leader changes.
+        let leader = self.leader();
+        if leader != self.last_leader && leader.is_some() {
+            if self.last_leader.is_some() {
+                self.leader_changes += 1;
+            }
+            self.last_leader = leader;
+        } else if leader.is_none() {
+            self.last_leader = None;
+        }
+    }
+
+    /// The current leader (smallest vehicle id inside the region), if any.
+    pub fn leader(&self) -> Option<u32> {
+        self.replicas.keys().next().copied()
+    }
+
+    /// True when no vehicle currently hosts the virtual node.
+    pub fn is_depopulated(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Number of replicas currently maintained.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The state as seen by the leader (the authoritative state), if any.
+    pub fn state(&self) -> Option<&S> {
+        self.leader().and_then(|l| self.replicas.get(&l)).map(|r| &r.snapshot.state)
+    }
+
+    /// A specific vehicle's replica state, if it hosts one.
+    pub fn replica_state(&self, vehicle: u32) -> Option<&S> {
+        self.replicas.get(&vehicle).map(|r| &r.snapshot.state)
+    }
+
+    /// Submits an operation: the leader applies it, bumps the version and the
+    /// new snapshot is disseminated to all replicas.  Returns `false` when
+    /// the region is depopulated (no leader to execute the operation).
+    pub fn submit(&mut self, op: &S::Op, now: SimTime) -> bool {
+        let Some(leader_id) = self.leader() else {
+            return false;
+        };
+        let snapshot = {
+            let leader = self.replicas.get_mut(&leader_id).expect("leader replica exists");
+            leader.snapshot.state.apply(op, now);
+            leader.snapshot.version += 1;
+            leader.snapshot.clone()
+        };
+        for replica in self.replicas.values_mut() {
+            replica.adopt(&snapshot);
+        }
+        self.operations_applied += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A simple occupancy counter used as the replicated machine in tests.
+    #[derive(Debug, Clone, PartialEq, Default)]
+    struct Counter {
+        value: i64,
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum CounterOp {
+        Add(i64),
+    }
+
+    impl ReplicatedMachine for Counter {
+        type Op = CounterOp;
+        fn apply(&mut self, op: &CounterOp, _now: SimTime) {
+            match op {
+                CounterOp::Add(delta) => self.value += delta,
+            }
+        }
+    }
+
+    fn vn() -> VirtualNode<Counter> {
+        VirtualNode::new(Region::new(Vec2::new(0.0, 0.0), 50.0), Counter::default())
+    }
+
+    #[test]
+    fn region_containment() {
+        let r = Region::new(Vec2::new(10.0, 0.0), 5.0);
+        assert!(r.contains(Vec2::new(12.0, 3.0)));
+        assert!(!r.contains(Vec2::new(20.0, 0.0)));
+        assert_eq!(Region::new(Vec2::ZERO, -3.0).radius, 0.0);
+    }
+
+    #[test]
+    fn leader_is_smallest_id_inside_region() {
+        let mut node = vn();
+        assert!(node.is_depopulated());
+        assert!(node.leader().is_none());
+        node.update_population(&[(5, Vec2::new(0.0, 0.0)), (3, Vec2::new(10.0, 0.0)), (9, Vec2::new(100.0, 0.0))]);
+        assert_eq!(node.replica_count(), 2);
+        assert_eq!(node.leader(), Some(3));
+        assert!(!node.is_depopulated());
+    }
+
+    #[test]
+    fn operations_replicate_to_all_members() {
+        let mut node = vn();
+        node.update_population(&[(1, Vec2::ZERO), (2, Vec2::new(5.0, 5.0))]);
+        assert!(node.submit(&CounterOp::Add(3), SimTime::ZERO));
+        assert!(node.submit(&CounterOp::Add(4), SimTime::ZERO));
+        assert_eq!(node.state().unwrap().value, 7);
+        assert_eq!(node.replica_state(2).unwrap().value, 7);
+        assert_eq!(node.operations_applied(), 2);
+    }
+
+    #[test]
+    fn leader_handover_preserves_state() {
+        let mut node = vn();
+        node.update_population(&[(1, Vec2::ZERO), (2, Vec2::new(5.0, 0.0))]);
+        node.submit(&CounterOp::Add(10), SimTime::ZERO);
+        assert_eq!(node.leader(), Some(1));
+        // Vehicle 1 leaves the region; vehicle 2 takes over with the state intact.
+        node.update_population(&[(1, Vec2::new(500.0, 0.0)), (2, Vec2::new(5.0, 0.0))]);
+        assert_eq!(node.leader(), Some(2));
+        assert_eq!(node.state().unwrap().value, 10);
+        assert_eq!(node.leader_changes(), 1);
+        // A newcomer adopts the surviving state.
+        node.update_population(&[(2, Vec2::new(5.0, 0.0)), (7, Vec2::new(1.0, 1.0))]);
+        assert_eq!(node.replica_state(7).unwrap().value, 10);
+    }
+
+    #[test]
+    fn depopulated_region_resets_state() {
+        let mut node = vn();
+        node.update_population(&[(1, Vec2::ZERO)]);
+        node.submit(&CounterOp::Add(5), SimTime::ZERO);
+        // Everyone leaves: the virtual node disappears...
+        node.update_population(&[(1, Vec2::new(999.0, 0.0))]);
+        assert!(node.is_depopulated());
+        assert!(!node.submit(&CounterOp::Add(1), SimTime::ZERO));
+        // ...and a later arrival restarts from the initial state.
+        node.update_population(&[(4, Vec2::ZERO)]);
+        assert_eq!(node.state().unwrap().value, 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Events, subjects, attributes and context filters (paper §V-B, Fig. 5).
+//!
+//! "In FAMOUSO all disseminated information is encapsulated in typed message
+//! objects called events.  An event is composed from three parts: a subject,
+//! attributes, and content.  A subject identifies the content of an event and
+//! is represented by a unique identifier (UID).  The UIDs span a global name
+//! space across all networks."
+
+use karyon_sim::{SimDuration, SimTime, Vec2};
+
+/// A subject: the unique identifier of an event type, spanning a global name
+/// space across all networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Subject(pub u64);
+
+impl Subject {
+    /// Derives a subject UID from a human-readable name (FNV-1a hash), so
+    /// that independently developed components agree on the UID of
+    /// `"vehicle/speed"` without a central registry.
+    pub fn from_name(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        Subject(hash)
+    }
+}
+
+/// Quality-of-service requirements a publisher attaches to an event channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosRequirement {
+    /// Maximum acceptable dissemination latency.
+    pub max_latency: SimDuration,
+    /// Minimum acceptable delivery ratio in `[0, 1]`.
+    pub min_delivery_ratio: f64,
+    /// Maximum event rate the publisher will generate (events per second);
+    /// used for bandwidth admission.
+    pub max_rate: f64,
+}
+
+impl QosRequirement {
+    /// A best-effort requirement that any network satisfies.
+    pub fn best_effort() -> Self {
+        QosRequirement { max_latency: SimDuration::MAX, min_delivery_ratio: 0.0, max_rate: 0.0 }
+    }
+}
+
+/// Context attributes attached to an event (location, time).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Context {
+    /// Where the event was produced, if known.
+    pub position: Option<Vec2>,
+    /// When the event was produced.
+    pub timestamp: SimTime,
+}
+
+/// A context filter a subscriber attaches to a subscription: "the subscriber
+/// will only get those events which pass the context filter".
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ContextFilter {
+    /// Accept only events produced within this circular region.
+    pub region: Option<(Vec2, f64)>,
+    /// Accept only events at most this old at delivery time.
+    pub max_age: Option<SimDuration>,
+}
+
+impl ContextFilter {
+    /// A filter that accepts everything.
+    pub fn accept_all() -> Self {
+        ContextFilter::default()
+    }
+
+    /// A filter restricted to a circular region.
+    pub fn within(center: Vec2, radius: f64) -> Self {
+        ContextFilter { region: Some((center, radius)), max_age: None }
+    }
+
+    /// Adds a freshness requirement to the filter.
+    pub fn fresher_than(mut self, max_age: SimDuration) -> Self {
+        self.max_age = Some(max_age);
+        self
+    }
+
+    /// True when the event's context passes the filter at delivery time `now`.
+    pub fn matches(&self, context: &Context, now: SimTime) -> bool {
+        if let Some((center, radius)) = self.region {
+            match context.position {
+                Some(pos) if center.distance(pos) <= radius => {}
+                _ => return false,
+            }
+        }
+        if let Some(max_age) = self.max_age {
+            if now.since(context.timestamp) > max_age {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A disseminated event: subject + attributes (QoS handled at the channel,
+/// context carried here) + content.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The subject identifying the content type.
+    pub subject: Subject,
+    /// Context attributes (location, production time).
+    pub context: Context,
+    /// Opaque content bytes.
+    pub content: Vec<u8>,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(subject: Subject, context: Context, content: Vec<u8>) -> Self {
+        Event { subject, context, content }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subjects_from_names_are_stable_and_distinct() {
+        let a1 = Subject::from_name("vehicle/speed");
+        let a2 = Subject::from_name("vehicle/speed");
+        let b = Subject::from_name("vehicle/position");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn context_filter_region() {
+        let ctx = Context { position: Some(Vec2::new(10.0, 0.0)), timestamp: SimTime::ZERO };
+        let now = SimTime::from_millis(50);
+        assert!(ContextFilter::accept_all().matches(&ctx, now));
+        assert!(ContextFilter::within(Vec2::ZERO, 20.0).matches(&ctx, now));
+        assert!(!ContextFilter::within(Vec2::ZERO, 5.0).matches(&ctx, now));
+        // Events without a position fail region filters.
+        let anon = Context { position: None, timestamp: SimTime::ZERO };
+        assert!(!ContextFilter::within(Vec2::ZERO, 5.0).matches(&anon, now));
+        assert!(ContextFilter::accept_all().matches(&anon, now));
+    }
+
+    #[test]
+    fn context_filter_age() {
+        let ctx = Context { position: None, timestamp: SimTime::from_millis(100) };
+        let filter = ContextFilter::accept_all().fresher_than(SimDuration::from_millis(50));
+        assert!(filter.matches(&ctx, SimTime::from_millis(120)));
+        assert!(!filter.matches(&ctx, SimTime::from_millis(200)));
+    }
+
+    #[test]
+    fn best_effort_qos_is_trivially_satisfiable() {
+        let q = QosRequirement::best_effort();
+        assert_eq!(q.min_delivery_ratio, 0.0);
+        assert_eq!(q.max_latency, SimDuration::MAX);
+    }
+
+    #[test]
+    fn event_construction() {
+        let e = Event::new(Subject::from_name("x"), Context::default(), vec![1, 2, 3]);
+        assert_eq!(e.content, vec![1, 2, 3]);
+        assert_eq!(e.subject, Subject::from_name("x"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # karyon-middleware — FAMOUSO-style adaptive event middleware (KARYON §V-B)
+//!
+//! "We will use the FAMOUSO communication middleware … FAMOUSO provides
+//! event-based communication that is explicitly designed for dynamic,
+//! distributed control.  We propose the concept of event channels that
+//! address the problem of assessing and maintaining QoS in such a cooperative
+//! system."
+//!
+//! The crate reimplements the published channel concept from scratch:
+//!
+//! * [`event`] — events (subject UID + attributes + content), QoS
+//!   requirements, context attributes and context filters,
+//! * [`channel`] — event channels with announcement-time QoS assessment
+//!   against dynamically monitored network capabilities, publish/subscribe
+//!   routing across heterogeneous network segments (gateway-crossing
+//!   channels get the weakest segment's guarantees), and per-channel
+//!   delivery/deadline statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod event;
+
+pub use channel::{
+    Admission, Delivery, EventBus, NetworkCapability, NetworkId, SubscriberId,
+};
+pub use event::{Context, ContextFilter, Event, QosRequirement, Subject};

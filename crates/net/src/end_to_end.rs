@@ -1,0 +1,554 @@
+//! Self-stabilizing end-to-end FIFO delivery over an unreliable, bounded
+//! capacity channel (paper §V-A2, after Dolev, Hanemann, Schiller and Sharma,
+//! "Self-stabilizing end-to-end communication in (bounded capacity, omitting,
+//! duplicating and non-FIFO) dynamic networks").
+//!
+//! The channel may omit, duplicate and reorder packets and can hold at most a
+//! bounded number of packets in flight; moreover, its *initial* content is
+//! arbitrary (stale packets from before a crash or an adversarial state).
+//! The protocol guarantees that, after a finite stabilization prefix,
+//! messages are delivered in FIFO order without omission or duplication.
+//!
+//! The implementation follows the alternating-index idea over a bounded label
+//! alphabet sized by the channel capacity:
+//!
+//! * the **sender** labels every message with the next index of the alphabet
+//!   and keeps retransmitting it until it has collected **more than twice the
+//!   channel capacity** acknowledgements carrying that label — since the
+//!   channel holds at most `capacity` stale packets and each packet can be
+//!   duplicated at most once, at least one of those acknowledgements must be
+//!   fresh, which proves the receiver has *delivered* the message (the
+//!   receiver acknowledges with its last delivered label, not the received
+//!   one);
+//! * the **receiver** delivers a message when its label is the successor of
+//!   the last delivered label; if its own label state was corrupted it
+//!   re-adopts the sender's label after seeing it persistently (more than
+//!   `2 × capacity` times), which no combination of stale packets can fake.
+
+use std::collections::VecDeque;
+
+use karyon_sim::Rng;
+
+/// Configuration of the end-to-end session and its channel error model.
+#[derive(Debug, Clone)]
+pub struct E2EConfig {
+    /// Maximum number of packets the channel can hold in each direction.
+    pub capacity: usize,
+    /// Probability that a delivery attempt omits (drops) the packet.
+    pub omission: f64,
+    /// Probability that a delivered packet is also left in the channel once
+    /// (bounded duplication).
+    pub duplication: f64,
+    /// Whether the channel delivers packets in random order.
+    pub reorder: bool,
+}
+
+impl Default for E2EConfig {
+    fn default() -> Self {
+        E2EConfig { capacity: 8, omission: 0.1, duplication: 0.1, reorder: true }
+    }
+}
+
+impl E2EConfig {
+    /// Size of the alternating-index alphabet used for this capacity.
+    pub fn alphabet(&self) -> u16 {
+        (2 * self.capacity as u16).saturating_add(3)
+    }
+
+    /// Number of matching acknowledgements (at the sender) or persistent
+    /// observations (at the receiver) needed to trust a label: strictly more
+    /// than the maximum number of deliveries stale packets can produce.
+    pub fn freshness_threshold(&self) -> usize {
+        2 * self.capacity + 1
+    }
+}
+
+/// A protocol packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Packet {
+    /// A data packet carrying the alternating index and the message payload.
+    Data {
+        /// Alternating index label.
+        label: u16,
+        /// Message payload.
+        payload: u64,
+    },
+    /// An acknowledgement for the given label.
+    Ack {
+        /// Alternating index label being acknowledged.
+        label: u16,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    packet: Packet,
+    duplicated: bool,
+}
+
+/// A bounded-capacity channel that omits, duplicates (at most once per
+/// packet) and reorders packets.
+#[derive(Debug, Clone)]
+pub struct UnreliableChannel {
+    in_flight: Vec<InFlight>,
+    capacity: usize,
+    omission: f64,
+    duplication: f64,
+    reorder: bool,
+}
+
+impl UnreliableChannel {
+    /// Creates an empty channel with the given error model.
+    pub fn new(config: &E2EConfig) -> Self {
+        UnreliableChannel {
+            in_flight: Vec::new(),
+            capacity: config.capacity.max(1),
+            omission: config.omission,
+            duplication: config.duplication,
+            reorder: config.reorder,
+        }
+    }
+
+    /// Number of packets currently in flight.
+    pub fn len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// Injects an arbitrary packet (used to model a corrupted initial state).
+    pub fn inject(&mut self, packet: Packet) {
+        if self.in_flight.len() < self.capacity {
+            self.in_flight.push(InFlight { packet, duplicated: false });
+        }
+    }
+
+    /// Sends a packet; if the channel is full the oldest packet is displaced
+    /// (bounded capacity).
+    pub fn send(&mut self, packet: Packet) {
+        if self.in_flight.len() >= self.capacity {
+            self.in_flight.remove(0);
+        }
+        self.in_flight.push(InFlight { packet, duplicated: false });
+    }
+
+    /// Attempts to deliver one packet, honouring omission, duplication and
+    /// reordering.
+    pub fn deliver(&mut self, rng: &mut Rng) -> Option<Packet> {
+        if self.in_flight.is_empty() {
+            return None;
+        }
+        let idx = if self.reorder { rng.range_usize(0, self.in_flight.len() - 1) } else { 0 };
+        let entry = self.in_flight[idx];
+        let duplicate = !entry.duplicated && rng.chance(self.duplication);
+        if duplicate {
+            self.in_flight[idx].duplicated = true;
+        } else {
+            self.in_flight.remove(idx);
+        }
+        if rng.chance(self.omission) {
+            return None;
+        }
+        Some(entry.packet)
+    }
+}
+
+/// The sending endpoint.
+#[derive(Debug, Clone)]
+pub struct SelfStabSender {
+    label: u16,
+    alphabet: u16,
+    outbox: VecDeque<u64>,
+    current: Option<u64>,
+    acks_for_current: usize,
+    ack_threshold: usize,
+    messages_completed: u64,
+}
+
+impl SelfStabSender {
+    /// Creates a sender for a channel with the given configuration.
+    pub fn new(config: &E2EConfig) -> Self {
+        SelfStabSender {
+            label: 0,
+            alphabet: config.alphabet(),
+            outbox: VecDeque::new(),
+            current: None,
+            acks_for_current: 0,
+            ack_threshold: config.freshness_threshold(),
+            messages_completed: 0,
+        }
+    }
+
+    /// Queues a message for transmission.
+    pub fn enqueue(&mut self, payload: u64) {
+        self.outbox.push_back(payload);
+    }
+
+    /// Number of messages fully acknowledged.
+    pub fn completed(&self) -> u64 {
+        self.messages_completed
+    }
+
+    /// Number of messages still waiting (including the in-flight one).
+    pub fn backlog(&self) -> usize {
+        self.outbox.len() + usize::from(self.current.is_some())
+    }
+
+    /// The current label (exposed for tests and diagnostics).
+    pub fn label(&self) -> u16 {
+        self.label
+    }
+
+    /// The packet to (re)transmit this round, if any.
+    pub fn next_packet(&mut self) -> Option<Packet> {
+        if self.current.is_none() {
+            if let Some(next) = self.outbox.pop_front() {
+                self.label = (self.label + 1) % self.alphabet;
+                self.current = Some(next);
+                self.acks_for_current = 0;
+            }
+        }
+        self.current.map(|payload| Packet::Data { label: self.label, payload })
+    }
+
+    /// Processes an incoming acknowledgement.
+    pub fn on_ack(&mut self, label: u16) {
+        if self.current.is_some() && label == self.label {
+            self.acks_for_current += 1;
+            if self.acks_for_current >= self.ack_threshold {
+                self.current = None;
+                self.messages_completed += 1;
+            }
+        }
+    }
+}
+
+/// The receiving endpoint.
+#[derive(Debug, Clone)]
+pub struct SelfStabReceiver {
+    last_label: u16,
+    alphabet: u16,
+    adoption_threshold: usize,
+    /// Count of receptions per unexpected label since the last delivery.
+    adoption_counts: Vec<usize>,
+    delivered: Vec<u64>,
+}
+
+impl SelfStabReceiver {
+    /// Creates a receiver for a channel with the given configuration.
+    pub fn new(config: &E2EConfig) -> Self {
+        let alphabet = config.alphabet();
+        SelfStabReceiver {
+            last_label: 0,
+            alphabet,
+            adoption_threshold: config.freshness_threshold(),
+            adoption_counts: vec![0; alphabet as usize],
+            delivered: Vec::new(),
+        }
+    }
+
+    /// Creates a receiver with a corrupted initial label state.
+    pub fn with_corrupted_state(config: &E2EConfig, label: u16) -> Self {
+        let mut r = Self::new(config);
+        r.last_label = label % r.alphabet;
+        r
+    }
+
+    /// All payloads delivered so far, in delivery order.
+    pub fn delivered(&self) -> &[u64] {
+        &self.delivered
+    }
+
+    /// The last delivered label (exposed for tests and diagnostics).
+    pub fn last_label(&self) -> u16 {
+        self.last_label
+    }
+
+    fn deliver(&mut self, label: u16, payload: u64) {
+        self.last_label = label;
+        self.delivered.push(payload);
+        for c in &mut self.adoption_counts {
+            *c = 0;
+        }
+    }
+
+    /// Processes a data packet and returns the acknowledgement to send.
+    ///
+    /// The acknowledgement always carries the receiver's *last delivered*
+    /// label; the sender therefore only counts acknowledgements that prove
+    /// delivery, never mere reception.
+    pub fn on_data(&mut self, label: u16, payload: u64) -> Packet {
+        let label = label % self.alphabet;
+        let expected = (self.last_label + 1) % self.alphabet;
+        if label == expected {
+            self.deliver(label, payload);
+        } else if label != self.last_label {
+            // Unexpected label: only adopt it after seeing it more often than
+            // any collection of stale packets could produce (corrupted-state
+            // recovery).
+            let count = &mut self.adoption_counts[label as usize];
+            *count += 1;
+            if *count >= self.adoption_threshold {
+                self.deliver(label, payload);
+            }
+        }
+        Packet::Ack { label: self.last_label }
+    }
+}
+
+/// A complete sender/receiver session over a pair of unreliable channels.
+#[derive(Debug)]
+pub struct EndToEndSession {
+    /// The sending endpoint.
+    pub sender: SelfStabSender,
+    /// The receiving endpoint.
+    pub receiver: SelfStabReceiver,
+    forward: UnreliableChannel,
+    backward: UnreliableChannel,
+    config: E2EConfig,
+    rng: Rng,
+    rounds: u64,
+}
+
+impl EndToEndSession {
+    /// Creates a session with clean (empty) channels.
+    pub fn new(config: &E2EConfig, seed: u64) -> Self {
+        EndToEndSession {
+            sender: SelfStabSender::new(config),
+            receiver: SelfStabReceiver::new(config),
+            forward: UnreliableChannel::new(config),
+            backward: UnreliableChannel::new(config),
+            config: config.clone(),
+            rng: Rng::seed_from(seed),
+            rounds: 0,
+        }
+    }
+
+    /// Fills both channels with arbitrary stale packets and corrupts the
+    /// receiver's label state, modelling an arbitrary initial configuration.
+    pub fn corrupt_initial_state(&mut self, garbage_base: u64) {
+        let alphabet = self.config.alphabet();
+        for i in 0..self.config.capacity {
+            self.forward.inject(Packet::Data {
+                label: (i as u16) % alphabet,
+                payload: garbage_base + i as u64,
+            });
+            self.backward.inject(Packet::Ack { label: (i as u16 + 1) % alphabet });
+        }
+        self.receiver = SelfStabReceiver::with_corrupted_state(&self.config, alphabet / 2);
+    }
+
+    /// Number of protocol rounds executed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Executes one protocol round: the sender (re)transmits, each channel
+    /// attempts one delivery, the receiver acknowledges.
+    pub fn step(&mut self) {
+        self.rounds += 1;
+        if let Some(packet) = self.sender.next_packet() {
+            self.forward.send(packet);
+        }
+        if let Some(Packet::Data { label, payload }) = self.forward.deliver(&mut self.rng) {
+            let ack = self.receiver.on_data(label, payload);
+            self.backward.send(ack);
+        }
+        if let Some(Packet::Ack { label }) = self.backward.deliver(&mut self.rng) {
+            self.sender.on_ack(label);
+        }
+    }
+
+    /// Runs `n` rounds.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Runs until the sender has no backlog or `max_rounds` is reached.
+    /// Returns the number of rounds executed by this call.
+    pub fn run_until_drained(&mut self, max_rounds: u64) -> u64 {
+        let start = self.rounds;
+        while self.sender.backlog() > 0 && self.rounds - start < max_rounds {
+            self.step();
+        }
+        self.rounds - start
+    }
+}
+
+/// Checks eventual FIFO delivery without omission or duplication: the
+/// delivered sequence, restricted to application payloads (`sent`), must be a
+/// contiguous suffix of `sent` whose missing prefix is at most
+/// `allowed_prefix_loss` messages (the stabilization prefix); garbage values
+/// not in `sent` are ignored.
+pub fn eventually_fifo(sent: &[u64], delivered: &[u64], allowed_prefix_loss: usize) -> bool {
+    let filtered: Vec<u64> = delivered.iter().copied().filter(|p| sent.contains(p)).collect();
+    // Find the suffix of `sent` that matches.
+    let skipped = sent.len().saturating_sub(filtered.len());
+    if skipped > allowed_prefix_loss {
+        return false;
+    }
+    filtered == sent[skipped..]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(config: E2EConfig, seed: u64, corrupt: bool, messages: u64) -> (Vec<u64>, Vec<u64>) {
+        let mut session = EndToEndSession::new(&config, seed);
+        if corrupt {
+            session.corrupt_initial_state(1_000_000);
+        }
+        let sent: Vec<u64> = (1..=messages).collect();
+        for &m in &sent {
+            session.sender.enqueue(m);
+        }
+        session.run_until_drained(5_000_000);
+        (sent, session.receiver.delivered().to_vec())
+    }
+
+    #[test]
+    fn reliable_channel_delivers_everything_in_order() {
+        let config = E2EConfig { capacity: 4, omission: 0.0, duplication: 0.0, reorder: false };
+        let (sent, delivered) = drive(config, 1, false, 50);
+        assert_eq!(delivered, sent);
+    }
+
+    #[test]
+    fn lossy_duplicating_reordering_channel_still_fifo() {
+        let config = E2EConfig { capacity: 8, omission: 0.25, duplication: 0.25, reorder: true };
+        let (sent, delivered) = drive(config, 2, false, 100);
+        assert!(eventually_fifo(&sent, &delivered, 0), "delivered {delivered:?}");
+        assert_eq!(delivered.len(), sent.len());
+    }
+
+    #[test]
+    fn stabilizes_from_corrupted_channel_state() {
+        let config = E2EConfig { capacity: 8, omission: 0.2, duplication: 0.2, reorder: true };
+        let (sent, delivered) = drive(config, 3, true, 100);
+        // After a bounded stabilization prefix (here: at most 2 application
+        // messages), delivery is FIFO without omission or duplication; only a
+        // bounded amount of garbage from the corrupted state may appear.
+        assert!(eventually_fifo(&sent, &delivered, 2), "delivered {delivered:?}");
+        let garbage: Vec<u64> = delivered.iter().copied().filter(|p| !sent.contains(p)).collect();
+        assert!(garbage.len() <= 8, "too much garbage delivered: {garbage:?}");
+    }
+
+    #[test]
+    fn many_seeds_remain_fifo() {
+        for seed in 10..20 {
+            let config = E2EConfig { capacity: 4, omission: 0.3, duplication: 0.3, reorder: true };
+            let (sent, delivered) = drive(config, seed, seed % 2 == 0, 40);
+            assert!(eventually_fifo(&sent, &delivered, 2), "seed {seed}: {delivered:?}");
+        }
+    }
+
+    #[test]
+    fn sender_waits_for_more_acks_than_stale_packets_can_produce() {
+        let config = E2EConfig { capacity: 4, ..Default::default() };
+        let mut sender = SelfStabSender::new(&config);
+        sender.enqueue(42);
+        let Some(Packet::Data { label, .. }) = sender.next_packet() else { unreachable!() };
+        for _ in 0..config.freshness_threshold() - 1 {
+            sender.on_ack(label);
+        }
+        assert_eq!(sender.completed(), 0, "must not complete below the freshness threshold");
+        sender.on_ack(label);
+        assert_eq!(sender.completed(), 1);
+        assert_eq!(sender.backlog(), 0);
+    }
+
+    #[test]
+    fn acks_with_wrong_label_are_ignored() {
+        let config = E2EConfig { capacity: 2, ..Default::default() };
+        let mut sender = SelfStabSender::new(&config);
+        sender.enqueue(1);
+        let Some(Packet::Data { label, .. }) = sender.next_packet() else { unreachable!() };
+        let wrong = (label + 1) % config.alphabet();
+        for _ in 0..100 {
+            sender.on_ack(wrong);
+        }
+        assert_eq!(sender.completed(), 0);
+        assert_eq!(sender.label(), label);
+    }
+
+    #[test]
+    fn receiver_delivers_expected_label_exactly_once() {
+        let config = E2EConfig { capacity: 4, ..Default::default() };
+        let mut receiver = SelfStabReceiver::new(&config);
+        // expected = 1
+        receiver.on_data(1, 10);
+        receiver.on_data(1, 10);
+        receiver.on_data(1, 10);
+        receiver.on_data(2, 20);
+        receiver.on_data(2, 20);
+        assert_eq!(receiver.delivered(), &[10, 20]);
+        assert_eq!(receiver.last_label(), 2);
+    }
+
+    #[test]
+    fn receiver_ignores_stale_labels_but_adopts_persistent_ones() {
+        let config = E2EConfig { capacity: 4, ..Default::default() };
+        let mut receiver = SelfStabReceiver::new(&config);
+        receiver.on_data(1, 10);
+        assert_eq!(receiver.delivered(), &[10]);
+        // A stale label (e.g. 5) delivered fewer times than the threshold is ignored.
+        for _ in 0..config.freshness_threshold() - 1 {
+            receiver.on_data(5, 99);
+        }
+        assert_eq!(receiver.delivered(), &[10]);
+        // Persistently seeing it (as after label-state corruption) adopts it.
+        receiver.on_data(5, 99);
+        assert_eq!(receiver.delivered(), &[10, 99]);
+        assert_eq!(receiver.last_label(), 5);
+    }
+
+    #[test]
+    fn channel_respects_capacity_and_bounded_duplication() {
+        let config = E2EConfig { capacity: 3, omission: 0.0, duplication: 0.0, reorder: false };
+        let mut ch = UnreliableChannel::new(&config);
+        assert!(ch.is_empty());
+        for i in 0..5u16 {
+            ch.send(Packet::Ack { label: i });
+        }
+        assert_eq!(ch.len(), 3);
+        let mut rng = Rng::seed_from(1);
+        // FIFO (no reorder): the oldest *surviving* packet is the one sent third.
+        assert_eq!(ch.deliver(&mut rng), Some(Packet::Ack { label: 2 }));
+        // Bounded duplication: with duplication probability 1 a packet is
+        // delivered at most twice.
+        let dup_config = E2EConfig { capacity: 3, omission: 0.0, duplication: 1.0, reorder: false };
+        let mut dup = UnreliableChannel::new(&dup_config);
+        dup.send(Packet::Ack { label: 7 });
+        assert_eq!(dup.deliver(&mut rng), Some(Packet::Ack { label: 7 }));
+        assert_eq!(dup.len(), 1, "first delivery leaves the duplicate");
+        assert_eq!(dup.deliver(&mut rng), Some(Packet::Ack { label: 7 }));
+        assert!(dup.is_empty(), "second delivery consumes the duplicate");
+    }
+
+    #[test]
+    fn alphabet_and_threshold_scale_with_capacity() {
+        let config = E2EConfig { capacity: 8, ..Default::default() };
+        assert_eq!(config.alphabet(), 19);
+        assert_eq!(config.freshness_threshold(), 17);
+        let small = E2EConfig { capacity: 1, ..Default::default() };
+        assert_eq!(small.alphabet(), 5);
+        assert_eq!(small.freshness_threshold(), 3);
+    }
+
+    #[test]
+    fn fifo_checker_detects_violations() {
+        assert!(eventually_fifo(&[1, 2, 3], &[1, 2, 3], 0));
+        assert!(eventually_fifo(&[1, 2, 3], &[99, 1, 2, 3], 0));
+        assert!(eventually_fifo(&[1, 2, 3], &[2, 3], 1));
+        assert!(!eventually_fifo(&[1, 2, 3], &[2, 3], 0));
+        assert!(!eventually_fifo(&[1, 2, 3], &[1, 3, 2], 0));
+        assert!(!eventually_fifo(&[1, 2, 3], &[1, 1, 2, 3], 0));
+        assert!(!eventually_fifo(&[1, 2, 3], &[3], 1));
+    }
+}

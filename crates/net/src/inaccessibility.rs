@@ -1,0 +1,157 @@
+//! Network-inaccessibility accounting (paper §V-A1).
+//!
+//! "Disturbances induced in the operation of MAC protocols may create
+//! temporary partitions in the network … These temporary network partitions
+//! are called periods of network inaccessibility."  The tracker below turns a
+//! per-slot "could the node access the medium?" observation into a list of
+//! inaccessibility periods and summary statistics, which is exactly what the
+//! R2T-MAC mediator layer needs in order to control (bound) them.
+
+use karyon_sim::{Histogram, SimDuration, SimTime};
+
+/// One period during which the medium could not be accessed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InaccessibilityPeriod {
+    /// When the period started.
+    pub start: SimTime,
+    /// How long it lasted.
+    pub duration: SimDuration,
+}
+
+/// Tracks periods of network inaccessibility from per-slot observations.
+#[derive(Debug, Clone, Default)]
+pub struct InaccessibilityTracker {
+    current_start: Option<SimTime>,
+    periods: Vec<InaccessibilityPeriod>,
+}
+
+impl InaccessibilityTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation: was the medium inaccessible at `now`?
+    pub fn observe(&mut self, inaccessible: bool, now: SimTime) {
+        match (inaccessible, self.current_start) {
+            (true, None) => self.current_start = Some(now),
+            (false, Some(start)) => {
+                self.periods.push(InaccessibilityPeriod { start, duration: now.since(start) });
+                self.current_start = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Closes any open period at the end of the observation window.
+    pub fn finish(&mut self, now: SimTime) {
+        if let Some(start) = self.current_start.take() {
+            self.periods.push(InaccessibilityPeriod { start, duration: now.since(start) });
+        }
+    }
+
+    /// True while an inaccessibility period is ongoing.
+    pub fn is_inaccessible(&self) -> bool {
+        self.current_start.is_some()
+    }
+
+    /// All closed periods.
+    pub fn periods(&self) -> &[InaccessibilityPeriod] {
+        &self.periods
+    }
+
+    /// Number of closed periods.
+    pub fn count(&self) -> usize {
+        self.periods.len()
+    }
+
+    /// Total inaccessible time across all closed periods.
+    pub fn total(&self) -> SimDuration {
+        self.periods
+            .iter()
+            .fold(SimDuration::ZERO, |acc, p| acc + p.duration)
+    }
+
+    /// Longest single period, or zero if none.
+    pub fn longest(&self) -> SimDuration {
+        self.periods
+            .iter()
+            .map(|p| p.duration)
+            .fold(SimDuration::ZERO, SimDuration::max)
+    }
+
+    /// A histogram of period durations in milliseconds.
+    pub fn duration_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for p in &self.periods {
+            h.record(p.duration.as_secs_f64() * 1e3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_single_period() {
+        let mut t = InaccessibilityTracker::new();
+        t.observe(false, SimTime::from_millis(0));
+        t.observe(true, SimTime::from_millis(10));
+        assert!(t.is_inaccessible());
+        t.observe(true, SimTime::from_millis(20));
+        t.observe(false, SimTime::from_millis(30));
+        assert!(!t.is_inaccessible());
+        assert_eq!(t.count(), 1);
+        assert_eq!(t.periods()[0].start, SimTime::from_millis(10));
+        assert_eq!(t.periods()[0].duration, SimDuration::from_millis(20));
+        assert_eq!(t.total(), SimDuration::from_millis(20));
+        assert_eq!(t.longest(), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn finish_closes_open_period() {
+        let mut t = InaccessibilityTracker::new();
+        t.observe(true, SimTime::from_millis(100));
+        t.finish(SimTime::from_millis(250));
+        assert_eq!(t.count(), 1);
+        assert_eq!(t.longest(), SimDuration::from_millis(150));
+        // Finishing again is a no-op.
+        t.finish(SimTime::from_millis(300));
+        assert_eq!(t.count(), 1);
+    }
+
+    #[test]
+    fn multiple_periods_and_histogram() {
+        let mut t = InaccessibilityTracker::new();
+        let pattern = [
+            (0u64, false),
+            (10, true),
+            (20, false),
+            (30, true),
+            (60, false),
+            (70, true),
+            (75, false),
+        ];
+        for (ms, inacc) in pattern {
+            t.observe(inacc, SimTime::from_millis(ms));
+        }
+        assert_eq!(t.count(), 3);
+        assert_eq!(t.total(), SimDuration::from_millis(10 + 30 + 5));
+        assert_eq!(t.longest(), SimDuration::from_millis(30));
+        let mut h = t.duration_histogram();
+        assert_eq!(h.count(), 3);
+        assert!((h.max() - 30.0).abs() < 1e-9);
+        assert!((h.quantile(0.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_periods_is_all_zero() {
+        let t = InaccessibilityTracker::new();
+        assert_eq!(t.count(), 0);
+        assert_eq!(t.total(), SimDuration::ZERO);
+        assert_eq!(t.longest(), SimDuration::ZERO);
+        assert!(!t.is_inaccessible());
+    }
+}

@@ -1,0 +1,501 @@
+//! Medium-access control: the protocol abstraction, the slot-synchronous
+//! simulation driver and the concrete MAC protocols used in the experiments.
+//!
+//! * [`csma`] — a p-persistent CSMA baseline (802.11p-like contention),
+//! * [`tdma_fixed`] — statically assigned TDMA (requires an external common
+//!   time source such as GPS, the baseline the self-stabilizing algorithms
+//!   remove),
+//! * [`selfstab_tdma`] — self-stabilizing TDMA slot allocation without any
+//!   external time source (paper §V-A2).
+
+pub mod csma;
+pub mod selfstab_tdma;
+pub mod tdma_fixed;
+
+use std::collections::VecDeque;
+
+use karyon_sim::{Histogram, Rng, SimDuration, SimTime, Vec2};
+
+use crate::medium::{Reception, Transmission, WirelessMedium};
+use crate::packet::{ports, Frame, NodeId};
+
+/// Per-slot context handed to a MAC protocol instance.
+#[derive(Debug)]
+pub struct MacContext<'a> {
+    /// This node's identifier.
+    pub node: NodeId,
+    /// Global slot index since simulation start.
+    pub slot: u64,
+    /// Slot index within the TDMA frame (`slot % slots_per_frame`).
+    pub slot_in_frame: u16,
+    /// Number of slots per TDMA frame.
+    pub slots_per_frame: u16,
+    /// Current simulation time (start of the slot).
+    pub now: SimTime,
+    /// Carrier-sense result on the node's current channel: `true` when an
+    /// external disturbance is jamming it.
+    pub channel_disturbed: bool,
+    /// The node's current radio channel (the MAC may retune it).
+    pub channel: &'a mut u8,
+    /// Outgoing application frames (front = oldest).
+    pub queue: &'a mut VecDeque<Frame>,
+    /// Frames delivered to the application this slot.
+    pub delivered: &'a mut Vec<Frame>,
+    /// The node's private random stream.
+    pub rng: &'a mut Rng,
+}
+
+/// What a node observed at the end of a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotObservation {
+    /// The node transmitted and no in-range node transmitted concurrently.
+    TransmittedClear,
+    /// The node transmitted but an in-range node transmitted on the same
+    /// channel (its frame was lost at common listeners).
+    TransmittedCollided,
+    /// The node listened and received a frame.
+    ReceivedFrame,
+    /// The node listened and heard a collision.
+    HeardCollision,
+    /// The node listened and the channel was jammed.
+    Disturbed,
+    /// The node listened and heard nothing.
+    Idle,
+}
+
+/// A medium-access protocol instance (one per node).
+pub trait MacProtocol {
+    /// A short name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Called at the start of every slot; return a frame to transmit it.
+    fn on_slot(&mut self, ctx: &mut MacContext<'_>) -> Option<Frame>;
+
+    /// Called when a frame is received in the current slot.
+    fn on_receive(&mut self, frame: Frame, ctx: &mut MacContext<'_>);
+
+    /// Called at the end of every slot with the node's observation.
+    fn on_slot_end(&mut self, observation: SlotObservation, ctx: &mut MacContext<'_>) {
+        let _ = (observation, ctx);
+    }
+}
+
+/// Default behaviour shared by the concrete MACs: application data frames are
+/// handed up, everything else is ignored.
+pub(crate) fn deliver_if_data(frame: Frame, ctx: &mut MacContext<'_>) {
+    if frame.port == ports::DATA && frame.dst.accepts(ctx.node) {
+        ctx.delivered.push(frame);
+    }
+}
+
+/// Configuration of the slot-synchronous MAC simulation.
+#[derive(Debug, Clone)]
+pub struct MacSimConfig {
+    /// Duration of one slot.
+    pub slot_duration: SimDuration,
+    /// Number of slots per TDMA frame.
+    pub slots_per_frame: u16,
+}
+
+impl Default for MacSimConfig {
+    fn default() -> Self {
+        MacSimConfig { slot_duration: SimDuration::from_millis(1), slots_per_frame: 16 }
+    }
+}
+
+/// Aggregate metrics of a MAC simulation run.
+#[derive(Debug, Default)]
+pub struct MacMetrics {
+    /// Application frames enqueued.
+    pub generated: u64,
+    /// Application frames delivered (per receiving node).
+    pub delivered: u64,
+    /// Transmissions that collided with another in-range transmission.
+    pub collisions: u64,
+    /// Transmission attempts.
+    pub transmissions: u64,
+    /// Listener-slots spent jammed by disturbances.
+    pub disturbed_slots: u64,
+    /// Delivery delays in milliseconds.
+    pub delays_ms: Histogram,
+}
+
+impl MacMetrics {
+    /// Delivery ratio = delivered / (generated × potential receivers is not
+    /// known here), reported as delivered per generated frame.
+    pub fn delivery_per_generated(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.generated as f64
+        }
+    }
+
+    /// Fraction of transmission attempts that collided.
+    pub fn collision_rate(&self) -> f64 {
+        if self.transmissions == 0 {
+            0.0
+        } else {
+            self.collisions as f64 / self.transmissions as f64
+        }
+    }
+}
+
+struct NodeState<M> {
+    id: NodeId,
+    mac: M,
+    channel: u8,
+    queue: VecDeque<Frame>,
+    delivered: Vec<Frame>,
+    rng: Rng,
+    seq: u64,
+}
+
+/// Slot-synchronous simulation of a set of nodes running the same MAC
+/// protocol over a shared [`WirelessMedium`].
+pub struct MacSimulation<M: MacProtocol> {
+    medium: WirelessMedium,
+    nodes: Vec<NodeState<M>>,
+    config: MacSimConfig,
+    slot: u64,
+    now: SimTime,
+    metrics: MacMetrics,
+    rng: Rng,
+}
+
+impl<M: MacProtocol> MacSimulation<M> {
+    /// Creates a simulation over the given medium.
+    pub fn new(medium: WirelessMedium, config: MacSimConfig, seed: u64) -> Self {
+        MacSimulation {
+            medium,
+            nodes: Vec::new(),
+            config,
+            slot: 0,
+            now: SimTime::ZERO,
+            metrics: MacMetrics::default(),
+            rng: Rng::seed_from(seed),
+        }
+    }
+
+    /// Adds a node running `mac` at `position`.
+    pub fn add_node(&mut self, id: NodeId, mac: M, position: Vec2) {
+        self.medium.set_position(id, position);
+        let rng = self.rng.fork(id.0 as u64 + 1);
+        self.nodes.push(NodeState { id, mac, channel: 0, queue: VecDeque::new(), delivered: Vec::new(), rng, seq: 0 });
+    }
+
+    /// Removes a node (simulating churn); returns true if it existed.
+    pub fn remove_node(&mut self, id: NodeId) -> bool {
+        self.medium.remove_node(id);
+        let before = self.nodes.len();
+        self.nodes.retain(|n| n.id != id);
+        before != self.nodes.len()
+    }
+
+    /// Moves a node.
+    pub fn set_position(&mut self, id: NodeId, position: Vec2) {
+        self.medium.set_position(id, position);
+    }
+
+    /// The shared medium (e.g. to add disturbances).
+    pub fn medium_mut(&mut self) -> &mut WirelessMedium {
+        &mut self.medium
+    }
+
+    /// Shared access to the medium.
+    pub fn medium(&self) -> &WirelessMedium {
+        &self.medium
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Current global slot index.
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Node identifiers currently in the simulation.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.iter().map(|n| n.id).collect()
+    }
+
+    /// Access to a node's MAC instance.
+    pub fn mac(&self, id: NodeId) -> Option<&M> {
+        self.nodes.iter().find(|n| n.id == id).map(|n| &n.mac)
+    }
+
+    /// The node's current radio channel.
+    pub fn node_channel(&self, id: NodeId) -> Option<u8> {
+        self.nodes.iter().find(|n| n.id == id).map(|n| n.channel)
+    }
+
+    /// Enqueues an application broadcast frame at `node` with the given payload.
+    pub fn send_broadcast(&mut self, node: NodeId, payload: Vec<u8>) {
+        let now = self.now;
+        if let Some(n) = self.nodes.iter_mut().find(|n| n.id == node) {
+            let frame = Frame::broadcast(node, n.seq, now, payload);
+            n.seq += 1;
+            n.queue.push_back(frame);
+            self.metrics.generated += 1;
+        }
+    }
+
+    /// Enqueues an application unicast frame.
+    pub fn send_unicast(&mut self, src: NodeId, dst: NodeId, payload: Vec<u8>) {
+        let now = self.now;
+        if let Some(n) = self.nodes.iter_mut().find(|n| n.id == src) {
+            let frame = Frame::unicast(src, dst, n.seq, now, payload);
+            n.seq += 1;
+            n.queue.push_back(frame);
+            self.metrics.generated += 1;
+        }
+    }
+
+    /// Takes the frames delivered to `node` since the last call.
+    pub fn take_delivered(&mut self, node: NodeId) -> Vec<Frame> {
+        self.nodes
+            .iter_mut()
+            .find(|n| n.id == node)
+            .map(|n| std::mem::take(&mut n.delivered))
+            .unwrap_or_default()
+    }
+
+    /// Aggregate metrics so far.
+    pub fn metrics(&self) -> &MacMetrics {
+        &self.metrics
+    }
+
+    /// Runs one slot.
+    pub fn step(&mut self) {
+        let slot_in_frame = (self.slot % self.config.slots_per_frame as u64) as u16;
+        let now = self.now;
+
+        // Phase 1: every node decides whether to transmit.
+        let mut transmissions: Vec<Transmission> = Vec::new();
+        for node in &mut self.nodes {
+            let disturbed = self.medium.is_disturbed(node.channel, now);
+            let mut ctx = MacContext {
+                node: node.id,
+                slot: self.slot,
+                slot_in_frame,
+                slots_per_frame: self.config.slots_per_frame,
+                now,
+                channel_disturbed: disturbed,
+                channel: &mut node.channel,
+                queue: &mut node.queue,
+                delivered: &mut node.delivered,
+                rng: &mut node.rng,
+            };
+            if let Some(frame) = node.mac.on_slot(&mut ctx) {
+                let channel = *ctx.channel;
+                transmissions.push(Transmission { src: node.id, channel, frame });
+                self.metrics.transmissions += 1;
+            }
+        }
+
+        // Phase 2: resolve receptions per listener on its own channel.
+        let transmitter_ids: Vec<NodeId> = transmissions.iter().map(|t| t.src).collect();
+        let collided: Vec<NodeId> = transmissions
+            .iter()
+            .filter(|tx| {
+                transmissions.iter().any(|other| {
+                    other.src != tx.src
+                        && other.channel == tx.channel
+                        && self.medium.in_range(tx.src, other.src)
+                })
+            })
+            .map(|tx| tx.src)
+            .collect();
+
+        for node in &mut self.nodes {
+            let is_transmitter = transmitter_ids.contains(&node.id);
+            let outcome = if is_transmitter {
+                None
+            } else {
+                Some(self.medium.outcome_for(node.id, node.channel, &transmissions, now, &mut self.rng))
+            };
+
+            let delivered_before = node.delivered.len();
+            let disturbed = self.medium.is_disturbed(node.channel, now);
+            let mut ctx = MacContext {
+                node: node.id,
+                slot: self.slot,
+                slot_in_frame,
+                slots_per_frame: self.config.slots_per_frame,
+                now,
+                channel_disturbed: disturbed,
+                channel: &mut node.channel,
+                queue: &mut node.queue,
+                delivered: &mut node.delivered,
+                rng: &mut node.rng,
+            };
+
+            let observation = match (&outcome, is_transmitter) {
+                (None, true) => {
+                    if collided.contains(&node.id) {
+                        SlotObservation::TransmittedCollided
+                    } else {
+                        SlotObservation::TransmittedClear
+                    }
+                }
+                (Some(Reception::Frame(frame)), _) => {
+                    node.mac.on_receive(frame.clone(), &mut ctx);
+                    SlotObservation::ReceivedFrame
+                }
+                (Some(Reception::Collision), _) => SlotObservation::HeardCollision,
+                (Some(Reception::Disturbed), _) => {
+                    self.metrics.disturbed_slots += 1;
+                    SlotObservation::Disturbed
+                }
+                (Some(Reception::Idle), _) | (None, false) => SlotObservation::Idle,
+            };
+            node.mac.on_slot_end(observation, &mut ctx);
+
+            // Account for frames the MAC handed to the application this slot.
+            for frame in &node.delivered[delivered_before..] {
+                self.metrics.delivered += 1;
+                self.metrics.delays_ms.record(frame.delay_at(now).as_secs_f64() * 1e3);
+            }
+        }
+
+        self.metrics.collisions += collided.len() as u64;
+
+        self.slot += 1;
+        self.now += self.config.slot_duration;
+    }
+
+    /// Runs `n` consecutive slots.
+    pub fn run_slots(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::medium::MediumConfig;
+
+    /// A trivially simple MAC used to exercise the driver: transmit the head
+    /// of the queue whenever the slot index matches the node id.
+    struct RoundRobinMac;
+
+    impl MacProtocol for RoundRobinMac {
+        fn name(&self) -> &'static str {
+            "round-robin"
+        }
+        fn on_slot(&mut self, ctx: &mut MacContext<'_>) -> Option<Frame> {
+            if ctx.slot_in_frame as u32 == ctx.node.0 {
+                ctx.queue.pop_front()
+            } else {
+                None
+            }
+        }
+        fn on_receive(&mut self, frame: Frame, ctx: &mut MacContext<'_>) {
+            deliver_if_data(frame, ctx);
+        }
+    }
+
+    fn sim(nodes: u32) -> MacSimulation<RoundRobinMac> {
+        let medium = WirelessMedium::new(MediumConfig { range: 1_000.0, loss_probability: 0.0, channels: 2 });
+        let mut s = MacSimulation::new(medium, MacSimConfig::default(), 42);
+        for i in 0..nodes {
+            s.add_node(NodeId(i), RoundRobinMac, Vec2::new(i as f64 * 10.0, 0.0));
+        }
+        s
+    }
+
+    #[test]
+    fn frames_are_delivered_without_collisions() {
+        let mut s = sim(4);
+        s.send_broadcast(NodeId(0), vec![1]);
+        s.send_broadcast(NodeId(1), vec![2]);
+        s.run_slots(16);
+        // Each broadcast reaches the 3 other nodes.
+        assert_eq!(s.metrics().delivered, 6);
+        assert_eq!(s.metrics().collisions, 0);
+        assert_eq!(s.metrics().generated, 2);
+        assert!(s.metrics().delivery_per_generated() > 2.9);
+        let got = s.take_delivered(NodeId(2));
+        assert_eq!(got.len(), 2);
+        assert!(s.take_delivered(NodeId(2)).is_empty(), "delivered frames are drained");
+    }
+
+    #[test]
+    fn unicast_only_reaches_target() {
+        let mut s = sim(3);
+        s.send_unicast(NodeId(0), NodeId(2), vec![9]);
+        s.run_slots(16);
+        assert!(s.take_delivered(NodeId(1)).is_empty());
+        assert_eq!(s.take_delivered(NodeId(2)).len(), 1);
+        assert_eq!(s.metrics().delivered, 1);
+    }
+
+    #[test]
+    fn simultaneous_transmissions_collide() {
+        /// A MAC that always transmits when it has something queued.
+        struct GreedyMac;
+        impl MacProtocol for GreedyMac {
+            fn name(&self) -> &'static str {
+                "greedy"
+            }
+            fn on_slot(&mut self, ctx: &mut MacContext<'_>) -> Option<Frame> {
+                ctx.queue.pop_front()
+            }
+            fn on_receive(&mut self, frame: Frame, ctx: &mut MacContext<'_>) {
+                deliver_if_data(frame, ctx);
+            }
+        }
+        let medium = WirelessMedium::new(MediumConfig { range: 1_000.0, loss_probability: 0.0, channels: 1 });
+        let mut s = MacSimulation::new(medium, MacSimConfig::default(), 7);
+        for i in 0..3 {
+            s.add_node(NodeId(i), GreedyMac, Vec2::new(i as f64, 0.0));
+        }
+        s.send_broadcast(NodeId(0), vec![0]);
+        s.send_broadcast(NodeId(1), vec![1]);
+        s.run_slots(1);
+        assert_eq!(s.metrics().collisions, 2);
+        assert_eq!(s.metrics().delivered, 0);
+        assert!((s.metrics().collision_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disturbed_slots_are_counted() {
+        let mut s = sim(2);
+        s.medium_mut().add_disturbance(crate::medium::Disturbance {
+            channel: Some(0),
+            start: SimTime::ZERO,
+            end: SimTime::from_millis(8),
+        });
+        s.send_broadcast(NodeId(0), vec![1]);
+        s.run_slots(16);
+        assert!(s.metrics().disturbed_slots > 0);
+        // The single transmission (slot 0, while jammed) is lost.
+        assert_eq!(s.metrics().delivered, 0);
+    }
+
+    #[test]
+    fn node_management() {
+        let mut s = sim(3);
+        assert_eq!(s.node_ids().len(), 3);
+        assert!(s.remove_node(NodeId(1)));
+        assert!(!s.remove_node(NodeId(1)));
+        assert_eq!(s.node_ids().len(), 2);
+        assert_eq!(s.node_channel(NodeId(0)), Some(0));
+        assert!(s.mac(NodeId(0)).is_some());
+        assert!(s.mac(NodeId(9)).is_none());
+        s.set_position(NodeId(0), Vec2::new(5.0, 5.0));
+        assert_eq!(s.medium().position(NodeId(0)), Some(Vec2::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn metrics_defaults() {
+        let m = MacMetrics::default();
+        assert_eq!(m.delivery_per_generated(), 0.0);
+        assert_eq!(m.collision_rate(), 0.0);
+    }
+}

@@ -1,0 +1,364 @@
+//! Topology discovery and vertex-disjoint path analysis (paper §V-C).
+//!
+//! "Traditional Byzantine resilient (agreement) algorithms use 2f+1
+//! vertex-disjoint paths to ensure message delivery in the presence of up to
+//! f Byzantine nodes.  The question of how these paths are identified is
+//! related to the fundamental problem of topology discovery."  This module
+//! provides (a) a round-based flooding topology-discovery protocol whose
+//! convergence time is measured in experiment E09, and (b) a Menger-style
+//! vertex-disjoint path counter used to decide whether Byzantine-resilient
+//! dissemination between two nodes is possible for a given `f`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::packet::NodeId;
+
+/// An undirected communication graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    adjacency: BTreeMap<u32, BTreeSet<u32>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Adds a node with no edges (no-op if it already exists).
+    pub fn add_node(&mut self, node: NodeId) {
+        self.adjacency.entry(node.0).or_default();
+    }
+
+    /// Adds an undirected edge (and both endpoints).
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        if a == b {
+            return;
+        }
+        self.adjacency.entry(a.0).or_default().insert(b.0);
+        self.adjacency.entry(b.0).or_default().insert(a.0);
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.adjacency.keys().map(|k| NodeId(*k)).collect()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.values().map(|s| s.len()).sum::<usize>() / 2
+    }
+
+    /// Neighbours of a node.
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        self.adjacency
+            .get(&node.0)
+            .map(|s| s.iter().map(|n| NodeId(*n)).collect())
+            .unwrap_or_default()
+    }
+
+    /// True when the edge exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adjacency.get(&a.0).map(|s| s.contains(&b.0)).unwrap_or(false)
+    }
+
+    /// Merges another graph's edges into this one.
+    pub fn merge(&mut self, other: &Graph) {
+        for (node, neighbors) in &other.adjacency {
+            self.adjacency.entry(*node).or_default().extend(neighbors.iter().copied());
+        }
+    }
+
+    /// Builds a graph from a neighbour oracle over a node set (e.g. a
+    /// [`crate::medium::WirelessMedium`] range predicate).
+    pub fn from_neighborhoods(nodes: &[NodeId], in_range: impl Fn(NodeId, NodeId) -> bool) -> Graph {
+        let mut g = Graph::new();
+        for &n in nodes {
+            g.add_node(n);
+        }
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in nodes.iter().skip(i + 1) {
+                if in_range(a, b) {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        g
+    }
+
+    /// The maximum number of internally vertex-disjoint paths between `s`
+    /// and `t` (Menger's theorem, computed by unit-capacity max-flow on the
+    /// node-split graph).  Adjacent nodes get `usize::MAX`-free handling:
+    /// the direct edge contributes one path.
+    pub fn vertex_disjoint_paths(&self, s: NodeId, t: NodeId) -> usize {
+        if s == t || !self.adjacency.contains_key(&s.0) || !self.adjacency.contains_key(&t.0) {
+            return 0;
+        }
+        // Node splitting: every node v (except s, t) becomes v_in -> v_out
+        // with capacity 1.  Edges have capacity 1 in each direction.
+        // Node encoding: (id, 0) = in, (id, 1) = out.
+        type Key = (u32, u8);
+        let mut capacity: BTreeMap<(Key, Key), i64> = BTreeMap::new();
+        let mut add = |from: Key, to: Key, cap: i64| {
+            *capacity.entry((from, to)).or_insert(0) += cap;
+            capacity.entry((to, from)).or_insert(0);
+        };
+        for (&v, neighbors) in &self.adjacency {
+            let internal_cap = if v == s.0 || v == t.0 { i64::MAX / 4 } else { 1 };
+            add((v, 0), (v, 1), internal_cap);
+            for &u in neighbors {
+                add((v, 1), (u, 0), 1);
+            }
+        }
+        let source = (s.0, 1);
+        let sink = (t.0, 0);
+        let mut flow = 0usize;
+        loop {
+            // BFS for an augmenting path.
+            let mut parent: BTreeMap<Key, Key> = BTreeMap::new();
+            let mut queue = VecDeque::new();
+            queue.push_back(source);
+            let mut found = false;
+            while let Some(u) = queue.pop_front() {
+                if u == sink {
+                    found = true;
+                    break;
+                }
+                let next: Vec<Key> = capacity
+                    .iter()
+                    .filter(|((from, _), cap)| *from == u && **cap > 0)
+                    .map(|((_, to), _)| *to)
+                    .collect();
+                for v in next {
+                    if v != source && !parent.contains_key(&v) {
+                        parent.insert(v, u);
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if !found {
+                break;
+            }
+            // Augment by 1 (unit capacities on the paths that matter).
+            let mut v = sink;
+            while v != source {
+                let u = parent[&v];
+                *capacity.get_mut(&(u, v)).unwrap() -= 1;
+                *capacity.get_mut(&(v, u)).unwrap() += 1;
+                v = u;
+            }
+            flow += 1;
+            if flow > self.node_count() {
+                break; // safety guard
+            }
+        }
+        flow
+    }
+
+    /// True when Byzantine-resilient delivery from `s` to `t` is possible in
+    /// the presence of up to `f` Byzantine nodes, i.e. there are at least
+    /// `2f + 1` vertex-disjoint paths.
+    pub fn byzantine_resilient(&self, s: NodeId, t: NodeId, f: usize) -> bool {
+        self.vertex_disjoint_paths(s, t) >= 2 * f + 1
+    }
+}
+
+/// Round-based flooding topology discovery: every node repeatedly broadcasts
+/// its current view of the topology to its physical neighbours and merges the
+/// views it hears.  Converges to the full topology in (at most) diameter
+/// rounds; the experiment measures how many rounds were needed.
+#[derive(Debug, Clone)]
+pub struct TopologyDiscovery {
+    physical: Graph,
+    views: BTreeMap<u32, Graph>,
+    rounds: u64,
+}
+
+impl TopologyDiscovery {
+    /// Creates the protocol over a fixed physical topology: each node starts
+    /// knowing only its own adjacency.
+    pub fn new(physical: Graph) -> Self {
+        let mut views = BTreeMap::new();
+        for node in physical.nodes() {
+            let mut local = Graph::new();
+            local.add_node(node);
+            for neighbor in physical.neighbors(node) {
+                local.add_edge(node, neighbor);
+            }
+            views.insert(node.0, local);
+        }
+        TopologyDiscovery { physical, views, rounds: 0 }
+    }
+
+    /// Number of exchange rounds executed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// A node's current view of the topology.
+    pub fn view(&self, node: NodeId) -> Option<&Graph> {
+        self.views.get(&node.0)
+    }
+
+    /// True when every node's view equals the physical topology.
+    pub fn converged(&self) -> bool {
+        self.views.values().all(|v| v.edge_count() == self.physical.edge_count())
+    }
+
+    /// Executes one synchronous exchange round.
+    pub fn step(&mut self) {
+        self.rounds += 1;
+        let snapshot = self.views.clone();
+        for node in self.physical.nodes() {
+            let mut merged = snapshot[&node.0].clone();
+            for neighbor in self.physical.neighbors(node) {
+                merged.merge(&snapshot[&neighbor.0]);
+            }
+            self.views.insert(node.0, merged);
+        }
+    }
+
+    /// Runs until convergence or `max_rounds`; returns the number of rounds
+    /// used, or `None` if convergence was not reached.
+    pub fn run_to_convergence(&mut self, max_rounds: u64) -> Option<u64> {
+        let start = self.rounds;
+        while !self.converged() {
+            if self.rounds - start >= max_rounds {
+                return None;
+            }
+            self.step();
+        }
+        Some(self.rounds - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u32) -> Graph {
+        let mut g = Graph::new();
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        g
+    }
+
+    fn complete(n: u32) -> Graph {
+        let mut g = Graph::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn graph_basics() {
+        let mut g = Graph::new();
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        g.add_edge(NodeId(1), NodeId(1)); // self loops ignored
+        g.add_node(NodeId(9));
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId(1), NodeId(2)));
+        assert!(g.has_edge(NodeId(2), NodeId(1)));
+        assert!(!g.has_edge(NodeId(1), NodeId(3)));
+        assert_eq!(g.neighbors(NodeId(2)), vec![NodeId(1), NodeId(3)]);
+        assert!(g.neighbors(NodeId(99)).is_empty());
+    }
+
+    #[test]
+    fn from_neighborhoods_builds_expected_edges() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        // Nodes adjacent when ids differ by 1.
+        let g = Graph::from_neighborhoods(&nodes, |a, b| a.0.abs_diff(b.0) == 1);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn disjoint_paths_on_line_and_complete_graphs() {
+        let g = line(5);
+        assert_eq!(g.vertex_disjoint_paths(NodeId(0), NodeId(4)), 1);
+        let k5 = complete(5);
+        // Between two nodes of K5: the direct edge plus 3 paths through the others.
+        assert_eq!(k5.vertex_disjoint_paths(NodeId(0), NodeId(4)), 4);
+        assert_eq!(k5.vertex_disjoint_paths(NodeId(0), NodeId(0)), 0);
+        assert_eq!(g.vertex_disjoint_paths(NodeId(0), NodeId(42)), 0);
+    }
+
+    #[test]
+    fn disjoint_paths_respect_cut_vertices() {
+        // Two triangles joined at a single cut vertex 2:
+        // 0-1-2 triangle and 2-3-4 triangle.
+        let mut g = Graph::new();
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        g.add_edge(NodeId(3), NodeId(4));
+        g.add_edge(NodeId(2), NodeId(4));
+        // Everything from the first triangle to the second must pass node 2.
+        assert_eq!(g.vertex_disjoint_paths(NodeId(0), NodeId(4)), 1);
+        assert_eq!(g.vertex_disjoint_paths(NodeId(0), NodeId(1)), 2);
+    }
+
+    #[test]
+    fn byzantine_resilience_threshold() {
+        let k5 = complete(5);
+        // 4 disjoint paths: tolerates f=1 (needs 3) but not f=2 (needs 5).
+        assert!(k5.byzantine_resilient(NodeId(0), NodeId(1), 1));
+        assert!(!k5.byzantine_resilient(NodeId(0), NodeId(1), 2));
+        let l = line(3);
+        assert!(!l.byzantine_resilient(NodeId(0), NodeId(2), 1));
+        assert!(l.byzantine_resilient(NodeId(0), NodeId(2), 0));
+    }
+
+    #[test]
+    fn topology_discovery_converges_in_diameter_rounds() {
+        let g = line(6); // diameter 5
+        let mut disc = TopologyDiscovery::new(g);
+        assert!(!disc.converged());
+        let rounds = disc.run_to_convergence(20).expect("must converge");
+        assert!(rounds <= 5, "took {rounds} rounds");
+        assert!(disc.converged());
+        // Every node's view now has all 5 edges.
+        for node in disc.physical.nodes() {
+            assert_eq!(disc.view(node).unwrap().edge_count(), 5);
+        }
+    }
+
+    #[test]
+    fn topology_discovery_on_complete_graph_is_one_round() {
+        let g = complete(6);
+        let mut disc = TopologyDiscovery::new(g);
+        let rounds = disc.run_to_convergence(10).unwrap();
+        assert_eq!(rounds, 1);
+        assert_eq!(disc.rounds(), 1);
+    }
+
+    #[test]
+    fn topology_discovery_disconnected_never_converges() {
+        let mut g = line(3);
+        g.add_edge(NodeId(10), NodeId(11)); // disconnected component
+        let mut disc = TopologyDiscovery::new(g);
+        assert_eq!(disc.run_to_convergence(10), None);
+    }
+
+    #[test]
+    fn graph_merge_unions_edges() {
+        let mut a = line(3);
+        let b = complete(3);
+        a.merge(&b);
+        assert_eq!(a.edge_count(), 3);
+    }
+}

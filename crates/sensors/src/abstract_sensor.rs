@@ -1,0 +1,246 @@
+//! The abstract sensor: physical sensor + injected faults + failure detectors
+//! ⇒ a reading carrying a data-validity attribute.
+//!
+//! This is the component `C`-plus-`F` construction of paper Fig. 2: the
+//! nominal component may suffer specific failures; the wrapper maps them to a
+//! well-defined failure semantics at the interface — here, a validity value.
+
+use karyon_sim::{Rng, SimTime};
+
+use crate::detectors::{DetectionOutcome, FailureDetector};
+use crate::faults::FaultInjector;
+use crate::measurement::Measurement;
+use crate::physical::PhysicalSensor;
+use crate::validity::Validity;
+
+/// A sensor reading as delivered at the abstract-sensor interface:
+/// the (possibly corrupted) measurement plus its validity estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorReading {
+    /// The delivered measurement.
+    pub measurement: Measurement,
+    /// The data-validity attribute (0–100 %).
+    pub validity: Validity,
+}
+
+impl SensorReading {
+    /// True when a dominant detector rendered the reading invalid.
+    pub fn is_invalid(&self) -> bool {
+        self.validity.is_invalid()
+    }
+}
+
+/// An abstract sensor in the sense of KARYON §IV: wraps a physical sensor,
+/// a fault injector (the "specific failures" of the nominal component) and a
+/// set of failure detectors whose combined verdict is the validity attribute.
+pub struct AbstractSensor {
+    name: String,
+    physical: Box<dyn PhysicalSensor + Send>,
+    injector: FaultInjector,
+    detectors: Vec<Box<dyn FailureDetector + Send>>,
+    rng: Rng,
+    last_reading: Option<SensorReading>,
+}
+
+impl std::fmt::Debug for AbstractSensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AbstractSensor")
+            .field("name", &self.name)
+            .field("detectors", &self.detectors.len())
+            .field("faults", &self.injector.fault_count())
+            .finish()
+    }
+}
+
+impl AbstractSensor {
+    /// Creates an abstract sensor around a physical sensor model.
+    pub fn new(name: &str, physical: Box<dyn PhysicalSensor + Send>, seed: u64) -> Self {
+        AbstractSensor {
+            name: name.to_string(),
+            physical,
+            injector: FaultInjector::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1)),
+            detectors: Vec::new(),
+            rng: Rng::seed_from(seed),
+            last_reading: None,
+        }
+    }
+
+    /// The sensor's name (used in data sheets and experiment tables).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a failure detector to the sensor's detection chain.
+    pub fn add_detector(&mut self, detector: Box<dyn FailureDetector + Send>) -> &mut Self {
+        self.detectors.push(detector);
+        self
+    }
+
+    /// Mutable access to the fault injector (to schedule faults).
+    pub fn injector_mut(&mut self) -> &mut FaultInjector {
+        &mut self.injector
+    }
+
+    /// Shared access to the fault injector.
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Number of detectors in the chain.
+    pub fn detector_count(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// The most recent reading delivered, if any.
+    pub fn last_reading(&self) -> Option<SensorReading> {
+        self.last_reading
+    }
+
+    /// Acquires one reading: samples the physical sensor against the ground
+    /// truth, applies any active faults, runs the detector chain and combines
+    /// the outcomes into a validity value exactly as the MOSAIC fault
+    /// management unit does: any dominant failure ⇒ validity 0, otherwise the
+    /// product of the continuous validity factors.
+    pub fn acquire(&mut self, ground_truth: f64, now: SimTime) -> SensorReading {
+        let raw = self.physical.sample(ground_truth, now, &mut self.rng);
+        let corrupted = self.injector.apply(raw, now);
+        let outcomes: Vec<DetectionOutcome> =
+            self.detectors.iter_mut().map(|d| d.assess(&corrupted, now)).collect();
+        let validity = combine_outcomes(&outcomes);
+        let reading = SensorReading { measurement: corrupted, validity };
+        self.last_reading = Some(reading);
+        reading
+    }
+
+    /// Resets all detectors (e.g. between experiment repetitions).
+    pub fn reset_detectors(&mut self) {
+        for d in &mut self.detectors {
+            d.reset();
+        }
+        self.last_reading = None;
+    }
+}
+
+/// Combines detector outcomes into a single validity:
+/// dominant failure ⇒ 0, otherwise the product of all graded factors.
+pub fn combine_outcomes(outcomes: &[DetectionOutcome]) -> Validity {
+    let mut validity = Validity::FULL;
+    for outcome in outcomes {
+        if outcome.is_failure() {
+            return Validity::INVALID;
+        }
+        validity = validity.combine(outcome.validity);
+    }
+    validity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detectors::{
+        DetectorClass, RangeCheckDetector, RateOfChangeDetector, StuckAtDetector, TimeoutDetector,
+    };
+    use crate::faults::{FaultSchedule, SensorFault};
+    use crate::physical::RangeSensor;
+    use karyon_sim::{SimDuration, SimTime};
+
+    fn make_sensor(seed: u64) -> AbstractSensor {
+        let mut s = AbstractSensor::new(
+            "front-range",
+            Box::new(RangeSensor { noise_std: 0.2, max_range: 200.0, dropout_probability: 0.0 }),
+            seed,
+        );
+        s.add_detector(Box::new(RangeCheckDetector::new(0.0, 200.0)));
+        s.add_detector(Box::new(TimeoutDetector::new(SimDuration::from_millis(500))));
+        s.add_detector(Box::new(RateOfChangeDetector::new(50.0)));
+        s.add_detector(Box::new(StuckAtDetector::new(1e-9, 5)));
+        s
+    }
+
+    #[test]
+    fn healthy_sensor_has_high_validity() {
+        let mut s = make_sensor(1);
+        assert_eq!(s.detector_count(), 4);
+        assert_eq!(s.name(), "front-range");
+        for i in 0..50u64 {
+            let t = SimTime::from_millis(i * 100);
+            let r = s.acquire(50.0 + i as f64 * 0.1, t);
+            assert!(r.validity.fraction() > 0.9, "validity {} at step {i}", r.validity);
+            assert!(!r.is_invalid());
+        }
+        assert!(s.last_reading().is_some());
+    }
+
+    #[test]
+    fn stuck_at_fault_is_eventually_invalidated() {
+        let mut s = make_sensor(2);
+        s.injector_mut().inject(
+            SensorFault::StuckAt { stuck_value: None },
+            FaultSchedule::from(SimTime::from_secs(1)),
+        );
+        let mut invalid_seen = false;
+        for i in 0..100u64 {
+            let t = SimTime::from_millis(i * 100);
+            // Ground truth moves so a healthy sensor would never repeat exactly.
+            let r = s.acquire(50.0 + i as f64, t);
+            if t >= SimTime::from_secs(2) && r.is_invalid() {
+                invalid_seen = true;
+            }
+        }
+        assert!(invalid_seen, "stuck-at fault was never detected");
+    }
+
+    #[test]
+    fn delay_fault_trips_timeout_detector() {
+        let mut s = make_sensor(3);
+        s.injector_mut()
+            .inject_always(SensorFault::Delay { delay: SimDuration::from_secs(2) });
+        // Prime history with a few readings, then expect invalidity because the
+        // delivered readings are older than the 500 ms freshness bound.
+        let mut last = None;
+        for i in 0..30u64 {
+            let t = SimTime::from_millis(i * 200);
+            last = Some(s.acquire(10.0, t));
+        }
+        assert!(last.unwrap().is_invalid());
+    }
+
+    #[test]
+    fn sporadic_offsets_reduce_validity_without_always_invalidating() {
+        let mut s = make_sensor(4);
+        s.injector_mut().inject_always(SensorFault::SporadicOffset { probability: 0.2, magnitude: 40.0 });
+        let mut degraded = 0;
+        let mut total = 0;
+        for i in 0..200u64 {
+            let t = SimTime::from_millis(i * 100);
+            let r = s.acquire(100.0, t);
+            total += 1;
+            if r.validity.fraction() < 0.9 {
+                degraded += 1;
+            }
+        }
+        assert!(degraded > 10, "expected some degraded readings, got {degraded}/{total}");
+        assert!(degraded < total, "not every reading should be degraded");
+    }
+
+    #[test]
+    fn combine_outcomes_rules() {
+        use crate::detectors::DetectionOutcome;
+        let pass = DetectionOutcome::pass(DetectorClass::Dominant);
+        let graded = DetectionOutcome::graded(Validity::new(0.5));
+        let fail = DetectionOutcome::dominant_failure();
+        assert_eq!(combine_outcomes(&[]), Validity::FULL);
+        assert_eq!(combine_outcomes(&[pass, pass]), Validity::FULL);
+        assert!((combine_outcomes(&[pass, graded, graded]).fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(combine_outcomes(&[pass, graded, fail]), Validity::INVALID);
+    }
+
+    #[test]
+    fn reset_detectors_clears_state() {
+        let mut s = make_sensor(5);
+        s.acquire(10.0, SimTime::ZERO);
+        assert!(s.last_reading().is_some());
+        s.reset_detectors();
+        assert!(s.last_reading().is_none());
+    }
+}

@@ -1,0 +1,405 @@
+//! Failure detectors attached to abstract sensors.
+//!
+//! MOSAIC "distinguishes between two types of failure detectors: a) dominant
+//! detectors that render a result invalid (i.e. a validity of 0) if they
+//! detect a failure, and b) other detectors that lead to a certain continuous
+//! validity estimate" (paper §IV-B).  Both classes are implemented here, plus
+//! the concrete detectors needed to cover the five fault classes:
+//!
+//! | fault class        | covering detector(s)                         |
+//! |---------------------|----------------------------------------------|
+//! | delay               | [`TimeoutDetector`] (dominant)               |
+//! | sporadic offset     | [`RateOfChangeDetector`], [`ModelBasedDetector`] |
+//! | permanent offset    | [`ModelBasedDetector`] (analytical redundancy) |
+//! | stochastic offset   | [`ModelBasedDetector`] (graded)              |
+//! | stuck-at            | [`StuckAtDetector`] (dominant)               |
+//! | out-of-range output | [`RangeCheckDetector`] (dominant)            |
+
+use karyon_sim::{SimDuration, SimTime};
+
+use crate::measurement::Measurement;
+use crate::validity::Validity;
+
+/// Whether a detector is *dominant* (a detection forces validity 0) or
+/// *continuous* (contributes a graded validity factor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorClass {
+    /// A detected failure renders the reading invalid.
+    Dominant,
+    /// The detector scales the validity continuously.
+    Continuous,
+}
+
+/// The verdict of one detector about one reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionOutcome {
+    /// The detector's class.
+    pub class: DetectorClass,
+    /// The validity factor contributed by this detector (0 ⇒ failure for a
+    /// dominant detector, otherwise a graded confidence).
+    pub validity: Validity,
+}
+
+impl DetectionOutcome {
+    /// A passing outcome (full validity).
+    pub fn pass(class: DetectorClass) -> Self {
+        DetectionOutcome { class, validity: Validity::FULL }
+    }
+
+    /// A dominant failure (validity 0).
+    pub fn dominant_failure() -> Self {
+        DetectionOutcome { class: DetectorClass::Dominant, validity: Validity::INVALID }
+    }
+
+    /// A graded outcome from a continuous detector.
+    pub fn graded(validity: Validity) -> Self {
+        DetectionOutcome { class: DetectorClass::Continuous, validity }
+    }
+
+    /// True when this outcome signals a definite failure.
+    pub fn is_failure(&self) -> bool {
+        self.class == DetectorClass::Dominant && self.validity.is_invalid()
+    }
+}
+
+/// A failure detector in the sense of MOSAIC's detection modules.
+pub trait FailureDetector {
+    /// Assesses one reading and returns the detector's outcome.
+    fn assess(&mut self, reading: &Measurement, now: SimTime) -> DetectionOutcome;
+
+    /// A short, stable name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// The detector's class.
+    fn class(&self) -> DetectorClass;
+
+    /// Resets any internal state (e.g. between experiment repetitions).
+    fn reset(&mut self) {}
+}
+
+/// Dominant detector: the value must lie inside a physically plausible range.
+#[derive(Debug, Clone)]
+pub struct RangeCheckDetector {
+    /// Smallest plausible value.
+    pub min: f64,
+    /// Largest plausible value.
+    pub max: f64,
+}
+
+impl RangeCheckDetector {
+    /// Creates a range check for `[min, max]`.
+    pub fn new(min: f64, max: f64) -> Self {
+        RangeCheckDetector { min, max }
+    }
+}
+
+impl FailureDetector for RangeCheckDetector {
+    fn assess(&mut self, reading: &Measurement, _now: SimTime) -> DetectionOutcome {
+        if reading.value < self.min || reading.value > self.max || !reading.value.is_finite() {
+            DetectionOutcome::dominant_failure()
+        } else {
+            DetectionOutcome::pass(DetectorClass::Dominant)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "range-check"
+    }
+
+    fn class(&self) -> DetectorClass {
+        DetectorClass::Dominant
+    }
+}
+
+/// Dominant detector: the reading must be fresh (its age below a bound).
+/// Covers delay and omission faults — "the input layer may monitor the delays
+/// or omissions of the transducer output".
+#[derive(Debug, Clone)]
+pub struct TimeoutDetector {
+    /// Maximum acceptable age of a reading.
+    pub max_age: SimDuration,
+}
+
+impl TimeoutDetector {
+    /// Creates a freshness check with the given maximum age.
+    pub fn new(max_age: SimDuration) -> Self {
+        TimeoutDetector { max_age }
+    }
+}
+
+impl FailureDetector for TimeoutDetector {
+    fn assess(&mut self, reading: &Measurement, now: SimTime) -> DetectionOutcome {
+        if reading.age(now) > self.max_age {
+            DetectionOutcome::dominant_failure()
+        } else {
+            DetectionOutcome::pass(DetectorClass::Dominant)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "timeout"
+    }
+
+    fn class(&self) -> DetectorClass {
+        DetectorClass::Dominant
+    }
+}
+
+/// Continuous detector: penalizes physically implausible jumps between
+/// consecutive readings (temporal redundancy).
+#[derive(Debug, Clone)]
+pub struct RateOfChangeDetector {
+    /// Maximum plausible rate of change (units per second).
+    pub max_rate: f64,
+    previous: Option<Measurement>,
+}
+
+impl RateOfChangeDetector {
+    /// Creates a rate-of-change check with the given maximum plausible rate.
+    pub fn new(max_rate: f64) -> Self {
+        RateOfChangeDetector { max_rate, previous: None }
+    }
+}
+
+impl FailureDetector for RateOfChangeDetector {
+    fn assess(&mut self, reading: &Measurement, _now: SimTime) -> DetectionOutcome {
+        let outcome = match self.previous {
+            None => DetectionOutcome::pass(DetectorClass::Continuous),
+            Some(prev) => {
+                let dt = reading.timestamp.since(prev.timestamp).as_secs_f64();
+                if dt <= 0.0 {
+                    DetectionOutcome::pass(DetectorClass::Continuous)
+                } else {
+                    let rate = (reading.value - prev.value).abs() / dt;
+                    if rate <= self.max_rate {
+                        DetectionOutcome::pass(DetectorClass::Continuous)
+                    } else {
+                        // Confidence decays with how far the observed rate
+                        // exceeds the plausible one.
+                        let v = (self.max_rate / rate).clamp(0.0, 1.0);
+                        DetectionOutcome::graded(Validity::new(v))
+                    }
+                }
+            }
+        };
+        self.previous = Some(*reading);
+        outcome
+    }
+
+    fn name(&self) -> &'static str {
+        "rate-of-change"
+    }
+
+    fn class(&self) -> DetectorClass {
+        DetectorClass::Continuous
+    }
+
+    fn reset(&mut self) {
+        self.previous = None;
+    }
+}
+
+/// Dominant detector: flags an output frozen at the same value for too many
+/// consecutive samples (stuck-at faults).
+#[derive(Debug, Clone)]
+pub struct StuckAtDetector {
+    /// Two readings closer than this are considered "identical".
+    pub tolerance: f64,
+    /// Number of consecutive identical readings that triggers detection.
+    pub repeat_threshold: u32,
+    last_value: Option<f64>,
+    repeats: u32,
+}
+
+impl StuckAtDetector {
+    /// Creates a stuck-at detector.
+    pub fn new(tolerance: f64, repeat_threshold: u32) -> Self {
+        StuckAtDetector { tolerance, repeat_threshold: repeat_threshold.max(1), last_value: None, repeats: 0 }
+    }
+}
+
+impl FailureDetector for StuckAtDetector {
+    fn assess(&mut self, reading: &Measurement, _now: SimTime) -> DetectionOutcome {
+        match self.last_value {
+            Some(prev) if (reading.value - prev).abs() <= self.tolerance => {
+                self.repeats += 1;
+            }
+            _ => {
+                self.repeats = 0;
+            }
+        }
+        self.last_value = Some(reading.value);
+        if self.repeats >= self.repeat_threshold {
+            DetectionOutcome::dominant_failure()
+        } else {
+            DetectionOutcome::pass(DetectorClass::Dominant)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "stuck-at"
+    }
+
+    fn class(&self) -> DetectorClass {
+        DetectorClass::Dominant
+    }
+
+    fn reset(&mut self) {
+        self.last_value = None;
+        self.repeats = 0;
+    }
+}
+
+/// Continuous detector implementing analytical redundancy: compares the
+/// reading against a model prediction and grades the residual.
+#[derive(Debug, Clone)]
+pub struct ModelBasedDetector {
+    /// Residuals up to this magnitude are considered fully consistent.
+    pub residual_tolerance: f64,
+    /// Residuals at or beyond this magnitude drive validity towards zero.
+    pub residual_limit: f64,
+    /// The most recent model prediction (set by [`ModelBasedDetector::set_prediction`]).
+    prediction: Option<f64>,
+}
+
+impl ModelBasedDetector {
+    /// Creates a model-residual detector.
+    ///
+    /// # Panics
+    /// Panics if `residual_limit <= residual_tolerance`.
+    pub fn new(residual_tolerance: f64, residual_limit: f64) -> Self {
+        assert!(residual_limit > residual_tolerance, "residual_limit must exceed residual_tolerance");
+        ModelBasedDetector { residual_tolerance, residual_limit, prediction: None }
+    }
+
+    /// Supplies the model prediction to compare the next reading against.
+    pub fn set_prediction(&mut self, predicted_value: f64) {
+        self.prediction = Some(predicted_value);
+    }
+}
+
+impl FailureDetector for ModelBasedDetector {
+    fn assess(&mut self, reading: &Measurement, _now: SimTime) -> DetectionOutcome {
+        match self.prediction {
+            None => DetectionOutcome::pass(DetectorClass::Continuous),
+            Some(expected) => {
+                let residual = (reading.value - expected).abs();
+                if residual <= self.residual_tolerance {
+                    DetectionOutcome::pass(DetectorClass::Continuous)
+                } else if residual >= self.residual_limit {
+                    DetectionOutcome::graded(Validity::INVALID)
+                } else {
+                    let span = self.residual_limit - self.residual_tolerance;
+                    let v = 1.0 - (residual - self.residual_tolerance) / span;
+                    DetectionOutcome::graded(Validity::new(v))
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "model-residual"
+    }
+
+    fn class(&self) -> DetectorClass {
+        DetectorClass::Continuous
+    }
+
+    fn reset(&mut self) {
+        self.prediction = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karyon_sim::SimTime;
+
+    fn m(value: f64, ms: u64) -> Measurement {
+        Measurement::exact(value, SimTime::from_millis(ms))
+    }
+
+    #[test]
+    fn range_check_flags_out_of_range_and_non_finite() {
+        let mut d = RangeCheckDetector::new(0.0, 100.0);
+        assert!(!d.assess(&m(50.0, 0), SimTime::ZERO).is_failure());
+        assert!(d.assess(&m(-1.0, 0), SimTime::ZERO).is_failure());
+        assert!(d.assess(&m(101.0, 0), SimTime::ZERO).is_failure());
+        assert!(d.assess(&m(f64::NAN, 0), SimTime::ZERO).is_failure());
+        assert_eq!(d.name(), "range-check");
+        assert_eq!(d.class(), DetectorClass::Dominant);
+    }
+
+    #[test]
+    fn timeout_detects_stale_readings() {
+        let mut d = TimeoutDetector::new(SimDuration::from_millis(200));
+        let reading = m(1.0, 100);
+        assert!(!d.assess(&reading, SimTime::from_millis(250)).is_failure());
+        assert!(d.assess(&reading, SimTime::from_millis(301)).is_failure());
+    }
+
+    #[test]
+    fn rate_of_change_grades_jumps() {
+        let mut d = RateOfChangeDetector::new(10.0); // 10 units/s plausible
+        assert_eq!(d.assess(&m(0.0, 0), SimTime::ZERO).validity, Validity::FULL);
+        // +1 unit in 100 ms = 10 units/s: exactly at the limit, passes.
+        assert_eq!(d.assess(&m(1.0, 100), SimTime::from_millis(100)).validity, Validity::FULL);
+        // +5 units in 100 ms = 50 units/s: validity should drop to ~0.2.
+        let out = d.assess(&m(6.0, 200), SimTime::from_millis(200));
+        assert_eq!(out.class, DetectorClass::Continuous);
+        assert!((out.validity.fraction() - 0.2).abs() < 1e-9);
+        d.reset();
+        assert_eq!(d.assess(&m(100.0, 300), SimTime::from_millis(300)).validity, Validity::FULL);
+    }
+
+    #[test]
+    fn rate_of_change_ignores_non_positive_dt() {
+        let mut d = RateOfChangeDetector::new(1.0);
+        d.assess(&m(0.0, 100), SimTime::from_millis(100));
+        let out = d.assess(&m(100.0, 100), SimTime::from_millis(100));
+        assert_eq!(out.validity, Validity::FULL);
+    }
+
+    #[test]
+    fn stuck_at_requires_consecutive_repeats() {
+        let mut d = StuckAtDetector::new(1e-6, 3);
+        assert!(!d.assess(&m(5.0, 0), SimTime::ZERO).is_failure());
+        assert!(!d.assess(&m(5.0, 1), SimTime::ZERO).is_failure());
+        assert!(!d.assess(&m(5.0, 2), SimTime::ZERO).is_failure());
+        assert!(d.assess(&m(5.0, 3), SimTime::ZERO).is_failure());
+        // A changing value clears the counter.
+        assert!(!d.assess(&m(6.0, 4), SimTime::ZERO).is_failure());
+        assert!(!d.assess(&m(6.0, 5), SimTime::ZERO).is_failure());
+        d.reset();
+        assert!(!d.assess(&m(6.0, 6), SimTime::ZERO).is_failure());
+    }
+
+    #[test]
+    fn model_based_grades_residuals() {
+        let mut d = ModelBasedDetector::new(1.0, 5.0);
+        // No prediction yet: passes.
+        assert_eq!(d.assess(&m(10.0, 0), SimTime::ZERO).validity, Validity::FULL);
+        d.set_prediction(10.0);
+        assert_eq!(d.assess(&m(10.5, 1), SimTime::ZERO).validity, Validity::FULL);
+        d.set_prediction(10.0);
+        let out = d.assess(&m(13.0, 2), SimTime::ZERO);
+        assert!((out.validity.fraction() - 0.5).abs() < 1e-9);
+        d.set_prediction(10.0);
+        assert!(d.assess(&m(20.0, 3), SimTime::ZERO).validity.is_invalid());
+    }
+
+    #[test]
+    #[should_panic(expected = "residual_limit")]
+    fn model_based_rejects_bad_bounds() {
+        let _ = ModelBasedDetector::new(5.0, 5.0);
+    }
+
+    #[test]
+    fn outcome_constructors() {
+        assert!(DetectionOutcome::dominant_failure().is_failure());
+        assert!(!DetectionOutcome::pass(DetectorClass::Dominant).is_failure());
+        let graded = DetectionOutcome::graded(Validity::new(0.0));
+        // A continuous detector never *forces* invalidity by itself.
+        assert!(!graded.is_failure());
+    }
+}

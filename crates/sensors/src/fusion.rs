@@ -1,0 +1,313 @@
+//! Sensor fusion: validity-weighted averaging, Marzullo interval fusion and
+//! a 1-D Kalman filter.
+//!
+//! The paper cites Marzullo's replication concept for continuous-valued
+//! sensors ("Tolerating failures of continuous-valued sensors", TOCS 1990) as
+//! the foundation of its reliable-sensor abstraction, and explicitly allows
+//! fusion algorithms "to use even low validity data rather than just drop the
+//! sensor reading".
+
+use crate::measurement::Measurement;
+use crate::validity::Validity;
+
+/// A closed interval `[lo, hi]` of plausible values reported by one sensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval, swapping the bounds if given in the wrong order.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// Builds the `k`-sigma interval of a measurement.
+    pub fn from_measurement(m: &Measurement, k: f64) -> Self {
+        let (lo, hi) = m.interval(k);
+        Interval { lo, hi }
+    }
+
+    /// Interval midpoint.
+    pub fn midpoint(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True when `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo && value <= self.hi
+    }
+}
+
+/// Fuses readings weighted by their validity (and inverse variance).
+///
+/// Readings with zero validity are ignored.  Returns `None` when nothing can
+/// be fused.  The fused validity is the validity-weighted mean of the input
+/// validities, reflecting the graded-trust philosophy of §IV.
+pub fn weighted_fuse(readings: &[(Measurement, Validity)]) -> Option<(f64, Validity)> {
+    let mut weight_sum = 0.0;
+    let mut value_acc = 0.0;
+    let mut validity_acc = 0.0;
+    for (m, v) in readings {
+        if v.is_invalid() || !m.value.is_finite() {
+            continue;
+        }
+        // More valid and more precise readings weigh more.
+        let precision = 1.0 / (m.variance + 1e-9);
+        let w = v.fraction() * precision;
+        weight_sum += w;
+        value_acc += w * m.value;
+        validity_acc += w * v.fraction();
+    }
+    if weight_sum <= 0.0 {
+        return None;
+    }
+    Some((value_acc / weight_sum, Validity::new(validity_acc / weight_sum)))
+}
+
+/// Marzullo's fault-tolerant interval intersection.
+///
+/// Given one interval per (possibly faulty) sensor and the maximum number of
+/// faulty sensors `max_faulty`, returns the smallest interval that is
+/// consistent with at least `n - max_faulty` of the inputs, or `None` if no
+/// point is covered by that many intervals.
+pub fn marzullo_fuse(intervals: &[Interval], max_faulty: usize) -> Option<Interval> {
+    let n = intervals.len();
+    if n == 0 || max_faulty >= n {
+        return None;
+    }
+    let required = n - max_faulty;
+
+    // Sweep over interval endpoints, tracking how many intervals cover each
+    // elementary segment.
+    let mut edges: Vec<(f64, i32)> = Vec::with_capacity(2 * n);
+    for iv in intervals {
+        edges.push((iv.lo, 1));
+        edges.push((iv.hi, -1));
+    }
+    // Starts before ends at the same coordinate so touching intervals count
+    // as overlapping (closed intervals).
+    edges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(b.1.cmp(&a.1)));
+
+    let mut best: Option<Interval> = None;
+    let mut depth = 0;
+    let mut current_lo = f64::NEG_INFINITY;
+    for (x, delta) in edges {
+        if delta == 1 {
+            depth += 1;
+            if depth >= required as i32 {
+                current_lo = current_lo.max(x);
+                if depth == required as i32 {
+                    current_lo = x;
+                }
+            }
+        } else {
+            if depth >= required as i32 {
+                // Closing an interval while coverage is sufficient terminates
+                // a candidate segment [current_lo, x].
+                let candidate = Interval::new(current_lo, x);
+                best = match best {
+                    None => Some(candidate),
+                    Some(b) if candidate.width() < b.width() => Some(candidate),
+                    other => other,
+                };
+            }
+            depth -= 1;
+        }
+    }
+    best
+}
+
+/// A scalar Kalman filter used as the analytical-redundancy model of the
+/// reliable sensor (constant-velocity process model).
+#[derive(Debug, Clone)]
+pub struct Kalman1D {
+    /// Estimated value.
+    x: f64,
+    /// Estimated rate of change.
+    v: f64,
+    /// Estimate variance (of the value).
+    p: f64,
+    /// Process noise (how fast the true value can wander), per second².
+    q: f64,
+    initialized: bool,
+    last_time_s: f64,
+}
+
+impl Kalman1D {
+    /// Creates a filter with the given process-noise intensity.
+    pub fn new(process_noise: f64) -> Self {
+        Kalman1D { x: 0.0, v: 0.0, p: 1e6, q: process_noise.max(1e-9), initialized: false, last_time_s: 0.0 }
+    }
+
+    /// True once at least one measurement has been absorbed.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Current state estimate.
+    pub fn estimate(&self) -> f64 {
+        self.x
+    }
+
+    /// Current estimate variance.
+    pub fn variance(&self) -> f64 {
+        self.p
+    }
+
+    /// Predicts the value at `time_s` seconds without updating the state.
+    pub fn predict_at(&self, time_s: f64) -> f64 {
+        if !self.initialized {
+            return self.x;
+        }
+        let dt = (time_s - self.last_time_s).max(0.0);
+        self.x + self.v * dt
+    }
+
+    /// Absorbs a measurement taken at `time_s` seconds with variance `r`.
+    /// Returns the updated estimate.
+    pub fn update(&mut self, value: f64, time_s: f64, r: f64) -> f64 {
+        let r = r.max(1e-9);
+        if !self.initialized {
+            self.x = value;
+            self.v = 0.0;
+            self.p = r;
+            self.initialized = true;
+            self.last_time_s = time_s;
+            return self.x;
+        }
+        let dt = (time_s - self.last_time_s).max(0.0);
+        // Predict.
+        let predicted = self.x + self.v * dt;
+        let p_pred = self.p + self.q * (dt * dt + dt) + 1e-12;
+        // Update.
+        let k = p_pred / (p_pred + r);
+        let innovation = value - predicted;
+        self.x = predicted + k * innovation;
+        self.p = (1.0 - k) * p_pred;
+        // Crude velocity estimate from the innovation.
+        if dt > 1e-6 {
+            self.v += k * innovation / dt * 0.5;
+        }
+        self.last_time_s = time_s;
+        self.x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karyon_sim::SimTime;
+
+    #[test]
+    fn interval_basics() {
+        let iv = Interval::new(5.0, 3.0);
+        assert_eq!(iv, Interval::new(3.0, 5.0));
+        assert_eq!(iv.midpoint(), 4.0);
+        assert_eq!(iv.width(), 2.0);
+        assert!(iv.contains(3.0) && iv.contains(5.0) && !iv.contains(5.1));
+        let m = Measurement::new(10.0, SimTime::ZERO, 4.0);
+        assert_eq!(Interval::from_measurement(&m, 1.0), Interval::new(8.0, 12.0));
+    }
+
+    #[test]
+    fn weighted_fuse_prefers_valid_precise_readings() {
+        let t = SimTime::ZERO;
+        let readings = vec![
+            (Measurement::new(10.0, t, 0.01), Validity::new(1.0)),
+            (Measurement::new(20.0, t, 0.01), Validity::new(0.1)),
+        ];
+        let (value, validity) = weighted_fuse(&readings).unwrap();
+        assert!(value < 12.0, "fused value {value}");
+        assert!(validity.fraction() > 0.8);
+    }
+
+    #[test]
+    fn weighted_fuse_ignores_invalid_and_handles_empty() {
+        let t = SimTime::ZERO;
+        assert!(weighted_fuse(&[]).is_none());
+        let all_invalid = vec![(Measurement::new(10.0, t, 0.01), Validity::INVALID)];
+        assert!(weighted_fuse(&all_invalid).is_none());
+        let mixed = vec![
+            (Measurement::new(10.0, t, 0.01), Validity::INVALID),
+            (Measurement::new(30.0, t, 0.01), Validity::FULL),
+        ];
+        let (value, _) = weighted_fuse(&mixed).unwrap();
+        assert_eq!(value, 30.0);
+    }
+
+    #[test]
+    fn marzullo_tolerates_one_outlier() {
+        // Three sensors: two agree on ~10, one is an outlier at 100.
+        let intervals = vec![
+            Interval::new(9.0, 11.0),
+            Interval::new(9.5, 11.5),
+            Interval::new(99.0, 101.0),
+        ];
+        let fused = marzullo_fuse(&intervals, 1).unwrap();
+        assert!(fused.lo >= 9.0 && fused.hi <= 11.5);
+        assert!(fused.contains(10.0) || fused.midpoint() > 9.0);
+        // Requiring all three to agree fails (no common point).
+        assert!(marzullo_fuse(&intervals, 0).is_none());
+    }
+
+    #[test]
+    fn marzullo_all_correct_intersects() {
+        let intervals = vec![Interval::new(0.0, 10.0), Interval::new(5.0, 15.0), Interval::new(4.0, 6.0)];
+        let fused = marzullo_fuse(&intervals, 0).unwrap();
+        assert!((fused.lo - 5.0).abs() < 1e-9);
+        assert!((fused.hi - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marzullo_edge_cases() {
+        assert!(marzullo_fuse(&[], 0).is_none());
+        let one = vec![Interval::new(1.0, 2.0)];
+        assert_eq!(marzullo_fuse(&one, 0), Some(Interval::new(1.0, 2.0)));
+        assert!(marzullo_fuse(&one, 1).is_none());
+        // Touching intervals count as overlapping.
+        let touching = vec![Interval::new(0.0, 5.0), Interval::new(5.0, 10.0)];
+        let fused = marzullo_fuse(&touching, 0).unwrap();
+        assert!((fused.lo - 5.0).abs() < 1e-9 && (fused.hi - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kalman_converges_to_constant_truth() {
+        let mut kf = Kalman1D::new(0.01);
+        assert!(!kf.is_initialized());
+        let mut rng = karyon_sim::Rng::seed_from(9);
+        for i in 0..200 {
+            let t = i as f64 * 0.1;
+            kf.update(50.0 + rng.normal(0.0, 1.0), t, 1.0);
+        }
+        assert!(kf.is_initialized());
+        assert!((kf.estimate() - 50.0).abs() < 1.0, "estimate {}", kf.estimate());
+        assert!(kf.variance() < 1.0);
+    }
+
+    #[test]
+    fn kalman_tracks_ramp_and_predicts_forward() {
+        let mut kf = Kalman1D::new(0.5);
+        for i in 0..400 {
+            let t = i as f64 * 0.1;
+            let truth = 2.0 * t; // 2 units/s ramp
+            kf.update(truth, t, 0.01);
+        }
+        let now = 399.0 * 0.1 / 10.0 * 10.0; // 39.9
+        assert!((kf.estimate() - 2.0 * now).abs() < 1.5, "estimate {}", kf.estimate());
+        let pred = kf.predict_at(now + 1.0);
+        assert!(pred > kf.estimate(), "prediction should extrapolate the ramp");
+    }
+}

@@ -1,0 +1,52 @@
+//! # karyon-sensors — abstract sensors, fault semantics and validity (KARYON §IV)
+//!
+//! The KARYON paper argues that cooperative vehicular control needs *fault
+//! models that abstract from the subtle and diverse behaviours of faulty
+//! components* and provide a well-defined failure semantics at the component
+//! interface.  This crate implements that abstraction layer:
+//!
+//! * [`measurement`] — continuous-valued measurements with timestamps,
+//! * [`faults`] — the five sensor-fault classes identified by the project
+//!   (delay, sporadic offset, permanent offset, stochastic offset, stuck-at)
+//!   and a deterministic fault injector,
+//! * [`physical`] — simulated physical sensors (range, speed, GPS-like
+//!   position) used by the vehicle scenarios,
+//! * [`detectors`] — *dominant* detectors (a detected failure renders the
+//!   reading invalid) and *continuous* detectors (contribute a graded
+//!   validity estimate), exactly the two classes of Fig. 3,
+//! * [`validity`] — the 0–100 % data-validity attribute attached to every
+//!   disseminated reading,
+//! * [`fusion`] — validity-weighted fusion, Marzullo interval fusion and a
+//!   1-D Kalman filter (analytical redundancy),
+//! * [`mosaic`] — the MOSAIC node structure: input layer, detection modules,
+//!   crosscutting fault management, electronic data sheet,
+//! * [`abstract_sensor`] / [`reliable`] — the abstract sensor (physical
+//!   sensor + injected faults + detectors ⇒ reading with validity) and the
+//!   abstract *reliable* sensor that combines component, analytical and
+//!   temporal redundancy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abstract_sensor;
+pub mod detectors;
+pub mod faults;
+pub mod fusion;
+pub mod measurement;
+pub mod mosaic;
+pub mod physical;
+pub mod reliable;
+pub mod validity;
+
+pub use abstract_sensor::{AbstractSensor, SensorReading};
+pub use detectors::{
+    DetectionOutcome, DetectorClass, FailureDetector, ModelBasedDetector, RangeCheckDetector,
+    RateOfChangeDetector, StuckAtDetector, TimeoutDetector,
+};
+pub use faults::{FaultInjector, FaultSchedule, SensorFault};
+pub use fusion::{marzullo_fuse, weighted_fuse, Interval, Kalman1D};
+pub use measurement::Measurement;
+pub use mosaic::{DataSheet, MosaicNode, SensorEvent};
+pub use physical::{PhysicalSensor, PositionSensor2D, RangeSensor, SpeedSensor};
+pub use reliable::ReliableSensor;
+pub use validity::Validity;

@@ -1,0 +1,88 @@
+//! Continuous-valued measurements.
+
+use karyon_sim::SimTime;
+
+/// A single continuous-valued sensor measurement.
+///
+/// As in the paper, "a sensor delivers continuous valued data and the sensor
+/// reading is inherently affected by a measurement error"; the error model is
+/// carried alongside the value as a variance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Measured value, in the sensor's engineering unit (metres, m/s, ...).
+    pub value: f64,
+    /// Acquisition timestamp.
+    pub timestamp: SimTime,
+    /// Variance of the measurement error (unit²).
+    pub variance: f64,
+}
+
+impl Measurement {
+    /// Creates a measurement with the given value, timestamp and error variance.
+    pub fn new(value: f64, timestamp: SimTime, variance: f64) -> Self {
+        Measurement { value, timestamp, variance: variance.max(0.0) }
+    }
+
+    /// Creates an error-free measurement (variance 0), mostly for tests.
+    pub fn exact(value: f64, timestamp: SimTime) -> Self {
+        Measurement { value, timestamp, variance: 0.0 }
+    }
+
+    /// Standard deviation of the measurement error.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Age of the measurement at `now` (zero if `now` precedes the timestamp).
+    pub fn age(&self, now: SimTime) -> karyon_sim::SimDuration {
+        now.since(self.timestamp)
+    }
+
+    /// The `k`-sigma interval around the value, as `(lo, hi)`.
+    pub fn interval(&self, k: f64) -> (f64, f64) {
+        let half = k.abs() * self.std_dev();
+        (self.value - half, self.value + half)
+    }
+
+    /// Returns a copy with the value shifted by `offset`.
+    pub fn offset_by(&self, offset: f64) -> Measurement {
+        Measurement { value: self.value + offset, ..*self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karyon_sim::{SimDuration, SimTime};
+
+    #[test]
+    fn construction_clamps_negative_variance() {
+        let m = Measurement::new(1.0, SimTime::ZERO, -4.0);
+        assert_eq!(m.variance, 0.0);
+        assert_eq!(Measurement::exact(2.0, SimTime::ZERO).variance, 0.0);
+    }
+
+    #[test]
+    fn std_dev_and_interval() {
+        let m = Measurement::new(10.0, SimTime::ZERO, 4.0);
+        assert_eq!(m.std_dev(), 2.0);
+        assert_eq!(m.interval(2.0), (6.0, 14.0));
+        assert_eq!(m.interval(-2.0), (6.0, 14.0));
+    }
+
+    #[test]
+    fn age_is_saturating() {
+        let m = Measurement::exact(0.0, SimTime::from_millis(100));
+        assert_eq!(m.age(SimTime::from_millis(150)), SimDuration::from_millis(50));
+        assert_eq!(m.age(SimTime::from_millis(50)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn offset_by_keeps_metadata() {
+        let m = Measurement::new(10.0, SimTime::from_millis(3), 1.0);
+        let o = m.offset_by(-2.5);
+        assert_eq!(o.value, 7.5);
+        assert_eq!(o.timestamp, m.timestamp);
+        assert_eq!(o.variance, m.variance);
+    }
+}

@@ -1,0 +1,234 @@
+//! The MOSAIC smart-sensor node structure (paper Fig. 3).
+//!
+//! A MOSAIC component "disseminates typed message objects called events,
+//! including the respective sensor data and additional attributes like
+//! position, timestamps, validity estimation, etc.  Static properties and
+//! information of a MOSAIC component are described in an electronic data
+//! sheet stored on the node."  The node combines an abstract-sensor input
+//! layer, application (detection) modules, an abstract communication layer
+//! and a crosscutting fault-management unit that "combines the individual
+//! fault estimations and calculates a general validity value between 0 and
+//! 100 %".
+
+use karyon_sim::{SimTime, Vec2};
+
+use crate::abstract_sensor::{combine_outcomes, AbstractSensor};
+use crate::detectors::{DetectionOutcome, FailureDetector};
+use crate::validity::Validity;
+
+/// The electronic data sheet of a MOSAIC node: the static description other
+/// nodes can use to interpret its events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSheet {
+    /// Node identifier.
+    pub node_name: String,
+    /// The physical quantity measured, e.g. `"range"` or `"speed"`.
+    pub quantity: String,
+    /// Engineering unit of the values, e.g. `"m"` or `"m/s"`.
+    pub unit: String,
+    /// Nominal sampling period in milliseconds.
+    pub period_ms: u64,
+    /// Nominal measurement-error standard deviation.
+    pub nominal_error_std: f64,
+}
+
+/// A typed message object disseminated by a MOSAIC node: the sensor value
+/// plus the attributes named in the paper (position, timestamp, validity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorEvent {
+    /// The measured value.
+    pub value: f64,
+    /// Acquisition timestamp.
+    pub timestamp: SimTime,
+    /// Position of the producing node at acquisition time.
+    pub position: Vec2,
+    /// The combined data-validity attribute.
+    pub validity: Validity,
+}
+
+impl SensorEvent {
+    /// True when fault management rendered the event invalid.
+    pub fn is_invalid(&self) -> bool {
+        self.validity.is_invalid()
+    }
+
+    /// Age of the event at `now`.
+    pub fn age(&self, now: SimTime) -> karyon_sim::SimDuration {
+        now.since(self.timestamp)
+    }
+}
+
+/// A MOSAIC smart-sensor node: input layer (abstract sensor), additional
+/// application-level detection modules and the fault-management unit.
+pub struct MosaicNode {
+    data_sheet: DataSheet,
+    input: AbstractSensor,
+    /// Application-level detection modules (Detection 0, Detection 1, ... in Fig. 3).
+    app_detectors: Vec<Box<dyn FailureDetector + Send>>,
+    position: Vec2,
+    produced: u64,
+    invalidated: u64,
+}
+
+impl std::fmt::Debug for MosaicNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MosaicNode")
+            .field("data_sheet", &self.data_sheet)
+            .field("app_detectors", &self.app_detectors.len())
+            .field("produced", &self.produced)
+            .finish()
+    }
+}
+
+impl MosaicNode {
+    /// Creates a node from its data sheet and input-layer abstract sensor.
+    pub fn new(data_sheet: DataSheet, input: AbstractSensor) -> Self {
+        MosaicNode {
+            data_sheet,
+            input,
+            app_detectors: Vec::new(),
+            position: Vec2::ZERO,
+            produced: 0,
+            invalidated: 0,
+        }
+    }
+
+    /// The node's electronic data sheet.
+    pub fn data_sheet(&self) -> &DataSheet {
+        &self.data_sheet
+    }
+
+    /// Adds an application-level detection module.
+    pub fn add_application_detector(&mut self, detector: Box<dyn FailureDetector + Send>) -> &mut Self {
+        self.app_detectors.push(detector);
+        self
+    }
+
+    /// Mutable access to the input-layer abstract sensor (e.g. to inject faults).
+    pub fn input_mut(&mut self) -> &mut AbstractSensor {
+        &mut self.input
+    }
+
+    /// Updates the node's physical position (attached to produced events).
+    pub fn set_position(&mut self, position: Vec2) {
+        self.position = position;
+    }
+
+    /// Number of events produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Number of produced events whose validity was 0.
+    pub fn invalidated(&self) -> u64 {
+        self.invalidated
+    }
+
+    /// Acquires the ground truth, runs the input layer and all application
+    /// detection modules, and produces the disseminated event with its
+    /// combined validity.
+    pub fn produce_event(&mut self, ground_truth: f64, now: SimTime) -> SensorEvent {
+        let input_reading = self.input.acquire(ground_truth, now);
+        // The application modules re-assess the delivered measurement.
+        let app_outcomes: Vec<DetectionOutcome> = self
+            .app_detectors
+            .iter_mut()
+            .map(|d| d.assess(&input_reading.measurement, now))
+            .collect();
+        let app_validity = combine_outcomes(&app_outcomes);
+        // Fault management combines the input layer's validity with the
+        // application modules' assessments.
+        let validity = if input_reading.validity.is_invalid() || app_validity.is_invalid() {
+            Validity::INVALID
+        } else {
+            input_reading.validity.combine(app_validity)
+        };
+        let event = SensorEvent {
+            value: input_reading.measurement.value,
+            timestamp: input_reading.measurement.timestamp,
+            position: self.position,
+            validity,
+        };
+        self.produced += 1;
+        if event.is_invalid() {
+            self.invalidated += 1;
+        }
+        event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detectors::{RangeCheckDetector, RateOfChangeDetector, StuckAtDetector};
+    use crate::faults::SensorFault;
+    use crate::physical::RangeSensor;
+    use karyon_sim::SimTime;
+
+    fn sheet() -> DataSheet {
+        DataSheet {
+            node_name: "node-A".into(),
+            quantity: "range".into(),
+            unit: "m".into(),
+            period_ms: 100,
+            nominal_error_std: 0.5,
+        }
+    }
+
+    fn node(seed: u64) -> MosaicNode {
+        let mut input = AbstractSensor::new(
+            "sensor-A",
+            Box::new(RangeSensor { noise_std: 0.3, max_range: 200.0, dropout_probability: 0.0 }),
+            seed,
+        );
+        input.add_detector(Box::new(RangeCheckDetector::new(0.0, 200.0)));
+        let mut n = MosaicNode::new(sheet(), input);
+        n.add_application_detector(Box::new(RateOfChangeDetector::new(30.0)));
+        n.add_application_detector(Box::new(StuckAtDetector::new(1e-9, 4)));
+        n
+    }
+
+    #[test]
+    fn produces_valid_events_for_healthy_sensor() {
+        let mut n = node(1);
+        n.set_position(Vec2::new(5.0, 2.0));
+        for i in 0..20u64 {
+            let e = n.produce_event(40.0 + i as f64 * 0.2, SimTime::from_millis(i * 100));
+            assert!(e.validity.fraction() > 0.9);
+            assert_eq!(e.position, Vec2::new(5.0, 2.0));
+            assert!(!e.is_invalid());
+        }
+        assert_eq!(n.produced(), 20);
+        assert_eq!(n.invalidated(), 0);
+        assert_eq!(n.data_sheet().quantity, "range");
+    }
+
+    #[test]
+    fn application_detector_can_invalidate_events() {
+        let mut n = node(2);
+        n.input_mut()
+            .injector_mut()
+            .inject_always(SensorFault::StuckAt { stuck_value: Some(77.0) });
+        let mut saw_invalid = false;
+        for i in 0..30u64 {
+            let e = n.produce_event(10.0 + i as f64, SimTime::from_millis(i * 100));
+            if e.is_invalid() {
+                saw_invalid = true;
+            }
+        }
+        assert!(saw_invalid);
+        assert!(n.invalidated() > 0);
+        assert_eq!(n.produced(), 30);
+    }
+
+    #[test]
+    fn event_age_helper() {
+        let e = SensorEvent {
+            value: 1.0,
+            timestamp: SimTime::from_millis(100),
+            position: Vec2::ZERO,
+            validity: Validity::FULL,
+        };
+        assert_eq!(e.age(SimTime::from_millis(350)).as_millis(), 250);
+    }
+}

@@ -1,0 +1,142 @@
+//! The data-validity attribute.
+//!
+//! KARYON attaches to every disseminated sensor reading a *validity* between
+//! 0 and 100 % — "an abstract estimation of the reliability of the exchanged
+//! information" that can be compared "without an explicit knowledge of
+//! underlying fault models and implemented fault detection strategies"
+//! (paper §IV-B).
+
+use std::fmt;
+use std::ops::Mul;
+
+/// A validity estimate in `[0, 1]` (rendered as 0–100 %).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Validity(f64);
+
+impl Validity {
+    /// Fully invalid data (0 %).
+    pub const INVALID: Validity = Validity(0.0);
+    /// Fully valid data (100 %).
+    pub const FULL: Validity = Validity(1.0);
+
+    /// Creates a validity from a fraction, clamped into `[0, 1]`.
+    /// Non-finite inputs map to 0.
+    pub fn new(fraction: f64) -> Self {
+        if !fraction.is_finite() {
+            return Validity(0.0);
+        }
+        Validity(fraction.clamp(0.0, 1.0))
+    }
+
+    /// Creates a validity from a percentage (0–100), clamped.
+    pub fn from_percent(percent: f64) -> Self {
+        Validity::new(percent / 100.0)
+    }
+
+    /// The validity as a fraction in `[0, 1]`.
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// The validity as a percentage in `[0, 100]`.
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// True when the validity is exactly zero (rendered invalid by a
+    /// dominant detector).
+    pub fn is_invalid(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// True when the validity is at least `threshold` (a fraction).
+    pub fn meets(self, threshold: f64) -> bool {
+        self.0 >= threshold
+    }
+
+    /// Combines two independent validity estimates multiplicatively.
+    ///
+    /// This is how the MOSAIC fault-management unit combines continuous
+    /// detectors: each detector scales down the confidence independently.
+    pub fn combine(self, other: Validity) -> Validity {
+        Validity(self.0 * other.0)
+    }
+
+    /// The minimum of two validities (conservative combination).
+    pub fn min(self, other: Validity) -> Validity {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The maximum of two validities.
+    pub fn max(self, other: Validity) -> Validity {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Validity {
+    fn default() -> Self {
+        Validity::FULL
+    }
+}
+
+impl Mul for Validity {
+    type Output = Validity;
+    fn mul(self, rhs: Validity) -> Validity {
+        self.combine(rhs)
+    }
+}
+
+impl fmt::Display for Validity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_clamps() {
+        assert_eq!(Validity::new(1.5), Validity::FULL);
+        assert_eq!(Validity::new(-0.5), Validity::INVALID);
+        assert_eq!(Validity::new(f64::NAN), Validity::INVALID);
+        assert_eq!(Validity::from_percent(50.0).fraction(), 0.5);
+        assert_eq!(Validity::from_percent(250.0), Validity::FULL);
+    }
+
+    #[test]
+    fn percent_round_trip() {
+        let v = Validity::new(0.73);
+        assert!((v.percent() - 73.0).abs() < 1e-9);
+        assert_eq!(format!("{v}"), "73.0%");
+    }
+
+    #[test]
+    fn combination_rules() {
+        let a = Validity::new(0.8);
+        let b = Validity::new(0.5);
+        assert!((a.combine(b).fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+        assert_eq!((a * Validity::INVALID), Validity::INVALID);
+        assert_eq!((a * Validity::FULL).fraction(), 0.8);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Validity::INVALID.is_invalid());
+        assert!(!Validity::new(0.01).is_invalid());
+        assert!(Validity::new(0.7).meets(0.7));
+        assert!(!Validity::new(0.69).meets(0.7));
+        assert_eq!(Validity::default(), Validity::FULL);
+    }
+}

@@ -1,0 +1,308 @@
+//! Discrete-event and fixed-step simulation drivers.
+//!
+//! Two execution styles are provided because the KARYON experiments need
+//! both:
+//!
+//! * [`Engine`] — a classic discrete-event loop (used by the network and
+//!   middleware simulations where activity is bursty), and
+//! * [`FixedStepSim`] — a fixed-period ticker (used by the vehicle dynamics
+//!   and control loops, which the paper models as periodic tasks below the
+//!   hybridization line).
+
+use crate::events::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Scheduling handle passed to the event handler of an [`Engine`].
+///
+/// The handler cannot touch the engine directly (it is being iterated), so new
+/// events are staged in the context and merged after the handler returns.
+#[derive(Debug)]
+pub struct Context<E> {
+    now: SimTime,
+    staged: Vec<(SimTime, E)>,
+    stop_requested: bool,
+}
+
+impl<E> Context<E> {
+    fn new(now: SimTime) -> Self {
+        Context { now, staged: Vec::new(), stop_requested: false }
+    }
+
+    /// The current simulation time (the firing time of the event being handled).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an event at an absolute time.  Times in the past are clamped
+    /// to "now" so causality is never violated.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        let t = if time < self.now { self.now } else { time };
+        self.staged.push((t, event));
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.staged.push((self.now + delay, event));
+    }
+
+    /// Requests that the simulation stop after the current event is processed.
+    pub fn stop(&mut self) {
+        self.stop_requested = true;
+    }
+}
+
+/// A deterministic discrete-event simulation engine.
+///
+/// `S` is the simulation state, `E` the event type.  Event handling is driven
+/// by a closure passed to [`Engine::run`] / [`Engine::run_until`], which keeps
+/// the engine free of trait-object plumbing and lets each experiment define
+/// its own event enum.
+#[derive(Debug)]
+pub struct Engine<S, E> {
+    state: S,
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<S, E> Engine<S, E> {
+    /// Creates an engine at time zero with the given initial state.
+    pub fn new(state: S) -> Self {
+        Engine { state, queue: EventQueue::new(), now: SimTime::ZERO, processed: 0 }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Shared access to the simulation state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Exclusive access to the simulation state.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Consumes the engine and returns the final state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    /// Schedules an event at an absolute simulation time (clamped to now).
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        let t = if time < self.now { self.now } else { time };
+        self.queue.schedule(t, event);
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.schedule(self.now + delay, event);
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Runs until the queue is empty or a handler calls [`Context::stop`].
+    /// Returns the number of events processed by this call.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut S, &mut Context<E>, E)) -> u64 {
+        self.run_inner(SimTime::MAX, &mut handler)
+    }
+
+    /// Runs until `deadline` (inclusive), the queue is empty, or a handler
+    /// calls [`Context::stop`].  The engine clock is advanced to `deadline`
+    /// if the queue drains earlier.  Returns events processed by this call.
+    pub fn run_until(
+        &mut self,
+        deadline: SimTime,
+        mut handler: impl FnMut(&mut S, &mut Context<E>, E),
+    ) -> u64 {
+        let n = self.run_inner(deadline, &mut handler);
+        if self.now < deadline && deadline != SimTime::MAX {
+            self.now = deadline;
+        }
+        n
+    }
+
+    fn run_inner(
+        &mut self,
+        deadline: SimTime,
+        handler: &mut impl FnMut(&mut S, &mut Context<E>, E),
+    ) -> u64 {
+        let mut count = 0;
+        while let Some((t, ev)) = self.queue.pop_until(deadline) {
+            self.now = t;
+            let mut ctx = Context::new(t);
+            handler(&mut self.state, &mut ctx, ev);
+            for (time, event) in ctx.staged.drain(..) {
+                self.queue.schedule(time, event);
+            }
+            self.processed += 1;
+            count += 1;
+            if ctx.stop_requested {
+                break;
+            }
+        }
+        count
+    }
+}
+
+/// A fixed-step simulation driver: calls a step function every `period` until
+/// a stop time is reached.
+///
+/// This mirrors how the paper's periodic control tasks (safety-manager cycle,
+/// ACC control loop) execute: a statically known period with a design-time
+/// bound on each cycle.
+#[derive(Debug)]
+pub struct FixedStepSim {
+    now: SimTime,
+    period: SimDuration,
+    step_index: u64,
+}
+
+impl FixedStepSim {
+    /// Creates a fixed-step driver with the given tick period.
+    ///
+    /// # Panics
+    /// Panics if `period` is zero.
+    pub fn new(period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "FixedStepSim period must be non-zero");
+        FixedStepSim { now: SimTime::ZERO, period, step_index: 0 }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The tick period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Index of the next step to execute (0 for the first).
+    pub fn step_index(&self) -> u64 {
+        self.step_index
+    }
+
+    /// Runs steps until simulated time reaches `until` (exclusive of steps
+    /// that would start at or after it).  The step callback receives the
+    /// current time and the step index.  Returns the number of steps run.
+    pub fn run_until(&mut self, until: SimTime, mut step: impl FnMut(SimTime, u64)) -> u64 {
+        let mut executed = 0;
+        while self.now < until {
+            step(self.now, self.step_index);
+            self.step_index += 1;
+            self.now += self.period;
+            executed += 1;
+        }
+        executed
+    }
+
+    /// Runs exactly `n` steps.
+    pub fn run_steps(&mut self, n: u64, mut step: impl FnMut(SimTime, u64)) {
+        for _ in 0..n {
+            step(self.now, self.step_index);
+            self.step_index += 1;
+            self.now += self.period;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Ping(u32),
+        Stop,
+    }
+
+    #[test]
+    fn engine_processes_in_order_and_reschedules() {
+        let mut engine: Engine<Vec<u32>, Ev> = Engine::new(Vec::new());
+        engine.schedule_in(SimDuration::from_millis(10), Ev::Ping(0));
+        engine.run(|log, ctx, ev| {
+            if let Ev::Ping(n) = ev {
+                log.push(n);
+                if n < 4 {
+                    ctx.schedule_in(SimDuration::from_millis(10), Ev::Ping(n + 1));
+                }
+            }
+        });
+        assert_eq!(engine.state(), &vec![0, 1, 2, 3, 4]);
+        assert_eq!(engine.now(), SimTime::from_millis(50));
+        assert_eq!(engine.processed(), 5);
+    }
+
+    #[test]
+    fn engine_stop_halts_early() {
+        let mut engine: Engine<u32, Ev> = Engine::new(0);
+        for i in 0..10 {
+            engine.schedule_at(SimTime::from_millis(i), Ev::Ping(i as u32));
+        }
+        engine.schedule_at(SimTime::from_millis(3), Ev::Stop);
+        engine.run(|count, ctx, ev| match ev {
+            Ev::Ping(_) => *count += 1,
+            Ev::Stop => ctx.stop(),
+        });
+        // Events at t=0..=3 ms processed (4 pings) plus the stop event.
+        assert_eq!(*engine.state(), 4);
+        assert!(engine.pending() > 0);
+    }
+
+    #[test]
+    fn engine_run_until_advances_clock_to_deadline() {
+        let mut engine: Engine<u32, Ev> = Engine::new(0);
+        engine.schedule_at(SimTime::from_millis(5), Ev::Ping(1));
+        engine.schedule_at(SimTime::from_millis(500), Ev::Ping(2));
+        let n = engine.run_until(SimTime::from_millis(100), |c, _, _| *c += 1);
+        assert_eq!(n, 1);
+        assert_eq!(*engine.state(), 1);
+        assert_eq!(engine.now(), SimTime::from_millis(100));
+        assert_eq!(engine.pending(), 1);
+    }
+
+    #[test]
+    fn past_events_are_clamped_to_now() {
+        let mut engine: Engine<Vec<u64>, Ev> = Engine::new(Vec::new());
+        engine.schedule_at(SimTime::from_millis(10), Ev::Ping(0));
+        engine.run(|log, ctx, _| {
+            log.push(ctx.now().as_millis());
+            if log.len() == 1 {
+                // Attempt to schedule in the past; must fire "now", not before.
+                ctx.schedule_at(SimTime::from_millis(1), Ev::Ping(1));
+            }
+        });
+        assert_eq!(engine.state(), &vec![10, 10]);
+    }
+
+    #[test]
+    fn fixed_step_runs_expected_number_of_steps() {
+        let mut sim = FixedStepSim::new(SimDuration::from_millis(100));
+        let mut times = Vec::new();
+        let n = sim.run_until(SimTime::from_secs(1), |t, _| times.push(t.as_millis()));
+        assert_eq!(n, 10);
+        assert_eq!(times.first(), Some(&0));
+        assert_eq!(times.last(), Some(&900));
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+        sim.run_steps(3, |_, _| {});
+        assert_eq!(sim.step_index(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn fixed_step_rejects_zero_period() {
+        let _ = FixedStepSim::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,428 @@
+//! Metric collection for the experiment harnesses.
+//!
+//! Every experiment in EXPERIMENTS.md reports summary statistics (means,
+//! percentiles, counts, rates).  The collectors here are deliberately simple
+//! and allocation-light so they can be embedded in per-node simulation state.
+
+use crate::time::SimTime;
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.  Non-finite values are ignored.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 when fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Sample-retaining histogram with percentile queries.
+///
+/// Retains all samples (the experiments record at most a few hundred thousand
+/// values) so exact percentiles can be reported.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram { samples: Vec::new(), sorted: true }
+    }
+
+    /// Adds one sample.  Non-finite values are ignored.
+    pub fn record(&mut self, value: f64) {
+        if value.is_finite() {
+            self.samples.push(value);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean of the samples, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// The `q`-quantile (q in [0, 1]) using nearest-rank on sorted samples,
+    /// or 0 when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        self.samples[idx]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&mut self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Maximum sample, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Minimum sample, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Fraction of samples strictly greater than `threshold`.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|v| **v > threshold).count() as f64 / self.samples.len() as f64
+    }
+}
+
+/// A named monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter { value: 0 }
+    }
+
+    /// Increments by one.
+    pub fn increment(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Value as a rate per the given number of trials (0 when `trials` is 0).
+    pub fn rate(&self, trials: u64) -> f64 {
+        if trials == 0 {
+            0.0
+        } else {
+            self.value as f64 / trials as f64
+        }
+    }
+}
+
+/// A time-stamped series of values (used e.g. to trace headway or LoS over time).
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Appends a point.  Callers are expected to append in time order.
+    pub fn record(&mut self, time: SimTime, value: f64) {
+        self.points.push((time, value));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All points in insertion order.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// The last recorded value, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|(_, v)| *v)
+    }
+
+    /// Time-weighted average of the series over its recorded span (each value
+    /// is held until the next point).  Returns 0 for fewer than two points.
+    pub fn time_weighted_mean(&self) -> f64 {
+        if self.points.len() < 2 {
+            return self.points.first().map(|(_, v)| *v).unwrap_or(0.0);
+        }
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for pair in self.points.windows(2) {
+            let dt = pair[1].0.since(pair[0].0).as_secs_f64();
+            weighted += pair[0].1 * dt;
+            total += dt;
+        }
+        if total > 0.0 {
+            weighted / total
+        } else {
+            self.points[0].1
+        }
+    }
+
+    /// Fraction of the recorded span spent at values `>= threshold`.
+    pub fn fraction_at_or_above(&self, threshold: f64) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let mut above = 0.0;
+        let mut total = 0.0;
+        for pair in self.points.windows(2) {
+            let dt = pair[1].0.since(pair[0].0).as_secs_f64();
+            total += dt;
+            if pair[0].1 >= threshold {
+                above += dt;
+            }
+        }
+        if total > 0.0 {
+            above / total
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn online_stats_mean_and_variance() {
+        let mut s = OnlineStats::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-9);
+        assert!((s.variance() - 4.0).abs() < 1e-9);
+        assert!((s.std_dev() - 2.0).abs() < 1e-9);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_ignores_non_finite_and_handles_empty() {
+        let mut s = OnlineStats::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_single_pass() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for (i, v) in values.iter().enumerate() {
+            all.record(*v);
+            if i % 2 == 0 {
+                a.record(*v);
+            } else {
+                b.record(*v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        let mut empty = OnlineStats::new();
+        empty.merge(&all);
+        assert_eq!(empty.count(), all.count());
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        assert!((49.0..=51.0).contains(&h.median()));
+        assert_eq!(h.p95(), 95.0);
+        assert_eq!(h.p99(), 99.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert_eq!(h.min(), 1.0);
+        assert!((h.fraction_above(90.0) - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_empty_is_zeroes() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.median(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.fraction_above(1.0), 0.0);
+    }
+
+    #[test]
+    fn counter_rates() {
+        let mut c = Counter::new();
+        c.increment();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        assert!((c.rate(10) - 0.5).abs() < 1e-12);
+        assert_eq!(c.rate(0), 0.0);
+    }
+
+    #[test]
+    fn time_series_time_weighted_mean() {
+        let mut ts = TimeSeries::new();
+        assert_eq!(ts.time_weighted_mean(), 0.0);
+        ts.record(SimTime::from_secs(0), 1.0);
+        ts.record(SimTime::from_secs(1), 3.0);
+        ts.record(SimTime::from_secs(3), 3.0);
+        // Value 1.0 held for 1 s, value 3.0 held for 2 s => (1*1 + 3*2)/3.
+        assert!((ts.time_weighted_mean() - 7.0 / 3.0).abs() < 1e-9);
+        assert!((ts.fraction_at_or_above(2.0) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(ts.last_value(), Some(3.0));
+        assert_eq!(ts.len(), 3);
+    }
+}

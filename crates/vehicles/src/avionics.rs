@@ -1,0 +1,315 @@
+//! The avionics use cases (paper §VI-B, Figs. 6–7).
+//!
+//! "A 'safety state' for an aerial vehicle can be considered as a spatial
+//! volume around the vehicle where the possibility of entrance of other
+//! objects is minimal … Usually this spatial volume is described in terms of
+//! a vertical and a lateral distance, called 'separation minima'."
+//!
+//! Three encounter scenarios are modelled, each with a collaborative (ADS-B
+//! grade positioning, 1 Hz reports) or non-collaborative (coarse position,
+//! sporadic voice reports) intruder:
+//!
+//! 1. common trajectory in the same direction (rear aircraft faster),
+//! 2. leveled crossing trajectories,
+//! 3. coordinated flight-level change through another aircraft's level.
+
+use karyon_sim::{Rng, SimDuration, Vec3};
+
+/// Horizontal separation minimum (metres) — 5 NM.
+pub const HORIZONTAL_MINIMUM: f64 = 9_260.0;
+/// Vertical separation minimum (metres) — 1000 ft.
+pub const VERTICAL_MINIMUM: f64 = 300.0;
+
+/// The three aerial traffic scenarios of §VI-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AerialScenario {
+    /// Two aircraft on a common trajectory, the rear one faster (ACC analogue).
+    SameDirection,
+    /// Two aircraft on leveled crossing trajectories (intersection analogue).
+    LeveledCrossing,
+    /// An RPV changing flight level through another aircraft's altitude
+    /// (lane-change analogue).
+    FlightLevelChange,
+}
+
+/// How the intruder reports its position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficType {
+    /// Knows its position accurately and broadcasts it (ADS-B / satellite).
+    Collaborative,
+    /// Coarse position, relayed sporadically over a voice channel.
+    NonCollaborative,
+}
+
+/// Configuration of an avionics encounter run.
+#[derive(Debug, Clone)]
+pub struct AvionicsConfig {
+    /// The encounter geometry.
+    pub scenario: AerialScenario,
+    /// How the intruder reports its position.
+    pub traffic: TrafficType,
+    /// Whether the RPV applies conflict resolution at all (disabling it gives
+    /// the uncontrolled baseline).
+    pub resolution_enabled: bool,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for AvionicsConfig {
+    fn default() -> Self {
+        AvionicsConfig {
+            scenario: AerialScenario::SameDirection,
+            traffic: TrafficType::Collaborative,
+            resolution_enabled: true,
+            duration: SimDuration::from_secs(900),
+            seed: 1,
+        }
+    }
+}
+
+/// Aggregate result of one encounter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvionicsResult {
+    /// Smallest horizontal separation observed while vertical separation was
+    /// below the vertical minimum (m).
+    pub min_horizontal_separation: f64,
+    /// Smallest vertical separation observed while horizontal separation was
+    /// below the horizontal minimum (m).
+    pub min_vertical_separation: f64,
+    /// Seconds during which both separation minima were simultaneously
+    /// violated (an "air traffic conflict" per the paper's definition).
+    pub violation_seconds: f64,
+    /// When the conflict was first detected, if ever (s from start).
+    pub detected_at: Option<f64>,
+    /// Whether a resolution manoeuvre was applied.
+    pub resolution_applied: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Aircraft {
+    position: Vec3,
+    velocity: Vec3,
+}
+
+impl Aircraft {
+    fn step(&mut self, dt: f64) {
+        self.position = self.position + self.velocity * dt;
+    }
+}
+
+/// Runs one avionics encounter and returns the separation metrics.
+pub fn run_encounter(config: &AvionicsConfig) -> AvionicsResult {
+    let dt = 1.0;
+    let steps = config.duration.as_secs_f64().round() as u64;
+    let mut rng = Rng::seed_from(config.seed);
+
+    // Encounter geometry.  The "ownship" is the RPV executing the mission;
+    // the "intruder" is the other traffic.
+    let (mut ownship, mut intruder, own_climb_rate) = match config.scenario {
+        AerialScenario::SameDirection => (
+            // Rear aircraft, 60 m/s faster, 40 km behind, same level.
+            Aircraft { position: Vec3::new(-40_000.0, 0.0, 10_000.0), velocity: Vec3::new(260.0, 0.0, 0.0) },
+            Aircraft { position: Vec3::new(0.0, 0.0, 10_000.0), velocity: Vec3::new(200.0, 0.0, 0.0) },
+            0.0,
+        ),
+        AerialScenario::LeveledCrossing => (
+            // Ownship heading east, intruder heading north; tracks cross at
+            // the origin at roughly the same time.
+            Aircraft { position: Vec3::new(-50_000.0, 0.0, 10_000.0), velocity: Vec3::new(230.0, 0.0, 0.0) },
+            Aircraft { position: Vec3::new(0.0, -52_000.0, 10_000.0), velocity: Vec3::new(0.0, 235.0, 0.0) },
+            0.0,
+        ),
+        AerialScenario::FlightLevelChange => (
+            // Ownship climbs through the intruder's level; the intruder flies
+            // a parallel track offset laterally by ~6 km (not a direct
+            // collision course, but within the horizontal minimum).
+            Aircraft { position: Vec3::new(-2_000.0, 0.0, 9_000.0), velocity: Vec3::new(200.0, 0.0, 0.0) },
+            Aircraft { position: Vec3::new(0.0, 6_000.0, 10_000.0), velocity: Vec3::new(200.0, 0.0, 0.0) },
+            8.0,
+        ),
+    };
+    ownship.velocity.z = own_climb_rate;
+
+    // Surveillance model.
+    let (report_period, position_noise) = match config.traffic {
+        TrafficType::Collaborative => (1.0, 30.0),
+        TrafficType::NonCollaborative => (20.0, 1_500.0),
+    };
+    let mut last_report_at = -f64::INFINITY;
+    let mut estimated_intruder: Option<(Vec3, f64)> = None; // (position, report time)
+    let mut previous_estimate: Option<(Vec3, f64)> = None;
+
+    let mut result = AvionicsResult {
+        min_horizontal_separation: f64::INFINITY,
+        min_vertical_separation: f64::INFINITY,
+        violation_seconds: 0.0,
+        detected_at: None,
+        resolution_applied: false,
+    };
+
+    for step in 0..steps {
+        let t = step as f64 * dt;
+
+        // Surveillance update.
+        if t - last_report_at >= report_period {
+            last_report_at = t;
+            previous_estimate = estimated_intruder;
+            let noisy = Vec3::new(
+                intruder.position.x + rng.normal(0.0, position_noise),
+                intruder.position.y + rng.normal(0.0, position_noise),
+                intruder.position.z + rng.normal(0.0, position_noise / 10.0),
+            );
+            estimated_intruder = Some((noisy, t));
+        }
+
+        // Conflict detection on the *estimated* geometry: predicted to come
+        // within 1.6× the horizontal minimum and 1.5× the vertical minimum
+        // within the look-ahead horizon.
+        if result.detected_at.is_none() {
+            if let (Some((est_pos, est_t)), Some((prev_pos, prev_t))) = (estimated_intruder, previous_estimate) {
+                let dt_est = (est_t - prev_t).max(1.0);
+                let est_velocity = (est_pos - prev_pos) / dt_est;
+                let extrapolated = est_pos + est_velocity * (t - est_t);
+                let lookahead = 180.0;
+                let mut conflict_predicted = false;
+                for tau in [0.0, 30.0, 60.0, 90.0, 120.0, 150.0, lookahead] {
+                    let own_future = ownship.position + ownship.velocity * tau;
+                    let intruder_future = extrapolated + est_velocity * tau;
+                    let horizontal = own_future.horizontal_distance(intruder_future);
+                    let vertical = own_future.vertical_distance(intruder_future);
+                    if horizontal < HORIZONTAL_MINIMUM * 1.6 && vertical < VERTICAL_MINIMUM * 1.5 {
+                        conflict_predicted = true;
+                        break;
+                    }
+                }
+                if conflict_predicted {
+                    result.detected_at = Some(t);
+                }
+            }
+        }
+
+        // Resolution: once the conflict is detected, the give-way aircraft
+        // (the ownship in all three scenarios) slows down / levels off until
+        // the conflict is over.
+        if config.resolution_enabled && result.detected_at.is_some() {
+            result.resolution_applied = true;
+            match config.scenario {
+                AerialScenario::SameDirection => {
+                    // Decelerate 0.6 m/s² down to the intruder's speed.
+                    if ownship.velocity.x > intruder.velocity.x {
+                        ownship.velocity.x = (ownship.velocity.x - 0.6 * dt).max(intruder.velocity.x);
+                    }
+                }
+                AerialScenario::LeveledCrossing => {
+                    // Slow down to pass behind the crossing traffic.
+                    ownship.velocity.x = (ownship.velocity.x - 0.8 * dt).max(160.0);
+                }
+                AerialScenario::FlightLevelChange => {
+                    // Pause the climb below the intruder's level.
+                    if (ownship.position.z - intruder.position.z).abs() < 2.0 * VERTICAL_MINIMUM
+                        && ownship.position.z < intruder.position.z
+                    {
+                        ownship.velocity.z = 0.0;
+                    } else {
+                        ownship.velocity.z = own_climb_rate;
+                    }
+                }
+            }
+        }
+
+        ownship.step(dt);
+        intruder.step(dt);
+
+        // Separation accounting on the true geometry.
+        let horizontal = ownship.position.horizontal_distance(intruder.position);
+        let vertical = ownship.position.vertical_distance(intruder.position);
+        if vertical < VERTICAL_MINIMUM {
+            result.min_horizontal_separation = result.min_horizontal_separation.min(horizontal);
+        }
+        if horizontal < HORIZONTAL_MINIMUM {
+            result.min_vertical_separation = result.min_vertical_separation.min(vertical);
+        }
+        if horizontal < HORIZONTAL_MINIMUM && vertical < VERTICAL_MINIMUM {
+            result.violation_seconds += dt;
+        }
+    }
+
+    if result.min_horizontal_separation.is_infinite() {
+        result.min_horizontal_separation = f64::MAX;
+    }
+    if result.min_vertical_separation.is_infinite() {
+        result.min_vertical_separation = f64::MAX;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(scenario: AerialScenario, traffic: TrafficType, resolution: bool, seed: u64) -> AvionicsResult {
+        run_encounter(&AvionicsConfig {
+            scenario,
+            traffic,
+            resolution_enabled: resolution,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn unresolved_same_direction_encounter_violates_separation() {
+        let result = run(AerialScenario::SameDirection, TrafficType::Collaborative, false, 1);
+        assert!(result.violation_seconds > 0.0, "{result:?}");
+        assert!(result.min_horizontal_separation < HORIZONTAL_MINIMUM);
+        assert!(!result.resolution_applied);
+    }
+
+    #[test]
+    fn collaborative_resolution_keeps_separation_in_all_scenarios() {
+        for (i, scenario) in [
+            AerialScenario::SameDirection,
+            AerialScenario::LeveledCrossing,
+            AerialScenario::FlightLevelChange,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let result = run(*scenario, TrafficType::Collaborative, true, 10 + i as u64);
+            assert_eq!(result.violation_seconds, 0.0, "{scenario:?}: {result:?}");
+            assert!(result.detected_at.is_some(), "{scenario:?} must detect the conflict");
+            assert!(result.resolution_applied);
+        }
+    }
+
+    #[test]
+    fn non_collaborative_traffic_detects_later_and_gets_closer() {
+        let collaborative = run(AerialScenario::SameDirection, TrafficType::Collaborative, true, 2);
+        let non_collaborative = run(AerialScenario::SameDirection, TrafficType::NonCollaborative, true, 2);
+        let t_collab = collaborative.detected_at.expect("collaborative detection");
+        let t_non = non_collaborative.detected_at.unwrap_or(f64::MAX);
+        assert!(t_non >= t_collab, "non-collaborative must not detect earlier");
+        assert!(
+            non_collaborative.min_horizontal_separation <= collaborative.min_horizontal_separation + 1.0,
+            "collab {} vs non-collab {}",
+            collaborative.min_horizontal_separation,
+            non_collaborative.min_horizontal_separation
+        );
+    }
+
+    #[test]
+    fn flight_level_change_without_resolution_busts_the_level() {
+        let result = run(AerialScenario::FlightLevelChange, TrafficType::Collaborative, false, 3);
+        // The climb passes through the intruder's level within the lateral minimum.
+        assert!(result.min_vertical_separation < VERTICAL_MINIMUM, "{result:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(AerialScenario::LeveledCrossing, TrafficType::NonCollaborative, true, 9);
+        let b = run(AerialScenario::LeveledCrossing, TrafficType::NonCollaborative, true, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,253 @@
+//! Longitudinal vehicle dynamics and the ACC/CACC controllers.
+//!
+//! The automotive use case A1: "ACCs allow vehicles to slow when approaching
+//! other vehicles and to accelerate to their cruising speed when possible …
+//! The level of service for this use case is mainly the needed time margin
+//! between vehicles for meeting the safety goals.  Higher level of service
+//! means a lower time margin between vehicles."
+
+use karyon_core::LevelOfService;
+use karyon_sim::geometry::clamp;
+
+/// Longitudinal state of a road vehicle in lane coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VehicleState {
+    /// Position along the lane (metres, increasing in the driving direction).
+    pub position: f64,
+    /// Speed (m/s, non-negative).
+    pub speed: f64,
+    /// Acceleration currently applied (m/s²).
+    pub acceleration: f64,
+    /// Lane index (0 = rightmost).
+    pub lane: usize,
+}
+
+impl VehicleState {
+    /// Creates a state at the given position and speed in lane 0.
+    pub fn new(position: f64, speed: f64) -> Self {
+        VehicleState { position, speed: speed.max(0.0), acceleration: 0.0, lane: 0 }
+    }
+
+    /// Advances the state by `dt` seconds with the given commanded
+    /// acceleration, respecting actuator limits and never reversing.
+    pub fn step(&mut self, commanded_acceleration: f64, dt: f64, limits: &VehicleLimits) {
+        let a = clamp(commanded_acceleration, -limits.max_deceleration, limits.max_acceleration);
+        self.acceleration = a;
+        let new_speed = (self.speed + a * dt).clamp(0.0, limits.max_speed);
+        // Trapezoidal position update.
+        self.position += (self.speed + new_speed) * 0.5 * dt;
+        self.speed = new_speed;
+    }
+
+    /// The bumper-to-bumper gap to a leading vehicle, given both positions
+    /// and the vehicle length.
+    pub fn gap_to(&self, leader_position: f64, vehicle_length: f64) -> f64 {
+        leader_position - self.position - vehicle_length
+    }
+
+    /// The time gap (headway) to a leader at the given gap, in seconds;
+    /// effectively infinite when stationary.
+    pub fn time_gap(&self, gap: f64) -> f64 {
+        if self.speed < 0.1 {
+            f64::INFINITY
+        } else {
+            gap / self.speed
+        }
+    }
+}
+
+/// Actuation limits of a vehicle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VehicleLimits {
+    /// Maximum acceleration (m/s²).
+    pub max_acceleration: f64,
+    /// Maximum (service) deceleration magnitude (m/s²).
+    pub max_deceleration: f64,
+    /// Maximum speed (m/s).
+    pub max_speed: f64,
+    /// Vehicle length (m).
+    pub length: f64,
+}
+
+impl Default for VehicleLimits {
+    fn default() -> Self {
+        VehicleLimits { max_acceleration: 2.0, max_deceleration: 6.0, max_speed: 36.0, length: 4.5 }
+    }
+}
+
+/// The time margin (desired time gap, seconds) the ACC keeps at each Level of
+/// Service — the LoS-dependent performance/safety knob of use case A1.
+/// Higher LoS ⇒ smaller time margin ⇒ higher road throughput.
+pub fn time_margin_for_los(los: LevelOfService) -> f64 {
+    match los.0 {
+        0 => 1.8, // autonomous sensors only, conservative
+        1 => 1.2, // cooperative awareness with degraded guarantees
+        _ => 0.6, // fully cooperative (CACC-grade guarantees)
+    }
+}
+
+/// Input the controller acts on each cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccInput {
+    /// Measured gap to the leader (m); `None` when no leader is detected.
+    pub gap: Option<f64>,
+    /// Measured closing speed (own speed − leader speed, m/s), if known.
+    pub closing_speed: Option<f64>,
+    /// The leader's acceleration received over V2V, if available and trusted
+    /// (this is what turns ACC into CACC).
+    pub leader_acceleration: Option<f64>,
+}
+
+/// A constant-time-gap adaptive cruise controller with an optional
+/// feed-forward term from cooperatively received leader acceleration.
+#[derive(Debug, Clone)]
+pub struct AccController {
+    /// Desired cruising speed when unconstrained (m/s).
+    pub cruise_speed: f64,
+    /// Gap-error gain (1/s²).
+    pub gap_gain: f64,
+    /// Speed-error gain (1/s).
+    pub speed_gain: f64,
+    /// Feed-forward gain on the cooperative leader acceleration.
+    pub feedforward_gain: f64,
+    /// Minimum standstill spacing (m).
+    pub standstill_gap: f64,
+}
+
+impl Default for AccController {
+    fn default() -> Self {
+        AccController {
+            cruise_speed: 30.0,
+            gap_gain: 0.25,
+            speed_gain: 0.6,
+            feedforward_gain: 0.8,
+            standstill_gap: 3.0,
+        }
+    }
+}
+
+impl AccController {
+    /// Computes the commanded acceleration for the current cycle.
+    ///
+    /// `time_margin` is the desired time gap (from [`time_margin_for_los`]).
+    pub fn control(&self, own_speed: f64, input: &AccInput, time_margin: f64) -> f64 {
+        match input.gap {
+            None => {
+                // Free driving: track the cruise speed.
+                self.speed_gain * (self.cruise_speed - own_speed)
+            }
+            Some(gap) => {
+                let desired_gap = self.standstill_gap + time_margin * own_speed;
+                let gap_error = gap - desired_gap;
+                let closing = input.closing_speed.unwrap_or(0.0);
+                let mut a = self.gap_gain * gap_error - self.speed_gain * closing;
+                if let Some(lead_acc) = input.leader_acceleration {
+                    a += self.feedforward_gain * lead_acc;
+                }
+                // Never exceed what free driving would command.
+                let free = self.speed_gain * (self.cruise_speed - own_speed);
+                a.min(free)
+            }
+        }
+    }
+}
+
+/// Emergency braking supervisor: a below-the-hybridization-line function that
+/// overrides the ACC when the time-to-collision drops below a bound.  This is
+/// the "ultimate safety provision" that exists at every LoS.
+pub fn emergency_brake_needed(gap: f64, closing_speed: f64, ttc_threshold: f64) -> bool {
+    if gap <= 0.0 {
+        return true;
+    }
+    if closing_speed <= 0.0 {
+        return false;
+    }
+    gap / closing_speed < ttc_threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_integration_respects_limits() {
+        let limits = VehicleLimits::default();
+        let mut v = VehicleState::new(0.0, 30.0);
+        v.step(10.0, 1.0, &limits); // command above the limit
+        assert!((v.acceleration - 2.0).abs() < 1e-9);
+        assert!((v.speed - 32.0).abs() < 1e-9);
+        assert!((v.position - 31.0).abs() < 1e-9);
+        // Hard braking cannot reverse.
+        let mut s = VehicleState::new(0.0, 1.0);
+        s.step(-6.0, 1.0, &limits);
+        assert_eq!(s.speed, 0.0);
+        assert!(s.position > 0.0);
+        // Max speed cap.
+        let mut f = VehicleState::new(0.0, 35.5);
+        f.step(2.0, 1.0, &limits);
+        assert_eq!(f.speed, 36.0);
+    }
+
+    #[test]
+    fn gap_and_time_gap() {
+        let v = VehicleState::new(100.0, 20.0);
+        assert!((v.gap_to(150.0, 4.5) - 45.5).abs() < 1e-9);
+        assert!((v.time_gap(40.0) - 2.0).abs() < 1e-9);
+        let stopped = VehicleState::new(0.0, 0.0);
+        assert!(stopped.time_gap(10.0).is_infinite());
+    }
+
+    #[test]
+    fn time_margin_decreases_with_los() {
+        let m0 = time_margin_for_los(LevelOfService(0));
+        let m1 = time_margin_for_los(LevelOfService(1));
+        let m2 = time_margin_for_los(LevelOfService(2));
+        assert!(m0 > m1 && m1 > m2);
+        assert_eq!(time_margin_for_los(LevelOfService(5)), m2);
+    }
+
+    #[test]
+    fn free_driving_tracks_cruise_speed() {
+        let acc = AccController::default();
+        let a_slow = acc.control(20.0, &AccInput { gap: None, closing_speed: None, leader_acceleration: None }, 1.0);
+        assert!(a_slow > 0.0);
+        let a_fast = acc.control(35.0, &AccInput { gap: None, closing_speed: None, leader_acceleration: None }, 1.0);
+        assert!(a_fast < 0.0);
+    }
+
+    #[test]
+    fn following_regulates_towards_desired_gap() {
+        let acc = AccController::default();
+        let speed = 25.0;
+        let margin = 1.0;
+        // Desired gap = 3 + 25 = 28 m.
+        let too_close =
+            acc.control(speed, &AccInput { gap: Some(15.0), closing_speed: Some(0.0), leader_acceleration: None }, margin);
+        assert!(too_close < 0.0);
+        let too_far =
+            acc.control(speed, &AccInput { gap: Some(60.0), closing_speed: Some(0.0), leader_acceleration: None }, margin);
+        assert!(too_far > 0.0);
+        // Closing fast on the leader demands braking even at the desired gap.
+        let closing =
+            acc.control(speed, &AccInput { gap: Some(28.0), closing_speed: Some(5.0), leader_acceleration: None }, margin);
+        assert!(closing < 0.0);
+    }
+
+    #[test]
+    fn cooperative_feedforward_reacts_before_the_gap_changes() {
+        let acc = AccController::default();
+        let base = AccInput { gap: Some(28.0), closing_speed: Some(0.0), leader_acceleration: None };
+        let coop = AccInput { leader_acceleration: Some(-3.0), ..base };
+        let a_base = acc.control(25.0, &base, 1.0);
+        let a_coop = acc.control(25.0, &coop, 1.0);
+        assert!(a_coop < a_base, "V2V-known braking must be anticipated");
+    }
+
+    #[test]
+    fn emergency_brake_trigger() {
+        assert!(emergency_brake_needed(5.0, 10.0, 1.0)); // 0.5 s TTC
+        assert!(!emergency_brake_needed(50.0, 10.0, 1.0));
+        assert!(!emergency_brake_needed(50.0, -2.0, 1.0)); // opening gap
+        assert!(emergency_brake_needed(-1.0, 0.0, 1.0)); // already overlapping
+    }
+}

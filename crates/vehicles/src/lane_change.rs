@@ -1,0 +1,358 @@
+//! Coordinated lane-change manoeuvres (paper §VI-A3).
+//!
+//! "The idea here is to provide a distributed mechanism for assuring that at
+//! any time and any region there is at most one vehicle that is changing its
+//! lane and that the nearby vehicles allow it to safely complete the
+//! manoeuvre."  The coordination uses the bounded-round agreement protocol of
+//! [`karyon_core::cooperation`]; the baseline starts the manoeuvre without
+//! asking anyone.
+
+use std::collections::BTreeMap;
+
+use karyon_core::{AgreementMessage, AgreementProtocol, ProposalState};
+use karyon_sim::{Rng, SimDuration, SimTime};
+
+/// Whether lane changes are coordinated through the agreement protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coordination {
+    /// KARYON coordination: agreement with all vehicles in the region first.
+    Agreement,
+    /// Baseline: start the manoeuvre immediately when desired.
+    None,
+}
+
+/// Configuration of the lane-change scenario.
+#[derive(Debug, Clone)]
+pub struct LaneChangeConfig {
+    /// Number of vehicles on the two-lane road segment.
+    pub vehicles: usize,
+    /// Length of the circular road segment (m).
+    pub road_length: f64,
+    /// Radius of the coordination region around a changing vehicle (m).
+    pub region_radius: f64,
+    /// Probability per vehicle per second of desiring a lane change.
+    pub desire_rate: f64,
+    /// Probability that a protocol message is lost.
+    pub message_loss: f64,
+    /// Duration of a lane-change manoeuvre.
+    pub manoeuvre_duration: SimDuration,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Coordination mode.
+    pub coordination: Coordination,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for LaneChangeConfig {
+    fn default() -> Self {
+        LaneChangeConfig {
+            vehicles: 16,
+            road_length: 1_000.0,
+            region_radius: 80.0,
+            desire_rate: 0.05,
+            message_loss: 0.02,
+            manoeuvre_duration: SimDuration::from_secs(4),
+            duration: SimDuration::from_secs(300),
+            coordination: Coordination::Agreement,
+            seed: 1,
+        }
+    }
+}
+
+/// Aggregate result of the lane-change scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneChangeResult {
+    /// Lane changes the vehicles wanted to perform.
+    pub desired: u64,
+    /// Manoeuvres actually started.
+    pub started: u64,
+    /// Manoeuvres completed.
+    pub completed: u64,
+    /// Proposals aborted (rejected or timed out) before starting.
+    pub aborted: u64,
+    /// Steps in which two concurrent manoeuvres overlapped the same region —
+    /// the safety invariant the coordination must keep at zero.
+    pub invariant_violations: u64,
+    /// Mean delay from desire to manoeuvre start, for started manoeuvres (s).
+    pub mean_start_delay: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveManoeuvre {
+    ends_at: SimTime,
+    proposal: Option<u64>,
+}
+
+/// Runs the lane-change scenario and returns the aggregate metrics.
+pub fn run_lane_changes(config: &LaneChangeConfig) -> LaneChangeResult {
+    let dt = 0.5;
+    let steps = (config.duration.as_secs_f64() / dt).round() as u64;
+    let mut rng = Rng::seed_from(config.seed);
+
+    // Vehicle kinematics: constant speeds on a ring road, two lanes.
+    let mut positions: Vec<f64> =
+        (0..config.vehicles).map(|i| i as f64 * config.road_length / config.vehicles as f64).collect();
+    let speeds: Vec<f64> = (0..config.vehicles).map(|i| 24.0 + (i % 5) as f64).collect();
+
+    let mut protocols: Vec<AgreementProtocol> =
+        (0..config.vehicles).map(|i| AgreementProtocol::new(i as u32)).collect();
+    // Pending proposals awaiting agreement: initiator → (proposal id, desired-at time).
+    let mut pending: BTreeMap<usize, (u64, SimTime)> = BTreeMap::new();
+    // Active manoeuvres per vehicle.
+    let mut active: BTreeMap<usize, ActiveManoeuvre> = BTreeMap::new();
+    // In-flight protocol messages: (recipients, message), delivered next step.
+    let mut in_flight: Vec<(Vec<usize>, AgreementMessage)> = Vec::new();
+    // Outcome messages held back until the manoeuvre completes, so that the
+    // region stays reserved for its whole duration.
+    let mut held_outcomes: BTreeMap<usize, AgreementMessage> = BTreeMap::new();
+
+    let mut result = LaneChangeResult {
+        desired: 0,
+        started: 0,
+        completed: 0,
+        aborted: 0,
+        invariant_violations: 0,
+        mean_start_delay: 0.0,
+    };
+    let mut start_delay_sum = 0.0;
+
+    let ring_distance = |a: f64, b: f64| -> f64 {
+        let d = (a - b).abs() % config.road_length;
+        d.min(config.road_length - d)
+    };
+
+    for step in 0..steps {
+        let now = SimTime::from_secs_f64(step as f64 * dt);
+
+        // Kinematics.
+        for (pos, speed) in positions.iter_mut().zip(&speeds) {
+            *pos = (*pos + speed * dt) % config.road_length;
+        }
+
+        // Deliver in-flight protocol messages (one-step latency, with loss).
+        let deliveries = std::mem::take(&mut in_flight);
+        for (recipients, message) in deliveries {
+            for recipient in recipients {
+                if rng.chance(config.message_loss) {
+                    continue;
+                }
+                // Vehicles busy with their own manoeuvre (active or proposed)
+                // refuse new proposals — this is what resolves two vehicles
+                // in the same region proposing simultaneously (both abort and
+                // retry later).
+                if let AgreementMessage::Propose { proposal, .. } = &message {
+                    if active.contains_key(&recipient) || pending.contains_key(&recipient) {
+                        in_flight.push((
+                            vec![initiator_of(&message) as usize],
+                            AgreementMessage::Reject { proposal: *proposal, participant: recipient as u32 },
+                        ));
+                        continue;
+                    }
+                }
+                let responses = protocols[recipient].on_message(&message, now);
+                for response in responses {
+                    let targets = response_targets(&response, &message, config, &positions, recipient);
+                    in_flight.push((targets, response));
+                }
+            }
+        }
+
+        // Timeouts of pending proposals.
+        for (initiator, protocol) in protocols.iter_mut().enumerate() {
+            for outcome in protocol.tick(now) {
+                let region: Vec<usize> = neighbours(&positions, initiator, config.region_radius, &ring_distance);
+                in_flight.push((region, outcome));
+            }
+        }
+
+        // Resolve pending proposals whose state settled.
+        let mut resolved: Vec<usize> = Vec::new();
+        for (&initiator, &(proposal, desired_at)) in &pending {
+            match protocols[initiator].proposal_state(proposal) {
+                Some(ProposalState::Agreed) => {
+                    result.started += 1;
+                    start_delay_sum += now.since(desired_at).as_secs_f64();
+                    active.insert(
+                        initiator,
+                        ActiveManoeuvre {
+                            ends_at: now + config.manoeuvre_duration,
+                            proposal: Some(proposal),
+                        },
+                    );
+                    // Hold the positive outcome back until completion so the
+                    // participants stay committed for the manoeuvre duration.
+                    held_outcomes
+                        .insert(initiator, AgreementMessage::Outcome { proposal, agreed: true });
+                    resolved.push(initiator);
+                }
+                Some(ProposalState::Aborted) => {
+                    result.aborted += 1;
+                    resolved.push(initiator);
+                }
+                _ => {}
+            }
+        }
+        for initiator in resolved {
+            pending.remove(&initiator);
+        }
+
+        // Complete manoeuvres.
+        let finished: Vec<usize> =
+            active.iter().filter(|(_, m)| m.ends_at <= now).map(|(v, _)| *v).collect();
+        for vehicle in finished {
+            let manoeuvre = active.remove(&vehicle).expect("active manoeuvre");
+            result.completed += 1;
+            if manoeuvre.proposal.is_some() {
+                if let Some(outcome) = held_outcomes.remove(&vehicle) {
+                    let region: Vec<usize> =
+                        neighbours(&positions, vehicle, config.region_radius, &ring_distance);
+                    in_flight.push((region, outcome));
+                }
+            }
+        }
+
+        // Safety invariant: at most one vehicle changing its lane in any
+        // region.  The violation radius is smaller than the coordination
+        // radius by a safety margin that absorbs the relative movement of
+        // vehicles between the proposal and the end of the manoeuvre (≤ 5 m/s
+        // relative speed over ≤ 6 s), so that the coordination region chosen
+        // at design time actually covers every vehicle that could end up that
+        // close while both manoeuvres are in progress.
+        let violation_radius = (config.region_radius - 35.0).max(1.0);
+        let changing: Vec<usize> = active.keys().copied().collect();
+        for i in 0..changing.len() {
+            for j in (i + 1)..changing.len() {
+                if ring_distance(positions[changing[i]], positions[changing[j]]) <= violation_radius {
+                    result.invariant_violations += 1;
+                }
+            }
+        }
+
+        // New lane-change desires.
+        for vehicle in 0..config.vehicles {
+            if active.contains_key(&vehicle) || pending.contains_key(&vehicle) {
+                continue;
+            }
+            if !rng.chance(config.desire_rate * dt) {
+                continue;
+            }
+            result.desired += 1;
+            match config.coordination {
+                Coordination::None => {
+                    result.started += 1;
+                    active.insert(
+                        vehicle,
+                        ActiveManoeuvre {
+                            ends_at: now + config.manoeuvre_duration,
+                            proposal: None,
+                        },
+                    );
+                }
+                Coordination::Agreement => {
+                    let region: Vec<usize> =
+                        neighbours(&positions, vehicle, config.region_radius, &ring_distance);
+                    let participants: Vec<u32> = region.iter().map(|v| *v as u32).collect();
+                    let (message, proposal) = protocols[vehicle].propose(
+                        "lane-change",
+                        &participants,
+                        now,
+                        SimDuration::from_secs(2),
+                    );
+                    pending.insert(vehicle, (proposal, now));
+                    in_flight.push((region, message));
+                }
+            }
+        }
+    }
+
+    if result.started > 0 {
+        result.mean_start_delay = start_delay_sum / result.started as f64;
+    }
+    result
+}
+
+fn initiator_of(message: &AgreementMessage) -> u32 {
+    match message {
+        AgreementMessage::Propose { initiator, .. } => *initiator,
+        _ => 0,
+    }
+}
+
+fn response_targets(
+    response: &AgreementMessage,
+    request: &AgreementMessage,
+    config: &LaneChangeConfig,
+    positions: &[f64],
+    responder: usize,
+) -> Vec<usize> {
+    match response {
+        AgreementMessage::Accept { .. } | AgreementMessage::Reject { .. } => {
+            vec![initiator_of(request) as usize]
+        }
+        _ => {
+            // Outcomes go to the responder's neighbourhood.
+            let ring = |a: f64, b: f64| {
+                let d = (a - b).abs() % config.road_length;
+                d.min(config.road_length - d)
+            };
+            neighbours(positions, responder, config.region_radius, &ring)
+        }
+    }
+}
+
+fn neighbours(
+    positions: &[f64],
+    vehicle: usize,
+    radius: f64,
+    ring_distance: &impl Fn(f64, f64) -> f64,
+) -> Vec<usize> {
+    positions
+        .iter()
+        .enumerate()
+        .filter(|(i, pos)| *i != vehicle && ring_distance(**pos, positions[vehicle]) <= radius)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(coordination: Coordination, seed: u64) -> LaneChangeConfig {
+        LaneChangeConfig { coordination, seed, duration: SimDuration::from_secs(240), ..Default::default() }
+    }
+
+    #[test]
+    fn coordinated_changes_keep_the_invariant() {
+        let result = run_lane_changes(&config(Coordination::Agreement, 1));
+        assert_eq!(result.invariant_violations, 0, "{result:?}");
+        assert!(result.started > 5, "some manoeuvres must go through: {result:?}");
+        assert!(result.completed > 0);
+        assert!(result.completed <= result.started);
+        assert!(result.mean_start_delay < 3.0, "agreement should settle quickly");
+    }
+
+    #[test]
+    fn uncoordinated_changes_violate_the_invariant() {
+        let result = run_lane_changes(&config(Coordination::None, 2));
+        assert!(result.invariant_violations > 0, "{result:?}");
+        assert_eq!(result.aborted, 0);
+        assert_eq!(result.desired, result.started);
+    }
+
+    #[test]
+    fn coordination_trades_some_throughput_for_safety() {
+        let coordinated = run_lane_changes(&config(Coordination::Agreement, 3));
+        let baseline = run_lane_changes(&config(Coordination::None, 3));
+        assert!(coordinated.started <= baseline.started);
+        assert!(coordinated.invariant_violations < baseline.invariant_violations);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_lane_changes(&config(Coordination::Agreement, 5));
+        let b = run_lane_changes(&config(Coordination::Agreement, 5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,41 @@
+//! # karyon-vehicles — the KARYON automotive and avionics use cases (§VI)
+//!
+//! The paper's proof-of-concept use cases, implemented as deterministic
+//! simulations on top of the other crates of the workspace:
+//!
+//! * [`control`] — longitudinal vehicle dynamics and the ACC/CACC controller
+//!   with LoS-dependent time margins,
+//! * [`platoon`] — the ACC / platooning scenario (use case A1) wired to the
+//!   safety kernel, the abstract range sensor and the V2V link model,
+//! * [`intersection`] — intersection crossing with an infrastructure traffic
+//!   light, its I-am-alive monitoring and the virtual-traffic-light fallback
+//!   built on virtual stationary automata (use case A2),
+//! * [`lane_change`] — coordinated lane-change manoeuvres with the
+//!   bounded-round agreement protocol (use case A3),
+//! * [`avionics`] — the three aerial scenarios with separation-minima
+//!   accounting and collaborative vs. non-collaborative traffic (§VI-B).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod avionics;
+pub mod control;
+pub mod intersection;
+pub mod lane_change;
+pub mod platoon;
+
+pub use avionics::{
+    AerialScenario, AvionicsConfig, AvionicsResult, TrafficType, HORIZONTAL_MINIMUM, VERTICAL_MINIMUM,
+};
+pub use control::{
+    emergency_brake_needed, time_margin_for_los, AccController, AccInput, VehicleLimits, VehicleState,
+};
+pub use intersection::{FallbackMode, IntersectionConfig, IntersectionResult, VtlState};
+pub use lane_change::{Coordination, LaneChangeConfig, LaneChangeResult};
+pub use platoon::{
+    acc_design_time_info, run_platoon, ControlMode, InjectedSensorFault, PlatoonConfig, PlatoonResult,
+    V2VModel,
+};
+pub use avionics::run_encounter;
+pub use intersection::run_intersection;
+pub use lane_change::run_lane_changes;

@@ -1,0 +1,489 @@
+//! The ACC / platooning use case (paper §VI-A1) wired to the safety kernel.
+//!
+//! A platoon follows a leader that periodically brakes.  Every follower runs
+//! the ACC/CACC controller of [`crate::control`] with a time margin chosen by
+//! its Level of Service; the safety kernel selects the LoS from the health of
+//! the V2V link, the freshness/validity of the cooperative data and the
+//! validity of the local range sensor.  The scenario is the workhorse of
+//! experiments E01 (performance–safety trade-off) and E10 (per-LoS time
+//! margins and hazard rates).
+
+use karyon_core::{
+    Condition, DesignTimeSafetyInfo, Hazard, HazardAnalysis, LevelOfService, LosSpec, SafetyKernel,
+    SafetyRule,
+};
+use karyon_core::los::Asil;
+use karyon_sensors::{
+    AbstractSensor, RangeCheckDetector, RangeSensor, RateOfChangeDetector, SensorFault,
+    StuckAtDetector, TimeoutDetector,
+};
+use karyon_sensors::faults::FaultSchedule;
+use karyon_sim::{Rng, SimDuration, SimTime};
+
+use crate::control::{
+    emergency_brake_needed, time_margin_for_los, AccController, AccInput, VehicleLimits, VehicleState,
+};
+
+/// How a follower chooses its time margin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlMode {
+    /// The KARYON safety kernel selects the LoS at run time.
+    SafetyKernel,
+    /// The follower always operates at the given LoS regardless of run-time
+    /// conditions (the "always cooperative" / "always conservative"
+    /// baselines, depending on the level).
+    FixedLos(LevelOfService),
+}
+
+/// The V2V communication model seen by a follower.
+#[derive(Debug, Clone)]
+pub struct V2VModel {
+    /// Per-message loss probability.
+    pub loss: f64,
+    /// Message latency.
+    pub latency: SimDuration,
+    /// Outage windows during which nothing is delivered (e.g. interference).
+    pub outages: Vec<(SimTime, SimTime)>,
+}
+
+impl Default for V2VModel {
+    fn default() -> Self {
+        V2VModel { loss: 0.05, latency: SimDuration::from_millis(20), outages: Vec::new() }
+    }
+}
+
+impl V2VModel {
+    /// True when the link is inside an outage window at `now`.
+    pub fn in_outage(&self, now: SimTime) -> bool {
+        self.outages.iter().any(|(s, e)| now >= *s && now < *e)
+    }
+}
+
+/// A sensor fault to inject into one follower's range sensor.
+#[derive(Debug, Clone)]
+pub struct InjectedSensorFault {
+    /// Index of the follower (1 = first follower behind the leader).
+    pub follower: usize,
+    /// The fault to inject.
+    pub fault: SensorFault,
+    /// When the fault is active.
+    pub from: SimTime,
+    /// End of the fault window.
+    pub until: SimTime,
+}
+
+/// Configuration of a platoon run.
+#[derive(Debug, Clone)]
+pub struct PlatoonConfig {
+    /// Total number of vehicles including the leader (≥ 2).
+    pub vehicles: usize,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Control period of every follower (and of the safety kernel).
+    pub control_period: SimDuration,
+    /// How followers choose their time margin.
+    pub mode: ControlMode,
+    /// The V2V link model.
+    pub v2v: V2VModel,
+    /// Optional range-sensor fault injection.
+    pub sensor_fault: Option<InjectedSensorFault>,
+    /// Leader cruise speed (m/s).
+    pub lead_speed: f64,
+    /// Leader braking strength during its periodic braking events (m/s²).
+    pub lead_braking: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for PlatoonConfig {
+    fn default() -> Self {
+        PlatoonConfig {
+            vehicles: 6,
+            duration: SimDuration::from_secs(120),
+            control_period: SimDuration::from_millis(100),
+            mode: ControlMode::SafetyKernel,
+            v2v: V2VModel::default(),
+            sensor_fault: None,
+            lead_speed: 28.0,
+            lead_braking: 4.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Aggregate result of a platoon run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatoonResult {
+    /// Number of follower collisions (true gap reached zero).
+    pub collisions: u64,
+    /// Number of control steps in which some follower's true time gap fell
+    /// below the hazard threshold (0.4 s) while moving.
+    pub hazard_steps: u64,
+    /// Smallest true time gap observed across followers (s).
+    pub min_time_gap: f64,
+    /// Mean true time gap across followers and time (s).
+    pub mean_time_gap: f64,
+    /// Mean follower speed (m/s).
+    pub mean_speed: f64,
+    /// Estimated lane throughput (vehicles/hour) from mean speed and spacing.
+    pub throughput_veh_per_hour: f64,
+    /// Fraction of follower-time spent at LoS 0, 1 and 2.
+    pub los_time_fraction: [f64; 3],
+    /// Total number of LoS switches across followers.
+    pub los_switches: u64,
+}
+
+/// The per-LoS safety rules of the ACC functionality (design-time safety
+/// information of use case A1).
+pub fn acc_design_time_info() -> DesignTimeSafetyInfo {
+    let mut hazards = HazardAnalysis::new();
+    hazards.add(Hazard::new(
+        "H1-rear-end",
+        "rear-end collision with the preceding vehicle",
+        Asil::C,
+        SimDuration::from_millis(600),
+    ));
+    let level0 = LosSpec {
+        level: LevelOfService(0),
+        description: "autonomous sensing only, 1.8 s time margin".into(),
+        rules: vec![],
+        asil: Asil::QM,
+        performance_index: 1.0 / time_margin_for_los(LevelOfService(0)),
+    };
+    let level1 = LosSpec {
+        level: LevelOfService(1),
+        description: "cooperative awareness, 1.2 s time margin".into(),
+        rules: vec![SafetyRule::new(
+            "R1-range-validity",
+            Condition::MinValidity { item: "range".into(), threshold: 0.5 },
+        )],
+        asil: Asil::B,
+        performance_index: 1.0 / time_margin_for_los(LevelOfService(1)),
+    };
+    let level2 = LosSpec {
+        level: LevelOfService(2),
+        description: "fully cooperative CACC, 0.6 s time margin".into(),
+        rules: vec![
+            SafetyRule::new(
+                "R2-range-validity",
+                Condition::MinValidity { item: "range".into(), threshold: 0.7 },
+            ),
+            SafetyRule::new(
+                "R3-v2v-health",
+                Condition::ComponentHealthy { component: "v2v".into() },
+            ),
+            SafetyRule::new(
+                "R4-v2v-freshness",
+                Condition::MaxAge { item: "lead-state".into(), bound: SimDuration::from_millis(300) },
+            ),
+        ],
+        asil: Asil::C,
+        performance_index: 1.0 / time_margin_for_los(LevelOfService(2)),
+    };
+    DesignTimeSafetyInfo::new(
+        "adaptive-cruise-control",
+        vec![level0, level1, level2],
+        hazards,
+        SimDuration::from_millis(50),
+    )
+}
+
+struct Follower {
+    state: VehicleState,
+    controller: AccController,
+    range_sensor: AbstractSensor,
+    kernel: Option<SafetyKernel>,
+    fixed_level: LevelOfService,
+    /// Last cooperative state received from the predecessor: (speed, accel, timestamp).
+    last_v2v: Option<(f64, f64, SimTime)>,
+    previous_gap: Option<f64>,
+    collided: bool,
+}
+
+/// Runs a platoon scenario and returns the aggregate metrics.
+pub fn run_platoon(config: &PlatoonConfig) -> PlatoonResult {
+    assert!(config.vehicles >= 2, "a platoon needs a leader and at least one follower");
+    let limits = VehicleLimits::default();
+    let dt = config.control_period.as_secs_f64();
+    let mut rng = Rng::seed_from(config.seed);
+
+    // Leader.
+    let mut leader = VehicleState::new(1_000.0, config.lead_speed);
+
+    // Followers, spaced at a comfortable initial gap.
+    let mut followers: Vec<Follower> = (1..config.vehicles)
+        .map(|i| {
+            let mut sensor = AbstractSensor::new(
+                "range",
+                Box::new(RangeSensor { noise_std: 0.3, max_range: 250.0, dropout_probability: 0.001 }),
+                config.seed.wrapping_mul(31).wrapping_add(i as u64),
+            );
+            sensor.add_detector(Box::new(RangeCheckDetector::new(0.0, 250.0)));
+            sensor.add_detector(Box::new(TimeoutDetector::new(SimDuration::from_millis(400))));
+            sensor.add_detector(Box::new(RateOfChangeDetector::new(40.0)));
+            sensor.add_detector(Box::new(StuckAtDetector::new(1e-6, 8)));
+            if let Some(injected) = &config.sensor_fault {
+                if injected.follower == i {
+                    sensor
+                        .injector_mut()
+                        .inject(injected.fault, FaultSchedule::window(injected.from, injected.until));
+                }
+            }
+            let (kernel, fixed_level) = match config.mode {
+                ControlMode::SafetyKernel => {
+                    (Some(SafetyKernel::new(acc_design_time_info(), config.control_period)), LevelOfService(0))
+                }
+                ControlMode::FixedLos(level) => (None, level),
+            };
+            Follower {
+                state: VehicleState::new(1_000.0 - i as f64 * 45.0, config.lead_speed),
+                controller: AccController { cruise_speed: config.lead_speed + 4.0, ..Default::default() },
+                range_sensor: sensor,
+                kernel,
+                fixed_level,
+                last_v2v: None,
+                previous_gap: None,
+                collided: false,
+            }
+        })
+        .collect();
+
+    let steps = (config.duration.as_secs_f64() / dt).round() as u64;
+    let mut result = PlatoonResult {
+        collisions: 0,
+        hazard_steps: 0,
+        min_time_gap: f64::INFINITY,
+        mean_time_gap: 0.0,
+        mean_speed: 0.0,
+        throughput_veh_per_hour: 0.0,
+        los_time_fraction: [0.0; 3],
+        los_switches: 0,
+    };
+    let mut time_gap_samples = 0u64;
+    let mut gap_sum = 0.0;
+    let mut spacing_sum = 0.0;
+    let mut speed_sum = 0.0;
+    let mut los_steps = [0u64; 3];
+
+    for step in 0..steps {
+        let now = SimTime::from_secs_f64(step as f64 * dt);
+
+        // Leader speed profile: cruise, with a braking event every 25 s
+        // lasting 3 s, then recover.
+        let cycle = now.as_secs_f64() % 25.0;
+        let lead_acc = if cycle >= 15.0 && cycle < 18.0 {
+            -config.lead_braking
+        } else if leader.speed < config.lead_speed {
+            1.5
+        } else {
+            0.0
+        };
+        leader.step(lead_acc, dt, &limits);
+
+        // Followers, front to back (each follows the vehicle ahead of it).
+        let mut predecessor = leader;
+        for follower in followers.iter_mut() {
+            let true_gap = follower.state.gap_to(predecessor.position, limits.length);
+
+            // --- Sensing -------------------------------------------------
+            let reading = follower.range_sensor.acquire(true_gap.max(0.0), now);
+
+            // --- V2V reception from the predecessor ----------------------
+            let v2v_ok = !config.v2v.in_outage(now) && !rng.chance(config.v2v.loss);
+            if v2v_ok {
+                follower.last_v2v =
+                    Some((predecessor.speed, predecessor.acceleration, now - config.v2v.latency));
+            }
+
+            // --- Level of Service selection -------------------------------
+            let level = match &mut follower.kernel {
+                Some(kernel) => {
+                    let info = kernel.info_mut();
+                    info.update_data("range", reading.measurement.value, reading.validity, now);
+                    info.update_health("v2v", !config.v2v.in_outage(now) && follower.last_v2v.is_some(), now);
+                    if let Some((speed, _, ts)) = follower.last_v2v {
+                        info.update_data("lead-state", speed, karyon_sensors::Validity::FULL, ts);
+                    }
+                    kernel.run_cycle(now);
+                    kernel.current_los()
+                }
+                None => follower.fixed_level,
+            };
+            los_steps[(level.0 as usize).min(2)] += 1;
+            let time_margin = time_margin_for_los(level);
+
+            // --- Control ---------------------------------------------------
+            let measured_gap = if reading.is_invalid() {
+                follower.previous_gap.unwrap_or(true_gap.max(0.0))
+            } else {
+                reading.measurement.value
+            };
+            let closing = follower
+                .previous_gap
+                .map(|prev| (prev - measured_gap) / dt)
+                .unwrap_or(0.0)
+                .clamp(-15.0, 15.0);
+            follower.previous_gap = Some(measured_gap);
+            let leader_acceleration = if level == LevelOfService(2) {
+                follower.last_v2v.map(|(_, a, _)| a)
+            } else {
+                None
+            };
+            let input = AccInput {
+                gap: Some(measured_gap),
+                closing_speed: Some(closing),
+                leader_acceleration,
+            };
+            let mut command = follower.controller.control(follower.state.speed, &input, time_margin);
+            // Below-the-line emergency braking on the raw measurement.
+            if emergency_brake_needed(measured_gap, closing, 0.9) {
+                command = -limits.max_deceleration;
+            }
+            follower.state.step(command, dt, &limits);
+
+            // --- Metrics ---------------------------------------------------
+            let new_gap = follower.state.gap_to(predecessor.position, limits.length);
+            if new_gap <= 0.0 && !follower.collided {
+                follower.collided = true;
+                result.collisions += 1;
+                // Resolve the overlap so the simulation can continue.
+                follower.state.position = predecessor.position - limits.length - 1.0;
+                follower.state.speed = predecessor.speed;
+            }
+            let time_gap = follower.state.time_gap(new_gap.max(0.0));
+            if time_gap.is_finite() {
+                result.min_time_gap = result.min_time_gap.min(time_gap);
+                if time_gap < 0.4 && follower.state.speed > 5.0 {
+                    result.hazard_steps += 1;
+                }
+                gap_sum += time_gap.min(10.0);
+                time_gap_samples += 1;
+            }
+            spacing_sum += (new_gap.max(0.0) + limits.length).min(200.0);
+            speed_sum += follower.state.speed;
+
+            predecessor = follower.state;
+        }
+    }
+
+    let follower_steps = (steps as f64) * (config.vehicles - 1) as f64;
+    result.mean_time_gap = if time_gap_samples > 0 { gap_sum / time_gap_samples as f64 } else { 0.0 };
+    result.mean_speed = speed_sum / follower_steps;
+    let mean_spacing = spacing_sum / follower_steps;
+    result.throughput_veh_per_hour =
+        if mean_spacing > 0.0 { 3_600.0 * result.mean_speed / mean_spacing } else { 0.0 };
+    let total_los_steps: u64 = los_steps.iter().sum();
+    for (i, count) in los_steps.iter().enumerate() {
+        result.los_time_fraction[i] = *count as f64 / total_los_steps.max(1) as f64;
+    }
+    result.los_switches = followers
+        .iter()
+        .filter_map(|f| f.kernel.as_ref())
+        .map(|k| k.switches().len() as u64)
+        .sum();
+    if result.min_time_gap.is_infinite() {
+        result.min_time_gap = 0.0;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(mode: ControlMode, seed: u64) -> PlatoonConfig {
+        PlatoonConfig {
+            vehicles: 5,
+            duration: SimDuration::from_secs(80),
+            mode,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn healthy_cooperative_platoon_is_safe_and_dense() {
+        let result = run_platoon(&base(ControlMode::SafetyKernel, 1));
+        assert_eq!(result.collisions, 0);
+        assert!(result.min_time_gap > 0.3, "min time gap {}", result.min_time_gap);
+        // With a healthy V2V link the kernel spends most of the time at LoS 2.
+        assert!(result.los_time_fraction[2] > 0.6, "LoS2 fraction {:?}", result.los_time_fraction);
+        assert!(result.mean_speed > 20.0);
+    }
+
+    #[test]
+    fn kernel_degrades_during_v2v_outage() {
+        let mut config = base(ControlMode::SafetyKernel, 2);
+        config.v2v.outages = vec![(SimTime::from_secs(30), SimTime::from_secs(60))];
+        let result = run_platoon(&config);
+        assert_eq!(result.collisions, 0);
+        // A substantial fraction of the time must be spent below LoS 2.
+        assert!(
+            result.los_time_fraction[0] + result.los_time_fraction[1] > 0.2,
+            "LoS fractions {:?}",
+            result.los_time_fraction
+        );
+        assert!(result.los_switches > 0);
+    }
+
+    #[test]
+    fn conservative_mode_has_larger_margins_than_cooperative() {
+        let conservative = run_platoon(&base(ControlMode::FixedLos(LevelOfService(0)), 3));
+        let cooperative = run_platoon(&base(ControlMode::FixedLos(LevelOfService(2)), 3));
+        assert!(conservative.mean_time_gap > cooperative.mean_time_gap);
+        assert!(conservative.throughput_veh_per_hour < cooperative.throughput_veh_per_hour);
+        assert_eq!(conservative.los_time_fraction[0], 1.0);
+        assert_eq!(cooperative.los_time_fraction[2], 1.0);
+    }
+
+    #[test]
+    fn always_cooperative_under_outage_is_riskier_than_kernel() {
+        let outage = vec![(SimTime::from_secs(20), SimTime::from_secs(70))];
+        let mut coop = base(ControlMode::FixedLos(LevelOfService(2)), 4);
+        coop.v2v.outages = outage.clone();
+        coop.lead_braking = 5.0;
+        let mut kernel = base(ControlMode::SafetyKernel, 4);
+        kernel.v2v.outages = outage;
+        kernel.lead_braking = 5.0;
+        let coop_result = run_platoon(&coop);
+        let kernel_result = run_platoon(&kernel);
+        // The kernel-controlled platoon must not be more hazardous than the
+        // blindly cooperative one, and must keep a larger worst-case margin.
+        assert!(kernel_result.hazard_steps <= coop_result.hazard_steps);
+        assert!(kernel_result.min_time_gap >= coop_result.min_time_gap - 1e-9);
+        assert_eq!(kernel_result.collisions, 0);
+    }
+
+    #[test]
+    fn stuck_range_sensor_forces_lower_los() {
+        let mut config = base(ControlMode::SafetyKernel, 5);
+        config.sensor_fault = Some(InjectedSensorFault {
+            follower: 1,
+            fault: SensorFault::StuckAt { stuck_value: None },
+            from: SimTime::from_secs(20),
+            until: SimTime::from_secs(50),
+        });
+        let result = run_platoon(&config);
+        assert_eq!(result.collisions, 0);
+        assert!(
+            result.los_time_fraction[2] < 0.98,
+            "faulty sensor should prevent permanent LoS2: {:?}",
+            result.los_time_fraction
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one follower")]
+    fn rejects_single_vehicle() {
+        let mut config = PlatoonConfig::default();
+        config.vehicles = 1;
+        let _ = run_platoon(&config);
+    }
+
+    #[test]
+    fn deterministic_for_a_given_seed() {
+        let a = run_platoon(&base(ControlMode::SafetyKernel, 7));
+        let b = run_platoon(&base(ControlMode::SafetyKernel, 7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,62 @@
+//! Avionics: an RPV resolving the three aerial encounter scenarios with
+//! collaborative and non-collaborative traffic (use case B).
+//!
+//! Run with: `cargo run --example avionics_rpv`
+
+use karyon::sim::Table;
+use karyon::vehicles::{
+    run_encounter, AerialScenario, AvionicsConfig, TrafficType, HORIZONTAL_MINIMUM, VERTICAL_MINIMUM,
+};
+
+fn main() {
+    println!(
+        "Separation minima: {:.1} km lateral / {:.0} m vertical\n",
+        HORIZONTAL_MINIMUM / 1_000.0,
+        VERTICAL_MINIMUM
+    );
+    let scenarios = [
+        ("common trajectory, same direction", AerialScenario::SameDirection),
+        ("leveled crossing trajectories", AerialScenario::LeveledCrossing),
+        ("flight-level change", AerialScenario::FlightLevelChange),
+    ];
+    let mut table = Table::new(
+        "RPV encounters (conflict resolution enabled)",
+        &["scenario", "traffic", "conflict detected at [s]", "min horizontal sep [km]", "min vertical sep [m]", "violation [s]"],
+    );
+    for (name, scenario) in scenarios {
+        for (traffic_name, traffic) in
+            [("collaborative", TrafficType::Collaborative), ("non-collaborative", TrafficType::NonCollaborative)]
+        {
+            let result = run_encounter(&AvionicsConfig {
+                scenario,
+                traffic,
+                resolution_enabled: true,
+                seed: 11,
+                ..Default::default()
+            });
+            table.add_row(&[
+                name.to_string(),
+                traffic_name.to_string(),
+                result.detected_at.map(|t| format!("{t:.0}")).unwrap_or_else(|| "never".into()),
+                if result.min_horizontal_separation == f64::MAX {
+                    "-".into()
+                } else {
+                    format!("{:.1}", result.min_horizontal_separation / 1_000.0)
+                },
+                if result.min_vertical_separation == f64::MAX {
+                    "-".into()
+                } else {
+                    format!("{:.0}", result.min_vertical_separation)
+                },
+                format!("{:.0}", result.violation_seconds),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "Collaborative (ADS-B grade) traffic is detected early and resolved with wide margins;\n\
+         non-collaborative traffic (coarse, sporadic voice position reports) is detected later and\n\
+         with smaller margins — the reason the paper treats collaborative position dissemination as\n\
+         a prerequisite for integrating RPVs into shared airspace."
+    );
+}

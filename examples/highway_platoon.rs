@@ -1,0 +1,53 @@
+//! Highway platooning with the KARYON safety kernel (use case A1).
+//!
+//! Runs the same platoon three times — kernel-controlled, always-cooperative
+//! and always-conservative — through a V2V outage, and prints the safety and
+//! throughput figures side by side.
+//!
+//! Run with: `cargo run --example highway_platoon`
+
+use karyon::core::LevelOfService;
+use karyon::sim::{SimDuration, SimTime, Table};
+use karyon::vehicles::{run_platoon, ControlMode, PlatoonConfig, V2VModel};
+
+fn main() {
+    let v2v = V2VModel {
+        loss: 0.05,
+        outages: vec![(SimTime::from_secs(40), SimTime::from_secs(90))],
+        ..Default::default()
+    };
+    let modes = [
+        ("KARYON safety kernel", ControlMode::SafetyKernel),
+        ("always cooperative", ControlMode::FixedLos(LevelOfService(2))),
+        ("always conservative", ControlMode::FixedLos(LevelOfService(0))),
+    ];
+
+    let mut table = Table::new(
+        "Highway platoon through a 50 s V2V outage (6 vehicles, 150 s)",
+        &["control", "collisions", "hazard steps", "min time gap [s]", "throughput [veh/h]", "LoS switches"],
+    );
+    for (name, mode) in modes {
+        let result = run_platoon(&PlatoonConfig {
+            vehicles: 6,
+            duration: SimDuration::from_secs(150),
+            mode,
+            v2v: v2v.clone(),
+            lead_braking: 5.0,
+            seed: 7,
+            ..Default::default()
+        });
+        table.add_row(&[
+            name.to_string(),
+            result.collisions.to_string(),
+            result.hazard_steps.to_string(),
+            format!("{:.2}", result.min_time_gap),
+            format!("{:.0}", result.throughput_veh_per_hour),
+            result.los_switches.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "The kernel-controlled platoon degrades its Level of Service during the outage (larger\n\
+         time margin) and recovers afterwards — the performance/safety trade-off of paper Fig. 1."
+    );
+}

@@ -1,0 +1,42 @@
+//! Intersection crossing with a failing traffic light and the virtual
+//! traffic-light fallback (use case A2).
+//!
+//! Run with: `cargo run --example intersection_vtl`
+
+use karyon::sim::{SimDuration, SimTime, Table};
+use karyon::vehicles::{run_intersection, FallbackMode, IntersectionConfig};
+
+fn main() {
+    let failure = Some((SimTime::from_secs(120), SimTime::from_secs(480)));
+    let cases = [
+        ("infrastructure light healthy", None, FallbackMode::VirtualTrafficLight),
+        ("failure + virtual traffic light", failure, FallbackMode::VirtualTrafficLight),
+        ("failure + uncoordinated drivers", failure, FallbackMode::Uncoordinated),
+    ];
+    let mut table = Table::new(
+        "Intersection, 12 vehicles/min/approach, light fails 120-480 s",
+        &["scenario", "conflicts", "throughput [veh/min]", "mean wait [s]", "uncontrolled time [%]"],
+    );
+    for (name, light_failure, fallback) in cases {
+        let result = run_intersection(&IntersectionConfig {
+            arrivals_per_minute: 12.0,
+            duration: SimDuration::from_secs(600),
+            light_failure,
+            fallback,
+            seed: 3,
+        });
+        table.add_row(&[
+            name.to_string(),
+            result.conflicts.to_string(),
+            format!("{:.2}", result.throughput_per_minute),
+            format!("{:.1}", result.mean_wait),
+            format!("{:.1}", result.uncontrolled_fraction * 100.0),
+        ]);
+    }
+    table.print();
+    println!(
+        "The virtual traffic light — a replicated state machine hosted by the vehicles at the\n\
+         intersection (a virtual stationary automaton) — takes over within the I-am-alive timeout\n\
+         and keeps the crossing conflict-free without any roadside infrastructure."
+    );
+}

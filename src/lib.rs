@@ -1,0 +1,21 @@
+//! # karyon — umbrella crate for the KARYON reproduction
+//!
+//! Re-exports the individual crates of the workspace under short module
+//! names so examples and integration tests can use a single dependency:
+//!
+//! * [`sim`] — deterministic discrete-event simulation substrate
+//! * [`sensors`] — abstract sensors, fault model, validity, fusion (paper §IV)
+//! * [`net`] — wireless medium, R2T-MAC, self-stabilizing TDMA, E2E FIFO (§V-A)
+//! * [`middleware`] — FAMOUSO-style event channels with QoS (§V-B)
+//! * [`core`] — the safety kernel: Levels of Service, safety rules, safety
+//!   manager, cooperation state (§III, §V-C)
+//! * [`vehicles`] — automotive and avionics use cases (§VI)
+
+#![forbid(unsafe_code)]
+
+pub use karyon_core as core;
+pub use karyon_middleware as middleware;
+pub use karyon_net as net;
+pub use karyon_sensors as sensors;
+pub use karyon_sim as sim;
+pub use karyon_vehicles as vehicles;

@@ -1,0 +1,141 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the reproduction.
+
+use proptest::prelude::*;
+
+use karyon::net::end_to_end::{eventually_fifo, E2EConfig, EndToEndSession};
+use karyon::sensors::abstract_sensor::combine_outcomes;
+use karyon::sensors::detectors::{DetectionOutcome, DetectorClass};
+use karyon::sensors::{marzullo_fuse, weighted_fuse, Interval, Measurement, Validity};
+use karyon::sim::{EventQueue, Rng, SimTime};
+
+proptest! {
+    /// The event queue always pops events in non-decreasing time order,
+    /// regardless of the insertion order.
+    #[test]
+    fn event_queue_is_time_ordered(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut queue = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            queue.schedule(SimTime::from_micros(*t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = queue.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Validity is always clamped into [0, 1] and combination never exceeds
+    /// either operand.
+    #[test]
+    fn validity_combination_is_bounded(a in -2.0f64..3.0, b in -2.0f64..3.0) {
+        let va = Validity::new(a);
+        let vb = Validity::new(b);
+        prop_assert!((0.0..=1.0).contains(&va.fraction()));
+        let combined = va.combine(vb);
+        prop_assert!(combined.fraction() <= va.fraction() + 1e-12);
+        prop_assert!(combined.fraction() <= vb.fraction() + 1e-12);
+        prop_assert!(combined.fraction() >= 0.0);
+    }
+
+    /// Combining detector outcomes yields 0 iff some dominant detector failed
+    /// (continuous detectors alone can only approach zero).
+    #[test]
+    fn dominant_failures_always_invalidate(
+        graded in proptest::collection::vec(0.01f64..1.0, 0..6),
+        include_failure in any::<bool>(),
+    ) {
+        let mut outcomes: Vec<DetectionOutcome> =
+            graded.iter().map(|v| DetectionOutcome::graded(Validity::new(*v))).collect();
+        if include_failure {
+            outcomes.push(DetectionOutcome::dominant_failure());
+        } else {
+            outcomes.push(DetectionOutcome::pass(DetectorClass::Dominant));
+        }
+        let combined = combine_outcomes(&outcomes);
+        if include_failure {
+            prop_assert!(combined.is_invalid());
+        } else {
+            prop_assert!(!combined.is_invalid());
+        }
+    }
+
+    /// Marzullo fusion with f faulty sensors always returns an interval that
+    /// overlaps the true value whenever at least n-f intervals contain it.
+    #[test]
+    fn marzullo_result_is_consistent_with_correct_majority(
+        truth in -100.0f64..100.0,
+        widths in proptest::collection::vec(0.5f64..5.0, 3..9),
+        outlier_offset in 50.0f64..500.0,
+    ) {
+        let n = widths.len();
+        let f = 1usize;
+        // n-1 correct intervals around the truth, one outlier.
+        let mut intervals: Vec<Interval> = widths
+            .iter()
+            .take(n - 1)
+            .map(|w| Interval::new(truth - w, truth + w))
+            .collect();
+        intervals.push(Interval::new(truth + outlier_offset, truth + outlier_offset + 1.0));
+        let fused = marzullo_fuse(&intervals, f).expect("fusion must succeed with one fault");
+        prop_assert!(fused.contains(truth), "fused {fused:?} does not contain {truth}");
+    }
+
+    /// Validity-weighted fusion stays within the range of the valid inputs.
+    #[test]
+    fn weighted_fusion_stays_in_input_range(
+        values in proptest::collection::vec(-50.0f64..50.0, 1..8),
+        validities in proptest::collection::vec(0.1f64..1.0, 1..8),
+    ) {
+        let n = values.len().min(validities.len());
+        let readings: Vec<(Measurement, Validity)> = (0..n)
+            .map(|i| (Measurement::new(values[i], SimTime::ZERO, 1.0), Validity::new(validities[i])))
+            .collect();
+        let (fused, validity) = weighted_fuse(&readings).expect("non-empty fusion");
+        let lo = values[..n].iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values[..n].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(fused >= lo - 1e-9 && fused <= hi + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&validity.fraction()));
+    }
+
+    /// The deterministic RNG produces identical streams for identical seeds
+    /// and stays within requested ranges.
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>(), lo in 0u64..1_000, span in 1u64..1_000) {
+        let mut a = Rng::seed_from(seed);
+        let mut b = Rng::seed_from(seed);
+        for _ in 0..32 {
+            let x = a.range_u64(lo, lo + span);
+            let y = b.range_u64(lo, lo + span);
+            prop_assert_eq!(x, y);
+            prop_assert!((lo..=lo + span).contains(&x));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The self-stabilizing end-to-end protocol delivers FIFO without
+    /// omission or duplication for arbitrary (bounded) channel error rates
+    /// from a clean start.
+    #[test]
+    fn end_to_end_fifo_holds_for_random_error_rates(
+        seed in any::<u64>(),
+        omission in 0.0f64..0.4,
+        duplication in 0.0f64..0.4,
+        capacity in 1usize..10,
+    ) {
+        let config = E2EConfig { capacity, omission, duplication, reorder: true };
+        let mut session = EndToEndSession::new(&config, seed);
+        let sent: Vec<u64> = (1..=30).collect();
+        for &m in &sent {
+            session.sender.enqueue(m);
+        }
+        session.run_until_drained(2_000_000);
+        prop_assert!(eventually_fifo(&sent, session.receiver.delivered(), 0));
+    }
+}

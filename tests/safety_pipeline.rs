@@ -1,0 +1,197 @@
+//! Integration tests spanning crates: abstract sensors feeding the safety
+//! kernel, the kernel driving the LoS of the platoon use case, and the
+//! middleware/network capability feeding the kernel's rules.
+
+use karyon::core::los::Asil;
+use karyon::core::{
+    Condition, DesignTimeSafetyInfo, HazardAnalysis, LevelOfService, LosSpec, SafetyKernel,
+    SafetyRule, TimingFailureDetector,
+};
+use karyon::middleware::{
+    Admission, ContextFilter, EventBus, NetworkCapability, NetworkId, QosRequirement, SubscriberId,
+    Subject,
+};
+use karyon::sensors::faults::FaultSchedule;
+use karyon::sensors::{
+    AbstractSensor, RangeCheckDetector, RangeSensor, SensorFault, StuckAtDetector,
+};
+use karyon::sim::{SimDuration, SimTime};
+use karyon::vehicles::{run_platoon, ControlMode, PlatoonConfig, V2VModel};
+
+fn two_level_design(item: &str, component: &str) -> DesignTimeSafetyInfo {
+    DesignTimeSafetyInfo::new(
+        "integration",
+        vec![
+            LosSpec {
+                level: LevelOfService(0),
+                description: "fallback".into(),
+                rules: vec![],
+                asil: Asil::QM,
+                performance_index: 1.0,
+            },
+            LosSpec {
+                level: LevelOfService(1),
+                description: "cooperative".into(),
+                rules: vec![
+                    SafetyRule::new(
+                        "validity",
+                        Condition::MinValidity { item: item.into(), threshold: 0.6 },
+                    ),
+                    SafetyRule::new(
+                        "component",
+                        Condition::ComponentHealthy { component: component.into() },
+                    ),
+                ],
+                asil: Asil::B,
+                performance_index: 2.0,
+            },
+        ],
+        HazardAnalysis::new(),
+        SimDuration::from_millis(20),
+    )
+}
+
+#[test]
+fn sensor_validity_drives_the_level_of_service() {
+    // An abstract sensor with a stuck-at fault scheduled mid-run feeds the
+    // kernel; the kernel must degrade when the validity collapses.
+    let mut sensor = AbstractSensor::new(
+        "range",
+        Box::new(RangeSensor { noise_std: 0.2, max_range: 150.0, dropout_probability: 0.0 }),
+        99,
+    );
+    sensor.add_detector(Box::new(RangeCheckDetector::new(0.0, 150.0)));
+    sensor.add_detector(Box::new(StuckAtDetector::new(1e-6, 5)));
+    sensor
+        .injector_mut()
+        .inject(SensorFault::StuckAt { stuck_value: None }, FaultSchedule::from(SimTime::from_secs(5)));
+
+    let mut kernel = SafetyKernel::new(two_level_design("range", "v2v"), SimDuration::from_millis(100));
+    let mut degraded_after_fault = false;
+    let mut cooperative_before_fault = false;
+
+    for i in 0..200u64 {
+        let now = SimTime::from_millis(i * 100);
+        let truth = 50.0 + (i as f64 * 0.1).sin();
+        let reading = sensor.acquire(truth, now);
+        kernel.info_mut().update_data("range", reading.measurement.value, reading.validity, now);
+        kernel.info_mut().update_health("v2v", true, now);
+        let decision = kernel.run_cycle(now);
+        if now < SimTime::from_secs(5) && decision.selected == LevelOfService(1) {
+            cooperative_before_fault = true;
+        }
+        if now > SimTime::from_secs(8) && decision.selected == LevelOfService(0) {
+            degraded_after_fault = true;
+        }
+    }
+    assert!(cooperative_before_fault, "healthy sensor must enable the cooperative level");
+    assert!(degraded_after_fault, "stuck sensor must force the non-cooperative level");
+    assert!(!kernel.switches().is_empty());
+}
+
+#[test]
+fn timing_failure_detector_feeds_component_health() {
+    let mut kernel = SafetyKernel::new(two_level_design("range", "planner"), SimDuration::from_millis(100));
+    let mut detector = TimingFailureDetector::new("planner", SimDuration::from_millis(250));
+
+    // Regular heartbeats: healthy, cooperative level reachable.
+    for i in 0..10u64 {
+        let now = SimTime::from_millis(i * 100);
+        detector.heartbeat(now);
+        detector.check(now, kernel.info_mut());
+        kernel.info_mut().update_data("range", 10.0, karyon::sensors::Validity::FULL, now);
+        kernel.run_cycle(now);
+    }
+    assert_eq!(kernel.current_los(), LevelOfService(1));
+
+    // Heartbeats stop: the timing failure detector reports the component
+    // failed and the kernel degrades within its reaction bound.
+    let silence_start = SimTime::from_millis(1_000);
+    let mut degraded_at = None;
+    for i in 10..30u64 {
+        let now = SimTime::from_millis(i * 100);
+        detector.check(now, kernel.info_mut());
+        kernel.info_mut().update_data("range", 10.0, karyon::sensors::Validity::FULL, now);
+        let decision = kernel.run_cycle(now);
+        if decision.selected == LevelOfService(0) && degraded_at.is_none() {
+            degraded_at = Some(now);
+        }
+    }
+    let degraded_at = degraded_at.expect("kernel must degrade after heartbeats stop");
+    let reaction = degraded_at.since(silence_start);
+    assert!(
+        reaction <= detector_timeout_plus_cycle(),
+        "degradation took {reaction}, expected within the detector timeout plus one cycle"
+    );
+}
+
+fn detector_timeout_plus_cycle() -> SimDuration {
+    SimDuration::from_millis(250) + SimDuration::from_millis(100) + SimDuration::from_millis(100)
+}
+
+#[test]
+fn middleware_admission_can_gate_the_cooperative_level() {
+    // The QoS admission of the V2V event channel is used as the run-time
+    // health of the "v2v" component: rejected channel => no cooperative LoS.
+    let mut bus = EventBus::new(1);
+    bus.attach_network(NetworkId(0), NetworkCapability::wireless_nominal());
+    let subject = Subject::from_name("platoon/lead-state");
+    bus.subscribe(SubscriberId(1), NetworkId(0), subject, ContextFilter::accept_all());
+    let qos = QosRequirement {
+        max_latency: SimDuration::from_millis(50),
+        min_delivery_ratio: 0.9,
+        max_rate: 20.0,
+    };
+    assert_eq!(bus.announce(subject, NetworkId(0), qos), Admission::Admitted);
+
+    let mut kernel = SafetyKernel::new(two_level_design("range", "v2v"), SimDuration::from_millis(100));
+    let now = SimTime::from_millis(100);
+    kernel.info_mut().update_data("range", 5.0, karyon::sensors::Validity::FULL, now);
+    kernel
+        .info_mut()
+        .update_health("v2v", bus.admission(subject) == Some(Admission::Admitted), now);
+    assert_eq!(kernel.run_cycle(now).selected, LevelOfService(1));
+
+    // The monitored capability degrades; the channel loses its admission and
+    // the kernel must fall back.
+    bus.update_capability(NetworkId(0), NetworkCapability::wireless_degraded());
+    let later = SimTime::from_millis(200);
+    kernel.info_mut().update_data("range", 5.0, karyon::sensors::Validity::FULL, later);
+    kernel
+        .info_mut()
+        .update_health("v2v", bus.admission(subject) == Some(Admission::Admitted), later);
+    assert_eq!(kernel.run_cycle(later).selected, LevelOfService(0));
+}
+
+#[test]
+fn platoon_use_case_end_to_end_safety_ordering() {
+    // Cross-crate smoke test of the full use case: under identical degraded
+    // conditions the kernel-controlled platoon is at least as safe as the
+    // always-cooperative one and at least as fast as the always-conservative
+    // one.
+    let v2v = V2VModel {
+        loss: 0.1,
+        outages: vec![(SimTime::from_secs(30), SimTime::from_secs(70))],
+        ..Default::default()
+    };
+    let run = |mode| {
+        run_platoon(&PlatoonConfig {
+            vehicles: 5,
+            duration: SimDuration::from_secs(100),
+            mode,
+            v2v: v2v.clone(),
+            lead_braking: 5.0,
+            seed: 77,
+            ..Default::default()
+        })
+    };
+    let kernel = run(ControlMode::SafetyKernel);
+    let cooperative = run(ControlMode::FixedLos(LevelOfService(2)));
+    let conservative = run(ControlMode::FixedLos(LevelOfService(0)));
+
+    assert_eq!(kernel.collisions, 0);
+    assert_eq!(conservative.collisions, 0);
+    assert!(kernel.hazard_steps <= cooperative.hazard_steps);
+    assert!(kernel.min_time_gap >= cooperative.min_time_gap - 1e-9);
+    assert!(kernel.throughput_veh_per_hour >= conservative.throughput_veh_per_hour * 0.95);
+}
