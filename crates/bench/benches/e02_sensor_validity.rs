@@ -6,11 +6,11 @@
 //! zero, graded faults must lower it, and the fault-free baseline must stay
 //! near 100 %.
 
+use karyon_sensors::faults::FaultSchedule;
 use karyon_sensors::{
     AbstractSensor, RangeCheckDetector, RangeSensor, RateOfChangeDetector, SensorFault,
     StuckAtDetector, TimeoutDetector,
 };
-use karyon_sensors::faults::FaultSchedule;
 use karyon_sim::table::fmt_pct;
 use karyon_sim::{SimDuration, SimTime, Table};
 

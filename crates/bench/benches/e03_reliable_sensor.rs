@@ -6,12 +6,12 @@
 //! replica (small error, near-full availability) where the single sensor
 //! either fails or reports large errors.
 
+use karyon_sensors::faults::FaultSchedule;
+use karyon_sensors::reliable::ReliableSensorConfig;
 use karyon_sensors::{
     AbstractSensor, RangeCheckDetector, RangeSensor, RateOfChangeDetector, ReliableSensor,
     SensorFault, StuckAtDetector,
 };
-use karyon_sensors::faults::FaultSchedule;
-use karyon_sensors::reliable::ReliableSensorConfig;
 use karyon_sim::table::{fmt3, fmt_pct};
 use karyon_sim::{SimTime, Table};
 

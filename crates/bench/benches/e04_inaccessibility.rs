@@ -16,7 +16,8 @@ const SLOTS: u64 = 20_000; // 20 s at 1 ms slots
 const NODES: u32 = 6;
 
 fn medium(seed: u64, burst_ms: u64) -> WirelessMedium {
-    let mut m = WirelessMedium::new(MediumConfig { range: 1_000.0, loss_probability: 0.01, channels: 2 });
+    let mut m =
+        WirelessMedium::new(MediumConfig { range: 1_000.0, loss_probability: 0.01, channels: 2 });
     let mut rng = Rng::seed_from(seed);
     m.add_random_disturbances(
         Some(0),
@@ -60,7 +61,11 @@ fn main() {
         // Plain CSMA.
         let mut csma = MacSimulation::new(medium(9, burst_ms), MacSimConfig::default(), 1);
         for i in 0..NODES {
-            csma.add_node(NodeId(i), CsmaMac::new(CsmaConfig::default()), Vec2::new(i as f64 * 10.0, 0.0));
+            csma.add_node(
+                NodeId(i),
+                CsmaMac::new(CsmaConfig::default()),
+                Vec2::new(i as f64 * 10.0, 0.0),
+            );
         }
         traffic(&mut csma);
         // Measure the raw disturbance-driven inaccessibility a CSMA node sees:

@@ -14,25 +14,30 @@ const SLOTS_PER_FRAME: u16 = 16;
 const MAX_FRAMES: u64 = 300;
 
 fn build(nodes: u32, seed: u64, adversarial: bool) -> MacSimulation<SelfStabTdmaMac> {
-    let medium = WirelessMedium::new(MediumConfig { range: 1_000.0, loss_probability: 0.0, channels: 1 });
+    let medium =
+        WirelessMedium::new(MediumConfig { range: 1_000.0, loss_probability: 0.0, channels: 1 });
     let mut sim = MacSimulation::new(
         medium,
-        MacSimConfig { slot_duration: SimDuration::from_millis(1), slots_per_frame: SLOTS_PER_FRAME },
+        MacSimConfig {
+            slot_duration: SimDuration::from_millis(1),
+            slots_per_frame: SLOTS_PER_FRAME,
+        },
         seed,
     );
     for i in 0..nodes {
-        let mac = if adversarial { SelfStabTdmaMac::with_initial_claim(0) } else { SelfStabTdmaMac::new() };
+        let mac = if adversarial {
+            SelfStabTdmaMac::with_initial_claim(0)
+        } else {
+            SelfStabTdmaMac::new()
+        };
         sim.add_node(NodeId(i), mac, Vec2::new(i as f64 * 10.0, 0.0));
     }
     sim
 }
 
 fn converged(sim: &MacSimulation<SelfStabTdmaMac>) -> bool {
-    let claims: Vec<(NodeId, Option<u16>)> = sim
-        .node_ids()
-        .iter()
-        .map(|id| (*id, sim.mac(*id).unwrap().claimed_slot()))
-        .collect();
+    let claims: Vec<(NodeId, Option<u16>)> =
+        sim.node_ids().iter().map(|id| (*id, sim.mac(*id).unwrap().claimed_slot())).collect();
     allocation_is_collision_free(&claims, |a, b| sim.medium().in_range(a, b))
 }
 

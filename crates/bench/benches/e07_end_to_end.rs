@@ -46,12 +46,7 @@ fn main() {
             "lost prefix",
         ],
     );
-    let sweeps = vec![
-        (0.0, 0.0, 4usize),
-        (0.1, 0.1, 8),
-        (0.3, 0.3, 8),
-        (0.3, 0.3, 16),
-    ];
+    let sweeps = vec![(0.0, 0.0, 4usize), (0.1, 0.1, 8), (0.3, 0.3, 8), (0.3, 0.3, 16)];
     for (omission, duplication, capacity) in sweeps {
         for corrupt in [false, true] {
             let config = E2EConfig { capacity, omission, duplication, reorder: true };

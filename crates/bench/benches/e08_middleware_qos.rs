@@ -7,8 +7,8 @@
 //! degrades.
 
 use karyon_middleware::{
-    Admission, ContextFilter, EventBus, NetworkCapability, NetworkId, QosRequirement, SubscriberId,
-    Subject,
+    Admission, ContextFilter, EventBus, NetworkCapability, NetworkId, QosRequirement, Subject,
+    SubscriberId,
 };
 use karyon_sim::table::{fmt3, fmt_pct};
 use karyon_sim::{SimDuration, SimTime, Table};
@@ -27,9 +27,24 @@ fn main() {
     bus.attach_network(NetworkId(1), NetworkCapability::wireless_nominal());
 
     let channels: Vec<(&str, Subject, NetworkId, QosRequirement)> = vec![
-        ("brake-command (local, 2 ms)", Subject::from_name("vehicle/brake"), NetworkId(0), qos(2, 0.99, 100.0)),
-        ("lead-state (V2V, 60 ms)", Subject::from_name("platoon/lead-state"), NetworkId(1), qos(60, 0.9, 50.0)),
-        ("hazard-warning (V2V, 10 ms)", Subject::from_name("hazard/warning"), NetworkId(1), qos(10, 0.99, 20.0)),
+        (
+            "brake-command (local, 2 ms)",
+            Subject::from_name("vehicle/brake"),
+            NetworkId(0),
+            qos(2, 0.99, 100.0),
+        ),
+        (
+            "lead-state (V2V, 60 ms)",
+            Subject::from_name("platoon/lead-state"),
+            NetworkId(1),
+            qos(60, 0.9, 50.0),
+        ),
+        (
+            "hazard-warning (V2V, 10 ms)",
+            Subject::from_name("hazard/warning"),
+            NetworkId(1),
+            qos(10, 0.99, 20.0),
+        ),
     ];
 
     // Subscribers: the brake command stays on the local bus; the V2V subjects
@@ -40,7 +55,14 @@ fn main() {
 
     let mut table = Table::new(
         "E08 — event-channel QoS admission and delivered quality",
-        &["channel", "admission (nominal)", "delivered/published", "mean latency [ms]", "deadline misses", "admission (degraded)"],
+        &[
+            "channel",
+            "admission (nominal)",
+            "delivered/published",
+            "mean latency [ms]",
+            "deadline misses",
+            "admission (degraded)",
+        ],
     );
 
     let mut admissions = Vec::new();
@@ -71,10 +93,7 @@ fn main() {
         ]);
     }
     table.print();
-    println!(
-        "Channels re-assessed after degradation: {}",
-        changed.len()
-    );
+    println!("Channels re-assessed after degradation: {}", changed.len());
     println!(
         "Expectation (paper §V-B): the strict hazard-warning channel cannot be guaranteed over the\n\
          wireless segment and is rejected at announcement time ({} of 3 admitted); the in-vehicle\n\

@@ -26,7 +26,9 @@ fn agreement_under_loss(participants: usize, loss: f64, trials: u64, seed: u64) 
             initiator.propose("merge", &ids, start, SimDuration::from_millis(300));
         // One round trip with per-message loss; retransmission every 50 ms.
         let mut t = start;
-        while initiator.proposal_state(id) == Some(ProposalState::Pending) && t < start + SimDuration::from_millis(300) {
+        while initiator.proposal_state(id) == Some(ProposalState::Pending)
+            && t < start + SimDuration::from_millis(300)
+        {
             for other in others.iter_mut() {
                 if rng.chance(loss) {
                     continue;
@@ -93,7 +95,8 @@ fn main() {
         let nodes = graph.node_count();
         let edges = graph.edge_count();
         let mut disc = TopologyDiscovery::new(graph);
-        let rounds = disc.run_to_convergence(64).map(|r| r.to_string()).unwrap_or_else(|| "never".into());
+        let rounds =
+            disc.run_to_convergence(64).map(|r| r.to_string()).unwrap_or_else(|| "never".into());
         discovery.add_row(&[name.to_string(), nodes.to_string(), edges.to_string(), rounds]);
     }
     discovery.print();
@@ -112,7 +115,9 @@ fn main() {
         }
         g
     };
-    for (name, graph, target) in [("ring+chords-12", ring12, NodeId(6)), ("complete-6", complete6, NodeId(5))] {
+    for (name, graph, target) in
+        [("ring+chords-12", ring12, NodeId(6)), ("complete-6", complete6, NodeId(5))]
+    {
         let paths = graph.vertex_disjoint_paths(NodeId(0), target);
         byz.add_row(&[
             name.to_string(),

@@ -5,6 +5,8 @@ use karyon_sim::table::{fmt3, fmt_pct};
 use karyon_sim::{SimDuration, SimTime, Table};
 use karyon_vehicles::{run_intersection, FallbackMode, IntersectionConfig};
 
+type Case = (&'static str, Option<(SimTime, SimTime)>, FallbackMode);
+
 fn main() {
     let mut table = Table::new(
         "E11 — intersection crossing (10 min, infrastructure light fails from 120 s to 480 s)",
@@ -19,7 +21,7 @@ fn main() {
         ],
     );
     for &rate in &[6.0, 12.0, 20.0] {
-        let cases: Vec<(&str, Option<(SimTime, SimTime)>, FallbackMode)> = vec![
+        let cases: Vec<Case> = vec![
             ("no failure (infrastructure)", None, FallbackMode::VirtualTrafficLight),
             (
                 "failure + virtual traffic light",

@@ -4,7 +4,8 @@
 use karyon_sim::table::fmt3;
 use karyon_sim::Table;
 use karyon_vehicles::{
-    run_encounter, AerialScenario, AvionicsConfig, TrafficType, HORIZONTAL_MINIMUM, VERTICAL_MINIMUM,
+    run_encounter, AerialScenario, AvionicsConfig, TrafficType, HORIZONTAL_MINIMUM,
+    VERTICAL_MINIMUM,
 };
 
 fn main() {
@@ -29,9 +30,10 @@ fn main() {
         ("flight-level change", AerialScenario::FlightLevelChange),
     ];
     for (name, scenario) in scenarios {
-        for (traffic_name, traffic) in
-            [("collaborative", TrafficType::Collaborative), ("non-collaborative", TrafficType::NonCollaborative)]
-        {
+        for (traffic_name, traffic) in [
+            ("collaborative", TrafficType::Collaborative),
+            ("non-collaborative", TrafficType::NonCollaborative),
+        ] {
             for resolution in [true, false] {
                 let result = run_encounter(&AvionicsConfig {
                     scenario,

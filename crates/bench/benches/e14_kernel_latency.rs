@@ -76,7 +76,11 @@ fn main() {
                 Validity::new(0.9),
                 SimTime::from_millis(1),
             );
-            kernel.info_mut().update_health(&format!("component-{i}"), true, SimTime::from_millis(1));
+            kernel.info_mut().update_health(
+                &format!("component-{i}"),
+                true,
+                SimTime::from_millis(1),
+            );
         }
         let iterations = 2_000u64;
         let start = Instant::now();

@@ -11,9 +11,7 @@ use karyon_core::LevelOfService;
 use karyon_sensors::SensorFault;
 use karyon_sim::table::{fmt3, fmt_pct};
 use karyon_sim::{Rng, SimDuration, SimTime, Table};
-use karyon_vehicles::{
-    run_platoon, ControlMode, InjectedSensorFault, PlatoonConfig, V2VModel,
-};
+use karyon_vehicles::{run_platoon, ControlMode, InjectedSensorFault, PlatoonConfig, V2VModel};
 
 const CAMPAIGN_RUNS: u64 = 30;
 
@@ -96,8 +94,14 @@ fn main() {
         let (collisions, hazards, mean_hazard, throughput) = campaign(mode, 2026);
         table.add_row(&[
             name.to_string(),
-            format!("{collisions}/{CAMPAIGN_RUNS} ({})", fmt_pct(collisions as f64 / CAMPAIGN_RUNS as f64)),
-            format!("{hazards}/{CAMPAIGN_RUNS} ({})", fmt_pct(hazards as f64 / CAMPAIGN_RUNS as f64)),
+            format!(
+                "{collisions}/{CAMPAIGN_RUNS} ({})",
+                fmt_pct(collisions as f64 / CAMPAIGN_RUNS as f64)
+            ),
+            format!(
+                "{hazards}/{CAMPAIGN_RUNS} ({})",
+                fmt_pct(hazards as f64 / CAMPAIGN_RUNS as f64)
+            ),
             fmt3(mean_hazard),
             format!("{throughput:.0}"),
         ]);

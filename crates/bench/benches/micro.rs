@@ -7,9 +7,12 @@ use std::hint::black_box;
 
 use karyon_core::los::Asil;
 use karyon_core::{
-    Condition, DesignTimeSafetyInfo, HazardAnalysis, LevelOfService, LosSpec, SafetyKernel, SafetyRule,
+    Condition, DesignTimeSafetyInfo, HazardAnalysis, LevelOfService, LosSpec, SafetyKernel,
+    SafetyRule,
 };
-use karyon_middleware::{ContextFilter, EventBus, NetworkCapability, NetworkId, QosRequirement, SubscriberId, Subject};
+use karyon_middleware::{
+    ContextFilter, EventBus, NetworkCapability, NetworkId, QosRequirement, Subject, SubscriberId,
+};
 use karyon_net::mac::{MacSimConfig, MacSimulation};
 use karyon_net::{MediumConfig, NodeId, SelfStabTdmaMac, WirelessMedium};
 use karyon_sensors::abstract_sensor::combine_outcomes;
@@ -94,11 +97,18 @@ fn bench_tdma_frame(c: &mut Criterion) {
                 });
                 let mut sim = MacSimulation::new(
                     medium,
-                    MacSimConfig { slot_duration: SimDuration::from_millis(1), slots_per_frame: 16 },
+                    MacSimConfig {
+                        slot_duration: SimDuration::from_millis(1),
+                        slots_per_frame: 16,
+                    },
                     7,
                 );
                 for i in 0..8 {
-                    sim.add_node(NodeId(i), SelfStabTdmaMac::new(), Vec2::new(i as f64 * 10.0, 0.0));
+                    sim.add_node(
+                        NodeId(i),
+                        SelfStabTdmaMac::new(),
+                        Vec2::new(i as f64 * 10.0, 0.0),
+                    );
                 }
                 sim
             },

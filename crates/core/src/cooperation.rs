@@ -170,7 +170,12 @@ pub struct AgreementProtocol {
 impl AgreementProtocol {
     /// Creates the protocol endpoint for a vehicle.
     pub fn new(own_id: VehicleId) -> Self {
-        AgreementProtocol { own_id, next_proposal: 0, initiated: BTreeMap::new(), committed: BTreeMap::new() }
+        AgreementProtocol {
+            own_id,
+            next_proposal: 0,
+            initiated: BTreeMap::new(),
+            committed: BTreeMap::new(),
+        }
     }
 
     /// The vehicle's identifier.
@@ -227,20 +232,36 @@ impl AgreementProtocol {
     }
 
     /// Handles an incoming message; returns the messages to send in response.
-    pub fn on_message(&mut self, message: &AgreementMessage, now: SimTime) -> Vec<AgreementMessage> {
+    pub fn on_message(
+        &mut self,
+        message: &AgreementMessage,
+        now: SimTime,
+    ) -> Vec<AgreementMessage> {
         match message {
-            AgreementMessage::Propose { proposal, initiator, manoeuvre, participants, deadline } => {
+            AgreementMessage::Propose {
+                proposal,
+                initiator,
+                manoeuvre,
+                participants,
+                deadline,
+            } => {
                 if *initiator == self.own_id || !participants.contains(&self.own_id) {
                     return Vec::new();
                 }
                 if now > *deadline {
-                    return vec![AgreementMessage::Reject { proposal: *proposal, participant: self.own_id }];
+                    return vec![AgreementMessage::Reject {
+                        proposal: *proposal,
+                        participant: self.own_id,
+                    }];
                 }
                 // Refuse proposals that conflict with an existing commitment
                 // to the same kind of manoeuvre (e.g. two simultaneous lane
                 // changes in the same region).
                 if self.committed.values().any(|m| m == manoeuvre) {
-                    return vec![AgreementMessage::Reject { proposal: *proposal, participant: self.own_id }];
+                    return vec![AgreementMessage::Reject {
+                        proposal: *proposal,
+                        participant: self.own_id,
+                    }];
                 }
                 self.committed.insert(*proposal, manoeuvre.clone());
                 vec![AgreementMessage::Accept { proposal: *proposal, participant: self.own_id }]
@@ -252,7 +273,10 @@ impl AgreementProtocol {
                         pending.accepted.insert(*participant);
                         if pending.accepted.is_superset(&pending.participants) {
                             pending.state = ProposalState::Agreed;
-                            out.push(AgreementMessage::Outcome { proposal: *proposal, agreed: true });
+                            out.push(AgreementMessage::Outcome {
+                                proposal: *proposal,
+                                agreed: true,
+                            });
                         }
                     }
                 }
@@ -302,16 +326,32 @@ mod tests {
     fn view_tracks_fresh_members() {
         let mut view = CooperationView::new(1, SimDuration::from_millis(500));
         assert_eq!(view.own_id(), 1);
-        view.on_announcement(StateAnnouncement { vehicle: 2, intention: "lane-keep".into(), timestamp: ts(100) });
-        view.on_announcement(StateAnnouncement { vehicle: 3, intention: "lane-change".into(), timestamp: ts(300) });
-        view.on_announcement(StateAnnouncement { vehicle: 1, intention: "self".into(), timestamp: ts(300) });
+        view.on_announcement(StateAnnouncement {
+            vehicle: 2,
+            intention: "lane-keep".into(),
+            timestamp: ts(100),
+        });
+        view.on_announcement(StateAnnouncement {
+            vehicle: 3,
+            intention: "lane-change".into(),
+            timestamp: ts(300),
+        });
+        view.on_announcement(StateAnnouncement {
+            vehicle: 1,
+            intention: "self".into(),
+            timestamp: ts(300),
+        });
         assert_eq!(view.known_members(), 2);
         assert_eq!(view.fresh_members(ts(400)), vec![2, 3]);
         assert_eq!(view.fresh_members(ts(700)), vec![3]);
         assert_eq!(view.intention_of(3, ts(400)), Some("lane-change"));
         assert_eq!(view.intention_of(2, ts(700)), None);
         // Stale announcements do not overwrite newer ones.
-        view.on_announcement(StateAnnouncement { vehicle: 3, intention: "old".into(), timestamp: ts(200) });
+        view.on_announcement(StateAnnouncement {
+            vehicle: 3,
+            intention: "old".into(),
+            timestamp: ts(200),
+        });
         assert_eq!(view.intention_of(3, ts(400)), Some("lane-change"));
     }
 
@@ -351,7 +391,8 @@ mod tests {
             SimDuration::from_millis(500),
         );
         busy.on_message(&other_proposal, ts(1));
-        let (msg, id) = initiator.propose("lane-change-left", &[2], ts(10), SimDuration::from_millis(200));
+        let (msg, id) =
+            initiator.propose("lane-change-left", &[2], ts(10), SimDuration::from_millis(200));
         let response = busy.on_message(&msg, ts(20));
         assert!(matches!(response[0], AgreementMessage::Reject { .. }));
         let out = initiator.on_message(&response[0], ts(30));

@@ -55,7 +55,8 @@ impl DesignTimeSafetyInfo {
     ) -> Self {
         assert!(!levels.is_empty(), "at least one LoS must be specified");
         levels.sort_by_key(|l| l.level);
-        let zero_count = levels.iter().filter(|l| l.level == LevelOfService::NON_COOPERATIVE).count();
+        let zero_count =
+            levels.iter().filter(|l| l.level == LevelOfService::NON_COOPERATIVE).count();
         assert_eq!(zero_count, 1, "exactly one non-cooperative (level 0) spec is required");
         let mut seen = std::collections::BTreeSet::new();
         for l in &levels {
@@ -132,9 +133,21 @@ mod tests {
         DesignTimeSafetyInfo::new(
             "acc",
             vec![
-                spec(2, vec![SafetyRule::new("R2", Condition::ComponentHealthy { component: "v2v".into() })]),
+                spec(
+                    2,
+                    vec![SafetyRule::new(
+                        "R2",
+                        Condition::ComponentHealthy { component: "v2v".into() },
+                    )],
+                ),
                 spec(0, vec![]),
-                spec(1, vec![SafetyRule::new("R1", Condition::ComponentHealthy { component: "radar".into() })]),
+                spec(
+                    1,
+                    vec![SafetyRule::new(
+                        "R1",
+                        Condition::ComponentHealthy { component: "radar".into() },
+                    )],
+                ),
             ],
             hazards,
             SimDuration::from_millis(100),

@@ -146,12 +146,10 @@ impl EnvironmentModel {
         let Some(entity) = self.entities.get_mut(&id) else {
             return EntityAssessment::Unknown;
         };
-        let fresh_announcement = entity
-            .announced
-            .filter(|a| now.since(a.timestamp) <= config.announcement_freshness);
-        let fresh_observation = entity
-            .observed
-            .filter(|o| now.since(o.timestamp) <= config.observation_freshness);
+        let fresh_announcement =
+            entity.announced.filter(|a| now.since(a.timestamp) <= config.announcement_freshness);
+        let fresh_observation =
+            entity.observed.filter(|o| now.since(o.timestamp) <= config.observation_freshness);
 
         match (fresh_announcement, fresh_observation) {
             (Some(announced), Some(observed)) => {

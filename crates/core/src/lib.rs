@@ -39,14 +39,15 @@ pub mod runtime;
 pub mod virtual_node;
 
 pub use component::{Component, ComponentKind, ComponentRegistry, Placement};
+pub use cooperation::{
+    AgreementMessage, AgreementProtocol, CooperationView, ProposalState, StateAnnouncement,
+    VehicleId,
+};
+pub use design_time::{DesignTimeSafetyInfo, LosSpec};
 pub use environment::{
     AnnouncedBehaviour, EntityAssessment, EnvironmentModel, EnvironmentModelConfig,
     ObservedKinematics,
 };
-pub use cooperation::{
-    AgreementMessage, AgreementProtocol, CooperationView, ProposalState, StateAnnouncement, VehicleId,
-};
-pub use design_time::{DesignTimeSafetyInfo, LosSpec};
 pub use los::{Asil, Hazard, HazardAnalysis, LevelOfService};
 pub use manager::{LosDecision, SafetyKernel, SafetyManager, SwitchEvent};
 pub use rules::{Condition, SafetyRule};

@@ -266,7 +266,10 @@ mod tests {
                         ),
                         SafetyRule::new(
                             "R3-remote-validity",
-                            Condition::MinValidity { item: "remote-headway".into(), threshold: 0.8 },
+                            Condition::MinValidity {
+                                item: "remote-headway".into(),
+                                threshold: 0.8,
+                            },
                         ),
                     ],
                     asil: Asil::C,

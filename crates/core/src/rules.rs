@@ -55,14 +55,12 @@ impl Condition {
     /// Evaluates the condition against the run-time safety information.
     pub fn holds(&self, info: &RunTimeSafetyInfo) -> bool {
         match self {
-            Condition::MinValidity { item, threshold } => info
-                .data(item)
-                .map(|d| d.validity.fraction() >= *threshold)
-                .unwrap_or(false),
-            Condition::MaxAge { item, bound } => info
-                .data(item)
-                .map(|d| info.now().since(d.timestamp) <= *bound)
-                .unwrap_or(false),
+            Condition::MinValidity { item, threshold } => {
+                info.data(item).map(|d| d.validity.fraction() >= *threshold).unwrap_or(false)
+            }
+            Condition::MaxAge { item, bound } => {
+                info.data(item).map(|d| info.now().since(d.timestamp) <= *bound).unwrap_or(false)
+            }
             Condition::MaxValue { item, bound } => {
                 info.data(item).map(|d| d.value <= *bound).unwrap_or(false)
             }
@@ -156,10 +154,16 @@ mod tests {
         assert!(Condition::MinValidity { item: "front-range".into(), threshold: 0.8 }.holds(&info));
         assert!(!Condition::MinValidity { item: "v2v-headway".into(), threshold: 0.8 }.holds(&info));
         assert!(!Condition::MinValidity { item: "missing".into(), threshold: 0.1 }.holds(&info));
-        assert!(Condition::MaxAge { item: "front-range".into(), bound: SimDuration::from_millis(100) }
-            .holds(&info));
-        assert!(!Condition::MaxAge { item: "v2v-headway".into(), bound: SimDuration::from_millis(100) }
-            .holds(&info));
+        assert!(Condition::MaxAge {
+            item: "front-range".into(),
+            bound: SimDuration::from_millis(100)
+        }
+        .holds(&info));
+        assert!(!Condition::MaxAge {
+            item: "v2v-headway".into(),
+            bound: SimDuration::from_millis(100)
+        }
+        .holds(&info));
     }
 
     #[test]

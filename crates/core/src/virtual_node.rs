@@ -259,7 +259,11 @@ mod tests {
         let mut node = vn();
         assert!(node.is_depopulated());
         assert!(node.leader().is_none());
-        node.update_population(&[(5, Vec2::new(0.0, 0.0)), (3, Vec2::new(10.0, 0.0)), (9, Vec2::new(100.0, 0.0))]);
+        node.update_population(&[
+            (5, Vec2::new(0.0, 0.0)),
+            (3, Vec2::new(10.0, 0.0)),
+            (9, Vec2::new(100.0, 0.0)),
+        ]);
         assert_eq!(node.replica_count(), 2);
         assert_eq!(node.leader(), Some(3));
         assert!(!node.is_depopulated());

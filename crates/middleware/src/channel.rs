@@ -67,7 +67,9 @@ impl NetworkCapability {
     pub fn combine_worst(&self, other: &NetworkCapability) -> NetworkCapability {
         NetworkCapability {
             expected_latency: self.expected_latency.max(other.expected_latency),
-            expected_delivery_ratio: self.expected_delivery_ratio.min(other.expected_delivery_ratio),
+            expected_delivery_ratio: self
+                .expected_delivery_ratio
+                .min(other.expected_delivery_ratio),
             capacity_rate: self.capacity_rate.min(other.capacity_rate),
         }
     }
@@ -155,7 +157,11 @@ impl EventBus {
     /// re-assesses every channel publishing through it.  Returns the subjects
     /// whose admission status changed (the adaptation hook the safety kernel
     /// listens to).
-    pub fn update_capability(&mut self, id: NetworkId, capability: NetworkCapability) -> Vec<Subject> {
+    pub fn update_capability(
+        &mut self,
+        id: NetworkId,
+        capability: NetworkCapability,
+    ) -> Vec<Subject> {
         self.networks.insert(id, capability);
         let mut changed = Vec::new();
         let subjects: Vec<Subject> = self.channels.keys().copied().collect();
@@ -163,14 +169,12 @@ impl EventBus {
             let admitted_rate = self.admitted_rate_excluding(subject);
             let channel = self.channels.get(&subject).expect("channel exists");
             let effective = self.effective_capability(subject, channel.publisher_network);
-            let new_admission = if effective
-                .map(|c| c.satisfies(&channel.qos, admitted_rate))
-                .unwrap_or(false)
-            {
-                Admission::Admitted
-            } else {
-                Admission::Rejected
-            };
+            let new_admission =
+                if effective.map(|c| c.satisfies(&channel.qos, admitted_rate)).unwrap_or(false) {
+                    Admission::Admitted
+                } else {
+                    Admission::Rejected
+                };
             let channel = self.channels.get_mut(&subject).expect("channel exists");
             if new_admission != channel.admission {
                 channel.admission = new_admission;
@@ -207,7 +211,11 @@ impl EventBus {
     /// The worst-case capability over the publisher's network and every
     /// subscriber network for the subject (gateway-crossing channels are only
     /// as good as their weakest segment).
-    fn effective_capability(&self, subject: Subject, publisher_network: NetworkId) -> Option<NetworkCapability> {
+    fn effective_capability(
+        &self,
+        subject: Subject,
+        publisher_network: NetworkId,
+    ) -> Option<NetworkCapability> {
         let mut capability = *self.networks.get(&publisher_network)?;
         for sub in self.subscriptions.iter().filter(|s| s.subject == subject) {
             if let Some(remote) = self.networks.get(&sub.network) {
@@ -412,9 +420,15 @@ mod tests {
             subject,
             ContextFilter::within(Vec2::new(10_000.0, 0.0), 100.0),
         );
-        bus.subscribe(SubscriberId(3), NetworkId(0), Subject::from_name("other"), ContextFilter::accept_all());
+        bus.subscribe(
+            SubscriberId(3),
+            NetworkId(0),
+            Subject::from_name("other"),
+            ContextFilter::accept_all(),
+        );
         bus.announce(subject, NetworkId(0), QosRequirement::best_effort());
-        let deliveries = bus.publish_from(subject, Some(Vec2::new(5.0, 5.0)), vec![1], SimTime::from_millis(10));
+        let deliveries =
+            bus.publish_from(subject, Some(Vec2::new(5.0, 5.0)), vec![1], SimTime::from_millis(10));
         let receivers: Vec<u32> = deliveries.iter().map(|d| d.subscriber.0).collect();
         assert_eq!(receivers, vec![1]);
         let stats = bus.channel_stats(subject).unwrap();
@@ -452,7 +466,9 @@ mod tests {
         assert_eq!(changed, vec![subject]);
         assert_eq!(bus.admission(subject), Some(Admission::Admitted));
         // Re-asserting the same capability changes nothing.
-        assert!(bus.update_capability(NetworkId(1), NetworkCapability::wireless_nominal()).is_empty());
+        assert!(bus
+            .update_capability(NetworkId(1), NetworkCapability::wireless_nominal())
+            .is_empty());
     }
 
     #[test]

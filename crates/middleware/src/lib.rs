@@ -22,7 +22,5 @@
 pub mod channel;
 pub mod event;
 
-pub use channel::{
-    Admission, Delivery, EventBus, NetworkCapability, NetworkId, SubscriberId,
-};
+pub use channel::{Admission, Delivery, EventBus, NetworkCapability, NetworkId, SubscriberId};
 pub use event::{Context, ContextFilter, Event, QosRequirement, Subject};

@@ -67,17 +67,12 @@ impl InaccessibilityTracker {
 
     /// Total inaccessible time across all closed periods.
     pub fn total(&self) -> SimDuration {
-        self.periods
-            .iter()
-            .fold(SimDuration::ZERO, |acc, p| acc + p.duration)
+        self.periods.iter().fold(SimDuration::ZERO, |acc, p| acc + p.duration)
     }
 
     /// Longest single period, or zero if none.
     pub fn longest(&self) -> SimDuration {
-        self.periods
-            .iter()
-            .map(|p| p.duration)
-            .fold(SimDuration::ZERO, SimDuration::max)
+        self.periods.iter().map(|p| p.duration).fold(SimDuration::ZERO, SimDuration::max)
     }
 
     /// A histogram of period durations in milliseconds.

@@ -181,7 +181,15 @@ impl<M: MacProtocol> MacSimulation<M> {
     pub fn add_node(&mut self, id: NodeId, mac: M, position: Vec2) {
         self.medium.set_position(id, position);
         let rng = self.rng.fork(id.0 as u64 + 1);
-        self.nodes.push(NodeState { id, mac, channel: 0, queue: VecDeque::new(), delivered: Vec::new(), rng, seq: 0 });
+        self.nodes.push(NodeState {
+            id,
+            mac,
+            channel: 0,
+            queue: VecDeque::new(),
+            delivered: Vec::new(),
+            rng,
+            seq: 0,
+        });
     }
 
     /// Removes a node (simulating churn); returns true if it existed.
@@ -315,7 +323,13 @@ impl<M: MacProtocol> MacSimulation<M> {
             let outcome = if is_transmitter {
                 None
             } else {
-                Some(self.medium.outcome_for(node.id, node.channel, &transmissions, now, &mut self.rng))
+                Some(self.medium.outcome_for(
+                    node.id,
+                    node.channel,
+                    &transmissions,
+                    now,
+                    &mut self.rng,
+                ))
             };
 
             let delivered_before = node.delivered.len();
@@ -401,7 +415,11 @@ mod tests {
     }
 
     fn sim(nodes: u32) -> MacSimulation<RoundRobinMac> {
-        let medium = WirelessMedium::new(MediumConfig { range: 1_000.0, loss_probability: 0.0, channels: 2 });
+        let medium = WirelessMedium::new(MediumConfig {
+            range: 1_000.0,
+            loss_probability: 0.0,
+            channels: 2,
+        });
         let mut s = MacSimulation::new(medium, MacSimConfig::default(), 42);
         for i in 0..nodes {
             s.add_node(NodeId(i), RoundRobinMac, Vec2::new(i as f64 * 10.0, 0.0));
@@ -450,7 +468,11 @@ mod tests {
                 deliver_if_data(frame, ctx);
             }
         }
-        let medium = WirelessMedium::new(MediumConfig { range: 1_000.0, loss_probability: 0.0, channels: 1 });
+        let medium = WirelessMedium::new(MediumConfig {
+            range: 1_000.0,
+            loss_probability: 0.0,
+            channels: 1,
+        });
         let mut s = MacSimulation::new(medium, MacSimConfig::default(), 7);
         for i in 0..3 {
             s.add_node(NodeId(i), GreedyMac, Vec2::new(i as f64, 0.0));

@@ -146,10 +146,7 @@ impl SelfStabTdmaMac {
         // Decide based on what was observed during the previous frame.
         let needs_new_slot = self.claimed_slot.is_none()
             || self.conflict
-            || self
-                .claimed_slot
-                .map(|s| s >= ctx.slots_per_frame)
-                .unwrap_or(false);
+            || self.claimed_slot.map(|s| s >= ctx.slots_per_frame).unwrap_or(false);
         if needs_new_slot {
             let mut free_slots: Vec<u16> = (0..ctx.slots_per_frame)
                 .filter(|s| {
@@ -284,9 +281,17 @@ mod tests {
     use crate::medium::{MediumConfig, WirelessMedium};
     use karyon_sim::{SimDuration, Vec2};
 
-    fn build_sim(nodes: u32, slots: u16, seed: u64, corrupt: bool) -> MacSimulation<SelfStabTdmaMac> {
-        let medium =
-            WirelessMedium::new(MediumConfig { range: 1_000.0, loss_probability: 0.0, channels: 1 });
+    fn build_sim(
+        nodes: u32,
+        slots: u16,
+        seed: u64,
+        corrupt: bool,
+    ) -> MacSimulation<SelfStabTdmaMac> {
+        let medium = WirelessMedium::new(MediumConfig {
+            range: 1_000.0,
+            loss_probability: 0.0,
+            channels: 1,
+        });
         let mut sim = MacSimulation::new(
             medium,
             MacSimConfig { slot_duration: SimDuration::from_millis(1), slots_per_frame: slots },
@@ -305,22 +310,15 @@ mod tests {
     }
 
     fn converged(sim: &MacSimulation<SelfStabTdmaMac>) -> bool {
-        let claims: Vec<(NodeId, Option<u16>)> = sim
-            .node_ids()
-            .iter()
-            .map(|id| (*id, sim.mac(*id).unwrap().claimed_slot()))
-            .collect();
+        let claims: Vec<(NodeId, Option<u16>)> =
+            sim.node_ids().iter().map(|id| (*id, sim.mac(*id).unwrap().claimed_slot())).collect();
         allocation_is_collision_free(&claims, |a, b| sim.medium().in_range(a, b))
     }
 
     #[test]
     fn beacon_round_trip() {
-        let report = vec![
-            SlotStatus::Free,
-            SlotStatus::Owned(7),
-            SlotStatus::Collision,
-            SlotStatus::Free,
-        ];
+        let report =
+            vec![SlotStatus::Free, SlotStatus::Owned(7), SlotStatus::Collision, SlotStatus::Free];
         let bytes = encode_beacon(Some(2), &report);
         let (claim, decoded) = decode_beacon(&bytes).unwrap();
         assert_eq!(claim, Some(2));
@@ -369,10 +367,7 @@ mod tests {
         let mut sim = build_sim(4, 8, 4, false);
         sim.run_slots(8 * 50);
         for id in sim.node_ids() {
-            assert!(
-                sim.mac(id).unwrap().stable_frames() >= 5,
-                "node {id} never became stable"
-            );
+            assert!(sim.mac(id).unwrap().stable_frames() >= 5, "node {id} never became stable");
         }
     }
 

@@ -63,8 +63,11 @@ mod tests {
     use karyon_sim::Vec2;
 
     fn sim(nodes: u32, slots: u16) -> MacSimulation<FixedTdmaMac> {
-        let medium =
-            WirelessMedium::new(MediumConfig { range: 1_000.0, loss_probability: 0.0, channels: 1 });
+        let medium = WirelessMedium::new(MediumConfig {
+            range: 1_000.0,
+            loss_probability: 0.0,
+            channels: 1,
+        });
         let mut s = MacSimulation::new(
             medium,
             MacSimConfig { slots_per_frame: slots, ..MacSimConfig::default() },

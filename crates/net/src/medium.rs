@@ -45,7 +45,9 @@ pub struct Disturbance {
 impl Disturbance {
     /// True when the disturbance affects `channel` at `now`.
     pub fn affects(&self, channel: u8, now: SimTime) -> bool {
-        (self.channel.is_none() || self.channel == Some(channel)) && now >= self.start && now < self.end
+        (self.channel.is_none() || self.channel == Some(channel))
+            && now >= self.start
+            && now < self.end
     }
 }
 
@@ -205,7 +207,7 @@ impl WirelessMedium {
         let mut result = SlotResult::default();
         let transmitters: Vec<NodeId> = transmissions.iter().map(|t| t.src).collect();
 
-        for (&listener, _) in &self.positions {
+        for &listener in self.positions.keys() {
             if transmitters.contains(&listener) {
                 continue; // half-duplex: a transmitting node hears nothing
             }
@@ -226,7 +228,9 @@ impl WirelessMedium {
         // listeners).
         for tx in transmissions {
             let clashed = transmissions.iter().any(|other| {
-                other.src != tx.src && other.channel == tx.channel && self.in_range(tx.src, other.src)
+                other.src != tx.src
+                    && other.channel == tx.channel
+                    && self.in_range(tx.src, other.src)
             });
             if clashed {
                 result.collided_transmitters.push(tx.src);
@@ -312,7 +316,10 @@ mod tests {
         let m = medium_with(&[(1, 0.0, 0.0), (2, 50.0, 0.0), (3, 100.0, 0.0)], 200.0);
         let mut rng = Rng::seed_from(2);
         let txs = [tx(1, 0), tx(3, 0)];
-        assert_eq!(m.outcome_for(NodeId(2), 0, &txs, SimTime::ZERO, &mut rng), Reception::Collision);
+        assert_eq!(
+            m.outcome_for(NodeId(2), 0, &txs, SimTime::ZERO, &mut rng),
+            Reception::Collision
+        );
         let slot = m.resolve_slot(&txs, SimTime::ZERO, &mut rng);
         assert!(slot.collided_transmitters.contains(&NodeId(1)));
         assert!(slot.collided_transmitters.contains(&NodeId(3)));
@@ -324,8 +331,14 @@ mod tests {
         let m = medium_with(&[(1, 0.0, 0.0), (2, 50.0, 0.0), (3, 100.0, 0.0)], 200.0);
         let mut rng = Rng::seed_from(3);
         let txs = [tx(1, 0), tx(3, 1)];
-        assert!(matches!(m.outcome_for(NodeId(2), 0, &txs, SimTime::ZERO, &mut rng), Reception::Frame(_)));
-        assert!(matches!(m.outcome_for(NodeId(2), 1, &txs, SimTime::ZERO, &mut rng), Reception::Frame(_)));
+        assert!(matches!(
+            m.outcome_for(NodeId(2), 0, &txs, SimTime::ZERO, &mut rng),
+            Reception::Frame(_)
+        ));
+        assert!(matches!(
+            m.outcome_for(NodeId(2), 1, &txs, SimTime::ZERO, &mut rng),
+            Reception::Frame(_)
+        ));
         let slot = m.resolve_slot(&txs, SimTime::ZERO, &mut rng);
         assert!(slot.collided_transmitters.is_empty());
     }
@@ -334,7 +347,10 @@ mod tests {
     fn out_of_range_transmitter_is_not_heard() {
         let m = medium_with(&[(1, 0.0, 0.0), (2, 1_000.0, 0.0)], 200.0);
         let mut rng = Rng::seed_from(4);
-        assert_eq!(m.outcome_for(NodeId(2), 0, &[tx(1, 0)], SimTime::ZERO, &mut rng), Reception::Idle);
+        assert_eq!(
+            m.outcome_for(NodeId(2), 0, &[tx(1, 0)], SimTime::ZERO, &mut rng),
+            Reception::Idle
+        );
     }
 
     #[test]
@@ -371,7 +387,10 @@ mod tests {
         let mut rng = Rng::seed_from(6);
         let mut lost = 0;
         for _ in 0..2_000 {
-            if matches!(m.outcome_for(NodeId(2), 0, &[tx(1, 0)], SimTime::ZERO, &mut rng), Reception::Idle) {
+            if matches!(
+                m.outcome_for(NodeId(2), 0, &[tx(1, 0)], SimTime::ZERO, &mut rng),
+                Reception::Idle
+            ) {
                 lost += 1;
             }
         }
@@ -408,8 +427,8 @@ mod tests {
         let m = medium_with(&[(1, 0.0, 0.0), (2, 50.0, 0.0)], 200.0);
         let mut rng = Rng::seed_from(8);
         let slot = m.resolve_slot(&[tx(1, 0), tx(2, 0)], SimTime::ZERO, &mut rng);
-        assert!(slot.outcomes.get(&NodeId(1)).is_none());
-        assert!(slot.outcomes.get(&NodeId(2)).is_none());
+        assert!(!slot.outcomes.contains_key(&NodeId(1)));
+        assert!(!slot.outcomes.contains_key(&NodeId(2)));
     }
 
     #[test]

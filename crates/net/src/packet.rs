@@ -103,7 +103,8 @@ mod tests {
         assert_eq!(f.dst, Destination::Broadcast);
         assert_eq!(f.port, ports::DATA);
         assert_eq!(f.delay_at(SimTime::from_millis(25)).as_millis(), 15);
-        let u = Frame::unicast(NodeId(3), NodeId(4), 8, SimTime::ZERO, vec![]).with_port(ports::BEACON);
+        let u =
+            Frame::unicast(NodeId(3), NodeId(4), 8, SimTime::ZERO, vec![]).with_port(ports::BEACON);
         assert_eq!(u.dst, Destination::Unicast(NodeId(4)));
         assert_eq!(u.port, ports::BEACON);
     }

@@ -162,7 +162,11 @@ impl PulseSyncSim {
     /// Runs until the worst pairwise error drops below `threshold_fraction`
     /// of the period (or `max_seconds` elapse).  Returns the convergence time
     /// in seconds, or `None` if the threshold was never reached.
-    pub fn run_until_converged(&mut self, threshold_fraction: f64, max_seconds: f64) -> Option<f64> {
+    pub fn run_until_converged(
+        &mut self,
+        threshold_fraction: f64,
+        max_seconds: f64,
+    ) -> Option<f64> {
         let start = self.time;
         while self.time - start < max_seconds {
             // Check once per period to avoid flagging transient alignment.
@@ -194,7 +198,12 @@ mod tests {
     #[test]
     fn stays_converged_despite_drift_and_loss() {
         let mut sim = PulseSyncSim::new(
-            PulseSyncConfig { nodes: 6, drift: 100e-6, loss_probability: 0.2, ..Default::default() },
+            PulseSyncConfig {
+                nodes: 6,
+                drift: 100e-6,
+                loss_probability: 0.2,
+                ..Default::default()
+            },
             2,
         );
         sim.run_until_converged(0.05, 60.0).expect("must converge");

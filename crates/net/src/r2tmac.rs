@@ -168,7 +168,8 @@ impl<M: MacProtocol> MacProtocol for R2TMac<M> {
         if self.config.copies > 1 {
             let mut extra: Vec<Frame> = Vec::new();
             for frame in ctx.queue.iter() {
-                if frame.port == ports::DATA && !self.replicated.contains(&(frame.src.0, frame.seq)) {
+                if frame.port == ports::DATA && !self.replicated.contains(&(frame.src.0, frame.seq))
+                {
                     Self::remember(&mut self.replicated, (frame.src.0, frame.seq));
                     for _ in 1..self.config.copies {
                         extra.push(frame.clone());
@@ -285,10 +286,7 @@ mod tests {
         assert_eq!(s.metrics().delivered, 1);
         assert!(s.mac(NodeId(0)).unwrap().channel_switches() >= 1);
         // The observed inaccessibility period is bounded by the switch threshold.
-        let bound = s
-            .mac(NodeId(0))
-            .unwrap()
-            .inaccessibility_bound(SimDuration::from_millis(1));
+        let bound = s.mac(NodeId(0)).unwrap().inaccessibility_bound(SimDuration::from_millis(1));
         for id in s.node_ids() {
             let longest = s.mac(id).unwrap().inaccessibility().longest();
             assert!(longest <= bound, "inaccessibility {longest} exceeds bound {bound}");

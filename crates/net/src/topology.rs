@@ -76,7 +76,10 @@ impl Graph {
 
     /// Builds a graph from a neighbour oracle over a node set (e.g. a
     /// [`crate::medium::WirelessMedium`] range predicate).
-    pub fn from_neighborhoods(nodes: &[NodeId], in_range: impl Fn(NodeId, NodeId) -> bool) -> Graph {
+    pub fn from_neighborhoods(
+        nodes: &[NodeId],
+        in_range: impl Fn(NodeId, NodeId) -> bool,
+    ) -> Graph {
         let mut g = Graph::new();
         for &n in nodes {
             g.add_node(n);
@@ -164,7 +167,7 @@ impl Graph {
     /// the presence of up to `f` Byzantine nodes, i.e. there are at least
     /// `2f + 1` vertex-disjoint paths.
     pub fn byzantine_resilient(&self, s: NodeId, t: NodeId, f: usize) -> bool {
-        self.vertex_disjoint_paths(s, t) >= 2 * f + 1
+        self.vertex_disjoint_paths(s, t) > 2 * f
     }
 }
 

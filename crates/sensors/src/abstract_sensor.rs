@@ -193,8 +193,7 @@ mod tests {
     #[test]
     fn delay_fault_trips_timeout_detector() {
         let mut s = make_sensor(3);
-        s.injector_mut()
-            .inject_always(SensorFault::Delay { delay: SimDuration::from_secs(2) });
+        s.injector_mut().inject_always(SensorFault::Delay { delay: SimDuration::from_secs(2) });
         // Prime history with a few readings, then expect invalidity because the
         // delivered readings are older than the 500 ms freshness bound.
         let mut last = None;
@@ -208,7 +207,8 @@ mod tests {
     #[test]
     fn sporadic_offsets_reduce_validity_without_always_invalidating() {
         let mut s = make_sensor(4);
-        s.injector_mut().inject_always(SensorFault::SporadicOffset { probability: 0.2, magnitude: 40.0 });
+        s.injector_mut()
+            .inject_always(SensorFault::SporadicOffset { probability: 0.2, magnitude: 40.0 });
         let mut degraded = 0;
         let mut total = 0;
         for i in 0..200u64 {

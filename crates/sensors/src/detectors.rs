@@ -214,7 +214,12 @@ pub struct StuckAtDetector {
 impl StuckAtDetector {
     /// Creates a stuck-at detector.
     pub fn new(tolerance: f64, repeat_threshold: u32) -> Self {
-        StuckAtDetector { tolerance, repeat_threshold: repeat_threshold.max(1), last_value: None, repeats: 0 }
+        StuckAtDetector {
+            tolerance,
+            repeat_threshold: repeat_threshold.max(1),
+            last_value: None,
+            repeats: 0,
+        }
     }
 }
 
@@ -268,7 +273,10 @@ impl ModelBasedDetector {
     /// # Panics
     /// Panics if `residual_limit <= residual_tolerance`.
     pub fn new(residual_tolerance: f64, residual_limit: f64) -> Self {
-        assert!(residual_limit > residual_tolerance, "residual_limit must exceed residual_tolerance");
+        assert!(
+            residual_limit > residual_tolerance,
+            "residual_limit must exceed residual_tolerance"
+        );
         ModelBasedDetector { residual_tolerance, residual_limit, prediction: None }
     }
 

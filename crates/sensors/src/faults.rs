@@ -150,11 +150,7 @@ impl FaultInjector {
 
     /// The labels of the faults active at `now`.
     pub fn active_labels(&self, now: SimTime) -> Vec<&'static str> {
-        self.faults
-            .iter()
-            .filter(|f| f.schedule.is_active(now))
-            .map(|f| f.fault.label())
-            .collect()
+        self.faults.iter().filter(|f| f.schedule.is_active(now)).map(|f| f.fault.label()).collect()
     }
 
     /// Transforms a freshly acquired `reading` according to the faults active
@@ -170,12 +166,8 @@ impl FaultInjector {
         let mut out = reading;
         let mut stuck = false;
 
-        let faults: Vec<SensorFault> = self
-            .faults
-            .iter()
-            .filter(|f| f.schedule.is_active(now))
-            .map(|f| f.fault)
-            .collect();
+        let faults: Vec<SensorFault> =
+            self.faults.iter().filter(|f| f.schedule.is_active(now)).map(|f| f.fault).collect();
 
         for fault in faults {
             match fault {
@@ -191,7 +183,11 @@ impl FaultInjector {
                         .or_else(|| self.history.first())
                         .copied();
                     if let Some(old) = candidate {
-                        out = Measurement { value: old.value, timestamp: old.timestamp, variance: out.variance };
+                        out = Measurement {
+                            value: old.value,
+                            timestamp: old.timestamp,
+                            variance: out.variance,
+                        };
                     }
                 }
                 SensorFault::SporadicOffset { probability, magnitude } => {
@@ -344,7 +340,10 @@ mod tests {
             SensorFault::PermanentOffset { offset: 1.0 },
             FaultSchedule::window(SimTime::ZERO, SimTime::from_secs(1)),
         );
-        inj.inject(SensorFault::StuckAt { stuck_value: None }, FaultSchedule::from(SimTime::from_secs(2)));
+        inj.inject(
+            SensorFault::StuckAt { stuck_value: None },
+            FaultSchedule::from(SimTime::from_secs(2)),
+        );
         assert_eq!(inj.active_labels(SimTime::from_millis(500)), vec!["permanent-offset"]);
         assert!(inj.active_labels(SimTime::from_millis(1_500)).is_empty());
         assert_eq!(inj.active_labels(SimTime::from_secs(3)), vec!["stuck-at"]);
@@ -354,7 +353,10 @@ mod tests {
     #[test]
     fn fault_labels_are_stable() {
         assert_eq!(SensorFault::Delay { delay: SimDuration::ZERO }.label(), "delay");
-        assert_eq!(SensorFault::SporadicOffset { probability: 0.0, magnitude: 0.0 }.label(), "sporadic-offset");
+        assert_eq!(
+            SensorFault::SporadicOffset { probability: 0.0, magnitude: 0.0 }.label(),
+            "sporadic-offset"
+        );
         assert_eq!(SensorFault::PermanentOffset { offset: 0.0 }.label(), "permanent-offset");
         assert_eq!(SensorFault::StochasticOffset { std_dev: 0.0 }.label(), "stochastic-offset");
         assert_eq!(SensorFault::StuckAt { stuck_value: None }.label(), "stuck-at");

@@ -99,7 +99,9 @@ pub fn marzullo_fuse(intervals: &[Interval], max_faulty: usize) -> Option<Interv
     }
     // Starts before ends at the same coordinate so touching intervals count
     // as overlapping (closed intervals).
-    edges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(b.1.cmp(&a.1)));
+    edges.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(b.1.cmp(&a.1))
+    });
 
     let mut best: Option<Interval> = None;
     let mut depth = 0;
@@ -149,7 +151,14 @@ pub struct Kalman1D {
 impl Kalman1D {
     /// Creates a filter with the given process-noise intensity.
     pub fn new(process_noise: f64) -> Self {
-        Kalman1D { x: 0.0, v: 0.0, p: 1e6, q: process_noise.max(1e-9), initialized: false, last_time_s: 0.0 }
+        Kalman1D {
+            x: 0.0,
+            v: 0.0,
+            p: 1e6,
+            q: process_noise.max(1e-9),
+            initialized: false,
+            last_time_s: 0.0,
+        }
     }
 
     /// True once at least one measurement has been absorbed.
@@ -251,11 +260,8 @@ mod tests {
     #[test]
     fn marzullo_tolerates_one_outlier() {
         // Three sensors: two agree on ~10, one is an outlier at 100.
-        let intervals = vec![
-            Interval::new(9.0, 11.0),
-            Interval::new(9.5, 11.5),
-            Interval::new(99.0, 101.0),
-        ];
+        let intervals =
+            vec![Interval::new(9.0, 11.0), Interval::new(9.5, 11.5), Interval::new(99.0, 101.0)];
         let fused = marzullo_fuse(&intervals, 1).unwrap();
         assert!(fused.lo >= 9.0 && fused.hi <= 11.5);
         assert!(fused.contains(10.0) || fused.midpoint() > 9.0);
@@ -265,7 +271,8 @@ mod tests {
 
     #[test]
     fn marzullo_all_correct_intersects() {
-        let intervals = vec![Interval::new(0.0, 10.0), Interval::new(5.0, 15.0), Interval::new(4.0, 6.0)];
+        let intervals =
+            vec![Interval::new(0.0, 10.0), Interval::new(5.0, 15.0), Interval::new(4.0, 6.0)];
         let fused = marzullo_fuse(&intervals, 0).unwrap();
         assert!((fused.lo - 5.0).abs() < 1e-9);
         assert!((fused.hi - 6.0).abs() < 1e-9);

@@ -99,7 +99,10 @@ impl MosaicNode {
     }
 
     /// Adds an application-level detection module.
-    pub fn add_application_detector(&mut self, detector: Box<dyn FailureDetector + Send>) -> &mut Self {
+    pub fn add_application_detector(
+        &mut self,
+        detector: Box<dyn FailureDetector + Send>,
+    ) -> &mut Self {
         self.app_detectors.push(detector);
         self
     }

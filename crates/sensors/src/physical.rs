@@ -123,10 +123,17 @@ impl PositionSensor2D {
     }
 
     /// Samples a 2-D position given the true position.
-    pub fn sample_position(&mut self, truth: Vec2, now: SimTime, rng: &mut Rng) -> (Vec2, Measurement) {
+    pub fn sample_position(
+        &mut self,
+        truth: Vec2,
+        now: SimTime,
+        rng: &mut Rng,
+    ) -> (Vec2, Measurement) {
         self.bias = Vec2::new(
-            (self.bias.x + rng.normal(0.0, self.bias_drift_std)).clamp(-self.bias_limit, self.bias_limit),
-            (self.bias.y + rng.normal(0.0, self.bias_drift_std)).clamp(-self.bias_limit, self.bias_limit),
+            (self.bias.x + rng.normal(0.0, self.bias_drift_std))
+                .clamp(-self.bias_limit, self.bias_limit),
+            (self.bias.y + rng.normal(0.0, self.bias_drift_std))
+                .clamp(-self.bias_limit, self.bias_limit),
         );
         let measured = Vec2::new(
             truth.x + self.bias.x + rng.normal(0.0, self.noise_std),

@@ -32,7 +32,13 @@ pub struct ReliableSensorConfig {
 
 impl Default for ReliableSensorConfig {
     fn default() -> Self {
-        ReliableSensorConfig { max_faulty: 1, sigma: 3.0, model_tolerance: 2.0, model_limit: 10.0, window: 4 }
+        ReliableSensorConfig {
+            max_faulty: 1,
+            sigma: 3.0,
+            model_tolerance: 2.0,
+            model_limit: 10.0,
+            window: 4,
+        }
     }
 }
 
@@ -121,19 +127,14 @@ impl ReliableSensor {
             None
         } else {
             let tolerated = self.config.max_faulty.min(intervals.len().saturating_sub(1));
-            marzullo_fuse(&intervals, tolerated)
-                .map(|iv| iv.midpoint())
-                .or_else(|| {
-                    // Fall back to validity-weighted fusion when the interval
-                    // intersection is empty (e.g. heavy noise).
-                    weighted_fuse(
-                        &valid
-                            .iter()
-                            .map(|r| (r.measurement, r.validity))
-                            .collect::<Vec<_>>(),
-                    )
-                    .map(|(v, _)| v)
-                })
+            marzullo_fuse(&intervals, tolerated).map(|iv| iv.midpoint()).or_else(|| {
+                // Fall back to validity-weighted fusion when the interval
+                // intersection is empty (e.g. heavy noise).
+                weighted_fuse(
+                    &valid.iter().map(|r| (r.measurement, r.validity)).collect::<Vec<_>>(),
+                )
+                .map(|(v, _)| v)
+            })
         };
 
         let Some(mut value) = fused_value else {
@@ -147,7 +148,8 @@ impl ReliableSensor {
         // Analytical redundancy: compare with the model prediction.
         let now_s = now.as_secs_f64();
         let mut validity = {
-            let base: f64 = valid.iter().map(|r| r.validity.fraction()).sum::<f64>() / valid.len() as f64;
+            let base: f64 =
+                valid.iter().map(|r| r.validity.fraction()).sum::<f64>() / valid.len() as f64;
             Validity::new(base)
         };
         if self.model.is_initialized() {

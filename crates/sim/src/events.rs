@@ -28,10 +28,7 @@ impl<E> Eq for Scheduled<E> {}
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event is popped first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl<E> PartialOrd for Scheduled<E> {

@@ -33,12 +33,8 @@ impl Rng {
     /// always gives the same stream.
     pub fn seed_from(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Rng { s, spare_normal: None }
     }
 
@@ -97,7 +93,8 @@ impl Rng {
     /// Uniform `f64` in `[lo, hi)`. Returns `lo` when the range is empty or
     /// degenerate.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        if !(hi > lo) {
+        // `partial_cmp` (not `hi <= lo`) so a NaN bound also yields `lo`.
+        if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
             return lo;
         }
         lo + self.next_f64() * (hi - lo)

@@ -154,8 +154,7 @@ impl Histogram {
             return 0.0;
         }
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            self.samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             self.sorted = true;
         }
         let q = q.clamp(0.0, 1.0);

@@ -95,7 +95,7 @@ struct Aircraft {
 
 impl Aircraft {
     fn step(&mut self, dt: f64) {
-        self.position = self.position + self.velocity * dt;
+        self.position += self.velocity * dt;
     }
 }
 
@@ -110,23 +110,41 @@ pub fn run_encounter(config: &AvionicsConfig) -> AvionicsResult {
     let (mut ownship, mut intruder, own_climb_rate) = match config.scenario {
         AerialScenario::SameDirection => (
             // Rear aircraft, 60 m/s faster, 40 km behind, same level.
-            Aircraft { position: Vec3::new(-40_000.0, 0.0, 10_000.0), velocity: Vec3::new(260.0, 0.0, 0.0) },
-            Aircraft { position: Vec3::new(0.0, 0.0, 10_000.0), velocity: Vec3::new(200.0, 0.0, 0.0) },
+            Aircraft {
+                position: Vec3::new(-40_000.0, 0.0, 10_000.0),
+                velocity: Vec3::new(260.0, 0.0, 0.0),
+            },
+            Aircraft {
+                position: Vec3::new(0.0, 0.0, 10_000.0),
+                velocity: Vec3::new(200.0, 0.0, 0.0),
+            },
             0.0,
         ),
         AerialScenario::LeveledCrossing => (
             // Ownship heading east, intruder heading north; tracks cross at
             // the origin at roughly the same time.
-            Aircraft { position: Vec3::new(-50_000.0, 0.0, 10_000.0), velocity: Vec3::new(230.0, 0.0, 0.0) },
-            Aircraft { position: Vec3::new(0.0, -52_000.0, 10_000.0), velocity: Vec3::new(0.0, 235.0, 0.0) },
+            Aircraft {
+                position: Vec3::new(-50_000.0, 0.0, 10_000.0),
+                velocity: Vec3::new(230.0, 0.0, 0.0),
+            },
+            Aircraft {
+                position: Vec3::new(0.0, -52_000.0, 10_000.0),
+                velocity: Vec3::new(0.0, 235.0, 0.0),
+            },
             0.0,
         ),
         AerialScenario::FlightLevelChange => (
             // Ownship climbs through the intruder's level; the intruder flies
             // a parallel track offset laterally by ~6 km (not a direct
             // collision course, but within the horizontal minimum).
-            Aircraft { position: Vec3::new(-2_000.0, 0.0, 9_000.0), velocity: Vec3::new(200.0, 0.0, 0.0) },
-            Aircraft { position: Vec3::new(0.0, 6_000.0, 10_000.0), velocity: Vec3::new(200.0, 0.0, 0.0) },
+            Aircraft {
+                position: Vec3::new(-2_000.0, 0.0, 9_000.0),
+                velocity: Vec3::new(200.0, 0.0, 0.0),
+            },
+            Aircraft {
+                position: Vec3::new(0.0, 6_000.0, 10_000.0),
+                velocity: Vec3::new(200.0, 0.0, 0.0),
+            },
             8.0,
         ),
     };
@@ -168,7 +186,9 @@ pub fn run_encounter(config: &AvionicsConfig) -> AvionicsResult {
         // within 1.6× the horizontal minimum and 1.5× the vertical minimum
         // within the look-ahead horizon.
         if result.detected_at.is_none() {
-            if let (Some((est_pos, est_t)), Some((prev_pos, prev_t))) = (estimated_intruder, previous_estimate) {
+            if let (Some((est_pos, est_t)), Some((prev_pos, prev_t))) =
+                (estimated_intruder, previous_estimate)
+            {
                 let dt_est = (est_t - prev_t).max(1.0);
                 let est_velocity = (est_pos - prev_pos) / dt_est;
                 let extrapolated = est_pos + est_velocity * (t - est_t);
@@ -199,7 +219,8 @@ pub fn run_encounter(config: &AvionicsConfig) -> AvionicsResult {
                 AerialScenario::SameDirection => {
                     // Decelerate 0.6 m/s² down to the intruder's speed.
                     if ownship.velocity.x > intruder.velocity.x {
-                        ownship.velocity.x = (ownship.velocity.x - 0.6 * dt).max(intruder.velocity.x);
+                        ownship.velocity.x =
+                            (ownship.velocity.x - 0.6 * dt).max(intruder.velocity.x);
                     }
                 }
                 AerialScenario::LeveledCrossing => {
@@ -249,7 +270,12 @@ pub fn run_encounter(config: &AvionicsConfig) -> AvionicsResult {
 mod tests {
     use super::*;
 
-    fn run(scenario: AerialScenario, traffic: TrafficType, resolution: bool, seed: u64) -> AvionicsResult {
+    fn run(
+        scenario: AerialScenario,
+        traffic: TrafficType,
+        resolution: bool,
+        seed: u64,
+    ) -> AvionicsResult {
         run_encounter(&AvionicsConfig {
             scenario,
             traffic,
@@ -287,12 +313,14 @@ mod tests {
     #[test]
     fn non_collaborative_traffic_detects_later_and_gets_closer() {
         let collaborative = run(AerialScenario::SameDirection, TrafficType::Collaborative, true, 2);
-        let non_collaborative = run(AerialScenario::SameDirection, TrafficType::NonCollaborative, true, 2);
+        let non_collaborative =
+            run(AerialScenario::SameDirection, TrafficType::NonCollaborative, true, 2);
         let t_collab = collaborative.detected_at.expect("collaborative detection");
         let t_non = non_collaborative.detected_at.unwrap_or(f64::MAX);
         assert!(t_non >= t_collab, "non-collaborative must not detect earlier");
         assert!(
-            non_collaborative.min_horizontal_separation <= collaborative.min_horizontal_separation + 1.0,
+            non_collaborative.min_horizontal_separation
+                <= collaborative.min_horizontal_separation + 1.0,
             "collab {} vs non-collab {}",
             collaborative.min_horizontal_separation,
             non_collaborative.min_horizontal_separation

@@ -209,9 +209,17 @@ mod tests {
     #[test]
     fn free_driving_tracks_cruise_speed() {
         let acc = AccController::default();
-        let a_slow = acc.control(20.0, &AccInput { gap: None, closing_speed: None, leader_acceleration: None }, 1.0);
+        let a_slow = acc.control(
+            20.0,
+            &AccInput { gap: None, closing_speed: None, leader_acceleration: None },
+            1.0,
+        );
         assert!(a_slow > 0.0);
-        let a_fast = acc.control(35.0, &AccInput { gap: None, closing_speed: None, leader_acceleration: None }, 1.0);
+        let a_fast = acc.control(
+            35.0,
+            &AccInput { gap: None, closing_speed: None, leader_acceleration: None },
+            1.0,
+        );
         assert!(a_fast < 0.0);
     }
 
@@ -221,22 +229,32 @@ mod tests {
         let speed = 25.0;
         let margin = 1.0;
         // Desired gap = 3 + 25 = 28 m.
-        let too_close =
-            acc.control(speed, &AccInput { gap: Some(15.0), closing_speed: Some(0.0), leader_acceleration: None }, margin);
+        let too_close = acc.control(
+            speed,
+            &AccInput { gap: Some(15.0), closing_speed: Some(0.0), leader_acceleration: None },
+            margin,
+        );
         assert!(too_close < 0.0);
-        let too_far =
-            acc.control(speed, &AccInput { gap: Some(60.0), closing_speed: Some(0.0), leader_acceleration: None }, margin);
+        let too_far = acc.control(
+            speed,
+            &AccInput { gap: Some(60.0), closing_speed: Some(0.0), leader_acceleration: None },
+            margin,
+        );
         assert!(too_far > 0.0);
         // Closing fast on the leader demands braking even at the desired gap.
-        let closing =
-            acc.control(speed, &AccInput { gap: Some(28.0), closing_speed: Some(5.0), leader_acceleration: None }, margin);
+        let closing = acc.control(
+            speed,
+            &AccInput { gap: Some(28.0), closing_speed: Some(5.0), leader_acceleration: None },
+            margin,
+        );
         assert!(closing < 0.0);
     }
 
     #[test]
     fn cooperative_feedforward_reacts_before_the_gap_changes() {
         let acc = AccController::default();
-        let base = AccInput { gap: Some(28.0), closing_speed: Some(0.0), leader_acceleration: None };
+        let base =
+            AccInput { gap: Some(28.0), closing_speed: Some(0.0), leader_acceleration: None };
         let coop = AccInput { leader_acceleration: Some(-3.0), ..base };
         let a_base = acc.control(25.0, &base, 1.0);
         let a_coop = acc.control(25.0, &coop, 1.0);

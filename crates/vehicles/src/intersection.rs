@@ -152,10 +152,7 @@ pub fn run_intersection(config: &IntersectionConfig) -> IntersectionResult {
 
     for step in 0..steps {
         let now = SimTime::from_secs_f64(step as f64 * dt);
-        let light_failed = config
-            .light_failure
-            .map(|(s, e)| now >= s && now < e)
-            .unwrap_or(false);
+        let light_failed = config.light_failure.map(|(s, e)| now >= s && now < e).unwrap_or(false);
 
         // Arrivals on both approaches.
         for (approach, queue) in queues.iter_mut().enumerate() {
@@ -172,7 +169,9 @@ pub fn run_intersection(config: &IntersectionConfig) -> IntersectionResult {
         // I-am-alive while healthy.
         if !light_failed {
             last_alive = now;
-            if now.since(SimTime::from_secs_f64(infra_since.as_secs_f64())).as_secs_f64() >= GREEN_PHASE_S {
+            if now.since(SimTime::from_secs_f64(infra_since.as_secs_f64())).as_secs_f64()
+                >= GREEN_PHASE_S
+            {
                 infra_green = 1 - infra_green;
                 infra_since = now;
             }
@@ -182,10 +181,8 @@ pub fn run_intersection(config: &IntersectionConfig) -> IntersectionResult {
 
         // Update the virtual traffic light population from the queued
         // vehicles (they are all within the intersection region).
-        let population: Vec<(u32, Vec2)> = queues
-            .iter()
-            .flat_map(|q| q.iter().map(|v| (v.id, Vec2::new(5.0, 5.0))))
-            .collect();
+        let population: Vec<(u32, Vec2)> =
+            queues.iter().flat_map(|q| q.iter().map(|v| (v.id, Vec2::new(5.0, 5.0)))).collect();
         vtl.update_population(&population);
 
         // Decide who (if anyone) currently has green.
@@ -217,17 +214,11 @@ pub fn run_intersection(config: &IntersectionConfig) -> IntersectionResult {
                 // when the intersection is clear and the release headway has
                 // elapsed.
                 let clear = occupancy.is_empty();
-                let headway_ok = now.since(last_release[approach]).as_secs_f64() >= RELEASE_HEADWAY_S;
+                let headway_ok =
+                    now.since(last_release[approach]).as_secs_f64() >= RELEASE_HEADWAY_S;
                 if clear && headway_ok {
                     if let Some(vehicle) = queues[approach].pop_front() {
-                        enter(
-                            &mut occupancy,
-                            &mut result,
-                            &mut wait_sum,
-                            approach,
-                            vehicle,
-                            now,
-                        );
+                        enter(&mut occupancy, &mut result, &mut wait_sum, approach, vehicle, now);
                         last_release[approach] = now;
                     }
                 }
@@ -243,7 +234,8 @@ pub fn run_intersection(config: &IntersectionConfig) -> IntersectionResult {
                     } else {
                         rng.chance(0.25)
                     };
-                    let headway_ok = now.since(last_release[approach]).as_secs_f64() >= RELEASE_HEADWAY_S;
+                    let headway_ok =
+                        now.since(last_release[approach]).as_secs_f64() >= RELEASE_HEADWAY_S;
                     if proceed && headway_ok {
                         if let Some(vehicle) = queues[approach].pop_front() {
                             enter(
@@ -301,7 +293,6 @@ mod tests {
             light_failure: Some((SimTime::from_secs(120), SimTime::from_secs(480))),
             fallback,
             seed,
-            ..Default::default()
         }
     }
 

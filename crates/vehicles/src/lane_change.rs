@@ -91,8 +91,9 @@ pub fn run_lane_changes(config: &LaneChangeConfig) -> LaneChangeResult {
     let mut rng = Rng::seed_from(config.seed);
 
     // Vehicle kinematics: constant speeds on a ring road, two lanes.
-    let mut positions: Vec<f64> =
-        (0..config.vehicles).map(|i| i as f64 * config.road_length / config.vehicles as f64).collect();
+    let mut positions: Vec<f64> = (0..config.vehicles)
+        .map(|i| i as f64 * config.road_length / config.vehicles as f64)
+        .collect();
     let speeds: Vec<f64> = (0..config.vehicles).map(|i| 24.0 + (i % 5) as f64).collect();
 
     let mut protocols: Vec<AgreementProtocol> =
@@ -145,14 +146,18 @@ pub fn run_lane_changes(config: &LaneChangeConfig) -> LaneChangeResult {
                     if active.contains_key(&recipient) || pending.contains_key(&recipient) {
                         in_flight.push((
                             vec![initiator_of(&message) as usize],
-                            AgreementMessage::Reject { proposal: *proposal, participant: recipient as u32 },
+                            AgreementMessage::Reject {
+                                proposal: *proposal,
+                                participant: recipient as u32,
+                            },
                         ));
                         continue;
                     }
                 }
                 let responses = protocols[recipient].on_message(&message, now);
                 for response in responses {
-                    let targets = response_targets(&response, &message, config, &positions, recipient);
+                    let targets =
+                        response_targets(&response, &message, config, &positions, recipient);
                     in_flight.push((targets, response));
                 }
             }
@@ -161,7 +166,8 @@ pub fn run_lane_changes(config: &LaneChangeConfig) -> LaneChangeResult {
         // Timeouts of pending proposals.
         for (initiator, protocol) in protocols.iter_mut().enumerate() {
             for outcome in protocol.tick(now) {
-                let region: Vec<usize> = neighbours(&positions, initiator, config.region_radius, &ring_distance);
+                let region: Vec<usize> =
+                    neighbours(&positions, initiator, config.region_radius, &ring_distance);
                 in_flight.push((region, outcome));
             }
         }
@@ -223,14 +229,15 @@ pub fn run_lane_changes(config: &LaneChangeConfig) -> LaneChangeResult {
         let changing: Vec<usize> = active.keys().copied().collect();
         for i in 0..changing.len() {
             for j in (i + 1)..changing.len() {
-                if ring_distance(positions[changing[i]], positions[changing[j]]) <= violation_radius {
+                if ring_distance(positions[changing[i]], positions[changing[j]]) <= violation_radius
+                {
                     result.invariant_violations += 1;
                 }
             }
         }
 
         // New lane-change desires.
-        for vehicle in 0..config.vehicles {
+        for (vehicle, protocol) in protocols.iter_mut().enumerate() {
             if active.contains_key(&vehicle) || pending.contains_key(&vehicle) {
                 continue;
             }
@@ -253,7 +260,7 @@ pub fn run_lane_changes(config: &LaneChangeConfig) -> LaneChangeResult {
                     let region: Vec<usize> =
                         neighbours(&positions, vehicle, config.region_radius, &ring_distance);
                     let participants: Vec<u32> = region.iter().map(|v| *v as u32).collect();
-                    let (message, proposal) = protocols[vehicle].propose(
+                    let (message, proposal) = protocol.propose(
                         "lane-change",
                         &participants,
                         now,
@@ -320,7 +327,12 @@ mod tests {
     use super::*;
 
     fn config(coordination: Coordination, seed: u64) -> LaneChangeConfig {
-        LaneChangeConfig { coordination, seed, duration: SimDuration::from_secs(240), ..Default::default() }
+        LaneChangeConfig {
+            coordination,
+            seed,
+            duration: SimDuration::from_secs(240),
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -24,18 +24,20 @@ pub mod intersection;
 pub mod lane_change;
 pub mod platoon;
 
+pub use avionics::run_encounter;
 pub use avionics::{
-    AerialScenario, AvionicsConfig, AvionicsResult, TrafficType, HORIZONTAL_MINIMUM, VERTICAL_MINIMUM,
+    AerialScenario, AvionicsConfig, AvionicsResult, TrafficType, HORIZONTAL_MINIMUM,
+    VERTICAL_MINIMUM,
 };
 pub use control::{
-    emergency_brake_needed, time_margin_for_los, AccController, AccInput, VehicleLimits, VehicleState,
+    emergency_brake_needed, time_margin_for_los, AccController, AccInput, VehicleLimits,
+    VehicleState,
 };
+pub use intersection::run_intersection;
 pub use intersection::{FallbackMode, IntersectionConfig, IntersectionResult, VtlState};
+pub use lane_change::run_lane_changes;
 pub use lane_change::{Coordination, LaneChangeConfig, LaneChangeResult};
 pub use platoon::{
-    acc_design_time_info, run_platoon, ControlMode, InjectedSensorFault, PlatoonConfig, PlatoonResult,
-    V2VModel,
+    acc_design_time_info, run_platoon, ControlMode, InjectedSensorFault, PlatoonConfig,
+    PlatoonResult, V2VModel,
 };
-pub use avionics::run_encounter;
-pub use intersection::run_intersection;
-pub use lane_change::run_lane_changes;

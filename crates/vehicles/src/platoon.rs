@@ -8,20 +8,21 @@
 //! experiments E01 (performance–safety trade-off) and E10 (per-LoS time
 //! margins and hazard rates).
 
+use karyon_core::los::Asil;
 use karyon_core::{
     Condition, DesignTimeSafetyInfo, Hazard, HazardAnalysis, LevelOfService, LosSpec, SafetyKernel,
     SafetyRule,
 };
-use karyon_core::los::Asil;
+use karyon_sensors::faults::FaultSchedule;
 use karyon_sensors::{
     AbstractSensor, RangeCheckDetector, RangeSensor, RateOfChangeDetector, SensorFault,
     StuckAtDetector, TimeoutDetector,
 };
-use karyon_sensors::faults::FaultSchedule;
 use karyon_sim::{Rng, SimDuration, SimTime};
 
 use crate::control::{
-    emergency_brake_needed, time_margin_for_los, AccController, AccInput, VehicleLimits, VehicleState,
+    emergency_brake_needed, time_margin_for_los, AccController, AccInput, VehicleLimits,
+    VehicleState,
 };
 
 /// How a follower chooses its time margin.
@@ -174,7 +175,10 @@ pub fn acc_design_time_info() -> DesignTimeSafetyInfo {
             ),
             SafetyRule::new(
                 "R4-v2v-freshness",
-                Condition::MaxAge { item: "lead-state".into(), bound: SimDuration::from_millis(300) },
+                Condition::MaxAge {
+                    item: "lead-state".into(),
+                    bound: SimDuration::from_millis(300),
+                },
             ),
         ],
         asil: Asil::C,
@@ -215,7 +219,11 @@ pub fn run_platoon(config: &PlatoonConfig) -> PlatoonResult {
         .map(|i| {
             let mut sensor = AbstractSensor::new(
                 "range",
-                Box::new(RangeSensor { noise_std: 0.3, max_range: 250.0, dropout_probability: 0.001 }),
+                Box::new(RangeSensor {
+                    noise_std: 0.3,
+                    max_range: 250.0,
+                    dropout_probability: 0.001,
+                }),
                 config.seed.wrapping_mul(31).wrapping_add(i as u64),
             );
             sensor.add_detector(Box::new(RangeCheckDetector::new(0.0, 250.0)));
@@ -224,20 +232,25 @@ pub fn run_platoon(config: &PlatoonConfig) -> PlatoonResult {
             sensor.add_detector(Box::new(StuckAtDetector::new(1e-6, 8)));
             if let Some(injected) = &config.sensor_fault {
                 if injected.follower == i {
-                    sensor
-                        .injector_mut()
-                        .inject(injected.fault, FaultSchedule::window(injected.from, injected.until));
+                    sensor.injector_mut().inject(
+                        injected.fault,
+                        FaultSchedule::window(injected.from, injected.until),
+                    );
                 }
             }
             let (kernel, fixed_level) = match config.mode {
-                ControlMode::SafetyKernel => {
-                    (Some(SafetyKernel::new(acc_design_time_info(), config.control_period)), LevelOfService(0))
-                }
+                ControlMode::SafetyKernel => (
+                    Some(SafetyKernel::new(acc_design_time_info(), config.control_period)),
+                    LevelOfService(0),
+                ),
                 ControlMode::FixedLos(level) => (None, level),
             };
             Follower {
                 state: VehicleState::new(1_000.0 - i as f64 * 45.0, config.lead_speed),
-                controller: AccController { cruise_speed: config.lead_speed + 4.0, ..Default::default() },
+                controller: AccController {
+                    cruise_speed: config.lead_speed + 4.0,
+                    ..Default::default()
+                },
                 range_sensor: sensor,
                 kernel,
                 fixed_level,
@@ -271,7 +284,7 @@ pub fn run_platoon(config: &PlatoonConfig) -> PlatoonResult {
         // Leader speed profile: cruise, with a braking event every 25 s
         // lasting 3 s, then recover.
         let cycle = now.as_secs_f64() % 25.0;
-        let lead_acc = if cycle >= 15.0 && cycle < 18.0 {
+        let lead_acc = if (15.0..18.0).contains(&cycle) {
             -config.lead_braking
         } else if leader.speed < config.lead_speed {
             1.5
@@ -300,7 +313,11 @@ pub fn run_platoon(config: &PlatoonConfig) -> PlatoonResult {
                 Some(kernel) => {
                     let info = kernel.info_mut();
                     info.update_data("range", reading.measurement.value, reading.validity, now);
-                    info.update_health("v2v", !config.v2v.in_outage(now) && follower.last_v2v.is_some(), now);
+                    info.update_health(
+                        "v2v",
+                        !config.v2v.in_outage(now) && follower.last_v2v.is_some(),
+                        now,
+                    );
                     if let Some((speed, _, ts)) = follower.last_v2v {
                         info.update_data("lead-state", speed, karyon_sensors::Validity::FULL, ts);
                     }
@@ -334,7 +351,8 @@ pub fn run_platoon(config: &PlatoonConfig) -> PlatoonResult {
                 closing_speed: Some(closing),
                 leader_acceleration,
             };
-            let mut command = follower.controller.control(follower.state.speed, &input, time_margin);
+            let mut command =
+                follower.controller.control(follower.state.speed, &input, time_margin);
             // Below-the-line emergency braking on the raw measurement.
             if emergency_brake_needed(measured_gap, closing, 0.9) {
                 command = -limits.max_deceleration;
@@ -367,7 +385,8 @@ pub fn run_platoon(config: &PlatoonConfig) -> PlatoonResult {
     }
 
     let follower_steps = (steps as f64) * (config.vehicles - 1) as f64;
-    result.mean_time_gap = if time_gap_samples > 0 { gap_sum / time_gap_samples as f64 } else { 0.0 };
+    result.mean_time_gap =
+        if time_gap_samples > 0 { gap_sum / time_gap_samples as f64 } else { 0.0 };
     result.mean_speed = speed_sum / follower_steps;
     let mean_spacing = spacing_sum / follower_steps;
     result.throughput_veh_per_hour =
@@ -376,11 +395,8 @@ pub fn run_platoon(config: &PlatoonConfig) -> PlatoonResult {
     for (i, count) in los_steps.iter().enumerate() {
         result.los_time_fraction[i] = *count as f64 / total_los_steps.max(1) as f64;
     }
-    result.los_switches = followers
-        .iter()
-        .filter_map(|f| f.kernel.as_ref())
-        .map(|k| k.switches().len() as u64)
-        .sum();
+    result.los_switches =
+        followers.iter().filter_map(|f| f.kernel.as_ref()).map(|k| k.switches().len() as u64).sum();
     if result.min_time_gap.is_infinite() {
         result.min_time_gap = 0.0;
     }
@@ -475,8 +491,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one follower")]
     fn rejects_single_vehicle() {
-        let mut config = PlatoonConfig::default();
-        config.vehicles = 1;
+        let config = PlatoonConfig { vehicles: 1, ..Default::default() };
         let _ = run_platoon(&config);
     }
 

@@ -5,7 +5,8 @@
 
 use karyon::sim::Table;
 use karyon::vehicles::{
-    run_encounter, AerialScenario, AvionicsConfig, TrafficType, HORIZONTAL_MINIMUM, VERTICAL_MINIMUM,
+    run_encounter, AerialScenario, AvionicsConfig, TrafficType, HORIZONTAL_MINIMUM,
+    VERTICAL_MINIMUM,
 };
 
 fn main() {
@@ -21,12 +22,20 @@ fn main() {
     ];
     let mut table = Table::new(
         "RPV encounters (conflict resolution enabled)",
-        &["scenario", "traffic", "conflict detected at [s]", "min horizontal sep [km]", "min vertical sep [m]", "violation [s]"],
+        &[
+            "scenario",
+            "traffic",
+            "conflict detected at [s]",
+            "min horizontal sep [km]",
+            "min vertical sep [m]",
+            "violation [s]",
+        ],
     );
     for (name, scenario) in scenarios {
-        for (traffic_name, traffic) in
-            [("collaborative", TrafficType::Collaborative), ("non-collaborative", TrafficType::NonCollaborative)]
-        {
+        for (traffic_name, traffic) in [
+            ("collaborative", TrafficType::Collaborative),
+            ("non-collaborative", TrafficType::NonCollaborative),
+        ] {
             let result = run_encounter(&AvionicsConfig {
                 scenario,
                 traffic,

@@ -24,7 +24,14 @@ fn main() {
 
     let mut table = Table::new(
         "Highway platoon through a 50 s V2V outage (6 vehicles, 150 s)",
-        &["control", "collisions", "hazard steps", "min time gap [s]", "throughput [veh/h]", "LoS switches"],
+        &[
+            "control",
+            "collisions",
+            "hazard steps",
+            "min time gap [s]",
+            "throughput [veh/h]",
+            "LoS switches",
+        ],
     );
     for (name, mode) in modes {
         let result = run_platoon(&PlatoonConfig {

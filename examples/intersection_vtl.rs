@@ -15,7 +15,13 @@ fn main() {
     ];
     let mut table = Table::new(
         "Intersection, 12 vehicles/min/approach, light fails 120-480 s",
-        &["scenario", "conflicts", "throughput [veh/min]", "mean wait [s]", "uncontrolled time [%]"],
+        &[
+            "scenario",
+            "conflicts",
+            "throughput [veh/min]",
+            "mean wait [s]",
+            "uncontrolled time [%]",
+        ],
     );
     for (name, light_failure, fallback) in cases {
         let result = run_intersection(&IntersectionConfig {

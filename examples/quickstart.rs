@@ -95,6 +95,9 @@ fn main() {
 
     println!("\nLoS switches recorded: {}", kernel.switches().len());
     for switch in kernel.switches() {
-        println!("  at {} from {} to {} (latency bound {})", switch.at, switch.from, switch.to, switch.latency);
+        println!(
+            "  at {} from {} to {} (latency bound {})",
+            switch.at, switch.from, switch.to, switch.latency
+        );
     }
 }

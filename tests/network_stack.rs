@@ -2,18 +2,19 @@
 //! medium under disturbances, self-stabilizing TDMA with mobility, and the
 //! end-to-end protocol carried over frames.
 
+use karyon::net::mac::selfstab_tdma::allocation_is_collision_free;
 use karyon::net::mac::{MacSimConfig, MacSimulation};
 use karyon::net::{
     CsmaConfig, CsmaMac, Disturbance, MediumConfig, NodeId, R2TMac, R2TMacConfig, SelfStabTdmaMac,
     WirelessMedium,
 };
-use karyon::net::mac::selfstab_tdma::allocation_is_collision_free;
 use karyon::sim::{Rng, SimDuration, SimTime, Vec2};
 
 #[test]
 fn r2tmac_keeps_delivering_through_a_long_jam_while_csma_stalls() {
     let build_medium = || {
-        let mut m = WirelessMedium::new(MediumConfig { range: 500.0, loss_probability: 0.0, channels: 2 });
+        let mut m =
+            WirelessMedium::new(MediumConfig { range: 500.0, loss_probability: 0.0, channels: 2 });
         m.add_disturbance(Disturbance {
             channel: Some(0),
             start: SimTime::from_millis(500),
@@ -30,7 +31,11 @@ fn r2tmac_keeps_delivering_through_a_long_jam_while_csma_stalls() {
     // Plain CSMA.
     let mut csma = MacSimulation::new(build_medium(), MacSimConfig::default(), 5);
     for i in 0..4 {
-        csma.add_node(NodeId(i), CsmaMac::new(CsmaConfig::default()), Vec2::new(i as f64 * 20.0, 0.0));
+        csma.add_node(
+            NodeId(i),
+            CsmaMac::new(CsmaConfig::default()),
+            Vec2::new(i as f64 * 20.0, 0.0),
+        );
     }
     let mut drive_csma = |round: u64| {
         csma.send_broadcast(NodeId((round % 4) as u32), vec![round as u8]);
@@ -40,7 +45,13 @@ fn r2tmac_keeps_delivering_through_a_long_jam_while_csma_stalls() {
     let csma_delivery = csma.metrics().delivery_per_generated();
 
     // R2T-MAC with channel diversity.
-    let config = R2TMacConfig { copies: 1, heartbeat_period: 0, channel_switch_threshold: 10, channels: 2, ..Default::default() };
+    let config = R2TMacConfig {
+        copies: 1,
+        heartbeat_period: 0,
+        channel_switch_threshold: 10,
+        channels: 2,
+        ..Default::default()
+    };
     let mut r2t = MacSimulation::new(build_medium(), MacSimConfig::default(), 5);
     for i in 0..4 {
         r2t.add_node(
@@ -63,13 +74,17 @@ fn r2tmac_keeps_delivering_through_a_long_jam_while_csma_stalls() {
     // Every R2T node bounded its inaccessibility below the channel-switch bound.
     for id in r2t.node_ids() {
         let mac = r2t.mac(id).unwrap();
-        assert!(mac.inaccessibility().longest() <= mac.inaccessibility_bound(SimDuration::from_millis(1)));
+        assert!(
+            mac.inaccessibility().longest()
+                <= mac.inaccessibility_bound(SimDuration::from_millis(1))
+        );
     }
 }
 
 #[test]
 fn selfstab_tdma_reconverges_under_mobility() {
-    let medium = WirelessMedium::new(MediumConfig { range: 120.0, loss_probability: 0.0, channels: 1 });
+    let medium =
+        WirelessMedium::new(MediumConfig { range: 120.0, loss_probability: 0.0, channels: 1 });
     let mut sim = MacSimulation::new(
         medium,
         MacSimConfig { slot_duration: SimDuration::from_millis(1), slots_per_frame: 16 },
@@ -78,16 +93,17 @@ fn selfstab_tdma_reconverges_under_mobility() {
     // Two spatially separated clusters that can reuse slots.
     for i in 0..4u32 {
         sim.add_node(NodeId(i), SelfStabTdmaMac::new(), Vec2::new(i as f64 * 20.0, 0.0));
-        sim.add_node(NodeId(100 + i), SelfStabTdmaMac::new(), Vec2::new(1_000.0 + i as f64 * 20.0, 0.0));
+        sim.add_node(
+            NodeId(100 + i),
+            SelfStabTdmaMac::new(),
+            Vec2::new(1_000.0 + i as f64 * 20.0, 0.0),
+        );
     }
     sim.run_slots(16 * 60);
 
     let converged = |sim: &MacSimulation<SelfStabTdmaMac>| {
-        let claims: Vec<(NodeId, Option<u16>)> = sim
-            .node_ids()
-            .iter()
-            .map(|id| (*id, sim.mac(*id).unwrap().claimed_slot()))
-            .collect();
+        let claims: Vec<(NodeId, Option<u16>)> =
+            sim.node_ids().iter().map(|id| (*id, sim.mac(*id).unwrap().claimed_slot())).collect();
         allocation_is_collision_free(&claims, |a, b| sim.medium().in_range(a, b))
     };
     assert!(converged(&sim), "initial convergence failed");

@@ -8,8 +8,8 @@ use karyon::core::{
     SafetyRule, TimingFailureDetector,
 };
 use karyon::middleware::{
-    Admission, ContextFilter, EventBus, NetworkCapability, NetworkId, QosRequirement, SubscriberId,
-    Subject,
+    Admission, ContextFilter, EventBus, NetworkCapability, NetworkId, QosRequirement, Subject,
+    SubscriberId,
 };
 use karyon::sensors::faults::FaultSchedule;
 use karyon::sensors::{
@@ -62,11 +62,13 @@ fn sensor_validity_drives_the_level_of_service() {
     );
     sensor.add_detector(Box::new(RangeCheckDetector::new(0.0, 150.0)));
     sensor.add_detector(Box::new(StuckAtDetector::new(1e-6, 5)));
-    sensor
-        .injector_mut()
-        .inject(SensorFault::StuckAt { stuck_value: None }, FaultSchedule::from(SimTime::from_secs(5)));
+    sensor.injector_mut().inject(
+        SensorFault::StuckAt { stuck_value: None },
+        FaultSchedule::from(SimTime::from_secs(5)),
+    );
 
-    let mut kernel = SafetyKernel::new(two_level_design("range", "v2v"), SimDuration::from_millis(100));
+    let mut kernel =
+        SafetyKernel::new(two_level_design("range", "v2v"), SimDuration::from_millis(100));
     let mut degraded_after_fault = false;
     let mut cooperative_before_fault = false;
 
@@ -91,7 +93,8 @@ fn sensor_validity_drives_the_level_of_service() {
 
 #[test]
 fn timing_failure_detector_feeds_component_health() {
-    let mut kernel = SafetyKernel::new(two_level_design("range", "planner"), SimDuration::from_millis(100));
+    let mut kernel =
+        SafetyKernel::new(two_level_design("range", "planner"), SimDuration::from_millis(100));
     let mut detector = TimingFailureDetector::new("planner", SimDuration::from_millis(250));
 
     // Regular heartbeats: healthy, cooperative level reachable.
@@ -144,12 +147,15 @@ fn middleware_admission_can_gate_the_cooperative_level() {
     };
     assert_eq!(bus.announce(subject, NetworkId(0), qos), Admission::Admitted);
 
-    let mut kernel = SafetyKernel::new(two_level_design("range", "v2v"), SimDuration::from_millis(100));
+    let mut kernel =
+        SafetyKernel::new(two_level_design("range", "v2v"), SimDuration::from_millis(100));
     let now = SimTime::from_millis(100);
     kernel.info_mut().update_data("range", 5.0, karyon::sensors::Validity::FULL, now);
-    kernel
-        .info_mut()
-        .update_health("v2v", bus.admission(subject) == Some(Admission::Admitted), now);
+    kernel.info_mut().update_health(
+        "v2v",
+        bus.admission(subject) == Some(Admission::Admitted),
+        now,
+    );
     assert_eq!(kernel.run_cycle(now).selected, LevelOfService(1));
 
     // The monitored capability degrades; the channel loses its admission and
@@ -157,9 +163,11 @@ fn middleware_admission_can_gate_the_cooperative_level() {
     bus.update_capability(NetworkId(0), NetworkCapability::wireless_degraded());
     let later = SimTime::from_millis(200);
     kernel.info_mut().update_data("range", 5.0, karyon::sensors::Validity::FULL, later);
-    kernel
-        .info_mut()
-        .update_health("v2v", bus.admission(subject) == Some(Admission::Admitted), later);
+    kernel.info_mut().update_health(
+        "v2v",
+        bus.admission(subject) == Some(Admission::Admitted),
+        later,
+    );
     assert_eq!(kernel.run_cycle(later).selected, LevelOfService(0));
 }
 

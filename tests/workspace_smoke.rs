@@ -1,0 +1,150 @@
+//! Workspace smoke test: the umbrella crate must re-export every layer under
+//! its short module name, and the quickstart example's logic must run.
+//!
+//! This is the canary for the build system itself — if a `pub use` or a
+//! manifest dependency goes missing, this file stops compiling before any
+//! deeper suite gets a chance to be confusing.
+
+use karyon::core::los::Asil;
+use karyon::core::{
+    Condition, DesignTimeSafetyInfo, Hazard, HazardAnalysis, LevelOfService, LosSpec, SafetyKernel,
+    SafetyRule,
+};
+use karyon::middleware::{
+    Admission, ContextFilter, EventBus, NetworkCapability, NetworkId, QosRequirement,
+};
+use karyon::net::{MediumConfig, SelfStabTdmaMac, WirelessMedium};
+use karyon::sensors::{marzullo_fuse, weighted_fuse, Interval, Measurement, Validity};
+use karyon::sim::{EventQueue, Rng, SimDuration, SimTime};
+use karyon::vehicles::{run_platoon, ControlMode, PlatoonConfig};
+
+/// Every re-exported layer is reachable through the umbrella crate: construct
+/// (or call) one item per module so a missing re-export fails the build here.
+#[test]
+fn umbrella_reexports_resolve() {
+    // karyon::sim
+    let mut queue: EventQueue<u8> = EventQueue::new();
+    queue.schedule(SimTime::from_millis(1), 7);
+    assert_eq!(queue.pop(), Some((SimTime::from_millis(1), 7)));
+    let mut rng = Rng::seed_from(42);
+    assert!(rng.next_f64() < 1.0);
+
+    // karyon::sensors
+    let fused = marzullo_fuse(&[Interval::new(0.0, 2.0), Interval::new(1.0, 3.0)], 0);
+    assert!(fused.expect("overlapping intervals fuse").contains(1.5));
+    let (value, validity) =
+        weighted_fuse(&[(Measurement::new(1.0, SimTime::ZERO, 1.0), Validity::new(0.9))])
+            .expect("non-empty fusion");
+    assert!((value - 1.0).abs() < 1e-9);
+    assert!(validity.fraction() > 0.0);
+
+    // karyon::net
+    let medium = WirelessMedium::new(MediumConfig::default());
+    assert!(medium.nodes().is_empty());
+    let _mac = SelfStabTdmaMac::new();
+
+    // karyon::middleware
+    let mut bus = EventBus::new(3);
+    bus.attach_network(NetworkId(0), NetworkCapability::local_bus());
+    let subject = karyon::middleware::Subject::from_name("smoke/topic");
+    let admission = bus.announce(subject, NetworkId(0), QosRequirement::best_effort());
+    assert_eq!(
+        admission,
+        Admission::Admitted,
+        "best-effort channel on a local bus must be admitted"
+    );
+    let _ = ContextFilter::accept_all();
+
+    // karyon::core
+    assert!(LevelOfService(0).is_non_cooperative());
+
+    // karyon::vehicles
+    let result = run_platoon(&PlatoonConfig {
+        vehicles: 3,
+        duration: SimDuration::from_secs(20),
+        mode: ControlMode::SafetyKernel,
+        seed: 5,
+        ..Default::default()
+    });
+    assert_eq!(result.collisions, 0, "short healthy platoon run must be collision-free");
+}
+
+/// The quickstart example's scenario, run as a test: a safety kernel degrades
+/// LoS 2 → 1 → 0 as the V2V radio and then the range sensor fail.
+#[test]
+fn quickstart_scenario_runs() {
+    let mut hazards = HazardAnalysis::new();
+    hazards.add(Hazard::new(
+        "H1-rear-end",
+        "rear-end collision with the preceding vehicle",
+        Asil::C,
+        SimDuration::from_millis(600),
+    ));
+    let design = DesignTimeSafetyInfo::new(
+        "adaptive-cruise-control",
+        vec![
+            LosSpec {
+                level: LevelOfService(0),
+                description: "autonomous sensors only".into(),
+                rules: vec![],
+                asil: Asil::QM,
+                performance_index: 1.0,
+            },
+            LosSpec {
+                level: LevelOfService(1),
+                description: "cooperative awareness".into(),
+                rules: vec![SafetyRule::new(
+                    "R1-range-validity",
+                    Condition::MinValidity { item: "front-range".into(), threshold: 0.5 },
+                )],
+                asil: Asil::B,
+                performance_index: 2.0,
+            },
+            LosSpec {
+                level: LevelOfService(2),
+                description: "fully cooperative CACC".into(),
+                rules: vec![
+                    SafetyRule::new(
+                        "R2-v2v-health",
+                        Condition::ComponentHealthy { component: "v2v-radio".into() },
+                    ),
+                    SafetyRule::new(
+                        "R3-v2v-freshness",
+                        Condition::MaxAge {
+                            item: "lead-state".into(),
+                            bound: SimDuration::from_millis(300),
+                        },
+                    ),
+                ],
+                asil: Asil::C,
+                performance_index: 3.0,
+            },
+        ],
+        hazards,
+        SimDuration::from_millis(50),
+    );
+    let mut kernel = SafetyKernel::new(design, SimDuration::from_millis(100));
+
+    // Healthy: everything fresh and valid ⇒ highest LoS.
+    let t0 = SimTime::from_millis(100);
+    kernel.info_mut().update_data("front-range", 42.0, Validity::new(0.95), t0);
+    kernel.info_mut().update_health("v2v-radio", true, t0);
+    kernel.info_mut().update_data("lead-state", 27.0, Validity::FULL, t0);
+    assert_eq!(kernel.run_cycle(t0).selected, LevelOfService(2));
+
+    // V2V radio fails ⇒ degrade to LoS 1.
+    let t1 = SimTime::from_millis(200);
+    kernel.info_mut().update_health("v2v-radio", false, t1);
+    let decision = kernel.run_cycle(t1);
+    assert_eq!(decision.selected, LevelOfService(1));
+    assert!(!decision.violations.is_empty(), "the violated LoS-2 rule must be reported");
+
+    // Range sensor degrades too ⇒ fall back to the non-cooperative level.
+    let t2 = SimTime::from_millis(300);
+    kernel.info_mut().update_data("front-range", 42.0, Validity::new(0.2), t2);
+    let decision = kernel.run_cycle(t2);
+    assert_eq!(decision.selected, LevelOfService(0));
+    assert!(decision.selected.is_non_cooperative());
+
+    assert_eq!(kernel.switches().len(), 3, "LoS0→2, 2→1 and 1→0 switches are recorded");
+}

@@ -1,0 +1,191 @@
+//! Vendored, dependency-free stand-in for the crates.io `criterion` crate.
+//!
+//! The build environment of this repository has no access to a crates
+//! registry, so this crate implements the API subset the workspace's
+//! micro-benchmarks use: [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], the [`criterion_group!`] /
+//! [`criterion_main!`] macros and [`black_box`].  It performs real wall-clock
+//! measurements (warm-up, then `sample_size` samples spread over
+//! `measurement_time`) and prints a criterion-style
+//! `time: [min mean max]` line per benchmark.  Swapping the real crate back
+//! in is a one-line edit of the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How batches are sized in [`Bencher::iter_batched`].  The stub runs one
+/// routine call per batch regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many batches per sample.
+    SmallInput,
+    /// Medium inputs.
+    MediumInput,
+    /// Large inputs: one batch per sample.
+    LargeInput,
+    /// One setup call per routine call.
+    PerIteration,
+}
+
+/// Benchmark driver handed to the closure of [`Criterion::bench_function`].
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine` repeatedly; timing includes only the routine.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the configured warm-up time has elapsed and
+        // estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        // Spread `sample_size` samples over the measurement time; each sample
+        // runs enough iterations to be timeable.
+        let per_sample_ns =
+            self.config.measurement_time.as_nanos() as f64 / self.config.sample_size as f64;
+        let iters_per_sample = ((per_sample_ns / est_ns) as u64).max(1);
+        self.samples_ns.clear();
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / iters_per_sample as f64);
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; timing excludes setup.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.config.warm_up_time {
+            let input = setup();
+            black_box(routine(input));
+        }
+
+        self.samples_ns.clear();
+        let mut spent = Duration::ZERO;
+        while self.samples_ns.len() < self.config.sample_size
+            && spent < self.config.measurement_time
+        {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            spent += elapsed;
+            self.samples_ns.push(elapsed.as_nanos() as f64);
+        }
+    }
+}
+
+/// Benchmark manager mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timing samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the warm-up phase.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark and print its timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { config: self, samples_ns: Vec::new() };
+        f(&mut bencher);
+        let mut samples = bencher.samples_ns;
+        if samples.is_empty() {
+            println!("{id:<40} time:   [no samples]");
+            return self;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!("{id:<40} time:   [{} {} {}]", fmt_ns(min), fmt_ns(mean), fmt_ns(max));
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Group benchmark functions, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

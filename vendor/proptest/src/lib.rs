@@ -1,0 +1,333 @@
+//! Vendored, dependency-free stand-in for the crates.io `proptest` crate.
+//!
+//! The build environment of this repository has no access to a crates
+//! registry, so this crate implements the (small) API subset the workspace's
+//! property tests use: the [`proptest!`] macro, [`prop_assert!`] /
+//! [`prop_assert_eq!`], `any::<T>()`, range strategies over numeric types and
+//! `collection::vec`.  Replacing it with the real crate is a one-line edit of
+//! the workspace manifest.
+//!
+//! Unlike upstream proptest, case generation is fully deterministic (seeded
+//! from the test name), there is no shrinking, and a failing case panics with
+//! the sampled inputs attached to the message.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the primitive strategies.
+
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value;
+        /// Draw one value from the strategy.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<u64> {
+        type Value = u64;
+        fn sample(&self, rng: &mut TestRng) -> u64 {
+            self.start + rng.next_u64() % (self.end - self.start).max(1)
+        }
+    }
+
+    impl Strategy for Range<u32> {
+        type Value = u32;
+        fn sample(&self, rng: &mut TestRng) -> u32 {
+            self.start + (rng.next_u64() % (self.end - self.start).max(1) as u64) as u32
+        }
+    }
+
+    impl Strategy for Range<usize> {
+        type Value = usize;
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.start + (rng.next_u64() as usize) % (self.end - self.start).max(1)
+        }
+    }
+
+    impl Strategy for Range<i64> {
+        type Value = i64;
+        fn sample(&self, rng: &mut TestRng) -> i64 {
+            let span = (self.end - self.start).max(1) as u64;
+            self.start + (rng.next_u64() % span) as i64
+        }
+    }
+
+    /// Types with a canonical "any value" strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        /// Draw an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> u8 {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut TestRng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, roughly symmetric around zero; avoids NaN/inf which the
+            // real crate also biases against.
+            (rng.next_f64() - 0.5) * 2.0e6
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`: `any::<u64>()`, `any::<bool>()`, …
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, 1..200)` — vectors of 1 to 199 elements.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::sample(&self.size, rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration, RNG and error type used by generated test functions.
+
+    use std::fmt;
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test function.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` generated inputs per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property observation (carried by `prop_assert!`).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Record a failure with the given message.
+        pub fn fail(message: String) -> Self {
+            TestCaseError(message)
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic split-mix-64 RNG; the whole stub derives its streams
+    /// from the test-function name so failures are reproducible by rerunning.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// RNG for case number `case` of the test whose seed is `base`.
+        pub fn for_case(base: u64, case: u32) -> Self {
+            TestRng(base ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// FNV-1a hash of the test name, used as the per-test base seed.
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*` upstream.
+
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Assert a boolean property inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Declare property tests: each `fn name(arg in strategy, …) { body }` item
+/// becomes a `#[test]` running `config.cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; expands one test fn per recursion.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let base = $crate::test_runner::seed_from_name(stringify!($name));
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(base, case);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        s.push_str(stringify!($arg));
+                        s.push_str(" = ");
+                        s.push_str(&format!("{:?}", $arg));
+                        s.push_str("; ");
+                    )+
+                    s
+                };
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "proptest case {case}/{total} failed: {err}\n  inputs: {inputs}",
+                        case = case,
+                        total = config.cases,
+                        err = err,
+                        inputs = inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
