@@ -82,13 +82,13 @@ fn main() {
     let changed = bus.update_capability(NetworkId(1), NetworkCapability::wireless_degraded());
 
     for (i, (name, subject, _, _)) in channels.iter().enumerate() {
-        let (published, delivered, missed, mean_latency) = bus.channel_stats(*subject).unwrap();
+        let stats = bus.channel_stats(*subject).unwrap();
         table.add_row(&[
             name.to_string(),
             format!("{:?}", admissions[i]),
-            fmt_pct(delivered as f64 / published.max(1) as f64),
-            fmt3(mean_latency),
-            missed.to_string(),
+            fmt_pct(stats.delivered as f64 / stats.published.max(1) as f64),
+            fmt3(stats.mean_latency_ms),
+            stats.missed_deadline.to_string(),
             format!("{:?}", bus.admission(*subject).unwrap()),
         ]);
     }

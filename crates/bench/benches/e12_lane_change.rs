@@ -1,13 +1,36 @@
 //! E12 — Coordinated lane-change manoeuvres (§VI-A3): the at-most-one-per-
 //! region invariant vs. manoeuvre throughput.
+//!
+//! Runs on the `karyon-scenario` campaign runner: a `vehicles × desire-rate ×
+//! coordination` grid over the `lane-change` family, executed in parallel
+//! with deterministic per-run seeds — the harness only declares the grid and
+//! renders the aggregates.
 
+use karyon_scenario::{builtin_registry, Campaign, CampaignEntry, ParamGrid};
 use karyon_sim::table::fmt3;
 use karyon_sim::{SimDuration, Table};
-use karyon_vehicles::{run_lane_changes, Coordination, LaneChangeConfig};
 
 fn main() {
+    let registry = builtin_registry();
+    // Two entries rather than one 3-axis grid: the original experiment pairs
+    // the density with the desire rate (12 veh @ 0.04/s, 20 veh @ 0.08/s)
+    // instead of crossing them.
+    let cell = |vehicles: i64, desire_rate: f64| {
+        CampaignEntry::new("lane-change")
+            .grid(
+                ParamGrid::new()
+                    .axis("vehicles", [vehicles])
+                    .axis("desire_rate", [desire_rate])
+                    .axis("coordination", ["agreement", "none"]),
+            )
+            .replications(5)
+            .duration(SimDuration::from_secs(300))
+    };
+    let campaign = Campaign::new("e12-lane-change", 23).entry(cell(12, 0.04)).entry(cell(20, 0.08));
+    let report = campaign.run(&registry).expect("builtin families are registered");
+
     let mut table = Table::new(
-        "E12 — coordinated lane changes (300 s, 2-lane ring road, 80 m coordination region)",
+        "E12 — coordinated lane changes (300 s, 2-lane ring road, 5 seeds per cell, mean values)",
         &[
             "vehicles",
             "desire rate [1/s]",
@@ -20,30 +43,22 @@ fn main() {
             "mean start delay [s]",
         ],
     );
-    for &(vehicles, desire) in &[(12usize, 0.04f64), (20, 0.08)] {
-        for &(name, coordination) in
-            &[("KARYON agreement", Coordination::Agreement), ("uncoordinated", Coordination::None)]
-        {
-            let result = run_lane_changes(&LaneChangeConfig {
-                vehicles,
-                desire_rate: desire,
-                coordination,
-                duration: SimDuration::from_secs(300),
-                seed: 23,
-                ..Default::default()
-            });
-            table.add_row(&[
-                vehicles.to_string(),
-                fmt3(desire),
-                name.to_string(),
-                result.desired.to_string(),
-                result.started.to_string(),
-                result.completed.to_string(),
-                result.aborted.to_string(),
-                result.invariant_violations.to_string(),
-                fmt3(result.mean_start_delay),
-            ]);
-        }
+    for point in &report.points {
+        let coordination = match point.params["coordination"].as_str() {
+            Some("agreement") => "KARYON agreement",
+            _ => "uncoordinated",
+        };
+        table.add_row(&[
+            point.params["vehicles"].to_string(),
+            point.params["desire_rate"].to_string(),
+            coordination.to_string(),
+            fmt3(point.metrics["desired"].mean),
+            fmt3(point.metrics["started"].mean),
+            fmt3(point.metrics["completed"].mean),
+            fmt3(point.metrics["aborted"].mean),
+            fmt3(point.metrics["invariant_violations"].mean),
+            fmt3(point.metrics["mean_start_delay_s"].mean),
+        ]);
     }
     table.print();
     println!(

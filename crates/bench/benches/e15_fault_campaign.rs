@@ -6,75 +6,29 @@
 //! This is the "experimentally evaluate safety assurance" loop the project
 //! promises; the per-strategy residual-hazard rate is the quantity an ISO
 //! 26262 assessment would track.
+//!
+//! Since the introduction of `karyon-scenario` the harness no longer
+//! hand-wires the loop: it declares a [`Campaign`] over the `platoon-fault`
+//! scenario family (one grid axis: the control strategy), and the runner
+//! handles seed derivation, parallel execution and aggregation.  Results are
+//! reproducible for any worker count.
 
-use karyon_core::LevelOfService;
-use karyon_sensors::SensorFault;
+use karyon_scenario::{builtin_registry, Campaign, CampaignEntry, ParamGrid};
 use karyon_sim::table::{fmt3, fmt_pct};
-use karyon_sim::{Rng, SimDuration, SimTime, Table};
-use karyon_vehicles::{run_platoon, ControlMode, InjectedSensorFault, PlatoonConfig, V2VModel};
+use karyon_sim::{SimDuration, Table};
 
 const CAMPAIGN_RUNS: u64 = 30;
 
-fn random_fault(rng: &mut Rng) -> SensorFault {
-    match rng.range_u64(0, 4) {
-        0 => SensorFault::Delay { delay: SimDuration::from_millis(rng.range_u64(400, 1_500)) },
-        1 => SensorFault::SporadicOffset { probability: 0.3, magnitude: rng.range_f64(10.0, 40.0) },
-        2 => SensorFault::PermanentOffset { offset: rng.range_f64(-25.0, 25.0) },
-        3 => SensorFault::StochasticOffset { std_dev: rng.range_f64(3.0, 12.0) },
-        _ => SensorFault::StuckAt { stuck_value: None },
-    }
-}
-
-fn campaign(mode: ControlMode, seed: u64) -> (u64, u64, f64, f64) {
-    let mut rng = Rng::seed_from(seed);
-    let mut runs_with_collision = 0u64;
-    let mut runs_with_hazard = 0u64;
-    let mut hazard_steps_total = 0.0;
-    let mut throughput_sum = 0.0;
-    for run in 0..CAMPAIGN_RUNS {
-        let fault_start = rng.range_u64(20, 60);
-        let outage_start = rng.range_u64(30, 80);
-        let config = PlatoonConfig {
-            vehicles: 6,
-            duration: SimDuration::from_secs(140),
-            mode,
-            lead_braking: rng.range_f64(3.5, 5.5),
-            v2v: V2VModel {
-                loss: rng.range_f64(0.02, 0.2),
-                outages: vec![(
-                    SimTime::from_secs(outage_start),
-                    SimTime::from_secs(outage_start + rng.range_u64(10, 40)),
-                )],
-                ..Default::default()
-            },
-            sensor_fault: Some(InjectedSensorFault {
-                follower: rng.range_usize(1, 5),
-                fault: random_fault(&mut rng),
-                from: SimTime::from_secs(fault_start),
-                until: SimTime::from_secs(fault_start + rng.range_u64(10, 50)),
-            }),
-            seed: seed.wrapping_mul(1_000).wrapping_add(run),
-            ..Default::default()
-        };
-        let result = run_platoon(&config);
-        if result.collisions > 0 {
-            runs_with_collision += 1;
-        }
-        if result.hazard_steps > 0 {
-            runs_with_hazard += 1;
-        }
-        hazard_steps_total += result.hazard_steps as f64;
-        throughput_sum += result.throughput_veh_per_hour;
-    }
-    (
-        runs_with_collision,
-        runs_with_hazard,
-        hazard_steps_total / CAMPAIGN_RUNS as f64,
-        throughput_sum / CAMPAIGN_RUNS as f64,
-    )
-}
-
 fn main() {
+    let registry = builtin_registry();
+    let campaign = Campaign::new("e15-fault-injection", 2026).entry(
+        CampaignEntry::new("platoon-fault")
+            .grid(ParamGrid::new().axis("mode", ["kernel", "los2", "los0"]))
+            .replications(CAMPAIGN_RUNS)
+            .duration(SimDuration::from_secs(140)),
+    );
+    let report = campaign.run(&registry).expect("builtin families are registered");
+
     let mut table = Table::new(
         "E15 — fault-injection campaign (30 randomized runs per strategy: sensor fault + V2V outage)",
         &[
@@ -85,25 +39,25 @@ fn main() {
             "mean throughput [veh/h]",
         ],
     );
-    let strategies: Vec<(&str, ControlMode)> = vec![
-        ("KARYON safety kernel", ControlMode::SafetyKernel),
-        ("always cooperative (LoS2)", ControlMode::FixedLos(LevelOfService(2))),
-        ("always conservative (LoS0)", ControlMode::FixedLos(LevelOfService(0))),
-    ];
-    for (name, mode) in strategies {
-        let (collisions, hazards, mean_hazard, throughput) = campaign(mode, 2026);
+    for point in &report.points {
+        let label = point.params_label();
+        let name = match label.as_str() {
+            "mode=kernel" => "KARYON safety kernel",
+            "mode=los2" => "always cooperative (LoS2)",
+            "mode=los0" => "always conservative (LoS0)",
+            other => other,
+        };
+        let collision_rate = point.metrics["collision"].mean;
+        let hazard_rate = point.metrics["hazard"].mean;
+        // 0/1 flag metrics: the exact event counts are the sums.
+        let collisions = point.metrics["collision"].sum as u64;
+        let hazards = point.metrics["hazard"].sum as u64;
         table.add_row(&[
             name.to_string(),
-            format!(
-                "{collisions}/{CAMPAIGN_RUNS} ({})",
-                fmt_pct(collisions as f64 / CAMPAIGN_RUNS as f64)
-            ),
-            format!(
-                "{hazards}/{CAMPAIGN_RUNS} ({})",
-                fmt_pct(hazards as f64 / CAMPAIGN_RUNS as f64)
-            ),
-            fmt3(mean_hazard),
-            format!("{throughput:.0}"),
+            format!("{collisions}/{} ({})", point.runs, fmt_pct(collision_rate)),
+            format!("{hazards}/{} ({})", point.runs, fmt_pct(hazard_rate)),
+            fmt3(point.metrics["hazard_steps"].mean),
+            format!("{:.0}", point.metrics["throughput_vph"].mean),
         ]);
     }
     table.print();

@@ -106,6 +106,20 @@ pub struct Delivery {
     pub latency: SimDuration,
 }
 
+/// Accumulated delivery statistics of one announced event channel.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChannelStats {
+    /// Events published on the channel.
+    pub published: u64,
+    /// Deliveries made to matching subscribers (one event can be delivered to
+    /// several subscribers).
+    pub delivered: u64,
+    /// Deliveries whose latency exceeded the channel's QoS deadline.
+    pub missed_deadline: u64,
+    /// Mean delivery latency in milliseconds (0 while nothing was delivered).
+    pub mean_latency_ms: f64,
+}
+
 #[derive(Debug, Clone)]
 struct ChannelState {
     qos: QosRequirement,
@@ -312,11 +326,15 @@ impl EventBus {
         deliveries
     }
 
-    /// Channel statistics: `(published, delivered, missed_deadline, mean latency ms)`.
-    pub fn channel_stats(&self, subject: Subject) -> Option<(u64, u64, u64, f64)> {
-        self.channels
-            .get(&subject)
-            .map(|c| (c.published, c.delivered, c.missed_deadline, c.latencies_ms.mean()))
+    /// Per-channel delivery and deadline statistics, or `None` for a subject
+    /// that was never announced.
+    pub fn channel_stats(&self, subject: Subject) -> Option<ChannelStats> {
+        self.channels.get(&subject).map(|c| ChannelStats {
+            published: c.published,
+            delivered: c.delivered,
+            missed_deadline: c.missed_deadline,
+            mean_latency_ms: c.latencies_ms.mean(),
+        })
     }
 
     /// Convenience: publish with a fresh context built from position/time.
@@ -432,8 +450,8 @@ mod tests {
         let receivers: Vec<u32> = deliveries.iter().map(|d| d.subscriber.0).collect();
         assert_eq!(receivers, vec![1]);
         let stats = bus.channel_stats(subject).unwrap();
-        assert_eq!(stats.0, 1);
-        assert_eq!(stats.1, 1);
+        assert_eq!(stats.published, 1);
+        assert_eq!(stats.delivered, 1);
     }
 
     #[test]
@@ -488,10 +506,14 @@ mod tests {
         for i in 0..200u64 {
             bus.publish_from(subject, None, vec![], SimTime::from_millis(i * 10));
         }
-        let (published, delivered, _missed, mean_latency) = bus.channel_stats(subject).unwrap();
-        assert_eq!(published, 200);
-        assert!(delivered > 150, "delivered {delivered}");
-        assert!(mean_latency > 1.0 && mean_latency < 100.0, "mean latency {mean_latency}");
+        let stats = bus.channel_stats(subject).unwrap();
+        assert_eq!(stats.published, 200);
+        assert!(stats.delivered > 150, "delivered {}", stats.delivered);
+        assert!(
+            stats.mean_latency_ms > 1.0 && stats.mean_latency_ms < 100.0,
+            "mean latency {}",
+            stats.mean_latency_ms
+        );
         assert_eq!(bus.subscription_count(), 1);
     }
 }

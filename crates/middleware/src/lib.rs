@@ -22,5 +22,7 @@
 pub mod channel;
 pub mod event;
 
-pub use channel::{Admission, Delivery, EventBus, NetworkCapability, NetworkId, SubscriberId};
+pub use channel::{
+    Admission, ChannelStats, Delivery, EventBus, NetworkCapability, NetworkId, SubscriberId,
+};
 pub use event::{Context, ContextFilter, Event, QosRequirement, Subject};

@@ -1,0 +1,434 @@
+//! The campaign runner: grid × seed-sweep expansion and parallel execution.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use karyon_sim::{splitmix64, SimDuration};
+
+use crate::grid::ParamGrid;
+use crate::registry::ScenarioRegistry;
+use crate::report::{CampaignReport, MetricSummary, PointReport};
+use crate::scenario::RunRecord;
+use crate::spec::{ParamValue, ScenarioSpec};
+
+/// Derives the RNG seed of one run from the campaign seed and the run's
+/// canonical coordinates (global parameter-point index, replication index).
+///
+/// The derivation depends only on those coordinates — never on thread
+/// identity or execution order — which is what makes campaign results
+/// reproducible regardless of the worker count.  Two splitmix64 rounds over
+/// the mixed-in coordinates give well-separated streams even for adjacent
+/// points and replications.
+pub fn derive_run_seed(campaign_seed: u64, point: u64, replication: u64) -> u64 {
+    let mut state = campaign_seed ^ point.wrapping_mul(0xA076_1D64_78BD_642F);
+    let first = splitmix64(&mut state);
+    let mut state = first ^ replication.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    splitmix64(&mut state)
+}
+
+/// One scenario family's slice of a campaign: the family name, the parameter
+/// grid to expand and the Monte-Carlo seed sweep per parameter point.
+#[derive(Debug, Clone)]
+pub struct CampaignEntry {
+    scenario: String,
+    grid: ParamGrid,
+    replications: u64,
+    duration: Option<SimDuration>,
+}
+
+impl CampaignEntry {
+    /// Creates an entry for the named scenario family with an empty grid and
+    /// a single replication.
+    pub fn new(scenario: &str) -> Self {
+        CampaignEntry {
+            scenario: scenario.to_string(),
+            grid: ParamGrid::new(),
+            replications: 1,
+            duration: None,
+        }
+    }
+
+    /// Sets the parameter grid.
+    pub fn grid(mut self, grid: ParamGrid) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Sets the number of Monte-Carlo replications (distinct derived seeds)
+    /// per parameter point.
+    ///
+    /// # Panics
+    /// Panics if `replications` is zero.
+    pub fn replications(mut self, replications: u64) -> Self {
+        assert!(replications > 0, "a campaign entry needs at least one replication");
+        self.replications = replications;
+        self
+    }
+
+    /// Overrides the simulated duration of every run of this entry.
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.duration = Some(duration);
+        self
+    }
+
+    /// Overrides the simulated duration in whole seconds.
+    pub fn duration_secs(self, secs: u64) -> Self {
+        self.duration(SimDuration::from_secs(secs))
+    }
+
+    /// Number of runs this entry contributes.
+    pub fn run_count(&self) -> u64 {
+        self.grid.len() as u64 * self.replications
+    }
+}
+
+/// One executable unit of work: a fully instantiated [`ScenarioSpec`] plus
+/// the coordinates it aggregates under.
+#[derive(Debug, Clone)]
+struct WorkItem {
+    /// Index into the flattened point list.
+    point: usize,
+    spec: ScenarioSpec,
+}
+
+/// A batch-runnable campaign: one or more [`CampaignEntry`]s executed over
+/// `std::thread` workers with deterministic per-run seeds.
+///
+/// Determinism contract: for a fixed campaign seed and entry list, the
+/// [`CampaignReport`] is bit-identical for every `threads` setting.  Workers
+/// only *execute* runs; each run's seed is derived from its canonical
+/// coordinates ([`derive_run_seed`]), results are collected by run index, and
+/// aggregation walks them in canonical order.
+///
+/// Memory model: each run streams its own metrics internally, but the runner
+/// retains one compact [`RunRecord`] per run (a handful of `f64`s) until the
+/// canonical-order reduction.  That O(runs × metrics) buffer is a deliberate
+/// trade — floating-point reduction is order-sensitive, so merging partial
+/// aggregates in worker-completion order would break the bit-identity
+/// contract.  It is negligible up to ~10⁶ runs; truly unbounded campaigns
+/// need pre-agreed histogram ranges and canonical chunked reduction (see
+/// ROADMAP open items).
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    name: String,
+    seed: u64,
+    threads: usize,
+    entries: Vec<CampaignEntry>,
+}
+
+impl Campaign {
+    /// Creates an empty campaign with the given name and campaign seed.
+    pub fn new(name: &str, seed: u64) -> Self {
+        Campaign { name: name.to_string(), seed, threads: 0, entries: Vec::new() }
+    }
+
+    /// Adds a scenario entry.
+    pub fn entry(mut self, entry: CampaignEntry) -> Self {
+        self.entries.push(entry);
+        self
+    }
+
+    /// Sets the worker-thread count.  `0` (the default) uses the machine's
+    /// available parallelism.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Total number of runs the campaign will execute.
+    pub fn run_count(&self) -> u64 {
+        self.entries.iter().map(CampaignEntry::run_count).sum()
+    }
+
+    /// Expands every entry's grid and seed sweep into the canonical work
+    /// list, executes it in parallel, and aggregates per parameter point.
+    ///
+    /// Returns an error naming the first entry whose scenario family is not
+    /// in `registry` (checked up front, before any run executes).  A run that
+    /// panics mid-campaign — e.g. an invalid parameter *value* that only the
+    /// family's adapter can detect — also surfaces as an `Err` naming the
+    /// offending spec, after in-flight runs wind down.
+    pub fn run(&self, registry: &ScenarioRegistry) -> Result<CampaignReport, String> {
+        for entry in &self.entries {
+            if registry.get(&entry.scenario).is_none() {
+                return Err(format!(
+                    "campaign {:?} references unknown scenario family {:?} (known: {})",
+                    self.name,
+                    entry.scenario,
+                    registry.names().join(", ")
+                ));
+            }
+        }
+
+        // Canonical expansion: entries in declaration order, grid points in
+        // expansion order, replications innermost.  `point` indices are
+        // global across entries so every (scenario, params) pair aggregates
+        // separately.
+        let mut points: Vec<(String, BTreeMap<String, ParamValue>)> = Vec::new();
+        let mut items: Vec<WorkItem> = Vec::new();
+        for entry in &self.entries {
+            for params in entry.grid.expand() {
+                let point = points.len();
+                points.push((entry.scenario.clone(), params.clone()));
+                for rep in 0..entry.replications {
+                    let mut spec = ScenarioSpec::new(&entry.scenario)
+                        .with_params(params.clone())
+                        .with_seed(derive_run_seed(self.seed, point as u64, rep));
+                    if let Some(duration) = entry.duration {
+                        spec = spec.with_duration(duration);
+                    }
+                    items.push(WorkItem { point, spec });
+                }
+            }
+        }
+
+        let records = self.execute(registry, &items)?;
+
+        // Aggregation in canonical run order: records are indexed by run id,
+        // so the fold below is independent of which worker ran what.
+        let mut point_values: Vec<BTreeMap<String, Vec<f64>>> = vec![BTreeMap::new(); points.len()];
+        let mut point_runs = vec![0u64; points.len()];
+        let mut point_suspect = vec![0u64; points.len()];
+        for (item, record) in items.iter().zip(records.iter()) {
+            point_runs[item.point] += 1;
+            if record.clamped_schedules > 0 {
+                point_suspect[item.point] += 1;
+            }
+            for (name, value) in record.metrics() {
+                point_values[item.point].entry(name.clone()).or_default().push(*value);
+            }
+        }
+
+        let reports = points
+            .into_iter()
+            .zip(point_values)
+            .zip(point_runs.iter().zip(point_suspect.iter()))
+            .map(|(((scenario, params), values), (runs, suspect))| PointReport {
+                scenario,
+                params,
+                runs: *runs,
+                suspect_runs: *suspect,
+                metrics: values
+                    .into_iter()
+                    .map(|(name, v)| (name, MetricSummary::from_values(&v)))
+                    .collect(),
+            })
+            .collect();
+
+        Ok(CampaignReport {
+            name: self.name.clone(),
+            seed: self.seed,
+            total_runs: items.len() as u64,
+            points: reports,
+        })
+    }
+
+    /// Executes one run, converting a scenario panic (e.g. an invalid
+    /// parameter value that only surfaces inside the family's adapter) into
+    /// an `Err` naming the offending spec, so a mid-campaign failure reaches
+    /// the caller as `Campaign::run`'s error instead of a cross-thread panic.
+    fn run_one(registry: &ScenarioRegistry, item: &WorkItem) -> Result<RunRecord, String> {
+        let scenario = registry.get(&item.spec.name).expect("validated above");
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scenario.run(&item.spec))).map_err(
+            |payload| {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                format!(
+                    "scenario {:?} failed for params [{}] seed {}: {message}",
+                    item.spec.name,
+                    item.spec.params_label(),
+                    item.spec.seed
+                )
+            },
+        )
+    }
+
+    /// Executes the work list on worker threads and returns one record per
+    /// item, in item order, or the first (in canonical item order) run
+    /// failure.
+    fn execute(
+        &self,
+        registry: &ScenarioRegistry,
+        items: &[WorkItem],
+    ) -> Result<Vec<RunRecord>, String> {
+        let workers = match self.threads {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        }
+        .min(items.len().max(1));
+
+        if workers <= 1 {
+            return items.iter().map(|item| Self::run_one(registry, item)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<(usize, Result<RunRecord, String>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (cursor, abort) = (&cursor, &abort);
+                scope.spawn(move || loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(idx) else { break };
+                    let outcome = Self::run_one(registry, item);
+                    if outcome.is_err() {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    if tx.send((idx, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(tx);
+
+        let mut records: Vec<Option<Result<RunRecord, String>>> = vec![None; items.len()];
+        for (idx, outcome) in rx {
+            records[idx] = Some(outcome);
+        }
+        // Surface the canonically-first failure among the runs that executed
+        // before the abort (no None holes remain on the success path).
+        if let Some(err) = records.iter().flatten().find_map(|r| r.as_ref().err()) {
+            return Err(err.clone());
+        }
+        records
+            .into_iter()
+            .map(|r| r.expect("every work item produces exactly one record"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ScenarioRegistry;
+    use crate::scenario::Scenario;
+    use std::sync::Arc;
+
+    /// A trivial deterministic scenario: metrics are pure functions of the
+    /// spec, so campaign determinism failures can only come from the runner.
+    struct Echo;
+
+    impl Scenario for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+            let mut record = RunRecord::new();
+            record.set("seed_lo", (spec.seed % 1_000) as f64);
+            record.set("x", spec.f64_or("x", 0.0) * 2.0);
+            record
+        }
+    }
+
+    fn echo_registry() -> ScenarioRegistry {
+        let mut registry = ScenarioRegistry::new();
+        registry.register(Arc::new(Echo));
+        registry
+    }
+
+    #[test]
+    fn derive_run_seed_is_pure_and_spread_out() {
+        assert_eq!(derive_run_seed(1, 2, 3), derive_run_seed(1, 2, 3));
+        let mut seen = std::collections::BTreeSet::new();
+        for point in 0..50u64 {
+            for rep in 0..50u64 {
+                seen.insert(derive_run_seed(42, point, rep));
+            }
+        }
+        assert_eq!(seen.len(), 2_500, "no collisions across a 50×50 sweep");
+        assert_ne!(
+            derive_run_seed(1, 0, 1),
+            derive_run_seed(1, 1, 0),
+            "coordinates are not interchangeable"
+        );
+    }
+
+    #[test]
+    fn work_list_expansion_counts() {
+        let campaign = Campaign::new("c", 1)
+            .entry(
+                CampaignEntry::new("echo")
+                    .grid(ParamGrid::new().axis("x", [1, 2, 3]))
+                    .replications(4),
+            )
+            .entry(CampaignEntry::new("echo").replications(2));
+        assert_eq!(campaign.run_count(), 14);
+        let report = campaign.with_threads(1).run(&echo_registry()).unwrap();
+        assert_eq!(report.total_runs, 14);
+        assert_eq!(report.points.len(), 4, "3 grid points + 1 empty point");
+        assert_eq!(report.points[0].runs, 4);
+        assert_eq!(report.points[3].runs, 2);
+    }
+
+    #[test]
+    fn single_and_multi_thread_reports_are_bit_identical() {
+        let build = || {
+            Campaign::new("det", 2_026).entry(
+                CampaignEntry::new("echo")
+                    .grid(ParamGrid::new().axis("x", [0.5, 1.5, 2.5]))
+                    .replications(16),
+            )
+        };
+        let one = build().with_threads(1).run(&echo_registry()).unwrap();
+        let many = build().with_threads(8).run(&echo_registry()).unwrap();
+        assert_eq!(one, many);
+        assert_eq!(one.to_json(), many.to_json());
+    }
+
+    /// A scenario that panics on demand (an invalid-parameter stand-in).
+    struct Fussy;
+
+    impl Scenario for Fussy {
+        fn name(&self) -> &str {
+            "fussy"
+        }
+        fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+            if spec.bool_or("explode", false) {
+                panic!("unknown mode \"los3\"");
+            }
+            RunRecord::new()
+        }
+    }
+
+    #[test]
+    fn mid_campaign_run_panic_becomes_an_error() {
+        let mut registry = ScenarioRegistry::new();
+        registry.register(Arc::new(Fussy));
+        for threads in [1, 4] {
+            let err = Campaign::new("c", 1)
+                .with_threads(threads)
+                .entry(
+                    CampaignEntry::new("fussy")
+                        .grid(ParamGrid::new().axis("explode", [false, true]))
+                        .replications(3),
+                )
+                .run(&registry)
+                .unwrap_err();
+            assert!(err.contains("explode=true"), "error names the offending spec: {err}");
+            assert!(err.contains("los3"), "error carries the panic message: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_is_rejected_before_running() {
+        let campaign = Campaign::new("c", 1).entry(CampaignEntry::new("no-such-family"));
+        let err = campaign.run(&echo_registry()).unwrap_err();
+        assert!(err.contains("no-such-family"), "{err}");
+        assert!(err.contains("echo"), "error lists known families: {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_replications_rejected() {
+        let _ = CampaignEntry::new("echo").replications(0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Cartesian parameter grids.
+
+use std::collections::BTreeMap;
+
+use crate::spec::ParamValue;
+
+/// A cartesian parameter grid: an ordered list of axes, each a parameter name
+/// with the values it sweeps over.
+///
+/// [`ParamGrid::expand`] produces the full cross product as parameter maps,
+/// in a deterministic order (the first axis varies slowest).  An empty grid
+/// expands to one empty point, so "no parameters, just N seeds" campaigns
+/// need no special casing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParamGrid {
+    axes: Vec<(String, Vec<ParamValue>)>,
+}
+
+impl ParamGrid {
+    /// Creates an empty grid (one parameter point with no parameters).
+    pub fn new() -> Self {
+        ParamGrid::default()
+    }
+
+    /// Adds an axis sweeping `name` over `values`.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty (the cross product would be empty, which
+    /// is never what a campaign means) or if the axis name repeats.
+    pub fn axis<V: Into<ParamValue>>(
+        mut self,
+        name: &str,
+        values: impl IntoIterator<Item = V>,
+    ) -> Self {
+        let values: Vec<ParamValue> = values.into_iter().map(Into::into).collect();
+        assert!(!values.is_empty(), "grid axis {name:?} must sweep at least one value");
+        assert!(self.axes.iter().all(|(n, _)| n != name), "grid axis {name:?} declared twice");
+        self.axes.push((name.to_string(), values));
+        self
+    }
+
+    /// Number of axes.
+    pub fn axis_count(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Number of parameter points the grid expands to (1 for an empty grid).
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(|(_, v)| v.len()).product()
+    }
+
+    /// True when the grid has no axes (it still expands to one empty point).
+    pub fn is_empty(&self) -> bool {
+        self.axes.is_empty()
+    }
+
+    /// Expands the cross product into parameter maps, first axis slowest.
+    pub fn expand(&self) -> Vec<BTreeMap<String, ParamValue>> {
+        let mut points: Vec<BTreeMap<String, ParamValue>> = vec![BTreeMap::new()];
+        for (name, values) in &self.axes {
+            let mut next = Vec::with_capacity(points.len() * values.len());
+            for point in &points {
+                for value in values {
+                    let mut p = point.clone();
+                    p.insert(name.clone(), value.clone());
+                    next.push(p);
+                }
+            }
+            points = next;
+        }
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_grid_is_one_empty_point() {
+        let grid = ParamGrid::new();
+        assert_eq!(grid.len(), 1);
+        let points = grid.expand();
+        assert_eq!(points.len(), 1);
+        assert!(points[0].is_empty());
+    }
+
+    #[test]
+    fn expansion_is_full_cross_product_first_axis_slowest() {
+        let grid = ParamGrid::new().axis("a", [1, 2]).axis("b", ["x", "y", "z"]);
+        assert_eq!(grid.len(), 6);
+        assert_eq!(grid.axis_count(), 2);
+        let points = grid.expand();
+        assert_eq!(points.len(), 6);
+        // First axis varies slowest: a=1 for the first three points.
+        assert_eq!(points[0]["a"], ParamValue::Int(1));
+        assert_eq!(points[0]["b"], ParamValue::Text("x".into()));
+        assert_eq!(points[2]["a"], ParamValue::Int(1));
+        assert_eq!(points[2]["b"], ParamValue::Text("z".into()));
+        assert_eq!(points[3]["a"], ParamValue::Int(2));
+        assert_eq!(points[3]["b"], ParamValue::Text("x".into()));
+        // Every point carries every axis.
+        assert!(points.iter().all(|p| p.len() == 2));
+    }
+
+    #[test]
+    fn mixed_value_types_on_one_axis_via_paramvalue() {
+        let grid = ParamGrid::new().axis("loss", [0.02, 0.2]).axis("fault", [true, false]);
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid.expand()[0]["loss"], ParamValue::Float(0.02));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_axis_is_rejected() {
+        let _ = ParamGrid::new().axis::<i64>("a", Vec::<i64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_axis_is_rejected() {
+        let _ = ParamGrid::new().axis("a", [1]).axis("a", [2]);
+    }
+}

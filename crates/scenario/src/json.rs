@@ -1,0 +1,136 @@
+//! A minimal JSON writer.
+//!
+//! The workspace is built offline (no `serde`), and the campaign report only
+//! needs to *emit* JSON, never parse it, so a small hand-rolled writer is all
+//! that is required.  Output is deterministic: object keys come from
+//! `BTreeMap` iteration or fixed field order in the callers.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for use inside a JSON string literal (without quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number; non-finite values become `null`
+/// (JSON has no NaN/Infinity).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An incremental writer for one JSON object: `{"k": v, ...}`.
+#[derive(Debug, Default)]
+pub struct ObjectWriter {
+    body: String,
+}
+
+impl ObjectWriter {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        ObjectWriter::default()
+    }
+
+    fn push_key(&mut self, key: &str) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        let _ = write!(self.body, "\"{}\":", escape(key));
+    }
+
+    /// Adds a string field.
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        self.push_key(key);
+        let _ = write!(self.body, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Adds a numeric field (`null` for non-finite values).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.push_key(key);
+        self.body.push_str(&number(value));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.push_key(key);
+        let _ = write!(self.body, "{value}");
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(&mut self, key: &str, value: i64) -> &mut Self {
+        self.push_key(key);
+        let _ = write!(self.body, "{value}");
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.push_key(key);
+        self.body.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a field whose value is already-rendered JSON.
+    pub fn raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.push_key(key);
+        self.body.push_str(json);
+        self
+    }
+
+    /// Finishes the object.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Renders an array from already-rendered JSON elements.
+pub fn array(elements: &[String]) -> String {
+    format!("[{}]", elements.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_are_json_safe() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(-3.0), "-3");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_and_array_rendering() {
+        let mut o = ObjectWriter::new();
+        o.string("name", "x").u64("runs", 3).f64("mean", 0.5).bool("ok", true);
+        o.raw("inner", &array(&["1".to_string(), "2".to_string()]));
+        assert_eq!(o.finish(), r#"{"name":"x","runs":3,"mean":0.5,"ok":true,"inner":[1,2]}"#);
+    }
+}

@@ -1,0 +1,63 @@
+//! # karyon-scenario — declarative scenarios and parallel campaign orchestration
+//!
+//! The KARYON paper evaluates its safety architecture with "computer
+//! simulations with fault injection support" (§VI): families of scenarios run
+//! many times under varied parameters and seeds, and the aggregate hazard /
+//! performance figures are what the safety case is argued from.  The
+//! experiment harnesses of `crates/bench` each hand-wire that loop; this
+//! crate turns it into a first-class subsystem:
+//!
+//! * [`ScenarioSpec`] — a declarative description of one run (scenario family
+//!   name, parameter map, seed, duration), built with a fluent builder;
+//! * [`Scenario`] — the trait a scenario family implements: take a spec,
+//!   return a [`RunRecord`] of named metrics;
+//! * [`ScenarioRegistry`] — named scenario families; [`builtin_registry`]
+//!   ships adapters for the vehicle use cases (platoon, randomized
+//!   platoon fault injection, intersection VTL, lane change, avionics RPV)
+//!   and the middleware QoS stack;
+//! * [`ParamGrid`] — a cartesian parameter grid expanded into parameter
+//!   points;
+//! * [`Campaign`] — expands grids and Monte-Carlo seed sweeps into a work
+//!   list and executes it across `std::thread` workers.  Every run's RNG seed
+//!   is derived from the campaign seed and the run's canonical coordinates
+//!   ([`derive_run_seed`]), and aggregation happens in canonical run order,
+//!   so a campaign's [`CampaignReport`] is **bit-identical for any worker
+//!   count**;
+//! * [`CampaignReport`] — per-parameter-point aggregates (mean/std-dev via
+//!   `OnlineStats`, p50/p95/p99 via `BucketHistogram`), serialisable to JSON
+//!   and aligned-text tables.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use karyon_scenario::{builtin_registry, Campaign, CampaignEntry, ParamGrid};
+//!
+//! let registry = builtin_registry();
+//! let campaign = Campaign::new("doc-demo", 42).with_threads(2).entry(
+//!     CampaignEntry::new("lane-change")
+//!         .grid(ParamGrid::new().axis("coordination", ["agreement", "none"]))
+//!         .replications(2)
+//!         .duration_secs(30),
+//! );
+//! let report = campaign.run(&registry).expect("known scenario family");
+//! assert_eq!(report.total_runs, 4);
+//! assert_eq!(report.points.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod grid;
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod scenario;
+pub mod spec;
+
+pub use campaign::{derive_run_seed, Campaign, CampaignEntry};
+pub use grid::ParamGrid;
+pub use registry::{builtin_registry, ScenarioRegistry};
+pub use report::{CampaignReport, MetricSummary, PointReport};
+pub use scenario::{RunRecord, Scenario};
+pub use spec::{ParamValue, ScenarioSpec};

@@ -1,0 +1,484 @@
+//! Named scenario families and the builtin adapters over the workspace's
+//! use-case simulations.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use karyon_core::LevelOfService;
+use karyon_middleware::{
+    ContextFilter, EventBus, NetworkCapability, NetworkId, QosRequirement, Subject, SubscriberId,
+};
+use karyon_sensors::SensorFault;
+use karyon_sim::{Engine, Rng, SimDuration, SimTime};
+use karyon_vehicles::{
+    run_encounter, run_intersection, run_lane_changes, run_platoon, AerialScenario, AvionicsConfig,
+    ControlMode, Coordination, FallbackMode, InjectedSensorFault, IntersectionConfig,
+    LaneChangeConfig, PlatoonConfig, TrafficType, V2VModel,
+};
+
+use crate::scenario::{RunRecord, Scenario};
+use crate::spec::ScenarioSpec;
+
+/// A registry of named scenario families.
+///
+/// Families are stored behind `Arc` so the registry can be shared with the
+/// campaign worker threads; the `BTreeMap` keeps [`ScenarioRegistry::names`]
+/// deterministic.
+#[derive(Clone, Default)]
+pub struct ScenarioRegistry {
+    families: BTreeMap<String, Arc<dyn Scenario>>,
+}
+
+impl std::fmt::Debug for ScenarioRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioRegistry").field("families", &self.names()).finish()
+    }
+}
+
+impl ScenarioRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ScenarioRegistry::default()
+    }
+
+    /// Registers a family under its own [`Scenario::name`]; replaces any
+    /// previous family of the same name.
+    pub fn register(&mut self, scenario: Arc<dyn Scenario>) {
+        self.families.insert(scenario.name().to_string(), scenario);
+    }
+
+    /// Looks up a family by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn Scenario>> {
+        self.families.get(name)
+    }
+
+    /// The registered family names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.families.keys().cloned().collect()
+    }
+
+    /// Number of registered families.
+    pub fn len(&self) -> usize {
+        self.families.len()
+    }
+
+    /// True when no family is registered.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+}
+
+/// Builds a registry with every builtin scenario family:
+///
+/// | family | adapted from | key parameters |
+/// |---|---|---|
+/// | `platoon` | `karyon_vehicles::run_platoon` | `mode`, `vehicles`, `v2v_loss`, `lead_braking`, `outage` |
+/// | `platoon-fault` | bench `e15` (randomized fault injection) | `mode`, `vehicles` |
+/// | `intersection` | `karyon_vehicles::run_intersection` | `fallback`, `arrivals_per_minute`, `light_fail` |
+/// | `lane-change` | `karyon_vehicles::run_lane_changes` | `coordination`, `vehicles`, `message_loss`, `desire_rate` |
+/// | `avionics-rpv` | `karyon_vehicles::run_encounter` | `encounter`, `traffic`, `resolution` |
+/// | `middleware-qos` | `karyon_middleware::EventBus` on a `karyon_sim::Engine` | `rate_hz`, `degrade` |
+pub fn builtin_registry() -> ScenarioRegistry {
+    let mut registry = ScenarioRegistry::new();
+    registry.register(Arc::new(PlatoonScenario));
+    registry.register(Arc::new(PlatoonFaultScenario));
+    registry.register(Arc::new(IntersectionScenario));
+    registry.register(Arc::new(LaneChangeScenario));
+    registry.register(Arc::new(AvionicsScenario));
+    registry.register(Arc::new(MiddlewareQosScenario));
+    registry
+}
+
+/// Parses the shared `mode` parameter (`kernel`, `los0`, `los1`, `los2`).
+fn control_mode(spec: &ScenarioSpec) -> ControlMode {
+    match spec.str_or("mode", "kernel") {
+        "kernel" => ControlMode::SafetyKernel,
+        "los0" => ControlMode::FixedLos(LevelOfService(0)),
+        "los1" => ControlMode::FixedLos(LevelOfService(1)),
+        "los2" => ControlMode::FixedLos(LevelOfService(2)),
+        other => panic!("unknown platoon mode {other:?} (expected kernel|los0|los1|los2)"),
+    }
+}
+
+/// The ACC/CACC platoon of §VI-A1 under configurable V2V quality.
+struct PlatoonScenario;
+
+impl Scenario for PlatoonScenario {
+    fn name(&self) -> &str {
+        "platoon"
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        let duration = spec.duration;
+        let mut v2v = V2VModel { loss: spec.f64_or("v2v_loss", 0.05), ..Default::default() };
+        if spec.bool_or("outage", false) {
+            // A single outage across the middle third of the run.
+            let third = duration.as_secs_f64() / 3.0;
+            v2v.outages =
+                vec![(SimTime::from_secs_f64(third), SimTime::from_secs_f64(2.0 * third))];
+        }
+        let config = PlatoonConfig {
+            vehicles: spec.u64_or("vehicles", 6).max(2) as usize,
+            duration,
+            mode: control_mode(spec),
+            v2v,
+            lead_braking: spec.f64_or("lead_braking", 4.0),
+            seed: spec.seed,
+            ..Default::default()
+        };
+        let result = run_platoon(&config);
+        let mut record = RunRecord::new();
+        record.set("collisions", result.collisions as f64);
+        record.set_flag("collision", result.collisions > 0);
+        record.set("hazard_steps", result.hazard_steps as f64);
+        record.set_flag("hazard", result.hazard_steps > 0);
+        record.set("min_time_gap_s", result.min_time_gap);
+        record.set("mean_time_gap_s", result.mean_time_gap);
+        record.set("mean_speed_mps", result.mean_speed);
+        record.set("throughput_vph", result.throughput_veh_per_hour);
+        record.set("los2_fraction", result.los_time_fraction[2]);
+        record.set("los_switches", result.los_switches as f64);
+        record
+    }
+}
+
+/// The randomized fault-injection campaign body of bench `e15`: every run
+/// draws a sensor-fault class, target follower, fault window and V2V outage
+/// from the run seed, then executes the platoon under the chosen control
+/// strategy.
+struct PlatoonFaultScenario;
+
+fn random_fault(rng: &mut Rng) -> SensorFault {
+    match rng.range_u64(0, 4) {
+        0 => SensorFault::Delay { delay: SimDuration::from_millis(rng.range_u64(400, 1_500)) },
+        1 => SensorFault::SporadicOffset { probability: 0.3, magnitude: rng.range_f64(10.0, 40.0) },
+        2 => SensorFault::PermanentOffset { offset: rng.range_f64(-25.0, 25.0) },
+        3 => SensorFault::StochasticOffset { std_dev: rng.range_f64(3.0, 12.0) },
+        _ => SensorFault::StuckAt { stuck_value: None },
+    }
+}
+
+impl Scenario for PlatoonFaultScenario {
+    fn name(&self) -> &str {
+        "platoon-fault"
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        let vehicles = spec.u64_or("vehicles", 6).max(2) as usize;
+        let mut rng = Rng::seed_from(spec.seed);
+        let fault_start = rng.range_u64(20, 60);
+        let outage_start = rng.range_u64(30, 80);
+        let config = PlatoonConfig {
+            vehicles,
+            duration: spec.duration,
+            mode: control_mode(spec),
+            lead_braking: rng.range_f64(3.5, 5.5),
+            v2v: V2VModel {
+                loss: rng.range_f64(0.02, 0.2),
+                outages: vec![(
+                    SimTime::from_secs(outage_start),
+                    SimTime::from_secs(outage_start + rng.range_u64(10, 40)),
+                )],
+                ..Default::default()
+            },
+            sensor_fault: Some(InjectedSensorFault {
+                follower: rng.range_usize(1, vehicles - 1),
+                fault: random_fault(&mut rng),
+                from: SimTime::from_secs(fault_start),
+                until: SimTime::from_secs(fault_start + rng.range_u64(10, 50)),
+            }),
+            seed: rng.next_u64(),
+            ..Default::default()
+        };
+        let result = run_platoon(&config);
+        let mut record = RunRecord::new();
+        record.set_flag("collision", result.collisions > 0);
+        record.set_flag("hazard", result.hazard_steps > 0);
+        record.set("hazard_steps", result.hazard_steps as f64);
+        record.set("min_time_gap_s", result.min_time_gap);
+        record.set("throughput_vph", result.throughput_veh_per_hour);
+        record
+    }
+}
+
+/// The intersection-crossing use case of §VI-A2 with an optional
+/// infrastructure-light failure across the middle third of the run.
+struct IntersectionScenario;
+
+impl Scenario for IntersectionScenario {
+    fn name(&self) -> &str {
+        "intersection"
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        let duration = spec.duration;
+        let fallback = match spec.str_or("fallback", "vtl") {
+            "vtl" => FallbackMode::VirtualTrafficLight,
+            "uncoordinated" => FallbackMode::Uncoordinated,
+            other => panic!("unknown intersection fallback {other:?} (expected vtl|uncoordinated)"),
+        };
+        let light_failure = if spec.bool_or("light_fail", true) {
+            let third = duration.as_secs_f64() / 3.0;
+            Some((SimTime::from_secs_f64(third), SimTime::from_secs_f64(2.0 * third)))
+        } else {
+            None
+        };
+        let config = IntersectionConfig {
+            arrivals_per_minute: spec.f64_or("arrivals_per_minute", 12.0),
+            duration,
+            light_failure,
+            fallback,
+            seed: spec.seed,
+        };
+        let result = run_intersection(&config);
+        let mut record = RunRecord::new();
+        record.set("crossed", result.crossed as f64);
+        record.set("conflicts", result.conflicts as f64);
+        record.set_flag("conflict", result.conflicts > 0);
+        record.set("mean_wait_s", result.mean_wait);
+        record.set("max_wait_s", result.max_wait);
+        record.set("throughput_vpm", result.throughput_per_minute);
+        record.set("uncontrolled_fraction", result.uncontrolled_fraction);
+        record
+    }
+}
+
+/// The coordinated lane-change use case of §VI-A3.
+struct LaneChangeScenario;
+
+impl Scenario for LaneChangeScenario {
+    fn name(&self) -> &str {
+        "lane-change"
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        let coordination = match spec.str_or("coordination", "agreement") {
+            "agreement" => Coordination::Agreement,
+            "none" => Coordination::None,
+            other => panic!("unknown lane-change coordination {other:?} (expected agreement|none)"),
+        };
+        let config = LaneChangeConfig {
+            vehicles: spec.u64_or("vehicles", 16).max(2) as usize,
+            desire_rate: spec.f64_or("desire_rate", 0.05),
+            message_loss: spec.f64_or("message_loss", 0.02),
+            duration: spec.duration,
+            coordination,
+            seed: spec.seed,
+            ..Default::default()
+        };
+        let result = run_lane_changes(&config);
+        let mut record = RunRecord::new();
+        record.set("desired", result.desired as f64);
+        record.set("started", result.started as f64);
+        record.set("completed", result.completed as f64);
+        record.set("aborted", result.aborted as f64);
+        record.set("invariant_violations", result.invariant_violations as f64);
+        record.set_flag("violation", result.invariant_violations > 0);
+        record.set("mean_start_delay_s", result.mean_start_delay);
+        record.set(
+            "completion_rate",
+            if result.desired > 0 { result.completed as f64 / result.desired as f64 } else { 0.0 },
+        );
+        record
+    }
+}
+
+/// The aerial RPV separation scenarios of §VI-B.
+struct AvionicsScenario;
+
+impl Scenario for AvionicsScenario {
+    fn name(&self) -> &str {
+        "avionics-rpv"
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        let scenario = match spec.str_or("encounter", "same-direction") {
+            "same-direction" => AerialScenario::SameDirection,
+            "crossing" => AerialScenario::LeveledCrossing,
+            "level-change" => AerialScenario::FlightLevelChange,
+            other => panic!(
+                "unknown avionics encounter {other:?} (expected same-direction|crossing|level-change)"
+            ),
+        };
+        let traffic = match spec.str_or("traffic", "collaborative") {
+            "collaborative" => TrafficType::Collaborative,
+            "non-collaborative" => TrafficType::NonCollaborative,
+            other => panic!(
+                "unknown avionics traffic {other:?} (expected collaborative|non-collaborative)"
+            ),
+        };
+        let config = AvionicsConfig {
+            scenario,
+            traffic,
+            resolution_enabled: spec.bool_or("resolution", true),
+            duration: spec.duration,
+            seed: spec.seed,
+        };
+        let result = run_encounter(&config);
+        let mut record = RunRecord::new();
+        record.set("min_horizontal_sep_m", result.min_horizontal_separation);
+        record.set("min_vertical_sep_m", result.min_vertical_separation);
+        record.set("violation_seconds", result.violation_seconds);
+        record.set_flag("violated", result.violation_seconds > 0.0);
+        record.set_flag("detected", result.detected_at.is_some());
+        if let Some(at) = result.detected_at {
+            record.set("detected_at_s", at);
+        }
+        record.set_flag("resolution_applied", result.resolution_applied);
+        record
+    }
+}
+
+/// Event-channel QoS under load and mid-run degradation (§V-B), driven by the
+/// discrete-event [`Engine`] — this family also exercises the engine's
+/// clamped-schedule accounting, which the campaign surfaces as suspect runs.
+struct MiddlewareQosScenario;
+
+#[derive(Debug, Clone, Copy)]
+enum QosEvent {
+    Publish,
+    Degrade,
+}
+
+impl Scenario for MiddlewareQosScenario {
+    fn name(&self) -> &str {
+        "middleware-qos"
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        let rate_hz = spec.f64_or("rate_hz", 50.0).max(1.0);
+        let degrade = spec.bool_or("degrade", false);
+        let subject = Subject::from_name("platoon/lead-state");
+
+        let mut bus = EventBus::new(spec.seed);
+        bus.attach_network(NetworkId(0), NetworkCapability::local_bus());
+        bus.attach_network(NetworkId(1), NetworkCapability::wireless_nominal());
+        bus.subscribe(SubscriberId(1), NetworkId(1), subject, ContextFilter::accept_all());
+        let admission = bus.announce(
+            subject,
+            NetworkId(1),
+            QosRequirement {
+                max_latency: SimDuration::from_millis(60),
+                min_delivery_ratio: 0.9,
+                max_rate: rate_hz,
+            },
+        );
+
+        let period = SimDuration::from_secs_f64(1.0 / rate_hz);
+        let end = SimTime::ZERO + spec.duration;
+        let mut engine: Engine<EventBus, QosEvent> = Engine::new(bus);
+        engine.schedule_at(SimTime::ZERO, QosEvent::Publish);
+        if degrade {
+            engine.schedule_at(
+                SimTime::from_secs_f64(spec.duration.as_secs_f64() / 2.0),
+                QosEvent::Degrade,
+            );
+        }
+        engine.run_until(end, |bus, ctx, event| match event {
+            QosEvent::Publish => {
+                bus.publish_from(subject, None, vec![0], ctx.now());
+                ctx.schedule_in(period, QosEvent::Publish);
+            }
+            QosEvent::Degrade => {
+                bus.update_capability(NetworkId(1), NetworkCapability::wireless_degraded());
+            }
+        });
+
+        let mut record = RunRecord::new();
+        record.absorb_engine_clamps(&engine);
+        let bus = engine.into_state();
+        let stats = bus.channel_stats(subject).expect("channel was announced");
+        record.set_flag("admitted", admission == karyon_middleware::Admission::Admitted);
+        record.set("published", stats.published as f64);
+        record.set(
+            "delivery_ratio",
+            if stats.published > 0 { stats.delivered as f64 / stats.published as f64 } else { 0.0 },
+        );
+        record.set("mean_latency_ms", stats.mean_latency_ms);
+        record.set(
+            "deadline_miss_ratio",
+            if stats.delivered > 0 {
+                stats.missed_deadline as f64 / stats.delivered as f64
+            } else {
+                0.0
+            },
+        );
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_contains_all_families() {
+        let registry = builtin_registry();
+        assert_eq!(
+            registry.names(),
+            vec![
+                "avionics-rpv",
+                "intersection",
+                "lane-change",
+                "middleware-qos",
+                "platoon",
+                "platoon-fault"
+            ]
+        );
+        assert!(!registry.is_empty());
+        assert_eq!(registry.len(), 6);
+    }
+
+    #[test]
+    fn every_builtin_family_runs_and_is_deterministic() {
+        let registry = builtin_registry();
+        for name in registry.names() {
+            let spec = ScenarioSpec::new(&name).with_seed(11).with_duration_secs(30);
+            let scenario = registry.get(&name).unwrap();
+            let a = scenario.run(&spec);
+            let b = scenario.run(&spec);
+            assert_eq!(a, b, "family {name} must be deterministic for a fixed spec");
+            assert!(!a.metrics().is_empty(), "family {name} must report metrics");
+        }
+    }
+
+    #[test]
+    fn platoon_modes_map_to_control_strategies() {
+        let registry = builtin_registry();
+        let platoon = registry.get("platoon").unwrap();
+        let coop = platoon.run(
+            &ScenarioSpec::new("platoon").with("mode", "los2").with_seed(3).with_duration_secs(60),
+        );
+        let cons = platoon.run(
+            &ScenarioSpec::new("platoon").with("mode", "los0").with_seed(3).with_duration_secs(60),
+        );
+        assert_eq!(coop.get("los2_fraction"), Some(1.0));
+        assert_eq!(cons.get("los2_fraction"), Some(0.0));
+        assert!(
+            cons.get("mean_time_gap_s") > coop.get("mean_time_gap_s"),
+            "conservative mode keeps larger margins"
+        );
+    }
+
+    #[test]
+    fn middleware_qos_reports_channel_quality() {
+        let registry = builtin_registry();
+        let qos = registry.get("middleware-qos").unwrap();
+        let record =
+            qos.run(&ScenarioSpec::new("middleware-qos").with_seed(5).with_duration_secs(20));
+        assert_eq!(record.get("admitted"), Some(1.0));
+        assert!(record.get("delivery_ratio").unwrap() > 0.8);
+        assert!(record.get("published").unwrap() > 900.0, "50 Hz × 20 s ≈ 1000 events");
+        assert_eq!(record.clamped_schedules, 0, "the publish loop never schedules into the past");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown platoon mode")]
+    fn invalid_mode_panics_with_guidance() {
+        let registry = builtin_registry();
+        let _ = registry
+            .get("platoon")
+            .unwrap()
+            .run(&ScenarioSpec::new("platoon").with("mode", "warp"));
+    }
+}

@@ -1,0 +1,98 @@
+//! The `Scenario` trait and the per-run metric record.
+
+use std::collections::BTreeMap;
+
+use karyon_sim::Engine;
+
+use crate::spec::ScenarioSpec;
+
+/// The named metrics produced by one scenario run.
+///
+/// Metrics are flat `name → f64` pairs so the campaign runner can aggregate
+/// any scenario family without knowing its result type; booleans are encoded
+/// as 0/1 (their mean over a sweep is then a rate).  The map is a `BTreeMap`
+/// so metric enumeration — and therefore report layout and JSON output — is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunRecord {
+    metrics: BTreeMap<String, f64>,
+    /// Past-time schedules clamped by the simulation engine during this run
+    /// (see `karyon_sim::Engine::clamped_schedules`).  A non-zero value marks
+    /// the run as causality-suspect in the campaign report.
+    pub clamped_schedules: u64,
+}
+
+impl RunRecord {
+    /// Creates an empty record.
+    pub fn new() -> Self {
+        RunRecord::default()
+    }
+
+    /// Sets one metric.  Non-finite values are stored as-is and skipped by
+    /// the aggregators, which keeps a broken metric visible in a single-run
+    /// record without poisoning campaign statistics.
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.metrics.insert(name.to_string(), value);
+    }
+
+    /// Sets a boolean metric as 0/1 (its campaign mean is a rate).
+    pub fn set_flag(&mut self, name: &str, value: bool) {
+        self.set(name, if value { 1.0 } else { 0.0 });
+    }
+
+    /// Looks up one metric.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics.get(name).copied()
+    }
+
+    /// All metrics in deterministic (sorted-name) order.
+    pub fn metrics(&self) -> &BTreeMap<String, f64> {
+        &self.metrics
+    }
+
+    /// Folds an engine's causality accounting into the record.
+    ///
+    /// Part of the Scenario-to-runner contract: every `Engine`-driven family
+    /// must call this (once per engine, after the run) so the campaign can
+    /// flag causality-suspect runs — otherwise a model that schedules into
+    /// the past is silently clamped again, which is exactly what the counter
+    /// exists to prevent.
+    pub fn absorb_engine_clamps<S, E>(&mut self, engine: &Engine<S, E>) {
+        self.clamped_schedules += engine.clamped_schedules();
+    }
+}
+
+/// A named scenario family: anything that can turn a [`ScenarioSpec`] into a
+/// [`RunRecord`].
+///
+/// Implementations must be deterministic — the same spec (including its seed)
+/// must produce the same record — and `Send + Sync`, because the campaign
+/// runner executes runs on worker threads.  Families that drive a
+/// `karyon_sim::Engine` must fold its clamp counter into the record via
+/// [`RunRecord::absorb_engine_clamps`] so campaigns can flag
+/// causality-suspect runs.
+pub trait Scenario: Send + Sync {
+    /// The family name this scenario registers under.
+    fn name(&self) -> &str;
+
+    /// Runs one instance described by `spec` and returns its metrics.
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_encode_as_rates() {
+        let mut r = RunRecord::new();
+        r.set_flag("collision", true);
+        r.set_flag("hazard", false);
+        r.set("gap", 1.25);
+        assert_eq!(r.get("collision"), Some(1.0));
+        assert_eq!(r.get("hazard"), Some(0.0));
+        assert_eq!(r.get("gap"), Some(1.25));
+        assert_eq!(r.metrics().len(), 3);
+        assert_eq!(r.clamped_schedules, 0);
+    }
+}

@@ -12,6 +12,18 @@
 use crate::events::EventQueue;
 use crate::time::{SimDuration, SimTime};
 
+/// Clamps a requested schedule time to `now`, counting the violation: the
+/// single clamp policy shared by [`Engine::schedule_at`] and
+/// [`Context::schedule_at`].
+fn clamp_to_now(now: SimTime, time: SimTime, clamped: &mut u64) -> SimTime {
+    if time < now {
+        *clamped += 1;
+        now
+    } else {
+        time
+    }
+}
+
 /// Scheduling handle passed to the event handler of an [`Engine`].
 ///
 /// The handler cannot touch the engine directly (it is being iterated), so new
@@ -21,11 +33,12 @@ pub struct Context<E> {
     now: SimTime,
     staged: Vec<(SimTime, E)>,
     stop_requested: bool,
+    clamped: u64,
 }
 
 impl<E> Context<E> {
     fn new(now: SimTime) -> Self {
-        Context { now, staged: Vec::new(), stop_requested: false }
+        Context { now, staged: Vec::new(), stop_requested: false, clamped: 0 }
     }
 
     /// The current simulation time (the firing time of the event being handled).
@@ -34,9 +47,11 @@ impl<E> Context<E> {
     }
 
     /// Schedules an event at an absolute time.  Times in the past are clamped
-    /// to "now" so causality is never violated.
+    /// to "now" so causality is never violated; every clamp is counted and
+    /// surfaced through [`Engine::clamped_schedules`], because a model that
+    /// schedules into the past is usually a model with a causality bug.
     pub fn schedule_at(&mut self, time: SimTime, event: E) {
-        let t = if time < self.now { self.now } else { time };
+        let t = clamp_to_now(self.now, time, &mut self.clamped);
         self.staged.push((t, event));
     }
 
@@ -63,12 +78,13 @@ pub struct Engine<S, E> {
     queue: EventQueue<E>,
     now: SimTime,
     processed: u64,
+    clamped: u64,
 }
 
 impl<S, E> Engine<S, E> {
     /// Creates an engine at time zero with the given initial state.
     pub fn new(state: S) -> Self {
-        Engine { state, queue: EventQueue::new(), now: SimTime::ZERO, processed: 0 }
+        Engine { state, queue: EventQueue::new(), now: SimTime::ZERO, processed: 0, clamped: 0 }
     }
 
     /// Current simulation time.
@@ -79,6 +95,15 @@ impl<S, E> Engine<S, E> {
     /// Number of events processed so far.
     pub fn processed(&self) -> u64 {
         self.processed
+    }
+
+    /// Number of schedules (via [`Engine::schedule_at`] or
+    /// [`Context::schedule_at`]) whose requested time lay in the past and was
+    /// clamped to "now".  A non-zero value flags a causality-suspect model;
+    /// campaign runners use it to mark runs as suspect instead of silently
+    /// accepting the clamp.
+    pub fn clamped_schedules(&self) -> u64 {
+        self.clamped
     }
 
     /// Shared access to the simulation state.
@@ -97,8 +122,9 @@ impl<S, E> Engine<S, E> {
     }
 
     /// Schedules an event at an absolute simulation time (clamped to now).
+    /// Clamps are counted in [`Engine::clamped_schedules`].
     pub fn schedule_at(&mut self, time: SimTime, event: E) {
-        let t = if time < self.now { self.now } else { time };
+        let t = clamp_to_now(self.now, time, &mut self.clamped);
         self.queue.schedule(t, event);
     }
 
@@ -146,6 +172,7 @@ impl<S, E> Engine<S, E> {
             for (time, event) in ctx.staged.drain(..) {
                 self.queue.schedule(time, event);
             }
+            self.clamped += ctx.clamped;
             self.processed += 1;
             count += 1;
             if ctx.stop_requested {
@@ -285,6 +312,20 @@ mod tests {
             }
         });
         assert_eq!(engine.state(), &vec![10, 10]);
+        assert_eq!(engine.clamped_schedules(), 1, "the past-time schedule must be counted");
+    }
+
+    #[test]
+    fn clamp_counter_covers_engine_and_context_schedules() {
+        let mut engine: Engine<u32, Ev> = Engine::new(0);
+        engine.schedule_at(SimTime::from_millis(10), Ev::Ping(0));
+        engine.run(|c, _, _| *c += 1);
+        assert_eq!(engine.clamped_schedules(), 0, "forward schedules never clamp");
+        // The engine clock is now at 10 ms: a direct past schedule clamps too.
+        engine.schedule_at(SimTime::from_millis(2), Ev::Ping(1));
+        assert_eq!(engine.clamped_schedules(), 1);
+        engine.run(|c, _, _| *c += 1);
+        assert_eq!(*engine.state(), 2);
     }
 
     #[test]

@@ -54,8 +54,8 @@ pub mod time;
 pub use engine::{Context, Engine, FixedStepSim};
 pub use events::EventQueue;
 pub use geometry::{Vec2, Vec3};
-pub use rng::Rng;
-pub use stats::{Counter, Histogram, OnlineStats, TimeSeries};
+pub use rng::{splitmix64, Rng};
+pub use stats::{BucketHistogram, Counter, Histogram, OnlineStats, TimeSeries};
 pub use table::Table;
 pub use time::{SimDuration, SimTime};
 
@@ -65,7 +65,7 @@ pub mod prelude {
     pub use crate::events::EventQueue;
     pub use crate::geometry::{Vec2, Vec3};
     pub use crate::rng::Rng;
-    pub use crate::stats::{Counter, Histogram, OnlineStats, TimeSeries};
+    pub use crate::stats::{BucketHistogram, Counter, Histogram, OnlineStats, TimeSeries};
     pub use crate::table::Table;
     pub use crate::time::{SimDuration, SimTime};
 }

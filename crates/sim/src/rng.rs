@@ -18,7 +18,14 @@ pub struct Rng {
     spare_normal: Option<f64>,
 }
 
-fn splitmix64(state: &mut u64) -> u64 {
+/// One step of the `splitmix64` generator: advances `state` and returns the
+/// next output.
+///
+/// Used internally to expand seeds into [`Rng`] state, and exported for seed
+/// derivation schemes (e.g. campaign runners deriving per-run seeds from a
+/// campaign seed and run coordinates) so they stay in lock-step with the
+/// seeding used here.
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

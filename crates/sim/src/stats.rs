@@ -204,6 +204,181 @@ impl Histogram {
     }
 }
 
+/// Fixed-bucket, constant-memory histogram with quantile queries.
+///
+/// Unlike [`Histogram`], which retains every sample, this collector spreads a
+/// configured value range over a fixed number of equal-width buckets, so its
+/// memory footprint is independent of the number of samples and two
+/// histograms with the same configuration (e.g. built by two worker threads
+/// of a campaign) can be [merged](BucketHistogram::merge) exactly by adding
+/// bucket counts.  Quantiles are resolved by nearest rank over the buckets
+/// and reported as the midpoint of the containing bucket, so their resolution
+/// is one bucket width; the minimum and maximum are tracked exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketHistogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl BucketHistogram {
+    /// Creates a histogram covering `[lo, hi]` with `buckets` equal-width
+    /// buckets.  Samples below `lo` / above `hi` land in dedicated
+    /// underflow/overflow buckets whose quantile representative is the exact
+    /// observed minimum/maximum.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0` or the range is empty or non-finite.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(buckets > 0, "BucketHistogram needs at least one bucket");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "BucketHistogram range must be finite and non-empty"
+        );
+        BucketHistogram {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.  Non-finite values are ignored.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value > self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((value - self.lo) / width) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Number of samples recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean of the samples (exact, not bucketed), or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum sample, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum sample, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The `q`-quantile (q in [0, 1]) by nearest rank over the buckets, or 0
+    /// when empty.  The answer is the midpoint of the bucket containing the
+    /// target rank (clamped to the exact observed min/max), so it is accurate
+    /// to one bucket width.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count - 1) as f64 * q).round() as u64;
+        if target == 0 {
+            return self.min;
+        }
+        if target >= self.count - 1 {
+            return self.max;
+        }
+        let mut seen = self.underflow;
+        if target < seen {
+            return self.min;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if target < seen {
+                let mid = self.lo + (i as f64 + 0.5) * width;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (50th percentile).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one by adding bucket counts.
+    ///
+    /// # Panics
+    /// Panics if the two histograms were built with different ranges or
+    /// bucket counts.
+    pub fn merge(&mut self, other: &BucketHistogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "merged BucketHistograms must share their bucket configuration"
+        );
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
 /// A named monotonically increasing counter.
 #[derive(Debug, Clone, Default)]
 pub struct Counter {
@@ -399,6 +574,72 @@ mod tests {
         assert_eq!(h.median(), 0.0);
         assert_eq!(h.min(), 0.0);
         assert_eq!(h.fraction_above(1.0), 0.0);
+    }
+
+    #[test]
+    fn bucket_histogram_quantiles_are_bucket_accurate() {
+        let mut h = BucketHistogram::new(0.0, 100.0, 100);
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        // Bucket width is 1, so every quantile is within one width of the
+        // exact nearest-rank answer (51, 95 and 99 respectively).
+        assert!((h.p50() - 51.0).abs() <= 1.0, "p50 {}", h.p50());
+        assert!((h.p95() - 95.0).abs() <= 1.0, "p95 {}", h.p95());
+        assert!((h.p99() - 99.0).abs() <= 1.0, "p99 {}", h.p99());
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 100.0);
+    }
+
+    #[test]
+    fn bucket_histogram_underflow_overflow_and_empty() {
+        let mut h = BucketHistogram::new(0.0, 10.0, 4);
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0.0);
+        h.record(-5.0);
+        h.record(25.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), -5.0);
+        assert_eq!(h.max(), 25.0);
+        // Out-of-range samples are represented by the exact extremes.
+        assert_eq!(h.quantile(0.0), -5.0);
+        assert_eq!(h.quantile(1.0), 25.0);
+    }
+
+    #[test]
+    fn bucket_histogram_merge_matches_single_collector() {
+        let mut all = BucketHistogram::new(0.0, 1.0, 32);
+        let mut a = BucketHistogram::new(0.0, 1.0, 32);
+        let mut b = BucketHistogram::new(0.0, 1.0, 32);
+        for i in 0..1_000 {
+            let v = (i as f64 * 0.37).fract();
+            all.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q), "quantile {q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket configuration")]
+    fn bucket_histogram_rejects_mismatched_merge() {
+        let mut a = BucketHistogram::new(0.0, 1.0, 8);
+        let b = BucketHistogram::new(0.0, 2.0, 8);
+        a.merge(&b);
     }
 
     #[test]

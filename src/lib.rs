@@ -10,12 +10,17 @@
 //! * [`core`] — the safety kernel: Levels of Service, safety rules, safety
 //!   manager, cooperation state (§III, §V-C)
 //! * [`vehicles`] — automotive and avionics use cases (§VI)
+//! * [`scenario`] — declarative scenario families and parallel campaign
+//!   orchestration over every layer above
+//!
+//! The umbrella `prelude` is intentionally omitted: pick the layer you need.
 
 #![forbid(unsafe_code)]
 
 pub use karyon_core as core;
 pub use karyon_middleware as middleware;
 pub use karyon_net as net;
+pub use karyon_scenario as scenario;
 pub use karyon_sensors as sensors;
 pub use karyon_sim as sim;
 pub use karyon_vehicles as vehicles;

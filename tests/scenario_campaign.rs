@@ -1,0 +1,142 @@
+//! Integration and property tests for the `karyon-scenario` orchestration
+//! subsystem: campaign determinism across worker counts, grid expansion and
+//! histogram quantile behaviour.
+
+use proptest::prelude::*;
+
+use karyon::scenario::{
+    builtin_registry, derive_run_seed, Campaign, CampaignEntry, ParamGrid, ScenarioSpec,
+};
+use karyon::sim::BucketHistogram;
+
+/// The flagship guarantee: a campaign's aggregated report is bit-identical
+/// for 1-thread and N-thread execution with the same campaign seed.
+#[test]
+fn campaign_reports_are_thread_count_invariant() {
+    let registry = builtin_registry();
+    let build = || {
+        Campaign::new("determinism", 77)
+            .entry(
+                CampaignEntry::new("middleware-qos")
+                    .grid(ParamGrid::new().axis("degrade", [false, true]))
+                    .replications(6)
+                    .duration_secs(20),
+            )
+            .entry(
+                CampaignEntry::new("lane-change")
+                    .grid(ParamGrid::new().axis("coordination", ["agreement", "none"]))
+                    .replications(4)
+                    .duration_secs(60),
+            )
+    };
+    let one = build().with_threads(1).run(&registry).expect("builtin families");
+    let four = build().with_threads(4).run(&registry).expect("builtin families");
+    let eight = build().with_threads(8).run(&registry).expect("builtin families");
+    assert_eq!(one, four);
+    assert_eq!(one, eight);
+    assert_eq!(one.to_json(), eight.to_json());
+    assert_eq!(one.total_runs, 20);
+    assert_eq!(one.points.len(), 4);
+}
+
+/// A multi-family campaign over the vehicle use cases aggregates per
+/// (family, parameter point) and exposes the safety ordering the paper
+/// argues: uncoordinated intersection crossing produces conflicts where the
+/// virtual traffic light produces none.
+#[test]
+fn mixed_campaign_reproduces_vtl_safety_ordering() {
+    let registry = builtin_registry();
+    let report = Campaign::new("vtl-check", 5)
+        .entry(
+            CampaignEntry::new("intersection")
+                .grid(
+                    ParamGrid::new()
+                        .axis("fallback", ["vtl", "uncoordinated"])
+                        .axis("light_fail", [true]),
+                )
+                .replications(5)
+                .duration_secs(300),
+        )
+        .run(&registry)
+        .expect("builtin families");
+    let vtl = &report.points[0];
+    let unco = &report.points[1];
+    assert_eq!(vtl.params["fallback"].as_str(), Some("vtl"));
+    assert_eq!(vtl.metrics["conflicts"].mean, 0.0, "the VTL keeps the intersection conflict-free");
+    assert!(
+        unco.metrics["conflicts"].mean > 0.0,
+        "uncoordinated fallback must show conflicts: {:?}",
+        unco.metrics["conflicts"]
+    );
+}
+
+proptest! {
+    /// Derived run seeds depend only on the canonical coordinates, and
+    /// distinct coordinates give distinct seeds.
+    #[test]
+    fn derived_seeds_are_stable_and_collision_free(campaign in 0u64..1_000_000, point in 0u64..64, rep in 0u64..64) {
+        prop_assert_eq!(derive_run_seed(campaign, point, rep), derive_run_seed(campaign, point, rep));
+        prop_assert!(derive_run_seed(campaign, point, rep) != derive_run_seed(campaign, point, rep + 1));
+        prop_assert!(derive_run_seed(campaign, point, rep) != derive_run_seed(campaign, point + 1, rep));
+    }
+
+    /// Grid expansion always yields the full cross product: the point count
+    /// is the product of the axis lengths and every point carries every axis.
+    #[test]
+    fn grid_expansion_is_exhaustive(a in 1usize..5, b in 1usize..5, c in 1usize..4) {
+        let grid = ParamGrid::new()
+            .axis("a", (0..a).collect::<Vec<_>>())
+            .axis("b", (0..b).collect::<Vec<_>>())
+            .axis("c", (0..c).collect::<Vec<_>>());
+        let points = grid.expand();
+        prop_assert_eq!(points.len(), a * b * c);
+        prop_assert_eq!(points.len(), grid.len());
+        prop_assert!(points.iter().all(|p| p.len() == 3));
+        // All points are pairwise distinct.
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                prop_assert!(points[i] != points[j]);
+            }
+        }
+    }
+
+    /// Bucket-histogram quantiles stay within one bucket width of the exact
+    /// nearest-rank quantile over the same samples.
+    #[test]
+    fn bucket_quantiles_track_exact_quantiles(values in proptest::collection::vec(0.0f64..100.0, 10..200), q in 0.0f64..1.0) {
+        let buckets = 64usize;
+        let mut hist = BucketHistogram::new(0.0, 100.0, buckets);
+        for v in &values {
+            hist.record(*v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let exact = sorted[(((sorted.len() - 1) as f64) * q).round() as usize];
+        let width = 100.0 / buckets as f64;
+        prop_assert!((hist.quantile(q) - exact).abs() <= width + 1e-9,
+            "bucketed {} vs exact {} (width {})", hist.quantile(q), exact, width);
+    }
+
+    /// The trivial single-run campaign equals running the scenario directly:
+    /// the runner adds orchestration, never different semantics.
+    #[test]
+    fn single_run_campaign_matches_direct_run(seed in 0u64..10_000) {
+        let registry = builtin_registry();
+        let report = Campaign::new("one", seed)
+            .entry(CampaignEntry::new("middleware-qos").replications(1).duration_secs(10))
+            .with_threads(1)
+            .run(&registry)
+            .expect("builtin families");
+        let spec = ScenarioSpec::new("middleware-qos")
+            .with_seed(derive_run_seed(seed, 0, 0))
+            .with_duration_secs(10);
+        let direct = registry.get("middleware-qos").unwrap().run(&spec);
+        let point = &report.points[0];
+        prop_assert_eq!(point.runs, 1);
+        for (name, value) in direct.metrics() {
+            let summary = &point.metrics[name];
+            prop_assert!(summary.mean == *value, "metric {}: {} != {}", name, summary.mean, value);
+            prop_assert_eq!(summary.p99, *value);
+        }
+    }
+}

@@ -14,6 +14,7 @@ use karyon::middleware::{
     Admission, ContextFilter, EventBus, NetworkCapability, NetworkId, QosRequirement,
 };
 use karyon::net::{MediumConfig, SelfStabTdmaMac, WirelessMedium};
+use karyon::scenario::{builtin_registry, ScenarioSpec};
 use karyon::sensors::{marzullo_fuse, weighted_fuse, Interval, Measurement, Validity};
 use karyon::sim::{EventQueue, Rng, SimDuration, SimTime};
 use karyon::vehicles::{run_platoon, ControlMode, PlatoonConfig};
@@ -57,6 +58,14 @@ fn umbrella_reexports_resolve() {
 
     // karyon::core
     assert!(LevelOfService(0).is_non_cooperative());
+
+    // karyon::scenario
+    let registry = builtin_registry();
+    let record = registry
+        .get("middleware-qos")
+        .expect("builtin family registered")
+        .run(&ScenarioSpec::new("middleware-qos").with_seed(9).with_duration_secs(5));
+    assert!(record.get("published").unwrap_or(0.0) > 0.0);
 
     // karyon::vehicles
     let result = run_platoon(&PlatoonConfig {
