@@ -4,6 +4,9 @@
 //! bench target in `benches/`; running `cargo bench --workspace` executes all
 //! of them and prints their result tables, which EXPERIMENTS.md records.
 //! `benches/micro.rs` contains the Criterion micro-benchmarks (safety-kernel
-//! cycle, validity combination, fusion, TDMA slot handling, event publication).
+//! cycle, validity combination, fusion, TDMA slot handling, event publication)
+//! and `benches/e16_campaign_throughput.rs` tracks the experiment pipeline's
+//! own throughput (calendar-queue event core, chunked campaign runner),
+//! emitting `BENCH_campaign.json` at the workspace root.
 
 #![forbid(unsafe_code)]

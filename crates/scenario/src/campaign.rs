@@ -1,15 +1,18 @@
-//! The campaign runner: grid × seed-sweep expansion and parallel execution.
+//! The campaign runner: grid × seed-sweep expansion and parallel chunked
+//! execution.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
 
 use karyon_sim::{splitmix64, SimDuration};
 
+use crate::aggregate::{CampaignAccumulator, ChunkPartial, DEFAULT_CHUNK_SIZE};
 use crate::grid::ParamGrid;
 use crate::registry::ScenarioRegistry;
-use crate::report::{CampaignReport, MetricSummary, PointReport};
-use crate::scenario::RunRecord;
+use crate::report::{CampaignReport, PointReport};
+use crate::scenario::{RunRecord, Scenario};
+use crate::sink::{RunMeta, RunSink};
 use crate::spec::{ParamValue, ScenarioSpec};
 
 /// Derives the RNG seed of one run from the campaign seed and the run's
@@ -83,44 +86,128 @@ impl CampaignEntry {
     }
 }
 
-/// One executable unit of work: a fully instantiated [`ScenarioSpec`] plus
-/// the coordinates it aggregates under.
+/// One fully expanded parameter point: the coordinates every run of the point
+/// shares.  The canonical work list is *not* materialised per run — a run is
+/// reconstructed from its global index, which keeps campaign memory
+/// proportional to the number of points, not the number of runs.
 #[derive(Debug, Clone)]
-struct WorkItem {
-    /// Index into the flattened point list.
-    point: usize,
-    spec: ScenarioSpec,
+struct PointDef {
+    scenario: String,
+    params: BTreeMap<String, ParamValue>,
+    replications: u64,
+    duration: Option<SimDuration>,
+    /// Global index of the point's first run.
+    first_run: u64,
+}
+
+/// Execution statistics of one campaign run, returned by
+/// [`Campaign::run_instrumented`].  Deliberately *not* part of
+/// [`CampaignReport`]: these numbers depend on scheduling (worker count,
+/// chunk completion order) and would break the bit-identity contract if they
+/// travelled with the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunnerStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Canonical chunks executed.
+    pub chunks: u64,
+    /// Peak number of completed chunks held for in-order merging.
+    pub peak_pending_chunks: usize,
+    /// Peak number of raw [`RunRecord`]s resident awaiting canonical-order
+    /// processing (0 unless a sink is attached).  Bounded by
+    /// `chunk_size × in-flight window`, never by the run count.
+    pub peak_resident_records: u64,
+}
+
+/// A worker's result for one canonical chunk.
+struct ChunkOutput {
+    partial: ChunkPartial,
+    /// `(global run index, record)` pairs, captured only when a sink needs
+    /// them; drained in canonical order by the collector.
+    records: Vec<(u64, RunRecord)>,
+}
+
+/// Claim/merge coordination: workers may only claim a chunk while it is
+/// within the in-flight window above the merge floor, which is what bounds
+/// the memory the collector can ever have to buffer.
+struct ChunkGate {
+    state: Mutex<(usize, usize)>, // (next chunk to claim, chunks merged)
+    ready: Condvar,
+}
+
+impl ChunkGate {
+    fn new() -> Self {
+        ChunkGate { state: Mutex::new((0, 0)), ready: Condvar::new() }
+    }
+
+    /// Claims the next chunk, waiting while the window is full.  Returns
+    /// `None` when all chunks are claimed or the campaign is aborting.
+    fn claim(&self, chunks: usize, window: usize, abort: &AtomicBool) -> Option<usize> {
+        let mut state = self.state.lock().expect("gate lock");
+        loop {
+            if abort.load(Ordering::Relaxed) || state.0 >= chunks {
+                return None;
+            }
+            if state.0 < state.1 + window {
+                let k = state.0;
+                state.0 += 1;
+                return Some(k);
+            }
+            state = self.ready.wait(state).expect("gate lock");
+        }
+    }
+
+    /// Records one chunk as merged (or abandoned) and wakes waiting workers.
+    fn advance(&self) {
+        self.state.lock().expect("gate lock").1 += 1;
+        self.ready.notify_all();
+    }
+
+    /// Wakes every waiting worker (used when aborting).
+    fn wake_all(&self) {
+        self.ready.notify_all();
+    }
 }
 
 /// A batch-runnable campaign: one or more [`CampaignEntry`]s executed over
 /// `std::thread` workers with deterministic per-run seeds.
 ///
-/// Determinism contract: for a fixed campaign seed and entry list, the
-/// [`CampaignReport`] is bit-identical for every `threads` setting.  Workers
-/// only *execute* runs; each run's seed is derived from its canonical
-/// coordinates ([`derive_run_seed`]), results are collected by run index, and
-/// aggregation walks them in canonical order.
+/// Determinism contract: for a fixed campaign seed, entry list and
+/// [chunk size](Campaign::with_chunk_size), the [`CampaignReport`] is
+/// bit-identical for every `threads` setting.  Workers only *execute* runs;
+/// each run's seed is derived from its canonical coordinates
+/// ([`derive_run_seed`]), each canonical chunk is reduced sequentially in
+/// canonical run order, and chunk partials merge in canonical chunk order.
 ///
-/// Memory model: each run streams its own metrics internally, but the runner
-/// retains one compact [`RunRecord`] per run (a handful of `f64`s) until the
-/// canonical-order reduction.  That O(runs × metrics) buffer is a deliberate
-/// trade — floating-point reduction is order-sensitive, so merging partial
-/// aggregates in worker-completion order would break the bit-identity
-/// contract.  It is negligible up to ~10⁶ runs; truly unbounded campaigns
-/// need pre-agreed histogram ranges and canonical chunked reduction (see
-/// ROADMAP open items).
+/// Memory model: runs are partitioned into canonical chunks and each run's
+/// compact [`RunRecord`] is folded into its chunk's per-point streaming
+/// aggregates ([`OnlineStats`](karyon_sim::OnlineStats) + bounded quantile
+/// state, see [`crate::aggregate`]) the moment it finishes — no record
+/// outlives its run unless a [`RunSink`] asked for it.  Workers may only be
+/// a bounded window of chunks ahead of the canonical merge frontier, so peak
+/// memory is O(points × chunks-in-flight) plus, with a sink attached, at
+/// most `chunk_size × window` buffered records — independent of the total
+/// run count either way.  A 10⁶-run campaign aggregates in the same
+/// footprint as a 10³-run one.
 #[derive(Debug, Clone)]
 pub struct Campaign {
     name: String,
     seed: u64,
     threads: usize,
+    chunk_size: usize,
     entries: Vec<CampaignEntry>,
 }
 
 impl Campaign {
     /// Creates an empty campaign with the given name and campaign seed.
     pub fn new(name: &str, seed: u64) -> Self {
-        Campaign { name: name.to_string(), seed, threads: 0, entries: Vec::new() }
+        Campaign {
+            name: name.to_string(),
+            seed,
+            threads: 0,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            entries: Vec::new(),
+        }
     }
 
     /// Adds a scenario entry.
@@ -136,13 +223,65 @@ impl Campaign {
         self
     }
 
+    /// Sets the canonical chunk size (runs per chunk; default
+    /// [`DEFAULT_CHUNK_SIZE`]).
+    ///
+    /// The chunk size is part of the aggregation contract: reports are
+    /// bit-identical across worker counts for a fixed chunk size, but
+    /// changing it regroups the floating-point reduction and may change
+    /// results in the last ulp.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size` is zero.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "the canonical chunk size must be at least 1");
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// The canonical chunk size.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
     /// Total number of runs the campaign will execute.
     pub fn run_count(&self) -> u64 {
         self.entries.iter().map(CampaignEntry::run_count).sum()
     }
 
-    /// Expands every entry's grid and seed sweep into the canonical work
-    /// list, executes it in parallel, and aggregates per parameter point.
+    /// Expands the entries into the flattened parameter-point list.
+    fn expand_points(&self) -> (Vec<PointDef>, u64) {
+        let mut points = Vec::new();
+        let mut next_run = 0u64;
+        for entry in &self.entries {
+            for params in entry.grid.expand() {
+                points.push(PointDef {
+                    scenario: entry.scenario.clone(),
+                    params,
+                    replications: entry.replications,
+                    duration: entry.duration,
+                    first_run: next_run,
+                });
+                next_run += entry.replications;
+            }
+        }
+        (points, next_run)
+    }
+
+    /// Instantiates the spec of one run of `point`.
+    fn spec_for(&self, point_index: usize, point: &PointDef, replication: u64) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new(&point.scenario)
+            .with_params(point.params.clone())
+            .with_seed(derive_run_seed(self.seed, point_index as u64, replication));
+        if let Some(duration) = point.duration {
+            spec = spec.with_duration(duration);
+        }
+        spec
+    }
+
+    /// Expands every entry's grid and seed sweep into the canonical run list,
+    /// executes it in chunks across worker threads, and aggregates per
+    /// parameter point in bounded memory.
     ///
     /// Returns an error naming the first entry whose scenario family is not
     /// in `registry` (checked up front, before any run executes).  A run that
@@ -150,6 +289,170 @@ impl Campaign {
     /// family's adapter can detect — also surfaces as an `Err` naming the
     /// offending spec, after in-flight runs wind down.
     pub fn run(&self, registry: &ScenarioRegistry) -> Result<CampaignReport, String> {
+        self.run_instrumented(registry, None).map(|(report, _)| report)
+    }
+
+    /// Like [`Campaign::run`], additionally streaming every run's raw record
+    /// to `sink` in canonical run order (see [`RunSink`]).
+    pub fn run_with_sink(
+        &self,
+        registry: &ScenarioRegistry,
+        sink: &mut dyn RunSink,
+    ) -> Result<CampaignReport, String> {
+        self.run_instrumented(registry, Some(sink)).map(|(report, _)| report)
+    }
+
+    /// Like [`Campaign::run`], additionally returning the runner's execution
+    /// statistics (which are intentionally kept out of the deterministic
+    /// report — see [`RunnerStats`]).
+    pub fn run_instrumented(
+        &self,
+        registry: &ScenarioRegistry,
+        mut sink: Option<&mut dyn RunSink>,
+    ) -> Result<(CampaignReport, RunnerStats), String> {
+        let (points, total_runs) = self.expand_points();
+        let families = self.resolve_families(registry, &points)?;
+        let chunks = (total_runs as usize).div_ceil(self.chunk_size);
+        let workers = match self.threads {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        }
+        .min(chunks.max(1));
+
+        let mut accumulator = CampaignAccumulator::new(points.len());
+        let mut stats = RunnerStats {
+            workers,
+            chunks: chunks as u64,
+            peak_pending_chunks: 0,
+            peak_resident_records: 0,
+        };
+
+        if workers <= 1 {
+            for chunk in 0..chunks {
+                let output = self.run_chunk(&points, &families, chunk, sink.is_some(), None)?;
+                stats.peak_pending_chunks = stats.peak_pending_chunks.max(1);
+                stats.peak_resident_records =
+                    stats.peak_resident_records.max(output.records.len() as u64);
+                self.merge_chunk(&points, &mut accumulator, output, &mut sink);
+            }
+            return Ok((self.finish(points, total_runs, accumulator), stats));
+        }
+
+        // Parallel path: workers claim canonical chunks through a windowed
+        // gate, the main thread merges completed chunks strictly in
+        // canonical order.  The window bounds how far execution may run
+        // ahead of the merge frontier, which is what bounds peak memory.
+        let window = workers * 2;
+        let gate = ChunkGate::new();
+        let abort = AtomicBool::new(false);
+        let capture = sink.is_some();
+        let (tx, rx) = mpsc::channel::<(usize, Result<ChunkOutput, String>)>();
+        let mut first_error: Option<(usize, String)> = None;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (gate, abort, points, families) = (&gate, &abort, &points, &families);
+                scope.spawn(move || {
+                    while let Some(chunk) = gate.claim(chunks, window, abort) {
+                        let outcome = self.run_chunk(points, families, chunk, capture, Some(abort));
+                        if outcome.is_err() {
+                            abort.store(true, Ordering::Relaxed);
+                            gate.wake_all();
+                        }
+                        if tx.send((chunk, outcome)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut pending: BTreeMap<usize, ChunkOutput> = BTreeMap::new();
+            let mut resident_records = 0u64;
+            let mut next_merge = 0usize;
+            for (chunk, outcome) in rx {
+                match outcome {
+                    Err(error) => {
+                        if first_error.as_ref().map_or(true, |(c, _)| chunk < *c) {
+                            first_error = Some((chunk, error));
+                        }
+                        // Keep the window moving so workers drain quickly.
+                        gate.advance();
+                        if chunk == next_merge {
+                            next_merge += 1;
+                        }
+                    }
+                    Ok(output) => {
+                        resident_records += output.records.len() as u64;
+                        pending.insert(chunk, output);
+                        stats.peak_pending_chunks = stats.peak_pending_chunks.max(pending.len());
+                        stats.peak_resident_records =
+                            stats.peak_resident_records.max(resident_records);
+                    }
+                }
+                while let Some(output) = pending.remove(&next_merge) {
+                    resident_records -= output.records.len() as u64;
+                    self.merge_chunk(&points, &mut accumulator, output, &mut sink);
+                    next_merge += 1;
+                    gate.advance();
+                }
+            }
+        });
+
+        if let Some((_, error)) = first_error {
+            return Err(error);
+        }
+        Ok((self.finish(points, total_runs, accumulator), stats))
+    }
+
+    /// Re-aggregates retained per-run records (e.g. parsed back from a
+    /// [`JsonlRunWriter`](crate::JsonlRunWriter) artifact) through the same
+    /// canonical chunk pipeline the streaming runner uses.
+    ///
+    /// `records` must hold exactly one record per run, in canonical run
+    /// order.  The result is **bit-identical** to what [`Campaign::run`]
+    /// produces for any worker count with the same chunk size — the property
+    /// the integration tests pin down.
+    pub fn reduce_records(
+        &self,
+        registry: &ScenarioRegistry,
+        records: &[RunRecord],
+    ) -> Result<CampaignReport, String> {
+        let (points, total_runs) = self.expand_points();
+        let families = self.resolve_families(registry, &points)?;
+        if records.len() as u64 != total_runs {
+            return Err(format!(
+                "campaign {:?} expands to {total_runs} runs but {} records were supplied",
+                self.name,
+                records.len()
+            ));
+        }
+        let mut accumulator = CampaignAccumulator::new(points.len());
+        for chunk in 0..(records.len().div_ceil(self.chunk_size)) {
+            let start = chunk * self.chunk_size;
+            let end = (start + self.chunk_size).min(records.len());
+            let mut partial = ChunkPartial::new();
+            let mut point_index = point_of(&points, start as u64);
+            for (run, record) in (start as u64..).zip(&records[start..end]) {
+                while !run_belongs_to(&points, point_index, run) {
+                    point_index += 1;
+                }
+                let family = &families[point_index];
+                partial.record_run(point_index, record, &|metric| family.metric_range(metric));
+            }
+            accumulator.merge_chunk(partial);
+        }
+        Ok(self.finish(points, total_runs, accumulator))
+    }
+
+    /// Resolves each expanded point's scenario family, erroring on the first
+    /// unknown entry before anything executes.
+    fn resolve_families(
+        &self,
+        registry: &ScenarioRegistry,
+        points: &[PointDef],
+    ) -> Result<Vec<std::sync::Arc<dyn Scenario>>, String> {
         for entry in &self.entries {
             if registry.get(&entry.scenario).is_none() {
                 return Err(format!(
@@ -160,150 +463,135 @@ impl Campaign {
                 ));
             }
         }
+        Ok(points
+            .iter()
+            .map(|p| registry.get(&p.scenario).expect("validated above").clone())
+            .collect())
+    }
 
-        // Canonical expansion: entries in declaration order, grid points in
-        // expansion order, replications innermost.  `point` indices are
-        // global across entries so every (scenario, params) pair aggregates
-        // separately.
-        let mut points: Vec<(String, BTreeMap<String, ParamValue>)> = Vec::new();
-        let mut items: Vec<WorkItem> = Vec::new();
-        for entry in &self.entries {
-            for params in entry.grid.expand() {
-                let point = points.len();
-                points.push((entry.scenario.clone(), params.clone()));
-                for rep in 0..entry.replications {
-                    let mut spec = ScenarioSpec::new(&entry.scenario)
-                        .with_params(params.clone())
-                        .with_seed(derive_run_seed(self.seed, point as u64, rep));
-                    if let Some(duration) = entry.duration {
-                        spec = spec.with_duration(duration);
-                    }
-                    items.push(WorkItem { point, spec });
+    /// Executes the canonical chunk `chunk` sequentially in run order,
+    /// streaming every record into a fresh [`ChunkPartial`].  Returns the
+    /// first run failure (canonical within the chunk) as `Err`.
+    fn run_chunk(
+        &self,
+        points: &[PointDef],
+        families: &[std::sync::Arc<dyn Scenario>],
+        chunk: usize,
+        capture: bool,
+        abort: Option<&AtomicBool>,
+    ) -> Result<ChunkOutput, String> {
+        let total = points.last().map(|p| p.first_run + p.replications).unwrap_or(0);
+        let start = (chunk * self.chunk_size) as u64;
+        let end = (start + self.chunk_size as u64).min(total);
+        let mut partial = ChunkPartial::new();
+        let mut records = Vec::new();
+        let mut point_index = point_of(points, start);
+        for run in start..end {
+            if abort.is_some_and(|a| a.load(Ordering::Relaxed)) {
+                break;
+            }
+            while !run_belongs_to(points, point_index, run) {
+                point_index += 1;
+            }
+            let point = &points[point_index];
+            let spec = self.spec_for(point_index, point, run - point.first_run);
+            let record = run_one(&*families[point_index], &spec)?;
+            let family = &families[point_index];
+            partial.record_run(point_index, &record, &|metric| family.metric_range(metric));
+            if capture {
+                records.push((run, record));
+            }
+        }
+        Ok(ChunkOutput { partial, records })
+    }
+
+    /// Folds one canonical chunk into the campaign accumulator and drains its
+    /// captured records (already in canonical order) into the sink.
+    fn merge_chunk(
+        &self,
+        points: &[PointDef],
+        accumulator: &mut CampaignAccumulator,
+        output: ChunkOutput,
+        sink: &mut Option<&mut dyn RunSink>,
+    ) {
+        accumulator.merge_chunk(output.partial);
+        if let Some(sink) = sink {
+            let mut point_index = output.records.first().map(|(run, _)| point_of(points, *run));
+            for (run, record) in &output.records {
+                let mut index = point_index.expect("records imply a first record");
+                while !run_belongs_to(points, index, *run) {
+                    index += 1;
                 }
+                point_index = Some(index);
+                let point = &points[index];
+                let replication = run - point.first_run;
+                let meta = RunMeta {
+                    run_index: *run,
+                    point: index,
+                    scenario: &point.scenario,
+                    params: &point.params,
+                    replication,
+                    seed: derive_run_seed(self.seed, index as u64, replication),
+                };
+                sink.on_run(&meta, record);
             }
         }
+    }
 
-        let records = self.execute(registry, &items)?;
-
-        // Aggregation in canonical run order: records are indexed by run id,
-        // so the fold below is independent of which worker ran what.
-        let mut point_values: Vec<BTreeMap<String, Vec<f64>>> = vec![BTreeMap::new(); points.len()];
-        let mut point_runs = vec![0u64; points.len()];
-        let mut point_suspect = vec![0u64; points.len()];
-        for (item, record) in items.iter().zip(records.iter()) {
-            point_runs[item.point] += 1;
-            if record.clamped_schedules > 0 {
-                point_suspect[item.point] += 1;
-            }
-            for (name, value) in record.metrics() {
-                point_values[item.point].entry(name.clone()).or_default().push(*value);
-            }
-        }
-
+    /// Builds the final report from the merged accumulator.
+    fn finish(
+        &self,
+        points: Vec<PointDef>,
+        total_runs: u64,
+        accumulator: CampaignAccumulator,
+    ) -> CampaignReport {
         let reports = points
             .into_iter()
-            .zip(point_values)
-            .zip(point_runs.iter().zip(point_suspect.iter()))
-            .map(|(((scenario, params), values), (runs, suspect))| PointReport {
-                scenario,
-                params,
-                runs: *runs,
-                suspect_runs: *suspect,
-                metrics: values
-                    .into_iter()
-                    .map(|(name, v)| (name, MetricSummary::from_values(&v)))
-                    .collect(),
+            .zip(accumulator.points())
+            .map(|(point, acc)| PointReport {
+                scenario: point.scenario,
+                params: point.params,
+                runs: acc.runs,
+                suspect_runs: acc.suspect_runs,
+                metrics: acc.summaries(),
             })
             .collect();
-
-        Ok(CampaignReport {
-            name: self.name.clone(),
-            seed: self.seed,
-            total_runs: items.len() as u64,
-            points: reports,
-        })
+        CampaignReport { name: self.name.clone(), seed: self.seed, total_runs, points: reports }
     }
+}
 
-    /// Executes one run, converting a scenario panic (e.g. an invalid
-    /// parameter value that only surfaces inside the family's adapter) into
-    /// an `Err` naming the offending spec, so a mid-campaign failure reaches
-    /// the caller as `Campaign::run`'s error instead of a cross-thread panic.
-    fn run_one(registry: &ScenarioRegistry, item: &WorkItem) -> Result<RunRecord, String> {
-        let scenario = registry.get(&item.spec.name).expect("validated above");
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scenario.run(&item.spec))).map_err(
-            |payload| {
-                let message = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".to_string());
-                format!(
-                    "scenario {:?} failed for params [{}] seed {}: {message}",
-                    item.spec.name,
-                    item.spec.params_label(),
-                    item.spec.seed
-                )
-            },
-        )
-    }
+/// Index of the point containing global run `run` (binary search over the
+/// points' first-run offsets).
+fn point_of(points: &[PointDef], run: u64) -> usize {
+    points.partition_point(|p| p.first_run <= run).saturating_sub(1)
+}
 
-    /// Executes the work list on worker threads and returns one record per
-    /// item, in item order, or the first (in canonical item order) run
-    /// failure.
-    fn execute(
-        &self,
-        registry: &ScenarioRegistry,
-        items: &[WorkItem],
-    ) -> Result<Vec<RunRecord>, String> {
-        let workers = match self.threads {
-            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-            n => n,
-        }
-        .min(items.len().max(1));
+/// True when `run` falls inside `points[index]`.
+fn run_belongs_to(points: &[PointDef], index: usize, run: u64) -> bool {
+    let point = &points[index];
+    run >= point.first_run && run < point.first_run + point.replications
+}
 
-        if workers <= 1 {
-            return items.iter().map(|item| Self::run_one(registry, item)).collect();
-        }
-
-        let cursor = AtomicUsize::new(0);
-        let abort = AtomicBool::new(false);
-        let (tx, rx) = mpsc::channel::<(usize, Result<RunRecord, String>)>();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let (cursor, abort) = (&cursor, &abort);
-                scope.spawn(move || loop {
-                    if abort.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(item) = items.get(idx) else { break };
-                    let outcome = Self::run_one(registry, item);
-                    if outcome.is_err() {
-                        abort.store(true, Ordering::Relaxed);
-                    }
-                    if tx.send((idx, outcome)).is_err() {
-                        break;
-                    }
-                });
-            }
-        });
-        drop(tx);
-
-        let mut records: Vec<Option<Result<RunRecord, String>>> = vec![None; items.len()];
-        for (idx, outcome) in rx {
-            records[idx] = Some(outcome);
-        }
-        // Surface the canonically-first failure among the runs that executed
-        // before the abort (no None holes remain on the success path).
-        if let Some(err) = records.iter().flatten().find_map(|r| r.as_ref().err()) {
-            return Err(err.clone());
-        }
-        records
-            .into_iter()
-            .map(|r| r.expect("every work item produces exactly one record"))
-            .collect()
-    }
+/// Executes one run, converting a scenario panic (e.g. an invalid parameter
+/// value that only surfaces inside the family's adapter) into an `Err`
+/// naming the offending spec, so a mid-campaign failure reaches the caller
+/// as `Campaign::run`'s error instead of a cross-thread panic.
+fn run_one(scenario: &dyn Scenario, spec: &ScenarioSpec) -> Result<RunRecord, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scenario.run(spec))).map_err(
+        |payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            format!(
+                "scenario {:?} failed for params [{}] seed {}: {message}",
+                spec.name,
+                spec.params_label(),
+                spec.seed
+            )
+        },
+    )
 }
 
 #[cfg(test)]
@@ -384,6 +672,97 @@ mod tests {
         assert_eq!(one.to_json(), many.to_json());
     }
 
+    #[test]
+    fn small_chunks_keep_reports_thread_count_invariant() {
+        // Chunk boundaries cut through points and entries; every worker
+        // count must still reduce identically.
+        let build = || {
+            Campaign::new("chunky", 99)
+                .with_chunk_size(3)
+                .entry(
+                    CampaignEntry::new("echo")
+                        .grid(ParamGrid::new().axis("x", [1.0, 2.0]))
+                        .replications(7),
+                )
+                .entry(CampaignEntry::new("echo").replications(5))
+        };
+        let one = build().with_threads(1).run(&echo_registry()).unwrap();
+        for threads in [2, 3, 8] {
+            let many = build().with_threads(threads).run(&echo_registry()).unwrap();
+            assert_eq!(one, many, "threads = {threads}");
+        }
+        assert_eq!(one.total_runs, 19);
+    }
+
+    #[test]
+    fn sink_receives_every_run_in_canonical_order() {
+        for threads in [1, 4] {
+            let mut seen: Vec<(u64, u64, f64)> = Vec::new();
+            let mut sink = |meta: &RunMeta<'_>, record: &RunRecord| {
+                seen.push((meta.run_index, meta.seed, record.get("x").unwrap()));
+            };
+            let report = Campaign::new("stream", 5)
+                .with_threads(threads)
+                .with_chunk_size(4)
+                .entry(
+                    CampaignEntry::new("echo")
+                        .grid(ParamGrid::new().axis("x", [1.0, 2.0, 3.0]))
+                        .replications(6),
+                )
+                .run_with_sink(&echo_registry(), &mut sink)
+                .unwrap();
+            assert_eq!(report.total_runs, 18);
+            assert_eq!(seen.len(), 18, "threads = {threads}");
+            let indices: Vec<u64> = seen.iter().map(|(i, _, _)| *i).collect();
+            assert_eq!(
+                indices,
+                (0..18).collect::<Vec<_>>(),
+                "canonical order, threads = {threads}"
+            );
+            assert_eq!(seen[0].1, derive_run_seed(5, 0, 0), "seeds match canonical coordinates");
+            assert_eq!(seen[17].2, 6.0, "x=3 doubles to 6");
+        }
+    }
+
+    #[test]
+    fn instrumented_run_reports_bounded_residency() {
+        let campaign = Campaign::new("bounded", 1)
+            .with_chunk_size(8)
+            .entry(CampaignEntry::new("echo").replications(100));
+        let mut count = 0u64;
+        let mut sink = |_: &RunMeta<'_>, _: &RunRecord| count += 1;
+        let (report, stats) =
+            campaign.with_threads(4).run_instrumented(&echo_registry(), Some(&mut sink)).unwrap();
+        assert_eq!(report.total_runs, 100);
+        assert_eq!(count, 100);
+        assert_eq!(stats.chunks, 13);
+        let window = stats.workers * 2;
+        assert!(
+            stats.peak_resident_records <= (window * 8) as u64,
+            "resident {} must stay within window × chunk ({})",
+            stats.peak_resident_records,
+            window * 8
+        );
+    }
+
+    #[test]
+    fn reduce_records_matches_streaming_run() {
+        let campaign = Campaign::new("replay", 7).with_chunk_size(5).entry(
+            CampaignEntry::new("echo")
+                .grid(ParamGrid::new().axis("x", [0.25, 0.75]))
+                .replications(13),
+        );
+        let registry = echo_registry();
+        let mut records = Vec::new();
+        let mut sink = |_: &RunMeta<'_>, record: &RunRecord| records.push(record.clone());
+        let streamed =
+            campaign.clone().with_threads(4).run_with_sink(&registry, &mut sink).unwrap();
+        let replayed = campaign.reduce_records(&registry, &records).unwrap();
+        assert_eq!(streamed, replayed);
+        let err = campaign.reduce_records(&registry, &records[1..]).unwrap_err();
+        assert!(err.contains("26 runs"), "record-count mismatch is reported: {err}");
+    }
+
     /// A scenario that panics on demand (an invalid-parameter stand-in).
     struct Fussy;
 
@@ -406,6 +785,7 @@ mod tests {
         for threads in [1, 4] {
             let err = Campaign::new("c", 1)
                 .with_threads(threads)
+                .with_chunk_size(2)
                 .entry(
                     CampaignEntry::new("fussy")
                         .grid(ParamGrid::new().axis("explode", [false, true]))
@@ -430,5 +810,11 @@ mod tests {
     #[should_panic(expected = "at least one replication")]
     fn zero_replications_rejected() {
         let _ = CampaignEntry::new("echo").replications(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be at least 1")]
+    fn zero_chunk_size_rejected() {
+        let _ = Campaign::new("c", 1).with_chunk_size(0);
     }
 }

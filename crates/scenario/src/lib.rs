@@ -17,15 +17,23 @@
 //!   and the middleware QoS stack;
 //! * [`ParamGrid`] — a cartesian parameter grid expanded into parameter
 //!   points;
-//! * [`Campaign`] — expands grids and Monte-Carlo seed sweeps into a work
-//!   list and executes it across `std::thread` workers.  Every run's RNG seed
-//!   is derived from the campaign seed and the run's canonical coordinates
-//!   ([`derive_run_seed`]), and aggregation happens in canonical run order,
-//!   so a campaign's [`CampaignReport`] is **bit-identical for any worker
-//!   count**;
+//! * [`Campaign`] — expands grids and Monte-Carlo seed sweeps into a
+//!   canonical run list and executes it across `std::thread` workers in
+//!   **canonical chunks** ([`aggregate`]).  Every run's RNG seed is derived
+//!   from the campaign seed and the run's canonical coordinates
+//!   ([`derive_run_seed`]); each chunk reduces into per-point streaming
+//!   aggregates and chunk partials merge in canonical order, so a campaign's
+//!   [`CampaignReport`] is **bit-identical for any worker count** while peak
+//!   memory stays O(points × chunks-in-flight) — a 10⁶-run campaign
+//!   aggregates in the same footprint as a 10³-run one;
+//! * [`RunSink`] / [`JsonlRunWriter`] — optional per-run artifact streaming
+//!   in canonical run order, and [`Campaign::reduce_records`] to re-aggregate
+//!   a captured stream bit-identically;
 //! * [`CampaignReport`] — per-parameter-point aggregates (mean/std-dev via
-//!   `OnlineStats`, p50/p95/p99 via `BucketHistogram`), serialisable to JSON
-//!   and aligned-text tables.
+//!   `OnlineStats`; p50/p95/p99 exact for small sweeps, streamed through
+//!   pre-agreed-range `BucketHistogram`s beyond — see
+//!   [`Scenario::metric_range`]), serialisable to JSON and aligned-text
+//!   tables.
 //!
 //! ## Quick tour
 //!
@@ -47,17 +55,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod campaign;
 pub mod grid;
 pub mod json;
 pub mod registry;
 pub mod report;
 pub mod scenario;
+pub mod sink;
 pub mod spec;
 
-pub use campaign::{derive_run_seed, Campaign, CampaignEntry};
+pub use aggregate::DEFAULT_CHUNK_SIZE;
+pub use campaign::{derive_run_seed, Campaign, CampaignEntry, RunnerStats};
 pub use grid::ParamGrid;
 pub use registry::{builtin_registry, ScenarioRegistry};
 pub use report::{CampaignReport, MetricSummary, PointReport};
 pub use scenario::{RunRecord, Scenario};
+pub use sink::{JsonlRunWriter, RunMeta, RunSink};
 pub use spec::{ParamValue, ScenarioSpec};

@@ -121,19 +121,6 @@ impl PointReport {
         params_label(&self.params)
     }
 
-    fn params_json(&self) -> String {
-        let mut o = ObjectWriter::new();
-        for (k, v) in &self.params {
-            match v {
-                ParamValue::Int(i) => o.i64(k, *i),
-                ParamValue::Float(f) => o.f64(k, *f),
-                ParamValue::Bool(b) => o.bool(k, *b),
-                ParamValue::Text(s) => o.string(k, s),
-            };
-        }
-        o.finish()
-    }
-
     fn to_json(&self) -> String {
         let mut metrics = ObjectWriter::new();
         for (name, summary) in &self.metrics {
@@ -141,7 +128,7 @@ impl PointReport {
         }
         let mut o = ObjectWriter::new();
         o.string("scenario", &self.scenario)
-            .raw("params", &self.params_json())
+            .raw("params", &crate::spec::params_json(&self.params))
             .u64("runs", self.runs)
             .u64("suspect_runs", self.suspect_runs)
             .raw("metrics", &metrics.finish());

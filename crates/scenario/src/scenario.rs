@@ -77,6 +77,27 @@ pub trait Scenario: Send + Sync {
 
     /// Runs one instance described by `spec` and returns its metrics.
     fn run(&self, spec: &ScenarioSpec) -> RunRecord;
+
+    /// The pre-agreed `(lo, hi)` aggregation range of a metric, if the family
+    /// declares one.
+    ///
+    /// With a declared range, campaign quantiles for the metric stream
+    /// through a fixed-bucket histogram from the first sample — O(1) memory
+    /// per (point, metric) no matter how many runs — at the cost of
+    /// one-bucket quantile resolution even for small sweeps.  Without one,
+    /// quantiles are exact up to
+    /// [`QUANTILE_EXACT_LIMIT`](crate::report::QUANTILE_EXACT_LIMIT) samples
+    /// and switch to a range derived from that prefix beyond it.  Declare
+    /// ranges for continuous metrics with known scales (latencies, delays,
+    /// ratios measured against a bound); leave 0/1 flag metrics undeclared so
+    /// small sweeps report only values that actually occurred.
+    ///
+    /// The declaration must be a pure function of the metric name — the
+    /// bounded-memory merge relies on every chunk agreeing on it.
+    fn metric_range(&self, metric: &str) -> Option<(f64, f64)> {
+        let _ = metric;
+        None
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,165 @@
+//! Per-run artifact streaming.
+//!
+//! Chunked aggregation means the campaign runner never retains raw
+//! [`RunRecord`]s — which is exactly what makes million-run campaigns fit in
+//! memory, but also means the raw records are gone unless captured on the
+//! way through.  A [`RunSink`] receives every run **in canonical run order**
+//! (the runner buffers at most the chunks currently in flight to restore
+//! order), so downstream tooling sees a deterministic stream regardless of
+//! the worker count.  [`JsonlRunWriter`] is the ready-made sink: one JSON
+//! object per line, parseable by any JSONL consumer, and re-aggregatable with
+//! [`Campaign::reduce_records`](crate::Campaign::reduce_records).
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+use crate::json::ObjectWriter;
+use crate::scenario::RunRecord;
+use crate::spec::{params_json, ParamValue};
+
+/// The canonical coordinates and derived identity of one campaign run,
+/// handed to a [`RunSink`] alongside the run's record.
+#[derive(Debug, Clone, Copy)]
+pub struct RunMeta<'a> {
+    /// Global run index in the canonical work list.
+    pub run_index: u64,
+    /// Index of the run's parameter point in the flattened point list.
+    pub point: usize,
+    /// The scenario family name.
+    pub scenario: &'a str,
+    /// The run's parameter point.
+    pub params: &'a BTreeMap<String, ParamValue>,
+    /// Monte-Carlo replication index within the point.
+    pub replication: u64,
+    /// The derived per-run RNG seed.
+    pub seed: u64,
+}
+
+/// A consumer of per-run artifacts, called in canonical run order.
+pub trait RunSink {
+    /// Receives one run.  Runs arrive strictly in canonical order
+    /// (`meta.run_index` is increasing) for any worker count.
+    fn on_run(&mut self, meta: &RunMeta<'_>, record: &RunRecord);
+}
+
+impl<F: FnMut(&RunMeta<'_>, &RunRecord)> RunSink for F {
+    fn on_run(&mut self, meta: &RunMeta<'_>, record: &RunRecord) {
+        self(meta, record)
+    }
+}
+
+/// A [`RunSink`] writing one JSON object per run (JSON Lines).
+///
+/// Each line carries the canonical coordinates, the derived seed, the
+/// causality-clamp count and the full metric map:
+///
+/// ```text
+/// {"run":0,"scenario":"echo","point":0,"replication":0,"seed":42,"clamped_schedules":0,"params":{},"metrics":{"x":1.5}}
+/// ```
+#[derive(Debug)]
+pub struct JsonlRunWriter<W: Write> {
+    out: W,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlRunWriter<W> {
+    /// Creates a writer over any `io::Write` (a file, a buffer, a pipe).
+    pub fn new(out: W) -> Self {
+        JsonlRunWriter { out, written: 0, error: None }
+    }
+
+    /// Number of lines written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the underlying writer, or the first I/O error the
+    /// streaming callbacks (which cannot fail) had to defer.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> RunSink for JsonlRunWriter<W> {
+    fn on_run(&mut self, meta: &RunMeta<'_>, record: &RunRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut metrics = ObjectWriter::new();
+        for (name, value) in record.metrics() {
+            metrics.f64(name, *value);
+        }
+        let mut line = ObjectWriter::new();
+        line.u64("run", meta.run_index)
+            .string("scenario", meta.scenario)
+            .u64("point", meta.point as u64)
+            .u64("replication", meta.replication)
+            .u64("seed", meta.seed)
+            .u64("clamped_schedules", record.clamped_schedules)
+            .raw("params", &params_json(meta.params))
+            .raw("metrics", &metrics.finish());
+        if let Err(error) = writeln!(self.out, "{}", line.finish()) {
+            self.error = Some(error);
+        } else {
+            self.written += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_writer_emits_one_parseable_line_per_run() {
+        let mut params = BTreeMap::new();
+        params.insert("mode".to_string(), ParamValue::Text("kernel".into()));
+        let mut record = RunRecord::new();
+        record.set("x", 1.5);
+        record.set_flag("ok", true);
+        let mut writer = JsonlRunWriter::new(Vec::new());
+        for run in 0..3u64 {
+            let meta = RunMeta {
+                run_index: run,
+                point: 0,
+                scenario: "demo",
+                params: &params,
+                replication: run,
+                seed: 100 + run,
+            };
+            writer.on_run(&meta, &record);
+        }
+        assert_eq!(writer.written(), 3);
+        let bytes = writer.finish().expect("in-memory writes cannot fail");
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with(r#"{"run":0,"scenario":"demo""#));
+        assert!(lines[2].contains(r#""seed":102"#));
+        assert!(lines[0].contains(r#""params":{"mode":"kernel"}"#));
+        assert!(lines[0].contains(r#""metrics":{"ok":1,"x":1.5}"#));
+    }
+
+    #[test]
+    fn closures_are_sinks() {
+        let mut seen = Vec::new();
+        let mut sink = |meta: &RunMeta<'_>, _record: &RunRecord| seen.push(meta.run_index);
+        let params = BTreeMap::new();
+        let record = RunRecord::new();
+        let meta = RunMeta {
+            run_index: 7,
+            point: 0,
+            scenario: "s",
+            params: &params,
+            replication: 0,
+            seed: 1,
+        };
+        RunSink::on_run(&mut sink, &meta, &record);
+        assert_eq!(seen, vec![7]);
+    }
+}

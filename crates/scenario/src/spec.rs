@@ -284,6 +284,20 @@ pub fn params_label(params: &BTreeMap<String, ParamValue>) -> String {
     params.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(", ")
 }
 
+/// Renders a parameter map as a JSON object in key order.
+pub(crate) fn params_json(params: &BTreeMap<String, ParamValue>) -> String {
+    let mut o = crate::json::ObjectWriter::new();
+    for (k, v) in params {
+        match v {
+            ParamValue::Int(i) => o.i64(k, *i),
+            ParamValue::Float(f) => o.f64(k, *f),
+            ParamValue::Bool(b) => o.bool(k, *b),
+            ParamValue::Text(s) => o.string(k, s),
+        };
+    }
+    o.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

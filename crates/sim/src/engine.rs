@@ -27,18 +27,20 @@ fn clamp_to_now(now: SimTime, time: SimTime, clamped: &mut u64) -> SimTime {
 /// Scheduling handle passed to the event handler of an [`Engine`].
 ///
 /// The handler cannot touch the engine directly (it is being iterated), so new
-/// events are staged in the context and merged after the handler returns.
+/// events are staged in the context and merged after the handler returns.  The
+/// staging buffer is owned by the engine and reused across events, so steady
+/// -state event handling allocates nothing.
 #[derive(Debug)]
-pub struct Context<E> {
+pub struct Context<'a, E> {
     now: SimTime,
-    staged: Vec<(SimTime, E)>,
+    staged: &'a mut Vec<(SimTime, E)>,
     stop_requested: bool,
     clamped: u64,
 }
 
-impl<E> Context<E> {
-    fn new(now: SimTime) -> Self {
-        Context { now, staged: Vec::new(), stop_requested: false, clamped: 0 }
+impl<'a, E> Context<'a, E> {
+    fn new(now: SimTime, staged: &'a mut Vec<(SimTime, E)>) -> Self {
+        Context { now, staged, stop_requested: false, clamped: 0 }
     }
 
     /// The current simulation time (the firing time of the event being handled).
@@ -79,12 +81,21 @@ pub struct Engine<S, E> {
     now: SimTime,
     processed: u64,
     clamped: u64,
+    /// Reusable staging buffer lent to the per-event [`Context`].
+    staged: Vec<(SimTime, E)>,
 }
 
 impl<S, E> Engine<S, E> {
     /// Creates an engine at time zero with the given initial state.
     pub fn new(state: S) -> Self {
-        Engine { state, queue: EventQueue::new(), now: SimTime::ZERO, processed: 0, clamped: 0 }
+        Engine {
+            state,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+            clamped: 0,
+            staged: Vec::new(),
+        }
     }
 
     /// Current simulation time.
@@ -140,7 +151,7 @@ impl<S, E> Engine<S, E> {
 
     /// Runs until the queue is empty or a handler calls [`Context::stop`].
     /// Returns the number of events processed by this call.
-    pub fn run(&mut self, mut handler: impl FnMut(&mut S, &mut Context<E>, E)) -> u64 {
+    pub fn run(&mut self, mut handler: impl FnMut(&mut S, &mut Context<'_, E>, E)) -> u64 {
         self.run_inner(SimTime::MAX, &mut handler)
     }
 
@@ -150,7 +161,7 @@ impl<S, E> Engine<S, E> {
     pub fn run_until(
         &mut self,
         deadline: SimTime,
-        mut handler: impl FnMut(&mut S, &mut Context<E>, E),
+        mut handler: impl FnMut(&mut S, &mut Context<'_, E>, E),
     ) -> u64 {
         let n = self.run_inner(deadline, &mut handler);
         if self.now < deadline && deadline != SimTime::MAX {
@@ -162,20 +173,21 @@ impl<S, E> Engine<S, E> {
     fn run_inner(
         &mut self,
         deadline: SimTime,
-        handler: &mut impl FnMut(&mut S, &mut Context<E>, E),
+        handler: &mut impl FnMut(&mut S, &mut Context<'_, E>, E),
     ) -> u64 {
         let mut count = 0;
         while let Some((t, ev)) = self.queue.pop_until(deadline) {
             self.now = t;
-            let mut ctx = Context::new(t);
+            let mut ctx = Context::new(t, &mut self.staged);
             handler(&mut self.state, &mut ctx, ev);
-            for (time, event) in ctx.staged.drain(..) {
+            let (stop, clamped) = (ctx.stop_requested, ctx.clamped);
+            for (time, event) in self.staged.drain(..) {
                 self.queue.schedule(time, event);
             }
-            self.clamped += ctx.clamped;
+            self.clamped += clamped;
             self.processed += 1;
             count += 1;
-            if ctx.stop_requested {
+            if stop {
                 break;
             }
         }

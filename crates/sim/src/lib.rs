@@ -52,7 +52,7 @@ pub mod table;
 pub mod time;
 
 pub use engine::{Context, Engine, FixedStepSim};
-pub use events::EventQueue;
+pub use events::{EventQueue, HeapEventQueue};
 pub use geometry::{Vec2, Vec3};
 pub use rng::{splitmix64, Rng};
 pub use stats::{BucketHistogram, Counter, Histogram, OnlineStats, TimeSeries};

@@ -4,18 +4,24 @@
 //! the randomized platoon fault campaign (generalising bench e15), the
 //! intersection with a mid-run infrastructure-light failure, and the
 //! event-channel QoS stack — expands it into 210 runs, executes it twice
-//! (single-threaded and on all cores), verifies the two reports are
-//! **bit-identical**, and prints the aggregates as tables and JSON.
+//! (single-threaded and on all cores, with a deliberately small canonical
+//! chunk size so several chunk merges happen), verifies the two reports are
+//! **bit-identical**, streams every raw record through a JSONL sink, and
+//! prints the aggregates as tables and JSON.
 //!
 //! Run with: `cargo run --release --example campaign`
 
 use std::time::Instant;
 
-use karyon::scenario::{builtin_registry, Campaign, CampaignEntry, ParamGrid};
+use karyon::scenario::{builtin_registry, Campaign, CampaignEntry, JsonlRunWriter, ParamGrid};
 use karyon::sim::SimDuration;
 
 fn build_campaign() -> Campaign {
     Campaign::new("mixed-fault-campaign", 2_026)
+        // A small canonical chunk so this demo exercises the chunked
+        // aggregation path (210 runs → 14 chunk merges); real campaigns
+        // keep the 4096-run default.
+        .with_chunk_size(16)
         // 1. Randomized sensor-fault + V2V-outage injection into the platoon,
         //    per control strategy (the e15 experiment, 30 seeds per strategy).
         .entry(
@@ -56,16 +62,18 @@ fn main() {
         3
     );
 
-    // Reference execution on one worker, then the parallel execution.
+    // Reference execution on one worker, then the parallel execution with a
+    // JSONL sink capturing every raw record in canonical run order.
     let t0 = Instant::now();
     let serial = campaign.clone().with_threads(1).run(&registry).expect("builtin families");
     let serial_elapsed = t0.elapsed();
+    let mut jsonl = JsonlRunWriter::new(Vec::new());
     let t1 = Instant::now();
-    let parallel = campaign.run(&registry).expect("builtin families");
+    let parallel = campaign.run_with_sink(&registry, &mut jsonl).expect("builtin families");
     let parallel_elapsed = t1.elapsed();
 
-    // The determinism contract of the runner: same campaign seed ⇒ the same
-    // report, bit for bit, regardless of worker count.
+    // The determinism contract of the runner: same campaign seed and chunk
+    // size ⇒ the same report, bit for bit, regardless of worker count.
     assert_eq!(serial, parallel, "reports must not depend on the worker count");
     assert_eq!(serial.to_json(), parallel.to_json());
     println!(
@@ -73,6 +81,18 @@ fn main() {
          ({} runs, serial {:.2?}, parallel {:.2?})\n",
         parallel.total_runs, serial_elapsed, parallel_elapsed
     );
+    assert_eq!(jsonl.written(), parallel.total_runs);
+    let artifact = jsonl.finish().expect("in-memory writes cannot fail");
+    println!(
+        "per-run artifact stream: {} JSONL lines, {} bytes (aggregation itself retained no \
+         records)\n",
+        parallel.total_runs,
+        artifact.len()
+    );
+
+    // Clamp audit (ROADMAP): no builtin model relies on past-time schedule
+    // clamping — every run of this campaign must be causality-clean.
+    assert_eq!(parallel.suspect_runs(), 0, "no model may schedule into the past");
 
     // Aligned-text views: the headline safety metrics per family.
     parallel.metric_table("collision").print();

@@ -7,7 +7,7 @@ use karyon::net::end_to_end::{eventually_fifo, E2EConfig, EndToEndSession};
 use karyon::sensors::abstract_sensor::combine_outcomes;
 use karyon::sensors::detectors::{DetectionOutcome, DetectorClass};
 use karyon::sensors::{marzullo_fuse, weighted_fuse, Interval, Measurement, Validity};
-use karyon::sim::{EventQueue, Rng, SimTime};
+use karyon::sim::{EventQueue, HeapEventQueue, Rng, SimDuration, SimTime};
 
 proptest! {
     /// The event queue always pops events in non-decreasing time order,
@@ -26,6 +26,55 @@ proptest! {
             popped += 1;
         }
         prop_assert_eq!(popped, times.len());
+    }
+
+    /// The calendar queue pops in exactly the same order as the `BinaryHeap`
+    /// baseline — including FIFO ties and far-future events crossing the
+    /// overflow/rebase and adaptive-resize paths — under random interleaved
+    /// schedule/pop workloads.
+    #[test]
+    fn calendar_queue_matches_heap_queue_exactly(
+        seed in any::<u64>(),
+        ops in 50usize..400,
+        pop_bias in 1u64..4,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let mut calendar: EventQueue<u64> = EventQueue::new();
+        let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+        let mut payload = 0u64;
+        let mut last_popped = SimTime::ZERO;
+        for _ in 0..ops {
+            if rng.range_u64(0, 3) < pop_bias {
+                let expected = heap.pop();
+                prop_assert_eq!(calendar.pop(), expected);
+                if let Some((t, _)) = expected {
+                    last_popped = t;
+                }
+            } else {
+                // Times relative to the pop frontier: ties, near, beyond the
+                // wheel window, and deep overflow jumps.
+                let delta = match rng.range_u64(0, 9) {
+                    0..=3 => rng.range_u64(0, 2),
+                    4..=6 => rng.range_u64(10, 5_000),
+                    7 => rng.range_u64(600_000, 5_000_000),
+                    _ => rng.range_u64(1_000_000_000, 30_000_000_000),
+                };
+                let t = last_popped + SimDuration::from_micros(delta);
+                calendar.schedule(t, payload);
+                heap.schedule(t, payload);
+                payload += 1;
+            }
+            prop_assert_eq!(calendar.len(), heap.len());
+            prop_assert_eq!(calendar.next_time(), heap.next_time());
+        }
+        loop {
+            let expected = heap.pop();
+            prop_assert_eq!(calendar.pop(), expected);
+            if expected.is_none() {
+                break;
+            }
+        }
+        prop_assert!(calendar.is_empty());
     }
 
     /// Validity is always clamped into [0, 1] and combination never exceeds

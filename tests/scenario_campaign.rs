@@ -1,13 +1,81 @@
 //! Integration and property tests for the `karyon-scenario` orchestration
-//! subsystem: campaign determinism across worker counts, grid expansion and
-//! histogram quantile behaviour.
+//! subsystem: campaign determinism across worker counts and chunk sizes,
+//! chunked-vs-retained aggregation equivalence, streaming sinks, grid
+//! expansion and histogram quantile behaviour.
+
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use karyon::scenario::{
-    builtin_registry, derive_run_seed, Campaign, CampaignEntry, ParamGrid, ScenarioSpec,
+    builtin_registry, derive_run_seed, Campaign, CampaignEntry, JsonlRunWriter, ParamGrid,
+    RunRecord, Scenario, ScenarioRegistry, ScenarioSpec,
 };
-use karyon::sim::BucketHistogram;
+use karyon::sim::{splitmix64, BucketHistogram};
+
+/// A cheap deterministic scenario with pseudo-random metrics: adversarial
+/// input for the reduction (mixed magnitudes, an occasionally-absent metric
+/// and an occasional NaN) at negligible per-run cost.
+struct Noise;
+
+impl Scenario for Noise {
+    fn name(&self) -> &str {
+        "noise"
+    }
+
+    fn metric_range(&self, metric: &str) -> Option<(f64, f64)> {
+        match metric {
+            "ranged" => Some((0.0, 1.0)),
+            _ => None,
+        }
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        let mut state = spec.seed;
+        let a = splitmix64(&mut state);
+        let b = splitmix64(&mut state);
+        let mut record = RunRecord::new();
+        record.set("ranged", (a >> 11) as f64 / (1u64 << 53) as f64);
+        record.set("wild", ((b % 10_000) as f64 - 5_000.0) * spec.f64_or("scale", 1.0));
+        if a % 5 == 0 {
+            record.set("sometimes", (a % 97) as f64);
+        }
+        if b % 31 == 0 {
+            record.set("broken", f64::NAN);
+        }
+        record
+    }
+}
+
+fn noise_registry() -> ScenarioRegistry {
+    let mut registry = ScenarioRegistry::new();
+    registry.register(Arc::new(Noise));
+    registry
+}
+
+/// Retains every run's record by executing the scenario *directly* — no
+/// campaign runner involved — in canonical (point, replication) order, for a
+/// single-entry campaign over the `scale` axis.
+fn retained_records(
+    registry: &ScenarioRegistry,
+    campaign_seed: u64,
+    scales: &[f64],
+    replications: u64,
+) -> Vec<RunRecord> {
+    let noise = registry.get("noise").expect("registered");
+    let mut records = Vec::new();
+    for (point, scale) in scales.iter().enumerate() {
+        for rep in 0..replications {
+            let spec = ScenarioSpec::new("noise").with("scale", *scale).with_seed(derive_run_seed(
+                campaign_seed,
+                point as u64,
+                rep,
+            ));
+            records.push(noise.run(&spec));
+        }
+    }
+    records
+}
 
 /// The flagship guarantee: a campaign's aggregated report is bit-identical
 /// for 1-thread and N-thread execution with the same campaign seed.
@@ -117,6 +185,58 @@ proptest! {
             "bucketed {} vs exact {} (width {})", hist.quantile(q), exact, width);
     }
 
+    /// The flagship bounded-memory guarantee: the streaming chunked runner
+    /// is **bit-identical** to the retained-record reduction (retain every
+    /// record, then reduce) for any worker count and chunk size — including
+    /// chunk sizes that cut through parameter points and force the exact
+    /// quantile buffers to spill mid-merge.
+    #[test]
+    fn chunked_aggregation_matches_retained_reduction(
+        campaign_seed in 0u64..100_000,
+        axis_len in 1usize..4,
+        replications in 1u64..40,
+        chunk_size in 1usize..50,
+        threads in 1usize..6,
+    ) {
+        let registry = noise_registry();
+        let scales: Vec<f64> = (0..axis_len).map(|i| 1.0 + i as f64).collect();
+        let campaign = Campaign::new("equiv", campaign_seed)
+            .with_chunk_size(chunk_size)
+            .entry(
+                CampaignEntry::new("noise")
+                    .grid(ParamGrid::new().axis("scale", scales.clone()))
+                    .replications(replications),
+            );
+        let records = retained_records(&registry, campaign_seed, &scales, replications);
+        let retained = campaign.reduce_records(&registry, &records).expect("count matches");
+        let streamed =
+            campaign.with_threads(threads).run(&registry).expect("noise is registered");
+        prop_assert_eq!(&streamed, &retained);
+        prop_assert_eq!(streamed.to_json(), retained.to_json());
+    }
+
+    /// The JSONL sink writes one line per run, in canonical order, for any
+    /// worker count.
+    #[test]
+    fn jsonl_sink_captures_every_run(threads in 1usize..5, replications in 1u64..30) {
+        let registry = noise_registry();
+        let mut writer = JsonlRunWriter::new(Vec::new());
+        let report = Campaign::new("jsonl", 11)
+            .with_threads(threads)
+            .with_chunk_size(7)
+            .entry(CampaignEntry::new("noise").replications(replications))
+            .run_with_sink(&registry, &mut writer)
+            .expect("noise is registered");
+        prop_assert_eq!(writer.written(), report.total_runs);
+        let bytes = writer.finish().expect("in-memory writes cannot fail");
+        let text = String::from_utf8(bytes).unwrap();
+        for (i, line) in text.lines().enumerate() {
+            prop_assert!(line.starts_with(&format!("{{\"run\":{i},\"scenario\":\"noise\"")));
+            prop_assert!(line.ends_with('}'));
+        }
+        prop_assert_eq!(text.lines().count() as u64, report.total_runs);
+    }
+
     /// The trivial single-run campaign equals running the scenario directly:
     /// the runner adds orchestration, never different semantics.
     #[test]
@@ -139,4 +259,50 @@ proptest! {
             prop_assert_eq!(summary.p99, *value);
         }
     }
+}
+
+/// Bounded memory at scale: a sweep far past the exact-quantile limit forces
+/// the per-metric buffers to spill into derived-range histograms, while the
+/// report stays bit-identical across worker counts and equal to the
+/// retained-record replay — and the runner itself retains no records.
+#[test]
+fn large_sweep_spills_and_stays_deterministic() {
+    let registry = noise_registry();
+    let replications = 20_000u64;
+    let build =
+        || Campaign::new("spill", 31).entry(CampaignEntry::new("noise").replications(replications));
+    let (one, stats) =
+        build().with_threads(1).run_instrumented(&registry, None).expect("noise is registered");
+    assert_eq!(stats.peak_resident_records, 0, "no sink, no retained records");
+    let four = build().with_threads(4).run(&registry).expect("noise is registered");
+    assert_eq!(one, four);
+    let records = retained_records(&registry, 31, &[1.0], replications);
+    // The single no-grid point aggregates identically from retained records.
+    let replayed = Campaign::new("spill", 31)
+        .entry(CampaignEntry::new("noise").replications(replications))
+        .reduce_records(&registry, &records)
+        .expect("count matches");
+    assert_eq!(one, replayed);
+    let wild = &one.points[0].metrics["wild"];
+    assert_eq!(wild.count, replications, "every run reports the undeclared metric");
+    assert!(wild.p95 > wild.p50, "spilled quantiles keep their ordering");
+}
+
+/// Regression: chunk sizes larger than the exact-quantile limit (4096) must
+/// aggregate cleanly — chunk partials may each hold more retained samples
+/// than the limit, and the spill to a derived-range histogram happens only
+/// at canonical merge time (a chunk-local spill would derive unmergeable
+/// per-chunk ranges).
+#[test]
+fn oversized_chunk_sizes_aggregate_cleanly() {
+    let registry = noise_registry();
+    let build = || {
+        Campaign::new("big-chunks", 13)
+            .with_chunk_size(8_192)
+            .entry(CampaignEntry::new("noise").replications(20_000))
+    };
+    let one = build().with_threads(1).run(&registry).expect("noise is registered");
+    let four = build().with_threads(4).run(&registry).expect("noise is registered");
+    assert_eq!(one, four);
+    assert_eq!(one.points[0].metrics["wild"].count, 20_000);
 }
