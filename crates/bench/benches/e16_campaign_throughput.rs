@@ -14,7 +14,12 @@
 //!    runs/sec, serial-vs-parallel bit-identity, and the peak number of
 //!    resident records, which must be bounded by `chunk size × in-flight
 //!    window`, never by the run count.
-//! 3. **Mixed campaign** — a multi-family sweep exercising the net stack
+//! 3. **Checkpoint overhead** — the volume campaign re-run with crash-safe
+//!    checkpointing at every canonical chunk (the most aggressive cadence):
+//!    runs/sec against the uncheckpointed baseline plus the manifest size,
+//!    quantifying what resumability costs on a worst-case (near-zero-work)
+//!    scenario.
+//! 4. **Mixed campaign** — a multi-family sweep exercising the net stack
 //!    (`tdma`, `inaccessibility`), the middleware QoS channel and the
 //!    vehicle platoon, i.e. real simulation work per run.
 //!
@@ -24,8 +29,8 @@ use std::time::Instant;
 
 use karyon_scenario::json::ObjectWriter;
 use karyon_scenario::{
-    builtin_registry, Campaign, CampaignEntry, ParamGrid, RunRecord, RunSink, Scenario,
-    ScenarioSpec,
+    builtin_registry, Campaign, CampaignEntry, CampaignOutcome, Checkpointer, ParamGrid, RunRecord,
+    RunSink, Scenario, ScenarioSpec,
 };
 use karyon_sim::table::fmt3;
 use karyon_sim::{splitmix64, EventQueue, HeapEventQueue, Rng, SimDuration, SimTime, Table};
@@ -128,8 +133,7 @@ fn mixed_campaign(replications: u64) -> Campaign {
 }
 
 fn main() {
-    let quick = std::env::var("E16_QUICK").is_ok_and(|v| v != "0")
-        || std::env::args().any(|a| a == "--quick");
+    let quick = karyon_bench::quick_mode("E16_QUICK");
     let registry = {
         let mut r = builtin_registry();
         r.register(std::sync::Arc::new(EchoScenario));
@@ -233,7 +237,53 @@ fn main() {
         stats.workers, total_runs
     );
 
-    // ----- 3. Mixed campaign: real per-run simulation work. --------------
+    // ----- 3. Checkpoint overhead on the volume campaign. ----------------
+    // Worst case by construction: the echo scenario does near-zero work per
+    // run, so every microsecond of manifest serialisation shows up in the
+    // rate.  Real campaigns (measurement 4) amortise it into noise.
+    let ckpt_path =
+        std::env::temp_dir().join(format!("karyon-e16-ckpt-{}.json", std::process::id()));
+    let mut checkpointer = Checkpointer::new(&ckpt_path).every_chunks(1);
+    // Same sink as the plain parallel run, so the delta is checkpointing
+    // alone (serialisation + atomic write), not sink bookkeeping.
+    let mut ckpt_sink = CountingSink { runs: 0 };
+    let ckpt_start = Instant::now();
+    let (ckpt_outcome, ckpt_stats) = campaign
+        .clone()
+        .with_threads(parallel_threads)
+        .run_checkpointed(&registry, &mut checkpointer, Some(&mut ckpt_sink))
+        .expect("echo is registered");
+    let ckpt_elapsed = ckpt_start.elapsed();
+    let CampaignOutcome::Complete(ckpt_report) = ckpt_outcome else {
+        panic!("an unbounded checkpointed session completes");
+    };
+    assert_eq!(ckpt_report, parallel, "checkpointing must not perturb the report in any bit");
+    let manifest_bytes = std::fs::metadata(&ckpt_path).map(|m| m.len()).unwrap_or(0);
+    std::fs::remove_file(&ckpt_path).ok();
+    let ckpt_rate = total_runs as f64 / ckpt_elapsed.as_secs_f64();
+    let ckpt_relative = ckpt_rate / parallel_rate;
+    let mut ckpt_table = Table::new(
+        "E16c — checkpoint overhead (manifest every canonical chunk, worst case)",
+        &[
+            "runs",
+            "checkpoints",
+            "runs/s plain",
+            "runs/s checkpointed",
+            "relative",
+            "manifest bytes",
+        ],
+    );
+    ckpt_table.add_row(&[
+        total_runs.to_string(),
+        ckpt_stats.chunks.to_string(),
+        format!("{parallel_rate:.0}"),
+        format!("{ckpt_rate:.0}"),
+        format!("{ckpt_relative:.2}x"),
+        manifest_bytes.to_string(),
+    ]);
+    ckpt_table.print();
+
+    // ----- 4. Mixed campaign: real per-run simulation work. --------------
     let replications: u64 = if quick { 3 } else { 15 };
     let mixed = mixed_campaign(replications);
     let mixed_runs = mixed.run_count();
@@ -242,7 +292,7 @@ fn main() {
     let mixed_elapsed = mixed_start.elapsed();
     let mixed_rate = mixed_runs as f64 / mixed_elapsed.as_secs_f64();
     println!(
-        "E16c — mixed campaign: {} runs over {} families in {:.2?} ({:.1} runs/s)",
+        "E16d — mixed campaign: {} runs over {} families in {:.2?} ({:.1} runs/s)",
         mixed_runs, 4, mixed_elapsed, mixed_rate
     );
     assert_eq!(mixed_report.total_runs, mixed_runs);
@@ -266,6 +316,14 @@ fn main() {
         .u64("peak_pending_chunks", stats.peak_pending_chunks as u64)
         .bool("bit_identical", true)
         .u64("suspect_runs", parallel.suspect_runs());
+    let mut ckpt_json = ObjectWriter::new();
+    ckpt_json
+        .u64("runs", total_runs)
+        .u64("checkpoints_written", ckpt_stats.chunks)
+        .f64("runs_per_sec", ckpt_rate)
+        .f64("relative_to_plain", ckpt_relative)
+        .u64("manifest_bytes", manifest_bytes)
+        .bool("bit_identical", true);
     let mut mixed_json = ObjectWriter::new();
     mixed_json
         .u64("runs", mixed_runs)
@@ -277,6 +335,7 @@ fn main() {
         .bool("quick", quick)
         .raw("event_queue", &queue_json.finish())
         .raw("volume_campaign", &volume_json.finish())
+        .raw("checkpointing", &ckpt_json.finish())
         .raw("mixed_campaign", &mixed_json.finish());
     let json = root.finish();
     // Anchor at the workspace root regardless of the bench's working

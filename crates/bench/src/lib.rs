@@ -6,7 +6,28 @@
 //! `benches/micro.rs` contains the Criterion micro-benchmarks (safety-kernel
 //! cycle, validity combination, fusion, TDMA slot handling, event publication)
 //! and `benches/e16_campaign_throughput.rs` tracks the experiment pipeline's
-//! own throughput (calendar-queue event core, chunked campaign runner),
-//! emitting `BENCH_campaign.json` at the workspace root.
+//! own throughput (calendar-queue event core, chunked campaign runner,
+//! checkpoint overhead), emitting `BENCH_campaign.json` at the workspace
+//! root.
+//!
+//! Harnesses honour a "quick mode" (~10× smaller workloads) so CI smoke jobs
+//! stay fast; [`quick_mode`] is the shared switch:
+//!
+//! ```
+//! std::env::set_var("DOCTEST_QUICK", "1");
+//! assert!(karyon_bench::quick_mode("DOCTEST_QUICK"));
+//! std::env::set_var("DOCTEST_QUICK", "0");
+//! assert!(!karyon_bench::quick_mode("DOCTEST_QUICK"));
+//! std::env::remove_var("DOCTEST_QUICK");
+//! assert!(!karyon_bench::quick_mode("DOCTEST_QUICK"));
+//! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// True when the harness should run its ~10× smaller "quick" workload:
+/// either `env_var` is set to anything but `"0"` (how CI invokes the
+/// benches, e.g. `E16_QUICK=1`) or `--quick` was passed on the command line.
+pub fn quick_mode(env_var: &str) -> bool {
+    std::env::var(env_var).is_ok_and(|v| v != "0") || std::env::args().any(|a| a == "--quick")
+}

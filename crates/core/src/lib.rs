@@ -24,6 +24,26 @@
 //! * [`environment`] — the run-time environment model and hidden channels:
 //!   relating networked announcements to locally observed physics, so unsafe
 //!   states are detectable even when the network is down (§II-B).
+//!
+//! ## Quick tour
+//!
+//! Levels of Service order the system's operating modes: level 0 is the
+//! always-safe non-cooperative mode the kernel can fall back to without any
+//! external component:
+//!
+//! ```
+//! use karyon_core::LevelOfService;
+//!
+//! let cooperative = LevelOfService(2);
+//! assert!(!cooperative.is_non_cooperative());
+//! let degraded = cooperative.lower();
+//! assert_eq!(degraded, LevelOfService(1));
+//! assert_eq!(
+//!     LevelOfService::NON_COOPERATIVE.lower(),
+//!     LevelOfService::NON_COOPERATIVE,
+//!     "level 0 is the floor — degradation saturates there"
+//! );
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -15,6 +15,28 @@
 //!   routing across heterogeneous network segments (gateway-crossing
 //!   channels get the weakest segment's guarantees), and per-channel
 //!   delivery/deadline statistics.
+//!
+//! ## Quick tour
+//!
+//! A channel is admitted only if the monitored network capability satisfies
+//! its announced QoS requirement — and a channel crossing a gateway gets the
+//! *weakest* segment's guarantees:
+//!
+//! ```
+//! use karyon_middleware::{NetworkCapability, QosRequirement};
+//! use karyon_sim::SimDuration;
+//!
+//! let requirement = QosRequirement {
+//!     max_latency: SimDuration::from_millis(50),
+//!     min_delivery_ratio: 0.9,
+//!     max_rate: 10.0,
+//! };
+//! let nominal = NetworkCapability::wireless_nominal();
+//! assert!(nominal.satisfies(&requirement, 0.0));
+//! // Crossing into a degraded segment inherits the weaker guarantees.
+//! let end_to_end = nominal.combine_worst(&NetworkCapability::wireless_degraded());
+//! assert!(!end_to_end.satisfies(&requirement, 0.0));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

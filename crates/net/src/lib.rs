@@ -19,6 +19,28 @@
 //!   omitting, duplicating, reordering, bounded-capacity channel,
 //! * [`topology`] — topology discovery and the 2f+1 vertex-disjoint-path
 //!   analysis needed for Byzantine-resilient dissemination (§V-C).
+//!
+//! ## Quick tour
+//!
+//! *Network inaccessibility* — periods in which the network gives no service
+//! although it is not considered failed — is the paper's central
+//! communication hazard; the tracker turns per-slot observations into the
+//! period statistics the experiments report:
+//!
+//! ```
+//! use karyon_net::InaccessibilityTracker;
+//! use karyon_sim::SimTime;
+//!
+//! let mut tracker = InaccessibilityTracker::new();
+//! for ms in 0u64..10 {
+//!     // Jammed from t = 2 ms to t = 6 ms.
+//!     tracker.observe((2..6).contains(&ms), SimTime::from_millis(ms));
+//! }
+//! tracker.finish(SimTime::from_millis(10));
+//! assert_eq!(tracker.count(), 1, "one contiguous inaccessibility period");
+//! assert_eq!(tracker.total().as_millis(), 4);
+//! assert_eq!(tracker.longest().as_millis(), 4);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -10,7 +10,8 @@
 //! merged into the campaign totals *in canonical chunk order*.  The resulting
 //! sequence of floating-point operations depends only on the run values and
 //! the chunk size — never on which worker ran what — so any worker count
-//! (and the retained-record replay of [`Campaign::reduce_records`]) produces
+//! (and the retained-record replay of
+//! [`Campaign::reduce_records`](crate::Campaign::reduce_records)) produces
 //! bit-identical reports, while the runner only ever holds the chunks
 //! currently in flight.
 //!
@@ -44,8 +45,12 @@ pub const DEFAULT_CHUNK_SIZE: usize = 4096;
 const QUANTILE_BUCKETS: usize = 64;
 
 /// Streaming quantile state of one (parameter point, metric) pair.
+///
+/// `pub(crate)` so the [checkpoint module](crate::checkpoint) can persist and
+/// restore it bit-exactly; everything outside the crate only ever sees the
+/// finalised [`MetricSummary`].
 #[derive(Debug, Clone)]
-enum QuantileAcc {
+pub(crate) enum QuantileAcc {
     /// All finite samples so far, in canonical record order.
     Exact(Vec<f64>),
     /// Fixed-bucket histogram (pre-agreed or derived range).
@@ -192,6 +197,18 @@ impl MetricAccumulator {
         }
     }
 
+    /// The raw internal state, for bit-exact checkpoint persistence.
+    pub(crate) fn parts(&self) -> (&OnlineStats, f64, &QuantileAcc) {
+        (&self.stats, self.sum, &self.quantiles)
+    }
+
+    /// Reconstructs an accumulator from persisted [`MetricAccumulator::parts`]
+    /// output.  The round-trip is bit-exact: recording or merging into the
+    /// reconstruction produces the same bits as into the original.
+    pub(crate) fn from_parts(stats: OnlineStats, sum: f64, quantiles: QuantileAcc) -> Self {
+        MetricAccumulator { stats, sum, quantiles }
+    }
+
     /// Number of retained exact samples (0 once bucketed) — the quantity the
     /// bounded-memory contract is about.
     pub fn resident_samples(&self) -> usize {
@@ -292,6 +309,12 @@ impl CampaignAccumulator {
         CampaignAccumulator {
             points: (0..point_count).map(|_| PointAccumulator::default()).collect(),
         }
+    }
+
+    /// Reconstructs an accumulator from per-point partials restored from a
+    /// checkpoint manifest (one entry per parameter point, in point order).
+    pub(crate) fn from_points(points: Vec<PointAccumulator>) -> Self {
+        CampaignAccumulator { points }
     }
 
     /// Merges the next canonical chunk's partials.  Chunks **must** arrive in

@@ -8,7 +8,9 @@ use std::sync::{mpsc, Condvar, Mutex};
 use karyon_sim::{splitmix64, SimDuration};
 
 use crate::aggregate::{CampaignAccumulator, ChunkPartial, DEFAULT_CHUNK_SIZE};
+use crate::checkpoint::{self, Checkpointer};
 use crate::grid::ParamGrid;
+use crate::json::JsonValue;
 use crate::registry::ScenarioRegistry;
 use crate::report::{CampaignReport, PointReport};
 use crate::scenario::{RunRecord, Scenario};
@@ -84,6 +86,67 @@ impl CampaignEntry {
     pub fn run_count(&self) -> u64 {
         self.grid.len() as u64 * self.replications
     }
+
+    /// The scenario family this entry sweeps.
+    pub fn scenario(&self) -> &str {
+        &self.scenario
+    }
+
+    /// Builds an entry from one member of a campaign spec file's `entries`
+    /// array: `{"scenario": "platoon", "replications": 30, "duration_secs":
+    /// 140, "grid": {"mode": ["kernel", "los0"]}}`.  Every field but
+    /// `scenario` is optional; unknown fields are rejected so a typo cannot
+    /// silently configure a different sweep than the file reads.
+    pub fn from_json(value: &JsonValue) -> Result<CampaignEntry, String> {
+        let members = value.as_object().ok_or_else(|| {
+            format!("a campaign entry must be a JSON object, not {}", value.type_name())
+        })?;
+        for (key, _) in members {
+            if !matches!(
+                key.as_str(),
+                "scenario" | "replications" | "duration_secs" | "duration_micros" | "grid"
+            ) {
+                return Err(format!(
+                    "unknown entry field {key:?} (known: scenario, replications, \
+                     duration_secs, duration_micros, grid)"
+                ));
+            }
+        }
+        let scenario = value
+            .get("scenario")
+            .and_then(JsonValue::as_str)
+            .ok_or("an entry needs a string \"scenario\" field")?;
+        let mut entry = CampaignEntry::new(scenario);
+        if let Some(reps) = value.get("replications") {
+            let reps = reps
+                .as_u64()
+                .filter(|n| *n > 0)
+                .ok_or("\"replications\" must be a positive integer")?;
+            entry = entry.replications(reps);
+        }
+        match (value.get("duration_secs"), value.get("duration_micros")) {
+            (Some(_), Some(_)) => {
+                return Err(
+                    "set either \"duration_secs\" or \"duration_micros\", not both".to_string()
+                )
+            }
+            (Some(secs), None) => {
+                let secs =
+                    secs.as_u64().ok_or("\"duration_secs\" must be a non-negative integer")?;
+                entry = entry.duration_secs(secs);
+            }
+            (None, Some(micros)) => {
+                let micros =
+                    micros.as_u64().ok_or("\"duration_micros\" must be a non-negative integer")?;
+                entry = entry.duration(SimDuration::from_micros(micros));
+            }
+            (None, None) => {}
+        }
+        if let Some(grid) = value.get("grid") {
+            entry = entry.grid(ParamGrid::from_json(grid)?);
+        }
+        Ok(entry)
+    }
 }
 
 /// One fully expanded parameter point: the coordinates every run of the point
@@ -109,7 +172,8 @@ struct PointDef {
 pub struct RunnerStats {
     /// Worker threads used.
     pub workers: usize,
-    /// Canonical chunks executed.
+    /// Canonical chunks executed **by this session** (a resumed session
+    /// counts only the chunks past the checkpoint watermark).
     pub chunks: u64,
     /// Peak number of completed chunks held for in-order merging.
     pub peak_pending_chunks: usize,
@@ -117,6 +181,44 @@ pub struct RunnerStats {
     /// processing (0 unless a sink is attached).  Bounded by
     /// `chunk_size × in-flight window`, never by the run count.
     pub peak_resident_records: u64,
+}
+
+/// How a checkpointed campaign session ended: with the full report, or at a
+/// bounded-session boundary with a checkpoint on disk to resume from.
+///
+/// Returned by [`Campaign::run_checkpointed`] and [`Campaign::resume`]; the
+/// plain [`Campaign::run`] family always runs to completion and returns the
+/// report directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignOutcome {
+    /// Every canonical chunk was merged; this is the final report —
+    /// bit-identical to an uninterrupted run's, whatever the session history.
+    Complete(CampaignReport),
+    /// The session hit its
+    /// [bounded work slice](Checkpointer::max_chunks_per_session) with work
+    /// remaining; the checkpoint manifest at the session's end boundary is on
+    /// disk and [`Campaign::resume`] continues from it.
+    Interrupted {
+        /// Canonical chunks merged so far (across all sessions).
+        chunks_done: usize,
+        /// Runs covered by the watermark.
+        runs_done: u64,
+    },
+}
+
+impl CampaignOutcome {
+    /// True when the campaign ran to completion.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, CampaignOutcome::Complete(_))
+    }
+
+    /// The final report, if the campaign completed.
+    pub fn into_report(self) -> Option<CampaignReport> {
+        match self {
+            CampaignOutcome::Complete(report) => Some(report),
+            CampaignOutcome::Interrupted { .. } => None,
+        }
+    }
 }
 
 /// A worker's result for one canonical chunk.
@@ -136,16 +238,19 @@ struct ChunkGate {
 }
 
 impl ChunkGate {
-    fn new() -> Self {
-        ChunkGate { state: Mutex::new((0, 0)), ready: Condvar::new() }
+    /// A gate whose claim and merge frontiers start at chunk `start` (0 for
+    /// a fresh campaign, the checkpoint watermark for a resumed one).
+    fn new(start: usize) -> Self {
+        ChunkGate { state: Mutex::new((start, start)), ready: Condvar::new() }
     }
 
     /// Claims the next chunk, waiting while the window is full.  Returns
-    /// `None` when all chunks are claimed or the campaign is aborting.
-    fn claim(&self, chunks: usize, window: usize, abort: &AtomicBool) -> Option<usize> {
+    /// `None` when all chunks up to `end` are claimed or the campaign is
+    /// aborting.
+    fn claim(&self, end: usize, window: usize, abort: &AtomicBool) -> Option<usize> {
         let mut state = self.state.lock().expect("gate lock");
         loop {
-            if abort.load(Ordering::Relaxed) || state.0 >= chunks {
+            if abort.load(Ordering::Relaxed) || state.0 >= end {
                 return None;
             }
             if state.0 < state.1 + window {
@@ -244,9 +349,158 @@ impl Campaign {
         self.chunk_size
     }
 
+    /// The campaign name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The campaign seed every per-run seed is derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured worker-thread count (0 = machine parallelism).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The campaign's entries, in declaration order.
+    pub fn entries(&self) -> &[CampaignEntry] {
+        &self.entries
+    }
+
     /// Total number of runs the campaign will execute.
     pub fn run_count(&self) -> u64 {
         self.entries.iter().map(CampaignEntry::run_count).sum()
+    }
+
+    /// Number of canonical chunks the campaign partitions into.
+    pub fn canonical_chunks(&self) -> usize {
+        (self.run_count() as usize).div_ceil(self.chunk_size)
+    }
+
+    /// A stable 64-bit fingerprint of everything that determines the
+    /// campaign's canonical run list and reduction: name, seed, chunk size
+    /// and the full entry list (scenario families, replication counts,
+    /// durations, grid axes **in order** with exactly typed values).
+    ///
+    /// The worker-thread count is deliberately excluded — a checkpoint taken
+    /// by a 32-way run resumes fine on a single core.  Checkpoint manifests
+    /// embed the fingerprint and [`Campaign::resume`] refuses one written by
+    /// a different campaign definition, since its partials would be merged
+    /// into the wrong reduction.
+    pub fn fingerprint(&self) -> u64 {
+        use std::fmt::Write as _;
+        let mut text = format!(
+            "karyon-campaign-fingerprint-v1 name={:?} seed={} chunk={}",
+            self.name, self.seed, self.chunk_size
+        );
+        for entry in &self.entries {
+            let _ = write!(
+                text,
+                " entry={:?} reps={} dur={:?}",
+                entry.scenario,
+                entry.replications,
+                entry.duration.map(SimDuration::as_micros)
+            );
+            for (axis, values) in entry.grid.axes() {
+                let _ = write!(text, " axis={axis:?}=[");
+                for value in values {
+                    // Type-tagged so Int(1), Float(1.0) and Text("1") hash
+                    // apart; float identity is the bit pattern.
+                    match value {
+                        ParamValue::Int(i) => {
+                            let _ = write!(text, "i{i},");
+                        }
+                        ParamValue::Float(f) => {
+                            let _ = write!(text, "f{:016x},", f.to_bits());
+                        }
+                        ParamValue::Bool(b) => {
+                            let _ = write!(text, "b{b},");
+                        }
+                        ParamValue::Text(s) => {
+                            let _ = write!(text, "t{s:?},");
+                        }
+                    }
+                }
+                text.push(']');
+            }
+        }
+        fnv1a64(text.as_bytes())
+    }
+
+    /// Builds a campaign from a JSON spec document — the format the
+    /// `karyon-campaign` CLI consumes:
+    ///
+    /// ```
+    /// use karyon_scenario::Campaign;
+    ///
+    /// let campaign = Campaign::from_json_str(r#"{
+    ///     "name": "demo",
+    ///     "seed": 42,
+    ///     "chunk_size": 64,
+    ///     "entries": [
+    ///         {"scenario": "lane-change", "replications": 8,
+    ///          "duration_secs": 30,
+    ///          "grid": {"coordination": ["agreement", "none"]}}
+    ///     ]
+    /// }"#).expect("well-formed spec");
+    /// assert_eq!(campaign.run_count(), 16);
+    /// ```
+    ///
+    /// `chunk_size` and `threads` are optional (defaults: 4096 and machine
+    /// parallelism); `entries` must name at least one scenario family.  Grid
+    /// axes keep their file order, so the spec file pins the canonical run
+    /// order — and with it the [fingerprint](Campaign::fingerprint) —
+    /// exactly as written.
+    pub fn from_json_str(text: &str) -> Result<Campaign, String> {
+        let doc = JsonValue::parse(text)?;
+        let members = doc.as_object().ok_or_else(|| {
+            format!("a campaign spec must be a JSON object, not {}", doc.type_name())
+        })?;
+        for (key, _) in members {
+            if !matches!(key.as_str(), "name" | "seed" | "chunk_size" | "threads" | "entries") {
+                return Err(format!(
+                    "unknown campaign field {key:?} (known: name, seed, chunk_size, threads, \
+                     entries)"
+                ));
+            }
+        }
+        let name = doc
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("a campaign spec needs a string \"name\" field")?;
+        let seed = doc
+            .get("seed")
+            .and_then(JsonValue::as_u64)
+            .ok_or("a campaign spec needs a non-negative integer \"seed\" field")?;
+        let mut campaign = Campaign::new(name, seed);
+        if let Some(chunk) = doc.get("chunk_size") {
+            let chunk = chunk
+                .as_u64()
+                .filter(|n| *n > 0)
+                .ok_or("\"chunk_size\" must be a positive integer")?;
+            campaign = campaign.with_chunk_size(chunk as usize);
+        }
+        if let Some(threads) = doc.get("threads") {
+            let threads = threads
+                .as_u64()
+                .ok_or("\"threads\" must be a non-negative integer (0 = machine parallelism)")?;
+            campaign = campaign.with_threads(threads as usize);
+        }
+        let entries = doc
+            .get("entries")
+            .and_then(JsonValue::as_array)
+            .ok_or("a campaign spec needs an \"entries\" array")?;
+        if entries.is_empty() {
+            return Err("a campaign spec needs at least one entry".to_string());
+        }
+        for (index, entry) in entries.iter().enumerate() {
+            campaign = campaign.entry(
+                CampaignEntry::from_json(entry).map_err(|e| format!("entry #{index}: {e}"))?,
+            );
+        }
+        Ok(campaign)
     }
 
     /// Expands the entries into the flattened parameter-point list.
@@ -308,34 +562,117 @@ impl Campaign {
     pub fn run_instrumented(
         &self,
         registry: &ScenarioRegistry,
-        mut sink: Option<&mut dyn RunSink>,
+        sink: Option<&mut dyn RunSink>,
     ) -> Result<(CampaignReport, RunnerStats), String> {
+        match self.run_from(registry, sink, None, 0, None)? {
+            (CampaignOutcome::Complete(report), stats) => Ok((report, stats)),
+            (CampaignOutcome::Interrupted { .. }, _) => {
+                unreachable!("without a checkpointer the session covers every chunk")
+            }
+        }
+    }
+
+    /// Like [`Campaign::run_instrumented`], additionally persisting a
+    /// [checkpoint manifest](crate::checkpoint) through `ckpt` at its
+    /// configured chunk cadence (and always at the session's final chunk
+    /// boundary), so a killed process can [resume](Campaign::resume) instead
+    /// of restarting.
+    ///
+    /// With a [bounded work slice](Checkpointer::max_chunks_per_session) the
+    /// session may end early, returning
+    /// [`CampaignOutcome::Interrupted`]; otherwise the outcome is
+    /// [`CampaignOutcome::Complete`] with a report bit-identical to
+    /// [`Campaign::run`]'s.  When `sink` streams JSONL artifacts alongside,
+    /// it is flushed before every manifest write so the stream on disk never
+    /// lags the checkpoint.
+    pub fn run_checkpointed(
+        &self,
+        registry: &ScenarioRegistry,
+        ckpt: &mut Checkpointer,
+        sink: Option<&mut dyn RunSink>,
+    ) -> Result<(CampaignOutcome, RunnerStats), String> {
+        self.run_from(registry, sink, Some(ckpt), 0, None)
+    }
+
+    /// Resumes a checkpointed campaign from the manifest at `ckpt`'s path:
+    /// validates the [fingerprint](Campaign::fingerprint) (same name, seed,
+    /// chunk size and entry list — resume with a *different* worker count is
+    /// fine), restores the aggregation state from the persisted partials,
+    /// skips every canonical chunk at or below the watermark and continues
+    /// with live workers.
+    ///
+    /// The final report is **bit-identical** to an uninterrupted run's, for
+    /// any worker count and any interruption point.  A sink attached here
+    /// receives only the runs *after* the watermark; to continue a JSONL
+    /// stream, first cut it back to the manifest's `runs_done` lines with
+    /// [`truncate_jsonl`](crate::checkpoint::truncate_jsonl) and reopen it
+    /// in append mode.  Resuming an already-complete manifest executes
+    /// nothing and re-emits the final report.
+    pub fn resume(
+        &self,
+        registry: &ScenarioRegistry,
+        ckpt: &mut Checkpointer,
+        sink: Option<&mut dyn RunSink>,
+    ) -> Result<(CampaignOutcome, RunnerStats), String> {
+        let manifest = ckpt.load()?;
+        let (points, total_runs) = self.expand_points();
+        manifest.validate_for(self, total_runs, points.len(), self.canonical_chunks())?;
+        let start_chunk = manifest.chunks_done;
+        let accumulator = manifest.into_accumulator();
+        self.run_from(registry, sink, Some(ckpt), start_chunk, Some(accumulator))
+    }
+
+    /// The shared session runner: executes canonical chunks
+    /// `start_chunk..end` (where `end` is the chunk count, or earlier for a
+    /// bounded checkpoint session) on 1..N workers, merging strictly in
+    /// canonical order into `restored` (or a fresh accumulator).
+    fn run_from(
+        &self,
+        registry: &ScenarioRegistry,
+        mut sink: Option<&mut dyn RunSink>,
+        mut ckpt: Option<&mut Checkpointer>,
+        start_chunk: usize,
+        restored: Option<CampaignAccumulator>,
+    ) -> Result<(CampaignOutcome, RunnerStats), String> {
         let (points, total_runs) = self.expand_points();
         let families = self.resolve_families(registry, &points)?;
         let chunks = (total_runs as usize).div_ceil(self.chunk_size);
+        let end_chunk = match &ckpt {
+            Some(c) => c.session_end_chunk(start_chunk, chunks),
+            None => chunks,
+        };
+        let session_chunks = end_chunk - start_chunk;
         let workers = match self.threads {
             0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             n => n,
         }
-        .min(chunks.max(1));
+        .min(session_chunks.max(1));
 
-        let mut accumulator = CampaignAccumulator::new(points.len());
+        let mut accumulator = restored.unwrap_or_else(|| CampaignAccumulator::new(points.len()));
         let mut stats = RunnerStats {
             workers,
-            chunks: chunks as u64,
+            chunks: session_chunks as u64,
             peak_pending_chunks: 0,
             peak_resident_records: 0,
         };
 
         if workers <= 1 {
-            for chunk in 0..chunks {
+            for chunk in start_chunk..end_chunk {
                 let output = self.run_chunk(&points, &families, chunk, sink.is_some(), None)?;
                 stats.peak_pending_chunks = stats.peak_pending_chunks.max(1);
                 stats.peak_resident_records =
                     stats.peak_resident_records.max(output.records.len() as u64);
                 self.merge_chunk(&points, &mut accumulator, output, &mut sink);
+                self.checkpoint_if_due(
+                    &mut ckpt,
+                    &mut sink,
+                    chunk + 1,
+                    end_chunk,
+                    total_runs,
+                    &accumulator,
+                )?;
             }
-            return Ok((self.finish(points, total_runs, accumulator), stats));
+            return Ok(self.conclude(points, total_runs, accumulator, chunks, end_chunk, stats));
         }
 
         // Parallel path: workers claim canonical chunks through a windowed
@@ -343,7 +680,7 @@ impl Campaign {
         // canonical order.  The window bounds how far execution may run
         // ahead of the merge frontier, which is what bounds peak memory.
         let window = workers * 2;
-        let gate = ChunkGate::new();
+        let gate = ChunkGate::new(start_chunk);
         let abort = AtomicBool::new(false);
         let capture = sink.is_some();
         let (tx, rx) = mpsc::channel::<(usize, Result<ChunkOutput, String>)>();
@@ -354,7 +691,7 @@ impl Campaign {
                 let tx = tx.clone();
                 let (gate, abort, points, families) = (&gate, &abort, &points, &families);
                 scope.spawn(move || {
-                    while let Some(chunk) = gate.claim(chunks, window, abort) {
+                    while let Some(chunk) = gate.claim(end_chunk, window, abort) {
                         let outcome = self.run_chunk(points, families, chunk, capture, Some(abort));
                         if outcome.is_err() {
                             abort.store(true, Ordering::Relaxed);
@@ -370,7 +707,7 @@ impl Campaign {
 
             let mut pending: BTreeMap<usize, ChunkOutput> = BTreeMap::new();
             let mut resident_records = 0u64;
-            let mut next_merge = 0usize;
+            let mut next_merge = start_chunk;
             for (chunk, outcome) in rx {
                 match outcome {
                     Err(error) => {
@@ -396,6 +733,23 @@ impl Campaign {
                     self.merge_chunk(&points, &mut accumulator, output, &mut sink);
                     next_merge += 1;
                     gate.advance();
+                    if first_error.is_none() {
+                        if let Err(error) = self.checkpoint_if_due(
+                            &mut ckpt,
+                            &mut sink,
+                            next_merge,
+                            end_chunk,
+                            total_runs,
+                            &accumulator,
+                        ) {
+                            // A checkpoint that cannot be persisted voids the
+                            // crash-safety contract: wind the campaign down
+                            // and surface the I/O failure.
+                            first_error = Some((next_merge, error));
+                            abort.store(true, Ordering::Relaxed);
+                            gate.wake_all();
+                        }
+                    }
                 }
             }
         });
@@ -403,7 +757,51 @@ impl Campaign {
         if let Some((_, error)) = first_error {
             return Err(error);
         }
-        Ok((self.finish(points, total_runs, accumulator), stats))
+        Ok(self.conclude(points, total_runs, accumulator, chunks, end_chunk, stats))
+    }
+
+    /// Writes a checkpoint manifest when the cadence (or the session's final
+    /// boundary) calls for one, flushing the sink first so the JSONL stream
+    /// on disk always covers at least the checkpointed runs.
+    fn checkpoint_if_due(
+        &self,
+        ckpt: &mut Option<&mut Checkpointer>,
+        sink: &mut Option<&mut dyn RunSink>,
+        chunks_done: usize,
+        end_chunk: usize,
+        total_runs: u64,
+        accumulator: &CampaignAccumulator,
+    ) -> Result<(), String> {
+        let Some(ckpt) = ckpt else { return Ok(()) };
+        if !ckpt.due(chunks_done) && chunks_done != end_chunk {
+            return Ok(());
+        }
+        if let Some(sink) = sink {
+            sink.flush().map_err(|e| format!("flushing the run sink before a checkpoint: {e}"))?;
+        }
+        let runs_done = (chunks_done as u64 * self.chunk_size as u64).min(total_runs);
+        let manifest =
+            checkpoint::render_manifest(self, total_runs, chunks_done, runs_done, accumulator);
+        ckpt.write(&manifest)
+    }
+
+    /// Wraps up a session: the final report when every chunk is merged, the
+    /// interruption watermark otherwise.
+    fn conclude(
+        &self,
+        points: Vec<PointDef>,
+        total_runs: u64,
+        accumulator: CampaignAccumulator,
+        chunks: usize,
+        end_chunk: usize,
+        stats: RunnerStats,
+    ) -> (CampaignOutcome, RunnerStats) {
+        if end_chunk < chunks {
+            let runs_done = (end_chunk as u64 * self.chunk_size as u64).min(total_runs);
+            (CampaignOutcome::Interrupted { chunks_done: end_chunk, runs_done }, stats)
+        } else {
+            (CampaignOutcome::Complete(self.finish(points, total_runs, accumulator)), stats)
+        }
     }
 
     /// Re-aggregates retained per-run records (e.g. parsed back from a
@@ -558,6 +956,18 @@ impl Campaign {
             .collect();
         CampaignReport { name: self.name.clone(), seed: self.seed, total_runs, points: reports }
     }
+}
+
+/// FNV-1a over `bytes`: a small, stable, dependency-free 64-bit hash for the
+/// campaign fingerprint (collision resistance against *accidental* edits is
+/// all a checkpoint needs; manifests are not an attack surface).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in bytes {
+        hash ^= *byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
 }
 
 /// Index of the point containing global run `run` (binary search over the
@@ -804,6 +1214,169 @@ mod tests {
         let err = campaign.run(&echo_registry()).unwrap_err();
         assert!(err.contains("no-such-family"), "{err}");
         assert!(err.contains("echo"), "error lists known families: {err}");
+    }
+
+    #[test]
+    fn fingerprint_tracks_everything_that_shapes_the_reduction() {
+        let base = || {
+            Campaign::new("fp", 7).with_chunk_size(8).entry(
+                CampaignEntry::new("echo").grid(ParamGrid::new().axis("x", [1, 2])).replications(3),
+            )
+        };
+        let fp = base().fingerprint();
+        assert_eq!(fp, base().fingerprint(), "stable across rebuilds");
+        assert_eq!(fp, base().with_threads(32).fingerprint(), "worker count is excluded");
+        for (label, other) in [
+            ("name", Campaign::new("fp2", 7).with_chunk_size(8)),
+            ("seed", Campaign::new("fp", 8).with_chunk_size(8)),
+            ("chunk size", Campaign::new("fp", 7).with_chunk_size(9)),
+        ] {
+            let other = other.entry(
+                CampaignEntry::new("echo").grid(ParamGrid::new().axis("x", [1, 2])).replications(3),
+            );
+            assert_ne!(fp, other.fingerprint(), "{label} must change the fingerprint");
+        }
+        let int_axis = base().fingerprint();
+        let float_axis = Campaign::new("fp", 7)
+            .with_chunk_size(8)
+            .entry(
+                CampaignEntry::new("echo")
+                    .grid(ParamGrid::new().axis("x", [1.0, 2.0]))
+                    .replications(3),
+            )
+            .fingerprint();
+        assert_ne!(int_axis, float_axis, "Int(1) and Float(1.0) hash apart");
+    }
+
+    #[test]
+    fn campaign_spec_json_round_trips_the_builder() {
+        let from_json = Campaign::from_json_str(
+            r#"{
+                "name": "spec-demo",
+                "seed": 2026,
+                "chunk_size": 16,
+                "threads": 2,
+                "entries": [
+                    {"scenario": "echo", "replications": 5,
+                     "grid": {"x": [0.5, 1.5], "mode": ["a", "b"]}},
+                    {"scenario": "echo", "duration_secs": 45}
+                ]
+            }"#,
+        )
+        .expect("well-formed spec");
+        let builder = Campaign::new("spec-demo", 2026)
+            .with_chunk_size(16)
+            .with_threads(2)
+            .entry(
+                CampaignEntry::new("echo")
+                    .grid(ParamGrid::new().axis("x", [0.5, 1.5]).axis("mode", ["a", "b"]))
+                    .replications(5),
+            )
+            .entry(CampaignEntry::new("echo").duration_secs(45));
+        assert_eq!(from_json.run_count(), builder.run_count());
+        assert_eq!(from_json.fingerprint(), builder.fingerprint());
+        // And the two produce bit-identical reports.
+        let a = from_json.run(&echo_registry()).unwrap();
+        let b = builder.run(&echo_registry()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn campaign_spec_json_rejects_typos_and_bad_shapes() {
+        for (doc, needle) in [
+            (r#"[1]"#, "must be a JSON object"),
+            (r#"{"seed": 1, "entries": []}"#, "\"name\""),
+            (r#"{"name": "x", "entries": []}"#, "\"seed\""),
+            (r#"{"name": "x", "seed": 1}"#, "\"entries\""),
+            (r#"{"name": "x", "seed": 1, "entries": []}"#, "at least one entry"),
+            (r#"{"name": "x", "seed": 1, "chunk_size": 0, "entries": [1]}"#, "chunk_size"),
+            (
+                r#"{"name": "x", "seed": 1, "entires": [], "entries": [1]}"#,
+                "unknown campaign field",
+            ),
+            (
+                r#"{"name": "x", "seed": 1, "entries": [{"scenario": "e", "reps": 2}]}"#,
+                "unknown entry field",
+            ),
+            (
+                r#"{"name": "x", "seed": 1, "entries": [{"scenario": "e", "replications": 0}]}"#,
+                "positive integer",
+            ),
+            (
+                r#"{"name": "x", "seed": 1, "entries":
+                   [{"scenario": "e", "duration_secs": 1, "duration_micros": 2}]}"#,
+                "not both",
+            ),
+        ] {
+            let err = Campaign::from_json_str(doc).unwrap_err();
+            assert!(err.contains(needle), "{doc}: {err}");
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_bit_identically_at_every_boundary() {
+        let dir = std::env::temp_dir().join(format!("karyon-campaign-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let build = || {
+            Campaign::new("ckpt", 11).with_chunk_size(3).entry(
+                CampaignEntry::new("echo")
+                    .grid(ParamGrid::new().axis("x", [0.25, 0.75, 1.25]))
+                    .replications(7),
+            )
+        };
+        let registry = echo_registry();
+        let uninterrupted = build().with_threads(1).run(&registry).unwrap();
+        let chunks = build().canonical_chunks();
+        assert_eq!(chunks, 7, "21 runs / chunk 3");
+        for boundary in 1..chunks {
+            let path = dir.join(format!("boundary-{boundary}.json"));
+            let mut first = Checkpointer::new(&path).max_chunks_per_session(boundary);
+            let (outcome, stats) =
+                build().with_threads(2).run_checkpointed(&registry, &mut first, None).unwrap();
+            assert_eq!(
+                outcome,
+                CampaignOutcome::Interrupted {
+                    chunks_done: boundary,
+                    runs_done: (boundary as u64 * 3).min(21),
+                },
+                "boundary {boundary}"
+            );
+            assert_eq!(stats.chunks, boundary as u64);
+            let mut second = Checkpointer::new(&path);
+            let (outcome, stats) =
+                build().with_threads(4).resume(&registry, &mut second, None).unwrap();
+            assert_eq!(stats.chunks, (chunks - boundary) as u64);
+            let resumed = outcome.into_report().expect("completed");
+            assert_eq!(resumed, uninterrupted, "boundary {boundary}");
+            assert_eq!(resumed.to_json(), uninterrupted.to_json());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_fingerprint_and_rereads_finished_manifests() {
+        let dir =
+            std::env::temp_dir().join(format!("karyon-campaign-ckpt2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("done.json");
+        let registry = echo_registry();
+        let campaign = Campaign::new("done", 3)
+            .with_chunk_size(4)
+            .entry(CampaignEntry::new("echo").replications(10));
+        let mut ckpt = Checkpointer::new(&path).every_chunks(2);
+        let (outcome, _) = campaign.run_checkpointed(&registry, &mut ckpt, None).unwrap();
+        let report = outcome.into_report().expect("ran to completion");
+        // Resuming a finished manifest re-emits the report without running.
+        let (again, stats) = campaign.resume(&registry, &mut ckpt, None).unwrap();
+        assert_eq!(stats.chunks, 0);
+        assert_eq!(again.into_report().unwrap(), report);
+        // A different campaign definition must be refused.
+        let other = Campaign::new("done", 4)
+            .with_chunk_size(4)
+            .entry(CampaignEntry::new("echo").replications(10));
+        let err = other.resume(&registry, &mut Checkpointer::new(&path), None).unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,625 @@
+//! Crash-safe campaign checkpointing and resume.
+//!
+//! A multi-hour, million-run campaign loses everything when its process dies
+//! — a crash, an OOM kill, a preempted cloud instance.  This module makes
+//! campaigns **resumable**: at a configurable canonical-chunk cadence the
+//! runner persists a [`CheckpointManifest`] — the campaign's identity
+//! fingerprint, a canonical-chunk watermark and the merged per-point
+//! aggregation partials, every `f64` stored as its IEEE-754 bit pattern —
+//! written **atomically** (temp file + rename) so a crash mid-write can
+//! never leave a torn manifest behind.  [`Campaign::resume`] validates the
+//! fingerprint against the (re-built) campaign, restores the
+//! [`CampaignAccumulator`] from the persisted partials, skips every chunk at
+//! or below the watermark and continues with live workers.
+//!
+//! Because aggregation is canonically chunked (see [`crate::aggregate`]), the
+//! resumed reduction performs the exact same sequence of floating-point
+//! operations as an uninterrupted run: the final
+//! [`CampaignReport`](crate::CampaignReport) is
+//! **bit-identical** for any worker count and any interruption point — the
+//! property `tests/checkpoint_resume.rs` pins down.
+//!
+//! When a [`RunSink`](crate::RunSink) streams per-run JSONL artifacts
+//! alongside, the runner flushes the sink *before* each manifest write, so
+//! the stream on disk always covers at least the checkpointed runs.  After a
+//! crash the stream may run ahead of the manifest (or end in a torn line);
+//! [`truncate_jsonl`] cuts it back to exactly the watermark so the resumed
+//! stream continues byte-identically.
+//!
+//! ```
+//! use karyon_scenario::{Campaign, CampaignEntry, CampaignOutcome, Checkpointer};
+//! use karyon_scenario::builtin_registry;
+//!
+//! let dir = std::env::temp_dir().join(format!("karyon-ckpt-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let campaign = Campaign::new("doc", 7)
+//!     .with_chunk_size(4)
+//!     .entry(CampaignEntry::new("lane-change").replications(12).duration_secs(30));
+//! let registry = builtin_registry();
+//!
+//! // First session: budget of one chunk, then a (simulated) preemption.
+//! let mut ckpt = Checkpointer::new(dir.join("c.ckpt.json")).max_chunks_per_session(1);
+//! let (outcome, _) = campaign.run_checkpointed(&registry, &mut ckpt, None).unwrap();
+//! assert!(matches!(outcome, CampaignOutcome::Interrupted { chunks_done: 1, .. }));
+//!
+//! // Second session: resume from the manifest and finish.
+//! let mut ckpt = Checkpointer::new(dir.join("c.ckpt.json"));
+//! let (outcome, _) = campaign.resume(&registry, &mut ckpt, None).unwrap();
+//! let report = outcome.into_report().expect("completed");
+//! assert_eq!(report.total_runs, 12);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use std::fs;
+use std::io::{BufRead, Read, Write};
+use std::path::{Path, PathBuf};
+
+use karyon_sim::{BucketHistogram, BucketHistogramState, OnlineStats, OnlineStatsState};
+
+use crate::aggregate::{CampaignAccumulator, MetricAccumulator, PointAccumulator, QuantileAcc};
+use crate::campaign::Campaign;
+use crate::json::{array, JsonValue, ObjectWriter};
+
+/// Manifest format tag, checked on load.
+const FORMAT: &str = "karyon-campaign-checkpoint";
+/// Manifest format version, checked on load.
+const VERSION: u64 = 1;
+
+/// Checkpoint policy and manifest location for one campaign session.
+///
+/// Built fluently and handed to [`Campaign::run_checkpointed`] /
+/// [`Campaign::resume`]:
+///
+/// * [`every_chunks`](Checkpointer::every_chunks) — the write cadence, in
+///   canonical chunks (default: every chunk).  Checkpointing costs one
+///   manifest serialisation per cadence hit; `e16` measures the overhead as
+///   negligible against real per-run simulation work.
+/// * [`max_chunks_per_session`](Checkpointer::max_chunks_per_session) — an
+///   optional bounded work slice: the session executes at most this many
+///   chunks, writes a final checkpoint at its end boundary and returns
+///   [`CampaignOutcome::Interrupted`](crate::CampaignOutcome::Interrupted).
+///   This is both a scheduler primitive (time-slicing a huge campaign across
+///   preemptible compute) and the exact semantics of a kill arriving right
+///   after a checkpoint — which is what the resume determinism tests use it
+///   for.
+#[derive(Debug, Clone)]
+pub struct Checkpointer {
+    path: PathBuf,
+    every_chunks: usize,
+    max_chunks: Option<usize>,
+}
+
+impl Checkpointer {
+    /// Creates a checkpointer writing its manifest to `path`, at the default
+    /// cadence of every canonical chunk.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Checkpointer { path: path.into(), every_chunks: 1, max_chunks: None }
+    }
+
+    /// Sets the write cadence: a manifest is written after every `every`-th
+    /// canonical chunk merge (and always at a session's final boundary).
+    ///
+    /// # Panics
+    /// Panics if `every` is zero.
+    pub fn every_chunks(mut self, every: usize) -> Self {
+        assert!(every > 0, "the checkpoint cadence must be at least one chunk");
+        self.every_chunks = every;
+        self
+    }
+
+    /// Bounds this session to at most `max` canonical chunks; the session
+    /// checkpoints at its end boundary and reports
+    /// [`CampaignOutcome::Interrupted`](crate::CampaignOutcome::Interrupted)
+    /// if work remains.
+    ///
+    /// # Panics
+    /// Panics if `max` is zero.
+    pub fn max_chunks_per_session(mut self, max: usize) -> Self {
+        assert!(max > 0, "a session must be allowed at least one chunk");
+        self.max_chunks = Some(max);
+        self
+    }
+
+    /// The manifest path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Loads and parses the manifest at this checkpointer's path.
+    pub fn load(&self) -> Result<CheckpointManifest, String> {
+        CheckpointManifest::load(&self.path)
+    }
+
+    /// The last chunk (exclusive) this session may execute.
+    pub(crate) fn session_end_chunk(&self, start_chunk: usize, chunks: usize) -> usize {
+        match self.max_chunks {
+            Some(max) => chunks.min(start_chunk.saturating_add(max)),
+            None => chunks,
+        }
+    }
+
+    /// True when the cadence calls for a write after `chunks_done` merges.
+    pub(crate) fn due(&self, chunks_done: usize) -> bool {
+        chunks_done % self.every_chunks == 0
+    }
+
+    /// Writes `manifest_json` atomically: to a temp file in the manifest's
+    /// directory, fsynced, then renamed over the final path, so a crash at
+    /// any instant leaves either the previous manifest or the new one —
+    /// never a torn file.
+    pub(crate) fn write(&self, manifest_json: &str) -> Result<(), String> {
+        let dir = self.path.parent().filter(|p| !p.as_os_str().is_empty());
+        let tmp = self.path.with_extension("tmp");
+        let fail = |stage: &str, e: std::io::Error| {
+            format!("checkpoint write to {:?} failed ({stage}): {e}", self.path)
+        };
+        let mut file = fs::File::create(&tmp).map_err(|e| fail("create temp", e))?;
+        file.write_all(manifest_json.as_bytes()).map_err(|e| fail("write temp", e))?;
+        file.write_all(b"\n").map_err(|e| fail("write temp", e))?;
+        file.sync_all().map_err(|e| fail("sync temp", e))?;
+        drop(file);
+        fs::rename(&tmp, &self.path).map_err(|e| fail("rename", e))?;
+        // Make the rename durable too, where the platform allows opening
+        // directories; skipping this on failure only weakens crash-ordering,
+        // never correctness of what is read back.
+        if let Some(dir) = dir {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A parsed checkpoint manifest: the campaign's identity, the canonical-chunk
+/// watermark and the persisted per-point aggregation partials.
+#[derive(Debug, Clone)]
+pub struct CheckpointManifest {
+    /// The campaign name (informational; identity is the fingerprint).
+    pub campaign: String,
+    /// The campaign seed.
+    pub seed: u64,
+    /// Fingerprint of the campaign definition (see
+    /// [`Campaign::fingerprint`]); resume refuses a mismatch.
+    pub fingerprint: u64,
+    /// The canonical chunk size the partials were reduced with.
+    pub chunk_size: usize,
+    /// Total runs of the full campaign.
+    pub total_runs: u64,
+    /// Canonical chunks fully merged into the persisted partials.
+    pub chunks_done: usize,
+    /// Runs covered by the watermark (`min(chunks_done × chunk_size,
+    /// total_runs)`): the exact line count a JSONL stream written alongside
+    /// must be [truncated](truncate_jsonl) to before resuming.
+    pub runs_done: u64,
+    points: Vec<PointAccumulator>,
+}
+
+impl CheckpointManifest {
+    /// Loads and parses a manifest file.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read checkpoint manifest {path:?}: {e}"))?;
+        Self::parse(&text).map_err(|e| format!("checkpoint manifest {path:?}: {e}"))
+    }
+
+    /// Parses a manifest from its JSON text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = JsonValue::parse(text)?;
+        let str_field = |key: &str| {
+            doc.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string field {key:?}"))
+        };
+        let u64_field = |key: &str| {
+            doc.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+        };
+        if str_field("format")? != FORMAT {
+            return Err(format!("not a {FORMAT} file"));
+        }
+        if u64_field("version")? != VERSION {
+            return Err(format!(
+                "unsupported manifest version {} (this build reads {VERSION})",
+                u64_field("version")?
+            ));
+        }
+        let points = doc
+            .get("points")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing or non-array field \"points\"")?
+            .iter()
+            .map(parse_point)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CheckpointManifest {
+            campaign: str_field("campaign")?,
+            seed: u64_field("seed")?,
+            fingerprint: u64_field("fingerprint")?,
+            chunk_size: u64_field("chunk_size")? as usize,
+            total_runs: u64_field("total_runs")?,
+            chunks_done: u64_field("chunks_done")? as usize,
+            runs_done: u64_field("runs_done")?,
+            points,
+        })
+    }
+
+    /// Checks the manifest belongs to `campaign` (same fingerprint, i.e. the
+    /// same name, seed, chunk size and entry list) and is internally
+    /// consistent with the campaign's expansion.
+    pub(crate) fn validate_for(
+        &self,
+        campaign: &Campaign,
+        total_runs: u64,
+        point_count: usize,
+        chunks: usize,
+    ) -> Result<(), String> {
+        if self.fingerprint != campaign.fingerprint() {
+            return Err(format!(
+                "checkpoint fingerprint {:#018x} does not match campaign {:?} \
+                 ({:#018x}) — the spec (name, seed, chunk size, entries or grids) \
+                 changed since the checkpoint was written",
+                self.fingerprint,
+                campaign.name(),
+                campaign.fingerprint()
+            ));
+        }
+        if self.total_runs != total_runs || self.points.len() != point_count {
+            return Err(format!(
+                "checkpoint shape mismatch: manifest covers {} runs / {} points, \
+                 campaign expands to {total_runs} runs / {point_count} points",
+                self.total_runs,
+                self.points.len()
+            ));
+        }
+        if self.chunks_done > chunks {
+            return Err(format!(
+                "checkpoint watermark {} exceeds the campaign's {chunks} chunks",
+                self.chunks_done
+            ));
+        }
+        Ok(())
+    }
+
+    /// Consumes the manifest into the accumulator the runner continues from.
+    pub(crate) fn into_accumulator(self) -> CampaignAccumulator {
+        CampaignAccumulator::from_points(self.points)
+    }
+}
+
+/// Serialises the merged state after `chunks_done` canonical chunks.
+pub(crate) fn render_manifest(
+    campaign: &Campaign,
+    total_runs: u64,
+    chunks_done: usize,
+    runs_done: u64,
+    accumulator: &CampaignAccumulator,
+) -> String {
+    let points: Vec<String> = accumulator.points().iter().map(render_point).collect();
+    let mut o = ObjectWriter::new();
+    o.string("format", FORMAT)
+        .u64("version", VERSION)
+        .string("campaign", campaign.name())
+        .u64("seed", campaign.seed())
+        .u64("fingerprint", campaign.fingerprint())
+        .u64("chunk_size", campaign.chunk_size() as u64)
+        .u64("total_runs", total_runs)
+        .u64("chunks_done", chunks_done as u64)
+        .u64("runs_done", runs_done)
+        .raw("points", &array(&points));
+    o.finish()
+}
+
+/// Renders one point's partial.  Every `f64` is stored as its IEEE-754 bit
+/// pattern in a `u64` field, so the restore is bit-exact by construction.
+fn render_point(point: &PointAccumulator) -> String {
+    let mut metrics = ObjectWriter::new();
+    for (name, acc) in &point.metrics {
+        metrics.raw(name, &render_metric(acc));
+    }
+    let mut o = ObjectWriter::new();
+    o.u64("runs", point.runs)
+        .u64("suspect_runs", point.suspect_runs)
+        .raw("metrics", &metrics.finish());
+    o.finish()
+}
+
+fn render_metric(acc: &MetricAccumulator) -> String {
+    let (stats, sum, quantiles) = acc.parts();
+    let state = stats.raw_state();
+    let mut o = ObjectWriter::new();
+    o.u64("count", state.count)
+        .u64("mean", state.mean.to_bits())
+        .u64("m2", state.m2.to_bits())
+        .u64("min", state.min.to_bits())
+        .u64("max", state.max.to_bits())
+        .u64("sum", sum.to_bits());
+    match quantiles {
+        QuantileAcc::Exact(values) => {
+            let bits: Vec<String> = values.iter().map(|v| v.to_bits().to_string()).collect();
+            o.raw("exact", &array(&bits));
+        }
+        QuantileAcc::Bucketed(hist) => {
+            let state = hist.raw_state();
+            let counts: Vec<String> = state.counts.iter().map(u64::to_string).collect();
+            let mut h = ObjectWriter::new();
+            h.u64("lo", state.lo.to_bits())
+                .u64("hi", state.hi.to_bits())
+                .raw("counts", &array(&counts))
+                .u64("underflow", state.underflow)
+                .u64("overflow", state.overflow)
+                .u64("count", state.count)
+                .u64("sum", state.sum.to_bits())
+                .u64("min", state.min.to_bits())
+                .u64("max", state.max.to_bits());
+            o.raw("histogram", &h.finish());
+        }
+    }
+    o.finish()
+}
+
+fn parse_point(value: &JsonValue) -> Result<PointAccumulator, String> {
+    let runs = value.get("runs").and_then(JsonValue::as_u64).ok_or("point is missing \"runs\"")?;
+    let suspect_runs = value
+        .get("suspect_runs")
+        .and_then(JsonValue::as_u64)
+        .ok_or("point is missing \"suspect_runs\"")?;
+    let mut metrics = std::collections::BTreeMap::new();
+    let members = value
+        .get("metrics")
+        .and_then(JsonValue::as_object)
+        .ok_or("point is missing \"metrics\"")?;
+    for (name, metric) in members {
+        metrics.insert(name.clone(), parse_metric(name, metric)?);
+    }
+    Ok(PointAccumulator { runs, suspect_runs, metrics })
+}
+
+fn parse_metric(name: &str, value: &JsonValue) -> Result<MetricAccumulator, String> {
+    let bits_field = |key: &str| {
+        value
+            .get(key)
+            .and_then(JsonValue::as_u64)
+            .map(f64::from_bits)
+            .ok_or_else(|| format!("metric {name:?} is missing bit field {key:?}"))
+    };
+    let stats = OnlineStats::from_raw_state(OnlineStatsState {
+        count: value
+            .get("count")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("metric {name:?} is missing \"count\""))?,
+        mean: bits_field("mean")?,
+        m2: bits_field("m2")?,
+        min: bits_field("min")?,
+        max: bits_field("max")?,
+    });
+    let sum = bits_field("sum")?;
+    let quantiles = match (value.get("exact"), value.get("histogram")) {
+        (Some(exact), None) => {
+            let values = exact
+                .as_array()
+                .ok_or_else(|| format!("metric {name:?}: \"exact\" must be an array"))?
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .map(f64::from_bits)
+                        .ok_or_else(|| format!("metric {name:?}: non-integer sample bit pattern"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            QuantileAcc::Exact(values)
+        }
+        (None, Some(hist)) => {
+            let hbits = |key: &str| {
+                hist.get(key)
+                    .and_then(JsonValue::as_u64)
+                    .map(f64::from_bits)
+                    .ok_or_else(|| format!("metric {name:?} histogram is missing {key:?}"))
+            };
+            let hu64 = |key: &str| {
+                hist.get(key)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("metric {name:?} histogram is missing {key:?}"))
+            };
+            let counts = hist
+                .get("counts")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| format!("metric {name:?} histogram is missing \"counts\""))?
+                .iter()
+                .map(|v| {
+                    v.as_u64().ok_or_else(|| format!("metric {name:?}: non-integer bucket count"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            if counts.is_empty() {
+                return Err(format!("metric {name:?} histogram has no buckets"));
+            }
+            let state = BucketHistogramState {
+                lo: hbits("lo")?,
+                hi: hbits("hi")?,
+                counts,
+                underflow: hu64("underflow")?,
+                overflow: hu64("overflow")?,
+                count: hu64("count")?,
+                sum: hbits("sum")?,
+                min: hbits("min")?,
+                max: hbits("max")?,
+            };
+            if !(state.lo.is_finite() && state.hi.is_finite() && state.lo < state.hi) {
+                return Err(format!("metric {name:?} histogram has an invalid range"));
+            }
+            QuantileAcc::Bucketed(BucketHistogram::from_raw_state(state))
+        }
+        _ => {
+            return Err(format!(
+                "metric {name:?} must carry exactly one of \"exact\" or \"histogram\""
+            ))
+        }
+    };
+    Ok(MetricAccumulator::from_parts(stats, sum, quantiles))
+}
+
+/// Truncates a JSONL run stream to its first `runs` complete lines, dropping
+/// anything beyond the checkpoint watermark — lines a crashed session wrote
+/// past its last manifest, including a torn final line.
+///
+/// Returns the retained byte length.  Errors if the stream holds fewer than
+/// `runs` complete lines: the stream can never lag the manifest, because the
+/// runner flushes the sink before every manifest write — a shorter stream
+/// means the two files do not belong together.
+pub fn truncate_jsonl(path: &Path, runs: u64) -> Result<u64, String> {
+    let file = fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .map_err(|e| format!("cannot open JSONL stream {path:?}: {e}"))?;
+    let mut reader = std::io::BufReader::new(&file);
+    let mut offset = 0u64;
+    let mut complete_lines = 0u64;
+    while complete_lines < runs {
+        let buf =
+            reader.fill_buf().map_err(|e| format!("cannot read JSONL stream {path:?}: {e}"))?;
+        if buf.is_empty() {
+            return Err(format!(
+                "JSONL stream {path:?} holds only {complete_lines} complete lines but the \
+                 checkpoint covers {runs} runs — the stream does not belong to this checkpoint"
+            ));
+        }
+        match buf.iter().position(|b| *b == b'\n') {
+            Some(newline) => {
+                offset += newline as u64 + 1;
+                complete_lines += 1;
+                reader.consume(newline + 1);
+            }
+            None => {
+                let len = buf.len();
+                offset += len as u64;
+                reader.consume(len);
+            }
+        }
+    }
+    drop(reader);
+    file.set_len(offset).map_err(|e| format!("cannot truncate JSONL stream {path:?}: {e}"))?;
+    file.sync_all().map_err(|e| format!("cannot sync JSONL stream {path:?}: {e}"))?;
+    Ok(offset)
+}
+
+/// Reads a checkpoint manifest's raw JSON (for tooling that wants to inspect
+/// a manifest without restoring it).
+pub fn read_manifest_text(path: &Path) -> Result<String, String> {
+    let mut text = String::new();
+    fs::File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("cannot read checkpoint manifest {path:?}: {e}"))?;
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("karyon-ckpt-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn manifest_round_trips_every_quantile_state_bit_exactly() {
+        // Build a synthetic accumulator with both quantile states and
+        // non-trivial floating-point content.
+        let mut exact = MetricAccumulator::new(None);
+        for v in [0.1, -2.5e17, 3.3333333333333335, f64::MIN_POSITIVE] {
+            exact.record(v);
+        }
+        let mut ranged = MetricAccumulator::new(Some((0.0, 1.0)));
+        for v in [0.25, 0.5, 1.5, -0.5] {
+            ranged.record(v);
+        }
+        let mut metrics = std::collections::BTreeMap::new();
+        metrics.insert("exact".to_string(), exact);
+        metrics.insert("ranged".to_string(), ranged);
+        let point = PointAccumulator { runs: 4, suspect_runs: 1, metrics };
+        let acc = CampaignAccumulator::from_points(vec![point, PointAccumulator::default()]);
+
+        let campaign = Campaign::new("rt", 9).with_chunk_size(2);
+        let text = render_manifest(&campaign, 4, 2, 4, &acc);
+        let manifest = CheckpointManifest::parse(&text).expect("well-formed manifest");
+        assert_eq!(manifest.campaign, "rt");
+        assert_eq!(manifest.chunks_done, 2);
+        assert_eq!(manifest.runs_done, 4);
+        assert_eq!(manifest.fingerprint, campaign.fingerprint());
+
+        let restored = manifest.into_accumulator();
+        assert_eq!(restored.points().len(), 2);
+        // Continuing both accumulators must produce identical summaries: the
+        // restore is bit-exact, including the ±∞ min/max sentinels of the
+        // empty second point.
+        for (a, b) in acc.points().iter().zip(restored.points()) {
+            assert_eq!(a.runs, b.runs);
+            assert_eq!(a.suspect_runs, b.suspect_runs);
+            let left = a.summaries();
+            let right = b.summaries();
+            assert_eq!(left, right);
+            for (name, s) in &left {
+                assert_eq!(s.mean.to_bits(), right[name].mean.to_bits(), "{name}");
+                assert_eq!(s.std_dev.to_bits(), right[name].std_dev.to_bits(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_rejects_foreign_and_corrupt_files() {
+        assert!(CheckpointManifest::parse("{}").unwrap_err().contains("format"));
+        assert!(CheckpointManifest::parse("not json").unwrap_err().contains("JSON error"));
+        let ok = render_manifest(
+            &Campaign::new("x", 1),
+            0,
+            0,
+            0,
+            &CampaignAccumulator::from_points(vec![]),
+        );
+        assert!(CheckpointManifest::parse(&ok).is_ok());
+        let wrong_version = ok.replace("\"version\":1", "\"version\":99");
+        assert!(CheckpointManifest::parse(&wrong_version).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn atomic_write_replaces_the_manifest_in_one_step() {
+        let path = temp_path("atomic.json");
+        let ckpt = Checkpointer::new(&path).every_chunks(3);
+        assert!(ckpt.due(3) && !ckpt.due(4));
+        ckpt.write("{\"first\": true}").expect("writable temp dir");
+        ckpt.write("{\"second\": true}").expect("writable temp dir");
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("second"));
+        assert!(!path.with_extension("tmp").exists(), "the temp file must be renamed away");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncate_jsonl_cuts_torn_tails_and_rejects_short_streams() {
+        let path = temp_path("stream.jsonl");
+        fs::write(&path, "{\"run\":0}\n{\"run\":1}\n{\"run\":2}\n{\"ru").unwrap();
+        // Keep two complete lines; the third line and the torn tail go.
+        let kept = truncate_jsonl(&path, 2).expect("enough lines");
+        assert_eq!(kept, 20);
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"run\":0}\n{\"run\":1}\n");
+        // Truncating to more lines than exist is an error, not silent loss.
+        let err = truncate_jsonl(&path, 5).unwrap_err();
+        assert!(err.contains("2 complete lines"), "{err}");
+        // Truncating to zero empties the stream.
+        truncate_jsonl(&path, 0).expect("zero is fine");
+        assert_eq!(fs::read_to_string(&path).unwrap(), "");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence must be at least one chunk")]
+    fn zero_cadence_rejected() {
+        let _ = Checkpointer::new("x").every_chunks(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk")]
+    fn zero_session_budget_rejected() {
+        let _ = Checkpointer::new("x").max_chunks_per_session(0);
+    }
+}

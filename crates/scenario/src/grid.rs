@@ -28,15 +28,11 @@ impl ParamGrid {
     /// Panics if `values` is empty (the cross product would be empty, which
     /// is never what a campaign means) or if the axis name repeats.
     pub fn axis<V: Into<ParamValue>>(
-        mut self,
+        self,
         name: &str,
         values: impl IntoIterator<Item = V>,
     ) -> Self {
-        let values: Vec<ParamValue> = values.into_iter().map(Into::into).collect();
-        assert!(!values.is_empty(), "grid axis {name:?} must sweep at least one value");
-        assert!(self.axes.iter().all(|(n, _)| n != name), "grid axis {name:?} declared twice");
-        self.axes.push((name.to_string(), values));
-        self
+        self.axis_values(name, values.into_iter().map(Into::into).collect())
     }
 
     /// Number of axes.
@@ -52,6 +48,58 @@ impl ParamGrid {
     /// True when the grid has no axes (it still expands to one empty point).
     pub fn is_empty(&self) -> bool {
         self.axes.is_empty()
+    }
+
+    /// Builds a grid from a parsed JSON object: each member is one axis
+    /// (`{"vehicles": [4, 8], "mode": ["kernel", "none"]}`), in **source
+    /// order** — the first member of the file is the slowest-varying axis,
+    /// so the spec file pins the canonical run order exactly as written.
+    ///
+    /// A scalar member is shorthand for a single-value axis.
+    pub fn from_json(value: &crate::json::JsonValue) -> Result<ParamGrid, String> {
+        use crate::json::JsonValue;
+        let members = value
+            .as_object()
+            .ok_or_else(|| format!("a grid must be a JSON object, not {}", value.type_name()))?;
+        let mut grid = ParamGrid::new();
+        for (name, axis) in members {
+            let values: Vec<ParamValue> = match axis {
+                JsonValue::Array(items) => {
+                    if items.is_empty() {
+                        return Err(format!("grid axis {name:?} must sweep at least one value"));
+                    }
+                    items
+                        .iter()
+                        .map(ParamValue::from_json)
+                        .collect::<Result<_, _>>()
+                        .map_err(|e| format!("grid axis {name:?}: {e}"))?
+                }
+                scalar => vec![ParamValue::from_json(scalar)
+                    .map_err(|e| format!("grid axis {name:?}: {e}"))?],
+            };
+            // The builder panics on duplicates, but a JSON object cannot
+            // carry them (the parser rejects duplicate keys), so `axis` is
+            // safe to call here.
+            grid = grid.axis_values(name, values);
+        }
+        Ok(grid)
+    }
+
+    /// Adds an axis from already-converted values (the non-generic core of
+    /// [`ParamGrid::axis`]).
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`ParamGrid::axis`].
+    pub fn axis_values(mut self, name: &str, values: Vec<ParamValue>) -> Self {
+        assert!(!values.is_empty(), "grid axis {name:?} must sweep at least one value");
+        assert!(self.axes.iter().all(|(n, _)| n != name), "grid axis {name:?} declared twice");
+        self.axes.push((name.to_string(), values));
+        self
+    }
+
+    /// The axes in declaration order: `(name, values)` pairs.
+    pub fn axes(&self) -> &[(String, Vec<ParamValue>)] {
+        &self.axes
     }
 
     /// Expands the cross product into parameter maps, first axis slowest.
@@ -108,6 +156,40 @@ mod tests {
         let grid = ParamGrid::new().axis("loss", [0.02, 0.2]).axis("fault", [true, false]);
         assert_eq!(grid.len(), 4);
         assert_eq!(grid.expand()[0]["loss"], ParamValue::Float(0.02));
+    }
+
+    #[test]
+    fn from_json_preserves_axis_order_and_types() {
+        let doc = crate::json::JsonValue::parse(
+            r#"{"zeta": [4, 8], "mode": ["kernel", "none"], "rate": [0.5], "flag": true}"#,
+        )
+        .unwrap();
+        let grid = ParamGrid::from_json(&doc).unwrap();
+        assert_eq!(grid.axis_count(), 4);
+        assert_eq!(grid.len(), 4);
+        let axes = grid.axes();
+        assert_eq!(axes[0].0, "zeta", "first file member is the slowest axis");
+        assert_eq!(axes[0].1, vec![ParamValue::Int(4), ParamValue::Int(8)]);
+        assert_eq!(axes[1].1[0], ParamValue::Text("kernel".into()));
+        assert_eq!(axes[2].1, vec![ParamValue::Float(0.5)]);
+        assert_eq!(axes[3].1, vec![ParamValue::Bool(true)], "scalar = single-value axis");
+        // 4 varies slowest.
+        assert_eq!(grid.expand()[0]["zeta"], ParamValue::Int(4));
+        assert_eq!(grid.expand()[2]["zeta"], ParamValue::Int(8));
+    }
+
+    #[test]
+    fn from_json_rejects_bad_axes() {
+        for (doc, needle) in [
+            (r#"[1, 2]"#, "must be a JSON object"),
+            (r#"{"a": []}"#, "at least one value"),
+            (r#"{"a": [null]}"#, "number, string or boolean"),
+            (r#"{"a": {"nested": 1}}"#, "number, string or boolean"),
+        ] {
+            let parsed = crate::json::JsonValue::parse(doc).unwrap();
+            let err = ParamGrid::from_json(&parsed).unwrap_err();
+            assert!(err.contains(needle), "{doc}: {err}");
+        }
     }
 
     #[test]

@@ -29,6 +29,14 @@
 //! * [`RunSink`] / [`JsonlRunWriter`] — optional per-run artifact streaming
 //!   in canonical run order, and [`Campaign::reduce_records`] to re-aggregate
 //!   a captured stream bit-identically;
+//! * [`Checkpointer`] / [`CheckpointManifest`] ([`checkpoint`]) — crash-safe
+//!   campaign checkpointing: atomically written manifests at a canonical-chunk
+//!   cadence, [`Campaign::resume`] to continue a killed or
+//!   [time-sliced](Checkpointer::max_chunks_per_session) campaign with a
+//!   report **bit-identical** to an uninterrupted run's, and
+//!   [`truncate_jsonl`] to recover the artifact stream after a crash (the
+//!   `karyon-campaign` CLI drives the whole workflow from JSON spec files,
+//!   parsed via [`Campaign::from_json_str`]);
 //! * [`CampaignReport`] — per-parameter-point aggregates (mean/std-dev via
 //!   `OnlineStats`; p50/p95/p99 exact for small sweeps, streamed through
 //!   pre-agreed-range `BucketHistogram`s beyond — see
@@ -57,6 +65,7 @@
 
 pub mod aggregate;
 pub mod campaign;
+pub mod checkpoint;
 pub mod grid;
 pub mod json;
 pub mod registry;
@@ -66,10 +75,12 @@ pub mod sink;
 pub mod spec;
 
 pub use aggregate::DEFAULT_CHUNK_SIZE;
-pub use campaign::{derive_run_seed, Campaign, CampaignEntry, RunnerStats};
+pub use campaign::{derive_run_seed, Campaign, CampaignEntry, CampaignOutcome, RunnerStats};
+pub use checkpoint::{truncate_jsonl, CheckpointManifest, Checkpointer};
 pub use grid::ParamGrid;
+pub use json::JsonValue;
 pub use registry::{builtin_registry, ScenarioRegistry};
 pub use report::{CampaignReport, MetricSummary, PointReport};
 pub use scenario::{RunRecord, Scenario};
-pub use sink::{JsonlRunWriter, RunMeta, RunSink};
+pub use sink::{read_jsonl_records, JsonlRunWriter, RunMeta, RunSink};
 pub use spec::{ParamValue, ScenarioSpec};

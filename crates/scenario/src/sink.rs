@@ -40,6 +40,14 @@ pub trait RunSink {
     /// Receives one run.  Runs arrive strictly in canonical order
     /// (`meta.run_index` is increasing) for any worker count.
     fn on_run(&mut self, meta: &RunMeta<'_>, record: &RunRecord);
+
+    /// Pushes buffered output to durable storage.  The checkpointing runner
+    /// calls this **before** every manifest write, so the artifact stream on
+    /// disk always covers at least the checkpointed runs; in-memory sinks
+    /// keep the no-op default.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 impl<F: FnMut(&RunMeta<'_>, &RunRecord)> RunSink for F {
@@ -86,6 +94,17 @@ impl<W: Write> JsonlRunWriter<W> {
 }
 
 impl<W: Write> RunSink for JsonlRunWriter<W> {
+    fn flush(&mut self) -> io::Result<()> {
+        // Report without consuming: the sticky error must survive into
+        // `finish()`, and later `on_run` calls must stay suppressed —
+        // otherwise a caller that logs-and-continues would produce a stream
+        // with silent gaps that `finish()` then blesses as Ok.
+        if let Some(error) = &self.error {
+            return Err(io::Error::new(error.kind(), error.to_string()));
+        }
+        self.out.flush()
+    }
+
     fn on_run(&mut self, meta: &RunMeta<'_>, record: &RunRecord) {
         if self.error.is_some() {
             return;
@@ -109,6 +128,52 @@ impl<W: Write> RunSink for JsonlRunWriter<W> {
             self.written += 1;
         }
     }
+}
+
+/// Parses a JSONL run stream (as written by [`JsonlRunWriter`]) back into
+/// per-run records, one per line in canonical run order — the input
+/// [`Campaign::reduce_records`](crate::Campaign::reduce_records) replays.
+///
+/// Each line's `run` index is checked against its position, so a reordered,
+/// truncated-in-the-middle or concatenated stream is rejected instead of
+/// silently re-aggregating wrong data.  Metric round-trips are bit-exact for
+/// finite values (the writer emits shortest-round-trip decimals); non-finite
+/// metrics were serialised as `null` and come back as NaN, which every
+/// aggregation path treats exactly like the original non-finite value.
+pub fn read_jsonl_records(text: &str) -> Result<Vec<RunRecord>, String> {
+    let mut records = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let value = crate::json::JsonValue::parse(line)
+            .map_err(|e| format!("JSONL line {}: {e}", index + 1))?;
+        let run = value
+            .get("run")
+            .and_then(crate::json::JsonValue::as_u64)
+            .ok_or_else(|| format!("JSONL line {}: missing \"run\" index", index + 1))?;
+        if run != index as u64 {
+            return Err(format!(
+                "JSONL line {}: run index {run} out of canonical order — the stream is \
+                 reordered or spliced",
+                index + 1
+            ));
+        }
+        let mut record = RunRecord::new();
+        record.clamped_schedules = value
+            .get("clamped_schedules")
+            .and_then(crate::json::JsonValue::as_u64)
+            .ok_or_else(|| format!("JSONL line {}: missing \"clamped_schedules\"", index + 1))?;
+        let metrics = value
+            .get("metrics")
+            .and_then(crate::json::JsonValue::as_object)
+            .ok_or_else(|| format!("JSONL line {}: missing \"metrics\" object", index + 1))?;
+        for (name, metric) in metrics {
+            let metric = metric.as_f64().ok_or_else(|| {
+                format!("JSONL line {}: metric {name:?} is not a number", index + 1)
+            })?;
+            record.set(name, metric);
+        }
+        records.push(record);
+    }
+    Ok(records)
 }
 
 #[cfg(test)]
@@ -143,6 +208,88 @@ mod tests {
         assert!(lines[2].contains(r#""seed":102"#));
         assert!(lines[0].contains(r#""params":{"mode":"kernel"}"#));
         assert!(lines[0].contains(r#""metrics":{"ok":1,"x":1.5}"#));
+    }
+
+    #[test]
+    fn jsonl_reader_round_trips_the_writer_bit_exactly() {
+        let params = BTreeMap::new();
+        let mut writer = JsonlRunWriter::new(Vec::new());
+        for run in 0..4u64 {
+            let mut record = RunRecord::new();
+            record.set("x", (run as f64) * 0.1 + 1.0 / 3.0);
+            record.set("tiny", f64::MIN_POSITIVE);
+            if run == 2 {
+                record.set("broken", f64::NAN);
+                record.clamped_schedules = 3;
+            }
+            let meta = RunMeta {
+                run_index: run,
+                point: 0,
+                scenario: "demo",
+                params: &params,
+                replication: run,
+                seed: run,
+            };
+            writer.on_run(&meta, &record);
+        }
+        let text = String::from_utf8(writer.finish().unwrap()).unwrap();
+        let records = read_jsonl_records(&text).expect("well-formed stream");
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[1].get("x").unwrap().to_bits(), (0.1f64 + 1.0 / 3.0).to_bits());
+        assert_eq!(records[3].get("tiny").unwrap().to_bits(), f64::MIN_POSITIVE.to_bits());
+        assert!(records[2].get("broken").unwrap().is_nan(), "null reads back as non-finite");
+        assert_eq!(records[2].clamped_schedules, 3);
+    }
+
+    #[test]
+    fn jsonl_reader_rejects_reordered_and_malformed_streams() {
+        let good = "{\"run\":0,\"clamped_schedules\":0,\"metrics\":{}}\n";
+        assert_eq!(read_jsonl_records(good).unwrap().len(), 1);
+        let reordered = "{\"run\":1,\"clamped_schedules\":0,\"metrics\":{}}\n";
+        assert!(read_jsonl_records(reordered).unwrap_err().contains("canonical order"));
+        assert!(read_jsonl_records("{\"run\":0}\n").unwrap_err().contains("clamped_schedules"));
+        assert!(read_jsonl_records("{torn").unwrap_err().contains("line 1"));
+    }
+
+    #[test]
+    fn write_errors_stay_sticky_through_flush_and_finish() {
+        /// A writer that fails once the first full line (body + newline,
+        /// two `write` calls under `writeln!`) has gone through.
+        struct Flaky {
+            writes: usize,
+        }
+        impl Write for Flaky {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.writes += 1;
+                if self.writes > 2 {
+                    Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"))
+                } else {
+                    Ok(buf.len())
+                }
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let params = BTreeMap::new();
+        let record = RunRecord::new();
+        let meta = |run| RunMeta {
+            run_index: run,
+            point: 0,
+            scenario: "s",
+            params: &params,
+            replication: run,
+            seed: run,
+        };
+        let mut writer = JsonlRunWriter::new(Flaky { writes: 0 });
+        writer.on_run(&meta(0), &record);
+        writer.on_run(&meta(1), &record); // fails, sets the sticky error
+        assert!(writer.flush().is_err(), "flush reports the deferred error");
+        assert!(writer.flush().is_err(), "…and does not consume it");
+        writer.on_run(&meta(2), &record); // must stay suppressed (no gapped stream)
+        assert_eq!(writer.written(), 1, "nothing after the error counts as written");
+        assert!(writer.finish().is_err(), "finish still surfaces the failure");
     }
 
     #[test]

@@ -57,6 +57,34 @@ impl ParamValue {
     }
 }
 
+impl ParamValue {
+    /// Converts a parsed JSON value into a parameter value.
+    ///
+    /// JSON numbers without a fraction or exponent become [`ParamValue::Int`]
+    /// (the raw source text decides: `4` is an integer, `4.0` a float), so a
+    /// spec file distinguishes the two exactly like the builder API does.
+    pub fn from_json(value: &crate::json::JsonValue) -> Result<ParamValue, String> {
+        use crate::json::JsonValue;
+        match value {
+            JsonValue::Bool(b) => Ok(ParamValue::Bool(*b)),
+            JsonValue::String(s) => Ok(ParamValue::Text(s.clone())),
+            JsonValue::Number(raw) => {
+                if let Ok(i) = raw.parse::<i64>() {
+                    Ok(ParamValue::Int(i))
+                } else if let Ok(f) = raw.parse::<f64>() {
+                    Ok(ParamValue::Float(f))
+                } else {
+                    Err(format!("number {raw:?} fits neither i64 nor f64"))
+                }
+            }
+            other => Err(format!(
+                "a parameter value must be a number, string or boolean, not {}",
+                other.type_name()
+            )),
+        }
+    }
+}
+
 impl fmt::Display for ParamValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -276,6 +304,65 @@ impl ScenarioSpec {
     /// A compact `k=v, k=v` rendering of the parameter map (used in tables).
     pub fn params_label(&self) -> String {
         params_label(&self.params)
+    }
+
+    /// Builds a single-run spec from a JSON document — the one-off
+    /// counterpart of a campaign spec file
+    /// ([`Campaign::from_json_str`](crate::Campaign::from_json_str)):
+    ///
+    /// ```
+    /// use karyon_scenario::ScenarioSpec;
+    ///
+    /// let spec = ScenarioSpec::from_json_str(r#"{
+    ///     "scenario": "platoon", "seed": 9, "duration_secs": 120,
+    ///     "params": {"vehicles": 6, "mode": "kernel"}
+    /// }"#).expect("well-formed spec");
+    /// assert_eq!(spec.name, "platoon");
+    /// assert_eq!(spec.seed, 9);
+    /// assert_eq!(spec.u64_or("vehicles", 0), 6);
+    /// ```
+    ///
+    /// `seed`, `duration_secs` and `params` are optional and default like
+    /// [`ScenarioSpec::new`]; unknown fields are rejected.
+    pub fn from_json_str(text: &str) -> Result<ScenarioSpec, String> {
+        use crate::json::JsonValue;
+        let doc = JsonValue::parse(text)?;
+        let members = doc.as_object().ok_or_else(|| {
+            format!("a scenario spec must be a JSON object, not {}", doc.type_name())
+        })?;
+        for (key, _) in members {
+            if !matches!(key.as_str(), "scenario" | "seed" | "duration_secs" | "params") {
+                return Err(format!(
+                    "unknown scenario-spec field {key:?} (known: scenario, seed, \
+                     duration_secs, params)"
+                ));
+            }
+        }
+        let name = doc
+            .get("scenario")
+            .and_then(JsonValue::as_str)
+            .ok_or("a scenario spec needs a string \"scenario\" field")?;
+        let mut spec = ScenarioSpec::new(name);
+        if let Some(seed) = doc.get("seed") {
+            spec = spec.with_seed(seed.as_u64().ok_or("\"seed\" must be a non-negative integer")?);
+        }
+        if let Some(secs) = doc.get("duration_secs") {
+            spec = spec.with_duration_secs(
+                secs.as_u64().ok_or("\"duration_secs\" must be a non-negative integer")?,
+            );
+        }
+        if let Some(params) = doc.get("params") {
+            let members = params.as_object().ok_or_else(|| {
+                format!("\"params\" must be an object, not {}", params.type_name())
+            })?;
+            for (key, value) in members {
+                spec = spec.with(
+                    key,
+                    ParamValue::from_json(value).map_err(|e| format!("param {key:?}: {e}"))?,
+                );
+            }
+        }
+        Ok(spec)
     }
 }
 

@@ -24,6 +24,24 @@
 //!   sensor + injected faults + detectors ⇒ reading with validity) and the
 //!   abstract *reliable* sensor that combines component, analytical and
 //!   temporal redundancy.
+//!
+//! ## Quick tour
+//!
+//! Every disseminated reading carries a [`Validity`] in `[0, 100] %`;
+//! independent evidence combines multiplicatively, and safety rules compare
+//! the result against thresholds:
+//!
+//! ```
+//! use karyon_sensors::Validity;
+//!
+//! let detector_a = Validity::from_percent(75.0);
+//! let detector_b = Validity::from_percent(50.0);
+//! let combined = detector_a.combine(detector_b);
+//! assert_eq!(combined.percent(), 37.5);
+//! assert!(combined.meets(0.3), "still good enough for a 30 % rule");
+//! assert!(!combined.meets(0.5));
+//! assert!(Validity::INVALID.is_invalid());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

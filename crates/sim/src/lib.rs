@@ -55,7 +55,10 @@ pub use engine::{Context, Engine, FixedStepSim};
 pub use events::{EventQueue, HeapEventQueue};
 pub use geometry::{Vec2, Vec3};
 pub use rng::{splitmix64, Rng};
-pub use stats::{BucketHistogram, Counter, Histogram, OnlineStats, TimeSeries};
+pub use stats::{
+    BucketHistogram, BucketHistogramState, Counter, Histogram, OnlineStats, OnlineStatsState,
+    TimeSeries,
+};
 pub use table::Table;
 pub use time::{SimDuration, SimTime};
 

@@ -81,6 +81,36 @@ impl OnlineStats {
         }
     }
 
+    /// The raw internal state, for bit-exact persistence (checkpointing).
+    ///
+    /// The returned fields are the accumulator's *internal* values, not the
+    /// saturating views of the public getters: `min`/`max` are ±∞ while the
+    /// accumulator is empty, and `mean` is the raw running mean.  Feeding
+    /// them back through [`OnlineStats::from_raw_state`] reconstructs an
+    /// accumulator that continues the stream bit-identically.
+    pub fn raw_state(&self) -> OnlineStatsState {
+        OnlineStatsState {
+            count: self.count,
+            mean: self.mean,
+            m2: self.m2,
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Reconstructs an accumulator from persisted [`OnlineStats::raw_state`]
+    /// output.  The round-trip is bit-exact: recording or merging into the
+    /// reconstruction produces the same bits as into the original.
+    pub fn from_raw_state(state: OnlineStatsState) -> Self {
+        OnlineStats {
+            count: state.count,
+            mean: state.mean,
+            m2: state.m2,
+            min: state.min,
+            max: state.max,
+        }
+    }
+
     /// Merges another accumulator into this one.
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {
@@ -102,6 +132,27 @@ impl OnlineStats {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+}
+
+/// The raw persisted state of an [`OnlineStats`], produced by
+/// [`OnlineStats::raw_state`] and consumed by [`OnlineStats::from_raw_state`].
+///
+/// All fields are the accumulator's internal representation (see
+/// [`OnlineStats::raw_state`] for the empty-accumulator conventions); they
+/// exist so checkpointing code can serialise the accumulator bit-exactly
+/// without this crate prescribing a storage format.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineStatsState {
+    /// Number of finite observations recorded.
+    pub count: u64,
+    /// Raw running mean (0.0 while empty).
+    pub mean: f64,
+    /// Raw sum of squared deviations (Welford's M2).
+    pub m2: f64,
+    /// Raw running minimum (+∞ while empty).
+    pub min: f64,
+    /// Raw running maximum (−∞ while empty).
+    pub max: f64,
 }
 
 /// Sample-retaining histogram with percentile queries.
@@ -357,6 +408,50 @@ impl BucketHistogram {
         self.quantile(0.99)
     }
 
+    /// The raw internal state, for bit-exact persistence (checkpointing).
+    ///
+    /// Like [`OnlineStats::raw_state`], the returned `min`/`max` are the raw
+    /// running extremes (±∞ while empty), not the saturating public getters.
+    pub fn raw_state(&self) -> BucketHistogramState {
+        BucketHistogramState {
+            lo: self.lo,
+            hi: self.hi,
+            counts: self.counts.clone(),
+            underflow: self.underflow,
+            overflow: self.overflow,
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Reconstructs a histogram from persisted [`BucketHistogram::raw_state`]
+    /// output.  The round-trip is bit-exact: recording or merging into the
+    /// reconstruction produces the same bits as into the original.
+    ///
+    /// # Panics
+    /// Panics if the persisted bucket configuration is invalid (no buckets,
+    /// or an empty/non-finite range) — corrupted state must not be revived.
+    pub fn from_raw_state(state: BucketHistogramState) -> Self {
+        assert!(!state.counts.is_empty(), "BucketHistogram needs at least one bucket");
+        assert!(
+            state.lo.is_finite() && state.hi.is_finite() && state.lo < state.hi,
+            "BucketHistogram range must be finite and non-empty"
+        );
+        BucketHistogram {
+            lo: state.lo,
+            hi: state.hi,
+            counts: state.counts,
+            underflow: state.underflow,
+            overflow: state.overflow,
+            count: state.count,
+            sum: state.sum,
+            min: state.min,
+            max: state.max,
+        }
+    }
+
     /// Merges another histogram into this one by adding bucket counts.
     ///
     /// # Panics
@@ -377,6 +472,31 @@ impl BucketHistogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+}
+
+/// The raw persisted state of a [`BucketHistogram`], produced by
+/// [`BucketHistogram::raw_state`] and consumed by
+/// [`BucketHistogram::from_raw_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketHistogramState {
+    /// Lower edge of the bucketed range.
+    pub lo: f64,
+    /// Upper edge of the bucketed range.
+    pub hi: f64,
+    /// Per-bucket sample counts (equal-width buckets across `[lo, hi]`).
+    pub counts: Vec<u64>,
+    /// Samples recorded below `lo`.
+    pub underflow: u64,
+    /// Samples recorded above `hi`.
+    pub overflow: u64,
+    /// Total finite samples recorded.
+    pub count: u64,
+    /// Exact running sum of the samples.
+    pub sum: f64,
+    /// Raw running minimum (+∞ while empty).
+    pub min: f64,
+    /// Raw running maximum (−∞ while empty).
+    pub max: f64,
 }
 
 /// A named monotonically increasing counter.
@@ -640,6 +760,49 @@ mod tests {
         let mut a = BucketHistogram::new(0.0, 1.0, 8);
         let b = BucketHistogram::new(0.0, 2.0, 8);
         a.merge(&b);
+    }
+
+    #[test]
+    fn online_stats_raw_state_round_trips_bit_exactly() {
+        let mut s = OnlineStats::new();
+        for v in [0.1, 0.2, 0.7, 123.456, -9.0] {
+            s.record(v);
+        }
+        let mut restored = OnlineStats::from_raw_state(s.raw_state());
+        // Continuing both streams produces bit-identical aggregates.
+        s.record(0.333);
+        restored.record(0.333);
+        assert_eq!(s.count(), restored.count());
+        assert_eq!(s.mean().to_bits(), restored.mean().to_bits());
+        assert_eq!(s.variance().to_bits(), restored.variance().to_bits());
+        assert_eq!(s.min().to_bits(), restored.min().to_bits());
+        // Empty accumulators round-trip their ±∞ sentinels.
+        let empty = OnlineStats::from_raw_state(OnlineStats::new().raw_state());
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.min(), 0.0, "public getter still saturates to 0");
+    }
+
+    #[test]
+    fn bucket_histogram_raw_state_round_trips_bit_exactly() {
+        let mut h = BucketHistogram::new(0.0, 10.0, 8);
+        for v in [-1.0, 0.5, 3.3, 9.9, 42.0] {
+            h.record(v);
+        }
+        let mut restored = BucketHistogram::from_raw_state(h.raw_state());
+        h.record(7.7);
+        restored.record(7.7);
+        assert_eq!(h, restored);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q).to_bits(), restored.quantile(q).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn bucket_histogram_rejects_corrupt_raw_state() {
+        let mut state = BucketHistogram::new(0.0, 1.0, 4).raw_state();
+        state.counts.clear();
+        let _ = BucketHistogram::from_raw_state(state);
     }
 
     #[test]

@@ -14,6 +14,24 @@
 //!   bounded-round agreement protocol (use case A3),
 //! * [`avionics`] — the three aerial scenarios with separation-minima
 //!   accounting and collaborative vs. non-collaborative traffic (§VI-B).
+//!
+//! ## Quick tour
+//!
+//! The LoS-dependent time margin is how the safety kernel's level choice
+//! reaches the controller: lower levels demand larger headways:
+//!
+//! ```
+//! use karyon_core::LevelOfService;
+//! use karyon_vehicles::{emergency_brake_needed, time_margin_for_los};
+//!
+//! let full_cooperation = time_margin_for_los(LevelOfService(3));
+//! let non_cooperative = time_margin_for_los(LevelOfService::NON_COOPERATIVE);
+//! assert!(non_cooperative > full_cooperation,
+//!         "losing cooperation must widen the required headway");
+//! // 30 m gap closing at 15 m/s = 2 s to contact: below a 2.5 s threshold.
+//! assert!(emergency_brake_needed(30.0, 15.0, 2.5));
+//! assert!(!emergency_brake_needed(60.0, 15.0, 2.5));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,457 @@
+//! `karyon-campaign` — the campaign workflow as a command-line tool.
+//!
+//! Drives the `karyon-scenario` subsystem end to end from a JSON spec file:
+//!
+//! ```text
+//! karyon-campaign run      <spec.json> [--jsonl runs.jsonl] [--checkpoint c.json] ...
+//! karyon-campaign resume   <spec.json> --checkpoint c.json [--jsonl runs.jsonl] ...
+//! karyon-campaign report   <spec.json> (--jsonl runs.jsonl | --checkpoint c.json) ...
+//! karyon-campaign list-families
+//! ```
+//!
+//! `run` executes a campaign (optionally streaming per-run JSONL artifacts
+//! and writing crash-safe checkpoints), `resume` continues a killed or
+//! time-sliced campaign from its checkpoint manifest — producing a report
+//! bit-identical to an uninterrupted run — and `report` re-emits a report
+//! without running anything, either by replaying a complete JSONL stream or
+//! by reading a finished checkpoint.  Argument parsing is hand-rolled: the
+//! workspace builds offline and the surface is small.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use karyon::scenario::{
+    builtin_registry, read_jsonl_records, truncate_jsonl, Campaign, CampaignOutcome,
+    CampaignReport, Checkpointer, JsonlRunWriter, RunMeta, RunRecord, RunSink, RunnerStats,
+    ScenarioRegistry,
+};
+
+const USAGE: &str = "\
+karyon-campaign — declarative KARYON simulation campaigns: run, checkpoint, resume, report
+
+USAGE:
+    karyon-campaign run    <spec.json> [OPTIONS]     execute a campaign from a JSON spec
+    karyon-campaign resume <spec.json> [OPTIONS]     continue from --checkpoint (bit-identical)
+    karyon-campaign report <spec.json> [OPTIONS]     re-emit a report without running anything
+    karyon-campaign list-families                    list the builtin scenario families
+    karyon-campaign help                             show this help
+
+OPTIONS:
+    --jsonl <path>        stream one JSON line per run (run: append & continue the stream)
+    --checkpoint <path>   write crash-safe checkpoint manifests (resume/report: read them)
+    --checkpoint-every <chunks>   manifest cadence in canonical chunks   [default: 1]
+    --max-chunks <chunks> bounded work slice: stop (with a checkpoint) after N chunks
+    --threads <n>         worker threads (0 = machine parallelism; overrides the spec)
+    --output <mode>       report rendering: json | table | both          [default: table]
+    --metric <name>       also render the per-point table of one metric (repeatable)
+    --quiet               suppress the progress line on stderr
+
+SPEC FILE:
+    {\"name\": \"demo\", \"seed\": 42, \"chunk_size\": 4096,
+     \"entries\": [{\"scenario\": \"platoon\", \"replications\": 100,
+                  \"duration_secs\": 120,
+                  \"grid\": {\"mode\": [\"kernel\", \"los0\"], \"vehicles\": [4, 8]}}]}
+
+    Reports are bit-identical for any --threads value and any kill/resume
+    history at a fixed spec (seed, chunk_size, entries).
+";
+
+/// Everything the three report-producing subcommands share.
+struct CommonArgs {
+    spec_path: String,
+    jsonl: Option<String>,
+    checkpoint: Option<String>,
+    checkpoint_every: usize,
+    max_chunks: Option<usize>,
+    threads: Option<usize>,
+    output: OutputMode,
+    metrics: Vec<String>,
+    quiet: bool,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum OutputMode {
+    Json,
+    Table,
+    Both,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str);
+    let result = match command {
+        Some("run") => parse_common(&args[1..]).and_then(|a| cmd_run(a, false)),
+        Some("resume") => parse_common(&args[1..]).and_then(|a| cmd_run(a, true)),
+        Some("report") => parse_common(&args[1..]).and_then(cmd_report),
+        Some("list-families") => cmd_list_families(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "unknown command {other:?} (expected run, resume, report, list-families or help)"
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("karyon-campaign: error: {message}");
+            eprintln!("run `karyon-campaign help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
+    let mut spec_path = None;
+    let mut parsed = CommonArgs {
+        spec_path: String::new(),
+        jsonl: None,
+        checkpoint: None,
+        checkpoint_every: 1,
+        max_chunks: None,
+        threads: None,
+        output: OutputMode::Table,
+        metrics: Vec::new(),
+        quiet: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of =
+            |flag: &str| iter.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--jsonl" => parsed.jsonl = Some(value_of("--jsonl")?),
+            "--checkpoint" => parsed.checkpoint = Some(value_of("--checkpoint")?),
+            "--checkpoint-every" => {
+                parsed.checkpoint_every =
+                    parse_count("--checkpoint-every", &value_of("--checkpoint-every")?)?
+            }
+            "--max-chunks" => {
+                parsed.max_chunks = Some(parse_count("--max-chunks", &value_of("--max-chunks")?)?)
+            }
+            "--threads" => {
+                let raw = value_of("--threads")?;
+                parsed.threads =
+                    Some(raw.parse().map_err(|_| format!("--threads: {raw:?} is not an integer"))?)
+            }
+            "--output" => {
+                parsed.output = match value_of("--output")?.as_str() {
+                    "json" => OutputMode::Json,
+                    "table" => OutputMode::Table,
+                    "both" => OutputMode::Both,
+                    other => {
+                        return Err(format!("--output must be json, table or both, not {other:?}"))
+                    }
+                }
+            }
+            "--metric" => parsed.metrics.push(value_of("--metric")?),
+            "--quiet" => parsed.quiet = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown option {flag:?}")),
+            positional => {
+                if spec_path.replace(positional.to_string()).is_some() {
+                    return Err(format!("unexpected extra argument {positional:?}"));
+                }
+            }
+        }
+    }
+    parsed.spec_path = spec_path.ok_or("missing the <spec.json> argument")?;
+    Ok(parsed)
+}
+
+fn parse_count(flag: &str, raw: &str) -> Result<usize, String> {
+    raw.parse::<usize>()
+        .ok()
+        .filter(|n| *n > 0)
+        .ok_or_else(|| format!("{flag}: {raw:?} is not a positive integer"))
+}
+
+fn load_campaign(args: &CommonArgs) -> Result<Campaign, String> {
+    let text = std::fs::read_to_string(&args.spec_path)
+        .map_err(|e| format!("cannot read spec {:?}: {e}", args.spec_path))?;
+    let mut campaign =
+        Campaign::from_json_str(&text).map_err(|e| format!("spec {:?}: {e}", args.spec_path))?;
+    if let Some(threads) = args.threads {
+        campaign = campaign.with_threads(threads);
+    }
+    Ok(campaign)
+}
+
+/// A sink that forwards to an optional JSONL writer and keeps a progress
+/// line on stderr (never stdout, which carries the report).
+struct ProgressSink<W: std::io::Write> {
+    jsonl: Option<JsonlRunWriter<W>>,
+    done: u64,
+    offset: u64,
+    total: u64,
+    quiet: bool,
+    last_render: std::time::Instant,
+}
+
+impl<W: std::io::Write> ProgressSink<W> {
+    fn new(jsonl: Option<JsonlRunWriter<W>>, offset: u64, total: u64, quiet: bool) -> Self {
+        ProgressSink {
+            jsonl,
+            done: 0,
+            offset,
+            total,
+            quiet,
+            last_render: std::time::Instant::now(),
+        }
+    }
+
+    fn render(&mut self, force: bool) {
+        if self.quiet {
+            return;
+        }
+        // Redraw at most ~10×/s: progress must never throttle the runner.
+        if !force && self.last_render.elapsed().as_millis() < 100 {
+            return;
+        }
+        self.last_render = std::time::Instant::now();
+        let covered = self.offset + self.done;
+        let percent =
+            if self.total == 0 { 100.0 } else { covered as f64 * 100.0 / self.total as f64 };
+        eprint!("\r{covered}/{} runs ({percent:.1}%)   ", self.total);
+        let _ = std::io::stderr().flush();
+    }
+
+    fn finish_line(&mut self) {
+        if !self.quiet {
+            self.render(true);
+            eprintln!();
+        }
+    }
+}
+
+impl<W: std::io::Write> RunSink for ProgressSink<W> {
+    fn on_run(&mut self, meta: &RunMeta<'_>, record: &RunRecord) {
+        if let Some(jsonl) = &mut self.jsonl {
+            jsonl.on_run(meta, record);
+        }
+        self.done += 1;
+        self.render(false);
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match &mut self.jsonl {
+            Some(jsonl) => jsonl.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// `run` and `resume`: execute (the rest of) a campaign.
+fn cmd_run(args: CommonArgs, resuming: bool) -> Result<(), String> {
+    let campaign = load_campaign(&args)?;
+    let registry = builtin_registry();
+    validate_families(&campaign, &registry)?;
+    let total = campaign.run_count();
+
+    if resuming && args.checkpoint.is_none() {
+        return Err("resume needs --checkpoint <path> (the manifest to continue from)".into());
+    }
+    if args.max_chunks.is_some() && args.checkpoint.is_none() {
+        return Err(
+            "--max-chunks only makes sense with --checkpoint (the slice must be resumable)".into(),
+        );
+    }
+
+    let mut checkpointer = args.checkpoint.as_ref().map(|path| {
+        let mut c = Checkpointer::new(path).every_chunks(args.checkpoint_every);
+        if let Some(max) = args.max_chunks {
+            c = c.max_chunks_per_session(max);
+        }
+        c
+    });
+
+    // Resume: learn the watermark first, then cut the JSONL stream back to
+    // exactly the checkpointed runs and append to it.  The fingerprint is
+    // checked *before* the stream is touched — truncating a stream that does
+    // not belong to this manifest would destroy data `Campaign::resume`
+    // would then refuse to continue anyway.
+    let mut offset = 0u64;
+    if resuming {
+        let manifest = checkpointer.as_ref().expect("checked above").load()?;
+        if manifest.fingerprint != campaign.fingerprint() {
+            return Err(format!(
+                "checkpoint {:?} was written by a different campaign definition than spec {:?} \
+                 (fingerprint {:#018x} vs {:#018x}) — refusing to touch the JSONL stream; \
+                 restore the original spec (name, seed, chunk_size, entries) to resume",
+                args.checkpoint.as_deref().unwrap_or("<path>"),
+                args.spec_path,
+                manifest.fingerprint,
+                campaign.fingerprint(),
+            ));
+        }
+        offset = manifest.runs_done;
+        if let Some(jsonl_path) = &args.jsonl {
+            truncate_jsonl(std::path::Path::new(jsonl_path), offset)?;
+        }
+        if !args.quiet {
+            eprintln!(
+                "resuming campaign {:?} from chunk watermark {} ({offset}/{total} runs done)",
+                campaign.name(),
+                manifest.chunks_done
+            );
+        }
+    }
+
+    let jsonl = args
+        .jsonl
+        .as_ref()
+        .map(|path| {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(resuming)
+                .write(true)
+                .truncate(!resuming)
+                .open(path)
+                .map_err(|e| format!("cannot open JSONL stream {path:?}: {e}"))?;
+            Ok::<_, String>(JsonlRunWriter::new(std::io::BufWriter::new(file)))
+        })
+        .transpose()?;
+
+    let mut progress = ProgressSink::new(jsonl, offset, total, args.quiet);
+    let started = std::time::Instant::now();
+    let (outcome, stats) = match (&mut checkpointer, resuming) {
+        (Some(ckpt), true) => campaign.resume(&registry, ckpt, Some(&mut progress))?,
+        (Some(ckpt), false) => campaign.run_checkpointed(&registry, ckpt, Some(&mut progress))?,
+        (None, _) => {
+            let (report, stats) = campaign.run_instrumented(&registry, Some(&mut progress))?;
+            (CampaignOutcome::Complete(report), stats)
+        }
+    };
+    progress.finish_line();
+    if let Some(jsonl) = progress.jsonl.take() {
+        jsonl.finish().map_err(|e| format!("finishing the JSONL stream: {e}"))?;
+    }
+
+    match outcome {
+        CampaignOutcome::Complete(report) => {
+            summarize(&stats, started.elapsed(), &args, &report)?;
+            Ok(())
+        }
+        CampaignOutcome::Interrupted { chunks_done, runs_done } => {
+            if !args.quiet {
+                eprintln!(
+                    "stopped after the session's chunk budget: {chunks_done} chunks \
+                     ({runs_done}/{total} runs) checkpointed in {:.2?}; resume with:\n  \
+                     karyon-campaign resume {:?} --checkpoint {:?}",
+                    started.elapsed(),
+                    args.spec_path,
+                    args.checkpoint.as_deref().unwrap_or("<path>"),
+                );
+            }
+            Ok(())
+        }
+    }
+}
+
+/// `report`: re-emit a report without executing any run — from a complete
+/// JSONL stream (canonical replay) or a finished checkpoint manifest.
+fn cmd_report(args: CommonArgs) -> Result<(), String> {
+    let campaign = load_campaign(&args)?;
+    let registry = builtin_registry();
+    validate_families(&campaign, &registry)?;
+    match (&args.jsonl, &args.checkpoint) {
+        (Some(jsonl_path), None) => {
+            let text = std::fs::read_to_string(jsonl_path)
+                .map_err(|e| format!("cannot read JSONL stream {jsonl_path:?}: {e}"))?;
+            let records = read_jsonl_records(&text)?;
+            let report = campaign.reduce_records(&registry, &records)?;
+            render(&args, &report)
+        }
+        (None, Some(ckpt_path)) => {
+            // `report` must never execute runs: only a *finished* manifest
+            // (watermark == chunk count) can be replayed.  An unfinished one
+            // is an error naming the watermark, pointing at `resume`.
+            let mut ckpt = Checkpointer::new(ckpt_path);
+            let manifest = ckpt.load()?;
+            let chunks = campaign.canonical_chunks();
+            if manifest.fingerprint == campaign.fingerprint() && manifest.chunks_done < chunks {
+                return Err(format!(
+                    "checkpoint {ckpt_path:?} is mid-campaign ({} of {chunks} chunks, {} of {} \
+                     runs) — `report` never executes runs; use `karyon-campaign resume` to \
+                     finish it first",
+                    manifest.chunks_done,
+                    manifest.runs_done,
+                    campaign.run_count(),
+                ));
+            }
+            // A finished manifest replays instantly through resume: zero
+            // chunks remain, so no run executes and no manifest is written.
+            let (outcome, _) = campaign.resume(&registry, &mut ckpt, None)?;
+            match outcome {
+                CampaignOutcome::Complete(report) => render(&args, &report),
+                CampaignOutcome::Interrupted { .. } => unreachable!("zero chunks remain"),
+            }
+        }
+        _ => Err("report needs exactly one source: --jsonl <stream> (replay) or \
+             --checkpoint <manifest> (finished campaign)"
+            .into()),
+    }
+}
+
+fn cmd_list_families(args: &[String]) -> Result<(), String> {
+    if !args.is_empty() {
+        return Err(format!("list-families takes no arguments, got {args:?}"));
+    }
+    let registry = builtin_registry();
+    println!("builtin scenario families ({}):", registry.len());
+    for name in registry.names() {
+        println!("  {name}");
+    }
+    println!(
+        "\nsee `cargo doc -p karyon-scenario` (builtin_registry) for each family's parameters"
+    );
+    Ok(())
+}
+
+/// Rejects unknown scenario families before any execution or file I/O.
+/// (`Campaign::run` checks this too, but the CLI wants the error *before* it
+/// truncates streams or opens files for writing.)
+fn validate_families(campaign: &Campaign, registry: &ScenarioRegistry) -> Result<(), String> {
+    for entry in campaign.entries() {
+        if registry.get(entry.scenario()).is_none() {
+            return Err(format!(
+                "unknown scenario family {:?} — run `karyon-campaign list-families` for the \
+                 builtin set",
+                entry.scenario()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn summarize(
+    stats: &RunnerStats,
+    elapsed: std::time::Duration,
+    args: &CommonArgs,
+    report: &CampaignReport,
+) -> Result<(), String> {
+    if !args.quiet {
+        let rate = report.total_runs as f64 / elapsed.as_secs_f64().max(1e-9);
+        eprintln!(
+            "completed {} runs in {elapsed:.2?} ({rate:.0} runs/s, {} workers, {} chunks this \
+             session); suspect runs: {}",
+            report.total_runs,
+            stats.workers,
+            stats.chunks,
+            report.suspect_runs()
+        );
+    }
+    render(args, report)
+}
+
+fn render(args: &CommonArgs, report: &CampaignReport) -> Result<(), String> {
+    if matches!(args.output, OutputMode::Table | OutputMode::Both) {
+        for metric in &args.metrics {
+            report.metric_table(metric).print();
+        }
+        report.summary_table().print();
+    }
+    if matches!(args.output, OutputMode::Json | OutputMode::Both) {
+        println!("{}", report.to_json());
+    }
+    Ok(())
+}

@@ -1,0 +1,247 @@
+//! Resume-determinism properties of the campaign checkpoint subsystem: a
+//! campaign interrupted at an arbitrary canonical-chunk boundary — its JSONL
+//! stream truncated back to the checkpoint watermark, exactly what a crash
+//! plus [`truncate_jsonl`] leaves behind — and resumed from its manifest
+//! must produce a **byte-identical** report, JSON rendering and JSONL
+//! stream, for 1 and N workers on either side of the interruption.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use karyon::scenario::{
+    truncate_jsonl, Campaign, CampaignEntry, CampaignOutcome, CheckpointManifest, Checkpointer,
+    JsonlRunWriter, ParamGrid, RunRecord, Scenario, ScenarioRegistry, ScenarioSpec,
+};
+use karyon::sim::splitmix64;
+
+/// A cheap deterministic scenario with adversarial metric content: a
+/// pre-agreed-range metric (streams through fixed histograms), an undeclared
+/// wild-range metric (exercises exact-until-spill), an occasionally absent
+/// metric and an occasional NaN.
+struct Noise;
+
+impl Scenario for Noise {
+    fn name(&self) -> &str {
+        "noise"
+    }
+
+    fn metric_range(&self, metric: &str) -> Option<(f64, f64)> {
+        match metric {
+            "ranged" => Some((0.0, 1.0)),
+            _ => None,
+        }
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        let mut state = spec.seed;
+        let a = splitmix64(&mut state);
+        let b = splitmix64(&mut state);
+        let mut record = RunRecord::new();
+        record.set("ranged", (a >> 11) as f64 / (1u64 << 53) as f64);
+        record.set("wild", ((b % 10_000) as f64 - 5_000.0) * spec.f64_or("scale", 1.0));
+        if a % 5 == 0 {
+            record.set("sometimes", (a % 97) as f64);
+        }
+        if b % 31 == 0 {
+            record.set("broken", f64::NAN);
+        }
+        record
+    }
+}
+
+fn noise_registry() -> ScenarioRegistry {
+    let mut registry = ScenarioRegistry::new();
+    registry.register(Arc::new(Noise));
+    registry
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("karyon-resume-{}-{tag}", std::process::id()));
+    fs::create_dir_all(&dir).expect("temp dir is writable");
+    dir
+}
+
+fn noise_campaign(seed: u64, replications: u64, chunk_size: usize, threads: usize) -> Campaign {
+    Campaign::new("resume-prop", seed).with_chunk_size(chunk_size).with_threads(threads).entry(
+        CampaignEntry::new("noise")
+            .grid(ParamGrid::new().axis("scale", [1.0, 2.5]))
+            .replications(replications),
+    )
+}
+
+/// The uninterrupted reference: report + full JSONL bytes.
+fn reference(campaign: &Campaign) -> (karyon::scenario::CampaignReport, Vec<u8>) {
+    let mut jsonl = JsonlRunWriter::new(Vec::new());
+    let report =
+        campaign.run_with_sink(&noise_registry(), &mut jsonl).expect("noise is registered");
+    (report, jsonl.finish().expect("in-memory writes cannot fail"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The flagship acceptance property: interrupt at an arbitrary chunk
+    /// boundary, truncate the JSONL stream to the watermark (crash
+    /// recovery), resume from the manifest — report, JSON text and JSONL
+    /// stream are byte-identical to the uninterrupted run, with independent
+    /// worker counts before and after the interruption.
+    #[test]
+    fn interrupted_campaigns_resume_byte_identically(
+        seed in 0u64..100_000,
+        replications in 4u64..40,
+        chunk_size in 1usize..12,
+        boundary_frac in 0.0f64..1.0,
+        threads_before in 1usize..5,
+        threads_after in 1usize..5,
+    ) {
+        let campaign = noise_campaign(seed, replications, chunk_size, threads_before);
+        let chunks = campaign.canonical_chunks();
+        if chunks < 2 {
+            // A single-chunk campaign has no interior boundary to interrupt
+            // at; nothing to check for this sample.
+            return Ok(());
+        }
+        // Interrupt somewhere strictly inside the campaign.
+        let boundary = 1 + ((chunks - 2) as f64 * boundary_frac) as usize;
+        prop_assert!(boundary < chunks, "boundary {boundary} inside {chunks} chunks");
+        let (expected_report, expected_jsonl) = reference(&campaign);
+
+        let dir = scratch_dir("prop");
+        let ckpt_path = dir.join(format!("c-{seed}-{replications}-{chunk_size}.json"));
+        let jsonl_path = dir.join(format!("s-{seed}-{replications}-{chunk_size}.jsonl"));
+
+        // Session 1: bounded to `boundary` chunks, checkpointing as it goes.
+        let mut jsonl = JsonlRunWriter::new(
+            fs::File::create(&jsonl_path).expect("temp file is writable"),
+        );
+        let mut ckpt = Checkpointer::new(&ckpt_path).max_chunks_per_session(boundary);
+        let (outcome, _) = campaign
+            .run_checkpointed(&noise_registry(), &mut ckpt, Some(&mut jsonl))
+            .expect("session 1 runs");
+        prop_assert_eq!(
+            &outcome,
+            &CampaignOutcome::Interrupted {
+                chunks_done: boundary,
+                runs_done: (boundary as u64 * chunk_size as u64).min(campaign.run_count()),
+            }
+        );
+        drop(jsonl); // the crash: nothing past the last flush survives cleanly
+
+        // Simulate a kill mid-write: runs beyond the checkpoint plus a torn
+        // final line trail the stream.
+        let mut tail = fs::OpenOptions::new().append(true).open(&jsonl_path).unwrap();
+        use std::io::Write as _;
+        writeln!(tail, "{{\"run\":99999,\"scenario\":\"noise\",\"metrics\":{{}}}}").unwrap();
+        write!(tail, "{{\"run\":100000,\"scen").unwrap();
+        drop(tail);
+
+        // Crash recovery: read the manifest, cut the stream to the
+        // watermark, resume with an append writer and a different worker
+        // count.
+        let manifest = CheckpointManifest::load(&ckpt_path).expect("manifest is on disk");
+        prop_assert_eq!(manifest.chunks_done, boundary);
+        truncate_jsonl(&jsonl_path, manifest.runs_done).expect("stream covers the watermark");
+        let campaign = noise_campaign(seed, replications, chunk_size, threads_after);
+        let mut jsonl = JsonlRunWriter::new(
+            fs::OpenOptions::new().append(true).open(&jsonl_path).unwrap(),
+        );
+        let mut ckpt = Checkpointer::new(&ckpt_path);
+        let (outcome, stats) = campaign
+            .resume(&noise_registry(), &mut ckpt, Some(&mut jsonl))
+            .expect("session 2 resumes");
+        jsonl.finish().expect("stream closes cleanly");
+        prop_assert_eq!(stats.chunks, (chunks - boundary) as u64);
+
+        let resumed = match outcome {
+            CampaignOutcome::Complete(report) => report,
+            CampaignOutcome::Interrupted { .. } => {
+                prop_assert!(false, "an unbounded resume session must complete");
+                unreachable!()
+            }
+        };
+        prop_assert_eq!(&resumed, &expected_report);
+        prop_assert_eq!(resumed.to_json(), expected_report.to_json());
+        // The stitched JSONL stream must be byte-identical to an
+        // uninterrupted run's.
+        let stitched = fs::read(&jsonl_path).unwrap();
+        prop_assert!(stitched == expected_jsonl, "stitched JSONL differs from uninterrupted");
+        fs::remove_file(&ckpt_path).ok();
+        fs::remove_file(&jsonl_path).ok();
+    }
+}
+
+/// Chained preemptions: a campaign sliced into many bounded sessions — each
+/// resuming the last, under varying worker counts — still converges to the
+/// uninterrupted result.  This is the time-slicing deployment mode
+/// (preemptible compute) rather than the crash mode above.
+#[test]
+fn many_chained_sessions_converge_to_the_uninterrupted_report() {
+    let dir = scratch_dir("chain");
+    let ckpt_path = dir.join("chain.json");
+    let build = |threads| noise_campaign(777, 50, 4, threads);
+    let (expected, _) = reference(&build(1));
+    let chunks = build(1).canonical_chunks();
+
+    let mut sessions = 0usize;
+    let mut ckpt = Checkpointer::new(&ckpt_path).max_chunks_per_session(3).every_chunks(2);
+    let report = loop {
+        sessions += 1;
+        let threads = 1 + (sessions % 4);
+        let campaign = build(threads);
+        let (outcome, _) = if sessions == 1 {
+            campaign.run_checkpointed(&noise_registry(), &mut ckpt, None).expect("session runs")
+        } else {
+            campaign.resume(&noise_registry(), &mut ckpt, None).expect("session resumes")
+        };
+        match outcome {
+            CampaignOutcome::Complete(report) => break report,
+            CampaignOutcome::Interrupted { chunks_done, .. } => {
+                assert_eq!(chunks_done, (sessions * 3).min(chunks));
+            }
+        }
+        assert!(sessions < 64, "the chain must terminate");
+    };
+    assert_eq!(sessions, chunks.div_ceil(3), "every session advances exactly its budget");
+    assert_eq!(report, expected);
+    assert_eq!(report.to_json(), expected.to_json());
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Resume must refuse manifests that do not belong to the campaign — a
+/// changed grid, seed or chunk size silently merging foreign partials would
+/// be a correctness disaster.
+#[test]
+fn resume_rejects_manifests_from_a_different_campaign_definition() {
+    let dir = scratch_dir("reject");
+    let ckpt_path = dir.join("reject.json");
+    let original = noise_campaign(1, 20, 4, 2);
+    let mut ckpt = Checkpointer::new(&ckpt_path).max_chunks_per_session(2);
+    original.run_checkpointed(&noise_registry(), &mut ckpt, None).expect("session 1 runs");
+
+    let mut resume_ckpt = Checkpointer::new(&ckpt_path);
+    for (label, changed) in [
+        ("seed", noise_campaign(2, 20, 4, 2)),
+        ("chunk size", noise_campaign(1, 20, 5, 2)),
+        ("replications", noise_campaign(1, 21, 4, 2)),
+        (
+            "grid",
+            Campaign::new("resume-prop", 1).with_chunk_size(4).entry(
+                CampaignEntry::new("noise")
+                    .grid(ParamGrid::new().axis("scale", [1.0, 2.5, 3.5]))
+                    .replications(20),
+            ),
+        ),
+    ] {
+        let err = changed.resume(&noise_registry(), &mut resume_ckpt, None).expect_err(label);
+        assert!(err.contains("fingerprint"), "{label}: {err}");
+    }
+    // The unchanged definition still resumes fine (worker count may differ).
+    let (outcome, _) = noise_campaign(1, 20, 4, 4)
+        .resume(&noise_registry(), &mut resume_ckpt, None)
+        .expect("same definition resumes");
+    assert!(outcome.is_complete());
+    fs::remove_dir_all(&dir).ok();
+}
