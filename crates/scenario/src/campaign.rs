@@ -227,6 +227,10 @@ struct ChunkOutput {
     /// `(global run index, record)` pairs, captured only when a sink needs
     /// them; drained in canonical order by the collector.
     records: Vec<(u64, RunRecord)>,
+    /// False when the worker observed the abort flag and stopped mid-chunk:
+    /// the output covers only a prefix of the chunk's runs and must never be
+    /// merged into the accumulator or covered by a checkpoint watermark.
+    completed: bool,
 }
 
 /// Claim/merge coordination: workers may only claim a chunk while it is
@@ -659,6 +663,7 @@ impl Campaign {
         if workers <= 1 {
             for chunk in start_chunk..end_chunk {
                 let output = self.run_chunk(&points, &families, chunk, sink.is_some(), None)?;
+                debug_assert!(output.completed, "no abort flag on the sequential path");
                 stats.peak_pending_chunks = stats.peak_pending_chunks.max(1);
                 stats.peak_resident_records =
                     stats.peak_resident_records.max(output.records.len() as u64);
@@ -685,6 +690,7 @@ impl Campaign {
         let capture = sink.is_some();
         let (tx, rx) = mpsc::channel::<(usize, Result<ChunkOutput, String>)>();
         let mut first_error: Option<(usize, String)> = None;
+        let mut saw_aborted_chunk = false;
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -720,6 +726,21 @@ impl Campaign {
                             next_merge += 1;
                         }
                     }
+                    Ok(output) if !output.completed => {
+                        // A worker saw the abort flag mid-chunk: this output
+                        // covers only a prefix of the chunk's runs.  The
+                        // `Err` that raised the flag may still be in flight
+                        // (mpsc ordering across senders is arbitrary), so
+                        // merging — or letting a later merge checkpoint past
+                        // this hole — would durably record runs that never
+                        // executed.  Drop it, remember the session has a
+                        // hole, and keep the window moving so workers drain.
+                        saw_aborted_chunk = true;
+                        gate.advance();
+                        if chunk == next_merge {
+                            next_merge += 1;
+                        }
+                    }
                     Ok(output) => {
                         resident_records += output.records.len() as u64;
                         pending.insert(chunk, output);
@@ -730,25 +751,30 @@ impl Campaign {
                 }
                 while let Some(output) = pending.remove(&next_merge) {
                     resident_records -= output.records.len() as u64;
-                    self.merge_chunk(&points, &mut accumulator, output, &mut sink);
                     next_merge += 1;
                     gate.advance();
-                    if first_error.is_none() {
-                        if let Err(error) = self.checkpoint_if_due(
-                            &mut ckpt,
-                            &mut sink,
-                            next_merge,
-                            end_chunk,
-                            total_runs,
-                            &accumulator,
-                        ) {
-                            // A checkpoint that cannot be persisted voids the
-                            // crash-safety contract: wind the campaign down
-                            // and surface the I/O failure.
-                            first_error = Some((next_merge, error));
-                            abort.store(true, Ordering::Relaxed);
-                            gate.wake_all();
-                        }
+                    if first_error.is_some() || saw_aborted_chunk {
+                        // The session is doomed to return Err: drop the
+                        // output instead of merging — no checkpoint may
+                        // cover it, and streaming its records would only
+                        // write a sink tail the next resume truncates.
+                        continue;
+                    }
+                    self.merge_chunk(&points, &mut accumulator, output, &mut sink);
+                    if let Err(error) = self.checkpoint_if_due(
+                        &mut ckpt,
+                        &mut sink,
+                        next_merge,
+                        end_chunk,
+                        total_runs,
+                        &accumulator,
+                    ) {
+                        // A checkpoint that cannot be persisted voids the
+                        // crash-safety contract: wind the campaign down
+                        // and surface the I/O failure.
+                        first_error = Some((next_merge, error));
+                        abort.store(true, Ordering::Relaxed);
+                        gate.wake_all();
                     }
                 }
             }
@@ -756,6 +782,13 @@ impl Campaign {
 
         if let Some((_, error)) = first_error {
             return Err(error);
+        }
+        if saw_aborted_chunk {
+            // The flag is only ever raised alongside a worker `Err` (which
+            // always reaches the collector before the channel closes) or a
+            // checkpoint failure (which sets `first_error` directly), so
+            // this is unreachable — but never bless a session with a hole.
+            return Err("a worker aborted mid-chunk without a recorded failure".to_string());
         }
         Ok(self.conclude(points, total_runs, accumulator, chunks, end_chunk, stats))
     }
@@ -869,7 +902,8 @@ impl Campaign {
 
     /// Executes the canonical chunk `chunk` sequentially in run order,
     /// streaming every record into a fresh [`ChunkPartial`].  Returns the
-    /// first run failure (canonical within the chunk) as `Err`.
+    /// first run failure (canonical within the chunk) as `Err`; an output
+    /// with `completed == false` when the abort flag cut the chunk short.
     fn run_chunk(
         &self,
         points: &[PointDef],
@@ -883,9 +917,11 @@ impl Campaign {
         let end = (start + self.chunk_size as u64).min(total);
         let mut partial = ChunkPartial::new();
         let mut records = Vec::new();
+        let mut completed = true;
         let mut point_index = point_of(points, start);
         for run in start..end {
             if abort.is_some_and(|a| a.load(Ordering::Relaxed)) {
+                completed = false;
                 break;
             }
             while !run_belongs_to(points, point_index, run) {
@@ -900,7 +936,7 @@ impl Campaign {
                 records.push((run, record));
             }
         }
-        Ok(ChunkOutput { partial, records })
+        Ok(ChunkOutput { partial, records, completed })
     }
 
     /// Folds one canonical chunk into the campaign accumulator and drains its
@@ -1102,6 +1138,26 @@ mod tests {
             assert_eq!(one, many, "threads = {threads}");
         }
         assert_eq!(one.total_runs, 19);
+    }
+
+    #[test]
+    fn an_aborted_chunk_reports_itself_incomplete() {
+        let campaign = Campaign::new("abort", 3)
+            .with_chunk_size(4)
+            .entry(CampaignEntry::new("echo").replications(8));
+        let (points, _) = campaign.expand_points();
+        let families = campaign.resolve_families(&echo_registry(), &points).unwrap();
+        let clear = AtomicBool::new(false);
+        let output = campaign.run_chunk(&points, &families, 0, true, Some(&clear)).unwrap();
+        assert!(output.completed);
+        assert_eq!(output.records.len(), 4);
+        // With the abort flag raised, the chunk covers only a prefix (here:
+        // nothing) and must say so — the collector relies on this to never
+        // merge or checkpoint a hole.
+        let raised = AtomicBool::new(true);
+        let output = campaign.run_chunk(&points, &families, 0, true, Some(&raised)).unwrap();
+        assert!(!output.completed, "an aborted chunk must flag itself incomplete");
+        assert!(output.records.is_empty(), "no run executes after the abort flag");
     }
 
     #[test]

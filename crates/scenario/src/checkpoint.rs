@@ -21,10 +21,13 @@
 //!
 //! When a [`RunSink`](crate::RunSink) streams per-run JSONL artifacts
 //! alongside, the runner flushes the sink *before* each manifest write, so
-//! the stream on disk always covers at least the checkpointed runs.  After a
-//! crash the stream may run ahead of the manifest (or end in a torn line);
-//! [`truncate_jsonl`] cuts it back to exactly the watermark so the resumed
-//! stream continues byte-identically.
+//! the stream on disk always covers at least the checkpointed runs — with
+//! the durability the sink's writer provides: stream the file through
+//! [`SyncOnFlushFile`](crate::SyncOnFlushFile) (as the `karyon-campaign` CLI
+//! does) and the covered prefix survives power loss, exactly like the
+//! fsynced manifest.  After a crash the stream may run ahead of the manifest
+//! (or end in a torn line); [`truncate_jsonl`] cuts it back to exactly the
+//! watermark so the resumed stream continues byte-identically.
 //!
 //! ```
 //! use karyon_scenario::{Campaign, CampaignEntry, CampaignOutcome, Checkpointer};
@@ -463,9 +466,11 @@ fn parse_metric(name: &str, value: &JsonValue) -> Result<MetricAccumulator, Stri
 /// past its last manifest, including a torn final line.
 ///
 /// Returns the retained byte length.  Errors if the stream holds fewer than
-/// `runs` complete lines: the stream can never lag the manifest, because the
-/// runner flushes the sink before every manifest write — a shorter stream
-/// means the two files do not belong together.
+/// `runs` complete lines: the runner flushes the sink before every manifest
+/// write, so a shorter stream means either the two files do not belong
+/// together, or a power loss dropped tail writes a non-syncing writer had
+/// only handed to the OS cache (stream through
+/// [`SyncOnFlushFile`](crate::SyncOnFlushFile) to rule that out).
 pub fn truncate_jsonl(path: &Path, runs: u64) -> Result<u64, String> {
     let file = fs::OpenOptions::new()
         .read(true)
@@ -481,7 +486,9 @@ pub fn truncate_jsonl(path: &Path, runs: u64) -> Result<u64, String> {
         if buf.is_empty() {
             return Err(format!(
                 "JSONL stream {path:?} holds only {complete_lines} complete lines but the \
-                 checkpoint covers {runs} runs — the stream does not belong to this checkpoint"
+                 checkpoint covers {runs} runs — either the stream does not belong to this \
+                 checkpoint, or a power loss dropped tail writes that never reached stable \
+                 storage (stream through a sync-on-flush writer to prevent this)"
             ));
         }
         match buf.iter().position(|b| *b == b'\n') {

@@ -82,5 +82,5 @@ pub use json::JsonValue;
 pub use registry::{builtin_registry, ScenarioRegistry};
 pub use report::{CampaignReport, MetricSummary, PointReport};
 pub use scenario::{RunRecord, Scenario};
-pub use sink::{read_jsonl_records, JsonlRunWriter, RunMeta, RunSink};
+pub use sink::{read_jsonl_records, JsonlRunWriter, RunMeta, RunSink, SyncOnFlushFile};
 pub use spec::{ParamValue, ScenarioSpec};

@@ -41,10 +41,15 @@ pub trait RunSink {
     /// (`meta.run_index` is increasing) for any worker count.
     fn on_run(&mut self, meta: &RunMeta<'_>, record: &RunRecord);
 
-    /// Pushes buffered output to durable storage.  The checkpointing runner
-    /// calls this **before** every manifest write, so the artifact stream on
-    /// disk always covers at least the checkpointed runs; in-memory sinks
-    /// keep the no-op default.
+    /// Pushes buffered output down to the sink's backing store.  The
+    /// checkpointing runner calls this **before** every manifest write, so
+    /// the artifact stream covers at least the checkpointed runs — with
+    /// exactly the durability the underlying writer's `flush` provides.  A
+    /// plain [`BufWriter<File>`](std::io::BufWriter) flushes to the OS page
+    /// cache, which survives a process kill but not a power loss; wrap the
+    /// file in [`SyncOnFlushFile`] to make each checkpoint's stream prefix
+    /// durable against power loss too (manifests themselves are always
+    /// fsynced).  In-memory sinks keep the no-op default.
     fn flush(&mut self) -> io::Result<()> {
         Ok(())
     }
@@ -53,6 +58,39 @@ pub trait RunSink {
 impl<F: FnMut(&RunMeta<'_>, &RunRecord)> RunSink for F {
     fn on_run(&mut self, meta: &RunMeta<'_>, record: &RunRecord) {
         self(meta, record)
+    }
+}
+
+/// A buffered file writer whose [`flush`](Write::flush) drains the buffer
+/// **and** fsyncs (`sync_all`) the file.
+///
+/// [`RunSink::flush`] is called before every checkpoint manifest write, and
+/// the manifest itself is fsynced — so a JSONL stream that only reaches the
+/// OS page cache can, after a power loss, hold fewer lines than the manifest
+/// watermark and refuse to resume.  Streaming through this wrapper closes
+/// that gap: by the time a manifest lands, the stream prefix it covers is on
+/// stable storage.  The `karyon-campaign` CLI wraps its `--jsonl` file in
+/// this.
+#[derive(Debug)]
+pub struct SyncOnFlushFile {
+    inner: io::BufWriter<std::fs::File>,
+}
+
+impl SyncOnFlushFile {
+    /// Wraps `file` in a buffered, sync-on-flush writer.
+    pub fn new(file: std::fs::File) -> Self {
+        SyncOnFlushFile { inner: io::BufWriter::new(file) }
+    }
+}
+
+impl Write for SyncOnFlushFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()?;
+        self.inner.get_ref().sync_all()
     }
 }
 
@@ -290,6 +328,20 @@ mod tests {
         writer.on_run(&meta(2), &record); // must stay suppressed (no gapped stream)
         assert_eq!(writer.written(), 1, "nothing after the error counts as written");
         assert!(writer.finish().is_err(), "finish still surfaces the failure");
+    }
+
+    #[test]
+    fn sync_on_flush_file_lands_every_flushed_byte_on_disk() {
+        let path =
+            std::env::temp_dir().join(format!("karyon-sync-on-flush-{}.jsonl", std::process::id()));
+        let mut out = SyncOnFlushFile::new(std::fs::File::create(&path).unwrap());
+        writeln!(out, "line 1").unwrap();
+        out.flush().expect("flush drains the buffer and fsyncs");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "line 1\n");
+        writeln!(out, "line 2").unwrap();
+        out.flush().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "line 1\nline 2\n");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::process::ExitCode;
 use karyon::scenario::{
     builtin_registry, read_jsonl_records, truncate_jsonl, Campaign, CampaignOutcome,
     CampaignReport, Checkpointer, JsonlRunWriter, RunMeta, RunRecord, RunSink, RunnerStats,
-    ScenarioRegistry,
+    ScenarioRegistry, SyncOnFlushFile,
 };
 
 const USAGE: &str = "\
@@ -45,6 +45,8 @@ OPTIONS:
     --output <mode>       report rendering: json | table | both          [default: table]
     --metric <name>       also render the per-point table of one metric (repeatable)
     --quiet               suppress the progress line on stderr
+    --force               run: discard an existing checkpoint of this campaign and start over
+                          (without it, `run` refuses to overwrite checkpointed progress)
 
 SPEC FILE:
     {\"name\": \"demo\", \"seed\": 42, \"chunk_size\": 4096,
@@ -67,6 +69,7 @@ struct CommonArgs {
     output: OutputMode,
     metrics: Vec<String>,
     quiet: bool,
+    force: bool,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -114,6 +117,7 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
         output: OutputMode::Table,
         metrics: Vec::new(),
         quiet: false,
+        force: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -146,6 +150,7 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
             }
             "--metric" => parsed.metrics.push(value_of("--metric")?),
             "--quiet" => parsed.quiet = true,
+            "--force" => parsed.force = true,
             flag if flag.starts_with('-') => return Err(format!("unknown option {flag:?}")),
             positional => {
                 if spec_path.replace(positional.to_string()).is_some() {
@@ -247,6 +252,12 @@ fn cmd_run(args: CommonArgs, resuming: bool) -> Result<(), String> {
     validate_families(&campaign, &registry)?;
     let total = campaign.run_count();
 
+    if resuming && args.force {
+        return Err(
+            "--force only applies to `run` (resume continues progress, it never discards any)"
+                .into(),
+        );
+    }
     if resuming && args.checkpoint.is_none() {
         return Err("resume needs --checkpoint <path> (the manifest to continue from)".into());
     }
@@ -254,6 +265,32 @@ fn cmd_run(args: CommonArgs, resuming: bool) -> Result<(), String> {
         return Err(
             "--max-chunks only makes sense with --checkpoint (the slice must be resumable)".into(),
         );
+    }
+
+    // `run` starts from scratch: it truncates --jsonl and overwrites
+    // --checkpoint.  A manifest already holding progress (for this campaign
+    // a mistyped `resume`; for any other, still hours of someone's compute)
+    // or a non-empty artifact stream must not be silently destroyed —
+    // refuse before touching anything, and let only --force speak for the
+    // user.
+    if !resuming && !args.force {
+        if let Some(ckpt_path) = &args.checkpoint {
+            if let Some(refusal) =
+                refuse_overwriting_progress(&campaign, &args.spec_path, ckpt_path)
+            {
+                return Err(refusal);
+            }
+        }
+        if let Some(jsonl_path) = &args.jsonl {
+            if std::fs::metadata(jsonl_path).map(|m| m.len() > 0).unwrap_or(false) {
+                return Err(format!(
+                    "--jsonl {jsonl_path:?} already holds data — `run` starts a fresh stream \
+                     and would truncate it; use `resume` to continue a checkpointed campaign, \
+                     `report --jsonl` to re-aggregate a finished stream, or pass --force to \
+                     discard it and start over"
+                ));
+            }
+        }
     }
 
     let mut checkpointer = args.checkpoint.as_ref().map(|path| {
@@ -307,7 +344,11 @@ fn cmd_run(args: CommonArgs, resuming: bool) -> Result<(), String> {
                 .truncate(!resuming)
                 .open(path)
                 .map_err(|e| format!("cannot open JSONL stream {path:?}: {e}"))?;
-            Ok::<_, String>(JsonlRunWriter::new(std::io::BufWriter::new(file)))
+            // Sync-on-flush: each checkpoint manifest is fsynced, so the
+            // stream prefix it covers must reach stable storage first —
+            // otherwise a power loss could leave the stream behind the
+            // watermark and block resume.
+            Ok::<_, String>(JsonlRunWriter::new(SyncOnFlushFile::new(file)))
         })
         .transpose()?;
 
@@ -350,6 +391,9 @@ fn cmd_run(args: CommonArgs, resuming: bool) -> Result<(), String> {
 /// `report`: re-emit a report without executing any run — from a complete
 /// JSONL stream (canonical replay) or a finished checkpoint manifest.
 fn cmd_report(args: CommonArgs) -> Result<(), String> {
+    if args.force {
+        return Err("--force only applies to `run` (report never writes anything)".into());
+    }
     let campaign = load_campaign(&args)?;
     let registry = builtin_registry();
     validate_families(&campaign, &registry)?;
@@ -407,6 +451,55 @@ fn cmd_list_families(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The refusal message when `run` (without `--force`) would overwrite the
+/// file at `--checkpoint`, or `None` when starting over is safe: nothing at
+/// the path, or a manifest with no work recorded yet.  Everything else
+/// refuses — a manifest of this campaign holding progress (the user almost
+/// certainly meant `resume`), a manifest some *other* campaign definition
+/// wrote with progress (still someone's compute), and a file that does not
+/// load as a manifest at all (corrupt, a newer manifest version, a
+/// transient read error): that last case is exactly when progress is most
+/// at risk, and only `--force` may speak for the user there.
+fn refuse_overwriting_progress(
+    campaign: &Campaign,
+    spec_path: &str,
+    ckpt_path: &str,
+) -> Option<String> {
+    if !std::path::Path::new(ckpt_path).exists() {
+        return None;
+    }
+    let manifest = match Checkpointer::new(ckpt_path).load() {
+        Ok(manifest) => manifest,
+        Err(error) => {
+            return Some(format!(
+                "the file at --checkpoint {ckpt_path:?} exists but cannot be read back as a \
+                 manifest of this build ({error}) — refusing to overwrite it; pass --force to \
+                 discard it and start over"
+            ))
+        }
+    };
+    if manifest.chunks_done == 0 {
+        return None;
+    }
+    Some(if manifest.fingerprint == campaign.fingerprint() {
+        format!(
+            "checkpoint {ckpt_path:?} already holds {} of {} runs of this campaign — `run` \
+             would overwrite that progress (and truncate any --jsonl stream); continue with \
+             `karyon-campaign resume {spec_path:?} --checkpoint {ckpt_path:?}`, or pass \
+             --force to discard it and start over",
+            manifest.runs_done, manifest.total_runs,
+        )
+    } else {
+        format!(
+            "checkpoint {ckpt_path:?} holds {} of {} runs of campaign {:?}, written by a \
+             different campaign definition than spec {spec_path:?} — refusing to overwrite \
+             that progress; restore the original spec to resume it, point --checkpoint at a \
+             fresh path, or pass --force to discard it",
+            manifest.runs_done, manifest.total_runs, manifest.campaign,
+        )
+    })
+}
+
 /// Rejects unknown scenario families before any execution or file I/O.
 /// (`Campaign::run` checks this too, but the CLI wants the error *before* it
 /// truncates streams or opens files for writing.)
@@ -454,4 +547,64 @@ fn render(args: &CommonArgs, report: &CampaignReport) -> Result<(), String> {
         println!("{}", report.to_json());
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karyon::scenario::CampaignEntry;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_common_understands_force() {
+        let parsed = parse_common(&strings(&["spec.json", "--force", "--quiet"])).unwrap();
+        assert!(parsed.force && parsed.quiet);
+        assert!(!parse_common(&strings(&["spec.json"])).unwrap().force);
+    }
+
+    #[test]
+    fn run_refuses_to_overwrite_checkpointed_progress_of_the_same_campaign() {
+        let dir = std::env::temp_dir().join(format!("karyon-cli-guard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt_path = dir.join("c.json");
+        let ckpt_str = ckpt_path.to_str().unwrap();
+        let campaign = Campaign::new("guard", 5)
+            .with_chunk_size(4)
+            .entry(CampaignEntry::new("lane-change").replications(8).duration_secs(30));
+
+        // No manifest on disk yet: starting over is safe.
+        assert!(refuse_overwriting_progress(&campaign, "spec.json", ckpt_str).is_none());
+
+        // One checkpointed chunk on disk: `run` must refuse and point at
+        // `resume` / `--force`.
+        let mut ckpt = Checkpointer::new(&ckpt_path).max_chunks_per_session(1);
+        campaign.run_checkpointed(&builtin_registry(), &mut ckpt, None).unwrap();
+        let refusal = refuse_overwriting_progress(&campaign, "spec.json", ckpt_str)
+            .expect("checkpointed progress must be protected");
+        assert!(refusal.contains("resume") && refusal.contains("--force"), "{refusal}");
+
+        // A different campaign definition's progress is protected too — the
+        // manifest still holds someone's compute.
+        let other = Campaign::new("guard", 6)
+            .with_chunk_size(4)
+            .entry(CampaignEntry::new("lane-change").replications(8).duration_secs(30));
+        let refusal = refuse_overwriting_progress(&other, "spec.json", ckpt_str)
+            .expect("foreign progress must be protected");
+        assert!(
+            refusal.contains("different campaign definition") && refusal.contains("--force"),
+            "{refusal}"
+        );
+
+        // A file that exists but does not read back as a manifest (corrupt,
+        // or written by a newer build) is refused too — that is when
+        // progress is most at risk, and only --force may discard it.
+        std::fs::write(&ckpt_path, "{ not a manifest").unwrap();
+        let refusal = refuse_overwriting_progress(&campaign, "spec.json", ckpt_str)
+            .expect("an unreadable checkpoint file must be protected");
+        assert!(refusal.contains("--force"), "{refusal}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

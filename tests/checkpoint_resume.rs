@@ -12,8 +12,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use karyon::scenario::{
-    truncate_jsonl, Campaign, CampaignEntry, CampaignOutcome, CheckpointManifest, Checkpointer,
-    JsonlRunWriter, ParamGrid, RunRecord, Scenario, ScenarioRegistry, ScenarioSpec,
+    derive_run_seed, truncate_jsonl, Campaign, CampaignEntry, CampaignOutcome, CheckpointManifest,
+    Checkpointer, JsonlRunWriter, ParamGrid, RunRecord, Scenario, ScenarioRegistry, ScenarioSpec,
 };
 use karyon::sim::splitmix64;
 
@@ -207,6 +207,170 @@ fn many_chained_sessions_converge_to_the_uninterrupted_report() {
     assert_eq!(sessions, chunks.div_ceil(3), "every session advances exactly its budget");
     assert_eq!(report, expected);
     assert_eq!(report.to_json(), expected.to_json());
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// [`Noise`] with an injectable failure (panics on exactly one derived run
+/// seed) and an injectable slow band (runs whose seed is listed sleep a
+/// while) — the levers the abort-path tests below use to place workers
+/// mid-chunk when a failure raises the abort flag.
+struct FlakyNoise {
+    fail_seed: Option<u64>,
+    slow_seeds: std::collections::HashSet<u64>,
+}
+
+impl Scenario for FlakyNoise {
+    fn name(&self) -> &str {
+        "flaky"
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        if Some(spec.seed) == self.fail_seed {
+            panic!("injected failure");
+        }
+        if self.slow_seeds.contains(&spec.seed) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let mut state = spec.seed;
+        let mut record = RunRecord::new();
+        record.set("value", (splitmix64(&mut state) % 10_000) as f64);
+        record
+    }
+}
+
+fn flaky_registry(fail_seed: Option<u64>, slow_seeds: &[u64]) -> ScenarioRegistry {
+    let mut registry = ScenarioRegistry::new();
+    registry.register(Arc::new(FlakyNoise {
+        fail_seed,
+        slow_seeds: slow_seeds.iter().copied().collect(),
+    }));
+    registry
+}
+
+/// Asserts a manifest is internally consistent: the per-point run counts it
+/// persists must sum to exactly the watermark.  A collector that ever merged
+/// a *partial* chunk (a worker cut short by the abort flag) below the
+/// watermark fails this immediately.
+fn assert_manifest_covers_exactly_its_watermark(ckpt_path: &std::path::Path) -> u64 {
+    use karyon::scenario::JsonValue;
+    let text = karyon::scenario::checkpoint::read_manifest_text(ckpt_path).expect("readable");
+    let doc = JsonValue::parse(&text).expect("manifest is JSON");
+    let runs_done = doc.get("runs_done").and_then(JsonValue::as_u64).expect("runs_done");
+    let merged: u64 = doc
+        .get("points")
+        .and_then(JsonValue::as_array)
+        .expect("points")
+        .iter()
+        .map(|p| p.get("runs").and_then(JsonValue::as_u64).expect("point runs"))
+        .sum();
+    assert_eq!(
+        merged, runs_done,
+        "manifest {ckpt_path:?} merged {merged} runs but its watermark claims {runs_done}"
+    );
+    runs_done
+}
+
+/// Regression test for the abort/checkpoint race: when a worker fails
+/// mid-campaign, sibling workers observe the abort flag and return *partial*
+/// chunks — and a partial chunk at the merge frontier can reach the
+/// collector before the failure does.  Merging it would let a checkpoint
+/// watermark durably cover runs that never executed.  Two invariants must
+/// hold for every surviving manifest: the watermark never reaches the
+/// failing chunk, and resuming from it (with the failure gone) converges
+/// bit-identically to the uninterrupted reference — which is exactly what
+/// breaks if a hole was ever merged below the watermark.
+#[test]
+fn a_mid_campaign_failure_never_checkpoints_unexecuted_runs() {
+    let dir = scratch_dir("abort");
+    const CHUNK: u64 = 128;
+    const FAIL_RUN: u64 = 16 * CHUNK; // first run of chunk 16 of 24
+    let campaign = || {
+        Campaign::new("abort", 99)
+            .with_chunk_size(CHUNK as usize)
+            .with_threads(4)
+            .entry(CampaignEntry::new("flaky").replications(24 * CHUNK))
+    };
+    let fail_seed = derive_run_seed(99, 0, FAIL_RUN);
+    let expected = campaign().run(&flaky_registry(None, &[])).expect("healthy reference");
+
+    for attempt in 0..24 {
+        let ckpt_path = dir.join(format!("abort-{attempt}.json"));
+        let mut ckpt = Checkpointer::new(&ckpt_path);
+        let err = campaign()
+            .run_checkpointed(&flaky_registry(Some(fail_seed), &[]), &mut ckpt, None)
+            .expect_err("the injected failure must surface");
+        assert!(err.contains("injected failure"), "the real failure is reported: {err}");
+
+        // Checkpoints from before the failure are legitimate; the watermark
+        // may never reach the chunk the failure cut short, and must cover
+        // exactly the runs the manifest actually merged.
+        if ckpt_path.exists() {
+            let runs_done = assert_manifest_covers_exactly_its_watermark(&ckpt_path);
+            assert!(
+                runs_done <= FAIL_RUN,
+                "watermark {runs_done} covers the failed run {FAIL_RUN} (attempt {attempt})"
+            );
+            // Every chunk below the watermark must have fully executed:
+            // with the failure gone, resume must converge bit-identically
+            // to the uninterrupted reference.
+            let mut resume_ckpt = Checkpointer::new(&ckpt_path);
+            let (outcome, _) = campaign()
+                .resume(&flaky_registry(None, &[]), &mut resume_ckpt, None)
+                .expect("a surviving manifest must resume");
+            assert_eq!(
+                outcome.into_report().expect("resume completes"),
+                expected,
+                "a checkpointed chunk holds runs that never executed (attempt {attempt})"
+            );
+        }
+        fs::remove_file(&ckpt_path).ok();
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Deterministically drives the collector through the aborted-partial-chunk
+/// path: runs in chunks 5–7 sleep, the first run of chunk 8 panics, so the
+/// three workers on 5–7 reliably observe the abort flag mid-chunk and hand
+/// the collector *partial* outputs — including one at the merge frontier.
+/// Those partials must be dropped (never merged, never checkpointed), the
+/// real failure must be the one reported, and the surviving manifest must
+/// resume bit-identically.
+#[test]
+fn aborted_partial_chunks_are_dropped_not_merged() {
+    let dir = scratch_dir("partial");
+    const CHUNK: u64 = 16;
+    const FAIL_CHUNK: u64 = 8; // of 12
+    let campaign = || {
+        Campaign::new("partial", 7)
+            .with_chunk_size(CHUNK as usize)
+            .with_threads(4)
+            .entry(CampaignEntry::new("flaky").replications(12 * CHUNK))
+    };
+    let fail_seed = derive_run_seed(7, 0, FAIL_CHUNK * CHUNK);
+    let slow_seeds: Vec<u64> =
+        (5 * CHUNK..FAIL_CHUNK * CHUNK).map(|run| derive_run_seed(7, 0, run)).collect();
+    let expected = campaign().run(&flaky_registry(None, &[])).expect("healthy reference");
+
+    let ckpt_path = dir.join("partial.json");
+    let mut ckpt = Checkpointer::new(&ckpt_path);
+    let err = campaign()
+        .run_checkpointed(&flaky_registry(Some(fail_seed), &slow_seeds), &mut ckpt, None)
+        .expect_err("the injected failure must surface");
+    assert!(
+        err.contains("injected failure"),
+        "the real failure is reported, not a stand-in: {err}"
+    );
+
+    let runs_done = assert_manifest_covers_exactly_its_watermark(&ckpt_path);
+    assert!(
+        runs_done <= FAIL_CHUNK * CHUNK,
+        "watermark {runs_done} covers the failed chunk {FAIL_CHUNK}"
+    );
+    let mut resume_ckpt = Checkpointer::new(&ckpt_path);
+    let (outcome, _) = campaign()
+        .resume(&flaky_registry(None, &[]), &mut resume_ckpt, None)
+        .expect("the manifest must resume");
+    assert_eq!(outcome.into_report().expect("resume completes"), expected);
     fs::remove_dir_all(&dir).ok();
 }
 
