@@ -1,86 +1,47 @@
 //! E02 — Validity estimation under the five sensor-fault classes (§IV-A, Fig. 2).
 //!
 //! Injects each of the five KARYON fault classes into an abstract range
-//! sensor and reports how the combined validity attribute responds:
-//! dominant-detector faults (stuck-at, long delay) must drive the validity to
-//! zero, graded faults must lower it, and the fault-free baseline must stay
-//! near 100 %.
+//! sensor and reports how the combined validity attribute responds.  The
+//! sweep is a campaign spec over the `sensor-validity` family (fault active
+//! from t=20 s, 10 Hz sampling, fault magnitudes at their defaults); the
+//! harness only renders the aggregates.
 
-use karyon_sensors::faults::FaultSchedule;
-use karyon_sensors::{
-    AbstractSensor, RangeCheckDetector, RangeSensor, RateOfChangeDetector, SensorFault,
-    StuckAtDetector, TimeoutDetector,
-};
+use karyon_bench::run_campaign;
 use karyon_sim::table::fmt_pct;
-use karyon_sim::{SimDuration, SimTime, Table};
+use karyon_sim::Table;
 
-fn sensor(seed: u64) -> AbstractSensor {
-    let mut s = AbstractSensor::new(
-        "front-range",
-        Box::new(RangeSensor { noise_std: 0.3, max_range: 200.0, dropout_probability: 0.0 }),
-        seed,
-    );
-    s.add_detector(Box::new(RangeCheckDetector::new(0.0, 200.0)));
-    s.add_detector(Box::new(TimeoutDetector::new(SimDuration::from_millis(400))));
-    s.add_detector(Box::new(RateOfChangeDetector::new(40.0)));
-    s.add_detector(Box::new(StuckAtDetector::new(1e-6, 8)));
-    s
-}
+const SPEC: &str = r#"{
+  "name": "e02-sensor-validity", "seed": 7,
+  "entries": [
+    {"scenario": "sensor-validity", "replications": 3, "duration_secs": 200,
+     "grid": {"fault": ["none", "delay", "sporadic", "permanent", "stochastic", "stuck"]}}
+  ]
+}"#;
 
-fn run(fault: Option<SensorFault>, seed: u64) -> (f64, f64, f64) {
-    let mut s = sensor(seed);
-    if let Some(f) = fault {
-        s.injector_mut().inject(f, FaultSchedule::from(SimTime::from_secs(20)));
+fn fault_label(fault: &str) -> &'static str {
+    match fault {
+        "none" => "no fault (baseline)",
+        "delay" => "delay 1 s",
+        "sporadic" => "sporadic offset (p=0.2, 30 m)",
+        "permanent" => "permanent offset 15 m",
+        "stochastic" => "stochastic offset sigma=8 m",
+        "stuck" => "stuck-at",
+        _ => "?",
     }
-    let mut sum_validity = 0.0;
-    let mut invalid = 0u64;
-    let mut degraded = 0u64;
-    let mut samples = 0u64;
-    for i in 0..2_000u64 {
-        let now = SimTime::from_millis(i * 100);
-        let truth = 60.0 + 10.0 * (i as f64 * 0.01).sin();
-        let reading = s.acquire(truth, now);
-        if now >= SimTime::from_secs(20) {
-            samples += 1;
-            sum_validity += reading.validity.fraction();
-            if reading.is_invalid() {
-                invalid += 1;
-            }
-            if reading.validity.fraction() < 0.5 {
-                degraded += 1;
-            }
-        }
-    }
-    (
-        sum_validity / samples as f64,
-        invalid as f64 / samples as f64,
-        degraded as f64 / samples as f64,
-    )
 }
 
 fn main() {
-    let cases: Vec<(&str, Option<SensorFault>)> = vec![
-        ("no fault (baseline)", None),
-        ("delay 1 s", Some(SensorFault::Delay { delay: SimDuration::from_secs(1) })),
-        (
-            "sporadic offset (p=0.2, 30 m)",
-            Some(SensorFault::SporadicOffset { probability: 0.2, magnitude: 30.0 }),
-        ),
-        ("permanent offset 15 m", Some(SensorFault::PermanentOffset { offset: 15.0 })),
-        ("stochastic offset sigma=8 m", Some(SensorFault::StochasticOffset { std_dev: 8.0 })),
-        ("stuck-at", Some(SensorFault::StuckAt { stuck_value: None })),
-    ];
+    let (report, _, _) = run_campaign(SPEC);
     let mut table = Table::new(
         "E02 — data validity under the five KARYON sensor-fault classes (fault active from t=20 s)",
         &["fault class", "mean validity", "fraction invalid (0%)", "fraction validity<50%"],
     );
-    for (name, fault) in cases {
-        let (mean_validity, invalid, degraded) = run(fault, 7);
+    for point in &report.points {
         table.add_row(&[
-            name.to_string(),
-            fmt_pct(mean_validity),
-            fmt_pct(invalid),
-            fmt_pct(degraded),
+            fault_label(point.params["fault"].as_str().unwrap()).to_string(),
+            fmt_pct(point.metrics["mean_validity"].mean),
+            fmt_pct(point.metrics["invalid_fraction"].mean),
+            fmt_pct(point.metrics["degraded_fraction"].mean),
         ]);
     }
     table.print();

@@ -2,107 +2,51 @@
 //!
 //! A triplicated range sensor fused with Marzullo intersection + analytical
 //! redundancy is compared against a single sensor while one replica suffers
-//! each fault class.  Expectation: the reliable sensor masks a single faulty
-//! replica (small error, near-full availability) where the single sensor
-//! either fails or reports large errors.
+//! each fault class.  The sweep is a campaign spec over the
+//! `reliable-sensor` family (fault on replica 0 from t=10 s); the harness
+//! only renders the aggregates.
 
-use karyon_sensors::faults::FaultSchedule;
-use karyon_sensors::reliable::ReliableSensorConfig;
-use karyon_sensors::{
-    AbstractSensor, RangeCheckDetector, RangeSensor, RateOfChangeDetector, ReliableSensor,
-    SensorFault, StuckAtDetector,
-};
+use karyon_bench::run_campaign;
 use karyon_sim::table::{fmt3, fmt_pct};
-use karyon_sim::{SimTime, Table};
+use karyon_sim::Table;
 
-fn replica(seed: u64) -> AbstractSensor {
-    let mut s = AbstractSensor::new(
-        "range-replica",
-        Box::new(RangeSensor { noise_std: 0.4, max_range: 300.0, dropout_probability: 0.0 }),
-        seed,
-    );
-    s.add_detector(Box::new(RangeCheckDetector::new(0.0, 300.0)));
-    s.add_detector(Box::new(RateOfChangeDetector::new(40.0)));
-    s.add_detector(Box::new(StuckAtDetector::new(1e-6, 8)));
-    s
-}
+const SPEC: &str = r#"{
+  "name": "e03-reliable-sensor", "seed": 11,
+  "entries": [
+    {"scenario": "reliable-sensor", "replications": 3, "duration_secs": 150,
+     "grid": {"fault": ["none", "permanent", "stochastic", "stuck"],
+              "config": ["single", "reliable"],
+              "offset": [25.0], "std_dev": [10.0]}}
+  ]
+}"#;
 
-fn truth(i: u64) -> f64 {
-    80.0 + 15.0 * (i as f64 * 0.02).sin()
-}
-
-fn run_single(fault: Option<SensorFault>, seed: u64) -> (f64, f64, f64) {
-    let mut s = replica(seed);
-    if let Some(f) = fault {
-        s.injector_mut().inject(f, FaultSchedule::from(SimTime::from_secs(10)));
+fn fault_label(fault: &str) -> &'static str {
+    match fault {
+        "none" => "no fault",
+        "permanent" => "permanent offset 25 m",
+        "stochastic" => "stochastic offset sigma=10 m",
+        "stuck" => "stuck-at",
+        _ => "?",
     }
-    let mut err_sum = 0.0;
-    let mut err_max: f64 = 0.0;
-    let mut available = 0u64;
-    let n = 1_500u64;
-    for i in 0..n {
-        let now = SimTime::from_millis(i * 100);
-        let r = s.acquire(truth(i), now);
-        if !r.is_invalid() {
-            available += 1;
-            let e = (r.measurement.value - truth(i)).abs();
-            err_sum += e;
-            err_max = err_max.max(e);
-        }
-    }
-    (err_sum / available.max(1) as f64, err_max, available as f64 / n as f64)
-}
-
-fn run_reliable(fault: Option<SensorFault>, seed: u64) -> (f64, f64, f64) {
-    let replicas = vec![replica(seed), replica(seed + 100), replica(seed + 200)];
-    let mut rs = ReliableSensor::new(replicas, ReliableSensorConfig::default());
-    if let Some(f) = fault {
-        rs.replica_mut(0).injector_mut().inject(f, FaultSchedule::from(SimTime::from_secs(10)));
-    }
-    let mut err_sum = 0.0;
-    let mut err_max: f64 = 0.0;
-    let mut available = 0u64;
-    let n = 1_500u64;
-    for i in 0..n {
-        let now = SimTime::from_millis(i * 100);
-        let r = rs.acquire(truth(i), now);
-        if !r.is_invalid() {
-            available += 1;
-            let e = (r.measurement.value - truth(i)).abs();
-            err_sum += e;
-            err_max = err_max.max(e);
-        }
-    }
-    (err_sum / available.max(1) as f64, err_max, available as f64 / n as f64)
 }
 
 fn main() {
-    let faults: Vec<(&str, Option<SensorFault>)> = vec![
-        ("no fault", None),
-        ("permanent offset 25 m", Some(SensorFault::PermanentOffset { offset: 25.0 })),
-        ("stochastic offset sigma=10 m", Some(SensorFault::StochasticOffset { std_dev: 10.0 })),
-        ("stuck-at", Some(SensorFault::StuckAt { stuck_value: None })),
-    ];
+    let (report, _, _) = run_campaign(SPEC);
     let mut table = Table::new(
         "E03 — single abstract sensor vs. abstract reliable sensor (fault on one replica from t=10 s)",
         &["fault on replica", "config", "mean |error| [m]", "max |error| [m]", "availability"],
     );
-    for (name, fault) in faults {
-        let (mean_s, max_s, avail_s) = run_single(fault, 11);
-        let (mean_r, max_r, avail_r) = run_reliable(fault, 11);
+    for point in &report.points {
+        let config = match point.params["config"].as_str().unwrap() {
+            "single" => "single sensor",
+            _ => "reliable (3 replicas)",
+        };
         table.add_row(&[
-            name.to_string(),
-            "single sensor".into(),
-            fmt3(mean_s),
-            fmt3(max_s),
-            fmt_pct(avail_s),
-        ]);
-        table.add_row(&[
-            name.to_string(),
-            "reliable (3 replicas)".into(),
-            fmt3(mean_r),
-            fmt3(max_r),
-            fmt_pct(avail_r),
+            fault_label(point.params["fault"].as_str().unwrap()).to_string(),
+            config.to_string(),
+            fmt3(point.metrics["mean_abs_error_m"].mean),
+            fmt3(point.metrics["max_abs_error_m"].mean),
+            fmt_pct(point.metrics["availability"].mean),
         ]);
     }
     table.print();

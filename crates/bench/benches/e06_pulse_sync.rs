@@ -1,56 +1,66 @@
 //! E06 — Autonomous pulse/slot alignment under clock drift (§V-A2).
 //!
 //! Nodes with drifting oscillators and random initial phases align their TDMA
-//! pulse timing using only overheard neighbour pulses.  The table reports the
-//! initial and steady-state worst pairwise phase error and the convergence
-//! time, including a no-correction baseline.
+//! pulse timing using only overheard neighbour pulses.  The sweep — drift ×
+//! pulse loss, plus the no-correction baseline (gain 0) — is a campaign spec
+//! over the `pulse-sync` family; the 60 s duration budgets the convergence
+//! hunt exactly like the seed harness.
 
-use karyon_net::{PulseSyncConfig, PulseSyncSim};
+use karyon_bench::run_campaign;
 use karyon_sim::table::{fmt3, fmt_pct};
 use karyon_sim::Table;
 
+const SPEC: &str = r#"{
+  "name": "e06-pulse-sync", "seed": 5,
+  "entries": [
+    {"scenario": "pulse-sync", "replications": 3, "duration_secs": 60,
+     "grid": {"drift_ppm": [40.0, 100.0], "loss": [0.05, 0.3], "gain": [0.5],
+              "nodes": [10], "period_ms": [100.0]}},
+    {"scenario": "pulse-sync", "replications": 3, "duration_secs": 60,
+     "grid": {"drift_ppm": [40.0], "loss": [0.05], "gain": [0.0],
+              "nodes": [10], "period_ms": [100.0]}}
+  ]
+}"#;
+
 fn main() {
+    let (report, _, _) = run_campaign(SPEC);
     let mut table = Table::new(
-        "E06 — self-stabilizing pulse synchronization (10 nodes, 100 ms period)",
+        "E06 — self-stabilizing pulse synchronization (10 nodes, 100 ms period, 3 seeds)",
         &[
             "drift [ppm]",
             "pulse loss",
             "gain",
             "initial max error",
-            "converged (<5%) after [s]",
+            "converged (<5%)",
+            "mean convergence [s]",
             "steady max error",
         ],
     );
-
-    let cases = vec![
-        (40e-6, 0.05, 0.5),
-        (40e-6, 0.30, 0.5),
-        (100e-6, 0.05, 0.5),
-        (100e-6, 0.30, 0.5),
-        (40e-6, 0.05, 0.0), // no-correction baseline
-    ];
-    for (drift, loss, gain) in cases {
-        let config = PulseSyncConfig {
-            nodes: 10,
-            period: 0.1,
-            gain,
-            drift,
-            loss_probability: loss,
-            dt: 0.001,
-        };
-        let mut sim = PulseSyncSim::new(config, 5);
-        let initial = sim.max_phase_error_fraction();
-        let converged = sim.run_until_converged(0.05, 60.0);
-        sim.run(10.0);
-        let steady = sim.max_phase_error_fraction();
+    for point in &report.points {
+        let converged = point.metrics["converged"].mean;
+        let convergence_time = point
+            .metrics
+            .get("converged_after_s")
+            .map(|m| format!("{:.1}", m.mean))
+            .unwrap_or_else(|| "never".into());
         table.add_row(&[
-            format!("{:.0}", drift * 1e6),
-            fmt_pct(loss),
-            fmt3(gain),
-            fmt_pct(initial),
-            converged.map(|t| format!("{t:.1}")).unwrap_or_else(|| "never".into()),
-            fmt_pct(steady),
+            format!("{:.0}", point.params["drift_ppm"].as_f64().unwrap()),
+            fmt_pct(point.params["loss"].as_f64().unwrap()),
+            fmt3(point.params["gain"].as_f64().unwrap()),
+            fmt_pct(point.metrics["initial_max_error"].mean),
+            fmt_pct(converged),
+            convergence_time,
+            fmt_pct(point.metrics["steady_max_error"].mean),
         ]);
+        // Consistency with the pre-refactor harness: with the correction
+        // every condition aligns; without it (gain 0) none do.
+        let gain = point.params["gain"].as_f64().unwrap();
+        assert_eq!(
+            converged,
+            if gain > 0.0 { 1.0 } else { 0.0 },
+            "pulse-sync convergence changed for {}",
+            point.params_label()
+        );
     }
     table.print();
     println!(

@@ -1,131 +1,90 @@
 //! E09 — Reliable assessment of the cooperation state (§V-C).
 //!
 //! Three building blocks are measured: (a) the bounded-round manoeuvre
-//! agreement under message loss, (b) flooding topology discovery convergence,
-//! and (c) the 2f+1 vertex-disjoint-path condition for Byzantine-resilient
-//! dissemination on representative topologies.
+//! agreement under message loss — the `cooperation` family, where one run is
+//! one trial and the campaign's 200 Monte-Carlo replications replace the
+//! hand-rolled trial loop; (b) flooding topology-discovery convergence and
+//! (c) the 2f+1 vertex-disjoint-path condition for Byzantine-resilient
+//! dissemination — both the `topology` family on representative graphs.
 
-use karyon_core::{AgreementProtocol, ProposalState};
-use karyon_net::{Graph, NodeId, TopologyDiscovery};
+use karyon_bench::run_campaign;
 use karyon_sim::table::fmt_pct;
-use karyon_sim::{Rng, SimDuration, SimTime, Table};
+use karyon_sim::Table;
 
-/// Runs `trials` agreement rounds among `participants + 1` vehicles over a
-/// lossy broadcast and reports the success rate and mean decision latency.
-fn agreement_under_loss(participants: usize, loss: f64, trials: u64, seed: u64) -> (f64, f64) {
-    let mut rng = Rng::seed_from(seed);
-    let mut successes = 0u64;
-    let mut latency_sum = 0.0;
-    for trial in 0..trials {
-        let mut initiator = AgreementProtocol::new(0);
-        let mut others: Vec<AgreementProtocol> =
-            (1..=participants).map(|i| AgreementProtocol::new(i as u32)).collect();
-        let ids: Vec<u32> = (1..=participants as u32).collect();
-        let start = SimTime::from_millis(trial * 1_000);
-        let (proposal_msg, id) =
-            initiator.propose("merge", &ids, start, SimDuration::from_millis(300));
-        // One round trip with per-message loss; retransmission every 50 ms.
-        let mut t = start;
-        while initiator.proposal_state(id) == Some(ProposalState::Pending)
-            && t < start + SimDuration::from_millis(300)
-        {
-            for other in others.iter_mut() {
-                if rng.chance(loss) {
-                    continue;
-                }
-                for response in other.on_message(&proposal_msg, t) {
-                    if rng.chance(loss) {
-                        continue;
-                    }
-                    initiator.on_message(&response, t + SimDuration::from_millis(10));
-                }
-            }
-            t += SimDuration::from_millis(50);
-            initiator.tick(t);
-        }
-        initiator.tick(start + SimDuration::from_millis(301));
-        if initiator.proposal_state(id) == Some(ProposalState::Agreed) {
-            successes += 1;
-            latency_sum += t.since(start).as_secs_f64() * 1e3;
-        }
-    }
-    (successes as f64 / trials as f64, latency_sum / successes.max(1) as f64)
-}
+const AGREEMENT_SPEC: &str = r#"{
+  "name": "e09a-agreement", "seed": 13,
+  "entries": [
+    {"scenario": "cooperation", "replications": 200,
+     "grid": {"participants": [2, 4, 8], "loss": [0.0, 0.2, 0.5],
+              "deadline_ms": [300], "retransmit_ms": [50]}}
+  ]
+}"#;
 
-fn ring_with_chords(n: u32) -> Graph {
-    let mut g = Graph::new();
-    for i in 0..n {
-        g.add_edge(NodeId(i), NodeId((i + 1) % n));
-        g.add_edge(NodeId(i), NodeId((i + 2) % n));
-    }
-    g
-}
+const TOPOLOGY_SPEC: &str = r#"{
+  "name": "e09bc-topology", "seed": 1,
+  "entries": [
+    {"scenario": "topology", "replications": 1,
+     "grid": {"topology": ["line"], "nodes": [10]}},
+    {"scenario": "topology", "replications": 1,
+     "grid": {"topology": ["ring-chords"], "nodes": [12]}},
+    {"scenario": "topology", "replications": 1,
+     "grid": {"topology": ["complete"], "nodes": [6]}}
+  ]
+}"#;
 
 fn main() {
-    let mut agreement = Table::new(
-        "E09a — manoeuvre agreement under message loss (300 ms deadline, 50 ms retransmission)",
+    let (agreement, stats, elapsed) = run_campaign(AGREEMENT_SPEC);
+    let mut table = Table::new(
+        "E09a — manoeuvre agreement under message loss (300 ms deadline, 50 ms retransmission, 200 trials)",
         &["participants", "loss", "agreement success", "mean latency [ms]"],
     );
-    for &participants in &[2usize, 4, 8] {
-        for &loss in &[0.0, 0.2, 0.5] {
-            let (success, latency) = agreement_under_loss(participants, loss, 200, 13);
-            agreement.add_row(&[
-                participants.to_string(),
-                fmt_pct(loss),
-                fmt_pct(success),
-                format!("{latency:.0}"),
-            ]);
-        }
+    for point in &agreement.points {
+        let latency = point
+            .metrics
+            .get("latency_ms")
+            .map(|m| format!("{:.0}", m.mean))
+            .unwrap_or_else(|| "-".into());
+        table.add_row(&[
+            point.params["participants"].to_string(),
+            fmt_pct(point.params["loss"].as_f64().unwrap()),
+            fmt_pct(point.metrics["agreed"].mean),
+            latency,
+        ]);
     }
-    agreement.print();
+    table.print();
+    eprintln!("({} trials, {} workers, {:.2?})\n", agreement.total_runs, stats.workers, elapsed);
 
+    let (topology, _, _) = run_campaign(TOPOLOGY_SPEC);
     let mut discovery = Table::new(
         "E09b — flooding topology discovery convergence",
         &["topology", "nodes", "edges", "rounds to converge"],
     );
-    let line = {
-        let mut g = Graph::new();
-        for i in 0..9 {
-            g.add_edge(NodeId(i), NodeId(i + 1));
-        }
-        g
-    };
-    let cases = vec![("line-10", line), ("ring+chords-12", ring_with_chords(12))];
-    for (name, graph) in cases {
-        let nodes = graph.node_count();
-        let edges = graph.edge_count();
-        let mut disc = TopologyDiscovery::new(graph);
-        let rounds =
-            disc.run_to_convergence(64).map(|r| r.to_string()).unwrap_or_else(|| "never".into());
-        discovery.add_row(&[name.to_string(), nodes.to_string(), edges.to_string(), rounds]);
-    }
-    discovery.print();
-
     let mut byz = Table::new(
         "E09c — Byzantine-resilient dissemination feasibility (needs 2f+1 vertex-disjoint paths)",
         &["topology", "disjoint paths (0 -> far node)", "tolerates f=1", "tolerates f=2"],
     );
-    let ring12 = ring_with_chords(12);
-    let complete6 = {
-        let mut g = Graph::new();
-        for i in 0..6u32 {
-            for j in (i + 1)..6 {
-                g.add_edge(NodeId(i), NodeId(j));
-            }
-        }
-        g
-    };
-    for (name, graph, target) in
-        [("ring+chords-12", ring12, NodeId(6)), ("complete-6", complete6, NodeId(5))]
-    {
-        let paths = graph.vertex_disjoint_paths(NodeId(0), target);
+    for point in &topology.points {
+        let name =
+            format!("{}-{}", point.params["topology"].as_str().unwrap(), point.params["nodes"]);
+        let rounds = point
+            .metrics
+            .get("discovery_rounds")
+            .map(|m| format!("{:.0}", m.mean))
+            .unwrap_or_else(|| "never".into());
+        discovery.add_row(&[
+            name.clone(),
+            format!("{:.0}", point.metrics["nodes"].mean),
+            format!("{:.0}", point.metrics["edges"].mean),
+            rounds,
+        ]);
         byz.add_row(&[
-            name.to_string(),
-            paths.to_string(),
-            graph.byzantine_resilient(NodeId(0), target, 1).to_string(),
-            graph.byzantine_resilient(NodeId(0), target, 2).to_string(),
+            name,
+            format!("{:.0}", point.metrics["disjoint_paths"].mean),
+            (point.metrics["byzantine_f1"].mean == 1.0).to_string(),
+            (point.metrics["byzantine_f2"].mean == 1.0).to_string(),
         ]);
     }
+    discovery.print();
     byz.print();
     println!(
         "Expectation (paper §V-C): agreement succeeds within the deadline as long as losses are\n\

@@ -1,15 +1,30 @@
 //! E11 — Intersection crossing with traffic-light failure and the virtual
 //! traffic light fallback (§VI-A2).
+//!
+//! The arrival-rate × failure-handling sweep is a campaign spec over the
+//! `intersection` family (the light failure covers the middle third of the
+//! 10-minute run); the harness only renders the aggregates.
 
+use karyon_bench::run_campaign;
 use karyon_sim::table::{fmt3, fmt_pct};
-use karyon_sim::{SimDuration, SimTime, Table};
-use karyon_vehicles::{run_intersection, FallbackMode, IntersectionConfig};
+use karyon_sim::Table;
 
-type Case = (&'static str, Option<(SimTime, SimTime)>, FallbackMode);
+const SPEC: &str = r#"{
+  "name": "e11-intersection-vtl", "seed": 17,
+  "entries": [
+    {"scenario": "intersection", "replications": 3, "duration_secs": 600,
+     "grid": {"arrivals_per_minute": [6.0, 12.0, 20.0], "light_fail": [false],
+              "fallback": ["vtl"]}},
+    {"scenario": "intersection", "replications": 3, "duration_secs": 600,
+     "grid": {"arrivals_per_minute": [6.0, 12.0, 20.0], "light_fail": [true],
+              "fallback": ["vtl", "uncoordinated"]}}
+  ]
+}"#;
 
 fn main() {
+    let (report, _, _) = run_campaign(SPEC);
     let mut table = Table::new(
-        "E11 — intersection crossing (10 min, infrastructure light fails from 120 s to 480 s)",
+        "E11 — intersection crossing (10 min, light fails for the middle third, 3 seeds, means)",
         &[
             "arrivals [veh/min/approach]",
             "failure handling",
@@ -20,38 +35,23 @@ fn main() {
             "uncontrolled time",
         ],
     );
-    for &rate in &[6.0, 12.0, 20.0] {
-        let cases: Vec<Case> = vec![
-            ("no failure (infrastructure)", None, FallbackMode::VirtualTrafficLight),
-            (
-                "failure + virtual traffic light",
-                Some((SimTime::from_secs(120), SimTime::from_secs(480))),
-                FallbackMode::VirtualTrafficLight,
-            ),
-            (
-                "failure + uncoordinated drivers",
-                Some((SimTime::from_secs(120), SimTime::from_secs(480))),
-                FallbackMode::Uncoordinated,
-            ),
-        ];
-        for (name, failure, fallback) in cases {
-            let result = run_intersection(&IntersectionConfig {
-                arrivals_per_minute: rate,
-                duration: SimDuration::from_secs(600),
-                light_failure: failure,
-                fallback,
-                seed: 17,
-            });
-            table.add_row(&[
-                format!("{rate:.0}"),
-                name.to_string(),
-                result.conflicts.to_string(),
-                fmt3(result.throughput_per_minute),
-                fmt3(result.mean_wait),
-                fmt3(result.max_wait),
-                fmt_pct(result.uncontrolled_fraction),
-            ]);
-        }
+    for point in &report.points {
+        let label = if !point.params["light_fail"].as_bool().unwrap() {
+            "no failure (infrastructure)"
+        } else if point.params["fallback"].as_str().unwrap() == "vtl" {
+            "failure + virtual traffic light"
+        } else {
+            "failure + uncoordinated drivers"
+        };
+        table.add_row(&[
+            format!("{:.0}", point.params["arrivals_per_minute"].as_f64().unwrap()),
+            label.to_string(),
+            fmt3(point.metrics["conflicts"].mean),
+            fmt3(point.metrics["throughput_vpm"].mean),
+            fmt3(point.metrics["mean_wait_s"].mean),
+            fmt3(point.metrics["max_wait_s"].mean),
+            fmt_pct(point.metrics["uncontrolled_fraction"].mean),
+        ]);
     }
     table.print();
     println!(

@@ -1,34 +1,28 @@
 //! E12 — Coordinated lane-change manoeuvres (§VI-A3): the at-most-one-per-
 //! region invariant vs. manoeuvre throughput.
 //!
-//! Runs on the `karyon-scenario` campaign runner: a `vehicles × desire-rate ×
-//! coordination` grid over the `lane-change` family, executed in parallel
-//! with deterministic per-run seeds — the harness only declares the grid and
-//! renders the aggregates.
+//! A campaign spec over the `lane-change` family: two entries rather than one
+//! 3-axis grid, because the original experiment pairs the density with the
+//! desire rate (12 veh @ 0.04/s, 20 veh @ 0.08/s) instead of crossing them.
 
-use karyon_scenario::{builtin_registry, Campaign, CampaignEntry, ParamGrid};
+use karyon_bench::run_campaign;
 use karyon_sim::table::fmt3;
-use karyon_sim::{SimDuration, Table};
+use karyon_sim::Table;
+
+const SPEC: &str = r#"{
+  "name": "e12-lane-change", "seed": 23,
+  "entries": [
+    {"scenario": "lane-change", "replications": 5, "duration_secs": 300,
+     "grid": {"vehicles": [12], "desire_rate": [0.04],
+              "coordination": ["agreement", "none"]}},
+    {"scenario": "lane-change", "replications": 5, "duration_secs": 300,
+     "grid": {"vehicles": [20], "desire_rate": [0.08],
+              "coordination": ["agreement", "none"]}}
+  ]
+}"#;
 
 fn main() {
-    let registry = builtin_registry();
-    // Two entries rather than one 3-axis grid: the original experiment pairs
-    // the density with the desire rate (12 veh @ 0.04/s, 20 veh @ 0.08/s)
-    // instead of crossing them.
-    let cell = |vehicles: i64, desire_rate: f64| {
-        CampaignEntry::new("lane-change")
-            .grid(
-                ParamGrid::new()
-                    .axis("vehicles", [vehicles])
-                    .axis("desire_rate", [desire_rate])
-                    .axis("coordination", ["agreement", "none"]),
-            )
-            .replications(5)
-            .duration(SimDuration::from_secs(300))
-    };
-    let campaign = Campaign::new("e12-lane-change", 23).entry(cell(12, 0.04)).entry(cell(20, 0.08));
-    let report = campaign.run(&registry).expect("builtin families are registered");
-
+    let (report, _, _) = run_campaign(SPEC);
     let mut table = Table::new(
         "E12 — coordinated lane changes (300 s, 2-lane ring road, 5 seeds per cell, mean values)",
         &[

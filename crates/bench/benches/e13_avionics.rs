@@ -1,67 +1,84 @@
 //! E13 — Avionics separation assurance (§VI-B, Figs. 6–7): the three aerial
-//! encounter scenarios with collaborative vs. non-collaborative traffic.
+//! encounter scenarios with collaborative vs. non-collaborative traffic,
+//! with and without conflict resolution.
+//!
+//! The full encounter × traffic × resolution cross product is one campaign
+//! entry over the `avionics-rpv` family; the harness only renders the
+//! aggregates.
 
-use karyon_sim::table::fmt3;
+use karyon_bench::run_campaign;
+use karyon_sim::table::{fmt3, fmt_pct};
 use karyon_sim::Table;
-use karyon_vehicles::{
-    run_encounter, AerialScenario, AvionicsConfig, TrafficType, HORIZONTAL_MINIMUM,
-    VERTICAL_MINIMUM,
-};
+use karyon_vehicles::{HORIZONTAL_MINIMUM, VERTICAL_MINIMUM};
+
+const SPEC: &str = r#"{
+  "name": "e13-avionics", "seed": 31,
+  "entries": [
+    {"scenario": "avionics-rpv", "replications": 3, "duration_secs": 900,
+     "grid": {"encounter": ["same-direction", "crossing", "level-change"],
+              "traffic": ["collaborative", "non-collaborative"],
+              "resolution": [true, false]}}
+  ]
+}"#;
+
+fn encounter_label(encounter: &str) -> &'static str {
+    match encounter {
+        "same-direction" => "common trajectory, same direction",
+        "crossing" => "leveled crossing trajectories",
+        _ => "flight-level change",
+    }
+}
 
 fn main() {
     println!(
         "Separation minima: horizontal {HORIZONTAL_MINIMUM:.0} m (5 NM), vertical {VERTICAL_MINIMUM:.0} m.\n"
     );
+    let (report, _, _) = run_campaign(SPEC);
     let mut table = Table::new(
-        "E13 — aerial encounter scenarios (900 s each)",
+        "E13 — aerial encounter scenarios (900 s each, 3 seeds, means)",
         &[
             "scenario",
             "traffic",
             "resolution",
-            "detected at [s]",
+            "detected",
             "min horiz sep [km]",
             "min vert sep [m]",
             "violation [s]",
         ],
     );
-    let scenarios = [
-        ("common trajectory, same direction", AerialScenario::SameDirection),
-        ("leveled crossing trajectories", AerialScenario::LeveledCrossing),
-        ("flight-level change", AerialScenario::FlightLevelChange),
-    ];
-    for (name, scenario) in scenarios {
-        for (traffic_name, traffic) in [
-            ("collaborative", TrafficType::Collaborative),
-            ("non-collaborative", TrafficType::NonCollaborative),
-        ] {
-            for resolution in [true, false] {
-                let result = run_encounter(&AvionicsConfig {
-                    scenario,
-                    traffic,
-                    resolution_enabled: resolution,
-                    seed: 31,
-                    ..Default::default()
-                });
-                let min_h = if result.min_horizontal_separation == f64::MAX {
-                    "-".to_string()
-                } else {
-                    fmt3(result.min_horizontal_separation / 1_000.0)
-                };
-                let min_v = if result.min_vertical_separation == f64::MAX {
-                    "-".to_string()
-                } else {
-                    fmt3(result.min_vertical_separation)
-                };
-                table.add_row(&[
-                    name.to_string(),
-                    traffic_name.to_string(),
-                    if resolution { "on" } else { "off (baseline)" }.to_string(),
-                    result.detected_at.map(|t| format!("{t:.0}")).unwrap_or_else(|| "never".into()),
-                    min_h,
-                    min_v,
-                    format!("{:.0}", result.violation_seconds),
-                ]);
-            }
+    for point in &report.points {
+        let resolution = point.params["resolution"].as_bool().unwrap();
+        let min_h = point.metrics["min_horizontal_sep_m"].mean;
+        let min_v = point.metrics["min_vertical_sep_m"].mean;
+        table.add_row(&[
+            encounter_label(point.params["encounter"].as_str().unwrap()).to_string(),
+            point.params["traffic"].as_str().unwrap().to_string(),
+            if resolution { "on" } else { "off (baseline)" }.to_string(),
+            // Detection is seed-dependent, so replications may disagree:
+            // report the detection rate with the mean time of the runs that
+            // did detect, and "never" only when none did.
+            match point.metrics["detected"].mean {
+                rate if rate > 0.0 => format!(
+                    "{} at {:.0} s",
+                    fmt_pct(rate),
+                    point.metrics.get("detected_at_s").map(|m| m.mean).unwrap_or(f64::NAN)
+                ),
+                _ => "never".into(),
+            },
+            // f64::MAX means "never in surveillance range" (and averages to
+            // ±inf over replications) — render it as "-" like the seed did.
+            if min_h < 1e9 { fmt3(min_h / 1_000.0) } else { "-".into() },
+            if min_v < 1e9 { fmt3(min_v) } else { "-".into() },
+            format!("{:.0}", point.metrics["violation_seconds"].mean),
+        ]);
+        // Consistency with the pre-refactor harness: without resolution the
+        // encounters violate the separation minima.
+        if !resolution {
+            assert!(
+                point.metrics["violation_seconds"].mean > 0.0,
+                "the no-resolution baseline stopped violating for {}",
+                point.params_label()
+            );
         }
     }
     table.print();

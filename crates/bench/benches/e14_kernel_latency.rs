@@ -3,56 +3,38 @@
 //! Measures the wall-clock cost of one safety-manager evaluation cycle as the
 //! rule set grows, and reports the design-time worst-case reaction bound
 //! (cycle period + switch bound) against the tightest hazard reaction bound.
+//!
+//! The model quantities come from the `kernel-latency` scenario family,
+//! executed through the runner; the wall-clock cycle cost is measured
+//! *around* the campaigns — never inside the family, which stays
+//! deterministic so campaign reports remain bit-identical for any worker
+//! count.  Per rule-set size two campaigns run (full and one-tenth cycle
+//! counts) and the cost per cycle is the elapsed-time difference over the
+//! cycle difference, cancelling the runner's fixed per-campaign overhead.  `E14_QUICK=1` (or `--quick`) runs 10× fewer cycles;
+//! the design-time bound figures are identical in both modes and are
+//! asserted against the pre-refactor seed numbers (150 ms reaction vs the
+//! 500 ms hazard bound).
 
-use std::time::Instant;
-
-use karyon_core::los::Asil;
-use karyon_core::{
-    Condition, DesignTimeSafetyInfo, Hazard, HazardAnalysis, LevelOfService, LosSpec, SafetyKernel,
-    SafetyRule,
-};
-use karyon_sensors::Validity;
+use karyon_bench::{quick_mode, run_campaign};
 use karyon_sim::table::fmt3;
-use karyon_sim::{SimDuration, SimTime, Table};
+use karyon_sim::Table;
 
-fn design_with_rules(rules_per_level: usize) -> DesignTimeSafetyInfo {
-    let mut hazards = HazardAnalysis::new();
-    hazards.add(Hazard::new("H1", "generic hazard", Asil::C, SimDuration::from_millis(500)));
-    let mut levels = vec![LosSpec {
-        level: LevelOfService(0),
-        description: "fallback".into(),
-        rules: vec![],
-        asil: Asil::QM,
-        performance_index: 1.0,
-    }];
-    for level in 1u8..=2 {
-        let rules: Vec<SafetyRule> = (0..rules_per_level)
-            .map(|i| {
-                SafetyRule::new(
-                    &format!("R{level}-{i}"),
-                    Condition::All(vec![
-                        Condition::MinValidity { item: format!("item-{i}"), threshold: 0.6 },
-                        Condition::MaxAge {
-                            item: format!("item-{i}"),
-                            bound: SimDuration::from_millis(500),
-                        },
-                        Condition::ComponentHealthy { component: format!("component-{i}") },
-                    ]),
-                )
-            })
-            .collect();
-        levels.push(LosSpec {
-            level: LevelOfService(level),
-            description: format!("level {level}"),
-            rules,
-            asil: Asil::B,
-            performance_index: level as f64 + 1.0,
-        });
-    }
-    DesignTimeSafetyInfo::new("bench", levels, hazards, SimDuration::from_millis(50))
+fn spec(rules_per_level: usize, cycles: u64) -> String {
+    format!(
+        r#"{{
+  "name": "e14-kernel-latency-{rules_per_level}", "seed": 1,
+  "entries": [
+    {{"scenario": "kernel-latency", "replications": 1,
+     "grid": {{"rules_per_level": [{rules_per_level}], "cycles": [{cycles}],
+              "cycle_period_ms": [100], "validity_threshold": [0.6],
+              "hazard_bound_ms": [500], "levels": [2]}}}}
+  ]
+}}"#
+    )
 }
 
 fn main() {
+    let cycles: u64 = if quick_mode("E14_QUICK") { 200 } else { 2_000 };
     let mut table = Table::new(
         "E14 — safety-kernel evaluation cost and reaction bound (cycle period 100 ms)",
         &[
@@ -64,39 +46,37 @@ fn main() {
             "bound satisfied",
         ],
     );
+    let baseline_cycles = (cycles / 10).max(1);
     for &rules in &[2usize, 8, 32, 128] {
-        let design = design_with_rules(rules);
-        let tightest = design.hazards().tightest_reaction_bound().unwrap();
-        let mut kernel = SafetyKernel::new(design, SimDuration::from_millis(100));
-        // Populate the runtime store.
-        for i in 0..rules {
-            kernel.info_mut().update_data(
-                &format!("item-{i}"),
-                1.0,
-                Validity::new(0.9),
-                SimTime::from_millis(1),
-            );
-            kernel.info_mut().update_health(
-                &format!("component-{i}"),
-                true,
-                SimTime::from_millis(1),
-            );
-        }
-        let iterations = 2_000u64;
-        let start = Instant::now();
-        for i in 0..iterations {
-            kernel.run_cycle(SimTime::from_millis(10 + i));
-        }
-        let mean_us = start.elapsed().as_secs_f64() * 1e6 / iterations as f64;
-        let reaction = kernel.worst_case_reaction();
+        let (report, _, elapsed) = run_campaign(&spec(rules, cycles));
+        let point = &report.points[0];
+        // A whole-campaign wall clock includes fixed overhead (spec parse,
+        // registry build, worker spawn, aggregation) that would inflate the
+        // per-cycle figure at small rule counts.  Differential measurement
+        // cancels it: run the same campaign at a tenth of the cycles and
+        // divide the elapsed-time difference by the cycle difference.
+        let (_, _, baseline_elapsed) = run_campaign(&spec(rules, baseline_cycles));
+        let delta_s = (elapsed.as_secs_f64() - baseline_elapsed.as_secs_f64()).max(0.0);
+        let mean_us = delta_s * 1e6 / (cycles - baseline_cycles).max(1) as f64;
+        let reaction_ms = point.metrics["worst_case_reaction_ms"].mean;
+        let tightest_ms = point.metrics["tightest_hazard_bound_ms"].mean;
+        let satisfied = point.metrics["bound_satisfied"].mean == 1.0;
         table.add_row(&[
             rules.to_string(),
             rules.to_string(),
             fmt3(mean_us),
-            fmt3(reaction.as_secs_f64() * 1e3),
-            fmt3(tightest.as_secs_f64() * 1e3),
-            (reaction <= tightest).to_string(),
+            fmt3(reaction_ms),
+            fmt3(tightest_ms),
+            satisfied.to_string(),
         ]);
+        // Consistency with the pre-refactor harness (seed numbers): a
+        // 100 ms cycle period + 50 ms switch bound give a 150 ms worst-case
+        // reaction, far below the 500 ms hazard bound, for every rule-set
+        // size and in quick mode too.
+        assert_eq!(reaction_ms, 150.0, "worst-case reaction changed for {rules} rules/level");
+        assert_eq!(tightest_ms, 500.0, "hazard bound changed for {rules} rules/level");
+        assert!(satisfied, "the safety argument's bound check failed for {rules} rules/level");
+        assert_eq!(point.metrics["evaluations"].mean, cycles as f64);
     }
     table.print();
     println!(

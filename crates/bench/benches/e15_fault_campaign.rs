@@ -7,28 +7,24 @@
 //! promises; the per-strategy residual-hazard rate is the quantity an ISO
 //! 26262 assessment would track.
 //!
-//! Since the introduction of `karyon-scenario` the harness no longer
-//! hand-wires the loop: it declares a [`Campaign`] over the `platoon-fault`
-//! scenario family (one grid axis: the control strategy), and the runner
-//! handles seed derivation, parallel execution and aggregation.  Results are
-//! reproducible for any worker count.
+//! The harness is a campaign spec over the `platoon-fault` family (one grid
+//! axis: the control strategy); the runner handles seed derivation, parallel
+//! execution and aggregation, reproducibly for any worker count.
 
-use karyon_scenario::{builtin_registry, Campaign, CampaignEntry, ParamGrid};
+use karyon_bench::run_campaign;
 use karyon_sim::table::{fmt3, fmt_pct};
-use karyon_sim::{SimDuration, Table};
+use karyon_sim::Table;
 
-const CAMPAIGN_RUNS: u64 = 30;
+const SPEC: &str = r#"{
+  "name": "e15-fault-injection", "seed": 2026,
+  "entries": [
+    {"scenario": "platoon-fault", "replications": 30, "duration_secs": 140,
+     "grid": {"mode": ["kernel", "los2", "los0"]}}
+  ]
+}"#;
 
 fn main() {
-    let registry = builtin_registry();
-    let campaign = Campaign::new("e15-fault-injection", 2026).entry(
-        CampaignEntry::new("platoon-fault")
-            .grid(ParamGrid::new().axis("mode", ["kernel", "los2", "los0"]))
-            .replications(CAMPAIGN_RUNS)
-            .duration(SimDuration::from_secs(140)),
-    );
-    let report = campaign.run(&registry).expect("builtin families are registered");
-
+    let (report, stats, elapsed) = run_campaign(SPEC);
     let mut table = Table::new(
         "E15 — fault-injection campaign (30 randomized runs per strategy: sensor fault + V2V outage)",
         &[
@@ -61,6 +57,7 @@ fn main() {
         ]);
     }
     table.print();
+    eprintln!("({} runs, {} workers, {:.2?})", report.total_runs, stats.workers, elapsed);
     println!(
         "Expectation (paper §I, §VI): under randomized fault injection the kernel-controlled system\n\
          keeps its residual hazard exposure at (or near) the level of the conservative baseline\n\

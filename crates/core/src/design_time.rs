@@ -70,6 +70,67 @@ impl DesignTimeSafetyInfo {
         }
     }
 
+    /// Builds a synthetic design of configurable size for kernel-latency
+    /// experiments: one fallback level 0 plus `levels` cooperative levels,
+    /// each holding `rules_per_level` three-condition rules (minimum
+    /// validity, maximum age, component health) over distinct data items, a
+    /// single hazard with reaction bound `hazard_bound`, and the given LoS
+    /// switch-time bound.
+    ///
+    /// The rule-set size, the validity threshold and the bounds were
+    /// hard-coded in the e14 bench harness; as constructor parameters they
+    /// become campaign-sweepable knobs (the `kernel-latency` scenario
+    /// family).
+    pub fn synthetic(
+        functionality: &str,
+        levels: u8,
+        rules_per_level: usize,
+        validity_threshold: f64,
+        hazard_bound: SimDuration,
+        switch_time_bound: SimDuration,
+    ) -> Self {
+        use crate::los::Hazard;
+        use crate::rules::Condition;
+        assert!(levels >= 1, "a synthetic design needs at least one cooperative level");
+        let mut hazards = HazardAnalysis::new();
+        hazards.add(Hazard::new("H1", "generic hazard", Asil::C, hazard_bound));
+        let mut specs = vec![LosSpec {
+            level: LevelOfService(0),
+            description: "fallback".into(),
+            rules: vec![],
+            asil: Asil::QM,
+            performance_index: 1.0,
+        }];
+        for level in 1..=levels {
+            let rules: Vec<SafetyRule> = (0..rules_per_level)
+                .map(|i| {
+                    SafetyRule::new(
+                        &format!("R{level}-{i}"),
+                        Condition::All(vec![
+                            Condition::MinValidity {
+                                item: format!("item-{i}"),
+                                threshold: validity_threshold,
+                            },
+                            Condition::MaxAge {
+                                item: format!("item-{i}"),
+                                bound: SimDuration::from_millis(500),
+                            },
+                            Condition::ComponentHealthy { component: format!("component-{i}") },
+                        ]),
+                    )
+                })
+                .collect();
+            specs.push(LosSpec {
+                level: LevelOfService(level),
+                description: format!("level {level}"),
+                rules,
+                asil: Asil::B,
+                performance_index: level as f64 + 1.0,
+            });
+        }
+        DesignTimeSafetyInfo::new(functionality, specs, hazards, switch_time_bound)
+    }
+
     /// The functionality's name.
     pub fn functionality(&self) -> &str {
         &self.functionality

@@ -54,7 +54,9 @@ pub mod pulse;
 pub mod r2tmac;
 pub mod topology;
 
-pub use end_to_end::{E2EConfig, EndToEndSession, SelfStabReceiver, SelfStabSender};
+pub use end_to_end::{
+    eventually_fifo, E2EConfig, EndToEndSession, SelfStabReceiver, SelfStabSender,
+};
 pub use inaccessibility::{InaccessibilityPeriod, InaccessibilityTracker};
 pub use mac::csma::{CsmaConfig, CsmaMac};
 pub use mac::selfstab_tdma::{SelfStabTdmaMac, SlotStatus};

@@ -25,6 +25,50 @@ impl Graph {
         Graph::default()
     }
 
+    /// A line topology: `n` nodes, node `i` linked to node `i + 1`.
+    ///
+    /// # Panics
+    /// Panics when `n < 2` (no edge could exist).
+    pub fn line(n: u32) -> Graph {
+        assert!(n >= 2, "a line topology needs at least 2 nodes");
+        let mut g = Graph::new();
+        for i in 0..n - 1 {
+            g.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        g
+    }
+
+    /// A ring of `n` nodes with distance-2 chords — the representative
+    /// vehicular convoy topology of the cooperation-state experiments
+    /// (every node reaches its two neighbours on each side).
+    ///
+    /// # Panics
+    /// Panics when `n < 3` (a ring needs at least 3 nodes).
+    pub fn ring_with_chords(n: u32) -> Graph {
+        assert!(n >= 3, "a chorded ring needs at least 3 nodes");
+        let mut g = Graph::new();
+        for i in 0..n {
+            g.add_edge(NodeId(i), NodeId((i + 1) % n));
+            g.add_edge(NodeId(i), NodeId((i + 2) % n));
+        }
+        g
+    }
+
+    /// The complete graph on `n` nodes.
+    ///
+    /// # Panics
+    /// Panics when `n < 2`.
+    pub fn complete(n: u32) -> Graph {
+        assert!(n >= 2, "a complete graph needs at least 2 nodes");
+        let mut g = Graph::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+        g
+    }
+
     /// Adds a node with no edges (no-op if it already exists).
     pub fn add_node(&mut self, node: NodeId) {
         self.adjacency.entry(node.0).or_default();

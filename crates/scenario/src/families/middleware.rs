@@ -1,0 +1,193 @@
+//! Middleware-layer family: event-channel QoS assessment and adaptation
+//! (paper §V-B, experiment e08).
+
+use karyon_middleware::{
+    Admission, ContextFilter, EventBus, NetworkCapability, NetworkId, QosRequirement, Subject,
+    SubscriberId,
+};
+use karyon_sim::{Engine, SimDuration, SimTime};
+
+use crate::grid::ParamGrid;
+use crate::scenario::{RunRecord, Scenario};
+use crate::spec::ScenarioSpec;
+
+/// Event-channel QoS under load and mid-run degradation (§V-B), driven by the
+/// discrete-event [`Engine`] — this family also exercises the engine's
+/// clamped-schedule accounting, which the campaign surfaces as suspect runs.
+///
+/// The channel's QoS contract — the network segment it is announced on, its
+/// latency deadline and its delivery-ratio floor — used to be hard-coded in
+/// the e08 harness; here they are ordinary parameters, so the three e08
+/// channels (in-vehicle brake command, V2V lead state, V2V hazard warning)
+/// are three grid points of the same family.
+pub struct MiddlewareQosScenario;
+
+#[derive(Debug, Clone, Copy)]
+enum QosEvent {
+    Publish,
+    Degrade,
+}
+
+impl Scenario for MiddlewareQosScenario {
+    fn name(&self) -> &str {
+        "middleware-qos"
+    }
+
+    fn engine_driven(&self) -> bool {
+        true
+    }
+
+    fn param_domain(&self) -> ParamGrid {
+        ParamGrid::new()
+            .axis("rate_hz", [50.0, 100.0])
+            .axis("degrade", [false, true])
+            .axis("network", ["wireless", "local"])
+            .axis("max_latency_ms", [60, 10, 2])
+            .axis("min_delivery_ratio", [0.9, 0.99])
+    }
+
+    fn metric_range(&self, metric: &str) -> Option<(f64, f64)> {
+        match metric {
+            // Continuous metrics with known scales: stream their campaign
+            // quantiles through fixed histograms so million-run sweeps hold
+            // no samples.  Flags and counts stay undeclared (exact).
+            "mean_latency_ms" => Some((0.0, 250.0)),
+            "delivery_ratio" | "deadline_miss_ratio" => Some((0.0, 1.0)),
+            _ => None,
+        }
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        let rate_hz = spec.f64_or("rate_hz", 50.0).max(1.0);
+        let degrade = spec.bool_or("degrade", false);
+        let network = match spec.str_or("network", "wireless") {
+            "wireless" => NetworkId(1),
+            "local" => NetworkId(0),
+            other => panic!("unknown qos network {other:?} (expected wireless|local)"),
+        };
+        let requirement = QosRequirement {
+            max_latency: SimDuration::from_millis(spec.u64_or("max_latency_ms", 60).max(1)),
+            min_delivery_ratio: spec.f64_or("min_delivery_ratio", 0.9).clamp(0.0, 1.0),
+            max_rate: rate_hz,
+        };
+        let subject = Subject::from_name("platoon/lead-state");
+
+        let mut bus = EventBus::new(spec.seed);
+        bus.attach_network(NetworkId(0), NetworkCapability::local_bus());
+        bus.attach_network(NetworkId(1), NetworkCapability::wireless_nominal());
+        bus.subscribe(SubscriberId(1), network, subject, ContextFilter::accept_all());
+        let admission = bus.announce(subject, network, requirement);
+
+        // Clamp audit finding: below ~1 µs the period rounds to zero and the
+        // publish loop degenerates into a zero-delay self-loop at t=0 — the
+        // engine never advances and `run_until` never returns.  One
+        // microsecond (the simulator's time quantum) is the causality floor.
+        let period = SimDuration::from_secs_f64(1.0 / rate_hz).max(SimDuration::from_micros(1));
+        let end = SimTime::ZERO + spec.duration;
+        let mut engine: Engine<EventBus, QosEvent> = Engine::new(bus);
+        engine.schedule_at(SimTime::ZERO, QosEvent::Publish);
+        if degrade {
+            engine.schedule_at(
+                SimTime::from_secs_f64(spec.duration.as_secs_f64() / 2.0),
+                QosEvent::Degrade,
+            );
+        }
+        engine.run_until(end, |bus, ctx, event| match event {
+            QosEvent::Publish => {
+                bus.publish_from(subject, None, vec![0], ctx.now());
+                ctx.schedule_in(period, QosEvent::Publish);
+            }
+            QosEvent::Degrade => {
+                bus.update_capability(NetworkId(1), NetworkCapability::wireless_degraded());
+            }
+        });
+
+        let mut record = RunRecord::new();
+        record.absorb_engine_clamps(&engine);
+        let bus = engine.into_state();
+        let stats = bus.channel_stats(subject).expect("channel was announced");
+        record.set_flag("admitted", admission == Admission::Admitted);
+        record.set_flag("admitted_after", bus.admission(subject) == Some(Admission::Admitted));
+        record.set("published", stats.published as f64);
+        record.set(
+            "delivery_ratio",
+            if stats.published > 0 { stats.delivered as f64 / stats.published as f64 } else { 0.0 },
+        );
+        record.set("mean_latency_ms", stats.mean_latency_ms);
+        record.set("missed_deadlines", stats.missed_deadline as f64);
+        record.set(
+            "deadline_miss_ratio",
+            if stats.delivered > 0 {
+                stats.missed_deadline as f64 / stats.delivered as f64
+            } else {
+                0.0
+            },
+        );
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn middleware_qos_reports_channel_quality() {
+        let qos = MiddlewareQosScenario;
+        let record =
+            qos.run(&ScenarioSpec::new("middleware-qos").with_seed(5).with_duration_secs(20));
+        assert_eq!(record.get("admitted"), Some(1.0));
+        assert_eq!(record.get("admitted_after"), Some(1.0), "no degradation, no re-assessment");
+        assert!(record.get("delivery_ratio").unwrap() > 0.8);
+        assert!(record.get("published").unwrap() > 900.0, "50 Hz × 20 s ≈ 1000 events");
+        assert_eq!(record.clamped_schedules, 0, "the publish loop never schedules into the past");
+    }
+
+    /// Clamp audit regression: the publish loop must terminate and stay
+    /// causality-clean even for rates whose period rounds below the 1 µs
+    /// time quantum (the zero-delay self-loop found by the audit).
+    #[test]
+    fn middleware_qos_survives_extreme_rates_without_clamps() {
+        let qos = MiddlewareQosScenario;
+        for rate in [1.0, 997.0, 2.5e6, 1.0e9] {
+            let record = qos.run(
+                &ScenarioSpec::new("middleware-qos")
+                    .with("rate_hz", rate)
+                    .with_seed(8)
+                    .with_duration(SimDuration::from_millis(10)),
+            );
+            assert_eq!(
+                record.clamped_schedules, 0,
+                "rate {rate} Hz: the publish loop must never schedule into the past"
+            );
+            assert!(record.get("published").unwrap() >= 1.0);
+        }
+    }
+
+    /// The e08 admission matrix: a strict deadline over the wireless segment
+    /// is rejected at announcement; the admitted V2V channel loses its
+    /// admission when the monitored capability degrades mid-run.
+    #[test]
+    fn qos_contract_parameters_drive_admission() {
+        let qos = MiddlewareQosScenario;
+        let base = ScenarioSpec::new("middleware-qos").with_seed(4).with_duration_secs(10);
+        let strict =
+            qos.run(&base.clone().with("max_latency_ms", 10).with("min_delivery_ratio", 0.99));
+        assert_eq!(strict.get("admitted"), Some(0.0), "hazard-grade QoS over wireless rejects");
+        let local = qos.run(
+            &base
+                .clone()
+                .with("network", "local")
+                .with("max_latency_ms", 2)
+                .with("min_delivery_ratio", 0.99),
+        );
+        assert_eq!(local.get("admitted"), Some(1.0), "the in-vehicle bus admits strict QoS");
+        let degraded = qos.run(&base.with("degrade", true));
+        assert_eq!(degraded.get("admitted"), Some(1.0));
+        assert_eq!(
+            degraded.get("admitted_after"),
+            Some(0.0),
+            "degradation must revoke the lead-state admission — the LoS-lowering trigger"
+        );
+    }
+}

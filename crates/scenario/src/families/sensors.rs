@@ -1,0 +1,258 @@
+//! Sensor-layer families: data validity and the abstract reliable sensor of
+//! paper §IV (experiments e02 and e03).
+
+use karyon_sensors::faults::FaultSchedule;
+use karyon_sensors::reliable::ReliableSensorConfig;
+use karyon_sensors::{monitored_range_sensor, ReliableSensor, SensorFault};
+use karyon_sim::{SimDuration, SimTime};
+
+use crate::grid::ParamGrid;
+use crate::scenario::{RunRecord, Scenario};
+use crate::spec::ScenarioSpec;
+
+/// Parses the shared `fault` parameter into one of the five KARYON sensor
+/// fault classes (or none); the class magnitudes are parameters too.  The
+/// offset/std-dev fallbacks differ per family (the e02 and e03 seed
+/// harnesses used different magnitudes), so each caller passes the defaults
+/// its `param_domain` declares — the listing and the run must agree.
+fn parse_fault(
+    spec: &ScenarioSpec,
+    default_offset: f64,
+    default_std_dev: f64,
+) -> Option<SensorFault> {
+    match spec.str_or("fault", "none") {
+        "none" => None,
+        "delay" => Some(SensorFault::Delay {
+            delay: SimDuration::from_millis(spec.u64_or("delay_ms", 1_000)),
+        }),
+        "sporadic" => Some(SensorFault::SporadicOffset {
+            probability: spec.f64_or("probability", 0.2).clamp(0.0, 1.0),
+            magnitude: spec.f64_or("magnitude", 30.0),
+        }),
+        "permanent" => {
+            Some(SensorFault::PermanentOffset { offset: spec.f64_or("offset", default_offset) })
+        }
+        "stochastic" => Some(SensorFault::StochasticOffset {
+            std_dev: spec.f64_or("std_dev", default_std_dev).abs(),
+        }),
+        "stuck" => Some(SensorFault::StuckAt { stuck_value: None }),
+        other => panic!(
+            "unknown sensor fault {other:?} (expected none|delay|sporadic|permanent|stochastic|stuck)"
+        ),
+    }
+}
+
+/// Validity estimation under the five sensor-fault classes (§IV-A, the body
+/// of bench `e02`): one monitored range sensor sampled at 10 Hz with a fault
+/// active from `fault_from_s`; the detector thresholds (freshness timeout,
+/// rate-of-change limit) and the sensor's noise floor are parameters.
+pub struct SensorValidityScenario;
+
+impl Scenario for SensorValidityScenario {
+    fn name(&self) -> &str {
+        "sensor-validity"
+    }
+
+    fn param_domain(&self) -> ParamGrid {
+        ParamGrid::new()
+            .axis("fault", ["none", "delay", "sporadic", "permanent", "stochastic", "stuck"])
+            .axis("delay_ms", [1_000])
+            .axis("probability", [0.2])
+            .axis("magnitude", [30.0])
+            .axis("offset", [15.0])
+            .axis("std_dev", [8.0])
+            .axis("noise_std", [0.3])
+            .axis("timeout_ms", [400])
+            .axis("max_rate", [40.0])
+            .axis("fault_from_s", [20])
+    }
+
+    fn metric_range(&self, metric: &str) -> Option<(f64, f64)> {
+        match metric {
+            "mean_validity" | "invalid_fraction" | "degraded_fraction" => Some((0.0, 1.0)),
+            _ => None,
+        }
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        let mut sensor = monitored_range_sensor(
+            "front-range",
+            spec.f64_or("noise_std", 0.3).abs(),
+            200.0,
+            Some(SimDuration::from_millis(spec.u64_or("timeout_ms", 400).max(1))),
+            spec.f64_or("max_rate", 40.0).abs(),
+            spec.seed,
+        );
+        let fault_from = SimTime::from_secs(spec.u64_or("fault_from_s", 20));
+        if let Some(fault) = parse_fault(spec, 15.0, 8.0) {
+            sensor.injector_mut().inject(fault, FaultSchedule::from(fault_from));
+        }
+        let samples = (spec.duration.as_millis() / 100).max(1);
+        let mut sum_validity = 0.0;
+        let mut invalid = 0u64;
+        let mut degraded = 0u64;
+        let mut measured = 0u64;
+        for i in 0..samples {
+            let now = SimTime::from_millis(i * 100);
+            let truth = 60.0 + 10.0 * (i as f64 * 0.01).sin();
+            let reading = sensor.acquire(truth, now);
+            if now >= fault_from {
+                measured += 1;
+                sum_validity += reading.validity.fraction();
+                if reading.is_invalid() {
+                    invalid += 1;
+                }
+                if reading.validity.fraction() < 0.5 {
+                    degraded += 1;
+                }
+            }
+        }
+        let mut record = RunRecord::new();
+        record.set("mean_validity", sum_validity / measured.max(1) as f64);
+        record.set("invalid_fraction", invalid as f64 / measured.max(1) as f64);
+        record.set("degraded_fraction", degraded as f64 / measured.max(1) as f64);
+        record
+    }
+}
+
+/// The abstract reliable sensor vs. a single abstract sensor (§IV-B, the
+/// body of bench `e03`): a replicated range sensor fused with Marzullo
+/// intersection + analytical redundancy, with one replica suffering the
+/// configured fault class from `fault_from_s`.
+pub struct ReliableSensorScenario;
+
+impl ReliableSensorScenario {
+    fn replica(spec: &ScenarioSpec, seed: u64) -> karyon_sensors::AbstractSensor {
+        monitored_range_sensor(
+            "range-replica",
+            spec.f64_or("noise_std", 0.4).abs(),
+            300.0,
+            None,
+            spec.f64_or("max_rate", 40.0).abs(),
+            seed,
+        )
+    }
+}
+
+impl Scenario for ReliableSensorScenario {
+    fn name(&self) -> &str {
+        "reliable-sensor"
+    }
+
+    fn param_domain(&self) -> ParamGrid {
+        ParamGrid::new()
+            .axis("config", ["reliable", "single"])
+            .axis("fault", ["none", "permanent", "stochastic", "stuck"])
+            .axis("offset", [25.0])
+            .axis("std_dev", [10.0])
+            .axis("replicas", [3])
+            .axis("noise_std", [0.4])
+            .axis("max_rate", [40.0])
+            .axis("fault_from_s", [10])
+    }
+
+    fn metric_range(&self, metric: &str) -> Option<(f64, f64)> {
+        match metric {
+            "availability" => Some((0.0, 1.0)),
+            "mean_abs_error_m" | "max_abs_error_m" => Some((0.0, 100.0)),
+            _ => None,
+        }
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        let fault_from = SimTime::from_secs(spec.u64_or("fault_from_s", 10));
+        let fault = parse_fault(spec, 25.0, 10.0);
+        let samples = (spec.duration.as_millis() / 100).max(1);
+        let truth = |i: u64| 80.0 + 15.0 * (i as f64 * 0.02).sin();
+
+        let mut err_sum = 0.0;
+        let mut err_max: f64 = 0.0;
+        let mut available = 0u64;
+        let mut observe = |reading: karyon_sensors::SensorReading, i: u64| {
+            if !reading.is_invalid() {
+                available += 1;
+                let e = (reading.measurement.value - truth(i)).abs();
+                err_sum += e;
+                err_max = err_max.max(e);
+            }
+        };
+        match spec.str_or("config", "reliable") {
+            "single" => {
+                let mut sensor = Self::replica(spec, spec.seed);
+                if let Some(fault) = fault {
+                    sensor.injector_mut().inject(fault, FaultSchedule::from(fault_from));
+                }
+                for i in 0..samples {
+                    let reading = sensor.acquire(truth(i), SimTime::from_millis(i * 100));
+                    observe(reading, i);
+                }
+            }
+            "reliable" => {
+                let replicas = spec.u64_or("replicas", 3).clamp(2, 16);
+                let replicas: Vec<_> =
+                    (0..replicas).map(|r| Self::replica(spec, spec.seed + 100 * r)).collect();
+                let mut sensor = ReliableSensor::new(replicas, ReliableSensorConfig::default());
+                if let Some(fault) = fault {
+                    sensor
+                        .replica_mut(0)
+                        .injector_mut()
+                        .inject(fault, FaultSchedule::from(fault_from));
+                }
+                for i in 0..samples {
+                    let reading = sensor.acquire(truth(i), SimTime::from_millis(i * 100));
+                    observe(reading, i);
+                }
+            }
+            other => panic!("unknown sensor config {other:?} (expected reliable|single)"),
+        }
+
+        let mut record = RunRecord::new();
+        record.set("mean_abs_error_m", err_sum / available.max(1) as f64);
+        record.set("max_abs_error_m", err_max);
+        record.set("availability", available as f64 / samples as f64);
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_faults_invalidate_graded_faults_degrade() {
+        let family = SensorValidityScenario;
+        let base = ScenarioSpec::new("sensor-validity").with_seed(7).with_duration_secs(200);
+        let healthy = family.run(&base.clone());
+        assert!(healthy.get("mean_validity").unwrap() > 0.95, "{healthy:?}");
+        let stuck = family.run(&base.clone().with("fault", "stuck"));
+        assert!(stuck.get("invalid_fraction").unwrap() > 0.9, "{stuck:?}");
+        let offset = family.run(&base.with("fault", "permanent"));
+        assert!(
+            offset.get("mean_validity").unwrap() < healthy.get("mean_validity").unwrap(),
+            "graded faults must lower the validity: {offset:?}"
+        );
+    }
+
+    #[test]
+    fn reliable_sensor_masks_a_single_faulty_replica() {
+        let family = ReliableSensorScenario;
+        let base = ScenarioSpec::new("reliable-sensor")
+            .with("fault", "permanent")
+            .with_seed(11)
+            .with_duration_secs(150);
+        let single = family.run(&base.clone().with("config", "single"));
+        let reliable = family.run(&base.clone());
+        assert!(
+            reliable.get("mean_abs_error_m").unwrap() < single.get("mean_abs_error_m").unwrap(),
+            "redundancy must mask the offset: {reliable:?} vs {single:?}"
+        );
+        assert!(reliable.get("availability").unwrap() > 0.9, "{reliable:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown sensor fault")]
+    fn invalid_fault_class_panics_with_guidance() {
+        let _ = SensorValidityScenario
+            .run(&ScenarioSpec::new("sensor-validity").with("fault", "gremlin"));
+    }
+}

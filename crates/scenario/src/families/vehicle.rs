@@ -1,0 +1,319 @@
+//! Vehicle-layer families: the ground use cases of paper §VI-A and the
+//! aerial RPV use case of §VI-B.
+
+use karyon_core::LevelOfService;
+use karyon_sensors::SensorFault;
+use karyon_sim::{Rng, SimDuration, SimTime};
+use karyon_vehicles::{
+    run_encounter, run_intersection, run_lane_changes, run_platoon, AerialScenario, AvionicsConfig,
+    ControlMode, Coordination, FallbackMode, InjectedSensorFault, IntersectionConfig,
+    LaneChangeConfig, PlatoonConfig, TrafficType, V2VModel,
+};
+
+use crate::grid::ParamGrid;
+use crate::scenario::{RunRecord, Scenario};
+use crate::spec::ScenarioSpec;
+
+/// Parses the shared `mode` parameter (`kernel`, `los0`, `los1`, `los2`).
+fn control_mode(spec: &ScenarioSpec) -> ControlMode {
+    match spec.str_or("mode", "kernel") {
+        "kernel" => ControlMode::SafetyKernel,
+        "los0" => ControlMode::FixedLos(LevelOfService(0)),
+        "los1" => ControlMode::FixedLos(LevelOfService(1)),
+        "los2" => ControlMode::FixedLos(LevelOfService(2)),
+        other => panic!("unknown platoon mode {other:?} (expected kernel|los0|los1|los2)"),
+    }
+}
+
+/// The ACC/CACC platoon of §VI-A1 under configurable V2V quality
+/// (experiments e01 and e10).
+pub struct PlatoonScenario;
+
+impl Scenario for PlatoonScenario {
+    fn name(&self) -> &str {
+        "platoon"
+    }
+
+    fn param_domain(&self) -> ParamGrid {
+        ParamGrid::new()
+            .axis("mode", ["kernel", "los0", "los1", "los2"])
+            .axis("vehicles", [6, 8, 12])
+            .axis("v2v_loss", [0.05, 0.3])
+            .axis("lead_braking", [4.0, 5.0])
+            .axis("outage", [false, true])
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        let duration = spec.duration;
+        let mut v2v = V2VModel { loss: spec.f64_or("v2v_loss", 0.05), ..Default::default() };
+        if spec.bool_or("outage", false) {
+            // A single outage across the middle third of the run.
+            let third = duration.as_secs_f64() / 3.0;
+            v2v.outages =
+                vec![(SimTime::from_secs_f64(third), SimTime::from_secs_f64(2.0 * third))];
+        }
+        let config = PlatoonConfig {
+            vehicles: spec.u64_or("vehicles", 6).max(2) as usize,
+            duration,
+            mode: control_mode(spec),
+            v2v,
+            lead_braking: spec.f64_or("lead_braking", 4.0),
+            seed: spec.seed,
+            ..Default::default()
+        };
+        let result = run_platoon(&config);
+        let mut record = RunRecord::new();
+        record.set("collisions", result.collisions as f64);
+        record.set_flag("collision", result.collisions > 0);
+        record.set("hazard_steps", result.hazard_steps as f64);
+        record.set_flag("hazard", result.hazard_steps > 0);
+        record.set("min_time_gap_s", result.min_time_gap);
+        record.set("mean_time_gap_s", result.mean_time_gap);
+        record.set("mean_speed_mps", result.mean_speed);
+        record.set("throughput_vph", result.throughput_veh_per_hour);
+        record.set("los2_fraction", result.los_time_fraction[2]);
+        record.set("los_switches", result.los_switches as f64);
+        record
+    }
+}
+
+/// The randomized fault-injection campaign body of bench `e15`: every run
+/// draws a sensor-fault class, target follower, fault window and V2V outage
+/// from the run seed, then executes the platoon under the chosen control
+/// strategy.
+pub struct PlatoonFaultScenario;
+
+fn random_fault(rng: &mut Rng) -> SensorFault {
+    match rng.range_u64(0, 4) {
+        0 => SensorFault::Delay { delay: SimDuration::from_millis(rng.range_u64(400, 1_500)) },
+        1 => SensorFault::SporadicOffset { probability: 0.3, magnitude: rng.range_f64(10.0, 40.0) },
+        2 => SensorFault::PermanentOffset { offset: rng.range_f64(-25.0, 25.0) },
+        3 => SensorFault::StochasticOffset { std_dev: rng.range_f64(3.0, 12.0) },
+        _ => SensorFault::StuckAt { stuck_value: None },
+    }
+}
+
+impl Scenario for PlatoonFaultScenario {
+    fn name(&self) -> &str {
+        "platoon-fault"
+    }
+
+    fn param_domain(&self) -> ParamGrid {
+        ParamGrid::new().axis("mode", ["kernel", "los0", "los1", "los2"]).axis("vehicles", [6, 12])
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        let vehicles = spec.u64_or("vehicles", 6).max(2) as usize;
+        let mut rng = Rng::seed_from(spec.seed);
+        let fault_start = rng.range_u64(20, 60);
+        let outage_start = rng.range_u64(30, 80);
+        let config = PlatoonConfig {
+            vehicles,
+            duration: spec.duration,
+            mode: control_mode(spec),
+            lead_braking: rng.range_f64(3.5, 5.5),
+            v2v: V2VModel {
+                loss: rng.range_f64(0.02, 0.2),
+                outages: vec![(
+                    SimTime::from_secs(outage_start),
+                    SimTime::from_secs(outage_start + rng.range_u64(10, 40)),
+                )],
+                ..Default::default()
+            },
+            sensor_fault: Some(InjectedSensorFault {
+                follower: rng.range_usize(1, vehicles - 1),
+                fault: random_fault(&mut rng),
+                from: SimTime::from_secs(fault_start),
+                until: SimTime::from_secs(fault_start + rng.range_u64(10, 50)),
+            }),
+            seed: rng.next_u64(),
+            ..Default::default()
+        };
+        let result = run_platoon(&config);
+        let mut record = RunRecord::new();
+        record.set_flag("collision", result.collisions > 0);
+        record.set_flag("hazard", result.hazard_steps > 0);
+        record.set("hazard_steps", result.hazard_steps as f64);
+        record.set("min_time_gap_s", result.min_time_gap);
+        record.set("throughput_vph", result.throughput_veh_per_hour);
+        record
+    }
+}
+
+/// The intersection-crossing use case of §VI-A2 (experiment e11) with an
+/// optional infrastructure-light failure across the middle third of the run.
+pub struct IntersectionScenario;
+
+impl Scenario for IntersectionScenario {
+    fn name(&self) -> &str {
+        "intersection"
+    }
+
+    fn param_domain(&self) -> ParamGrid {
+        ParamGrid::new()
+            .axis("fallback", ["vtl", "uncoordinated"])
+            .axis("arrivals_per_minute", [12.0, 6.0, 20.0])
+            .axis("light_fail", [true, false])
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        let duration = spec.duration;
+        let fallback = match spec.str_or("fallback", "vtl") {
+            "vtl" => FallbackMode::VirtualTrafficLight,
+            "uncoordinated" => FallbackMode::Uncoordinated,
+            other => panic!("unknown intersection fallback {other:?} (expected vtl|uncoordinated)"),
+        };
+        let light_failure = if spec.bool_or("light_fail", true) {
+            let third = duration.as_secs_f64() / 3.0;
+            Some((SimTime::from_secs_f64(third), SimTime::from_secs_f64(2.0 * third)))
+        } else {
+            None
+        };
+        let config = IntersectionConfig {
+            arrivals_per_minute: spec.f64_or("arrivals_per_minute", 12.0),
+            duration,
+            light_failure,
+            fallback,
+            seed: spec.seed,
+        };
+        let result = run_intersection(&config);
+        let mut record = RunRecord::new();
+        record.set("crossed", result.crossed as f64);
+        record.set("conflicts", result.conflicts as f64);
+        record.set_flag("conflict", result.conflicts > 0);
+        record.set("mean_wait_s", result.mean_wait);
+        record.set("max_wait_s", result.max_wait);
+        record.set("throughput_vpm", result.throughput_per_minute);
+        record.set("uncontrolled_fraction", result.uncontrolled_fraction);
+        record
+    }
+}
+
+/// The coordinated lane-change use case of §VI-A3 (experiment e12).
+pub struct LaneChangeScenario;
+
+impl Scenario for LaneChangeScenario {
+    fn name(&self) -> &str {
+        "lane-change"
+    }
+
+    fn param_domain(&self) -> ParamGrid {
+        ParamGrid::new()
+            .axis("coordination", ["agreement", "none"])
+            .axis("vehicles", [16, 12, 20])
+            .axis("desire_rate", [0.05, 0.08])
+            .axis("message_loss", [0.02, 0.1])
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        let coordination = match spec.str_or("coordination", "agreement") {
+            "agreement" => Coordination::Agreement,
+            "none" => Coordination::None,
+            other => panic!("unknown lane-change coordination {other:?} (expected agreement|none)"),
+        };
+        let config = LaneChangeConfig {
+            vehicles: spec.u64_or("vehicles", 16).max(2) as usize,
+            desire_rate: spec.f64_or("desire_rate", 0.05),
+            message_loss: spec.f64_or("message_loss", 0.02),
+            duration: spec.duration,
+            coordination,
+            seed: spec.seed,
+            ..Default::default()
+        };
+        let result = run_lane_changes(&config);
+        let mut record = RunRecord::new();
+        record.set("desired", result.desired as f64);
+        record.set("started", result.started as f64);
+        record.set("completed", result.completed as f64);
+        record.set("aborted", result.aborted as f64);
+        record.set("invariant_violations", result.invariant_violations as f64);
+        record.set_flag("violation", result.invariant_violations > 0);
+        record.set("mean_start_delay_s", result.mean_start_delay);
+        record.set(
+            "completion_rate",
+            if result.desired > 0 { result.completed as f64 / result.desired as f64 } else { 0.0 },
+        );
+        record
+    }
+}
+
+/// The aerial RPV separation scenarios of §VI-B (experiment e13).
+pub struct AvionicsScenario;
+
+impl Scenario for AvionicsScenario {
+    fn name(&self) -> &str {
+        "avionics-rpv"
+    }
+
+    fn param_domain(&self) -> ParamGrid {
+        ParamGrid::new()
+            .axis("encounter", ["same-direction", "crossing", "level-change"])
+            .axis("traffic", ["collaborative", "non-collaborative"])
+            .axis("resolution", [true, false])
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        let scenario = match spec.str_or("encounter", "same-direction") {
+            "same-direction" => AerialScenario::SameDirection,
+            "crossing" => AerialScenario::LeveledCrossing,
+            "level-change" => AerialScenario::FlightLevelChange,
+            other => panic!(
+                "unknown avionics encounter {other:?} (expected same-direction|crossing|level-change)"
+            ),
+        };
+        let traffic = match spec.str_or("traffic", "collaborative") {
+            "collaborative" => TrafficType::Collaborative,
+            "non-collaborative" => TrafficType::NonCollaborative,
+            other => panic!(
+                "unknown avionics traffic {other:?} (expected collaborative|non-collaborative)"
+            ),
+        };
+        let config = AvionicsConfig {
+            scenario,
+            traffic,
+            resolution_enabled: spec.bool_or("resolution", true),
+            duration: spec.duration,
+            seed: spec.seed,
+        };
+        let result = run_encounter(&config);
+        let mut record = RunRecord::new();
+        record.set("min_horizontal_sep_m", result.min_horizontal_separation);
+        record.set("min_vertical_sep_m", result.min_vertical_separation);
+        record.set("violation_seconds", result.violation_seconds);
+        record.set_flag("violated", result.violation_seconds > 0.0);
+        record.set_flag("detected", result.detected_at.is_some());
+        if let Some(at) = result.detected_at {
+            record.set("detected_at_s", at);
+        }
+        record.set_flag("resolution_applied", result.resolution_applied);
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platoon_modes_map_to_control_strategies() {
+        let platoon = PlatoonScenario;
+        let coop = platoon.run(
+            &ScenarioSpec::new("platoon").with("mode", "los2").with_seed(3).with_duration_secs(60),
+        );
+        let cons = platoon.run(
+            &ScenarioSpec::new("platoon").with("mode", "los0").with_seed(3).with_duration_secs(60),
+        );
+        assert_eq!(coop.get("los2_fraction"), Some(1.0));
+        assert_eq!(cons.get("los2_fraction"), Some(0.0));
+        assert!(
+            cons.get("mean_time_gap_s") > coop.get("mean_time_gap_s"),
+            "conservative mode keeps larger margins"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown platoon mode")]
+    fn invalid_mode_panics_with_guidance() {
+        let _ = PlatoonScenario.run(&ScenarioSpec::new("platoon").with("mode", "warp"));
+    }
+}

@@ -12,9 +12,15 @@
 //! * [`Scenario`] — the trait a scenario family implements: take a spec,
 //!   return a [`RunRecord`] of named metrics;
 //! * [`ScenarioRegistry`] — named scenario families; [`builtin_registry`]
-//!   ships adapters for the vehicle use cases (platoon, randomized
-//!   platoon fault injection, intersection VTL, lane change, avionics RPV)
-//!   and the middleware QoS stack;
+//!   ships one family per KARYON evaluation experiment across every
+//!   workspace layer ([`families`]): the vehicle use cases (platoon,
+//!   randomized platoon fault injection, intersection VTL, lane change,
+//!   avionics RPV), the middleware QoS stack, the self-stabilizing network
+//!   stack (TDMA, inaccessibility, pulse sync, end-to-end FIFO), the sensor
+//!   validity pipeline and the safety-kernel/cooperation layer — each with a
+//!   machine-readable [`Scenario::param_domain`]
+//!   ([`ScenarioRegistry::describe_json`] powers
+//!   `karyon-campaign list-families --output json`);
 //! * [`ParamGrid`] — a cartesian parameter grid expanded into parameter
 //!   points;
 //! * [`Campaign`] — expands grids and Monte-Carlo seed sweeps into a
@@ -66,6 +72,7 @@
 pub mod aggregate;
 pub mod campaign;
 pub mod checkpoint;
+pub mod families;
 pub mod grid;
 pub mod json;
 pub mod registry;
@@ -79,7 +86,7 @@ pub use campaign::{derive_run_seed, Campaign, CampaignEntry, CampaignOutcome, Ru
 pub use checkpoint::{truncate_jsonl, CheckpointManifest, Checkpointer};
 pub use grid::ParamGrid;
 pub use json::JsonValue;
-pub use registry::{builtin_registry, ScenarioRegistry};
+pub use registry::{builtin_registry, FamilyInfo, ParamInfo, ScenarioRegistry};
 pub use report::{CampaignReport, MetricSummary, PointReport};
 pub use scenario::{RunRecord, Scenario};
 pub use sink::{read_jsonl_records, JsonlRunWriter, RunMeta, RunSink, SyncOnFlushFile};

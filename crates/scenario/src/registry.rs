@@ -1,28 +1,14 @@
-//! Named scenario families and the builtin adapters over the workspace's
-//! use-case simulations.
+//! Named scenario families and the builtin registry over the workspace's
+//! experiment bodies.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use karyon_core::LevelOfService;
-use karyon_middleware::{
-    ContextFilter, EventBus, NetworkCapability, NetworkId, QosRequirement, Subject, SubscriberId,
-};
-use karyon_net::mac::selfstab_tdma::allocation_is_collision_free;
-use karyon_net::{
-    CsmaConfig, CsmaMac, InaccessibilityTracker, MacProtocol, MacSimConfig, MacSimulation,
-    MediumConfig, NodeId, R2TMac, R2TMacConfig, SelfStabTdmaMac, WirelessMedium,
-};
-use karyon_sensors::SensorFault;
-use karyon_sim::{Engine, Rng, SimDuration, SimTime, Vec2};
-use karyon_vehicles::{
-    run_encounter, run_intersection, run_lane_changes, run_platoon, AerialScenario, AvionicsConfig,
-    ControlMode, Coordination, FallbackMode, InjectedSensorFault, IntersectionConfig,
-    LaneChangeConfig, PlatoonConfig, TrafficType, V2VModel,
-};
-
-use crate::scenario::{RunRecord, Scenario};
-use crate::spec::ScenarioSpec;
+use crate::families;
+use crate::grid::ParamGrid;
+use crate::json::{self, ObjectWriter};
+use crate::scenario::Scenario;
+use crate::spec::ParamValue;
 
 /// A registry of named scenario families.
 ///
@@ -71,575 +57,157 @@ impl ScenarioRegistry {
     pub fn is_empty(&self) -> bool {
         self.families.is_empty()
     }
+
+    /// Describes every registered family — name, engine involvement and the
+    /// declared parameter domain — in name order.
+    pub fn describe(&self) -> Vec<FamilyInfo> {
+        self.families
+            .values()
+            .map(|scenario| FamilyInfo {
+                name: scenario.name().to_string(),
+                engine_driven: scenario.engine_driven(),
+                params: scenario
+                    .param_domain()
+                    .axes()
+                    .iter()
+                    .map(|(name, values)| ParamInfo {
+                        name: name.clone(),
+                        type_name: values[0].type_name(),
+                        default: values[0].clone(),
+                        domain: values.clone(),
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// The machine-readable family listing behind
+    /// `karyon-campaign list-families --output json`:
+    ///
+    /// ```json
+    /// {"families": [{"name": "tdma", "engine_driven": false,
+    ///   "params": [{"name": "nodes", "type": "int", "default": 8,
+    ///               "domain": [8, 4, 12]}, ...]}, ...]}
+    /// ```
+    ///
+    /// Parameter entries carry the declared type, the default (the first
+    /// domain value) and the full default sweep domain, so external tooling
+    /// can generate valid campaign specs without parsing rustdoc.
+    pub fn describe_json(&self) -> String {
+        let families: Vec<String> = self
+            .describe()
+            .iter()
+            .map(|family| {
+                let params: Vec<String> = family
+                    .params
+                    .iter()
+                    .map(|p| {
+                        let domain: Vec<String> =
+                            p.domain.iter().map(ParamValue::to_json).collect();
+                        let mut o = ObjectWriter::new();
+                        o.string("name", &p.name);
+                        o.string("type", p.type_name);
+                        o.raw("default", &p.default.to_json());
+                        o.raw("domain", &json::array(&domain));
+                        o.finish()
+                    })
+                    .collect();
+                let mut o = ObjectWriter::new();
+                o.string("name", &family.name);
+                o.bool("engine_driven", family.engine_driven);
+                o.raw("params", &json::array(&params));
+                o.finish()
+            })
+            .collect();
+        let mut root = ObjectWriter::new();
+        root.raw("families", &json::array(&families));
+        root.finish()
+    }
 }
 
-/// Builds a registry with every builtin scenario family:
+/// One family's entry in [`ScenarioRegistry::describe`].
+#[derive(Debug, Clone)]
+pub struct FamilyInfo {
+    /// The registered family name.
+    pub name: String,
+    /// Whether the family drives a `karyon_sim::Engine` (and therefore
+    /// participates in the clamp audit).
+    pub engine_driven: bool,
+    /// The declared parameters, in [`Scenario::param_domain`] axis order.
+    pub params: Vec<ParamInfo>,
+}
+
+/// One parameter of one family, as declared by
+/// [`Scenario::param_domain`].
+#[derive(Debug, Clone)]
+pub struct ParamInfo {
+    /// The parameter name.
+    pub name: String,
+    /// The JSON-facing type name (`int`, `float`, `bool`, `text`).
+    pub type_name: &'static str,
+    /// The default value (the first value of the declared axis).
+    pub default: ParamValue,
+    /// The full declared sweep domain.
+    pub domain: Vec<ParamValue>,
+}
+
+impl FamilyInfo {
+    /// The default [`ParamGrid`] of this family: every declared parameter
+    /// pinned to its default value — the grid a generated all-families
+    /// smoke spec uses.
+    pub fn default_grid(&self) -> ParamGrid {
+        let mut grid = ParamGrid::new();
+        for p in &self.params {
+            grid = grid.axis_values(&p.name, vec![p.default.clone()]);
+        }
+        grid
+    }
+}
+
+/// Builds a registry with every builtin scenario family — one per KARYON
+/// evaluation experiment (see [`families`] for the full module tour):
 ///
-/// | family | adapted from | key parameters |
-/// |---|---|---|
-/// | `platoon` | `karyon_vehicles::run_platoon` | `mode`, `vehicles`, `v2v_loss`, `lead_braking`, `outage` |
-/// | `platoon-fault` | bench `e15` (randomized fault injection) | `mode`, `vehicles` |
-/// | `intersection` | `karyon_vehicles::run_intersection` | `fallback`, `arrivals_per_minute`, `light_fail` |
-/// | `lane-change` | `karyon_vehicles::run_lane_changes` | `coordination`, `vehicles`, `message_loss`, `desire_rate` |
-/// | `avionics-rpv` | `karyon_vehicles::run_encounter` | `encounter`, `traffic`, `resolution` |
-/// | `middleware-qos` | `karyon_middleware::EventBus` on a `karyon_sim::Engine` | `rate_hz`, `degrade` |
-/// | `tdma` | `karyon_net` self-stabilizing TDMA (bench `e05` body) | `nodes`, `adversarial`, `slots_per_frame` |
-/// | `inaccessibility` | `karyon_net` CSMA / R2T-MAC under jamming (bench `e04` body) | `mac`, `burst_ms`, `copies`, `nodes` |
+/// | family | layer | adapted from | key parameters |
+/// |---|---|---|---|
+/// | `platoon` | vehicles | `run_platoon` (e01/e10) | `mode`, `vehicles`, `v2v_loss`, `lead_braking`, `outage` |
+/// | `platoon-fault` | vehicles | bench e15 body | `mode`, `vehicles` |
+/// | `intersection` | vehicles | `run_intersection` (e11) | `fallback`, `arrivals_per_minute`, `light_fail` |
+/// | `lane-change` | vehicles | `run_lane_changes` (e12) | `coordination`, `vehicles`, `message_loss`, `desire_rate` |
+/// | `avionics-rpv` | vehicles | `run_encounter` (e13) | `encounter`, `traffic`, `resolution` |
+/// | `middleware-qos` | middleware | `EventBus` on an `Engine` (e08) | `rate_hz`, `degrade`, `network`, `max_latency_ms`, `min_delivery_ratio` |
+/// | `tdma` | net | self-stabilizing TDMA (e05) | `nodes`, `adversarial`, `slots_per_frame`, `churn` |
+/// | `inaccessibility` | net | CSMA / R2T-MAC under jamming (e04) | `mac`, `burst_ms`, `copies`, `nodes`, `gap_s`, `loss`, `long_burst` |
+/// | `pulse-sync` | net | autonomous pulse alignment (e06) | `drift_ppm`, `loss`, `gain`, `nodes`, `period_ms` |
+/// | `end-to-end` | net | self-stabilizing FIFO (e07) | `omission`, `duplication`, `capacity`, `corrupt`, `messages` |
+/// | `sensor-validity` | sensors | validity estimation (e02) | `fault`, `noise_std`, `timeout_ms`, `max_rate`, fault magnitudes |
+/// | `reliable-sensor` | sensors | abstract reliable sensor (e03) | `config`, `fault`, `replicas`, `noise_std`, fault magnitudes |
+/// | `kernel-latency` | core | safety-kernel cycles (e14) | `rules_per_level`, `cycles`, `cycle_period_ms`, `validity_threshold` |
+/// | `cooperation` | core | manoeuvre agreement (e09a) | `participants`, `loss`, `deadline_ms`, `retransmit_ms` |
+/// | `topology` | net/core | discovery + Byzantine paths (e09b/c) | `topology`, `nodes` |
 pub fn builtin_registry() -> ScenarioRegistry {
     let mut registry = ScenarioRegistry::new();
-    registry.register(Arc::new(PlatoonScenario));
-    registry.register(Arc::new(PlatoonFaultScenario));
-    registry.register(Arc::new(IntersectionScenario));
-    registry.register(Arc::new(LaneChangeScenario));
-    registry.register(Arc::new(AvionicsScenario));
-    registry.register(Arc::new(MiddlewareQosScenario));
-    registry.register(Arc::new(TdmaScenario));
-    registry.register(Arc::new(InaccessibilityScenario));
+    registry.register(Arc::new(families::PlatoonScenario));
+    registry.register(Arc::new(families::PlatoonFaultScenario));
+    registry.register(Arc::new(families::IntersectionScenario));
+    registry.register(Arc::new(families::LaneChangeScenario));
+    registry.register(Arc::new(families::AvionicsScenario));
+    registry.register(Arc::new(families::MiddlewareQosScenario));
+    registry.register(Arc::new(families::TdmaScenario));
+    registry.register(Arc::new(families::InaccessibilityScenario));
+    registry.register(Arc::new(families::PulseSyncScenario));
+    registry.register(Arc::new(families::EndToEndScenario));
+    registry.register(Arc::new(families::SensorValidityScenario));
+    registry.register(Arc::new(families::ReliableSensorScenario));
+    registry.register(Arc::new(families::KernelLatencyScenario));
+    registry.register(Arc::new(families::CooperationScenario));
+    registry.register(Arc::new(families::TopologyScenario));
     registry
-}
-
-/// Parses the shared `mode` parameter (`kernel`, `los0`, `los1`, `los2`).
-fn control_mode(spec: &ScenarioSpec) -> ControlMode {
-    match spec.str_or("mode", "kernel") {
-        "kernel" => ControlMode::SafetyKernel,
-        "los0" => ControlMode::FixedLos(LevelOfService(0)),
-        "los1" => ControlMode::FixedLos(LevelOfService(1)),
-        "los2" => ControlMode::FixedLos(LevelOfService(2)),
-        other => panic!("unknown platoon mode {other:?} (expected kernel|los0|los1|los2)"),
-    }
-}
-
-/// The ACC/CACC platoon of §VI-A1 under configurable V2V quality.
-struct PlatoonScenario;
-
-impl Scenario for PlatoonScenario {
-    fn name(&self) -> &str {
-        "platoon"
-    }
-
-    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
-        let duration = spec.duration;
-        let mut v2v = V2VModel { loss: spec.f64_or("v2v_loss", 0.05), ..Default::default() };
-        if spec.bool_or("outage", false) {
-            // A single outage across the middle third of the run.
-            let third = duration.as_secs_f64() / 3.0;
-            v2v.outages =
-                vec![(SimTime::from_secs_f64(third), SimTime::from_secs_f64(2.0 * third))];
-        }
-        let config = PlatoonConfig {
-            vehicles: spec.u64_or("vehicles", 6).max(2) as usize,
-            duration,
-            mode: control_mode(spec),
-            v2v,
-            lead_braking: spec.f64_or("lead_braking", 4.0),
-            seed: spec.seed,
-            ..Default::default()
-        };
-        let result = run_platoon(&config);
-        let mut record = RunRecord::new();
-        record.set("collisions", result.collisions as f64);
-        record.set_flag("collision", result.collisions > 0);
-        record.set("hazard_steps", result.hazard_steps as f64);
-        record.set_flag("hazard", result.hazard_steps > 0);
-        record.set("min_time_gap_s", result.min_time_gap);
-        record.set("mean_time_gap_s", result.mean_time_gap);
-        record.set("mean_speed_mps", result.mean_speed);
-        record.set("throughput_vph", result.throughput_veh_per_hour);
-        record.set("los2_fraction", result.los_time_fraction[2]);
-        record.set("los_switches", result.los_switches as f64);
-        record
-    }
-}
-
-/// The randomized fault-injection campaign body of bench `e15`: every run
-/// draws a sensor-fault class, target follower, fault window and V2V outage
-/// from the run seed, then executes the platoon under the chosen control
-/// strategy.
-struct PlatoonFaultScenario;
-
-fn random_fault(rng: &mut Rng) -> SensorFault {
-    match rng.range_u64(0, 4) {
-        0 => SensorFault::Delay { delay: SimDuration::from_millis(rng.range_u64(400, 1_500)) },
-        1 => SensorFault::SporadicOffset { probability: 0.3, magnitude: rng.range_f64(10.0, 40.0) },
-        2 => SensorFault::PermanentOffset { offset: rng.range_f64(-25.0, 25.0) },
-        3 => SensorFault::StochasticOffset { std_dev: rng.range_f64(3.0, 12.0) },
-        _ => SensorFault::StuckAt { stuck_value: None },
-    }
-}
-
-impl Scenario for PlatoonFaultScenario {
-    fn name(&self) -> &str {
-        "platoon-fault"
-    }
-
-    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
-        let vehicles = spec.u64_or("vehicles", 6).max(2) as usize;
-        let mut rng = Rng::seed_from(spec.seed);
-        let fault_start = rng.range_u64(20, 60);
-        let outage_start = rng.range_u64(30, 80);
-        let config = PlatoonConfig {
-            vehicles,
-            duration: spec.duration,
-            mode: control_mode(spec),
-            lead_braking: rng.range_f64(3.5, 5.5),
-            v2v: V2VModel {
-                loss: rng.range_f64(0.02, 0.2),
-                outages: vec![(
-                    SimTime::from_secs(outage_start),
-                    SimTime::from_secs(outage_start + rng.range_u64(10, 40)),
-                )],
-                ..Default::default()
-            },
-            sensor_fault: Some(InjectedSensorFault {
-                follower: rng.range_usize(1, vehicles - 1),
-                fault: random_fault(&mut rng),
-                from: SimTime::from_secs(fault_start),
-                until: SimTime::from_secs(fault_start + rng.range_u64(10, 50)),
-            }),
-            seed: rng.next_u64(),
-            ..Default::default()
-        };
-        let result = run_platoon(&config);
-        let mut record = RunRecord::new();
-        record.set_flag("collision", result.collisions > 0);
-        record.set_flag("hazard", result.hazard_steps > 0);
-        record.set("hazard_steps", result.hazard_steps as f64);
-        record.set("min_time_gap_s", result.min_time_gap);
-        record.set("throughput_vph", result.throughput_veh_per_hour);
-        record
-    }
-}
-
-/// The intersection-crossing use case of §VI-A2 with an optional
-/// infrastructure-light failure across the middle third of the run.
-struct IntersectionScenario;
-
-impl Scenario for IntersectionScenario {
-    fn name(&self) -> &str {
-        "intersection"
-    }
-
-    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
-        let duration = spec.duration;
-        let fallback = match spec.str_or("fallback", "vtl") {
-            "vtl" => FallbackMode::VirtualTrafficLight,
-            "uncoordinated" => FallbackMode::Uncoordinated,
-            other => panic!("unknown intersection fallback {other:?} (expected vtl|uncoordinated)"),
-        };
-        let light_failure = if spec.bool_or("light_fail", true) {
-            let third = duration.as_secs_f64() / 3.0;
-            Some((SimTime::from_secs_f64(third), SimTime::from_secs_f64(2.0 * third)))
-        } else {
-            None
-        };
-        let config = IntersectionConfig {
-            arrivals_per_minute: spec.f64_or("arrivals_per_minute", 12.0),
-            duration,
-            light_failure,
-            fallback,
-            seed: spec.seed,
-        };
-        let result = run_intersection(&config);
-        let mut record = RunRecord::new();
-        record.set("crossed", result.crossed as f64);
-        record.set("conflicts", result.conflicts as f64);
-        record.set_flag("conflict", result.conflicts > 0);
-        record.set("mean_wait_s", result.mean_wait);
-        record.set("max_wait_s", result.max_wait);
-        record.set("throughput_vpm", result.throughput_per_minute);
-        record.set("uncontrolled_fraction", result.uncontrolled_fraction);
-        record
-    }
-}
-
-/// The coordinated lane-change use case of §VI-A3.
-struct LaneChangeScenario;
-
-impl Scenario for LaneChangeScenario {
-    fn name(&self) -> &str {
-        "lane-change"
-    }
-
-    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
-        let coordination = match spec.str_or("coordination", "agreement") {
-            "agreement" => Coordination::Agreement,
-            "none" => Coordination::None,
-            other => panic!("unknown lane-change coordination {other:?} (expected agreement|none)"),
-        };
-        let config = LaneChangeConfig {
-            vehicles: spec.u64_or("vehicles", 16).max(2) as usize,
-            desire_rate: spec.f64_or("desire_rate", 0.05),
-            message_loss: spec.f64_or("message_loss", 0.02),
-            duration: spec.duration,
-            coordination,
-            seed: spec.seed,
-            ..Default::default()
-        };
-        let result = run_lane_changes(&config);
-        let mut record = RunRecord::new();
-        record.set("desired", result.desired as f64);
-        record.set("started", result.started as f64);
-        record.set("completed", result.completed as f64);
-        record.set("aborted", result.aborted as f64);
-        record.set("invariant_violations", result.invariant_violations as f64);
-        record.set_flag("violation", result.invariant_violations > 0);
-        record.set("mean_start_delay_s", result.mean_start_delay);
-        record.set(
-            "completion_rate",
-            if result.desired > 0 { result.completed as f64 / result.desired as f64 } else { 0.0 },
-        );
-        record
-    }
-}
-
-/// The aerial RPV separation scenarios of §VI-B.
-struct AvionicsScenario;
-
-impl Scenario for AvionicsScenario {
-    fn name(&self) -> &str {
-        "avionics-rpv"
-    }
-
-    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
-        let scenario = match spec.str_or("encounter", "same-direction") {
-            "same-direction" => AerialScenario::SameDirection,
-            "crossing" => AerialScenario::LeveledCrossing,
-            "level-change" => AerialScenario::FlightLevelChange,
-            other => panic!(
-                "unknown avionics encounter {other:?} (expected same-direction|crossing|level-change)"
-            ),
-        };
-        let traffic = match spec.str_or("traffic", "collaborative") {
-            "collaborative" => TrafficType::Collaborative,
-            "non-collaborative" => TrafficType::NonCollaborative,
-            other => panic!(
-                "unknown avionics traffic {other:?} (expected collaborative|non-collaborative)"
-            ),
-        };
-        let config = AvionicsConfig {
-            scenario,
-            traffic,
-            resolution_enabled: spec.bool_or("resolution", true),
-            duration: spec.duration,
-            seed: spec.seed,
-        };
-        let result = run_encounter(&config);
-        let mut record = RunRecord::new();
-        record.set("min_horizontal_sep_m", result.min_horizontal_separation);
-        record.set("min_vertical_sep_m", result.min_vertical_separation);
-        record.set("violation_seconds", result.violation_seconds);
-        record.set_flag("violated", result.violation_seconds > 0.0);
-        record.set_flag("detected", result.detected_at.is_some());
-        if let Some(at) = result.detected_at {
-            record.set("detected_at_s", at);
-        }
-        record.set_flag("resolution_applied", result.resolution_applied);
-        record
-    }
-}
-
-/// Event-channel QoS under load and mid-run degradation (§V-B), driven by the
-/// discrete-event [`Engine`] — this family also exercises the engine's
-/// clamped-schedule accounting, which the campaign surfaces as suspect runs.
-struct MiddlewareQosScenario;
-
-#[derive(Debug, Clone, Copy)]
-enum QosEvent {
-    Publish,
-    Degrade,
-}
-
-impl Scenario for MiddlewareQosScenario {
-    fn name(&self) -> &str {
-        "middleware-qos"
-    }
-
-    fn metric_range(&self, metric: &str) -> Option<(f64, f64)> {
-        match metric {
-            // Continuous metrics with known scales: stream their campaign
-            // quantiles through fixed histograms so million-run sweeps hold
-            // no samples.  Flags and counts stay undeclared (exact).
-            "mean_latency_ms" => Some((0.0, 250.0)),
-            "delivery_ratio" | "deadline_miss_ratio" => Some((0.0, 1.0)),
-            _ => None,
-        }
-    }
-
-    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
-        let rate_hz = spec.f64_or("rate_hz", 50.0).max(1.0);
-        let degrade = spec.bool_or("degrade", false);
-        let subject = Subject::from_name("platoon/lead-state");
-
-        let mut bus = EventBus::new(spec.seed);
-        bus.attach_network(NetworkId(0), NetworkCapability::local_bus());
-        bus.attach_network(NetworkId(1), NetworkCapability::wireless_nominal());
-        bus.subscribe(SubscriberId(1), NetworkId(1), subject, ContextFilter::accept_all());
-        let admission = bus.announce(
-            subject,
-            NetworkId(1),
-            QosRequirement {
-                max_latency: SimDuration::from_millis(60),
-                min_delivery_ratio: 0.9,
-                max_rate: rate_hz,
-            },
-        );
-
-        // Clamp audit finding: below ~1 µs the period rounds to zero and the
-        // publish loop degenerates into a zero-delay self-loop at t=0 — the
-        // engine never advances and `run_until` never returns.  One
-        // microsecond (the simulator's time quantum) is the causality floor.
-        let period = SimDuration::from_secs_f64(1.0 / rate_hz).max(SimDuration::from_micros(1));
-        let end = SimTime::ZERO + spec.duration;
-        let mut engine: Engine<EventBus, QosEvent> = Engine::new(bus);
-        engine.schedule_at(SimTime::ZERO, QosEvent::Publish);
-        if degrade {
-            engine.schedule_at(
-                SimTime::from_secs_f64(spec.duration.as_secs_f64() / 2.0),
-                QosEvent::Degrade,
-            );
-        }
-        engine.run_until(end, |bus, ctx, event| match event {
-            QosEvent::Publish => {
-                bus.publish_from(subject, None, vec![0], ctx.now());
-                ctx.schedule_in(period, QosEvent::Publish);
-            }
-            QosEvent::Degrade => {
-                bus.update_capability(NetworkId(1), NetworkCapability::wireless_degraded());
-            }
-        });
-
-        let mut record = RunRecord::new();
-        record.absorb_engine_clamps(&engine);
-        let bus = engine.into_state();
-        let stats = bus.channel_stats(subject).expect("channel was announced");
-        record.set_flag("admitted", admission == karyon_middleware::Admission::Admitted);
-        record.set("published", stats.published as f64);
-        record.set(
-            "delivery_ratio",
-            if stats.published > 0 { stats.delivered as f64 / stats.published as f64 } else { 0.0 },
-        );
-        record.set("mean_latency_ms", stats.mean_latency_ms);
-        record.set(
-            "deadline_miss_ratio",
-            if stats.delivered > 0 {
-                stats.missed_deadline as f64 / stats.delivered as f64
-            } else {
-                0.0
-            },
-        );
-        record
-    }
-}
-
-/// Self-stabilizing TDMA slot allocation without an external time source
-/// (paper §V-A2, the body of bench `e05`): how many frames the network needs
-/// to converge to a collision-free schedule, from empty or adversarial
-/// initial claims.
-struct TdmaScenario;
-
-impl TdmaScenario {
-    fn build(spec: &ScenarioSpec) -> (MacSimulation<SelfStabTdmaMac>, u16) {
-        let nodes = spec.u64_or("nodes", 8).max(2) as u32;
-        let slots_per_frame = spec.u64_or("slots_per_frame", 16).clamp(2, 1_024) as u16;
-        let adversarial = spec.bool_or("adversarial", false);
-        let medium = WirelessMedium::new(MediumConfig {
-            range: 1_000.0,
-            loss_probability: 0.0,
-            channels: 1,
-        });
-        let mut sim = MacSimulation::new(
-            medium,
-            MacSimConfig { slot_duration: SimDuration::from_millis(1), slots_per_frame },
-            spec.seed,
-        );
-        for i in 0..nodes {
-            let mac = if adversarial {
-                SelfStabTdmaMac::with_initial_claim(0)
-            } else {
-                SelfStabTdmaMac::new()
-            };
-            sim.add_node(NodeId(i), mac, Vec2::new(i as f64 * 10.0, 0.0));
-        }
-        (sim, slots_per_frame)
-    }
-
-    fn converged(sim: &MacSimulation<SelfStabTdmaMac>) -> bool {
-        let claims: Vec<(NodeId, Option<u16>)> =
-            sim.node_ids().iter().map(|id| (*id, sim.mac(*id).unwrap().claimed_slot())).collect();
-        allocation_is_collision_free(&claims, |a, b| sim.medium().in_range(a, b))
-    }
-}
-
-impl Scenario for TdmaScenario {
-    fn name(&self) -> &str {
-        "tdma"
-    }
-
-    fn metric_range(&self, metric: &str) -> Option<(f64, f64)> {
-        match metric {
-            "frames_to_converge" => Some((0.0, 1_000.0)),
-            "reselections" => Some((0.0, 10_000.0)),
-            _ => None,
-        }
-    }
-
-    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
-        let (mut sim, slots_per_frame) = Self::build(spec);
-        // The spec duration budgets the convergence hunt: at 1 ms slots a
-        // frame takes `slots_per_frame` ms of simulated time.
-        let max_frames = (spec.duration.as_millis() / slots_per_frame as u64).clamp(1, 100_000);
-        let mut frames = max_frames;
-        let mut converged = false;
-        for frame in 1..=max_frames {
-            sim.run_slots(slots_per_frame as u64);
-            if Self::converged(&sim) {
-                frames = frame;
-                converged = true;
-                break;
-            }
-        }
-        let reselections: u64 =
-            sim.node_ids().iter().map(|id| sim.mac(*id).unwrap().reselections()).sum();
-        // Post-convergence stability: ten more frames must stay silent.
-        let before = sim.metrics().collisions;
-        sim.run_slots(slots_per_frame as u64 * 10);
-        let post_collisions = sim.metrics().collisions - before;
-
-        let mut record = RunRecord::new();
-        record.set_flag("converged", converged);
-        record.set("frames_to_converge", frames as f64);
-        record.set("reselections", reselections as f64);
-        record.set("post_convergence_collisions", post_collisions as f64);
-        record.set_flag("stable_after_convergence", converged && post_collisions == 0);
-        record
-    }
-}
-
-/// Network-inaccessibility control under jamming bursts (paper §V-A1, the
-/// body of bench `e04`): a broadcast workload over a disturbed medium, run
-/// either on plain CSMA (inaccessibility unbounded by design) or wrapped in
-/// R2T-MAC (bounded via channel diversity and temporal redundancy).
-struct InaccessibilityScenario;
-
-impl InaccessibilityScenario {
-    fn medium(seed: u64, slots: u64, burst_ms: u64) -> WirelessMedium {
-        let mut medium = WirelessMedium::new(MediumConfig {
-            range: 1_000.0,
-            loss_probability: 0.01,
-            channels: 2,
-        });
-        let mut rng = Rng::seed_from(seed);
-        medium.add_random_disturbances(
-            Some(0),
-            SimTime::from_millis(slots),
-            SimDuration::from_secs(3),
-            SimDuration::from_millis(burst_ms),
-            &mut rng,
-        );
-        medium
-    }
-
-    fn traffic<M: MacProtocol>(sim: &mut MacSimulation<M>, slots: u64, nodes: u32) {
-        for round in 0..(slots / 50) {
-            let src = NodeId((round % nodes as u64) as u32);
-            sim.send_broadcast(src, vec![round as u8]);
-            sim.run_slots(50);
-        }
-    }
-}
-
-impl Scenario for InaccessibilityScenario {
-    fn name(&self) -> &str {
-        "inaccessibility"
-    }
-
-    fn metric_range(&self, metric: &str) -> Option<(f64, f64)> {
-        match metric {
-            "delivery_per_generated" => Some((0.0, 8.0)),
-            "p95_delay_ms" | "max_delay_ms" => Some((0.0, 5_000.0)),
-            "longest_inaccessibility_ms" => Some((0.0, 10_000.0)),
-            _ => None,
-        }
-    }
-
-    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
-        let nodes = spec.u64_or("nodes", 6).max(2) as u32;
-        let burst_ms = spec.u64_or("burst_ms", 200).max(1);
-        let slots = spec.duration.as_millis().max(100); // 1 ms slots
-        let mac_kind = spec.str_or("mac", "r2t");
-
-        let mut record = RunRecord::new();
-        match mac_kind {
-            "csma" => {
-                let medium = Self::medium(spec.seed, slots, burst_ms);
-                let mut sim = MacSimulation::new(medium, MacSimConfig::default(), spec.seed);
-                for i in 0..nodes {
-                    sim.add_node(
-                        NodeId(i),
-                        CsmaMac::new(CsmaConfig::default()),
-                        Vec2::new(i as f64 * 10.0, 0.0),
-                    );
-                }
-                Self::traffic(&mut sim, slots, nodes);
-                // A CSMA node cannot escape its jammed channel, so its
-                // inaccessibility is the raw disturbance profile.
-                let mut tracker = InaccessibilityTracker::new();
-                for slot in 0..slots {
-                    let now = SimTime::from_millis(slot);
-                    tracker.observe(sim.medium().is_disturbed(0, now), now);
-                }
-                tracker.finish(SimTime::from_millis(slots));
-                record.set("longest_inaccessibility_ms", tracker.longest().as_secs_f64() * 1e3);
-                record.set_flag("bounded", false);
-                let mut delays = sim.metrics().delays_ms.clone();
-                record.set("delivery_per_generated", sim.metrics().delivery_per_generated());
-                record.set("p95_delay_ms", delays.p95());
-                record.set("max_delay_ms", delays.max());
-                record.set("collisions", sim.metrics().collisions as f64);
-            }
-            "r2t" => {
-                let config = R2TMacConfig {
-                    copies: spec.u64_or("copies", 2).clamp(1, 8) as u32,
-                    heartbeat_period: 0,
-                    channel_switch_threshold: 10,
-                    channels: 2,
-                    ..Default::default()
-                };
-                let medium = Self::medium(spec.seed, slots, burst_ms);
-                let mut sim = MacSimulation::new(medium, MacSimConfig::default(), spec.seed);
-                for i in 0..nodes {
-                    sim.add_node(
-                        NodeId(i),
-                        R2TMac::new(CsmaMac::new(CsmaConfig::default()), config.clone()),
-                        Vec2::new(i as f64 * 10.0, 0.0),
-                    );
-                }
-                Self::traffic(&mut sim, slots, nodes);
-                let mut longest = SimDuration::ZERO;
-                let mut bound = SimDuration::ZERO;
-                for id in sim.node_ids() {
-                    let mac = sim.mac(id).unwrap();
-                    longest = longest.max(mac.inaccessibility().longest());
-                    bound = mac.inaccessibility_bound(SimDuration::from_millis(1));
-                }
-                record.set("longest_inaccessibility_ms", longest.as_secs_f64() * 1e3);
-                record.set("inaccessibility_bound_ms", bound.as_secs_f64() * 1e3);
-                record.set_flag("bounded", longest <= bound);
-                let mut delays = sim.metrics().delays_ms.clone();
-                record.set("delivery_per_generated", sim.metrics().delivery_per_generated());
-                record.set("p95_delay_ms", delays.p95());
-                record.set("max_delay_ms", delays.max());
-                record.set("collisions", sim.metrics().collisions as f64);
-            }
-            other => panic!("unknown inaccessibility mac {other:?} (expected csma|r2t)"),
-        }
-        record
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::ScenarioSpec;
 
     #[test]
     fn builtin_registry_contains_all_families() {
@@ -648,17 +216,24 @@ mod tests {
             registry.names(),
             vec![
                 "avionics-rpv",
+                "cooperation",
+                "end-to-end",
                 "inaccessibility",
                 "intersection",
+                "kernel-latency",
                 "lane-change",
                 "middleware-qos",
                 "platoon",
                 "platoon-fault",
-                "tdma"
+                "pulse-sync",
+                "reliable-sensor",
+                "sensor-validity",
+                "tdma",
+                "topology",
             ]
         );
         assert!(!registry.is_empty());
-        assert_eq!(registry.len(), 8);
+        assert_eq!(registry.len(), 15);
     }
 
     #[test]
@@ -701,116 +276,61 @@ mod tests {
     }
 
     #[test]
-    fn tdma_converges_and_stays_collision_free() {
+    fn every_family_declares_a_parameter_domain() {
+        // The param-domain declaration is what `list-families --output json`
+        // and generated smoke specs rely on: every axis non-empty, no
+        // duplicate names (ParamGrid enforces both), and the declaration
+        // pure (constant across calls).
         let registry = builtin_registry();
-        let tdma = registry.get("tdma").unwrap();
-        let calm = tdma
-            .run(&ScenarioSpec::new("tdma").with("nodes", 8).with_seed(5).with_duration_secs(20));
-        assert_eq!(calm.get("converged"), Some(1.0));
-        assert_eq!(calm.get("post_convergence_collisions"), Some(0.0));
-        let adversarial = tdma.run(
-            &ScenarioSpec::new("tdma")
-                .with("nodes", 8)
-                .with("adversarial", true)
-                .with_seed(5)
-                .with_duration_secs(20),
-        );
-        assert_eq!(adversarial.get("converged"), Some(1.0));
-        assert!(
-            adversarial.get("reselections").unwrap() >= calm.get("reselections").unwrap(),
-            "the all-claim-slot-0 start cannot need fewer reselections"
-        );
-    }
-
-    #[test]
-    fn r2t_bounds_inaccessibility_where_csma_does_not() {
-        let registry = builtin_registry();
-        let family = registry.get("inaccessibility").unwrap();
-        let base = ScenarioSpec::new("inaccessibility")
-            .with("burst_ms", 800)
-            .with_seed(9)
-            .with_duration_secs(20);
-        let csma = family.run(&base.clone().with("mac", "csma"));
-        let r2t = family.run(&base.with("mac", "r2t"));
-        assert_eq!(csma.get("bounded"), Some(0.0), "CSMA inaccessibility is unbounded by design");
-        assert_eq!(r2t.get("bounded"), Some(1.0), "R2T-MAC must respect its bound: {r2t:?}");
-        assert!(
-            r2t.get("longest_inaccessibility_ms").unwrap()
-                < csma.get("longest_inaccessibility_ms").unwrap(),
-            "channel diversity must shorten inaccessibility: {r2t:?} vs {csma:?}"
-        );
-        assert!(r2t.get("delivery_per_generated").unwrap() > 0.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "unknown inaccessibility mac")]
-    fn invalid_inaccessibility_mac_panics_with_guidance() {
-        let registry = builtin_registry();
-        let _ = registry
-            .get("inaccessibility")
-            .unwrap()
-            .run(&ScenarioSpec::new("inaccessibility").with("mac", "aloha").with_duration_secs(5));
-    }
-
-    /// Clamp audit regression: the publish loop must terminate and stay
-    /// causality-clean even for rates whose period rounds below the 1 µs
-    /// time quantum (the zero-delay self-loop found by the audit).
-    #[test]
-    fn middleware_qos_survives_extreme_rates_without_clamps() {
-        let registry = builtin_registry();
-        let qos = registry.get("middleware-qos").unwrap();
-        for rate in [1.0, 997.0, 2.5e6, 1.0e9] {
-            let record = qos.run(
-                &ScenarioSpec::new("middleware-qos")
-                    .with("rate_hz", rate)
-                    .with_seed(8)
-                    .with_duration(SimDuration::from_millis(10)),
+        for info in registry.describe() {
+            let scenario = registry.get(&info.name).unwrap();
+            assert!(
+                !info.params.is_empty(),
+                "family {}: builtin families must declare their parameters",
+                info.name
             );
             assert_eq!(
-                record.clamped_schedules, 0,
-                "rate {rate} Hz: the publish loop must never schedule into the past"
+                scenario.param_domain().axes(),
+                scenario.param_domain().axes(),
+                "family {}: param_domain must be pure",
+                info.name
             );
-            assert!(record.get("published").unwrap() >= 1.0);
+            // The default grid expands to exactly one point carrying every
+            // declared parameter.
+            let points = info.default_grid().expand();
+            assert_eq!(points.len(), 1);
+            assert_eq!(points[0].len(), info.params.len());
         }
     }
 
     #[test]
-    fn platoon_modes_map_to_control_strategies() {
+    fn describe_json_is_machine_readable_and_complete() {
         let registry = builtin_registry();
-        let platoon = registry.get("platoon").unwrap();
-        let coop = platoon.run(
-            &ScenarioSpec::new("platoon").with("mode", "los2").with_seed(3).with_duration_secs(60),
-        );
-        let cons = platoon.run(
-            &ScenarioSpec::new("platoon").with("mode", "los0").with_seed(3).with_duration_secs(60),
-        );
-        assert_eq!(coop.get("los2_fraction"), Some(1.0));
-        assert_eq!(cons.get("los2_fraction"), Some(0.0));
-        assert!(
-            cons.get("mean_time_gap_s") > coop.get("mean_time_gap_s"),
-            "conservative mode keeps larger margins"
-        );
-    }
-
-    #[test]
-    fn middleware_qos_reports_channel_quality() {
-        let registry = builtin_registry();
-        let qos = registry.get("middleware-qos").unwrap();
-        let record =
-            qos.run(&ScenarioSpec::new("middleware-qos").with_seed(5).with_duration_secs(20));
-        assert_eq!(record.get("admitted"), Some(1.0));
-        assert!(record.get("delivery_ratio").unwrap() > 0.8);
-        assert!(record.get("published").unwrap() > 900.0, "50 Hz × 20 s ≈ 1000 events");
-        assert_eq!(record.clamped_schedules, 0, "the publish loop never schedules into the past");
-    }
-
-    #[test]
-    #[should_panic(expected = "unknown platoon mode")]
-    fn invalid_mode_panics_with_guidance() {
-        let registry = builtin_registry();
-        let _ = registry
-            .get("platoon")
-            .unwrap()
-            .run(&ScenarioSpec::new("platoon").with("mode", "warp"));
+        let doc = crate::json::JsonValue::parse(&registry.describe_json())
+            .expect("listing must be well-formed JSON");
+        let families = doc.get("families").and_then(|f| f.as_array()).unwrap();
+        assert_eq!(families.len(), registry.len());
+        for family in families {
+            let name = family.get("name").and_then(|n| n.as_str()).unwrap();
+            assert!(registry.get(name).is_some());
+            assert!(family.get("engine_driven").and_then(|e| e.as_bool()).is_some());
+            for param in family.get("params").and_then(|p| p.as_array()).unwrap() {
+                let type_name = param.get("type").and_then(|t| t.as_str()).unwrap();
+                assert!(matches!(type_name, "int" | "float" | "bool" | "text"));
+                let default = param.get("default").unwrap();
+                let domain = param.get("domain").and_then(|d| d.as_array()).unwrap();
+                assert!(!domain.is_empty());
+                // The default is the first domain value, and every domain
+                // value parses back as a ParamValue of the declared type.
+                for value in domain {
+                    let parsed = ParamValue::from_json(value).unwrap();
+                    assert_eq!(parsed.type_name(), type_name);
+                }
+                assert_eq!(
+                    ParamValue::from_json(default).unwrap(),
+                    ParamValue::from_json(&domain[0]).unwrap()
+                );
+            }
+        }
     }
 }

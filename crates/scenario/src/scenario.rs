@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use karyon_sim::Engine;
 
+use crate::grid::ParamGrid;
 use crate::spec::ScenarioSpec;
 
 /// The named metrics produced by one scenario run.
@@ -97,6 +98,40 @@ pub trait Scenario: Send + Sync {
     fn metric_range(&self, metric: &str) -> Option<(f64, f64)> {
         let _ = metric;
         None
+    }
+
+    /// The family's parameter domain: one grid axis per recognised parameter,
+    /// sweeping a representative set of values with the **first value of each
+    /// axis being the parameter's default**.
+    ///
+    /// This is the machine-readable contract behind
+    /// `karyon-campaign list-families --output json`, the registry coverage
+    /// tests, and [`Scenario::default_spec`].  A family with no parameters
+    /// returns the empty grid.  Like [`Scenario::metric_range`], the
+    /// declaration must be pure (constant per family).
+    fn param_domain(&self) -> ParamGrid {
+        ParamGrid::new()
+    }
+
+    /// True when this family drives a `karyon_sim::Engine` and therefore
+    /// participates in the clamp audit: the registry-wide guard test asserts
+    /// that every engine-driven builtin reports zero causality-suspect runs
+    /// on its default spec, so a family that schedules into the past cannot
+    /// land silently.  Families that override this must also call
+    /// [`RunRecord::absorb_engine_clamps`].
+    fn engine_driven(&self) -> bool {
+        false
+    }
+
+    /// A spec exercising this family at its defaults: every
+    /// [`Scenario::param_domain`] axis pinned to its first (default) value,
+    /// seed and duration as in [`ScenarioSpec::new`].
+    fn default_spec(&self) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new(self.name());
+        for (name, values) in self.param_domain().axes() {
+            spec = spec.with(name, values[0].clone());
+        }
+        spec
     }
 }
 

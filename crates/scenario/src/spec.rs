@@ -55,6 +55,30 @@ impl ParamValue {
             _ => None,
         }
     }
+
+    /// The type name used in machine-readable family listings
+    /// (`int`, `float`, `bool`, `text`).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            ParamValue::Int(_) => "int",
+            ParamValue::Float(_) => "float",
+            ParamValue::Bool(_) => "bool",
+            ParamValue::Text(_) => "text",
+        }
+    }
+
+    /// Renders the value as a JSON scalar ([`ParamValue::from_json`] parses
+    /// it back to an equal value — whole floats keep a decimal point so they
+    /// stay floats through the round trip).
+    pub fn to_json(&self) -> String {
+        match self {
+            ParamValue::Int(i) => i.to_string(),
+            ParamValue::Float(f) if f.is_finite() && f.fract() == 0.0 => format!("{f:.1}"),
+            ParamValue::Float(f) => crate::json::number(*f),
+            ParamValue::Bool(b) => b.to_string(),
+            ParamValue::Text(s) => format!("\"{}\"", crate::json::escape(s)),
+        }
+    }
 }
 
 impl ParamValue {
@@ -306,9 +330,35 @@ impl ScenarioSpec {
         params_label(&self.params)
     }
 
+    /// Renders the spec as the JSON document [`ScenarioSpec::from_json_str`]
+    /// parses — the two round-trip exactly for whole-second durations (the
+    /// spec-file format only carries `duration_secs`; sub-second precision is
+    /// truncated):
+    ///
+    /// ```
+    /// use karyon_scenario::ScenarioSpec;
+    ///
+    /// let spec = ScenarioSpec::new("tdma").with("nodes", 8).with_seed(3);
+    /// let round_tripped = ScenarioSpec::from_json_str(&spec.to_json()).unwrap();
+    /// assert_eq!(round_tripped, spec);
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut params = crate::json::ObjectWriter::new();
+        for (k, v) in &self.params {
+            params.raw(k, &v.to_json());
+        }
+        let mut o = crate::json::ObjectWriter::new();
+        o.string("scenario", &self.name);
+        o.u64("seed", self.seed);
+        o.u64("duration_secs", self.duration.as_micros() / 1_000_000);
+        o.raw("params", &params.finish());
+        o.finish()
+    }
+
     /// Builds a single-run spec from a JSON document — the one-off
     /// counterpart of a campaign spec file
-    /// ([`Campaign::from_json_str`](crate::Campaign::from_json_str)):
+    /// ([`Campaign::from_json_str`](crate::Campaign::from_json_str)) and the
+    /// inverse of [`ScenarioSpec::to_json`]:
     ///
     /// ```
     /// use karyon_scenario::ScenarioSpec;

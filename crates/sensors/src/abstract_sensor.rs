@@ -5,7 +5,7 @@
 //! nominal component may suffer specific failures; the wrapper maps them to a
 //! well-defined failure semantics at the interface — here, a validity value.
 
-use karyon_sim::{Rng, SimTime};
+use karyon_sim::{Rng, SimDuration, SimTime};
 
 use crate::detectors::{DetectionOutcome, FailureDetector};
 use crate::faults::FaultInjector;
@@ -119,6 +119,42 @@ impl AbstractSensor {
         }
         self.last_reading = None;
     }
+}
+
+/// Builds the standard KARYON monitored range sensor: a [`RangeSensor`]
+/// wrapped with the full failure-detector stack of paper §IV (range check
+/// over `[0, max_range]`, optional freshness timeout, rate-of-change limit,
+/// stuck-at detection).
+///
+/// This is the sensor the validity and reliable-sensor experiments (e02/e03)
+/// instantiate; exposing it here makes its thresholds — previously
+/// hard-coded in the bench harnesses — ordinary constructor parameters that
+/// campaign grids can sweep.
+///
+/// [`RangeSensor`]: crate::physical::RangeSensor
+pub fn monitored_range_sensor(
+    name: &str,
+    noise_std: f64,
+    max_range: f64,
+    timeout: Option<SimDuration>,
+    max_rate: f64,
+    seed: u64,
+) -> AbstractSensor {
+    use crate::detectors::{
+        RangeCheckDetector, RateOfChangeDetector, StuckAtDetector, TimeoutDetector,
+    };
+    let mut s = AbstractSensor::new(
+        name,
+        Box::new(crate::physical::RangeSensor { noise_std, max_range, dropout_probability: 0.0 }),
+        seed,
+    );
+    s.add_detector(Box::new(RangeCheckDetector::new(0.0, max_range)));
+    if let Some(max_age) = timeout {
+        s.add_detector(Box::new(TimeoutDetector::new(max_age)));
+    }
+    s.add_detector(Box::new(RateOfChangeDetector::new(max_rate)));
+    s.add_detector(Box::new(StuckAtDetector::new(1e-6, 8)));
+    s
 }
 
 /// Combines detector outcomes into a single validity:

@@ -56,7 +56,7 @@ pub mod physical;
 pub mod reliable;
 pub mod validity;
 
-pub use abstract_sensor::{AbstractSensor, SensorReading};
+pub use abstract_sensor::{monitored_range_sensor, AbstractSensor, SensorReading};
 pub use detectors::{
     DetectionOutcome, DetectorClass, FailureDetector, ModelBasedDetector, RangeCheckDetector,
     RateOfChangeDetector, StuckAtDetector, TimeoutDetector,

@@ -1,9 +1,10 @@
 //! End-to-end campaign orchestration demo.
 //!
-//! Declares a mixed fault-injection campaign over three scenario families —
+//! Declares a mixed fault-injection campaign over four scenario families —
 //! the randomized platoon fault campaign (generalising bench e15), the
-//! intersection with a mid-run infrastructure-light failure, and the
-//! event-channel QoS stack — expands it into 210 runs, executes it twice
+//! intersection with a mid-run infrastructure-light failure, the
+//! event-channel QoS stack, and the core-layer safety-kernel latency family
+//! (the promoted e14 body) — expands it into 230 runs, executes it twice
 //! (single-threaded and on all cores, with a deliberately small canonical
 //! chunk size so several chunk merges happen), verifies the two reports are
 //! **bit-identical**, streams every raw record through a JSONL sink, and
@@ -19,7 +20,7 @@ use karyon::sim::SimDuration;
 fn build_campaign() -> Campaign {
     Campaign::new("mixed-fault-campaign", 2_026)
         // A small canonical chunk so this demo exercises the chunked
-        // aggregation path (210 runs → 14 chunk merges); real campaigns
+        // aggregation path (230 runs → 15 chunk merges); real campaigns
         // keep the 4096-run default.
         .with_chunk_size(16)
         // 1. Randomized sensor-fault + V2V-outage injection into the platoon,
@@ -50,6 +51,14 @@ fn build_campaign() -> Campaign {
                 .replications(30)
                 .duration(SimDuration::from_secs(60)),
         )
+        // 4. A core-layer scenario: safety-kernel evaluation with a growing
+        //    rule set (the promoted e14 body) — the campaign sweeps a knob
+        //    the bench harness used to hard-code.
+        .entry(
+            CampaignEntry::new("kernel-latency")
+                .grid(ParamGrid::new().axis("rules_per_level", [8, 32]).axis("cycles", [2_000]))
+                .replications(10),
+        )
 }
 
 fn main() {
@@ -59,7 +68,7 @@ fn main() {
         "campaign {:?}: {} runs across {} scenario families\n",
         "mixed-fault-campaign",
         campaign.run_count(),
-        3
+        campaign.entries().len()
     );
 
     // Reference execution on one worker, then the parallel execution with a
@@ -98,6 +107,7 @@ fn main() {
     parallel.metric_table("collision").print();
     parallel.metric_table("conflicts").print();
     parallel.metric_table("delivery_ratio").print();
+    parallel.metric_table("worst_case_reaction_ms").print();
     parallel.summary_table().print();
     println!("causality-suspect runs (past-time schedule clamps): {}", parallel.suspect_runs());
 

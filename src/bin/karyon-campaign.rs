@@ -6,7 +6,7 @@
 //! karyon-campaign run      <spec.json> [--jsonl runs.jsonl] [--checkpoint c.json] ...
 //! karyon-campaign resume   <spec.json> --checkpoint c.json [--jsonl runs.jsonl] ...
 //! karyon-campaign report   <spec.json> (--jsonl runs.jsonl | --checkpoint c.json) ...
-//! karyon-campaign list-families
+//! karyon-campaign list-families [--output json]
 //! ```
 //!
 //! `run` executes a campaign (optionally streaming per-run JSONL artifacts
@@ -33,7 +33,8 @@ USAGE:
     karyon-campaign run    <spec.json> [OPTIONS]     execute a campaign from a JSON spec
     karyon-campaign resume <spec.json> [OPTIONS]     continue from --checkpoint (bit-identical)
     karyon-campaign report <spec.json> [OPTIONS]     re-emit a report without running anything
-    karyon-campaign list-families                    list the builtin scenario families
+    karyon-campaign list-families [--output json]    list the builtin scenario families
+                                                     (json: parameter names, types, domains)
     karyon-campaign help                             show this help
 
 OPTIONS:
@@ -437,16 +438,45 @@ fn cmd_report(args: CommonArgs) -> Result<(), String> {
 }
 
 fn cmd_list_families(args: &[String]) -> Result<(), String> {
-    if !args.is_empty() {
-        return Err(format!("list-families takes no arguments, got {args:?}"));
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--output" => {
+                let mode = iter.next().ok_or("--output needs a value")?;
+                json = match mode.as_str() {
+                    "json" => true,
+                    "table" => false,
+                    other => return Err(format!("--output must be json or table, not {other:?}")),
+                };
+            }
+            other => {
+                return Err(format!("list-families takes only --output json|table, got {other:?}"))
+            }
+        }
     }
     let registry = builtin_registry();
+    if json {
+        // Machine-readable: every family with its parameter names, types,
+        // defaults and default sweep domains — enough for external tooling
+        // to generate valid campaign specs (the CI registry smoke does).
+        println!("{}", registry.describe_json());
+        return Ok(());
+    }
     println!("builtin scenario families ({}):", registry.len());
-    for name in registry.names() {
-        println!("  {name}");
+    for family in registry.describe() {
+        let params: Vec<String> = family
+            .params
+            .iter()
+            .map(|p| format!("{}: {} = {}", p.name, p.type_name, p.default))
+            .collect();
+        let engine = if family.engine_driven { "  [engine-driven]" } else { "" };
+        println!("  {}{engine}", family.name);
+        println!("      {}", params.join(", "));
     }
     println!(
-        "\nsee `cargo doc -p karyon-scenario` (builtin_registry) for each family's parameters"
+        "\nuse `--output json` for the machine-readable listing (full parameter domains); \
+         `cargo doc -p karyon-scenario` (builtin_registry) maps families to experiments"
     );
     Ok(())
 }

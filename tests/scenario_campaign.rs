@@ -306,3 +306,81 @@ fn oversized_chunk_sizes_aggregate_cleanly() {
     assert_eq!(one, four);
     assert_eq!(one.points[0].metrics["wild"].count, 20_000);
 }
+
+// Registry coverage (ISSUE 5): every builtin family's default spec must
+// parse through the spec-file format (`ScenarioSpec::to_json` →
+// `from_json_str` round trip), run a 2-seed smoke campaign, and aggregate
+// **bit-identically for 1 vs N workers** — the determinism contract stays
+// enforced as the registry grows, for every family at once.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn every_builtin_family_default_spec_is_campaign_clean(
+        threads in 2usize..5,
+        campaign_seed in 0u64..1_000,
+    ) {
+        let registry = builtin_registry();
+        for info in registry.describe() {
+            let scenario = registry.get(&info.name).unwrap();
+
+            // The default spec survives the spec-file format.
+            let spec = scenario.default_spec().with_seed(29).with_duration_secs(10);
+            let parsed = ScenarioSpec::from_json_str(&spec.to_json())
+                .unwrap_or_else(|e| panic!("family {}: default spec must parse: {e}", info.name));
+            prop_assert_eq!(&parsed, &spec);
+
+            // A 2-seed smoke campaign at the default parameter point is
+            // bit-identical for any worker count.
+            let build = || {
+                Campaign::new(&format!("smoke-{}", info.name), campaign_seed)
+                    .with_chunk_size(1)
+                    .entry(
+                        CampaignEntry::new(&info.name)
+                            .grid(info.default_grid())
+                            .replications(2)
+                            .duration_secs(10),
+                    )
+            };
+            let serial = build().with_threads(1).run(&registry).unwrap();
+            let parallel = build().with_threads(threads).run(&registry).unwrap();
+            prop_assert_eq!(&serial, &parallel);
+            prop_assert_eq!(serial.to_json(), parallel.to_json());
+            prop_assert_eq!(serial.total_runs, 2);
+        }
+    }
+}
+
+/// Clamp-audit guard (ISSUE 5): every `Engine`-driven builtin family must
+/// report `suspect_runs == 0` on its default spec, so a new family cannot
+/// silently violate the forward-scheduling contract established by the PR-3
+/// clamp audit.  (Non-engine families trivially report zero too — asserted
+/// as well, since `RunRecord::clamped_schedules` should never be non-zero
+/// without an engine.)
+#[test]
+fn engine_driven_families_are_causality_clean_on_their_defaults() {
+    let registry = builtin_registry();
+    let mut engine_driven = 0;
+    for info in registry.describe() {
+        let campaign = Campaign::new(&format!("clamp-audit-{}", info.name), 77).entry(
+            CampaignEntry::new(&info.name)
+                .grid(info.default_grid())
+                .replications(2)
+                .duration_secs(10),
+        );
+        let report = campaign.run(&registry).unwrap();
+        assert_eq!(
+            report.suspect_runs(),
+            0,
+            "family {} violates the forward-scheduling contract on its default spec",
+            info.name
+        );
+        if info.engine_driven {
+            engine_driven += 1;
+        }
+    }
+    assert!(
+        engine_driven >= 1,
+        "the audit guard must cover at least the engine-driven middleware-qos family"
+    );
+}
