@@ -11,7 +11,7 @@ use karyon_core::{
     SafetyRule,
 };
 use karyon_middleware::{
-    ContextFilter, EventBus, NetworkCapability, NetworkId, QosRequirement, Subject, SubscriberId,
+    EventBus, NetworkCapability, NetworkId, Payload, QosClass, QosRequirement,
 };
 use karyon_net::mac::{MacSimConfig, MacSimulation};
 use karyon_net::{MediumConfig, NodeId, SelfStabTdmaMac, WirelessMedium};
@@ -122,18 +122,20 @@ fn bench_tdma_frame(c: &mut Criterion) {
 }
 
 fn bench_event_publish(c: &mut Criterion) {
+    // Steady-state v2 hot path: 16 batched mailboxes at capacity, so every
+    // publish routes through the cached topic route and the displace-push
+    // overload path — zero allocation per iteration.
     let mut bus = EventBus::new(5);
     bus.attach_network(NetworkId(0), NetworkCapability::local_bus());
-    let subject = Subject::from_name("bench/topic");
-    for i in 0..16 {
-        bus.subscribe(SubscriberId(i), NetworkId(0), subject, ContextFilter::accept_all());
+    for _ in 0..16 {
+        bus.topic("bench.topic").subscribe(QosClass::Batched);
     }
-    bus.announce(subject, NetworkId(0), QosRequirement::best_effort());
+    let publisher = bus.topic("bench.topic").announce(QosRequirement::best_effort());
     let mut t = 0u64;
     c.bench_function("event_bus_publish_16_subscribers", |b| {
         b.iter(|| {
             t += 1;
-            black_box(bus.publish_from(subject, None, vec![1, 2, 3], SimTime::from_millis(t)))
+            black_box(bus.publish(&publisher, Payload::tagged(t), SimTime::from_millis(t)))
         })
     });
 }

@@ -1,0 +1,1393 @@
+//! EventBus v2 — topic routing, QoS classes, bounded mailboxes and overload
+//! strategies.
+//!
+//! The KARYON middleware promises QoS assessment *and maintenance* (paper
+//! §V-B).  The [`channel`](crate::channel) module supplies the assessment
+//! half — announcement-time admission against monitored
+//! [`NetworkCapability`]s; this module supplies the maintenance half: what
+//! the bus does when publishers outrun subscribers.
+//!
+//! * **Topics** — events route by hierarchical, dot-separated topic names
+//!   (`"platoon.lead"`), with wildcard-prefix subscriptions (`"platoon.*"`
+//!   matches every topic nested under `platoon.`).  Each topic also carries
+//!   the FNV-derived [`Subject`] of its name, so the legacy subject-based
+//!   API interoperates with topic-based code.
+//! * **Mailboxes** — every subscription owns a bounded ring
+//!   [`Mailbox`], sized by its [`QosClass`];
+//!   subscribers drain it with [`EventBus::poll`] / [`EventBus::drain_with`].
+//!   Publishing moves only `Copy` [`Payload`]s, so the hot path allocates
+//!   nothing once routes are warm.
+//! * **Backpressure** — when a mailbox is full, the subscription's
+//!   [`OverloadStrategy`] decides (drop-newest / drop-oldest / sample /
+//!   aggregate); when the bus-wide backlog exceeds
+//!   [`EventBus::set_backlog_threshold`], realtime subscriptions shed
+//!   incoming events outright to protect their latency bound.
+//! * **Stats** — each subscription accumulates delivery/drop counters and a
+//!   constant-memory latency histogram, reported as [`SubscriptionStats`]
+//!   (P50/P99 delivery latency included).
+
+use std::collections::BTreeMap;
+
+use karyon_sim::{BucketHistogram, Rng, SimDuration, SimTime};
+
+use crate::channel::{
+    Admission, ChannelStats, Delivery, NetworkCapability, NetworkId, SubscriberId,
+};
+use crate::event::{Context, ContextFilter, Event, Payload, QosRequirement, Subject};
+use crate::mailbox::Mailbox;
+use crate::overload::{OverloadStrategy, QosClass};
+
+/// Identifier of an interned topic (index into the bus's topic table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TopicId(pub u32);
+
+/// Identifier of one subscription (stable across unsubscribes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriptionId(pub u32);
+
+/// The range and resolution of the per-subscription delivery-latency
+/// histograms: 1 ms buckets up to 2 s; later samples land in the overflow
+/// bucket (quantiles then report the exact observed maximum).
+const LATENCY_HIST_MS: (f64, f64, usize) = (0.0, 2_000.0, 2_000);
+
+/// The publisher handle returned by [`TopicRef::announce`]: proof that the
+/// channel was announced, carrying the admission decision taken at
+/// announcement time.
+///
+/// All publishing goes through [`EventBus::publish`] with this handle; the
+/// *current* admission (which [`EventBus::update_capability`] may have
+/// changed since) is available via [`EventBus::admission`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Publisher {
+    pub(crate) topic: TopicId,
+    pub(crate) subject: Subject,
+    pub(crate) admission: Admission,
+}
+
+impl Publisher {
+    /// The topic this handle publishes on.
+    pub fn topic(&self) -> TopicId {
+        self.topic
+    }
+
+    /// The subject UID of the topic (for the legacy subject-based API).
+    pub fn subject(&self) -> Subject {
+        self.subject
+    }
+
+    /// The admission decision taken when the channel was announced.
+    pub fn admission(&self) -> Admission {
+        self.admission
+    }
+
+    /// True when the channel was admitted at announcement time.
+    pub fn is_admitted(&self) -> bool {
+        self.admission == Admission::Admitted
+    }
+}
+
+/// What happened to one published event, per routing step.
+///
+/// `Copy` and allocation-free — the v2 counterpart of the legacy
+/// `Vec<Delivery>` return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PublishOutcome {
+    /// Active subscriptions the topic routed to.
+    pub matched: u32,
+    /// Copies enqueued into a mailbox (including ones that displaced an
+    /// older queued event).
+    pub enqueued: u32,
+    /// Copies shed by backpressure: realtime pressure drops, full-mailbox
+    /// drop-newest, displaced queued events and sampled-out events.
+    pub dropped_overload: u32,
+    /// Copies coalesced into an already-queued event (aggregate strategy).
+    pub aggregated: u32,
+    /// Copies lost by the modeled network.
+    pub dropped_loss: u32,
+    /// Copies rejected by the subscription's context filter.
+    pub filtered_out: u32,
+}
+
+/// One event handed to a subscriber by [`EventBus::poll`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeliveredEvent {
+    /// The subscription it was delivered on.
+    pub subscription: SubscriptionId,
+    /// The topic it was published on (the concrete topic, also for wildcard
+    /// subscriptions).
+    pub topic: TopicId,
+    /// The event body.
+    pub payload: Payload,
+    /// When the publisher produced it.
+    pub produced_at: SimTime,
+    /// When the network delivered it into the mailbox.
+    pub arrived_at: SimTime,
+    /// When the subscriber drained it (never before `arrived_at`).
+    pub delivered_at: SimTime,
+    /// End-to-end delivery latency: production → drain, queueing included.
+    pub latency: SimDuration,
+    /// Source events this delivery represents (> 1 after aggregation).
+    pub represents: u32,
+}
+
+/// Accumulated statistics of one subscription — the per-subscription
+/// replacement of the channel-aggregated legacy [`ChannelStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SubscriptionStats {
+    /// Published events routed to this subscription.
+    pub matched: u64,
+    /// Events enqueued into the mailbox.
+    pub enqueued: u64,
+    /// Events drained by the subscriber.
+    pub delivered: u64,
+    /// Source events represented by the drained ones (≥ `delivered`; the
+    /// difference is what aggregation coalesced).
+    pub represented: u64,
+    /// Realtime events shed because the bus-wide backlog exceeded the
+    /// threshold.
+    pub dropped_pressure: u64,
+    /// Events shed because the mailbox was full (drop-newest strategy).
+    pub dropped_capacity: u64,
+    /// Queued events displaced by newer ones (drop-oldest / sample).
+    pub displaced: u64,
+    /// Events shed by the sampling strategy while the mailbox was full.
+    pub sampled_out: u64,
+    /// Events coalesced into an already-queued slot (aggregate strategy).
+    pub aggregated_merged: u64,
+    /// Events lost by the modeled network.
+    pub dropped_loss: u64,
+    /// Events rejected by the context filter.
+    pub filtered_out: u64,
+    /// Queued events discarded when the subscription was cancelled.
+    pub discarded_on_unsubscribe: u64,
+    /// Deliveries whose latency exceeded the channel's QoS deadline.
+    pub missed_deadline: u64,
+    /// Events currently queued.
+    pub backlog: u64,
+    /// Largest backlog ever observed.
+    pub peak_backlog: u64,
+    /// Mean delivery latency in milliseconds (0 while nothing was drained).
+    pub mean_latency_ms: f64,
+    /// Median delivery latency in milliseconds (1 ms resolution).
+    pub p50_latency_ms: f64,
+    /// 99th-percentile delivery latency in milliseconds (1 ms resolution).
+    pub p99_latency_ms: f64,
+}
+
+impl SubscriptionStats {
+    /// Fraction of matched events that were drained by the subscriber,
+    /// counting aggregated representations (0 while nothing matched).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.matched == 0 {
+            0.0
+        } else {
+            self.represented as f64 / self.matched as f64
+        }
+    }
+}
+
+/// One queued mailbox slot — `Copy`, so rings move no heap data.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct QueuedEvent {
+    topic: TopicId,
+    produced_at: SimTime,
+    arrived_at: SimTime,
+    deadline: SimDuration,
+    payload: Payload,
+    aggregated: u32,
+}
+
+impl Default for TopicId {
+    fn default() -> Self {
+        TopicId(u32::MAX)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SubCounters {
+    matched: u64,
+    enqueued: u64,
+    delivered: u64,
+    represented: u64,
+    dropped_pressure: u64,
+    dropped_capacity: u64,
+    displaced: u64,
+    sampled_out: u64,
+    aggregated_merged: u64,
+    dropped_loss: u64,
+    filtered_out: u64,
+    discarded_on_unsubscribe: u64,
+    missed_deadline: u64,
+    peak_backlog: u64,
+}
+
+/// What a subscription listens to.
+#[derive(Debug, Clone, PartialEq)]
+enum Pattern {
+    /// Exactly one topic.
+    Exact(TopicId),
+    /// Every topic whose name extends this prefix (stored with its trailing
+    /// separator, e.g. `"platoon."`; the empty prefix matches every named
+    /// topic).
+    Prefix(String),
+}
+
+#[derive(Debug)]
+struct SubscriptionEntry {
+    subscriber: SubscriberId,
+    network: NetworkId,
+    pattern: Pattern,
+    filter: ContextFilter,
+    class: QosClass,
+    strategy: OverloadStrategy,
+    mailbox: Mailbox<QueuedEvent>,
+    active: bool,
+    sample_counter: u64,
+    counters: SubCounters,
+    latency_ms: BucketHistogram,
+}
+
+#[derive(Debug, Clone)]
+struct TopicEntry {
+    /// `None` for topics created through the legacy subject-only API (those
+    /// can never wildcard-match).
+    name: Option<String>,
+    subject: Subject,
+}
+
+#[derive(Debug, Clone)]
+struct ChannelState {
+    qos: QosRequirement,
+    admission: Admission,
+    publisher_network: NetworkId,
+    published: u64,
+}
+
+/// The event-dissemination bus: networks, topics, QoS-classed subscriptions
+/// with bounded mailboxes, announced channels and QoS accounting.  One bus
+/// models the system-of-systems a vehicle participates in (in-vehicle bus +
+/// one or more wireless networks, bridged by gateways).
+///
+/// ```
+/// use karyon_middleware::{
+///     EventBus, NetworkCapability, NetworkId, Payload, QosClass, QosRequirement,
+/// };
+/// use karyon_sim::{SimDuration, SimTime};
+///
+/// let mut bus = EventBus::new(7);
+/// bus.attach_network(NetworkId(0), NetworkCapability::local_bus());
+/// let sub = bus.topic("platoon.*").subscribe(QosClass::Batched);
+/// let lead = bus
+///     .topic("platoon.lead")
+///     .announce(QosRequirement::batched(SimDuration::from_millis(50), 100.0));
+/// assert!(lead.is_admitted());
+///
+/// bus.publish(&lead, Payload::tagged(1), SimTime::ZERO);
+/// let drained = bus.drain_with(sub, SimTime::from_millis(5), usize::MAX, |ev| {
+///     assert_eq!(ev.payload.tag, 1);
+/// });
+/// assert!(drained <= 1, "the local network may lose the copy, never duplicate it");
+/// ```
+#[derive(Debug)]
+pub struct EventBus {
+    networks: BTreeMap<NetworkId, NetworkCapability>,
+    topics: Vec<TopicEntry>,
+    by_name: BTreeMap<String, TopicId>,
+    by_subject: BTreeMap<Subject, TopicId>,
+    channels: BTreeMap<TopicId, ChannelState>,
+    subscriptions: Vec<SubscriptionEntry>,
+    routes: BTreeMap<TopicId, Vec<u32>>,
+    routes_dirty: bool,
+    backlog: usize,
+    backlog_threshold: usize,
+    rng: Rng,
+}
+
+impl EventBus {
+    /// The default bus-wide backlog threshold above which realtime
+    /// subscriptions shed incoming events.
+    pub const DEFAULT_BACKLOG_THRESHOLD: usize = 1024;
+
+    /// Creates a bus with no networks attached.
+    pub fn new(seed: u64) -> Self {
+        EventBus {
+            networks: BTreeMap::new(),
+            topics: Vec::new(),
+            by_name: BTreeMap::new(),
+            by_subject: BTreeMap::new(),
+            channels: BTreeMap::new(),
+            subscriptions: Vec::new(),
+            routes: BTreeMap::new(),
+            routes_dirty: false,
+            backlog: 0,
+            backlog_threshold: Self::DEFAULT_BACKLOG_THRESHOLD,
+            rng: Rng::seed_from(seed),
+        }
+    }
+
+    /// Attaches (or re-assesses) a network segment.
+    pub fn attach_network(&mut self, id: NetworkId, capability: NetworkCapability) {
+        self.networks.insert(id, capability);
+    }
+
+    /// Sets the bus-wide backlog threshold: while the total number of queued
+    /// events exceeds it, realtime subscriptions drop incoming events
+    /// aggressively to protect their latency bound.
+    pub fn set_backlog_threshold(&mut self, threshold: usize) {
+        self.backlog_threshold = threshold;
+    }
+
+    /// The configured bus-wide backlog threshold.
+    pub fn backlog_threshold(&self) -> usize {
+        self.backlog_threshold
+    }
+
+    /// Total events currently queued across all mailboxes.
+    pub fn backlog(&self) -> usize {
+        self.backlog
+    }
+
+    /// Opens the builder for `name`: subscribe to it, or announce a channel
+    /// publishing on it.
+    ///
+    /// Topic names are hierarchical, dot-separated paths (`"platoon.lead"`).
+    /// A trailing `.*` segment makes the handle a wildcard pattern
+    /// (`"platoon.*"` matches every topic nested under `platoon.`, any depth;
+    /// a bare `"*"` matches every named topic) — patterns can subscribe but
+    /// not announce.
+    ///
+    /// # Panics
+    /// Panics on an empty topic name.
+    pub fn topic<'a>(&'a mut self, name: &str) -> TopicRef<'a> {
+        assert!(!name.is_empty(), "topic names must be non-empty");
+        let target = if name == "*" {
+            Target::Pattern(String::new())
+        } else if let Some(prefix) = name.strip_suffix(".*") {
+            assert!(!prefix.is_empty(), "wildcard patterns need a prefix before `.*`");
+            Target::Pattern(format!("{prefix}."))
+        } else {
+            Target::Concrete(self.intern_topic(name))
+        };
+        TopicRef {
+            bus: self,
+            target,
+            network: NetworkId(0),
+            subscriber: None,
+            filter: ContextFilter::accept_all(),
+            capacity: None,
+            strategy: None,
+        }
+    }
+
+    /// The name of an interned topic (`None` for legacy subject-only topics).
+    pub fn topic_name(&self, topic: TopicId) -> Option<&str> {
+        self.topics.get(topic.0 as usize).and_then(|t| t.name.as_deref())
+    }
+
+    /// The subject UID of an interned topic.
+    pub fn topic_subject(&self, topic: TopicId) -> Option<Subject> {
+        self.topics.get(topic.0 as usize).map(|t| t.subject)
+    }
+
+    fn intern_topic(&mut self, name: &str) -> TopicId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let subject = Subject::from_name(name);
+        let id = TopicId(self.topics.len() as u32);
+        self.topics.push(TopicEntry { name: Some(name.to_string()), subject });
+        self.by_name.insert(name.to_string(), id);
+        self.by_subject.insert(subject, id);
+        id
+    }
+
+    fn topic_for_subject(&mut self, subject: Subject) -> TopicId {
+        if let Some(&id) = self.by_subject.get(&subject) {
+            return id;
+        }
+        let id = TopicId(self.topics.len() as u32);
+        self.topics.push(TopicEntry { name: None, subject });
+        self.by_subject.insert(subject, id);
+        id
+    }
+
+    // The private collection point for everything `TopicRef` gathered; the
+    // public surface is the builder, so the arity stays internal.
+    #[allow(clippy::too_many_arguments)]
+    fn add_subscription(
+        &mut self,
+        pattern: Pattern,
+        subscriber: Option<SubscriberId>,
+        network: NetworkId,
+        filter: ContextFilter,
+        class: QosClass,
+        capacity: Option<usize>,
+        strategy: Option<OverloadStrategy>,
+    ) -> SubscriptionId {
+        let id = SubscriptionId(self.subscriptions.len() as u32);
+        let (lo, hi, buckets) = LATENCY_HIST_MS;
+        self.subscriptions.push(SubscriptionEntry {
+            subscriber: subscriber.unwrap_or(SubscriberId(id.0)),
+            network,
+            pattern,
+            filter,
+            class,
+            strategy: strategy.unwrap_or_else(|| class.default_strategy()),
+            mailbox: Mailbox::new(capacity.unwrap_or_else(|| class.default_capacity())),
+            active: true,
+            sample_counter: 0,
+            counters: SubCounters::default(),
+            latency_ms: BucketHistogram::new(lo, hi, buckets),
+        });
+        self.routes_dirty = true;
+        id
+    }
+
+    /// Cancels a subscription: its mailbox is discarded (nothing queued is
+    /// ever delivered afterwards) and no future publish routes to it.  Its
+    /// accumulated [`SubscriptionStats`] stay readable.  Returns `false`
+    /// when the id is unknown or already cancelled.
+    pub fn unsubscribe(&mut self, subscription: SubscriptionId) -> bool {
+        let Some(sub) = self.subscriptions.get_mut(subscription.0 as usize) else {
+            return false;
+        };
+        if !sub.active {
+            return false;
+        }
+        sub.active = false;
+        let discarded = sub.mailbox.clear();
+        sub.counters.discarded_on_unsubscribe += discarded as u64;
+        self.backlog -= discarded;
+        self.routes_dirty = true;
+        true
+    }
+
+    /// Number of active subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subscriptions.iter().filter(|s| s.active).count()
+    }
+
+    /// The accumulated statistics of a subscription (also after it was
+    /// cancelled), or `None` for an unknown id.
+    pub fn subscription_stats(&self, subscription: SubscriptionId) -> Option<SubscriptionStats> {
+        let sub = self.subscriptions.get(subscription.0 as usize)?;
+        let c = &sub.counters;
+        Some(SubscriptionStats {
+            matched: c.matched,
+            enqueued: c.enqueued,
+            delivered: c.delivered,
+            represented: c.represented,
+            dropped_pressure: c.dropped_pressure,
+            dropped_capacity: c.dropped_capacity,
+            displaced: c.displaced,
+            sampled_out: c.sampled_out,
+            aggregated_merged: c.aggregated_merged,
+            dropped_loss: c.dropped_loss,
+            filtered_out: c.filtered_out,
+            discarded_on_unsubscribe: c.discarded_on_unsubscribe,
+            missed_deadline: c.missed_deadline,
+            backlog: sub.mailbox.len() as u64,
+            peak_backlog: c.peak_backlog,
+            mean_latency_ms: sub.latency_ms.mean(),
+            p50_latency_ms: sub.latency_ms.p50(),
+            p99_latency_ms: sub.latency_ms.p99(),
+        })
+    }
+
+    fn admitted_rate_excluding(&self, except: TopicId) -> f64 {
+        self.channels
+            .iter()
+            .filter(|(t, c)| **t != except && c.admission == Admission::Admitted)
+            .map(|(_, c)| c.qos.max_rate)
+            .sum()
+    }
+
+    fn subscription_matches(topics: &[TopicEntry], pattern: &Pattern, topic: TopicId) -> bool {
+        match pattern {
+            Pattern::Exact(t) => *t == topic,
+            Pattern::Prefix(prefix) => topics[topic.0 as usize]
+                .name
+                .as_deref()
+                .is_some_and(|name| name.len() > prefix.len() && name.starts_with(prefix.as_str())),
+        }
+    }
+
+    fn build_route(
+        topics: &[TopicEntry],
+        subscriptions: &[SubscriptionEntry],
+        topic: TopicId,
+    ) -> Vec<u32> {
+        subscriptions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.active && Self::subscription_matches(topics, &s.pattern, topic))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// The worst-case capability over the publisher's network and every
+    /// subscriber network for the topic (gateway-crossing channels are only
+    /// as good as their weakest segment).
+    fn effective_capability(
+        &self,
+        topic: TopicId,
+        publisher_network: NetworkId,
+    ) -> Option<NetworkCapability> {
+        let mut capability = *self.networks.get(&publisher_network)?;
+        for sub in self
+            .subscriptions
+            .iter()
+            .filter(|s| s.active && Self::subscription_matches(&self.topics, &s.pattern, topic))
+        {
+            if let Some(remote) = self.networks.get(&sub.network) {
+                capability = capability.combine_worst(remote);
+            }
+        }
+        Some(capability)
+    }
+
+    fn announce_topic(
+        &mut self,
+        topic: TopicId,
+        publisher_network: NetworkId,
+        qos: QosRequirement,
+    ) -> Publisher {
+        let admitted_rate = self.admitted_rate_excluding(topic);
+        let admission = match self.effective_capability(topic, publisher_network) {
+            Some(capability) if capability.satisfies(&qos, admitted_rate) => Admission::Admitted,
+            _ => Admission::Rejected,
+        };
+        self.channels
+            .insert(topic, ChannelState { qos, admission, publisher_network, published: 0 });
+        let subject = self.topics[topic.0 as usize].subject;
+        Publisher { topic, subject, admission }
+    }
+
+    /// Updates the dynamically monitored capability of a network and
+    /// re-assesses every channel publishing through it.  Returns the subjects
+    /// whose admission status changed (the adaptation hook the safety kernel
+    /// listens to).
+    pub fn update_capability(
+        &mut self,
+        id: NetworkId,
+        capability: NetworkCapability,
+    ) -> Vec<Subject> {
+        self.networks.insert(id, capability);
+        let mut changed = Vec::new();
+        let topics: Vec<TopicId> = self.channels.keys().copied().collect();
+        for topic in topics {
+            let admitted_rate = self.admitted_rate_excluding(topic);
+            let channel = self.channels.get(&topic).expect("channel exists");
+            let effective = self.effective_capability(topic, channel.publisher_network);
+            let new_admission =
+                if effective.map(|c| c.satisfies(&channel.qos, admitted_rate)).unwrap_or(false) {
+                    Admission::Admitted
+                } else {
+                    Admission::Rejected
+                };
+            let channel = self.channels.get_mut(&topic).expect("channel exists");
+            if new_admission != channel.admission {
+                channel.admission = new_admission;
+                changed.push(self.topics[topic.0 as usize].subject);
+            }
+        }
+        changed
+    }
+
+    /// The current admission status of an announced channel.
+    pub fn admission(&self, subject: Subject) -> Option<Admission> {
+        let topic = self.by_subject.get(&subject)?;
+        self.channels.get(topic).map(|c| c.admission)
+    }
+
+    /// Publishes one event on the publisher's channel and routes it to every
+    /// matching subscription under its QoS policy.  The hot path: once
+    /// routes are warm, no allocation happens here for any fan-out.
+    ///
+    /// The returned [`PublishOutcome`] says what happened to each routed
+    /// copy; subscribers receive theirs when they [`poll`](EventBus::poll).
+    pub fn publish(
+        &mut self,
+        publisher: &Publisher,
+        payload: Payload,
+        now: SimTime,
+    ) -> PublishOutcome {
+        self.publish_inner(publisher.topic, payload, now, now)
+    }
+
+    fn publish_inner(
+        &mut self,
+        topic: TopicId,
+        payload: Payload,
+        produced_at: SimTime,
+        now: SimTime,
+    ) -> PublishOutcome {
+        let mut outcome = PublishOutcome::default();
+        let EventBus {
+            networks,
+            topics,
+            channels,
+            subscriptions,
+            routes,
+            routes_dirty,
+            backlog,
+            backlog_threshold,
+            rng,
+            ..
+        } = self;
+        let Some(channel) = channels.get_mut(&topic) else {
+            return outcome;
+        };
+        channel.published += 1;
+        let deadline = channel.qos.max_latency;
+        if *routes_dirty {
+            routes.clear();
+            *routes_dirty = false;
+        }
+        let slot =
+            routes.entry(topic).or_insert_with(|| Self::build_route(topics, subscriptions, topic));
+        let route = std::mem::take(slot);
+        let Some(&pub_cap) = networks.get(&channel.publisher_network) else {
+            *routes.get_mut(&topic).expect("route slot exists") = route;
+            return outcome;
+        };
+        let context = Context { position: payload.position, timestamp: produced_at };
+
+        for &idx in &route {
+            outcome.matched += 1;
+            let sub = &mut subscriptions[idx as usize];
+            sub.counters.matched += 1;
+            let Some(sub_cap) = networks.get(&sub.network) else {
+                sub.counters.dropped_loss += 1;
+                outcome.dropped_loss += 1;
+                continue;
+            };
+            let capability = pub_cap.combine_worst(sub_cap);
+            // Loss.
+            if !rng.chance(capability.expected_delivery_ratio) {
+                sub.counters.dropped_loss += 1;
+                outcome.dropped_loss += 1;
+                continue;
+            }
+            // Latency: exponential around the expected value.
+            let latency = SimDuration::from_secs_f64(
+                rng.exponential(capability.expected_latency.as_secs_f64().max(1e-6)),
+            );
+            let arrived_at = now + latency;
+            if !sub.filter.matches(&context, arrived_at) {
+                sub.counters.filtered_out += 1;
+                outcome.filtered_out += 1;
+                continue;
+            }
+            let queued =
+                QueuedEvent { topic, produced_at, arrived_at, deadline, payload, aggregated: 1 };
+            // Backpressure: realtime sheds under bus-wide pressure.
+            if sub.class == QosClass::Realtime && *backlog >= *backlog_threshold {
+                sub.counters.dropped_pressure += 1;
+                outcome.dropped_overload += 1;
+                continue;
+            }
+            if sub.mailbox.push(queued) {
+                *backlog += 1;
+                sub.counters.enqueued += 1;
+                sub.counters.peak_backlog = sub.counters.peak_backlog.max(sub.mailbox.len() as u64);
+                outcome.enqueued += 1;
+                continue;
+            }
+            // Mailbox full: the subscription's overload strategy decides.
+            match sub.strategy {
+                OverloadStrategy::DropNewest => {
+                    sub.counters.dropped_capacity += 1;
+                    outcome.dropped_overload += 1;
+                }
+                OverloadStrategy::DropOldest => {
+                    sub.mailbox.displace_push(queued);
+                    sub.counters.displaced += 1;
+                    sub.counters.enqueued += 1;
+                    outcome.enqueued += 1;
+                    outcome.dropped_overload += 1;
+                }
+                OverloadStrategy::Sample { keep_1_in } => {
+                    sub.sample_counter += 1;
+                    if sub.sample_counter % u64::from(keep_1_in.max(1)) == 0 {
+                        sub.mailbox.displace_push(queued);
+                        sub.counters.displaced += 1;
+                        sub.counters.enqueued += 1;
+                        outcome.enqueued += 1;
+                    } else {
+                        sub.counters.sampled_out += 1;
+                    }
+                    outcome.dropped_overload += 1;
+                }
+                OverloadStrategy::Aggregate => {
+                    let newest = sub.mailbox.newest_mut().expect("full mailbox is non-empty");
+                    newest.payload = queued.payload;
+                    newest.aggregated += 1;
+                    sub.counters.aggregated_merged += 1;
+                    outcome.aggregated += 1;
+                }
+            }
+        }
+
+        *routes.get_mut(&topic).expect("route slot exists") = route;
+        outcome
+    }
+
+    /// Drains one event from a subscription's mailbox, recording its
+    /// delivery-latency and deadline statistics.  Returns `None` when the
+    /// mailbox is empty or the subscription was cancelled.
+    ///
+    /// Queued events are handed out even when their modeled network arrival
+    /// lies after `now`; `delivered_at` is then the arrival time, so latency
+    /// accounting never runs backwards.
+    pub fn poll(&mut self, subscription: SubscriptionId, now: SimTime) -> Option<DeliveredEvent> {
+        let sub = self.subscriptions.get_mut(subscription.0 as usize)?;
+        if !sub.active {
+            return None;
+        }
+        let queued = sub.mailbox.pop()?;
+        self.backlog -= 1;
+        let delivered_at = if queued.arrived_at > now { queued.arrived_at } else { now };
+        let latency = delivered_at.since(queued.produced_at);
+        sub.counters.delivered += 1;
+        sub.counters.represented += u64::from(queued.aggregated);
+        if latency > queued.deadline {
+            sub.counters.missed_deadline += 1;
+        }
+        sub.latency_ms.record(latency.as_secs_f64() * 1e3);
+        Some(DeliveredEvent {
+            subscription,
+            topic: queued.topic,
+            payload: queued.payload,
+            produced_at: queued.produced_at,
+            arrived_at: queued.arrived_at,
+            delivered_at,
+            latency,
+            represents: queued.aggregated,
+        })
+    }
+
+    /// Drains up to `max` events from a subscription's mailbox into the
+    /// callback; returns how many were delivered.
+    pub fn drain_with(
+        &mut self,
+        subscription: SubscriptionId,
+        now: SimTime,
+        max: usize,
+        mut deliver: impl FnMut(DeliveredEvent),
+    ) -> usize {
+        let mut drained = 0;
+        while drained < max {
+            match self.poll(subscription, now) {
+                Some(event) => {
+                    deliver(event);
+                    drained += 1;
+                }
+                None => break,
+            }
+        }
+        drained
+    }
+
+    // ------------------------------------------------------------------
+    // Legacy (v1) surface — thin wrappers over the topic/handle API, kept
+    // for one release.
+    // ------------------------------------------------------------------
+
+    /// Subscribes an endpoint on a network to a subject with a context
+    /// filter.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `bus.topic(name).via(network).filter(filter).subscribe(QosClass::Batched)`"
+    )]
+    pub fn subscribe(
+        &mut self,
+        subscriber: SubscriberId,
+        network: NetworkId,
+        subject: Subject,
+        filter: ContextFilter,
+    ) -> SubscriptionId {
+        let topic = self.topic_for_subject(subject);
+        self.add_subscription(
+            Pattern::Exact(topic),
+            Some(subscriber),
+            network,
+            filter,
+            QosClass::Batched,
+            None,
+            None,
+        )
+    }
+
+    /// Announces an event channel for `subject` published from
+    /// `publisher_network` with the given QoS requirement; performs the
+    /// dynamic assessment against the current network capabilities.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `bus.topic(name).via(network).announce(qos)` and keep the returned Publisher"
+    )]
+    pub fn announce(
+        &mut self,
+        subject: Subject,
+        publisher_network: NetworkId,
+        qos: QosRequirement,
+    ) -> Admission {
+        let topic = self.topic_for_subject(subject);
+        self.announce_topic(topic, publisher_network, qos).admission
+    }
+
+    /// Publishes a legacy [`Event`] on its (announced) channel and delivers
+    /// it synchronously, returning the deliveries made to matching
+    /// subscribers.  Events on unannounced channels are dropped (the
+    /// announcement is mandatory in FAMOUSO).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `EventBus::publish` with the Publisher handle, then poll/drain the subscriptions"
+    )]
+    pub fn publish_event(&mut self, event: Event, now: SimTime) -> Vec<Delivery> {
+        self.legacy_publish(event, now)
+    }
+
+    /// Convenience: publish with a fresh context built from position/time and
+    /// deliver synchronously.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `EventBus::publish` with the Publisher handle and a `Payload`"
+    )]
+    pub fn publish_from(
+        &mut self,
+        subject: Subject,
+        position: Option<karyon_sim::Vec2>,
+        content: Vec<u8>,
+        now: SimTime,
+    ) -> Vec<Delivery> {
+        let event = Event::new(subject, Context { position, timestamp: now }, content);
+        self.legacy_publish(event, now)
+    }
+
+    /// The v1 delivery model: publish, then immediately drain every matching
+    /// subscription (the legacy bus had no mailboxes).  Queued events from
+    /// earlier asynchronous publishes on the same topic are drained too.
+    fn legacy_publish(&mut self, event: Event, now: SimTime) -> Vec<Delivery> {
+        let Some(&topic) = self.by_subject.get(&event.subject) else {
+            return Vec::new();
+        };
+        if !self.channels.contains_key(&topic) {
+            return Vec::new();
+        }
+        let payload = Payload { position: event.context.position, tag: 0 };
+        let _ = self.publish_inner(topic, payload, event.context.timestamp, now);
+        let route = self.routes.get(&topic).cloned().unwrap_or_default();
+        let mut deliveries = Vec::new();
+        for idx in route {
+            let subscriber = self.subscriptions[idx as usize].subscriber;
+            while let Some(delivered) = self.poll(SubscriptionId(idx), now) {
+                deliveries.push(Delivery {
+                    subscriber,
+                    event: event.clone(),
+                    delivered_at: delivered.delivered_at,
+                    latency: delivered.latency,
+                });
+            }
+        }
+        deliveries
+    }
+
+    /// Per-channel delivery and deadline statistics aggregated over every
+    /// subscription of the subject, or `None` for a subject that was never
+    /// announced.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `EventBus::subscription_stats` — per-subscription `SubscriptionStats` \
+                replace the channel-level aggregate"
+    )]
+    pub fn channel_stats(&self, subject: Subject) -> Option<ChannelStats> {
+        let &topic = self.by_subject.get(&subject)?;
+        let channel = self.channels.get(&topic)?;
+        let mut delivered = 0u64;
+        let mut missed_deadline = 0u64;
+        let mut latency_sum_ms = 0.0f64;
+        let mut latency_count = 0u64;
+        for sub in &self.subscriptions {
+            if !Self::subscription_matches(&self.topics, &sub.pattern, topic) {
+                continue;
+            }
+            delivered += sub.counters.delivered;
+            missed_deadline += sub.counters.missed_deadline;
+            latency_sum_ms += sub.latency_ms.mean() * sub.latency_ms.count() as f64;
+            latency_count += sub.latency_ms.count();
+        }
+        Some(ChannelStats {
+            published: channel.published,
+            delivered,
+            missed_deadline,
+            mean_latency_ms: if latency_count > 0 {
+                latency_sum_ms / latency_count as f64
+            } else {
+                0.0
+            },
+        })
+    }
+}
+
+enum Target {
+    Concrete(TopicId),
+    Pattern(String),
+}
+
+/// The builder returned by [`EventBus::topic`]: configures and creates one
+/// subscription or one announced channel on a topic (or wildcard pattern).
+///
+/// ```
+/// use karyon_middleware::{EventBus, NetworkCapability, NetworkId, OverloadStrategy, QosClass};
+///
+/// let mut bus = EventBus::new(1);
+/// bus.attach_network(NetworkId(1), NetworkCapability::wireless_nominal());
+/// let sub = bus
+///     .topic("v2v.*")
+///     .via(NetworkId(1))
+///     .mailbox(128)
+///     .overload(OverloadStrategy::Sample { keep_1_in: 8 })
+///     .subscribe(QosClass::Realtime);
+/// assert_eq!(bus.subscription_stats(sub).unwrap().matched, 0);
+/// ```
+pub struct TopicRef<'a> {
+    bus: &'a mut EventBus,
+    target: Target,
+    network: NetworkId,
+    subscriber: Option<SubscriberId>,
+    filter: ContextFilter,
+    capacity: Option<usize>,
+    strategy: Option<OverloadStrategy>,
+}
+
+impl<'a> TopicRef<'a> {
+    /// The network segment the subscriber listens on / the publisher sends
+    /// from (default: `NetworkId(0)`).
+    pub fn via(mut self, network: NetworkId) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// The subscriber endpoint id (default: derived from the subscription
+    /// id).
+    pub fn endpoint(mut self, subscriber: SubscriberId) -> Self {
+        self.subscriber = Some(subscriber);
+        self
+    }
+
+    /// A context filter for the subscription (default: accept everything).
+    pub fn filter(mut self, filter: ContextFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Overrides the mailbox capacity (default: the QoS class's
+    /// [`default_capacity`](QosClass::default_capacity)).
+    pub fn mailbox(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Overrides the overload strategy (default: the QoS class's
+    /// [`default_strategy`](QosClass::default_strategy)).
+    pub fn overload(mut self, strategy: OverloadStrategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Creates the subscription under the given QoS class and returns its
+    /// id.  Wildcard patterns subscribe to every current and future topic
+    /// they match.
+    pub fn subscribe(self, class: QosClass) -> SubscriptionId {
+        let pattern = match self.target {
+            Target::Concrete(topic) => Pattern::Exact(topic),
+            Target::Pattern(prefix) => Pattern::Prefix(prefix),
+        };
+        self.bus.add_subscription(
+            pattern,
+            self.subscriber,
+            self.network,
+            self.filter,
+            class,
+            self.capacity,
+            self.strategy,
+        )
+    }
+
+    /// Announces an event channel publishing on this topic from the
+    /// configured network, assessing the QoS requirement against the current
+    /// network capabilities, and returns the [`Publisher`] handle.
+    ///
+    /// Re-announcing a topic replaces its channel (and resets its publish
+    /// counter) — the dynamic re-assessment path.
+    ///
+    /// # Panics
+    /// Panics when called on a wildcard pattern: events are published on
+    /// concrete topics only.
+    pub fn announce(self, qos: QosRequirement) -> Publisher {
+        match self.target {
+            Target::Concrete(topic) => self.bus.announce_topic(topic, self.network, qos),
+            Target::Pattern(prefix) => {
+                panic!("cannot announce a channel on wildcard pattern {prefix:?}*")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karyon_sim::Vec2;
+
+    fn bus() -> EventBus {
+        let mut bus = EventBus::new(7);
+        bus.attach_network(NetworkId(0), NetworkCapability::local_bus());
+        bus.attach_network(NetworkId(1), NetworkCapability::wireless_nominal());
+        bus
+    }
+
+    fn publish_n(bus: &mut EventBus, publisher: &Publisher, n: u64, step_ms: u64) {
+        for i in 0..n {
+            bus.publish(publisher, Payload::tagged(i), SimTime::from_millis(i * step_ms));
+        }
+    }
+
+    #[test]
+    fn topic_routing_with_wildcards() {
+        let mut bus = bus();
+        let exact = bus.topic("platoon.lead").subscribe(QosClass::Batched);
+        let wild = bus.topic("platoon.*").subscribe(QosClass::Batched);
+        let deep = bus.topic("platoon.lead.velocity").subscribe(QosClass::Batched);
+        let other = bus.topic("hazard.warning").subscribe(QosClass::Batched);
+        let all = bus.topic("*").subscribe(QosClass::Background);
+
+        let lead = bus.topic("platoon.lead").announce(QosRequirement::best_effort());
+        let outcome = bus.publish(&lead, Payload::tagged(1), SimTime::ZERO);
+        // exact + wildcard + catch-all match; the deeper topic and the other
+        // subtree do not.
+        assert_eq!(outcome.matched, 3);
+        for (sub, expected) in [(exact, 1), (wild, 1), (deep, 0), (other, 0), (all, 1)] {
+            assert_eq!(
+                bus.subscription_stats(sub).unwrap().matched,
+                expected,
+                "subscription {sub:?}"
+            );
+        }
+        // A topic created after the wildcard subscription still matches it.
+        let velocity = bus.topic("platoon.lead.velocity").announce(QosRequirement::best_effort());
+        let outcome = bus.publish(&velocity, Payload::tagged(2), SimTime::ZERO);
+        assert_eq!(outcome.matched, 3, "wild + deep-exact + catch-all");
+        assert_eq!(bus.subscription_stats(wild).unwrap().matched, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "wildcard pattern")]
+    fn announcing_a_wildcard_pattern_panics() {
+        let mut bus = bus();
+        let _ = bus.topic("platoon.*").announce(QosRequirement::best_effort());
+    }
+
+    #[test]
+    fn publish_and_drain_records_latency_and_deadlines() {
+        let mut bus = bus();
+        let sub = bus.topic("v2v.state").via(NetworkId(1)).subscribe(QosClass::Batched);
+        let publisher = bus
+            .topic("v2v.state")
+            .via(NetworkId(1))
+            .announce(QosRequirement::batched(SimDuration::from_millis(60), 10.0));
+        assert!(publisher.is_admitted());
+        publish_n(&mut bus, &publisher, 200, 10);
+        let drained = bus.drain_with(sub, SimTime::from_secs(3), usize::MAX, |ev| {
+            assert!(ev.delivered_at >= ev.arrived_at);
+            assert_eq!(ev.topic, publisher.topic());
+        });
+        let stats = bus.subscription_stats(sub).unwrap();
+        assert_eq!(stats.delivered, drained as u64);
+        assert!(stats.delivered > 150, "wireless nominal delivers ~95%");
+        assert!(stats.mean_latency_ms > 0.0);
+        assert!(stats.p99_latency_ms >= stats.p50_latency_ms);
+        assert_eq!(stats.backlog, 0);
+        assert_eq!(bus.backlog(), 0);
+    }
+
+    #[test]
+    fn realtime_sheds_under_global_pressure_and_full_mailbox() {
+        let mut bus = bus();
+        bus.set_backlog_threshold(8);
+        // The batched subscription fills the bus-wide backlog past the
+        // threshold; the realtime one must then shed incoming events.
+        let batched = bus.topic("load.bulk").subscribe(QosClass::Batched);
+        let rt = bus.topic("load.hot").mailbox(4).subscribe(QosClass::Realtime);
+        let bulk = bus.topic("load.bulk").announce(QosRequirement::best_effort());
+        let hot = bus.topic("load.hot").announce(QosRequirement::best_effort());
+        publish_n(&mut bus, &bulk, 20, 1);
+        assert!(bus.backlog() >= 8);
+        publish_n(&mut bus, &hot, 10, 1);
+        let stats = bus.subscription_stats(rt).unwrap();
+        assert_eq!(stats.dropped_pressure, 10, "all realtime copies shed under pressure");
+        assert_eq!(stats.enqueued, 0);
+        // Below the threshold the realtime mailbox accepts until full, then
+        // drops the newest.
+        bus.drain_with(batched, SimTime::from_secs(1), usize::MAX, |_| {});
+        publish_n(&mut bus, &hot, 10, 1);
+        let stats = bus.subscription_stats(rt).unwrap();
+        assert!(stats.enqueued >= 3, "mailbox accepts up to capacity, minus loss");
+        assert!(stats.dropped_capacity >= 4, "overflow drops the newest");
+        assert_eq!(stats.backlog + stats.dropped_capacity + stats.dropped_loss, 10);
+    }
+
+    #[test]
+    fn drop_oldest_keeps_the_freshest_window() {
+        let mut bus = bus();
+        let sub = bus.topic("t.a").mailbox(4).subscribe(QosClass::Batched);
+        let publisher = bus.topic("t.a").announce(QosRequirement::best_effort());
+        publish_n(&mut bus, &publisher, 100, 1);
+        let mut tags = Vec::new();
+        bus.drain_with(sub, SimTime::from_secs(10), usize::MAX, |ev| tags.push(ev.payload.tag));
+        assert_eq!(tags.len(), 4);
+        let stats = bus.subscription_stats(sub).unwrap();
+        assert_eq!(stats.enqueued + stats.dropped_loss, 100);
+        assert!(stats.displaced >= 90, "older events were displaced");
+        // The surviving window is the newest traffic, in FIFO order.
+        assert!(tags.windows(2).all(|w| w[0] < w[1]));
+        assert!(*tags.last().unwrap() > 90);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_counted() {
+        let mut bus = bus();
+        let sub = bus
+            .topic("t.s")
+            .mailbox(4)
+            .overload(OverloadStrategy::Sample { keep_1_in: 4 })
+            .subscribe(QosClass::Batched);
+        let publisher = bus.topic("t.s").announce(QosRequirement::best_effort());
+        publish_n(&mut bus, &publisher, 100, 1);
+        let stats = bus.subscription_stats(sub).unwrap();
+        assert!(stats.sampled_out > 0);
+        assert!(stats.displaced > 0, "every 4th overflow event displaces the oldest");
+        let admitted_overflow = stats.displaced;
+        let shed = stats.sampled_out;
+        // 1-in-4 of the overflow traffic is admitted.
+        assert_eq!(admitted_overflow + shed, stats.matched - stats.dropped_loss - 4);
+        assert!((shed / admitted_overflow) == 3, "shed {shed}, admitted {admitted_overflow}");
+    }
+
+    #[test]
+    fn aggregate_coalesces_bursts_into_bounded_summaries() {
+        let mut bus = bus();
+        let sub = bus
+            .topic("t.agg")
+            .mailbox(2)
+            .overload(OverloadStrategy::Aggregate)
+            .subscribe(QosClass::Background);
+        let publisher = bus.topic("t.agg").announce(QosRequirement::best_effort());
+        publish_n(&mut bus, &publisher, 50, 1);
+        let stats = bus.subscription_stats(sub).unwrap();
+        assert_eq!(stats.backlog, 2, "the burst is represented by two slots");
+        let mut represented = 0;
+        let mut newest_tag = 0;
+        bus.drain_with(sub, SimTime::from_secs(1), usize::MAX, |ev| {
+            represented += ev.represents as u64;
+            newest_tag = newest_tag.max(ev.payload.tag);
+        });
+        let stats = bus.subscription_stats(sub).unwrap();
+        assert_eq!(represented, stats.enqueued + stats.aggregated_merged);
+        assert_eq!(represented + stats.dropped_loss, 50, "every copy is accounted for");
+        assert_eq!(stats.represented, represented);
+        assert!(newest_tag >= 45, "the coalesced slot keeps the freshest payload");
+    }
+
+    #[test]
+    fn unsubscribe_discards_the_mailbox_and_stops_routing() {
+        let mut bus = bus();
+        let sub = bus.topic("t.u").subscribe(QosClass::Batched);
+        let publisher = bus.topic("t.u").announce(QosRequirement::best_effort());
+        publish_n(&mut bus, &publisher, 10, 1);
+        let queued = bus.subscription_stats(sub).unwrap().backlog;
+        assert!(queued > 0);
+        assert!(bus.unsubscribe(sub));
+        assert!(!bus.unsubscribe(sub), "double unsubscribe is a no-op");
+        assert_eq!(bus.backlog(), 0, "global backlog excludes the dead mailbox");
+        assert_eq!(bus.poll(sub, SimTime::from_secs(1)), None, "dead mailboxes never deliver");
+        publish_n(&mut bus, &publisher, 10, 1);
+        let stats = bus.subscription_stats(sub).unwrap();
+        assert_eq!(stats.discarded_on_unsubscribe, queued);
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.matched, 10, "only pre-unsubscribe publishes ever matched");
+        assert_eq!(bus.subscription_count(), 0);
+    }
+
+    #[test]
+    fn subscriptions_on_detached_networks_count_losses() {
+        let mut bus = bus();
+        let sub = bus.topic("t.det").via(NetworkId(9)).subscribe(QosClass::Batched);
+        let publisher = bus.topic("t.det").announce(QosRequirement::best_effort());
+        bus.publish(&publisher, Payload::tagged(0), SimTime::ZERO);
+        let stats = bus.subscription_stats(sub).unwrap();
+        assert_eq!(stats.dropped_loss, 1);
+        assert_eq!(stats.enqueued, 0);
+    }
+
+    // ---- legacy wrapper behavior (the v1 test suite, kept verbatim in
+    // spirit) ----
+
+    #[test]
+    #[allow(deprecated)]
+    fn announcement_assesses_qos_against_subscriber_networks() {
+        let mut bus = bus();
+        let subject = Subject::from_name("vehicle/heading");
+        // Local-only subscription: strict latency is admitted.
+        bus.subscribe(SubscriberId(1), NetworkId(0), subject, ContextFilter::accept_all());
+        let strict = QosRequirement::builder()
+            .max_latency(SimDuration::from_millis(2))
+            .min_delivery_ratio(0.99)
+            .max_rate(10.0)
+            .build();
+        assert_eq!(bus.announce(subject, NetworkId(0), strict), Admission::Admitted);
+        // Adding a wireless subscriber makes the same requirement unsatisfiable.
+        bus.subscribe(SubscriberId(2), NetworkId(1), subject, ContextFilter::accept_all());
+        assert_eq!(bus.announce(subject, NetworkId(0), strict), Admission::Rejected);
+        assert_eq!(bus.admission(subject), Some(Admission::Rejected));
+        // A relaxed requirement is admitted.
+        let relaxed = QosRequirement::batched(SimDuration::from_millis(100), 10.0);
+        assert_eq!(bus.announce(subject, NetworkId(0), relaxed), Admission::Admitted);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn rate_admission_is_cumulative() {
+        let mut bus = bus();
+        let a = Subject::from_name("a");
+        let b = Subject::from_name("b");
+        bus.subscribe(SubscriberId(1), NetworkId(1), a, ContextFilter::accept_all());
+        bus.subscribe(SubscriberId(1), NetworkId(1), b, ContextFilter::accept_all());
+        let heavy = QosRequirement::builder()
+            .max_latency(SimDuration::from_secs(1))
+            .min_delivery_ratio(0.5)
+            .max_rate(300.0)
+            .build();
+        assert_eq!(bus.announce(a, NetworkId(1), heavy), Admission::Admitted);
+        // The wireless network sustains 500 events/s: a second 300 events/s
+        // channel does not fit.
+        assert_eq!(bus.announce(b, NetworkId(1), heavy), Admission::Rejected);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn publish_routes_to_matching_subscribers_only() {
+        let mut bus = bus();
+        let subject = Subject::from_name("hazard/warning");
+        bus.subscribe(
+            SubscriberId(1),
+            NetworkId(0),
+            subject,
+            ContextFilter::within(Vec2::ZERO, 100.0),
+        );
+        bus.subscribe(
+            SubscriberId(2),
+            NetworkId(0),
+            subject,
+            ContextFilter::within(Vec2::new(10_000.0, 0.0), 100.0),
+        );
+        bus.subscribe(
+            SubscriberId(3),
+            NetworkId(0),
+            Subject::from_name("other"),
+            ContextFilter::accept_all(),
+        );
+        bus.announce(subject, NetworkId(0), QosRequirement::best_effort());
+        let deliveries =
+            bus.publish_from(subject, Some(Vec2::new(5.0, 5.0)), vec![1], SimTime::from_millis(10));
+        let receivers: Vec<u32> = deliveries.iter().map(|d| d.subscriber.0).collect();
+        assert_eq!(receivers, vec![1]);
+        let stats = bus.channel_stats(subject).unwrap();
+        assert_eq!(stats.published, 1);
+        assert_eq!(stats.delivered, 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn unannounced_channels_drop_events() {
+        let mut bus = bus();
+        let subject = Subject::from_name("unannounced");
+        bus.subscribe(SubscriberId(1), NetworkId(0), subject, ContextFilter::accept_all());
+        let deliveries = bus.publish_from(subject, None, vec![], SimTime::ZERO);
+        assert!(deliveries.is_empty());
+        assert!(bus.channel_stats(subject).is_none());
+    }
+
+    #[test]
+    fn capability_degradation_changes_admission() {
+        let mut bus = bus();
+        let sub_topic = "v2v.state";
+        bus.topic(sub_topic).via(NetworkId(1)).subscribe(QosClass::Batched);
+        let publisher = bus
+            .topic(sub_topic)
+            .via(NetworkId(1))
+            .announce(QosRequirement::batched(SimDuration::from_millis(50), 10.0));
+        assert!(publisher.is_admitted());
+        let subject = publisher.subject();
+        // The monitoring layer reports degradation: the channel loses its admission.
+        let changed = bus.update_capability(NetworkId(1), NetworkCapability::wireless_degraded());
+        assert_eq!(changed, vec![subject]);
+        assert_eq!(bus.admission(subject), Some(Admission::Rejected));
+        // Recovery restores it.
+        let changed = bus.update_capability(NetworkId(1), NetworkCapability::wireless_nominal());
+        assert_eq!(changed, vec![subject]);
+        assert_eq!(bus.admission(subject), Some(Admission::Admitted));
+        // Re-asserting the same capability changes nothing.
+        assert!(bus
+            .update_capability(NetworkId(1), NetworkCapability::wireless_nominal())
+            .is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn delivery_latency_statistics_accumulate() {
+        let mut bus = bus();
+        let subject = Subject::from_name("platoon/lead-state");
+        bus.subscribe(SubscriberId(1), NetworkId(1), subject, ContextFilter::accept_all());
+        bus.announce(
+            subject,
+            NetworkId(1),
+            QosRequirement::builder()
+                .max_latency(SimDuration::from_millis(60))
+                .min_delivery_ratio(0.5)
+                .max_rate(10.0)
+                .build(),
+        );
+        for i in 0..200u64 {
+            bus.publish_from(subject, None, vec![], SimTime::from_millis(i * 10));
+        }
+        let stats = bus.channel_stats(subject).unwrap();
+        assert_eq!(stats.published, 200);
+        assert!(stats.delivered > 150, "delivered {}", stats.delivered);
+        assert!(
+            stats.mean_latency_ms > 1.0 && stats.mean_latency_ms < 100.0,
+            "mean latency {}",
+            stats.mean_latency_ms
+        );
+        assert_eq!(bus.subscription_count(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_and_v2_surfaces_share_one_bus() {
+        // A v1 subject-based subscriber and a v2 topic subscriber coexist:
+        // the topic's FNV subject is the bridge.
+        let mut bus = bus();
+        let v2_sub = bus.topic("bridge.check").subscribe(QosClass::Batched);
+        let subject = Subject::from_name("bridge.check");
+        bus.subscribe(SubscriberId(9), NetworkId(0), subject, ContextFilter::accept_all());
+        bus.announce(subject, NetworkId(0), QosRequirement::best_effort());
+        // The legacy publish drains *all* matching subscriptions — v2 ones
+        // included.
+        let deliveries = bus.publish_from(subject, None, vec![], SimTime::from_millis(1));
+        assert_eq!(deliveries.len(), 2, "both the v2 and the legacy subscriber got the event");
+        assert_eq!(bus.subscription_stats(v2_sub).unwrap().delivered, 1);
+        assert_eq!(bus.topic_name(TopicId(0)), Some("bridge.check"));
+        assert_eq!(bus.topic_subject(TopicId(0)), Some(subject));
+    }
+}

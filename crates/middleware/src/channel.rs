@@ -1,4 +1,4 @@
-//! Event channels, QoS assessment and the dissemination bus.
+//! Network capabilities, QoS assessment and channel-level types (paper §V-B).
 //!
 //! "An event channel provides a unidirectional communication channel
 //! connecting multiple publishers to multiple subscribers.  Before a
@@ -7,12 +7,16 @@
 //! enforcing QoS attributes. … In a system-of-systems in which spontaneous
 //! communication is needed, the information about the underlying network
 //! properties have to be acquired dynamically during run-time" (paper §V-B).
+//!
+//! The bus itself — topic routing, mailboxes, overload handling — lives in
+//! [`bus`](crate::bus); this module holds the assessment-side vocabulary it
+//! builds on: [`NetworkCapability`] (what the monitoring layer reports),
+//! [`Admission`] (what announcement-time assessment decides), and the legacy
+//! delivery/stats types kept for the deprecated v1 surface.
 
-use std::collections::BTreeMap;
+use karyon_sim::{SimDuration, SimTime};
 
-use karyon_sim::{Histogram, Rng, SimDuration, SimTime};
-
-use crate::event::{Context, ContextFilter, Event, QosRequirement, Subject};
+use crate::event::{Event, QosRequirement};
 
 /// The dynamically assessed properties of one underlying network
 /// (the output of the monitoring mechanisms of §V-A).
@@ -93,7 +97,8 @@ pub enum Admission {
     Rejected,
 }
 
-/// A published event delivered to one subscriber, with its delivery latency.
+/// A published event delivered to one subscriber, with its delivery latency
+/// (the synchronous-delivery record of the deprecated v1 publish surface).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Delivery {
     /// The receiving subscriber.
@@ -106,7 +111,12 @@ pub struct Delivery {
     pub latency: SimDuration,
 }
 
-/// Accumulated delivery statistics of one announced event channel.
+/// Accumulated delivery statistics of one announced event channel, summed
+/// over every subscription of its subject.
+///
+/// New code should prefer the per-subscription
+/// [`SubscriptionStats`](crate::SubscriptionStats), which additionally break
+/// out drop causes, backlog and P50/P99 latency.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ChannelStats {
     /// Events published on the channel.
@@ -120,400 +130,24 @@ pub struct ChannelStats {
     pub mean_latency_ms: f64,
 }
 
-#[derive(Debug, Clone)]
-struct ChannelState {
-    qos: QosRequirement,
-    admission: Admission,
-    publisher_network: NetworkId,
-    published: u64,
-    delivered: u64,
-    missed_deadline: u64,
-    latencies_ms: Histogram,
-}
-
-#[derive(Debug, Clone)]
-struct Subscription {
-    subscriber: SubscriberId,
-    subject: Subject,
-    filter: ContextFilter,
-    network: NetworkId,
-}
-
-/// The event-dissemination bus: networks, subscriptions, announced channels
-/// and QoS accounting.  One bus models the system-of-systems a vehicle
-/// participates in (in-vehicle bus + one or more wireless networks, bridged
-/// by gateways).
-#[derive(Debug)]
-pub struct EventBus {
-    networks: BTreeMap<NetworkId, NetworkCapability>,
-    channels: BTreeMap<Subject, ChannelState>,
-    subscriptions: Vec<Subscription>,
-    rng: Rng,
-}
-
-impl EventBus {
-    /// Creates a bus with no networks attached.
-    pub fn new(seed: u64) -> Self {
-        EventBus {
-            networks: BTreeMap::new(),
-            channels: BTreeMap::new(),
-            subscriptions: Vec::new(),
-            rng: Rng::seed_from(seed),
-        }
-    }
-
-    /// Attaches (or re-assesses) a network segment.
-    pub fn attach_network(&mut self, id: NetworkId, capability: NetworkCapability) {
-        self.networks.insert(id, capability);
-    }
-
-    /// Updates the dynamically monitored capability of a network and
-    /// re-assesses every channel publishing through it.  Returns the subjects
-    /// whose admission status changed (the adaptation hook the safety kernel
-    /// listens to).
-    pub fn update_capability(
-        &mut self,
-        id: NetworkId,
-        capability: NetworkCapability,
-    ) -> Vec<Subject> {
-        self.networks.insert(id, capability);
-        let mut changed = Vec::new();
-        let subjects: Vec<Subject> = self.channels.keys().copied().collect();
-        for subject in subjects {
-            let admitted_rate = self.admitted_rate_excluding(subject);
-            let channel = self.channels.get(&subject).expect("channel exists");
-            let effective = self.effective_capability(subject, channel.publisher_network);
-            let new_admission =
-                if effective.map(|c| c.satisfies(&channel.qos, admitted_rate)).unwrap_or(false) {
-                    Admission::Admitted
-                } else {
-                    Admission::Rejected
-                };
-            let channel = self.channels.get_mut(&subject).expect("channel exists");
-            if new_admission != channel.admission {
-                channel.admission = new_admission;
-                changed.push(subject);
-            }
-        }
-        changed
-    }
-
-    /// Subscribes an endpoint on a network to a subject with a context filter.
-    pub fn subscribe(
-        &mut self,
-        subscriber: SubscriberId,
-        network: NetworkId,
-        subject: Subject,
-        filter: ContextFilter,
-    ) {
-        self.subscriptions.push(Subscription { subscriber, subject, filter, network });
-    }
-
-    /// Number of active subscriptions.
-    pub fn subscription_count(&self) -> usize {
-        self.subscriptions.len()
-    }
-
-    fn admitted_rate_excluding(&self, except: Subject) -> f64 {
-        self.channels
-            .iter()
-            .filter(|(s, c)| **s != except && c.admission == Admission::Admitted)
-            .map(|(_, c)| c.qos.max_rate)
-            .sum()
-    }
-
-    /// The worst-case capability over the publisher's network and every
-    /// subscriber network for the subject (gateway-crossing channels are only
-    /// as good as their weakest segment).
-    fn effective_capability(
-        &self,
-        subject: Subject,
-        publisher_network: NetworkId,
-    ) -> Option<NetworkCapability> {
-        let mut capability = *self.networks.get(&publisher_network)?;
-        for sub in self.subscriptions.iter().filter(|s| s.subject == subject) {
-            if let Some(remote) = self.networks.get(&sub.network) {
-                capability = capability.combine_worst(remote);
-            }
-        }
-        Some(capability)
-    }
-
-    /// Announces an event channel for `subject` published from
-    /// `publisher_network` with the given QoS requirement; performs the
-    /// dynamic assessment against the current network capabilities.
-    pub fn announce(
-        &mut self,
-        subject: Subject,
-        publisher_network: NetworkId,
-        qos: QosRequirement,
-    ) -> Admission {
-        let admitted_rate = self.admitted_rate_excluding(subject);
-        let admission = match self.effective_capability(subject, publisher_network) {
-            Some(capability) if capability.satisfies(&qos, admitted_rate) => Admission::Admitted,
-            _ => Admission::Rejected,
-        };
-        self.channels.insert(
-            subject,
-            ChannelState {
-                qos,
-                admission,
-                publisher_network,
-                published: 0,
-                delivered: 0,
-                missed_deadline: 0,
-                latencies_ms: Histogram::new(),
-            },
-        );
-        admission
-    }
-
-    /// The admission status of an announced channel.
-    pub fn admission(&self, subject: Subject) -> Option<Admission> {
-        self.channels.get(&subject).map(|c| c.admission)
-    }
-
-    /// Publishes an event on its (announced) channel; returns the deliveries
-    /// made to matching subscribers.  Events on unannounced channels are
-    /// dropped (the announcement is mandatory in FAMOUSO).
-    pub fn publish(&mut self, event: Event, now: SimTime) -> Vec<Delivery> {
-        let Some(channel) = self.channels.get(&event.subject) else {
-            return Vec::new();
-        };
-        let publisher_network = channel.publisher_network;
-        let qos = channel.qos;
-        let mut deliveries = Vec::new();
-        let mut delivered_count = 0u64;
-        let mut missed = 0u64;
-        let mut latencies: Vec<f64> = Vec::new();
-
-        for sub in self.subscriptions.iter().filter(|s| s.subject == event.subject) {
-            let Some(pub_cap) = self.networks.get(&publisher_network) else { continue };
-            let Some(sub_cap) = self.networks.get(&sub.network) else { continue };
-            let capability = pub_cap.combine_worst(sub_cap);
-            // Loss.
-            if !self.rng.chance(capability.expected_delivery_ratio) {
-                continue;
-            }
-            // Latency: exponential around the expected value.
-            let latency = SimDuration::from_secs_f64(
-                self.rng.exponential(capability.expected_latency.as_secs_f64().max(1e-6)),
-            );
-            let delivered_at = now + latency;
-            if !sub.filter.matches(&event.context, delivered_at) {
-                continue;
-            }
-            if latency > qos.max_latency {
-                missed += 1;
-            }
-            delivered_count += 1;
-            latencies.push(latency.as_secs_f64() * 1e3);
-            deliveries.push(Delivery {
-                subscriber: sub.subscriber,
-                event: event.clone(),
-                delivered_at,
-                latency,
-            });
-        }
-
-        let channel = self.channels.get_mut(&event.subject).expect("channel exists");
-        channel.published += 1;
-        channel.delivered += delivered_count;
-        channel.missed_deadline += missed;
-        for l in latencies {
-            channel.latencies_ms.record(l);
-        }
-        deliveries
-    }
-
-    /// Per-channel delivery and deadline statistics, or `None` for a subject
-    /// that was never announced.
-    pub fn channel_stats(&self, subject: Subject) -> Option<ChannelStats> {
-        self.channels.get(&subject).map(|c| ChannelStats {
-            published: c.published,
-            delivered: c.delivered,
-            missed_deadline: c.missed_deadline,
-            mean_latency_ms: c.latencies_ms.mean(),
-        })
-    }
-
-    /// Convenience: publish with a fresh context built from position/time.
-    pub fn publish_from(
-        &mut self,
-        subject: Subject,
-        position: Option<karyon_sim::Vec2>,
-        content: Vec<u8>,
-        now: SimTime,
-    ) -> Vec<Delivery> {
-        let event = Event::new(subject, Context { position, timestamp: now }, content);
-        self.publish(event, now)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use karyon_sim::Vec2;
-
-    fn bus() -> EventBus {
-        let mut bus = EventBus::new(7);
-        bus.attach_network(NetworkId(0), NetworkCapability::local_bus());
-        bus.attach_network(NetworkId(1), NetworkCapability::wireless_nominal());
-        bus
-    }
 
     #[test]
     fn capability_satisfaction_and_combination() {
         let local = NetworkCapability::local_bus();
         let wireless = NetworkCapability::wireless_nominal();
-        let strict = QosRequirement {
-            max_latency: SimDuration::from_millis(1),
-            min_delivery_ratio: 0.99,
-            max_rate: 10.0,
-        };
+        let strict = QosRequirement::builder()
+            .max_latency(SimDuration::from_millis(1))
+            .min_delivery_ratio(0.99)
+            .max_rate(10.0)
+            .build();
         assert!(local.satisfies(&strict, 0.0));
         assert!(!wireless.satisfies(&strict, 0.0));
         assert!(!local.satisfies(&strict, 9_995.0), "capacity exhausted");
         let combined = local.combine_worst(&wireless);
         assert_eq!(combined.expected_latency, wireless.expected_latency);
         assert_eq!(combined.capacity_rate, wireless.capacity_rate);
-    }
-
-    #[test]
-    fn announcement_assesses_qos_against_subscriber_networks() {
-        let mut bus = bus();
-        let subject = Subject::from_name("vehicle/heading");
-        // Local-only subscription: strict latency is admitted.
-        bus.subscribe(SubscriberId(1), NetworkId(0), subject, ContextFilter::accept_all());
-        let strict = QosRequirement {
-            max_latency: SimDuration::from_millis(2),
-            min_delivery_ratio: 0.99,
-            max_rate: 10.0,
-        };
-        assert_eq!(bus.announce(subject, NetworkId(0), strict), Admission::Admitted);
-        // Adding a wireless subscriber makes the same requirement unsatisfiable.
-        bus.subscribe(SubscriberId(2), NetworkId(1), subject, ContextFilter::accept_all());
-        assert_eq!(bus.announce(subject, NetworkId(0), strict), Admission::Rejected);
-        assert_eq!(bus.admission(subject), Some(Admission::Rejected));
-        // A relaxed requirement is admitted.
-        let relaxed = QosRequirement {
-            max_latency: SimDuration::from_millis(100),
-            min_delivery_ratio: 0.9,
-            max_rate: 10.0,
-        };
-        assert_eq!(bus.announce(subject, NetworkId(0), relaxed), Admission::Admitted);
-    }
-
-    #[test]
-    fn rate_admission_is_cumulative() {
-        let mut bus = bus();
-        let a = Subject::from_name("a");
-        let b = Subject::from_name("b");
-        bus.subscribe(SubscriberId(1), NetworkId(1), a, ContextFilter::accept_all());
-        bus.subscribe(SubscriberId(1), NetworkId(1), b, ContextFilter::accept_all());
-        let heavy = QosRequirement {
-            max_latency: SimDuration::from_secs(1),
-            min_delivery_ratio: 0.5,
-            max_rate: 300.0,
-        };
-        assert_eq!(bus.announce(a, NetworkId(1), heavy), Admission::Admitted);
-        // The wireless network sustains 500 events/s: a second 300 events/s
-        // channel does not fit.
-        assert_eq!(bus.announce(b, NetworkId(1), heavy), Admission::Rejected);
-    }
-
-    #[test]
-    fn publish_routes_to_matching_subscribers_only() {
-        let mut bus = bus();
-        let subject = Subject::from_name("hazard/warning");
-        bus.subscribe(
-            SubscriberId(1),
-            NetworkId(0),
-            subject,
-            ContextFilter::within(Vec2::ZERO, 100.0),
-        );
-        bus.subscribe(
-            SubscriberId(2),
-            NetworkId(0),
-            subject,
-            ContextFilter::within(Vec2::new(10_000.0, 0.0), 100.0),
-        );
-        bus.subscribe(
-            SubscriberId(3),
-            NetworkId(0),
-            Subject::from_name("other"),
-            ContextFilter::accept_all(),
-        );
-        bus.announce(subject, NetworkId(0), QosRequirement::best_effort());
-        let deliveries =
-            bus.publish_from(subject, Some(Vec2::new(5.0, 5.0)), vec![1], SimTime::from_millis(10));
-        let receivers: Vec<u32> = deliveries.iter().map(|d| d.subscriber.0).collect();
-        assert_eq!(receivers, vec![1]);
-        let stats = bus.channel_stats(subject).unwrap();
-        assert_eq!(stats.published, 1);
-        assert_eq!(stats.delivered, 1);
-    }
-
-    #[test]
-    fn unannounced_channels_drop_events() {
-        let mut bus = bus();
-        let subject = Subject::from_name("unannounced");
-        bus.subscribe(SubscriberId(1), NetworkId(0), subject, ContextFilter::accept_all());
-        let deliveries = bus.publish_from(subject, None, vec![], SimTime::ZERO);
-        assert!(deliveries.is_empty());
-        assert!(bus.channel_stats(subject).is_none());
-    }
-
-    #[test]
-    fn capability_degradation_changes_admission() {
-        let mut bus = bus();
-        let subject = Subject::from_name("v2v/state");
-        bus.subscribe(SubscriberId(1), NetworkId(1), subject, ContextFilter::accept_all());
-        let qos = QosRequirement {
-            max_latency: SimDuration::from_millis(50),
-            min_delivery_ratio: 0.9,
-            max_rate: 10.0,
-        };
-        assert_eq!(bus.announce(subject, NetworkId(1), qos), Admission::Admitted);
-        // The monitoring layer reports degradation: the channel loses its admission.
-        let changed = bus.update_capability(NetworkId(1), NetworkCapability::wireless_degraded());
-        assert_eq!(changed, vec![subject]);
-        assert_eq!(bus.admission(subject), Some(Admission::Rejected));
-        // Recovery restores it.
-        let changed = bus.update_capability(NetworkId(1), NetworkCapability::wireless_nominal());
-        assert_eq!(changed, vec![subject]);
-        assert_eq!(bus.admission(subject), Some(Admission::Admitted));
-        // Re-asserting the same capability changes nothing.
-        assert!(bus
-            .update_capability(NetworkId(1), NetworkCapability::wireless_nominal())
-            .is_empty());
-    }
-
-    #[test]
-    fn delivery_latency_statistics_accumulate() {
-        let mut bus = bus();
-        let subject = Subject::from_name("platoon/lead-state");
-        bus.subscribe(SubscriberId(1), NetworkId(1), subject, ContextFilter::accept_all());
-        bus.announce(
-            subject,
-            NetworkId(1),
-            QosRequirement {
-                max_latency: SimDuration::from_millis(60),
-                min_delivery_ratio: 0.5,
-                max_rate: 10.0,
-            },
-        );
-        for i in 0..200u64 {
-            bus.publish_from(subject, None, vec![], SimTime::from_millis(i * 10));
-        }
-        let stats = bus.channel_stats(subject).unwrap();
-        assert_eq!(stats.published, 200);
-        assert!(stats.delivered > 150, "delivered {}", stats.delivered);
-        assert!(
-            stats.mean_latency_ms > 1.0 && stats.mean_latency_ms < 100.0,
-            "mean latency {}",
-            stats.mean_latency_ms
-        );
-        assert_eq!(bus.subscription_count(), 1);
     }
 }

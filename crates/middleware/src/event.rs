@@ -44,6 +44,113 @@ impl QosRequirement {
     pub fn best_effort() -> Self {
         QosRequirement { max_latency: SimDuration::MAX, min_delivery_ratio: 0.0, max_rate: 0.0 }
     }
+
+    /// The contract of a latency-critical stream (control loops, hazard
+    /// warnings): a hard dissemination deadline and a moderate delivery
+    /// floor — under pressure the matching [`QosClass::Realtime`]
+    /// subscriptions drop events rather than let them age in a queue.
+    ///
+    /// [`QosClass::Realtime`]: crate::QosClass::Realtime
+    pub fn realtime(max_latency: SimDuration, max_rate: f64) -> Self {
+        QosRequirement { max_latency, min_delivery_ratio: 0.9, max_rate }
+    }
+
+    /// The contract of a throughput-oriented stream (state dissemination,
+    /// negotiation traffic): a high delivery floor — the best a healthy
+    /// vehicular wireless network sustains — and a latency bound that
+    /// tolerates bounded queueing ([`QosClass::Batched`] mailboxes).
+    ///
+    /// [`QosClass::Batched`]: crate::QosClass::Batched
+    pub fn batched(max_latency: SimDuration, max_rate: f64) -> Self {
+        QosRequirement { max_latency, min_delivery_ratio: 0.95, max_rate }
+    }
+
+    /// The contract of bulk/low-priority traffic (map updates, logs): one
+    /// second of acceptable latency and a relaxed delivery floor, paired
+    /// with the large [`QosClass::Background`] mailboxes.
+    ///
+    /// [`QosClass::Background`]: crate::QosClass::Background
+    pub fn background(max_rate: f64) -> Self {
+        QosRequirement { max_latency: SimDuration::from_secs(1), min_delivery_ratio: 0.5, max_rate }
+    }
+
+    /// Starts a [`QosBuilder`] from the best-effort baseline, for
+    /// requirements that fit none of the named presets.
+    pub fn builder() -> QosBuilder {
+        QosBuilder { requirement: QosRequirement::best_effort() }
+    }
+}
+
+/// Builder for a [`QosRequirement`], started by [`QosRequirement::builder`].
+///
+/// Every field starts at its [`QosRequirement::best_effort`] value, so only
+/// the constraints a channel actually cares about need to be stated:
+///
+/// ```
+/// use karyon_middleware::QosRequirement;
+/// use karyon_sim::SimDuration;
+///
+/// let qos = QosRequirement::builder()
+///     .max_latency(SimDuration::from_millis(20))
+///     .max_rate(50.0)
+///     .build();
+/// assert_eq!(qos.min_delivery_ratio, 0.0, "unset constraints stay best-effort");
+/// ```
+#[derive(Debug, Clone)]
+pub struct QosBuilder {
+    requirement: QosRequirement,
+}
+
+impl QosBuilder {
+    /// Sets the maximum acceptable dissemination latency.
+    pub fn max_latency(mut self, latency: SimDuration) -> Self {
+        self.requirement.max_latency = latency;
+        self
+    }
+
+    /// Sets the minimum acceptable delivery ratio (clamped to `[0, 1]`).
+    pub fn min_delivery_ratio(mut self, ratio: f64) -> Self {
+        self.requirement.min_delivery_ratio = ratio.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the maximum event rate the publisher will generate.
+    pub fn max_rate(mut self, rate: f64) -> Self {
+        self.requirement.max_rate = rate.max(0.0);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> QosRequirement {
+        self.requirement
+    }
+}
+
+/// The compact, `Copy` event body of the v2 publish hot path.
+///
+/// Unlike the legacy [`Event`] (whose content is an owned byte vector), a
+/// `Payload` moves through the bounded ring mailboxes without any per-publish
+/// allocation: position and an opaque 64-bit tag are all a simulated event
+/// carries.  Components that need richer content publish the tag as a key
+/// into their own storage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Payload {
+    /// Where the event was produced, if known.
+    pub position: Option<Vec2>,
+    /// Opaque application word (sequence number, key, encoded reading, …).
+    pub tag: u64,
+}
+
+impl Payload {
+    /// A payload carrying only an application tag.
+    pub fn tagged(tag: u64) -> Self {
+        Payload { position: None, tag }
+    }
+
+    /// A payload produced at a known position.
+    pub fn at(position: Vec2, tag: u64) -> Self {
+        Payload { position: Some(position), tag }
+    }
 }
 
 /// Context attributes attached to an event (location, time).
@@ -157,6 +264,34 @@ mod tests {
         let q = QosRequirement::best_effort();
         assert_eq!(q.min_delivery_ratio, 0.0);
         assert_eq!(q.max_latency, SimDuration::MAX);
+    }
+
+    #[test]
+    fn qos_constructors_and_builder() {
+        let rt = QosRequirement::realtime(SimDuration::from_millis(10), 100.0);
+        assert_eq!(rt.max_latency, SimDuration::from_millis(10));
+        assert_eq!(rt.max_rate, 100.0);
+        let batched = QosRequirement::batched(SimDuration::from_millis(200), 50.0);
+        assert!(batched.min_delivery_ratio > rt.min_delivery_ratio);
+        let bg = QosRequirement::background(5.0);
+        assert_eq!(bg.max_latency, SimDuration::from_secs(1));
+        let built = QosRequirement::builder()
+            .max_latency(SimDuration::from_millis(20))
+            .min_delivery_ratio(1.5)
+            .max_rate(-3.0)
+            .build();
+        assert_eq!(built.min_delivery_ratio, 1.0, "ratio clamps to [0, 1]");
+        assert_eq!(built.max_rate, 0.0, "rate clamps to >= 0");
+        assert_eq!(built.max_latency, SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn payload_constructors() {
+        let p = Payload::tagged(7);
+        assert_eq!(p.tag, 7);
+        assert!(p.position.is_none());
+        let q = Payload::at(Vec2::new(1.0, 2.0), 9);
+        assert_eq!(q.position, Some(Vec2::new(1.0, 2.0)));
     }
 
     #[test]

@@ -6,45 +6,87 @@
 //! address the problem of assessing and maintaining QoS in such a cooperative
 //! system."
 //!
-//! The crate reimplements the published channel concept from scratch:
+//! The crate reimplements the published channel concept from scratch, in two
+//! halves:
 //!
-//! * [`event`] — events (subject UID + attributes + content), QoS
-//!   requirements, context attributes and context filters,
-//! * [`channel`] — event channels with announcement-time QoS assessment
-//!   against dynamically monitored network capabilities, publish/subscribe
-//!   routing across heterogeneous network segments (gateway-crossing
-//!   channels get the weakest segment's guarantees), and per-channel
-//!   delivery/deadline statistics.
+//! * **assessment** ([`event`], [`channel`]) — events (subject UID +
+//!   attributes + content), QoS requirements with named presets
+//!   ([`QosRequirement::realtime`] / [`batched`](QosRequirement::batched) /
+//!   [`background`](QosRequirement::background) / [`builder`](QosRequirement::builder)),
+//!   context filters, and announcement-time admission against dynamically
+//!   monitored [`NetworkCapability`]s (gateway-crossing channels get the
+//!   weakest segment's guarantees),
+//! * **maintenance** ([`bus`], [`mailbox`], [`overload`]) — the **EventBus
+//!   v2**: hierarchical topic routing with wildcard-prefix subscriptions,
+//!   per-subscription [`QosClass`]es backed by bounded ring mailboxes,
+//!   bus-wide backlog thresholds, pluggable [`OverloadStrategy`]s and
+//!   per-subscription delivery statistics with P50/P99 latency.
 //!
 //! ## Quick tour
 //!
-//! A channel is admitted only if the monitored network capability satisfies
-//! its announced QoS requirement — and a channel crossing a gateway gets the
-//! *weakest* segment's guarantees:
+//! Build a bus, subscribe by topic (wildcards match whole subtrees), announce
+//! a channel, publish through the returned [`Publisher`] handle, and drain
+//! the mailbox:
 //!
 //! ```
-//! use karyon_middleware::{NetworkCapability, QosRequirement};
-//! use karyon_sim::SimDuration;
-//!
-//! let requirement = QosRequirement {
-//!     max_latency: SimDuration::from_millis(50),
-//!     min_delivery_ratio: 0.9,
-//!     max_rate: 10.0,
+//! use karyon_middleware::{
+//!     EventBus, NetworkCapability, NetworkId, OverloadStrategy, Payload, QosClass,
+//!     QosRequirement,
 //! };
-//! let nominal = NetworkCapability::wireless_nominal();
-//! assert!(nominal.satisfies(&requirement, 0.0));
-//! // Crossing into a degraded segment inherits the weaker guarantees.
-//! let end_to_end = nominal.combine_worst(&NetworkCapability::wireless_degraded());
-//! assert!(!end_to_end.satisfies(&requirement, 0.0));
+//! use karyon_sim::{SimDuration, SimTime};
+//!
+//! let mut bus = EventBus::new(42);
+//! bus.attach_network(NetworkId(0), NetworkCapability::local_bus());
+//! bus.attach_network(NetworkId(1), NetworkCapability::wireless_nominal());
+//!
+//! // A realtime subscriber to everything under `platoon.`, sampling 1-in-8
+//! // under overflow instead of its class default (drop the newest).
+//! let sub = bus
+//!     .topic("platoon.*")
+//!     .via(NetworkId(1))
+//!     .overload(OverloadStrategy::Sample { keep_1_in: 8 })
+//!     .subscribe(QosClass::Realtime);
+//!
+//! // Announcing assesses the QoS requirement against the weakest network
+//! // segment on the channel's path; the handle is the only way to publish.
+//! let lead = bus
+//!     .topic("platoon.lead")
+//!     .via(NetworkId(1))
+//!     .announce(QosRequirement::realtime(SimDuration::from_millis(60), 20.0));
+//! assert!(lead.is_admitted());
+//!
+//! let outcome = bus.publish(&lead, Payload::tagged(1), SimTime::ZERO);
+//! assert_eq!(outcome.matched, 1);
+//!
+//! bus.drain_with(sub, SimTime::from_millis(100), usize::MAX, |event| {
+//!     assert_eq!(event.payload.tag, 1);
+//! });
+//! let stats = bus.subscription_stats(sub).unwrap();
+//! assert_eq!(stats.delivered + stats.dropped_loss, 1);
 //! ```
+//!
+//! QoS is *maintained*, not just assessed: when a mailbox overflows, the
+//! subscription's [`OverloadStrategy`] (drop-newest / drop-oldest / sample /
+//! aggregate) decides what to shed, and when the bus-wide backlog crosses
+//! [`EventBus::set_backlog_threshold`], [`QosClass::Realtime`] subscriptions
+//! drop incoming events outright so whatever they do deliver is fresh.  The
+//! v1 surface (`subscribe`/`announce`/`publish_from` by [`Subject`]) remains
+//! available as deprecated wrappers for one release.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bus;
 pub mod channel;
 pub mod event;
+pub mod mailbox;
+pub mod overload;
 
-pub use channel::{
-    Admission, ChannelStats, Delivery, EventBus, NetworkCapability, NetworkId, SubscriberId,
+pub use bus::{
+    DeliveredEvent, EventBus, PublishOutcome, Publisher, SubscriptionId, SubscriptionStats,
+    TopicId, TopicRef,
 };
-pub use event::{Context, ContextFilter, Event, QosRequirement, Subject};
+pub use channel::{Admission, ChannelStats, Delivery, NetworkCapability, NetworkId, SubscriberId};
+pub use event::{Context, ContextFilter, Event, Payload, QosBuilder, QosRequirement, Subject};
+pub use mailbox::Mailbox;
+pub use overload::{OverloadStrategy, QosClass};

@@ -25,7 +25,7 @@ pub mod safety;
 pub mod sensors;
 pub mod vehicle;
 
-pub use middleware::MiddlewareQosScenario;
+pub use middleware::{MiddlewareOverloadScenario, MiddlewareQosScenario};
 pub use net::{EndToEndScenario, InaccessibilityScenario, PulseSyncScenario, TdmaScenario};
 pub use safety::{CooperationScenario, KernelLatencyScenario, TopologyScenario};
 pub use sensors::{ReliableSensorScenario, SensorValidityScenario};

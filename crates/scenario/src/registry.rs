@@ -175,6 +175,7 @@ impl FamilyInfo {
 /// | `lane-change` | vehicles | `run_lane_changes` (e12) | `coordination`, `vehicles`, `message_loss`, `desire_rate` |
 /// | `avionics-rpv` | vehicles | `run_encounter` (e13) | `encounter`, `traffic`, `resolution` |
 /// | `middleware-qos` | middleware | `EventBus` on an `Engine` (e08) | `rate_hz`, `degrade`, `network`, `max_latency_ms`, `min_delivery_ratio` |
+/// | `middleware-overload` | middleware | EventBus v2 backpressure (e08) | `load_x`, `qos_mix`, `backlog_threshold`, `strategy` |
 /// | `tdma` | net | self-stabilizing TDMA (e05) | `nodes`, `adversarial`, `slots_per_frame`, `churn` |
 /// | `inaccessibility` | net | CSMA / R2T-MAC under jamming (e04) | `mac`, `burst_ms`, `copies`, `nodes`, `gap_s`, `loss`, `long_burst` |
 /// | `pulse-sync` | net | autonomous pulse alignment (e06) | `drift_ppm`, `loss`, `gain`, `nodes`, `period_ms` |
@@ -192,6 +193,7 @@ pub fn builtin_registry() -> ScenarioRegistry {
     registry.register(Arc::new(families::LaneChangeScenario));
     registry.register(Arc::new(families::AvionicsScenario));
     registry.register(Arc::new(families::MiddlewareQosScenario));
+    registry.register(Arc::new(families::MiddlewareOverloadScenario));
     registry.register(Arc::new(families::TdmaScenario));
     registry.register(Arc::new(families::InaccessibilityScenario));
     registry.register(Arc::new(families::PulseSyncScenario));
@@ -222,6 +224,7 @@ mod tests {
                 "intersection",
                 "kernel-latency",
                 "lane-change",
+                "middleware-overload",
                 "middleware-qos",
                 "platoon",
                 "platoon-fault",
@@ -233,7 +236,7 @@ mod tests {
             ]
         );
         assert!(!registry.is_empty());
-        assert_eq!(registry.len(), 15);
+        assert_eq!(registry.len(), 16);
     }
 
     #[test]

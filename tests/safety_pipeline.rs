@@ -8,8 +8,7 @@ use karyon::core::{
     SafetyRule, TimingFailureDetector,
 };
 use karyon::middleware::{
-    Admission, ContextFilter, EventBus, NetworkCapability, NetworkId, QosRequirement, Subject,
-    SubscriberId,
+    Admission, EventBus, NetworkCapability, NetworkId, QosClass, QosRequirement,
 };
 use karyon::sensors::faults::FaultSchedule;
 use karyon::sensors::{
@@ -138,14 +137,12 @@ fn middleware_admission_can_gate_the_cooperative_level() {
     // health of the "v2v" component: rejected channel => no cooperative LoS.
     let mut bus = EventBus::new(1);
     bus.attach_network(NetworkId(0), NetworkCapability::wireless_nominal());
-    let subject = Subject::from_name("platoon/lead-state");
-    bus.subscribe(SubscriberId(1), NetworkId(0), subject, ContextFilter::accept_all());
-    let qos = QosRequirement {
-        max_latency: SimDuration::from_millis(50),
-        min_delivery_ratio: 0.9,
-        max_rate: 20.0,
-    };
-    assert_eq!(bus.announce(subject, NetworkId(0), qos), Admission::Admitted);
+    bus.topic("platoon.lead-state").subscribe(QosClass::Batched);
+    let publisher = bus
+        .topic("platoon.lead-state")
+        .announce(QosRequirement::realtime(SimDuration::from_millis(50), 20.0));
+    assert_eq!(publisher.admission(), Admission::Admitted);
+    let subject = publisher.subject();
 
     let mut kernel =
         SafetyKernel::new(two_level_design("range", "v2v"), SimDuration::from_millis(100));

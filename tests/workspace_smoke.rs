@@ -11,7 +11,7 @@ use karyon::core::{
     SafetyRule,
 };
 use karyon::middleware::{
-    Admission, ContextFilter, EventBus, NetworkCapability, NetworkId, QosRequirement,
+    Admission, ContextFilter, EventBus, NetworkCapability, NetworkId, QosClass, QosRequirement,
 };
 use karyon::net::{MediumConfig, SelfStabTdmaMac, WirelessMedium};
 use karyon::scenario::{builtin_registry, ScenarioSpec};
@@ -47,14 +47,15 @@ fn umbrella_reexports_resolve() {
     // karyon::middleware
     let mut bus = EventBus::new(3);
     bus.attach_network(NetworkId(0), NetworkCapability::local_bus());
-    let subject = karyon::middleware::Subject::from_name("smoke/topic");
-    let admission = bus.announce(subject, NetworkId(0), QosRequirement::best_effort());
+    let publisher = bus.topic("smoke.topic").announce(QosRequirement::best_effort());
     assert_eq!(
-        admission,
+        publisher.admission(),
         Admission::Admitted,
         "best-effort channel on a local bus must be admitted"
     );
+    assert_eq!(publisher.subject(), karyon::middleware::Subject::from_name("smoke.topic"));
     let _ = ContextFilter::accept_all();
+    let _ = QosClass::Realtime;
 
     // karyon::core
     assert!(LevelOfService(0).is_non_cooperative());
