@@ -2,7 +2,7 @@
 //!
 //! The KARYON safety argument is built on huge fault-injection sweeps (§VI),
 //! so the experiment pipeline's own throughput is a tracked quantity from
-//! this experiment onward.  Three measurements, written to
+//! this experiment onward.  Five measurements, written to
 //! `BENCH_campaign.json` for CI to archive:
 //!
 //! 1. **Event core** — the calendar-queue [`EventQueue`] against the
@@ -22,6 +22,13 @@
 //! 4. **Mixed campaign** — a multi-family sweep exercising the net stack
 //!    (`tdma`, `inaccessibility`), the middleware QoS channel and the
 //!    vehicle platoon, i.e. real simulation work per run.
+//! 5. **Telemetry overhead** — the volume campaign re-run through the
+//!    instrumented entry point with telemetry *detached*
+//!    ([`CampaignTelemetry::none`]) and again with a trace sink + metrics
+//!    registry attached.  The detached rate must sit within noise of the
+//!    plain baseline (telemetry-off is the same code path, so this is the
+//!    regression guard — asserted even in quick mode), and every variant's
+//!    report must be bit-identical.
 //!
 //! Quick mode (`E16_QUICK=1`, used by CI) shrinks the workloads ~10×.
 
@@ -29,11 +36,12 @@ use std::time::Instant;
 
 use karyon_scenario::json::ObjectWriter;
 use karyon_scenario::{
-    builtin_registry, Campaign, CampaignEntry, CampaignOutcome, Checkpointer, ParamGrid, RunRecord,
-    RunSink, Scenario, ScenarioSpec,
+    builtin_registry, Campaign, CampaignEntry, CampaignOutcome, CampaignTelemetry, Checkpointer,
+    ParamGrid, RunRecord, RunSink, Scenario, ScenarioSpec,
 };
 use karyon_sim::table::fmt3;
 use karyon_sim::{splitmix64, EventQueue, HeapEventQueue, Rng, SimDuration, SimTime, Table};
+use karyon_telemetry::{JsonlTraceWriter, MetricsRegistry};
 
 /// A deliberately cheap scenario: metrics are arithmetic over the seed, so
 /// the volume measurement isolates the runner (seed derivation, chunking,
@@ -297,6 +305,73 @@ fn main() {
     );
     assert_eq!(mixed_report.total_runs, mixed_runs);
 
+    // ----- 5. Telemetry overhead on the volume campaign. -----------------
+    // Detached telemetry is the same code path as the plain run (one branch
+    // per chunk), so its rate is the regression guard: if the telemetry
+    // plumbing ever leaks cost into untraced campaigns, this ratio drops.
+    let detached_start = Instant::now();
+    let (detached_report, _) = campaign
+        .clone()
+        .with_threads(parallel_threads)
+        .run_instrumented_with(&registry, None, CampaignTelemetry::none())
+        .expect("echo is registered");
+    let detached_elapsed = detached_start.elapsed();
+    assert_eq!(detached_report, parallel, "detached telemetry must not perturb the report");
+    let detached_rate = total_runs as f64 / detached_elapsed.as_secs_f64();
+    let detached_relative = detached_rate / parallel_rate;
+
+    let mut trace_writer = JsonlTraceWriter::new(Vec::new());
+    let mut metrics = MetricsRegistry::new();
+    let traced_start = Instant::now();
+    let (traced_report, _) = campaign
+        .clone()
+        .with_threads(parallel_threads)
+        .run_instrumented_with(
+            &registry,
+            None,
+            CampaignTelemetry::none().with_trace(&mut trace_writer).with_metrics(&mut metrics),
+        )
+        .expect("echo is registered");
+    let traced_elapsed = traced_start.elapsed();
+    assert_eq!(traced_report, parallel, "attached telemetry must not perturb the report");
+    assert_eq!(metrics.counter("campaign.runs"), total_runs);
+    let trace_bytes = trace_writer.into_inner().expect("Vec sink never errors").len() as u64;
+    let traced_rate = total_runs as f64 / traced_elapsed.as_secs_f64();
+    let traced_relative = traced_rate / parallel_rate;
+
+    let mut telemetry_table = Table::new(
+        "E16e — telemetry overhead (volume campaign, detached vs attached)",
+        &["variant", "runs/s", "relative", "trace bytes"],
+    );
+    telemetry_table.add_row(&[
+        "plain".into(),
+        format!("{parallel_rate:.0}"),
+        "1.00x".into(),
+        "-".into(),
+    ]);
+    telemetry_table.add_row(&[
+        "telemetry off".into(),
+        format!("{detached_rate:.0}"),
+        format!("{detached_relative:.2}x"),
+        "-".into(),
+    ]);
+    telemetry_table.add_row(&[
+        "trace + metrics".into(),
+        format!("{traced_rate:.0}"),
+        format!("{traced_relative:.2}x"),
+        trace_bytes.to_string(),
+    ]);
+    telemetry_table.print();
+    // The guard holds in quick mode too: same code path, so only scheduler
+    // noise separates the rates.  The band is generous (2x either way) to
+    // keep shared CI machines from flapping; a real leak (per-run TLS work,
+    // per-record cloning) costs an order of magnitude on this near-zero-work
+    // scenario and lands far outside it.
+    assert!(
+        detached_relative > 0.5,
+        "telemetry-off campaign rate fell outside noise: {detached_relative:.2}x of baseline"
+    );
+
     // ----- BENCH_campaign.json ------------------------------------------
     let mut queue_json = ObjectWriter::new();
     queue_json
@@ -330,13 +405,23 @@ fn main() {
         .u64("families", 4)
         .f64("runs_per_sec", mixed_rate)
         .u64("suspect_runs", mixed_report.suspect_runs());
+    let mut telemetry_json = ObjectWriter::new();
+    telemetry_json
+        .u64("runs", total_runs)
+        .f64("detached_runs_per_sec", detached_rate)
+        .f64("detached_relative_to_plain", detached_relative)
+        .f64("traced_runs_per_sec", traced_rate)
+        .f64("traced_relative_to_plain", traced_relative)
+        .u64("trace_bytes", trace_bytes)
+        .bool("bit_identical", true);
     let mut root = ObjectWriter::new();
     root.string("bench", "e16_campaign_throughput")
         .bool("quick", quick)
         .raw("event_queue", &queue_json.finish())
         .raw("volume_campaign", &volume_json.finish())
         .raw("checkpointing", &ckpt_json.finish())
-        .raw("mixed_campaign", &mixed_json.finish());
+        .raw("mixed_campaign", &mixed_json.finish())
+        .raw("telemetry", &telemetry_json.finish());
     let json = root.finish();
     // Anchor at the workspace root regardless of the bench's working
     // directory (cargo runs benches from the package directory).

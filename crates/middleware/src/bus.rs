@@ -494,6 +494,55 @@ impl EventBus {
         })
     }
 
+    /// Exports the bus's accumulated accounting into a unified
+    /// [`MetricsRegistry`](karyon_telemetry::MetricsRegistry) under `prefix`:
+    ///
+    /// * `<prefix>.published` — events published across every channel
+    ///   (counter; additive over repeated exports and multiple buses);
+    /// * `<prefix>.subscriptions` — current subscription count (gauge);
+    /// * per [`QosClass`] (lowercase: `realtime`, `batched`, `background`),
+    ///   summed over the class's subscriptions:
+    ///   `<prefix>.<class>.{matched, delivered, dropped, missed_deadline}`
+    ///   counters (`dropped` folds pressure/capacity/loss/sampling sheds
+    ///   together) and a `<prefix>.<class>.latency_ms` timer merging the
+    ///   class's queueing-delay histograms — every subscription shares one
+    ///   bucket configuration precisely so this merge is exact.
+    ///
+    /// Cancelled subscriptions keep contributing their accumulated counters,
+    /// matching [`EventBus::subscription_stats`].
+    pub fn export_metrics(&self, prefix: &str, metrics: &mut karyon_telemetry::MetricsRegistry) {
+        let published: u64 = self.channels.values().map(|c| c.published).sum();
+        metrics.add(&format!("{prefix}.published"), published);
+        metrics.set_gauge(&format!("{prefix}.subscriptions"), self.subscription_count() as f64);
+        for (class, label) in [
+            (QosClass::Realtime, "realtime"),
+            (QosClass::Batched, "batched"),
+            (QosClass::Background, "background"),
+        ] {
+            let mut matched = 0u64;
+            let mut delivered = 0u64;
+            let mut dropped = 0u64;
+            let mut missed_deadline = 0u64;
+            let (lo, hi, buckets) = LATENCY_HIST_MS;
+            let mut latency = BucketHistogram::new(lo, hi, buckets);
+            for sub in self.subscriptions.iter().filter(|s| s.class == class) {
+                let c = &sub.counters;
+                matched += c.matched;
+                delivered += c.delivered;
+                dropped += c.dropped_pressure + c.dropped_capacity + c.dropped_loss + c.sampled_out;
+                missed_deadline += c.missed_deadline;
+                latency.merge(&sub.latency_ms);
+            }
+            metrics.add(&format!("{prefix}.{label}.matched"), matched);
+            metrics.add(&format!("{prefix}.{label}.delivered"), delivered);
+            metrics.add(&format!("{prefix}.{label}.dropped"), dropped);
+            metrics.add(&format!("{prefix}.{label}.missed_deadline"), missed_deadline);
+            if !latency.is_empty() {
+                metrics.merge_timer(&format!("{prefix}.{label}.latency_ms"), &latency);
+            }
+        }
+    }
+
     fn admitted_rate_excluding(&self, except: TopicId) -> f64 {
         self.channels
             .iter()

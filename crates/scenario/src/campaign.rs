@@ -4,8 +4,10 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use karyon_sim::{splitmix64, SimDuration};
+use karyon_telemetry::{trace, RunCoords, TraceRecord};
 
 use crate::aggregate::{CampaignAccumulator, ChunkPartial, DEFAULT_CHUNK_SIZE};
 use crate::checkpoint::{self, Checkpointer};
@@ -16,6 +18,7 @@ use crate::report::{CampaignReport, PointReport};
 use crate::scenario::{RunRecord, Scenario};
 use crate::sink::{RunMeta, RunSink};
 use crate::spec::{ParamValue, ScenarioSpec};
+use crate::telemetry::CampaignTelemetry;
 
 /// Derives the RNG seed of one run from the campaign seed and the run's
 /// canonical coordinates (global parameter-point index, replication index).
@@ -227,10 +230,23 @@ struct ChunkOutput {
     /// `(global run index, record)` pairs, captured only when a sink needs
     /// them; drained in canonical order by the collector.
     records: Vec<(u64, RunRecord)>,
+    /// `(global run index, trace records)` pairs, captured only when a trace
+    /// sink is attached; drained in canonical order by the collector so the
+    /// trace stream is bit-identical for any worker count.
+    traces: Vec<(u64, Vec<TraceRecord>)>,
+    /// Runs actually executed (the full chunk unless the abort flag cut it
+    /// short).
+    runs: u64,
     /// False when the worker observed the abort flag and stopped mid-chunk:
     /// the output covers only a prefix of the chunk's runs and must never be
     /// merged into the accumulator or covered by a checkpoint watermark.
     completed: bool,
+    /// Wall-clock execution time of the chunk (telemetry only — never part
+    /// of the deterministic report).
+    elapsed: Duration,
+    /// Index of the worker that executed the chunk (0 on the sequential
+    /// path), for per-worker busy-time attribution.
+    worker: usize,
 }
 
 /// Claim/merge coordination: workers may only claim a chunk while it is
@@ -275,6 +291,13 @@ impl ChunkGate {
     /// Wakes every waiting worker (used when aborting).
     fn wake_all(&self) {
         self.ready.notify_all();
+    }
+
+    /// Chunks claimed but not yet merged — the in-flight window's current
+    /// occupancy (telemetry only).
+    fn occupancy(&self) -> usize {
+        let state = self.state.lock().expect("gate lock");
+        state.0 - state.1
     }
 }
 
@@ -568,7 +591,25 @@ impl Campaign {
         registry: &ScenarioRegistry,
         sink: Option<&mut dyn RunSink>,
     ) -> Result<(CampaignReport, RunnerStats), String> {
-        match self.run_from(registry, sink, None, 0, None)? {
+        self.run_instrumented_with(registry, sink, CampaignTelemetry::none())
+    }
+
+    /// Like [`Campaign::run_instrumented`], with a
+    /// [telemetry attachment](CampaignTelemetry): an optional deterministic
+    /// trace sink (fed every run's virtual-time records in canonical run
+    /// order — bit-identical for any worker count) and an optional wall-clock
+    /// [`MetricsRegistry`](karyon_telemetry::MetricsRegistry) of runner
+    /// throughput/latency metrics.
+    ///
+    /// Telemetry never changes the campaign's results: the report (and any
+    /// `sink` stream) is bit-identical to an untraced run's.
+    pub fn run_instrumented_with(
+        &self,
+        registry: &ScenarioRegistry,
+        sink: Option<&mut dyn RunSink>,
+        telemetry: CampaignTelemetry<'_>,
+    ) -> Result<(CampaignReport, RunnerStats), String> {
+        match self.run_from(registry, sink, None, 0, None, telemetry)? {
             (CampaignOutcome::Complete(report), stats) => Ok((report, stats)),
             (CampaignOutcome::Interrupted { .. }, _) => {
                 unreachable!("without a checkpointer the session covers every chunk")
@@ -595,7 +636,21 @@ impl Campaign {
         ckpt: &mut Checkpointer,
         sink: Option<&mut dyn RunSink>,
     ) -> Result<(CampaignOutcome, RunnerStats), String> {
-        self.run_from(registry, sink, Some(ckpt), 0, None)
+        self.run_checkpointed_with(registry, ckpt, sink, CampaignTelemetry::none())
+    }
+
+    /// Like [`Campaign::run_checkpointed`], with a
+    /// [telemetry attachment](CampaignTelemetry).  An attached trace sink is
+    /// flushed (like the run sink) before every manifest write, so the trace
+    /// stream on disk never lags the checkpoint.
+    pub fn run_checkpointed_with(
+        &self,
+        registry: &ScenarioRegistry,
+        ckpt: &mut Checkpointer,
+        sink: Option<&mut dyn RunSink>,
+        telemetry: CampaignTelemetry<'_>,
+    ) -> Result<(CampaignOutcome, RunnerStats), String> {
+        self.run_from(registry, sink, Some(ckpt), 0, None, telemetry)
     }
 
     /// Resumes a checkpointed campaign from the manifest at `ckpt`'s path:
@@ -618,12 +673,27 @@ impl Campaign {
         ckpt: &mut Checkpointer,
         sink: Option<&mut dyn RunSink>,
     ) -> Result<(CampaignOutcome, RunnerStats), String> {
+        self.resume_with(registry, ckpt, sink, CampaignTelemetry::none())
+    }
+
+    /// Like [`Campaign::resume`], with a
+    /// [telemetry attachment](CampaignTelemetry).  A trace sink attached here
+    /// receives only the runs *after* the watermark — appending the resumed
+    /// session's trace stream to the interrupted session's yields a file
+    /// bit-identical to an uninterrupted traced run's.
+    pub fn resume_with(
+        &self,
+        registry: &ScenarioRegistry,
+        ckpt: &mut Checkpointer,
+        sink: Option<&mut dyn RunSink>,
+        telemetry: CampaignTelemetry<'_>,
+    ) -> Result<(CampaignOutcome, RunnerStats), String> {
         let manifest = ckpt.load()?;
         let (points, total_runs) = self.expand_points();
         manifest.validate_for(self, total_runs, points.len(), self.canonical_chunks())?;
         let start_chunk = manifest.chunks_done;
         let accumulator = manifest.into_accumulator();
-        self.run_from(registry, sink, Some(ckpt), start_chunk, Some(accumulator))
+        self.run_from(registry, sink, Some(ckpt), start_chunk, Some(accumulator), telemetry)
     }
 
     /// The shared session runner: executes canonical chunks
@@ -637,6 +707,7 @@ impl Campaign {
         mut ckpt: Option<&mut Checkpointer>,
         start_chunk: usize,
         restored: Option<CampaignAccumulator>,
+        mut telemetry: CampaignTelemetry<'_>,
     ) -> Result<(CampaignOutcome, RunnerStats), String> {
         let (points, total_runs) = self.expand_points();
         let families = self.resolve_families(registry, &points)?;
@@ -659,24 +730,30 @@ impl Campaign {
             peak_pending_chunks: 0,
             peak_resident_records: 0,
         };
+        let tracing = telemetry.tracing();
+        let mut worker_busy = vec![Duration::ZERO; workers];
 
         if workers <= 1 {
             for chunk in start_chunk..end_chunk {
-                let output = self.run_chunk(&points, &families, chunk, sink.is_some(), None)?;
+                let output =
+                    self.run_chunk(&points, &families, chunk, sink.is_some(), tracing, None)?;
                 debug_assert!(output.completed, "no abort flag on the sequential path");
                 stats.peak_pending_chunks = stats.peak_pending_chunks.max(1);
                 stats.peak_resident_records =
                     stats.peak_resident_records.max(output.records.len() as u64);
-                self.merge_chunk(&points, &mut accumulator, output, &mut sink);
+                worker_busy[0] += output.elapsed;
+                self.merge_chunk(&points, &mut accumulator, output, &mut sink, &mut telemetry);
                 self.checkpoint_if_due(
                     &mut ckpt,
                     &mut sink,
+                    &mut telemetry,
                     chunk + 1,
                     end_chunk,
                     total_runs,
                     &accumulator,
                 )?;
             }
+            finish_session_metrics(&mut telemetry, &stats, &worker_busy);
             return Ok(self.conclude(points, total_runs, accumulator, chunks, end_chunk, stats));
         }
 
@@ -693,12 +770,17 @@ impl Campaign {
         let mut saw_aborted_chunk = false;
 
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for worker_index in 0..workers {
                 let tx = tx.clone();
                 let (gate, abort, points, families) = (&gate, &abort, &points, &families);
                 scope.spawn(move || {
                     while let Some(chunk) = gate.claim(end_chunk, window, abort) {
-                        let outcome = self.run_chunk(points, families, chunk, capture, Some(abort));
+                        let outcome = self
+                            .run_chunk(points, families, chunk, capture, tracing, Some(abort))
+                            .map(|mut output| {
+                                output.worker = worker_index;
+                                output
+                            });
                         if outcome.is_err() {
                             abort.store(true, Ordering::Relaxed);
                             gate.wake_all();
@@ -715,6 +797,14 @@ impl Campaign {
             let mut resident_records = 0u64;
             let mut next_merge = start_chunk;
             for (chunk, outcome) in rx {
+                if let Some(metrics) = telemetry.metrics.as_deref_mut() {
+                    // Sampled at every chunk completion: how full the
+                    // in-flight window is (its mean near `window` means the
+                    // merge frontier, not execution, is the bottleneck).
+                    metrics
+                        .configure_timer("campaign.gate_occupancy", 0.0, window as f64, window)
+                        .record(gate.occupancy() as f64);
+                }
                 match outcome {
                     Err(error) => {
                         if first_error.as_ref().map_or(true, |(c, _)| chunk < *c) {
@@ -736,6 +826,7 @@ impl Campaign {
                         // executed.  Drop it, remember the session has a
                         // hole, and keep the window moving so workers drain.
                         saw_aborted_chunk = true;
+                        worker_busy[output.worker] += output.elapsed;
                         gate.advance();
                         if chunk == next_merge {
                             next_merge += 1;
@@ -743,6 +834,7 @@ impl Campaign {
                     }
                     Ok(output) => {
                         resident_records += output.records.len() as u64;
+                        worker_busy[output.worker] += output.elapsed;
                         pending.insert(chunk, output);
                         stats.peak_pending_chunks = stats.peak_pending_chunks.max(pending.len());
                         stats.peak_resident_records =
@@ -760,10 +852,11 @@ impl Campaign {
                         // write a sink tail the next resume truncates.
                         continue;
                     }
-                    self.merge_chunk(&points, &mut accumulator, output, &mut sink);
+                    self.merge_chunk(&points, &mut accumulator, output, &mut sink, &mut telemetry);
                     if let Err(error) = self.checkpoint_if_due(
                         &mut ckpt,
                         &mut sink,
+                        &mut telemetry,
                         next_merge,
                         end_chunk,
                         total_runs,
@@ -780,6 +873,7 @@ impl Campaign {
             }
         });
 
+        finish_session_metrics(&mut telemetry, &stats, &worker_busy);
         if let Some((_, error)) = first_error {
             return Err(error);
         }
@@ -794,12 +888,15 @@ impl Campaign {
     }
 
     /// Writes a checkpoint manifest when the cadence (or the session's final
-    /// boundary) calls for one, flushing the sink first so the JSONL stream
-    /// on disk always covers at least the checkpointed runs.
+    /// boundary) calls for one, flushing the sink — and an attached trace
+    /// sink — first so the streams on disk always cover at least the
+    /// checkpointed runs.
+    #[allow(clippy::too_many_arguments)]
     fn checkpoint_if_due(
         &self,
         ckpt: &mut Option<&mut Checkpointer>,
         sink: &mut Option<&mut dyn RunSink>,
+        telemetry: &mut CampaignTelemetry<'_>,
         chunks_done: usize,
         end_chunk: usize,
         total_runs: u64,
@@ -809,13 +906,29 @@ impl Campaign {
         if !ckpt.due(chunks_done) && chunks_done != end_chunk {
             return Ok(());
         }
+        let flush_started = Instant::now();
         if let Some(sink) = sink {
             sink.flush().map_err(|e| format!("flushing the run sink before a checkpoint: {e}"))?;
         }
+        if let Some(trace_sink) = telemetry.trace.as_deref_mut() {
+            trace_sink
+                .flush()
+                .map_err(|e| format!("flushing the trace sink before a checkpoint: {e}"))?;
+        }
+        let flushed = flush_started.elapsed();
         let runs_done = (chunks_done as u64 * self.chunk_size as u64).min(total_runs);
         let manifest =
             checkpoint::render_manifest(self, total_runs, chunks_done, runs_done, accumulator);
-        ckpt.write(&manifest)
+        let write_started = Instant::now();
+        ckpt.write(&manifest)?;
+        if let Some(metrics) = telemetry.metrics.as_deref_mut() {
+            metrics.record_timer("campaign.sink_flush_ms", flushed.as_secs_f64() * 1e3);
+            metrics.record_timer(
+                "campaign.checkpoint_write_ms",
+                write_started.elapsed().as_secs_f64() * 1e3,
+            );
+        }
+        Ok(())
     }
 
     /// Wraps up a session: the final report when every chunk is merged, the
@@ -910,13 +1023,17 @@ impl Campaign {
         families: &[std::sync::Arc<dyn Scenario>],
         chunk: usize,
         capture: bool,
+        tracing: bool,
         abort: Option<&AtomicBool>,
     ) -> Result<ChunkOutput, String> {
+        let started = Instant::now();
         let total = points.last().map(|p| p.first_run + p.replications).unwrap_or(0);
         let start = (chunk * self.chunk_size) as u64;
         let end = (start + self.chunk_size as u64).min(total);
         let mut partial = ChunkPartial::new();
         let mut records = Vec::new();
+        let mut traces = Vec::new();
+        let mut runs = 0u64;
         let mut completed = true;
         let mut point_index = point_of(points, start);
         for run in start..end {
@@ -929,24 +1046,51 @@ impl Campaign {
             }
             let point = &points[point_index];
             let spec = self.spec_for(point_index, point, run - point.first_run);
-            let record = run_one(&*families[point_index], &spec)?;
+            let record = if tracing {
+                // The collection scope makes every `karyon_telemetry::trace`
+                // call inside the run land in this run's record list; the
+                // records contain only virtual-time data, so the list is a
+                // pure function of the spec.
+                let (record, run_trace) =
+                    trace::collect(|| run_one(&*families[point_index], &spec));
+                traces.push((run, run_trace));
+                record?
+            } else {
+                run_one(&*families[point_index], &spec)?
+            };
             let family = &families[point_index];
             partial.record_run(point_index, &record, &|metric| family.metric_range(metric));
+            runs += 1;
             if capture {
                 records.push((run, record));
             }
         }
-        Ok(ChunkOutput { partial, records, completed })
+        Ok(ChunkOutput {
+            partial,
+            records,
+            traces,
+            runs,
+            completed,
+            elapsed: started.elapsed(),
+            worker: 0,
+        })
     }
 
-    /// Folds one canonical chunk into the campaign accumulator and drains its
-    /// captured records (already in canonical order) into the sink.
+    /// Folds one canonical chunk into the campaign accumulator, drains its
+    /// captured records (already in canonical order) into the sink and its
+    /// trace records into the trace sink, and notes the chunk's wall-clock
+    /// metrics.
+    ///
+    /// Draining traces *here* — at the canonical-order merge frontier, never
+    /// at execution time — is what makes the trace stream bit-identical for
+    /// any worker count.
     fn merge_chunk(
         &self,
         points: &[PointDef],
         accumulator: &mut CampaignAccumulator,
         output: ChunkOutput,
         sink: &mut Option<&mut dyn RunSink>,
+        telemetry: &mut CampaignTelemetry<'_>,
     ) {
         accumulator.merge_chunk(output.partial);
         if let Some(sink) = sink {
@@ -970,6 +1114,30 @@ impl Campaign {
                 sink.on_run(&meta, record);
             }
         }
+        if let Some(trace_sink) = telemetry.trace.as_deref_mut() {
+            let mut point_index = output.traces.first().map(|(run, _)| point_of(points, *run));
+            for (run, run_trace) in &output.traces {
+                let mut index = point_index.expect("traces imply a first trace");
+                while !run_belongs_to(points, index, *run) {
+                    index += 1;
+                }
+                point_index = Some(index);
+                let point = &points[index];
+                let replication = run - point.first_run;
+                let coords = RunCoords {
+                    run_index: *run,
+                    point: index as u64,
+                    replication,
+                    seed: derive_run_seed(self.seed, index as u64, replication),
+                };
+                trace_sink.on_run_records(&coords, run_trace);
+            }
+        }
+        if let Some(metrics) = telemetry.metrics.as_deref_mut() {
+            metrics.inc("campaign.chunks");
+            metrics.add("campaign.runs", output.runs);
+            metrics.record_timer("campaign.chunk_ms", output.elapsed.as_secs_f64() * 1e3);
+        }
     }
 
     /// Builds the final report from the merged accumulator.
@@ -991,6 +1159,24 @@ impl Campaign {
             })
             .collect();
         CampaignReport { name: self.name.clone(), seed: self.seed, total_runs, points: reports }
+    }
+}
+
+/// Writes a session's end-of-run gauges into an attached metrics registry:
+/// the worker count, the runner's peak-memory statistics and each worker's
+/// accumulated busy time (chunk execution only — a worker idling at a full
+/// window accrues nothing, so `busy / wall` per worker reads as utilisation).
+fn finish_session_metrics(
+    telemetry: &mut CampaignTelemetry<'_>,
+    stats: &RunnerStats,
+    worker_busy: &[Duration],
+) {
+    let Some(metrics) = telemetry.metrics.as_deref_mut() else { return };
+    metrics.set_gauge("campaign.workers", stats.workers as f64);
+    metrics.set_gauge("campaign.peak_pending_chunks", stats.peak_pending_chunks as f64);
+    metrics.set_gauge("campaign.peak_resident_records", stats.peak_resident_records as f64);
+    for (index, busy) in worker_busy.iter().enumerate() {
+        metrics.set_gauge(&format!("campaign.worker.{index}.busy_ms"), busy.as_secs_f64() * 1e3);
     }
 }
 
@@ -1148,16 +1334,18 @@ mod tests {
         let (points, _) = campaign.expand_points();
         let families = campaign.resolve_families(&echo_registry(), &points).unwrap();
         let clear = AtomicBool::new(false);
-        let output = campaign.run_chunk(&points, &families, 0, true, Some(&clear)).unwrap();
+        let output = campaign.run_chunk(&points, &families, 0, true, false, Some(&clear)).unwrap();
         assert!(output.completed);
         assert_eq!(output.records.len(), 4);
+        assert_eq!(output.runs, 4);
         // With the abort flag raised, the chunk covers only a prefix (here:
         // nothing) and must say so — the collector relies on this to never
         // merge or checkpoint a hole.
         let raised = AtomicBool::new(true);
-        let output = campaign.run_chunk(&points, &families, 0, true, Some(&raised)).unwrap();
+        let output = campaign.run_chunk(&points, &families, 0, true, false, Some(&raised)).unwrap();
         assert!(!output.completed, "an aborted chunk must flag itself incomplete");
         assert!(output.records.is_empty(), "no run executes after the abort flag");
+        assert_eq!(output.runs, 0);
     }
 
     #[test]

@@ -85,6 +85,8 @@ impl Scenario for MiddlewareQosScenario {
         let period = SimDuration::from_secs_f64(1.0 / rate_hz).max(SimDuration::from_micros(1));
         let end = SimTime::ZERO + spec.duration;
         let mut engine: Engine<EventBus, QosEvent> = Engine::new(bus);
+        // No-op unless a campaign trace scope is active (clamp attribution).
+        karyon_telemetry::observe_engine(&mut engine);
         engine.schedule_at(SimTime::ZERO, QosEvent::Publish);
         if degrade {
             engine.schedule_at(
@@ -234,6 +236,8 @@ impl Scenario for MiddlewareOverloadScenario {
             SimDuration::from_secs_f64(1.0 / rated_hz).max(SimDuration::from_micros(1));
         let end = SimTime::ZERO + spec.duration;
         let mut engine: Engine<EventBus, OverloadEvent> = Engine::new(bus);
+        // No-op unless a campaign trace scope is active (clamp attribution).
+        karyon_telemetry::observe_engine(&mut engine);
         engine.schedule_at(SimTime::ZERO, OverloadEvent::Publish);
         engine.schedule_at(SimTime::ZERO, OverloadEvent::Drain);
         let mut published: u64 = 0;

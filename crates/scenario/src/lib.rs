@@ -35,6 +35,11 @@
 //! * [`RunSink`] / [`JsonlRunWriter`] — optional per-run artifact streaming
 //!   in canonical run order, and [`Campaign::reduce_records`] to re-aggregate
 //!   a captured stream bit-identically;
+//! * [`CampaignTelemetry`] ([`telemetry`]) — optional flight recorder
+//!   attachment: a deterministic virtual-time trace sink (bit-identical for
+//!   any worker count, like the report) plus a wall-clock
+//!   [`MetricsRegistry`](karyon_telemetry::MetricsRegistry) of runner
+//!   throughput/latency metrics;
 //! * [`Checkpointer`] / [`CheckpointManifest`] ([`checkpoint`]) — crash-safe
 //!   campaign checkpointing: atomically written manifests at a canonical-chunk
 //!   cadence, [`Campaign::resume`] to continue a killed or
@@ -80,6 +85,7 @@ pub mod report;
 pub mod scenario;
 pub mod sink;
 pub mod spec;
+pub mod telemetry;
 
 pub use aggregate::DEFAULT_CHUNK_SIZE;
 pub use campaign::{derive_run_seed, Campaign, CampaignEntry, CampaignOutcome, RunnerStats};
@@ -91,3 +97,4 @@ pub use report::{CampaignReport, MetricSummary, PointReport};
 pub use scenario::{RunRecord, Scenario};
 pub use sink::{read_jsonl_records, JsonlRunWriter, RunMeta, RunSink, SyncOnFlushFile};
 pub use spec::{ParamValue, ScenarioSpec};
+pub use telemetry::CampaignTelemetry;

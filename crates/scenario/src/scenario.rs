@@ -2,7 +2,8 @@
 
 use std::collections::BTreeMap;
 
-use karyon_sim::Engine;
+use karyon_sim::{Engine, SimTime};
+use karyon_telemetry::{trace, AttrValue};
 
 use crate::grid::ParamGrid;
 use crate::spec::ScenarioSpec;
@@ -58,8 +59,24 @@ impl RunRecord {
     /// flag causality-suspect runs — otherwise a model that schedules into
     /// the past is silently clamped again, which is exactly what the counter
     /// exists to prevent.
+    /// When a [trace collection scope](karyon_telemetry::trace::collect) is
+    /// active (a campaign running with a trace sink attached), this also
+    /// emits an `engine.run` summary span — so every engine-driven family is
+    /// traceable without touching its code.
     pub fn absorb_engine_clamps<S, E>(&mut self, engine: &Engine<S, E>) {
         self.clamped_schedules += engine.clamped_schedules();
+        if trace::active() {
+            trace::span(
+                "engine.run",
+                SimTime::ZERO,
+                engine.now(),
+                &[
+                    ("processed", AttrValue::U64(engine.processed())),
+                    ("pending", AttrValue::U64(engine.pending() as u64)),
+                    ("clamped", AttrValue::U64(engine.clamped_schedules())),
+                ],
+            );
+        }
     }
 }
 

@@ -9,18 +9,53 @@
 //!   and control loops, which the paper models as periodic tasks below the
 //!   hybridization line).
 
+use std::fmt;
+
 use crate::events::EventQueue;
 use crate::time::{SimDuration, SimTime};
 
-/// Clamps a requested schedule time to `now`, counting the violation: the
-/// single clamp policy shared by [`Engine::schedule_at`] and
-/// [`Context::schedule_at`].
-fn clamp_to_now(now: SimTime, time: SimTime, clamped: &mut u64) -> SimTime {
-    if time < now {
-        *clamped += 1;
-        now
-    } else {
-        time
+/// Observer of an [`Engine`]'s internal transitions, installed with
+/// [`Engine::set_observer`].
+///
+/// Every method has an empty default body, so an observer implements only the
+/// transitions it cares about.  With no observer installed each hook site is
+/// a single `Option` branch, which keeps the unobserved engine at its
+/// original speed — observers exist for instrumentation (tracing,
+/// queue-depth profiling), not for simulation logic: they receive shared
+/// references only and cannot influence the run.
+///
+/// The observer sees:
+/// * [`on_schedule`](EngineObserver::on_schedule) — every accepted schedule
+///   (engine- or context-side), with the post-clamp firing time;
+/// * [`on_clamp`](EngineObserver::on_clamp) — every causality clamp, with the
+///   originally requested (past) time and the event, so clamp diagnostics can
+///   carry the event's own label;
+/// * [`on_pop`](EngineObserver::on_pop) — every event dispatch, with the
+///   number of events still pending after the pop;
+/// * [`on_stop`](EngineObserver::on_stop) — a handler's [`Context::stop`]
+///   taking effect.
+pub trait EngineObserver<E> {
+    /// An event was accepted for execution at (post-clamp) time `time`.
+    fn on_schedule(&mut self, now: SimTime, time: SimTime, event: &E) {
+        let _ = (now, time, event);
+    }
+
+    /// A schedule requested the past time `requested` and was clamped to
+    /// `now`.  Fires in addition to (before) the matching
+    /// [`on_schedule`](EngineObserver::on_schedule).
+    fn on_clamp(&mut self, now: SimTime, requested: SimTime, event: &E) {
+        let _ = (now, requested, event);
+    }
+
+    /// An event is about to be handled at `time`; `depth` is the queue length
+    /// after the pop.
+    fn on_pop(&mut self, time: SimTime, event: &E, depth: usize) {
+        let _ = (time, event, depth);
+    }
+
+    /// A handler requested a stop; the run loop exits after this event.
+    fn on_stop(&mut self, now: SimTime) {
+        let _ = now;
     }
 }
 
@@ -30,17 +65,36 @@ fn clamp_to_now(now: SimTime, time: SimTime, clamped: &mut u64) -> SimTime {
 /// events are staged in the context and merged after the handler returns.  The
 /// staging buffer is owned by the engine and reused across events, so steady
 /// -state event handling allocates nothing.
-#[derive(Debug)]
 pub struct Context<'a, E> {
     now: SimTime,
     staged: &'a mut Vec<(SimTime, E)>,
     stop_requested: bool,
     clamped: u64,
+    observer: Option<&'a mut (dyn EngineObserver<E> + 'a)>,
+}
+
+impl<E> fmt::Debug for Context<'_, E>
+where
+    E: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("now", &self.now)
+            .field("staged", &self.staged)
+            .field("stop_requested", &self.stop_requested)
+            .field("clamped", &self.clamped)
+            .field("observed", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl<'a, E> Context<'a, E> {
-    fn new(now: SimTime, staged: &'a mut Vec<(SimTime, E)>) -> Self {
-        Context { now, staged, stop_requested: false, clamped: 0 }
+    fn new(
+        now: SimTime,
+        staged: &'a mut Vec<(SimTime, E)>,
+        observer: Option<&'a mut (dyn EngineObserver<E> + 'a)>,
+    ) -> Self {
+        Context { now, staged, stop_requested: false, clamped: 0, observer }
     }
 
     /// The current simulation time (the firing time of the event being handled).
@@ -53,13 +107,29 @@ impl<'a, E> Context<'a, E> {
     /// surfaced through [`Engine::clamped_schedules`], because a model that
     /// schedules into the past is usually a model with a causality bug.
     pub fn schedule_at(&mut self, time: SimTime, event: E) {
-        let t = clamp_to_now(self.now, time, &mut self.clamped);
+        // Clamp policy: identical to `Engine::schedule_at` — keep in sync.
+        let t = if time < self.now {
+            self.clamped += 1;
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_clamp(self.now, time, &event);
+            }
+            self.now
+        } else {
+            time
+        };
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_schedule(self.now, t, &event);
+        }
         self.staged.push((t, event));
     }
 
     /// Schedules an event `delay` after the current time.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
-        self.staged.push((self.now + delay, event));
+        let t = self.now + delay;
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_schedule(self.now, t, &event);
+        }
+        self.staged.push((t, event));
     }
 
     /// Requests that the simulation stop after the current event is processed.
@@ -74,7 +144,6 @@ impl<'a, E> Context<'a, E> {
 /// by a closure passed to [`Engine::run`] / [`Engine::run_until`], which keeps
 /// the engine free of trait-object plumbing and lets each experiment define
 /// its own event enum.
-#[derive(Debug)]
 pub struct Engine<S, E> {
     state: S,
     queue: EventQueue<E>,
@@ -83,6 +152,25 @@ pub struct Engine<S, E> {
     clamped: u64,
     /// Reusable staging buffer lent to the per-event [`Context`].
     staged: Vec<(SimTime, E)>,
+    observer: Option<Box<dyn EngineObserver<E>>>,
+}
+
+impl<S, E> fmt::Debug for Engine<S, E>
+where
+    S: fmt::Debug,
+    E: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("state", &self.state)
+            .field("queue", &self.queue)
+            .field("now", &self.now)
+            .field("processed", &self.processed)
+            .field("clamped", &self.clamped)
+            .field("staged", &self.staged)
+            .field("observed", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl<S, E> Engine<S, E> {
@@ -95,7 +183,23 @@ impl<S, E> Engine<S, E> {
             processed: 0,
             clamped: 0,
             staged: Vec::new(),
+            observer: None,
         }
+    }
+
+    /// Installs an [`EngineObserver`] that will see every schedule, clamp,
+    /// pop and stop from here on.  Replaces any previous observer.
+    ///
+    /// Observation is strictly read-only instrumentation: observers never
+    /// change what the engine does, only record it, so an observed run and an
+    /// unobserved run of the same model are identical.
+    pub fn set_observer(&mut self, observer: Box<dyn EngineObserver<E>>) {
+        self.observer = Some(observer);
+    }
+
+    /// Removes and returns the installed observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn EngineObserver<E>>> {
+        self.observer.take()
     }
 
     /// Current simulation time.
@@ -135,13 +239,29 @@ impl<S, E> Engine<S, E> {
     /// Schedules an event at an absolute simulation time (clamped to now).
     /// Clamps are counted in [`Engine::clamped_schedules`].
     pub fn schedule_at(&mut self, time: SimTime, event: E) {
-        let t = clamp_to_now(self.now, time, &mut self.clamped);
+        // Clamp policy: identical to `Context::schedule_at` — keep in sync.
+        let t = if time < self.now {
+            self.clamped += 1;
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_clamp(self.now, time, &event);
+            }
+            self.now
+        } else {
+            time
+        };
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_schedule(self.now, t, &event);
+        }
         self.queue.schedule(t, event);
     }
 
     /// Schedules an event `delay` after the current time.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
-        self.queue.schedule(self.now + delay, event);
+        let t = self.now + delay;
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_schedule(self.now, t, &event);
+        }
+        self.queue.schedule(t, event);
     }
 
     /// Number of pending events.
@@ -178,7 +298,14 @@ impl<S, E> Engine<S, E> {
         let mut count = 0;
         while let Some((t, ev)) = self.queue.pop_until(deadline) {
             self.now = t;
-            let mut ctx = Context::new(t, &mut self.staged);
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_pop(t, &ev, self.queue.len());
+            }
+            let observer: Option<&mut (dyn EngineObserver<E> + '_)> = match &mut self.observer {
+                Some(obs) => Some(obs.as_mut()),
+                None => None,
+            };
+            let mut ctx = Context::new(t, &mut self.staged, observer);
             handler(&mut self.state, &mut ctx, ev);
             let (stop, clamped) = (ctx.stop_requested, ctx.clamped);
             for (time, event) in self.staged.drain(..) {
@@ -188,6 +315,9 @@ impl<S, E> Engine<S, E> {
             self.processed += 1;
             count += 1;
             if stop {
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_stop(self.now);
+                }
                 break;
             }
         }
@@ -338,6 +468,69 @@ mod tests {
         assert_eq!(engine.clamped_schedules(), 1);
         engine.run(|c, _, _| *c += 1);
         assert_eq!(*engine.state(), 2);
+    }
+
+    #[test]
+    fn observer_sees_schedules_clamps_pops_and_stop() {
+        #[derive(Default)]
+        struct Log(std::rc::Rc<RefCell<Vec<String>>>);
+        use std::cell::RefCell;
+        impl EngineObserver<Ev> for Log {
+            fn on_schedule(&mut self, now: SimTime, time: SimTime, _ev: &Ev) {
+                self.0.borrow_mut().push(format!(
+                    "sched {}->{}",
+                    now.as_millis(),
+                    time.as_millis()
+                ));
+            }
+            fn on_clamp(&mut self, now: SimTime, requested: SimTime, ev: &Ev) {
+                self.0.borrow_mut().push(format!(
+                    "clamp {}<-{} {ev:?}",
+                    now.as_millis(),
+                    requested.as_millis()
+                ));
+            }
+            fn on_pop(&mut self, time: SimTime, _ev: &Ev, depth: usize) {
+                self.0.borrow_mut().push(format!("pop {} depth {depth}", time.as_millis()));
+            }
+            fn on_stop(&mut self, now: SimTime) {
+                self.0.borrow_mut().push(format!("stop {}", now.as_millis()));
+            }
+        }
+
+        let log = Log::default();
+        let lines = log.0.clone();
+        let mut engine: Engine<u32, Ev> = Engine::new(0);
+        engine.set_observer(Box::new(log));
+        engine.schedule_at(SimTime::from_millis(10), Ev::Ping(0));
+        engine.run(|n, ctx, ev| {
+            *n += 1;
+            if ev == Ev::Ping(0) {
+                // One clamped (past-time) and one forward schedule from the
+                // handler context — both must be observed.
+                ctx.schedule_at(SimTime::from_millis(1), Ev::Ping(1));
+                ctx.schedule_in(SimDuration::from_millis(5), Ev::Stop);
+            }
+            if ev == Ev::Stop {
+                ctx.stop();
+            }
+        });
+        assert_eq!(
+            *lines.borrow(),
+            vec![
+                "sched 0->10",
+                "pop 10 depth 0",
+                "clamp 10<-1 Ping(1)",
+                "sched 10->10",
+                "sched 10->15",
+                "pop 10 depth 1",
+                "pop 15 depth 0",
+                "stop 15",
+            ]
+        );
+        assert_eq!(engine.clamped_schedules(), 1, "observation does not change counting");
+        assert!(engine.take_observer().is_some());
+        assert!(engine.take_observer().is_none());
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod stats;
 pub mod table;
 pub mod time;
 
-pub use engine::{Context, Engine, FixedStepSim};
+pub use engine::{Context, Engine, EngineObserver, FixedStepSim};
 pub use events::{EventQueue, HeapEventQueue};
 pub use geometry::{Vec2, Vec3};
 pub use rng::{splitmix64, Rng};

@@ -22,9 +22,10 @@ use std::process::ExitCode;
 
 use karyon::scenario::{
     builtin_registry, read_jsonl_records, truncate_jsonl, Campaign, CampaignOutcome,
-    CampaignReport, Checkpointer, JsonlRunWriter, RunMeta, RunRecord, RunSink, RunnerStats,
-    ScenarioRegistry, SyncOnFlushFile,
+    CampaignReport, CampaignTelemetry, Checkpointer, JsonlRunWriter, RunMeta, RunRecord, RunSink,
+    RunnerStats, ScenarioRegistry, SyncOnFlushFile,
 };
+use karyon::telemetry::{JsonlTraceWriter, MetricsRegistry};
 
 const USAGE: &str = "\
 karyon-campaign — declarative KARYON simulation campaigns: run, checkpoint, resume, report
@@ -44,7 +45,15 @@ OPTIONS:
     --max-chunks <chunks> bounded work slice: stop (with a checkpoint) after N chunks
     --threads <n>         worker threads (0 = machine parallelism; overrides the spec)
     --output <mode>       report rendering: json | table | both          [default: table]
+                          (json for run/resume is an envelope: {\"report\", \"runner\",
+                          \"metrics\"?} — the report member stays bit-identical)
     --metric <name>       also render the per-point table of one metric (repeatable)
+    --trace-dir <dir>     stream deterministic virtual-time trace records to
+                          <dir>/<campaign>.trace.jsonl (bit-identical for any
+                          --threads value; resume continues the stream)
+    --metrics <path>      collect wall-clock runner metrics (chunk latency, worker
+                          busy time, checkpoint cost...) and write the JSON
+                          snapshot to <path>; also embedded in --output json
     --quiet               suppress the progress line on stderr
     --force               run: discard an existing checkpoint of this campaign and start over
                           (without it, `run` refuses to overwrite checkpointed progress)
@@ -69,6 +78,8 @@ struct CommonArgs {
     threads: Option<usize>,
     output: OutputMode,
     metrics: Vec<String>,
+    trace_dir: Option<String>,
+    metrics_path: Option<String>,
     quiet: bool,
     force: bool,
 }
@@ -117,6 +128,8 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
         threads: None,
         output: OutputMode::Table,
         metrics: Vec::new(),
+        trace_dir: None,
+        metrics_path: None,
         quiet: false,
         force: false,
     };
@@ -150,6 +163,8 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
                 }
             }
             "--metric" => parsed.metrics.push(value_of("--metric")?),
+            "--trace-dir" => parsed.trace_dir = Some(value_of("--trace-dir")?),
+            "--metrics" => parsed.metrics_path = Some(value_of("--metrics")?),
             "--quiet" => parsed.quiet = true,
             "--force" => parsed.force = true,
             flag if flag.starts_with('-') => return Err(format!("unknown option {flag:?}")),
@@ -171,6 +186,19 @@ fn parse_count(flag: &str, raw: &str) -> Result<usize, String> {
         .ok_or_else(|| format!("{flag}: {raw:?} is not a positive integer"))
 }
 
+/// `"42s"`, `"3m07s"` or `"2h05m"` — coarse on purpose: an ETA pretending
+/// to sub-second precision would only flicker.
+fn format_eta(seconds: f64) -> String {
+    let s = seconds.ceil().max(0.0) as u64;
+    if s < 60 {
+        format!("{s}s")
+    } else if s < 3_600 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{}h{:02}m", s / 3_600, (s % 3_600) / 60)
+    }
+}
+
 fn load_campaign(args: &CommonArgs) -> Result<Campaign, String> {
     let text = std::fs::read_to_string(&args.spec_path)
         .map_err(|e| format!("cannot read spec {:?}: {e}", args.spec_path))?;
@@ -190,6 +218,7 @@ struct ProgressSink<W: std::io::Write> {
     offset: u64,
     total: u64,
     quiet: bool,
+    started: std::time::Instant,
     last_render: std::time::Instant,
 }
 
@@ -201,6 +230,7 @@ impl<W: std::io::Write> ProgressSink<W> {
             offset,
             total,
             quiet,
+            started: std::time::Instant::now(),
             last_render: std::time::Instant::now(),
         }
     }
@@ -217,7 +247,15 @@ impl<W: std::io::Write> ProgressSink<W> {
         let covered = self.offset + self.done;
         let percent =
             if self.total == 0 { 100.0 } else { covered as f64 * 100.0 / self.total as f64 };
-        eprint!("\r{covered}/{} runs ({percent:.1}%)   ", self.total);
+        // Throughput and ETA from *this session's* runs only — a resumed
+        // campaign's checkpointed offset says nothing about the current rate.
+        let rate = self.done as f64 / self.started.elapsed().as_secs_f64().max(1e-9);
+        let eta = if rate > 0.0 && covered < self.total {
+            format_eta((self.total - covered) as f64 / rate)
+        } else {
+            "--".to_string()
+        };
+        eprint!("\r{covered}/{} runs ({percent:.1}%, {rate:.0} runs/s, ETA {eta})   ", self.total);
         let _ = std::io::stderr().flush();
     }
 
@@ -292,6 +330,16 @@ fn cmd_run(args: CommonArgs, resuming: bool) -> Result<(), String> {
                 ));
             }
         }
+        if let Some(dir) = &args.trace_dir {
+            let path = trace_path(dir, campaign.name());
+            if std::fs::metadata(&path).map(|m| m.len() > 0).unwrap_or(false) {
+                return Err(format!(
+                    "trace stream {path:?} already holds data — `run` starts a fresh stream \
+                     and would truncate it; use `resume` to continue it, or pass --force to \
+                     discard it and start over"
+                ));
+            }
+        }
     }
 
     let mut checkpointer = args.checkpoint.as_ref().map(|path| {
@@ -325,6 +373,12 @@ fn cmd_run(args: CommonArgs, resuming: bool) -> Result<(), String> {
         if let Some(jsonl_path) = &args.jsonl {
             truncate_jsonl(std::path::Path::new(jsonl_path), offset)?;
         }
+        if let Some(dir) = &args.trace_dir {
+            // Same recovery as the run stream: cut the trace stream back to
+            // exactly the checkpointed runs, then append — the final file is
+            // bit-identical to an uninterrupted traced run's.
+            truncate_trace_jsonl(&trace_path(dir, campaign.name()), offset)?;
+        }
         if !args.quiet {
             eprintln!(
                 "resuming campaign {:?} from chunk watermark {} ({offset}/{total} runs done)",
@@ -353,24 +407,69 @@ fn cmd_run(args: CommonArgs, resuming: bool) -> Result<(), String> {
         })
         .transpose()?;
 
+    // The telemetry attachment: a deterministic trace stream under
+    // --trace-dir and/or a wall-clock metrics registry for --metrics.
+    let mut trace = args
+        .trace_dir
+        .as_ref()
+        .map(|dir| {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create --trace-dir {dir:?}: {e}"))?;
+            let path = trace_path(dir, campaign.name());
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(resuming)
+                .write(true)
+                .truncate(!resuming)
+                .open(&path)
+                .map_err(|e| format!("cannot open trace stream {path:?}: {e}"))?;
+            // Sync-on-flush for the same reason as the run stream: a
+            // checkpoint manifest must never cover trace lines that have not
+            // reached stable storage.
+            Ok::<_, String>(JsonlTraceWriter::new(SyncOnFlushFile::new(file)))
+        })
+        .transpose()?;
+    let mut metrics = args.metrics_path.as_ref().map(|_| MetricsRegistry::new());
+
     let mut progress = ProgressSink::new(jsonl, offset, total, args.quiet);
     let started = std::time::Instant::now();
-    let (outcome, stats) = match (&mut checkpointer, resuming) {
-        (Some(ckpt), true) => campaign.resume(&registry, ckpt, Some(&mut progress))?,
-        (Some(ckpt), false) => campaign.run_checkpointed(&registry, ckpt, Some(&mut progress))?,
-        (None, _) => {
-            let (report, stats) = campaign.run_instrumented(&registry, Some(&mut progress))?;
-            (CampaignOutcome::Complete(report), stats)
+    let (outcome, stats) = {
+        let mut telemetry = CampaignTelemetry::none();
+        if let Some(trace) = trace.as_mut() {
+            telemetry = telemetry.with_trace(trace);
+        }
+        if let Some(metrics) = metrics.as_mut() {
+            telemetry = telemetry.with_metrics(metrics);
+        }
+        match (&mut checkpointer, resuming) {
+            (Some(ckpt), true) => {
+                campaign.resume_with(&registry, ckpt, Some(&mut progress), telemetry)?
+            }
+            (Some(ckpt), false) => {
+                campaign.run_checkpointed_with(&registry, ckpt, Some(&mut progress), telemetry)?
+            }
+            (None, _) => {
+                let (report, stats) =
+                    campaign.run_instrumented_with(&registry, Some(&mut progress), telemetry)?;
+                (CampaignOutcome::Complete(report), stats)
+            }
         }
     };
     progress.finish_line();
     if let Some(jsonl) = progress.jsonl.take() {
         jsonl.finish().map_err(|e| format!("finishing the JSONL stream: {e}"))?;
     }
+    if let Some(trace) = trace.take() {
+        trace.into_inner().map_err(|e| format!("finishing the trace stream: {e}"))?;
+    }
+    if let (Some(path), Some(metrics)) = (&args.metrics_path, &metrics) {
+        std::fs::write(path, format!("{}\n", metrics.to_json()))
+            .map_err(|e| format!("cannot write the metrics snapshot {path:?}: {e}"))?;
+    }
 
     match outcome {
         CampaignOutcome::Complete(report) => {
-            summarize(&stats, started.elapsed(), &args, &report)?;
+            summarize(&stats, started.elapsed(), &args, &report, metrics.as_ref())?;
             Ok(())
         }
         CampaignOutcome::Interrupted { chunks_done, runs_done } => {
@@ -551,6 +650,7 @@ fn summarize(
     elapsed: std::time::Duration,
     args: &CommonArgs,
     report: &CampaignReport,
+    metrics: Option<&MetricsRegistry>,
 ) -> Result<(), String> {
     if !args.quiet {
         let rate = report.total_runs as f64 / elapsed.as_secs_f64().max(1e-9);
@@ -563,20 +663,108 @@ fn summarize(
             report.suspect_runs()
         );
     }
-    render(args, report)
+    render_with(args, report, Some(stats), metrics)
 }
 
+/// Rendering for the `report` subcommand: no runner existed, so the JSON
+/// output is the plain report (and the table has no runner footer).
 fn render(args: &CommonArgs, report: &CampaignReport) -> Result<(), String> {
+    render_with(args, report, None, None)
+}
+
+/// Renders a report plus, when a runner executed it, the session's
+/// [`RunnerStats`] (table footer / `runner` envelope member) and collected
+/// metrics snapshot (`metrics` envelope member).  The envelope keeps the
+/// `report` member bit-identical to the untraced plain report — execution
+/// statistics never leak into the deterministic part.
+fn render_with(
+    args: &CommonArgs,
+    report: &CampaignReport,
+    runner: Option<&RunnerStats>,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<(), String> {
     if matches!(args.output, OutputMode::Table | OutputMode::Both) {
         for metric in &args.metrics {
             report.metric_table(metric).print();
         }
         report.summary_table().print();
+        if let Some(stats) = runner {
+            println!(
+                "runner: {} workers, {} chunks this session, peak {} pending chunks, peak {} \
+                 resident records",
+                stats.workers, stats.chunks, stats.peak_pending_chunks, stats.peak_resident_records
+            );
+        }
     }
     if matches!(args.output, OutputMode::Json | OutputMode::Both) {
-        println!("{}", report.to_json());
+        match runner {
+            None => println!("{}", report.to_json()),
+            Some(stats) => {
+                let mut out = String::from("{\"report\":");
+                out.push_str(&report.to_json());
+                out.push_str(&format!(
+                    ",\"runner\":{{\"workers\":{},\"chunks\":{},\"peak_pending_chunks\":{},\
+                     \"peak_resident_records\":{}}}",
+                    stats.workers,
+                    stats.chunks,
+                    stats.peak_pending_chunks,
+                    stats.peak_resident_records
+                ));
+                if let Some(metrics) = metrics {
+                    out.push_str(",\"metrics\":");
+                    out.push_str(&metrics.to_json());
+                }
+                out.push('}');
+                println!("{out}");
+            }
+        }
     }
     Ok(())
+}
+
+/// The per-campaign trace stream path under `--trace-dir`.
+fn trace_path(dir: &str, campaign: &str) -> std::path::PathBuf {
+    std::path::Path::new(dir).join(format!("{campaign}.trace.jsonl"))
+}
+
+/// Cuts a trace stream back to the records of runs below `runs_done` (the
+/// checkpoint watermark), so a resumed session can append to it.  Unlike the
+/// run stream — one line per run, cut by line count — a run traces any
+/// number of lines, but every line leads with its canonical run index
+/// (`{"run":N,...`), so the watermark cut is a prefix scan.  A torn trailing
+/// line from a crashed session is dropped along with everything at or past
+/// the watermark.
+fn truncate_trace_jsonl(path: &std::path::Path, runs_done: u64) -> Result<(), String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(format!("cannot read trace stream {path:?}: {e}")),
+    };
+    let mut keep = 0usize;
+    let mut rest = text.as_str();
+    while let Some(nl) = rest.find('\n') {
+        match trace_line_run(&rest[..nl]) {
+            Some(run) if run < runs_done => keep += nl + 1,
+            _ => break,
+        }
+        rest = &rest[nl + 1..];
+    }
+    if keep < text.len() {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| format!("cannot open trace stream {path:?} for truncation: {e}"))?;
+        file.set_len(keep as u64)
+            .map_err(|e| format!("cannot truncate trace stream {path:?}: {e}"))?;
+        file.sync_all().map_err(|e| format!("cannot sync trace stream {path:?}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Parses the canonical run index a trace line leads with.
+fn trace_line_run(line: &str) -> Option<u64> {
+    let rest = line.strip_prefix("{\"run\":")?;
+    rest[..rest.find(',')?].parse().ok()
 }
 
 #[cfg(test)]

@@ -4,6 +4,8 @@
 //! names so examples and integration tests can use a single dependency:
 //!
 //! * [`sim`] — deterministic discrete-event simulation substrate
+//! * [`telemetry`] — deterministic virtual-time tracing and the unified
+//!   wall-clock metrics registry (the campaign flight recorder)
 //! * [`sensors`] — abstract sensors, fault model, validity, fusion (paper §IV)
 //! * [`net`] — wireless medium, R2T-MAC, self-stabilizing TDMA, E2E FIFO (§V-A)
 //! * [`middleware`] — FAMOUSO-style event channels with QoS (§V-B)
@@ -45,4 +47,5 @@ pub use karyon_net as net;
 pub use karyon_scenario as scenario;
 pub use karyon_sensors as sensors;
 pub use karyon_sim as sim;
+pub use karyon_telemetry as telemetry;
 pub use karyon_vehicles as vehicles;
