@@ -11,8 +11,10 @@ use karyon_telemetry::{trace, RunCoords, TraceRecord};
 
 use crate::aggregate::{CampaignAccumulator, ChunkPartial, DEFAULT_CHUNK_SIZE};
 use crate::checkpoint::{self, Checkpointer};
+use crate::fault::FaultInjector;
 use crate::grid::ParamGrid;
 use crate::json::JsonValue;
+use crate::recovery::WallClockBackoff;
 use crate::registry::ScenarioRegistry;
 use crate::report::{CampaignReport, PointReport};
 use crate::scenario::{RunRecord, Scenario};
@@ -609,7 +611,7 @@ impl Campaign {
         sink: Option<&mut dyn RunSink>,
         telemetry: CampaignTelemetry<'_>,
     ) -> Result<(CampaignReport, RunnerStats), String> {
-        match self.run_from(registry, sink, None, 0, None, telemetry)? {
+        match self.run_from(registry, sink, None, 0, None, telemetry, None)? {
             (CampaignOutcome::Complete(report), stats) => Ok((report, stats)),
             (CampaignOutcome::Interrupted { .. }, _) => {
                 unreachable!("without a checkpointer the session covers every chunk")
@@ -650,7 +652,30 @@ impl Campaign {
         sink: Option<&mut dyn RunSink>,
         telemetry: CampaignTelemetry<'_>,
     ) -> Result<(CampaignOutcome, RunnerStats), String> {
-        self.run_from(registry, sink, Some(ckpt), 0, None, telemetry)
+        self.run_from(registry, sink, Some(ckpt), 0, None, telemetry, None)
+    }
+
+    /// Like [`Campaign::run_checkpointed_with`], executing under an armed
+    /// [`FaultInjector`]: the runner probes the injector at its canonical
+    /// points (chunk claims, per-run boundaries, pre-checkpoint sink flushes,
+    /// post-manifest writes) and injected failures surface as ordinary runner
+    /// errors carrying [`crate::fault::INJECTED_PREFIX`].
+    ///
+    /// Transient injected sink errors are healed in place by the
+    /// checkpointer's [retry policy](Checkpointer::with_retry); fatal ones
+    /// (worker death, torn manifests, mid-chunk aborts) end the session like
+    /// a crash would, leaving checkpoint state a later
+    /// [`Campaign::resume_chaos`] (or plain [`Campaign::resume`]) continues
+    /// from — with a final report **bit-identical** to a fault-free run's.
+    pub fn run_checkpointed_chaos(
+        &self,
+        registry: &ScenarioRegistry,
+        ckpt: &mut Checkpointer,
+        sink: Option<&mut dyn RunSink>,
+        telemetry: CampaignTelemetry<'_>,
+        faults: &FaultInjector,
+    ) -> Result<(CampaignOutcome, RunnerStats), String> {
+        self.run_from(registry, sink, Some(ckpt), 0, None, telemetry, Some(faults))
     }
 
     /// Resumes a checkpointed campaign from the manifest at `ckpt`'s path:
@@ -693,13 +718,41 @@ impl Campaign {
         manifest.validate_for(self, total_runs, points.len(), self.canonical_chunks())?;
         let start_chunk = manifest.chunks_done;
         let accumulator = manifest.into_accumulator();
-        self.run_from(registry, sink, Some(ckpt), start_chunk, Some(accumulator), telemetry)
+        self.run_from(registry, sink, Some(ckpt), start_chunk, Some(accumulator), telemetry, None)
+    }
+
+    /// Like [`Campaign::resume_with`], continuing under an armed
+    /// [`FaultInjector`] — the resumed session of a chaos drill, sharing the
+    /// injector (and its spent fault budgets) with the session that crashed.
+    pub fn resume_chaos(
+        &self,
+        registry: &ScenarioRegistry,
+        ckpt: &mut Checkpointer,
+        sink: Option<&mut dyn RunSink>,
+        telemetry: CampaignTelemetry<'_>,
+        faults: &FaultInjector,
+    ) -> Result<(CampaignOutcome, RunnerStats), String> {
+        let manifest = ckpt.load()?;
+        let (points, total_runs) = self.expand_points();
+        manifest.validate_for(self, total_runs, points.len(), self.canonical_chunks())?;
+        let start_chunk = manifest.chunks_done;
+        let accumulator = manifest.into_accumulator();
+        self.run_from(
+            registry,
+            sink,
+            Some(ckpt),
+            start_chunk,
+            Some(accumulator),
+            telemetry,
+            Some(faults),
+        )
     }
 
     /// The shared session runner: executes canonical chunks
     /// `start_chunk..end` (where `end` is the chunk count, or earlier for a
     /// bounded checkpoint session) on 1..N workers, merging strictly in
     /// canonical order into `restored` (or a fresh accumulator).
+    #[allow(clippy::too_many_arguments)]
     fn run_from(
         &self,
         registry: &ScenarioRegistry,
@@ -708,6 +761,7 @@ impl Campaign {
         start_chunk: usize,
         restored: Option<CampaignAccumulator>,
         mut telemetry: CampaignTelemetry<'_>,
+        faults: Option<&FaultInjector>,
     ) -> Result<(CampaignOutcome, RunnerStats), String> {
         let (points, total_runs) = self.expand_points();
         let families = self.resolve_families(registry, &points)?;
@@ -735,15 +789,29 @@ impl Campaign {
 
         if workers <= 1 {
             for chunk in start_chunk..end_chunk {
-                let output =
-                    self.run_chunk(&points, &families, chunk, sink.is_some(), tracing, None)?;
+                let outcome = self.run_chunk(
+                    &points,
+                    &families,
+                    chunk,
+                    sink.is_some(),
+                    tracing,
+                    None,
+                    faults,
+                );
+                let output = match outcome {
+                    Ok(output) => output,
+                    Err(error) => {
+                        finish_session_metrics(&mut telemetry, &stats, &worker_busy, faults);
+                        return Err(error);
+                    }
+                };
                 debug_assert!(output.completed, "no abort flag on the sequential path");
                 stats.peak_pending_chunks = stats.peak_pending_chunks.max(1);
                 stats.peak_resident_records =
                     stats.peak_resident_records.max(output.records.len() as u64);
                 worker_busy[0] += output.elapsed;
                 self.merge_chunk(&points, &mut accumulator, output, &mut sink, &mut telemetry);
-                self.checkpoint_if_due(
+                if let Err(error) = self.checkpoint_if_due(
                     &mut ckpt,
                     &mut sink,
                     &mut telemetry,
@@ -751,9 +819,13 @@ impl Campaign {
                     end_chunk,
                     total_runs,
                     &accumulator,
-                )?;
+                    faults,
+                ) {
+                    finish_session_metrics(&mut telemetry, &stats, &worker_busy, faults);
+                    return Err(error);
+                }
             }
-            finish_session_metrics(&mut telemetry, &stats, &worker_busy);
+            finish_session_metrics(&mut telemetry, &stats, &worker_busy, faults);
             return Ok(self.conclude(points, total_runs, accumulator, chunks, end_chunk, stats));
         }
 
@@ -776,7 +848,15 @@ impl Campaign {
                 scope.spawn(move || {
                     while let Some(chunk) = gate.claim(end_chunk, window, abort) {
                         let outcome = self
-                            .run_chunk(points, families, chunk, capture, tracing, Some(abort))
+                            .run_chunk(
+                                points,
+                                families,
+                                chunk,
+                                capture,
+                                tracing,
+                                Some(abort),
+                                faults,
+                            )
                             .map(|mut output| {
                                 output.worker = worker_index;
                                 output
@@ -861,6 +941,7 @@ impl Campaign {
                         end_chunk,
                         total_runs,
                         &accumulator,
+                        faults,
                     ) {
                         // A checkpoint that cannot be persisted voids the
                         // crash-safety contract: wind the campaign down
@@ -873,7 +954,7 @@ impl Campaign {
             }
         });
 
-        finish_session_metrics(&mut telemetry, &stats, &worker_busy);
+        finish_session_metrics(&mut telemetry, &stats, &worker_busy, faults);
         if let Some((_, error)) = first_error {
             return Err(error);
         }
@@ -891,6 +972,12 @@ impl Campaign {
     /// boundary) calls for one, flushing the sink — and an attached trace
     /// sink — first so the streams on disk always cover at least the
     /// checkpointed runs.
+    ///
+    /// Every I/O edge here (sink flush, trace flush, manifest write) runs
+    /// under the checkpointer's [`RetryPolicy`](crate::RetryPolicy): transient
+    /// failures — including injected [`Fault::SinkIoError`](crate::Fault)s —
+    /// heal with bounded backoff, and only the last error of an exhausted
+    /// budget propagates.
     #[allow(clippy::too_many_arguments)]
     fn checkpoint_if_due(
         &self,
@@ -901,32 +988,68 @@ impl Campaign {
         end_chunk: usize,
         total_runs: u64,
         accumulator: &CampaignAccumulator,
+        faults: Option<&FaultInjector>,
     ) -> Result<(), String> {
         let Some(ckpt) = ckpt else { return Ok(()) };
         if !ckpt.due(chunks_done) && chunks_done != end_chunk {
             return Ok(());
         }
+        let policy = ckpt.retry().clone();
+        let mut backoff = WallClockBackoff;
+        let mut extra_attempts = 0u32;
         let flush_started = Instant::now();
         if let Some(sink) = sink {
-            sink.flush().map_err(|e| format!("flushing the run sink before a checkpoint: {e}"))?;
+            match policy.run(&mut backoff, |_| {
+                if let Some(injector) = faults {
+                    if let Some(e) = injector.sink_flush_error(chunks_done) {
+                        return Err(e);
+                    }
+                }
+                sink.flush()
+            }) {
+                Ok(recovered) => extra_attempts += recovered.retried(),
+                Err(e) => {
+                    note_retry_exhausted(telemetry, extra_attempts + policy.max_attempts() - 1);
+                    return Err(format!("flushing the run sink before a checkpoint: {e}"));
+                }
+            }
         }
+        let mut trace_error: Option<std::io::Error> = None;
         if let Some(trace_sink) = telemetry.trace.as_deref_mut() {
-            trace_sink
-                .flush()
-                .map_err(|e| format!("flushing the trace sink before a checkpoint: {e}"))?;
+            match policy.run(&mut backoff, |_| trace_sink.flush()) {
+                Ok(recovered) => extra_attempts += recovered.retried(),
+                Err(e) => trace_error = Some(e),
+            }
+        }
+        if let Some(e) = trace_error {
+            note_retry_exhausted(telemetry, extra_attempts + policy.max_attempts() - 1);
+            return Err(format!("flushing the trace sink before a checkpoint: {e}"));
         }
         let flushed = flush_started.elapsed();
         let runs_done = (chunks_done as u64 * self.chunk_size as u64).min(total_runs);
         let manifest =
             checkpoint::render_manifest(self, total_runs, chunks_done, runs_done, accumulator);
         let write_started = Instant::now();
-        ckpt.write(&manifest)?;
+        match policy.run(&mut backoff, |_| ckpt.write(&manifest)) {
+            Ok(recovered) => extra_attempts += recovered.retried(),
+            Err(e) => {
+                note_retry_exhausted(telemetry, extra_attempts + policy.max_attempts() - 1);
+                return Err(e);
+            }
+        }
+        if let Some(injector) = faults {
+            injector.after_manifest_write(chunks_done, ckpt.path())?;
+        }
         if let Some(metrics) = telemetry.metrics.as_deref_mut() {
             metrics.record_timer("campaign.sink_flush_ms", flushed.as_secs_f64() * 1e3);
             metrics.record_timer(
                 "campaign.checkpoint_write_ms",
                 write_started.elapsed().as_secs_f64() * 1e3,
             );
+            if extra_attempts > 0 {
+                metrics.add("retry.attempts", extra_attempts as u64);
+                metrics.inc("recovery.outcome.recovered");
+            }
         }
         Ok(())
     }
@@ -1017,6 +1140,7 @@ impl Campaign {
     /// streaming every record into a fresh [`ChunkPartial`].  Returns the
     /// first run failure (canonical within the chunk) as `Err`; an output
     /// with `completed == false` when the abort flag cut the chunk short.
+    #[allow(clippy::too_many_arguments)]
     fn run_chunk(
         &self,
         points: &[PointDef],
@@ -1025,8 +1149,12 @@ impl Campaign {
         capture: bool,
         tracing: bool,
         abort: Option<&AtomicBool>,
+        faults: Option<&FaultInjector>,
     ) -> Result<ChunkOutput, String> {
         let started = Instant::now();
+        if let Some(injector) = faults {
+            injector.before_chunk(chunk)?;
+        }
         let total = points.last().map(|p| p.first_run + p.replications).unwrap_or(0);
         let start = (chunk * self.chunk_size) as u64;
         let end = (start + self.chunk_size as u64).min(total);
@@ -1040,6 +1168,9 @@ impl Campaign {
             if abort.is_some_and(|a| a.load(Ordering::Relaxed)) {
                 completed = false;
                 break;
+            }
+            if let Some(injector) = faults {
+                injector.before_run(chunk, runs)?;
             }
             while !run_belongs_to(points, point_index, run) {
                 point_index += 1;
@@ -1170,6 +1301,7 @@ fn finish_session_metrics(
     telemetry: &mut CampaignTelemetry<'_>,
     stats: &RunnerStats,
     worker_busy: &[Duration],
+    faults: Option<&FaultInjector>,
 ) {
     let Some(metrics) = telemetry.metrics.as_deref_mut() else { return };
     metrics.set_gauge("campaign.workers", stats.workers as f64);
@@ -1178,12 +1310,28 @@ fn finish_session_metrics(
     for (index, busy) in worker_busy.iter().enumerate() {
         metrics.set_gauge(&format!("campaign.worker.{index}.busy_ms"), busy.as_secs_f64() * 1e3);
     }
+    if let Some(injector) = faults {
+        for (name, count) in injector.drain_counts() {
+            metrics.add(name, count);
+        }
+    }
+}
+
+/// Records that a retried I/O edge exhausted its attempt budget: the attempts
+/// spent show up under `retry.attempts` and the failure under
+/// `recovery.outcome.exhausted`.
+fn note_retry_exhausted(telemetry: &mut CampaignTelemetry<'_>, attempts: u32) {
+    let Some(metrics) = telemetry.metrics.as_deref_mut() else { return };
+    if attempts > 0 {
+        metrics.add("retry.attempts", attempts as u64);
+    }
+    metrics.inc("recovery.outcome.exhausted");
 }
 
 /// FNV-1a over `bytes`: a small, stable, dependency-free 64-bit hash for the
 /// campaign fingerprint (collision resistance against *accidental* edits is
 /// all a checkpoint needs; manifests are not an attack surface).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xCBF2_9CE4_8422_2325u64;
     for byte in bytes {
         hash ^= *byte as u64;
@@ -1334,7 +1482,8 @@ mod tests {
         let (points, _) = campaign.expand_points();
         let families = campaign.resolve_families(&echo_registry(), &points).unwrap();
         let clear = AtomicBool::new(false);
-        let output = campaign.run_chunk(&points, &families, 0, true, false, Some(&clear)).unwrap();
+        let output =
+            campaign.run_chunk(&points, &families, 0, true, false, Some(&clear), None).unwrap();
         assert!(output.completed);
         assert_eq!(output.records.len(), 4);
         assert_eq!(output.runs, 4);
@@ -1342,7 +1491,8 @@ mod tests {
         // nothing) and must say so — the collector relies on this to never
         // merge or checkpoint a hole.
         let raised = AtomicBool::new(true);
-        let output = campaign.run_chunk(&points, &families, 0, true, false, Some(&raised)).unwrap();
+        let output =
+            campaign.run_chunk(&points, &families, 0, true, false, Some(&raised), None).unwrap();
         assert!(!output.completed, "an aborted chunk must flag itself incomplete");
         assert!(output.records.is_empty(), "no run executes after the abort flag");
         assert_eq!(output.runs, 0);

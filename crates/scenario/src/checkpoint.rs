@@ -60,13 +60,16 @@ use std::path::{Path, PathBuf};
 use karyon_sim::{BucketHistogram, BucketHistogramState, OnlineStats, OnlineStatsState};
 
 use crate::aggregate::{CampaignAccumulator, MetricAccumulator, PointAccumulator, QuantileAcc};
-use crate::campaign::Campaign;
+use crate::campaign::{fnv1a64, Campaign};
 use crate::json::{array, JsonValue, ObjectWriter};
+use crate::recovery::RetryPolicy;
 
 /// Manifest format tag, checked on load.
 const FORMAT: &str = "karyon-campaign-checkpoint";
 /// Manifest format version, checked on load.
 const VERSION: u64 = 1;
+/// Tag of the integrity frame line written after the manifest payload.
+const FRAME_TAG: &str = "karyon-ckpt-frame-v1";
 
 /// Checkpoint policy and manifest location for one campaign session.
 ///
@@ -90,13 +93,28 @@ pub struct Checkpointer {
     path: PathBuf,
     every_chunks: usize,
     max_chunks: Option<usize>,
+    retry: RetryPolicy,
 }
 
 impl Checkpointer {
     /// Creates a checkpointer writing its manifest to `path`, at the default
-    /// cadence of every canonical chunk.
+    /// cadence of every canonical chunk and the default I/O retry policy
+    /// ([`RetryPolicy::default_io`]).
     pub fn new(path: impl Into<PathBuf>) -> Self {
-        Checkpointer { path: path.into(), every_chunks: 1, max_chunks: None }
+        Checkpointer {
+            path: path.into(),
+            every_chunks: 1,
+            max_chunks: None,
+            retry: RetryPolicy::default_io(),
+        }
+    }
+
+    /// Replaces the retry policy applied to the sink flushes and manifest
+    /// writes of each checkpoint ([`RetryPolicy::no_retry`] restores the
+    /// fail-fast behaviour).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
     }
 
     /// Sets the write cadence: a manifest is written after every `every`-th
@@ -146,10 +164,18 @@ impl Checkpointer {
         chunks_done % self.every_chunks == 0
     }
 
+    /// The retry policy for this checkpointer's I/O edges.
+    pub(crate) fn retry(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
     /// Writes `manifest_json` atomically: to a temp file in the manifest's
     /// directory, fsynced, then renamed over the final path, so a crash at
     /// any instant leaves either the previous manifest or the new one —
-    /// never a torn file.
+    /// never a torn file.  An [`integrity frame`](integrity_frame) line
+    /// follows the payload so [`CheckpointManifest::load`] can detect
+    /// corruption that slips past the atomic rename (bit rot, manual edits,
+    /// non-atomic filesystems).
     pub(crate) fn write(&self, manifest_json: &str) -> Result<(), String> {
         let dir = self.path.parent().filter(|p| !p.as_os_str().is_empty());
         let tmp = self.path.with_extension("tmp");
@@ -159,6 +185,9 @@ impl Checkpointer {
         let mut file = fs::File::create(&tmp).map_err(|e| fail("create temp", e))?;
         file.write_all(manifest_json.as_bytes()).map_err(|e| fail("write temp", e))?;
         file.write_all(b"\n").map_err(|e| fail("write temp", e))?;
+        file.write_all(integrity_frame(manifest_json).as_bytes())
+            .map_err(|e| fail("write frame", e))?;
+        file.write_all(b"\n").map_err(|e| fail("write frame", e))?;
         file.sync_all().map_err(|e| fail("sync temp", e))?;
         drop(file);
         fs::rename(&tmp, &self.path).map_err(|e| fail("rename", e))?;
@@ -199,11 +228,63 @@ pub struct CheckpointManifest {
 }
 
 impl CheckpointManifest {
-    /// Loads and parses a manifest file.
+    /// Loads a manifest file, verifying its integrity frame before parsing.
+    ///
+    /// The atomic rename in [`Checkpointer`] already rules out torn writes on
+    /// POSIX filesystems; the frame check additionally catches truncation on
+    /// non-atomic filesystems, bit rot and manual edits.  Corrupt manifests
+    /// are **refused with a recovery hint** — the file on disk is never
+    /// touched and this function never panics.
     pub fn load(path: &Path) -> Result<Self, String> {
-        let text = fs::read_to_string(path)
-            .map_err(|e| format!("cannot read checkpoint manifest {path:?}: {e}"))?;
-        Self::parse(&text).map_err(|e| format!("checkpoint manifest {path:?}: {e}"))
+        let text = fs::read(path)
+            .map_err(|e| format!("cannot read checkpoint manifest {path:?}: {e}"))
+            .and_then(|bytes| {
+                String::from_utf8(bytes).map_err(|_| {
+                    refusal(path, "the file is not valid UTF-8 — it is corrupt or not a manifest")
+                })
+            })?;
+        let (payload, rest) = text.split_once('\n').ok_or_else(|| {
+            refusal(
+                path,
+                "no newline-terminated manifest payload — the file was truncated mid-write",
+            )
+        })?;
+        let frame_line = rest.lines().next().unwrap_or("").trim();
+        if frame_line.is_empty() {
+            return Err(refusal(
+                path,
+                "the integrity frame line after the payload is missing — the file was \
+                 truncated, or written by an incompatible build",
+            ));
+        }
+        let frame = JsonValue::parse(frame_line)
+            .map_err(|e| refusal(path, &format!("the integrity frame is unreadable ({e})")))?;
+        if frame.get("frame").and_then(JsonValue::as_str) != Some(FRAME_TAG) {
+            return Err(refusal(
+                path,
+                &format!("the integrity frame does not carry the {FRAME_TAG:?} tag"),
+            ));
+        }
+        let framed_len = frame.get("len").and_then(JsonValue::as_u64);
+        if framed_len != Some(payload.len() as u64) {
+            return Err(refusal(
+                path,
+                &format!(
+                    "length mismatch: the integrity frame covers {} payload bytes but the file \
+                     holds {} — the manifest was truncated or spliced",
+                    framed_len.unwrap_or(0),
+                    payload.len()
+                ),
+            ));
+        }
+        if frame.get("fnv").and_then(JsonValue::as_u64) != Some(fnv1a64(payload.as_bytes())) {
+            return Err(refusal(
+                path,
+                "FNV-1a hash mismatch: the manifest bytes changed after they were written — \
+                 bit rot, a manual edit or a torn write",
+            ));
+        }
+        Self::parse(payload).map_err(|e| refusal(path, &e))
     }
 
     /// Parses a manifest from its JSON text.
@@ -461,15 +542,80 @@ fn parse_metric(name: &str, value: &JsonValue) -> Result<MetricAccumulator, Stri
     Ok(MetricAccumulator::from_parts(stats, sum, quantiles))
 }
 
+/// Renders the integrity frame line written after a manifest payload: the
+/// payload's byte length plus its FNV-1a hash, as single-line JSON.
+///
+/// Exposed so tooling (and the corrupt-manifest tests) can construct frames
+/// for payloads they assemble themselves.
+pub fn integrity_frame(manifest_json: &str) -> String {
+    let mut o = ObjectWriter::new();
+    o.string("frame", FRAME_TAG)
+        .u64("len", manifest_json.len() as u64)
+        .u64("fnv", fnv1a64(manifest_json.as_bytes()));
+    o.finish()
+}
+
+/// A refusal message for a corrupt manifest, with the recovery hint attached.
+fn refusal(path: &Path, why: &str) -> String {
+    format!(
+        "checkpoint manifest {path:?}: {why}; refusing to resume from it — recovery: delete \
+         the manifest (and discard or re-truncate any JSONL/trace streams written alongside) \
+         and restart the campaign from scratch, or restore the manifest from a backup"
+    )
+}
+
+/// Outcome of a [`scan_complete_lines`] pass.
+struct ScanOutcome {
+    /// Byte offset just past the last kept line.
+    offset: u64,
+    /// Number of complete lines kept.
+    lines: u64,
+}
+
+/// Scans complete newline-terminated lines from the start of `file`, keeping
+/// each line `keep(index, bytes-without-newline)` approves and stopping at
+/// the first rejected line, at EOF, or at a torn tail (trailing bytes with no
+/// newline — including a tail that ends mid multi-byte UTF-8 character, which
+/// is why this works on raw bytes and never decodes).
+///
+/// Shared by [`truncate_jsonl`] and [`truncate_trace_jsonl`] so both recover
+/// torn streams identically.
+fn scan_complete_lines(
+    path: &Path,
+    file: &fs::File,
+    mut keep: impl FnMut(u64, &[u8]) -> bool,
+) -> Result<ScanOutcome, String> {
+    let mut reader = std::io::BufReader::new(file);
+    let mut line: Vec<u8> = Vec::new();
+    let mut offset = 0u64;
+    let mut lines = 0u64;
+    loop {
+        line.clear();
+        let n = reader
+            .read_until(b'\n', &mut line)
+            .map_err(|e| format!("cannot read stream {path:?}: {e}"))?;
+        if n == 0 || line.last() != Some(&b'\n') {
+            // EOF, or a torn tail with no newline: nothing more to keep.
+            return Ok(ScanOutcome { offset, lines });
+        }
+        if !keep(lines, &line[..line.len() - 1]) {
+            return Ok(ScanOutcome { offset, lines });
+        }
+        offset += n as u64;
+        lines += 1;
+    }
+}
+
 /// Truncates a JSONL run stream to its first `runs` complete lines, dropping
 /// anything beyond the checkpoint watermark — lines a crashed session wrote
-/// past its last manifest, including a torn final line.
+/// past its last manifest, including a torn final line (even one cut mid
+/// multi-byte UTF-8 character).
 ///
-/// Returns the retained byte length.  Errors if the stream holds fewer than
-/// `runs` complete lines: the runner flushes the sink before every manifest
-/// write, so a shorter stream means either the two files do not belong
-/// together, or a power loss dropped tail writes a non-syncing writer had
-/// only handed to the OS cache (stream through
+/// Returns the retained byte length.  Errors **without truncating** if the
+/// stream holds fewer than `runs` complete lines: the runner flushes the sink
+/// before every manifest write, so a shorter stream means either the two
+/// files do not belong together, or a power loss dropped tail writes a
+/// non-syncing writer had only handed to the OS cache (stream through
 /// [`SyncOnFlushFile`](crate::SyncOnFlushFile) to rule that out).
 pub fn truncate_jsonl(path: &Path, runs: u64) -> Result<u64, String> {
     let file = fs::OpenOptions::new()
@@ -477,47 +623,71 @@ pub fn truncate_jsonl(path: &Path, runs: u64) -> Result<u64, String> {
         .write(true)
         .open(path)
         .map_err(|e| format!("cannot open JSONL stream {path:?}: {e}"))?;
-    let mut reader = std::io::BufReader::new(&file);
-    let mut offset = 0u64;
-    let mut complete_lines = 0u64;
-    while complete_lines < runs {
-        let buf =
-            reader.fill_buf().map_err(|e| format!("cannot read JSONL stream {path:?}: {e}"))?;
-        if buf.is_empty() {
-            return Err(format!(
-                "JSONL stream {path:?} holds only {complete_lines} complete lines but the \
-                 checkpoint covers {runs} runs — either the stream does not belong to this \
-                 checkpoint, or a power loss dropped tail writes that never reached stable \
-                 storage (stream through a sync-on-flush writer to prevent this)"
-            ));
-        }
-        match buf.iter().position(|b| *b == b'\n') {
-            Some(newline) => {
-                offset += newline as u64 + 1;
-                complete_lines += 1;
-                reader.consume(newline + 1);
-            }
-            None => {
-                let len = buf.len();
-                offset += len as u64;
-                reader.consume(len);
-            }
-        }
+    let scan = scan_complete_lines(path, &file, |index, _| index < runs)?;
+    if scan.lines < runs {
+        return Err(format!(
+            "JSONL stream {path:?} holds only {} complete lines but the \
+             checkpoint covers {runs} runs — either the stream does not belong to this \
+             checkpoint, or a power loss dropped tail writes that never reached stable \
+             storage (stream through a sync-on-flush writer to prevent this)",
+            scan.lines
+        ));
     }
-    drop(reader);
-    file.set_len(offset).map_err(|e| format!("cannot truncate JSONL stream {path:?}: {e}"))?;
+    file.set_len(scan.offset).map_err(|e| format!("cannot truncate JSONL stream {path:?}: {e}"))?;
     file.sync_all().map_err(|e| format!("cannot sync JSONL stream {path:?}: {e}"))?;
-    Ok(offset)
+    Ok(scan.offset)
 }
 
-/// Reads a checkpoint manifest's raw JSON (for tooling that wants to inspect
-/// a manifest without restoring it).
+/// Truncates a JSONL **trace** stream to the lines belonging to runs below
+/// `runs_done`, dropping everything a crashed session wrote past its last
+/// manifest — including a torn final line cut mid multi-byte UTF-8 character.
+///
+/// Trace lines lead with `{"run":N,` (the canonical field order the
+/// deterministic trace writer emits), which is how each line's run index is
+/// recovered without parsing the full record.  Unlike [`truncate_jsonl`] this
+/// is lenient: traces are optional side artifacts, so a missing file is fine
+/// (tracing may have been off) and fewer lines than the watermark is not an
+/// error — a fresh session simply appends from wherever the stream ends.
+///
+/// Returns the retained byte length.
+pub fn truncate_trace_jsonl(path: &Path, runs_done: u64) -> Result<u64, String> {
+    let file = match fs::OpenOptions::new().read(true).write(true).open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(format!("cannot open trace stream {path:?}: {e}")),
+    };
+    let scan = scan_complete_lines(path, &file, |_, line| {
+        trace_line_run(line).is_some_and(|run| run < runs_done)
+    })?;
+    let len = file.metadata().map_err(|e| format!("cannot stat trace stream {path:?}: {e}"))?.len();
+    if scan.offset < len {
+        file.set_len(scan.offset)
+            .map_err(|e| format!("cannot truncate trace stream {path:?}: {e}"))?;
+        file.sync_all().map_err(|e| format!("cannot sync trace stream {path:?}: {e}"))?;
+    }
+    Ok(scan.offset)
+}
+
+/// Extracts the run index from a trace line's canonical `{"run":N,` prefix,
+/// operating on raw bytes so torn/invalid UTF-8 elsewhere cannot panic.
+fn trace_line_run(line: &[u8]) -> Option<u64> {
+    let rest = line.strip_prefix(b"{\"run\":")?;
+    let digits: Vec<u8> = rest.iter().copied().take_while(u8::is_ascii_digit).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    std::str::from_utf8(&digits).ok()?.parse().ok()
+}
+
+/// Reads a checkpoint manifest's raw JSON payload — the first line of the
+/// file, without the integrity frame — for tooling that wants to inspect a
+/// manifest without restoring it.
 pub fn read_manifest_text(path: &Path) -> Result<String, String> {
     let mut text = String::new();
     fs::File::open(path)
         .and_then(|mut f| f.read_to_string(&mut text))
         .map_err(|e| format!("cannot read checkpoint manifest {path:?}: {e}"))?;
-    Ok(text)
+    Ok(text.split_once('\n').map(|(payload, _)| payload.to_string()).unwrap_or(text))
 }
 
 #[cfg(test)]
@@ -616,6 +786,97 @@ mod tests {
         truncate_jsonl(&path, 0).expect("zero is fine");
         assert_eq!(fs::read_to_string(&path).unwrap(), "");
         fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn the_integrity_frame_guards_the_manifest_on_disk() {
+        let path = temp_path("frame.json");
+        let campaign = Campaign::new("framed", 3).with_chunk_size(2);
+        let payload =
+            render_manifest(&campaign, 0, 0, 0, &CampaignAccumulator::from_points(vec![]));
+        let ckpt = Checkpointer::new(&path);
+        ckpt.write(&payload).expect("writable temp dir");
+        CheckpointManifest::load(&path).expect("a pristine manifest loads");
+
+        let pristine = fs::read(&path).unwrap();
+        let assert_refused = |bytes: &[u8], needle: &str| {
+            fs::write(&path, bytes).unwrap();
+            let before = fs::read(&path).unwrap();
+            let err = CheckpointManifest::load(&path).unwrap_err();
+            assert!(err.contains(needle), "expected {needle:?} in: {err}");
+            assert!(err.contains("recovery:"), "refusals carry a recovery hint: {err}");
+            assert_eq!(fs::read(&path).unwrap(), before, "failed loads never touch the disk");
+        };
+
+        // Truncated mid-payload: no newline-terminated payload at all.
+        assert_refused(&pristine[..payload.len() / 2], "truncated mid-write");
+        // Truncated right after the payload: the frame line is gone.
+        assert_refused(&pristine[..payload.len() + 1], "integrity frame line after the payload");
+        // Truncated inside the frame line.
+        assert_refused(&pristine[..payload.len() + 10], "integrity frame");
+        // A single flipped payload byte fails the hash check.
+        let mut flipped = pristine.clone();
+        flipped[10] ^= 0x20;
+        assert_refused(&flipped, "hash mismatch");
+        // A spliced (shortened) payload under the old frame fails on length.
+        let mut spliced = payload.replace("\"campaign\":\"framed\"", "\"campaign\":\"f\"");
+        spliced.push('\n');
+        spliced.push_str(&integrity_frame(&payload));
+        spliced.push('\n');
+        assert_refused(spliced.as_bytes(), "length mismatch");
+
+        // A version bump with a *valid* frame gets past the integrity check
+        // and is refused by the parser with the version message.
+        let bumped = payload.replace("\"version\":1", "\"version\":99");
+        let mut file = format!("{bumped}\n{}\n", integrity_frame(&bumped));
+        fs::write(&path, &file).unwrap();
+        let err = CheckpointManifest::load(&path).unwrap_err();
+        assert!(err.contains("unsupported manifest version 99"), "{err}");
+
+        // Not UTF-8 at all.
+        file.truncate(0);
+        assert_refused(&[0xFF, 0xFE, 0x00, b'\n', b'x'], "not valid UTF-8");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_handles_multibyte_utf8_torn_tails_and_empty_files() {
+        // A torn tail that stops mid-way through the two-byte UTF-8 encoding
+        // of 'é' (0xC3 0xA9): the byte-level scanner must shrug it off where
+        // a read_to_string-based implementation would refuse the whole file.
+        let jsonl = temp_path("utf8.jsonl");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice("{\"run\":0,\"s\":\"é\"}\n{\"run\":1,\"s\":\"é\"}\n".as_bytes());
+        bytes.extend_from_slice(b"{\"run\":2,\"s\":\"\xC3");
+        fs::write(&jsonl, &bytes).unwrap();
+        let kept = truncate_jsonl(&jsonl, 2).expect("torn multi-byte tail is recoverable");
+        assert_eq!(kept as usize, "{\"run\":0,\"s\":\"é\"}\n{\"run\":1,\"s\":\"é\"}\n".len());
+
+        // Zero-length streams: watermark 0 is fine, anything more errors
+        // without touching the file.
+        fs::write(&jsonl, b"").unwrap();
+        assert_eq!(truncate_jsonl(&jsonl, 0).unwrap(), 0);
+        let err = truncate_jsonl(&jsonl, 1).unwrap_err();
+        assert!(err.contains("0 complete lines"), "{err}");
+        assert_eq!(fs::read(&jsonl).unwrap(), b"", "failed truncation never writes");
+        fs::remove_file(&jsonl).ok();
+
+        // The trace variant shares the scanner: same torn tail, but lenient —
+        // it keeps lines below the watermark and never errors on short files.
+        let trace = temp_path("utf8.trace.jsonl");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice("{\"run\":0,\"name\":\"é\"}\n{\"run\":1,\"x\":1}\n".as_bytes());
+        bytes.extend_from_slice(b"{\"run\":2,\"s\":\"\xC3");
+        fs::write(&trace, &bytes).unwrap();
+        let kept = truncate_trace_jsonl(&trace, 2).expect("lenient on torn tails");
+        assert_eq!(kept as usize, "{\"run\":0,\"name\":\"é\"}\n{\"run\":1,\"x\":1}\n".len());
+        // Watermark below the stream cuts back run 1 too.
+        assert!(truncate_trace_jsonl(&trace, 1).unwrap() < kept);
+        // Zero-length and missing files are fine.
+        fs::write(&trace, b"").unwrap();
+        assert_eq!(truncate_trace_jsonl(&trace, 7).unwrap(), 0);
+        fs::remove_file(&trace).ok();
+        assert_eq!(truncate_trace_jsonl(&trace, 7).unwrap(), 0, "missing trace is not an error");
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub mod sensors;
 pub mod vehicle;
 
 pub use middleware::{MiddlewareOverloadScenario, MiddlewareQosScenario};
-pub use net::{EndToEndScenario, InaccessibilityScenario, PulseSyncScenario, TdmaScenario};
+pub use net::{
+    EndToEndScenario, InaccessibilityScenario, NetTransportScenario, PulseSyncScenario,
+    TdmaScenario,
+};
 pub use safety::{CooperationScenario, KernelLatencyScenario, TopologyScenario};
 pub use sensors::{ReliableSensorScenario, SensorValidityScenario};
 pub use vehicle::{

@@ -1,5 +1,5 @@
 //! Network-layer families: the self-stabilizing communication stack of paper
-//! §V-A (experiments e04–e07).
+//! §V-A (experiments e04–e07), plus the simulated campaign transport fabric.
 
 use karyon_net::mac::selfstab_tdma::allocation_is_collision_free;
 use karyon_net::{
@@ -8,6 +8,7 @@ use karyon_net::{
     PulseSyncConfig, PulseSyncSim, R2TMac, R2TMacConfig, SelfStabTdmaMac, WirelessMedium,
 };
 use karyon_sim::{Rng, SimDuration, SimTime, Vec2};
+use karyon_transport::{LinkConfig, NetTransport, PartitionWindow, SimTransport};
 
 use crate::grid::ParamGrid;
 use crate::scenario::{RunRecord, Scenario};
@@ -387,6 +388,120 @@ impl Scenario for EndToEndScenario {
     }
 }
 
+/// The simulated campaign transport fabric under configurable degradation
+/// (ROADMAP item 4, de-risking item 1's distributed sharding): an all-to-all
+/// message workload over [`SimTransport`], measuring what survives per-link
+/// drop/duplication/reordering and an optional mid-run partition.
+///
+/// Every metric is a pure function of `(seed, params)` — the fabric's
+/// determinism contract — so this family doubles as a campaign-level
+/// regression net for the transport crate: any worker count and any
+/// kill/resume history must aggregate the identical report.
+pub struct NetTransportScenario;
+
+impl NetTransportScenario {
+    fn fabric(spec: &ScenarioSpec, nodes: u32) -> SimTransport {
+        let link = LinkConfig {
+            delay: SimDuration::from_secs_f64(spec.f64_or("delay_ms", 5.0).max(0.0) / 1e3),
+            jitter: SimDuration::from_secs_f64(spec.f64_or("jitter_ms", 3.0).max(0.0) / 1e3),
+            drop_probability: spec.f64_or("drop", 0.1).clamp(0.0, 1.0),
+            duplicate_probability: spec.f64_or("duplicate", 0.05).clamp(0.0, 1.0),
+            reorder_probability: spec.f64_or("reorder", 0.2).clamp(0.0, 1.0),
+            reorder_window: SimDuration::from_millis(20),
+        };
+        let mut net = SimTransport::new(spec.seed).with_default_link(link);
+        if spec.bool_or("partition", false) {
+            // Cut the fabric in half for the middle third of the workload.
+            let rounds = spec.u64_or("messages", 40).max(1);
+            let (a, b): (Vec<_>, Vec<_>) =
+                (0..nodes).map(karyon_transport::NodeId).partition(|n| n.0 < nodes / 2);
+            net.add_partition(PartitionWindow {
+                from: SimTime::from_millis(rounds * 10 / 3),
+                until: SimTime::from_millis(rounds * 10 * 2 / 3),
+                group_a: a,
+                group_b: b,
+            });
+        }
+        net
+    }
+}
+
+impl Scenario for NetTransportScenario {
+    fn name(&self) -> &str {
+        "net-transport"
+    }
+
+    fn engine_driven(&self) -> bool {
+        true
+    }
+
+    fn param_domain(&self) -> ParamGrid {
+        ParamGrid::new()
+            .axis("nodes", [4, 2, 8])
+            .axis("messages", [40])
+            .axis("drop", [0.1, 0.0, 0.3])
+            .axis("duplicate", [0.05, 0.0])
+            .axis("reorder", [0.2, 0.0])
+            .axis("delay_ms", [5.0])
+            .axis("jitter_ms", [3.0])
+            .axis("partition", [false, true])
+    }
+
+    fn metric_range(&self, metric: &str) -> Option<(f64, f64)> {
+        match metric {
+            "delivered_ratio" => Some((0.0, 2.0)),
+            "mean_delay_ms" => Some((0.0, 100.0)),
+            _ => None,
+        }
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        let nodes = spec.u64_or("nodes", 4).clamp(2, 1_024) as u32;
+        let rounds = spec.u64_or("messages", 40).max(1);
+        let mut net = Self::fabric(spec, nodes);
+        let mut deliveries = Vec::new();
+        // One ring round every 10 ms: each node messages its clockwise
+        // neighbour, so every directed ring link carries `rounds` messages.
+        for round in 0..rounds {
+            deliveries.extend(net.advance_to(SimTime::from_millis(round * 10)));
+            for src in 0..nodes {
+                let dst = (src + 1) % nodes;
+                net.send(
+                    karyon_transport::NodeId(src),
+                    karyon_transport::NodeId(dst),
+                    round.to_le_bytes().to_vec(),
+                );
+            }
+        }
+        deliveries.extend(net.drain());
+
+        let stats = net.stats();
+        let mean_delay_ms = if deliveries.is_empty() {
+            0.0
+        } else {
+            deliveries
+                .iter()
+                .map(|d| (d.delivered_at.as_micros() - d.sent_at.as_micros()) as f64 / 1e3)
+                .sum::<f64>()
+                / deliveries.len() as f64
+        };
+
+        let mut record = RunRecord::new();
+        // The fabric never schedules into the past, so an engine clamp here
+        // is a transport bug the campaign surfaces as a suspect run.
+        record.absorb_engine_clamps(net.engine());
+        record.set("sent", stats.sent as f64);
+        record.set("delivered_ratio", stats.delivered as f64 / stats.sent.max(1) as f64);
+        record.set("dropped", stats.dropped as f64);
+        record.set("duplicated", stats.duplicated as f64);
+        record.set("reordered", stats.reordered as f64);
+        record.set("partition_dropped", stats.partition_dropped as f64);
+        record.set("mean_delay_ms", mean_delay_ms);
+        record.set_flag("lossless", stats.lost() == 0);
+        record
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,6 +579,35 @@ mod tests {
             Some(0.0),
             "without the correction the phases never align: {uncorrected:?}"
         );
+    }
+
+    #[test]
+    fn net_transport_is_a_pure_function_of_seed_and_params() {
+        let spec = ScenarioSpec::new("net-transport")
+            .with("partition", true)
+            .with_seed(41)
+            .with_duration_secs(10);
+        let a = NetTransportScenario.run(&spec);
+        let b = NetTransportScenario.run(&spec);
+        assert_eq!(a, b, "the fabric's determinism contract");
+        assert_eq!(a.clamped_schedules, 0, "the fabric never schedules into the past: {a:?}");
+        assert!(a.get("partition_dropped").unwrap() > 0.0, "the partition must sever: {a:?}");
+        assert!(a.get("delivered_ratio").unwrap() > 0.0, "{a:?}");
+    }
+
+    #[test]
+    fn net_transport_clean_fabric_is_lossless() {
+        let record = NetTransportScenario.run(
+            &ScenarioSpec::new("net-transport")
+                .with("drop", 0.0)
+                .with("duplicate", 0.0)
+                .with("reorder", 0.0)
+                .with_seed(3)
+                .with_duration_secs(10),
+        );
+        assert_eq!(record.get("lossless"), Some(1.0), "{record:?}");
+        assert_eq!(record.get("delivered_ratio"), Some(1.0), "{record:?}");
+        assert_eq!(record.get("reordered"), Some(0.0), "jitter < round spacing: {record:?}");
     }
 
     #[test]

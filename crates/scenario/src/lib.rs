@@ -48,6 +48,12 @@
 //!   [`truncate_jsonl`] to recover the artifact stream after a crash (the
 //!   `karyon-campaign` CLI drives the whole workflow from JSON spec files,
 //!   parsed via [`Campaign::from_json_str`]);
+//! * [`FaultPlan`] / [`FaultInjector`] ([`fault`]) — deterministic fault
+//!   injection at the runner's canonical points (worker death at a chunk
+//!   boundary, mid-chunk aborts, torn manifest writes, sink I/O errors),
+//!   JSON- or seed-specified, with [`recovery`]'s bounded
+//!   [`RetryPolicy`] turning transient I/O failures into graceful
+//!   degradation;
 //! * [`CampaignReport`] — per-parameter-point aggregates (mean/std-dev via
 //!   `OnlineStats`; p50/p95/p99 exact for small sweeps, streamed through
 //!   pre-agreed-range `BucketHistogram`s beyond — see
@@ -78,8 +84,10 @@ pub mod aggregate;
 pub mod campaign;
 pub mod checkpoint;
 pub mod families;
+pub mod fault;
 pub mod grid;
 pub mod json;
+pub mod recovery;
 pub mod registry;
 pub mod report;
 pub mod scenario;
@@ -89,9 +97,13 @@ pub mod telemetry;
 
 pub use aggregate::DEFAULT_CHUNK_SIZE;
 pub use campaign::{derive_run_seed, Campaign, CampaignEntry, CampaignOutcome, RunnerStats};
-pub use checkpoint::{truncate_jsonl, CheckpointManifest, Checkpointer};
+pub use checkpoint::{
+    integrity_frame, truncate_jsonl, truncate_trace_jsonl, CheckpointManifest, Checkpointer,
+};
+pub use fault::{Fault, FaultInjector, FaultPlan};
 pub use grid::ParamGrid;
 pub use json::JsonValue;
+pub use recovery::{Backoff, RecordedBackoff, Recovered, RetryPolicy, WallClockBackoff};
 pub use registry::{builtin_registry, FamilyInfo, ParamInfo, ScenarioRegistry};
 pub use report::{CampaignReport, MetricSummary, PointReport};
 pub use scenario::{RunRecord, Scenario};

@@ -180,6 +180,7 @@ impl FamilyInfo {
 /// | `inaccessibility` | net | CSMA / R2T-MAC under jamming (e04) | `mac`, `burst_ms`, `copies`, `nodes`, `gap_s`, `loss`, `long_burst` |
 /// | `pulse-sync` | net | autonomous pulse alignment (e06) | `drift_ppm`, `loss`, `gain`, `nodes`, `period_ms` |
 /// | `end-to-end` | net | self-stabilizing FIFO (e07) | `omission`, `duplication`, `capacity`, `corrupt`, `messages` |
+/// | `net-transport` | transport | simulated campaign fabric (ROADMAP 1/4) | `nodes`, `messages`, `drop`, `duplicate`, `reorder`, `partition` |
 /// | `sensor-validity` | sensors | validity estimation (e02) | `fault`, `noise_std`, `timeout_ms`, `max_rate`, fault magnitudes |
 /// | `reliable-sensor` | sensors | abstract reliable sensor (e03) | `config`, `fault`, `replicas`, `noise_std`, fault magnitudes |
 /// | `kernel-latency` | core | safety-kernel cycles (e14) | `rules_per_level`, `cycles`, `cycle_period_ms`, `validity_threshold` |
@@ -198,6 +199,7 @@ pub fn builtin_registry() -> ScenarioRegistry {
     registry.register(Arc::new(families::InaccessibilityScenario));
     registry.register(Arc::new(families::PulseSyncScenario));
     registry.register(Arc::new(families::EndToEndScenario));
+    registry.register(Arc::new(families::NetTransportScenario));
     registry.register(Arc::new(families::SensorValidityScenario));
     registry.register(Arc::new(families::ReliableSensorScenario));
     registry.register(Arc::new(families::KernelLatencyScenario));
@@ -226,6 +228,7 @@ mod tests {
                 "lane-change",
                 "middleware-overload",
                 "middleware-qos",
+                "net-transport",
                 "platoon",
                 "platoon-fault",
                 "pulse-sync",
@@ -236,7 +239,7 @@ mod tests {
             ]
         );
         assert!(!registry.is_empty());
-        assert_eq!(registry.len(), 16);
+        assert_eq!(registry.len(), 17);
     }
 
     #[test]

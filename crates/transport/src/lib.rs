@@ -1,0 +1,123 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Message transport abstraction for the KARYON campaign stack.
+//!
+//! ROADMAP item 1 wants campaign chunks sharded across real machines; ROADMAP
+//! item 4 wants the failure modes of that protocol explored *before* any real
+//! network code exists.  This crate provides the seam between the two:
+//!
+//! * [`NetTransport`] — the minimal message-passing surface coordinator/worker
+//!   protocols are written against (send bytes, pump the fabric, drain
+//!   deliveries).
+//! * [`LoopbackTransport`] — the production in-process implementation: a
+//!   zero-delay, loss-free FIFO.  What the sharding protocol will run over on
+//!   a single machine.
+//! * [`SimTransport`] — a deterministic simulated fabric driven by the
+//!   virtual-clock [`karyon_sim::Engine`] plus seed-derived entropy.  Per-link
+//!   delay/jitter distributions, drop, duplication, reordering and partition
+//!   schedules are all functions of the construction seed, so any interleaving
+//!   observed under faults is replayable bit-for-bit from that seed — the same
+//!   contract campaign runs already honour.
+//!
+//! # Determinism contract
+//!
+//! For a fixed seed, link configuration and send sequence, [`SimTransport`]
+//! yields the identical delivery sequence (order, times, payloads, duplicate
+//! flags) and identical [`TransportStats`] on every run.  This holds because
+//! (a) each directed link's entropy stream is derived purely from
+//! `(seed, src, dst)` — never from map insertion order or wall clock — and
+//! (b) the engine's event queue breaks same-time ties by schedule order, so
+//! simultaneous deliveries keep a stable order.
+
+use std::fmt;
+
+use karyon_sim::SimTime;
+
+mod loopback;
+mod sim;
+
+pub use loopback::LoopbackTransport;
+pub use sim::{LinkConfig, PartitionWindow, SimNetEvent, SimNetState, SimTransport};
+
+/// Logical address of a node on a transport fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One message handed to its destination, annotated with fabric timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Fabric time at which the message was submitted.
+    pub sent_at: SimTime,
+    /// Fabric time at which it reached the destination.
+    pub delivered_at: SimTime,
+    /// Message bytes, unmodified.
+    pub payload: Vec<u8>,
+    /// `true` on the extra copy of a duplicated message.
+    pub duplicate: bool,
+}
+
+/// Monotonic counters describing everything a transport did since
+/// construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Messages submitted via [`NetTransport::send`].
+    pub sent: u64,
+    /// Deliveries handed out (duplicates counted individually).
+    pub delivered: u64,
+    /// Messages dropped by per-link loss.
+    pub dropped: u64,
+    /// Extra copies injected by per-link duplication.
+    pub duplicated: u64,
+    /// Deliveries that arrived after a message sent later on the same link.
+    pub reordered: u64,
+    /// Messages severed by an active partition window.
+    pub partition_dropped: u64,
+}
+
+impl TransportStats {
+    /// Total messages that never reached their destination.
+    pub fn lost(&self) -> u64 {
+        self.dropped + self.partition_dropped
+    }
+}
+
+/// Minimal message-passing surface the campaign stack programs against.
+///
+/// Implementations own their notion of time: the simulated fabric advances a
+/// virtual clock, the loopback fabric delivers instantly at a frozen clock.
+pub trait NetTransport {
+    /// Submits `payload` from `src` to `dst` at the current fabric time.
+    fn send(&mut self, src: NodeId, dst: NodeId, payload: Vec<u8>);
+
+    /// Advances the fabric to `deadline` and returns everything delivered up
+    /// to (and including) that instant, in delivery order.
+    fn advance_to(&mut self, deadline: SimTime) -> Vec<Delivery>;
+
+    /// Runs the fabric until nothing is in flight and returns the remaining
+    /// deliveries in delivery order.
+    fn drain(&mut self) -> Vec<Delivery>;
+
+    /// Current fabric time.
+    fn now(&self) -> SimTime;
+
+    /// Counters accumulated since construction.
+    fn stats(&self) -> TransportStats;
+}
+
+/// Directed link identifier used by per-link configuration and entropy.
+pub(crate) type LinkKey = (u32, u32);
+
+pub(crate) fn link_key(src: NodeId, dst: NodeId) -> LinkKey {
+    (src.0, dst.0)
+}

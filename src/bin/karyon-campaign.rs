@@ -20,12 +20,62 @@
 use std::io::Write as _;
 use std::process::ExitCode;
 
+use karyon::scenario::fault::is_injected;
 use karyon::scenario::{
-    builtin_registry, read_jsonl_records, truncate_jsonl, Campaign, CampaignOutcome,
-    CampaignReport, CampaignTelemetry, Checkpointer, JsonlRunWriter, RunMeta, RunRecord, RunSink,
-    RunnerStats, ScenarioRegistry, SyncOnFlushFile,
+    builtin_registry, read_jsonl_records, truncate_jsonl, truncate_trace_jsonl, Campaign,
+    CampaignOutcome, CampaignReport, CampaignTelemetry, Checkpointer, FaultInjector, FaultPlan,
+    JsonlRunWriter, RunMeta, RunRecord, RunSink, RunnerStats, ScenarioRegistry, SyncOnFlushFile,
 };
 use karyon::telemetry::{JsonlTraceWriter, MetricsRegistry};
+
+/// What went wrong, mapped to the process exit code (see `EXIT CODES` in
+/// [`USAGE`]).  The scripts driving chaos campaigns in CI branch on these.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ErrorKind {
+    /// Bad flags or arguments, rejected before anything executed (exit 2).
+    Usage,
+    /// An I/O or execution failure: unreadable spec, sink errors, a scenario
+    /// panic, a corrupt checkpoint manifest... (exit 3).
+    Io,
+    /// The campaign session was cut short by an injected fault — the
+    /// expected outcome of a chaos session, never of a production one
+    /// (exit 4).
+    FaultAborted,
+    /// `chaos` recovered to completion but the recovered artifacts were not
+    /// byte-identical to the fault-free reference (exit 5).
+    Mismatch,
+}
+
+impl ErrorKind {
+    fn code(self) -> u8 {
+        match self {
+            ErrorKind::Usage => 2,
+            ErrorKind::Io => 3,
+            ErrorKind::FaultAborted => 4,
+            ErrorKind::Mismatch => 5,
+        }
+    }
+}
+
+struct CliError {
+    kind: ErrorKind,
+    message: String,
+}
+
+/// Runtime errors bubbling up as strings classify themselves: an injected
+/// fault message (recognised by its [`INJECTED_PREFIX`](is_injected)) means
+/// the session was deliberately killed; everything else is an I/O /
+/// execution failure.
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        let kind = if is_injected(&message) { ErrorKind::FaultAborted } else { ErrorKind::Io };
+        CliError { kind, message }
+    }
+}
+
+fn usage(message: impl Into<String>) -> CliError {
+    CliError { kind: ErrorKind::Usage, message: message.into() }
+}
 
 const USAGE: &str = "\
 karyon-campaign — declarative KARYON simulation campaigns: run, checkpoint, resume, report
@@ -34,6 +84,11 @@ USAGE:
     karyon-campaign run    <spec.json> [OPTIONS]     execute a campaign from a JSON spec
     karyon-campaign resume <spec.json> [OPTIONS]     continue from --checkpoint (bit-identical)
     karyon-campaign report <spec.json> [OPTIONS]     re-emit a report without running anything
+    karyon-campaign chaos  <spec.json> --dir <dir> (--fault-plan <plan.json> | --fault-seed <n>)
+                                                     crash-test the campaign: inject the plan's
+                                                     faults, recover across sessions, and verify
+                                                     the recovered artifacts are byte-identical
+                                                     to a fault-free reference
     karyon-campaign list-families [--output json]    list the builtin scenario families
                                                      (json: parameter names, types, domains)
     karyon-campaign help                             show this help
@@ -57,6 +112,25 @@ OPTIONS:
     --quiet               suppress the progress line on stderr
     --force               run: discard an existing checkpoint of this campaign and start over
                           (without it, `run` refuses to overwrite checkpointed progress)
+    --fault-plan <file>   run/resume: arm a deterministic fault plan (JSON, see `chaos`);
+                          an injected fault aborts the session with exit code 4
+
+CHAOS OPTIONS (chaos takes --threads/--output/--quiet plus):
+    --dir <dir>           working directory for the chaos checkpoint + JSONL stream
+    --fault-plan <file>   the fault plan to inject: {\"faults\": [{\"kind\":
+                          \"worker-death\", \"at_chunk\": 1}, {\"kind\": \"sink-io-error\",
+                          \"at_chunks_done\": 1, \"failures\": 2}, {\"kind\":
+                          \"torn-manifest\", \"at_chunks_done\": 2, \"keep_bytes\": 40},
+                          {\"kind\": \"abort-mid-chunk\", \"at_chunk\": 2, \"after_runs\": 3}]}
+    --fault-seed <n>      derive a plan deterministically from seed <n> instead
+    --max-sessions <n>    recovery-session budget before giving up      [default: 16]
+
+EXIT CODES:
+    0   success
+    2   usage error (bad flags or arguments; nothing was executed)
+    3   I/O or execution failure (unreadable spec, sink error, corrupt manifest...)
+    4   the session was aborted by an injected fault (--fault-plan on run/resume)
+    5   chaos verification failed: recovered artifacts differ from the reference
 
 SPEC FILE:
     {\"name\": \"demo\", \"seed\": 42, \"chunk_size\": 4096,
@@ -82,6 +156,7 @@ struct CommonArgs {
     metrics_path: Option<String>,
     quiet: bool,
     force: bool,
+    fault_plan: Option<String>,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -94,25 +169,28 @@ enum OutputMode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str);
-    let result = match command {
-        Some("run") => parse_common(&args[1..]).and_then(|a| cmd_run(a, false)),
-        Some("resume") => parse_common(&args[1..]).and_then(|a| cmd_run(a, true)),
-        Some("report") => parse_common(&args[1..]).and_then(cmd_report),
-        Some("list-families") => cmd_list_families(&args[1..]),
+    let result: Result<(), CliError> = match command {
+        Some("run") => parse_common(&args[1..]).map_err(usage).and_then(|a| cmd_run(a, false)),
+        Some("resume") => parse_common(&args[1..]).map_err(usage).and_then(|a| cmd_run(a, true)),
+        Some("report") => parse_common(&args[1..]).map_err(usage).and_then(cmd_report),
+        Some("chaos") => cmd_chaos(&args[1..]),
+        Some("list-families") => cmd_list_families(&args[1..]).map_err(usage),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!(
-            "unknown command {other:?} (expected run, resume, report, list-families or help)"
-        )),
+        Some(other) => Err(usage(format!(
+            "unknown command {other:?} (expected run, resume, report, chaos, list-families or help)"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("karyon-campaign: error: {message}");
-            eprintln!("run `karyon-campaign help` for usage");
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("karyon-campaign: error: {}", error.message);
+            if error.kind == ErrorKind::Usage {
+                eprintln!("run `karyon-campaign help` for usage");
+            }
+            ExitCode::from(error.kind.code())
         }
     }
 }
@@ -132,6 +210,7 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
         metrics_path: None,
         quiet: false,
         force: false,
+        fault_plan: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -167,6 +246,7 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
             "--metrics" => parsed.metrics_path = Some(value_of("--metrics")?),
             "--quiet" => parsed.quiet = true,
             "--force" => parsed.force = true,
+            "--fault-plan" => parsed.fault_plan = Some(value_of("--fault-plan")?),
             flag if flag.starts_with('-') => return Err(format!("unknown option {flag:?}")),
             positional => {
                 if spec_path.replace(positional.to_string()).is_some() {
@@ -285,26 +365,32 @@ impl<W: std::io::Write> RunSink for ProgressSink<W> {
 }
 
 /// `run` and `resume`: execute (the rest of) a campaign.
-fn cmd_run(args: CommonArgs, resuming: bool) -> Result<(), String> {
+fn cmd_run(args: CommonArgs, resuming: bool) -> Result<(), CliError> {
     let campaign = load_campaign(&args)?;
     let registry = builtin_registry();
     validate_families(&campaign, &registry)?;
     let total = campaign.run_count();
 
     if resuming && args.force {
-        return Err(
-            "--force only applies to `run` (resume continues progress, it never discards any)"
-                .into(),
-        );
+        return Err(usage(
+            "--force only applies to `run` (resume continues progress, it never discards any)",
+        ));
     }
     if resuming && args.checkpoint.is_none() {
-        return Err("resume needs --checkpoint <path> (the manifest to continue from)".into());
+        return Err(usage("resume needs --checkpoint <path> (the manifest to continue from)"));
     }
     if args.max_chunks.is_some() && args.checkpoint.is_none() {
-        return Err(
-            "--max-chunks only makes sense with --checkpoint (the slice must be resumable)".into(),
-        );
+        return Err(usage(
+            "--max-chunks only makes sense with --checkpoint (the slice must be resumable)",
+        ));
     }
+    if args.fault_plan.is_some() && args.checkpoint.is_none() {
+        return Err(usage(
+            "--fault-plan needs --checkpoint (recovering from an injected fault needs a manifest \
+             to resume from)",
+        ));
+    }
+    let injector = args.fault_plan.as_ref().map(|path| load_fault_plan(path)).transpose()?;
 
     // `run` starts from scratch: it truncates --jsonl and overwrites
     // --checkpoint.  A manifest already holding progress (for this campaign
@@ -317,27 +403,27 @@ fn cmd_run(args: CommonArgs, resuming: bool) -> Result<(), String> {
             if let Some(refusal) =
                 refuse_overwriting_progress(&campaign, &args.spec_path, ckpt_path)
             {
-                return Err(refusal);
+                return Err(CliError::from(refusal));
             }
         }
         if let Some(jsonl_path) = &args.jsonl {
             if std::fs::metadata(jsonl_path).map(|m| m.len() > 0).unwrap_or(false) {
-                return Err(format!(
+                return Err(CliError::from(format!(
                     "--jsonl {jsonl_path:?} already holds data — `run` starts a fresh stream \
                      and would truncate it; use `resume` to continue a checkpointed campaign, \
                      `report --jsonl` to re-aggregate a finished stream, or pass --force to \
                      discard it and start over"
-                ));
+                )));
             }
         }
         if let Some(dir) = &args.trace_dir {
             let path = trace_path(dir, campaign.name());
             if std::fs::metadata(&path).map(|m| m.len() > 0).unwrap_or(false) {
-                return Err(format!(
+                return Err(CliError::from(format!(
                     "trace stream {path:?} already holds data — `run` starts a fresh stream \
                      and would truncate it; use `resume` to continue it, or pass --force to \
                      discard it and start over"
-                ));
+                )));
             }
         }
     }
@@ -359,7 +445,7 @@ fn cmd_run(args: CommonArgs, resuming: bool) -> Result<(), String> {
     if resuming {
         let manifest = checkpointer.as_ref().expect("checked above").load()?;
         if manifest.fingerprint != campaign.fingerprint() {
-            return Err(format!(
+            return Err(CliError::from(format!(
                 "checkpoint {:?} was written by a different campaign definition than spec {:?} \
                  (fingerprint {:#018x} vs {:#018x}) — refusing to touch the JSONL stream; \
                  restore the original spec (name, seed, chunk_size, entries) to resume",
@@ -367,7 +453,7 @@ fn cmd_run(args: CommonArgs, resuming: bool) -> Result<(), String> {
                 args.spec_path,
                 manifest.fingerprint,
                 campaign.fingerprint(),
-            ));
+            )));
         }
         offset = manifest.runs_done;
         if let Some(jsonl_path) = &args.jsonl {
@@ -441,14 +527,24 @@ fn cmd_run(args: CommonArgs, resuming: bool) -> Result<(), String> {
         if let Some(metrics) = metrics.as_mut() {
             telemetry = telemetry.with_metrics(metrics);
         }
-        match (&mut checkpointer, resuming) {
-            (Some(ckpt), true) => {
+        match (&mut checkpointer, resuming, injector.as_ref()) {
+            (Some(ckpt), true, None) => {
                 campaign.resume_with(&registry, ckpt, Some(&mut progress), telemetry)?
             }
-            (Some(ckpt), false) => {
+            (Some(ckpt), false, None) => {
                 campaign.run_checkpointed_with(&registry, ckpt, Some(&mut progress), telemetry)?
             }
-            (None, _) => {
+            (Some(ckpt), true, Some(faults)) => {
+                campaign.resume_chaos(&registry, ckpt, Some(&mut progress), telemetry, faults)?
+            }
+            (Some(ckpt), false, Some(faults)) => campaign.run_checkpointed_chaos(
+                &registry,
+                ckpt,
+                Some(&mut progress),
+                telemetry,
+                faults,
+            )?,
+            (None, _, _) => {
                 let (report, stats) =
                     campaign.run_instrumented_with(&registry, Some(&mut progress), telemetry)?;
                 (CampaignOutcome::Complete(report), stats)
@@ -490,9 +586,12 @@ fn cmd_run(args: CommonArgs, resuming: bool) -> Result<(), String> {
 
 /// `report`: re-emit a report without executing any run — from a complete
 /// JSONL stream (canonical replay) or a finished checkpoint manifest.
-fn cmd_report(args: CommonArgs) -> Result<(), String> {
+fn cmd_report(args: CommonArgs) -> Result<(), CliError> {
     if args.force {
-        return Err("--force only applies to `run` (report never writes anything)".into());
+        return Err(usage("--force only applies to `run` (report never writes anything)"));
+    }
+    if args.fault_plan.is_some() {
+        return Err(usage("--fault-plan only applies to run/resume (report never executes runs)"));
     }
     let campaign = load_campaign(&args)?;
     let registry = builtin_registry();
@@ -503,7 +602,7 @@ fn cmd_report(args: CommonArgs) -> Result<(), String> {
                 .map_err(|e| format!("cannot read JSONL stream {jsonl_path:?}: {e}"))?;
             let records = read_jsonl_records(&text)?;
             let report = campaign.reduce_records(&registry, &records)?;
-            render(&args, &report)
+            Ok(render(&args, &report)?)
         }
         (None, Some(ckpt_path)) => {
             // `report` must never execute runs: only a *finished* manifest
@@ -513,27 +612,295 @@ fn cmd_report(args: CommonArgs) -> Result<(), String> {
             let manifest = ckpt.load()?;
             let chunks = campaign.canonical_chunks();
             if manifest.fingerprint == campaign.fingerprint() && manifest.chunks_done < chunks {
-                return Err(format!(
+                return Err(CliError::from(format!(
                     "checkpoint {ckpt_path:?} is mid-campaign ({} of {chunks} chunks, {} of {} \
                      runs) — `report` never executes runs; use `karyon-campaign resume` to \
                      finish it first",
                     manifest.chunks_done,
                     manifest.runs_done,
                     campaign.run_count(),
-                ));
+                )));
             }
             // A finished manifest replays instantly through resume: zero
             // chunks remain, so no run executes and no manifest is written.
             let (outcome, _) = campaign.resume(&registry, &mut ckpt, None)?;
             match outcome {
-                CampaignOutcome::Complete(report) => render(&args, &report),
+                CampaignOutcome::Complete(report) => Ok(render(&args, &report)?),
                 CampaignOutcome::Interrupted { .. } => unreachable!("zero chunks remain"),
             }
         }
-        _ => Err("report needs exactly one source: --jsonl <stream> (replay) or \
-             --checkpoint <manifest> (finished campaign)"
-            .into()),
+        _ => Err(usage(
+            "report needs exactly one source: --jsonl <stream> (replay) or \
+             --checkpoint <manifest> (finished campaign)",
+        )),
     }
+}
+
+/// What `karyon-campaign chaos` parses for itself.  The chaos harness owns
+/// its artifact paths (under `--dir`), so the run/resume stream flags are
+/// deliberately absent.
+struct ChaosArgs {
+    spec_path: String,
+    dir: String,
+    fault_plan: Option<String>,
+    fault_seed: Option<u64>,
+    max_sessions: usize,
+    threads: Option<usize>,
+    output: OutputMode,
+    quiet: bool,
+}
+
+fn parse_chaos(args: &[String]) -> Result<ChaosArgs, String> {
+    let mut spec_path = None;
+    let mut parsed = ChaosArgs {
+        spec_path: String::new(),
+        dir: String::new(),
+        fault_plan: None,
+        fault_seed: None,
+        max_sessions: 16,
+        threads: None,
+        output: OutputMode::Table,
+        quiet: false,
+    };
+    let mut dir = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of =
+            |flag: &str| iter.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--dir" => dir = Some(value_of("--dir")?),
+            "--fault-plan" => parsed.fault_plan = Some(value_of("--fault-plan")?),
+            "--fault-seed" => {
+                let raw = value_of("--fault-seed")?;
+                parsed.fault_seed = Some(
+                    raw.parse().map_err(|_| format!("--fault-seed: {raw:?} is not an integer"))?,
+                );
+            }
+            "--max-sessions" => {
+                parsed.max_sessions = parse_count("--max-sessions", &value_of("--max-sessions")?)?
+            }
+            "--threads" => {
+                let raw = value_of("--threads")?;
+                parsed.threads =
+                    Some(raw.parse().map_err(|_| format!("--threads: {raw:?} is not an integer"))?)
+            }
+            "--output" => {
+                parsed.output = match value_of("--output")?.as_str() {
+                    "json" => OutputMode::Json,
+                    "table" => OutputMode::Table,
+                    "both" => OutputMode::Both,
+                    other => {
+                        return Err(format!("--output must be json, table or both, not {other:?}"))
+                    }
+                }
+            }
+            "--quiet" => parsed.quiet = true,
+            flag @ ("--checkpoint" | "--jsonl" | "--trace-dir" | "--metrics") => {
+                return Err(format!(
+                    "{flag} does not apply to `chaos` — the harness manages its own checkpoint \
+                     and JSONL stream under --dir"
+                ));
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown option {flag:?}")),
+            positional => {
+                if spec_path.replace(positional.to_string()).is_some() {
+                    return Err(format!("unexpected extra argument {positional:?}"));
+                }
+            }
+        }
+    }
+    parsed.spec_path = spec_path.ok_or("missing the <spec.json> argument")?;
+    parsed.dir = dir.ok_or("chaos needs --dir <dir> (where its checkpoint and stream live)")?;
+    if parsed.fault_plan.is_some() == parsed.fault_seed.is_some() {
+        return Err(
+            "chaos needs exactly one of --fault-plan <file> or --fault-seed <n>".to_string()
+        );
+    }
+    Ok(parsed)
+}
+
+/// `chaos`: the self-verifying crash-test loop.  Computes a fault-free
+/// reference in memory, then runs the same campaign on disk under an armed
+/// [`FaultInjector`], recovering after every injected crash — a fresh
+/// "session" per recovery, exactly like a supervisor restarting a killed
+/// process — and finally asserts the recovered report and JSONL stream are
+/// **byte-identical** to the reference.
+fn cmd_chaos(raw_args: &[String]) -> Result<(), CliError> {
+    let args = parse_chaos(raw_args).map_err(usage)?;
+    let text = std::fs::read_to_string(&args.spec_path)
+        .map_err(|e| CliError::from(format!("cannot read spec {:?}: {e}", args.spec_path)))?;
+    let mut campaign = Campaign::from_json_str(&text)
+        .map_err(|e| CliError::from(format!("spec {:?}: {e}", args.spec_path)))?;
+    if let Some(threads) = args.threads {
+        campaign = campaign.with_threads(threads);
+    }
+    let registry = builtin_registry();
+    validate_families(&campaign, &registry)?;
+
+    let plan = match (&args.fault_plan, args.fault_seed) {
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::from(format!("cannot read fault plan {path:?}: {e}")))?;
+            FaultPlan::from_json_str(&text)
+                .map_err(|e| CliError::from(format!("fault plan {path:?}: {e}")))?
+        }
+        (None, Some(seed)) => FaultPlan::derive(seed, campaign.canonical_chunks()),
+        _ => unreachable!("parse_chaos enforces exactly one source"),
+    };
+    if plan.is_empty() {
+        return Err(usage("the fault plan holds no faults — nothing to chaos-test"));
+    }
+
+    // The fault-free reference, entirely in memory: the ground truth every
+    // recovered artifact must reproduce byte for byte.
+    let mut reference_sink = JsonlRunWriter::new(Vec::new());
+    let (reference, _) = campaign.run_instrumented_with(
+        &registry,
+        Some(&mut reference_sink),
+        CampaignTelemetry::none(),
+    )?;
+    let reference_jsonl = reference_sink
+        .finish()
+        .map_err(|e| CliError::from(format!("collecting the reference stream: {e}")))?;
+
+    std::fs::create_dir_all(&args.dir)
+        .map_err(|e| CliError::from(format!("cannot create --dir {:?}: {e}", args.dir)))?;
+    let dir = std::path::Path::new(&args.dir);
+    let ckpt_path = dir.join(format!("{}.chaos.ckpt.json", campaign.name()));
+    let jsonl_path = dir.join(format!("{}.chaos.runs.jsonl", campaign.name()));
+    // Stale artifacts from an earlier chaos invocation would poison the
+    // fingerprint/watermark checks of session 1 — the harness owns the dir.
+    std::fs::remove_file(&ckpt_path).ok();
+    std::fs::remove_file(&jsonl_path).ok();
+
+    let injector = plan.injector();
+    let mut sessions = 0usize;
+    let report = loop {
+        if sessions >= args.max_sessions {
+            return Err(CliError::from(format!(
+                "chaos did not recover to completion within --max-sessions {} (faults injected \
+                 so far: {})",
+                args.max_sessions,
+                injector.injected(),
+            )));
+        }
+        sessions += 1;
+        let resuming = ckpt_path.exists();
+        if resuming {
+            match Checkpointer::new(&ckpt_path).load() {
+                Ok(manifest) => {
+                    truncate_jsonl(&jsonl_path, manifest.runs_done)?;
+                }
+                Err(error) => {
+                    // A torn or corrupt manifest: the refusal is the expected
+                    // behaviour, and the documented recovery — discard the
+                    // checkpoint and its streams, start over — is exactly
+                    // what a one-shot injector makes safe to automate.
+                    if !args.quiet {
+                        eprintln!("chaos session {sessions}: {error}");
+                        eprintln!(
+                            "chaos session {sessions}: discarding the checkpoint and stream, \
+                             restarting from scratch"
+                        );
+                    }
+                    std::fs::remove_file(&ckpt_path)
+                        .map_err(|e| format!("cannot discard {ckpt_path:?}: {e}"))?;
+                    std::fs::remove_file(&jsonl_path).ok();
+                    continue;
+                }
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(resuming)
+            .write(true)
+            .truncate(!resuming)
+            .open(&jsonl_path)
+            .map_err(|e| format!("cannot open JSONL stream {jsonl_path:?}: {e}"))?;
+        let mut sink = JsonlRunWriter::new(SyncOnFlushFile::new(file));
+        let mut ckpt = Checkpointer::new(&ckpt_path);
+        let result = if resuming {
+            campaign.resume_chaos(
+                &registry,
+                &mut ckpt,
+                Some(&mut sink),
+                CampaignTelemetry::none(),
+                &injector,
+            )
+        } else {
+            campaign.run_checkpointed_chaos(
+                &registry,
+                &mut ckpt,
+                Some(&mut sink),
+                CampaignTelemetry::none(),
+                &injector,
+            )
+        };
+        match result {
+            Ok((CampaignOutcome::Complete(report), _)) => {
+                sink.finish().map_err(|e| format!("finishing the JSONL stream: {e}"))?;
+                break report;
+            }
+            Ok((CampaignOutcome::Interrupted { runs_done, .. }, _)) => {
+                if !args.quiet {
+                    eprintln!("chaos session {sessions}: interrupted at {runs_done} runs");
+                }
+            }
+            Err(message) if is_injected(&message) => {
+                if !args.quiet {
+                    eprintln!("chaos session {sessions}: {message}");
+                }
+                // The session "crashed": drop the sink un-finished, like a
+                // killed process would, and let the next session recover.
+            }
+            Err(message) => return Err(CliError::from(message)),
+        }
+    };
+
+    let recovered_jsonl = std::fs::read(&jsonl_path)
+        .map_err(|e| CliError::from(format!("cannot read back {jsonl_path:?}: {e}")))?;
+    if report.to_json() != reference.to_json() {
+        return Err(CliError {
+            kind: ErrorKind::Mismatch,
+            message: format!(
+                "the report recovered after {} injected faults differs from the fault-free \
+                 reference — determinism under faults is broken",
+                injector.injected(),
+            ),
+        });
+    }
+    if recovered_jsonl != reference_jsonl {
+        return Err(CliError {
+            kind: ErrorKind::Mismatch,
+            message: format!(
+                "the recovered JSONL stream {jsonl_path:?} is not byte-identical to the \
+                 fault-free reference stream",
+            ),
+        });
+    }
+    if !args.quiet {
+        eprintln!(
+            "chaos: {} faults injected across {sessions} sessions; recovered report and JSONL \
+             stream are byte-identical to the fault-free reference",
+            injector.injected(),
+        );
+    }
+    let render_args = CommonArgs {
+        spec_path: args.spec_path,
+        jsonl: None,
+        checkpoint: None,
+        checkpoint_every: 1,
+        max_chunks: None,
+        threads: args.threads,
+        output: args.output,
+        metrics: Vec::new(),
+        trace_dir: None,
+        metrics_path: None,
+        quiet: args.quiet,
+        force: false,
+        fault_plan: None,
+    };
+    Ok(render(&render_args, &report)?)
 }
 
 fn cmd_list_families(args: &[String]) -> Result<(), String> {
@@ -727,44 +1094,13 @@ fn trace_path(dir: &str, campaign: &str) -> std::path::PathBuf {
     std::path::Path::new(dir).join(format!("{campaign}.trace.jsonl"))
 }
 
-/// Cuts a trace stream back to the records of runs below `runs_done` (the
-/// checkpoint watermark), so a resumed session can append to it.  Unlike the
-/// run stream — one line per run, cut by line count — a run traces any
-/// number of lines, but every line leads with its canonical run index
-/// (`{"run":N,...`), so the watermark cut is a prefix scan.  A torn trailing
-/// line from a crashed session is dropped along with everything at or past
-/// the watermark.
-fn truncate_trace_jsonl(path: &std::path::Path, runs_done: u64) -> Result<(), String> {
-    let text = match std::fs::read_to_string(path) {
-        Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
-        Err(e) => return Err(format!("cannot read trace stream {path:?}: {e}")),
-    };
-    let mut keep = 0usize;
-    let mut rest = text.as_str();
-    while let Some(nl) = rest.find('\n') {
-        match trace_line_run(&rest[..nl]) {
-            Some(run) if run < runs_done => keep += nl + 1,
-            _ => break,
-        }
-        rest = &rest[nl + 1..];
-    }
-    if keep < text.len() {
-        let file = std::fs::OpenOptions::new()
-            .write(true)
-            .open(path)
-            .map_err(|e| format!("cannot open trace stream {path:?} for truncation: {e}"))?;
-        file.set_len(keep as u64)
-            .map_err(|e| format!("cannot truncate trace stream {path:?}: {e}"))?;
-        file.sync_all().map_err(|e| format!("cannot sync trace stream {path:?}: {e}"))?;
-    }
-    Ok(())
-}
-
-/// Parses the canonical run index a trace line leads with.
-fn trace_line_run(line: &str) -> Option<u64> {
-    let rest = line.strip_prefix("{\"run\":")?;
-    rest[..rest.find(',')?].parse().ok()
+/// Reads and parses a `--fault-plan` file into an armed injector.
+fn load_fault_plan(path: &str) -> Result<FaultInjector, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::from(format!("cannot read fault plan {path:?}: {e}")))?;
+    let plan = FaultPlan::from_json_str(&text)
+        .map_err(|e| CliError::from(format!("fault plan {path:?}: {e}")))?;
+    Ok(plan.injector())
 }
 
 #[cfg(test)]

@@ -12,10 +12,12 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use karyon::scenario::{
-    derive_run_seed, truncate_jsonl, Campaign, CampaignEntry, CampaignOutcome, CheckpointManifest,
-    Checkpointer, JsonlRunWriter, ParamGrid, RunRecord, Scenario, ScenarioRegistry, ScenarioSpec,
+    derive_run_seed, truncate_jsonl, truncate_trace_jsonl, Campaign, CampaignEntry,
+    CampaignOutcome, CampaignTelemetry, CheckpointManifest, Checkpointer, Fault, FaultPlan,
+    JsonlRunWriter, ParamGrid, RunRecord, Scenario, ScenarioRegistry, ScenarioSpec,
 };
-use karyon::sim::splitmix64;
+use karyon::sim::{splitmix64, SimTime};
+use karyon::telemetry::{trace, AttrValue, JsonlTraceWriter};
 
 /// A cheap deterministic scenario with adversarial metric content: a
 /// pre-agreed-range metric (streams through fixed histograms), an undeclared
@@ -39,6 +41,15 @@ impl Scenario for Noise {
         let mut state = spec.seed;
         let a = splitmix64(&mut state);
         let b = splitmix64(&mut state);
+        // Virtual-time trace records (no-ops without a campaign trace
+        // scope): pure functions of the spec, so the campaign trace stream
+        // must be byte-identical across any kill/resume history.
+        trace::event(
+            "noise.sample",
+            SimTime::from_micros(a % 1_000),
+            &[("a", AttrValue::U64(a % 97))],
+        );
+        trace::span("noise.run", SimTime::ZERO, SimTime::from_micros(1 + b % 1_000), &[]);
         let mut record = RunRecord::new();
         record.set("ranged", (a >> 11) as f64 / (1u64 << 53) as f64);
         record.set("wild", ((b % 10_000) as f64 - 5_000.0) * spec.f64_or("scale", 1.0));
@@ -170,6 +181,129 @@ proptest! {
         prop_assert!(stitched == expected_jsonl, "stitched JSONL differs from uninterrupted");
         fs::remove_file(&ckpt_path).ok();
         fs::remove_file(&jsonl_path).ok();
+    }
+
+    /// The chaos acceptance property: kill the campaign with an injected
+    /// worker death at an *arbitrary* chunk — including chunk 0, where no
+    /// manifest exists yet and recovery must restart from scratch — then
+    /// recover across sessions with a different worker count.  Report, JSONL
+    /// stream and trace stream must all be byte-identical to an
+    /// uninterrupted traced run's.
+    #[test]
+    fn a_worker_death_at_any_chunk_recovers_all_streams_byte_identically(
+        seed in 0u64..100_000,
+        replications in 8u64..40,
+        chunk_size in 1usize..10,
+        death_frac in 0.0f64..1.0,
+        threads_before in 1usize..4,
+        threads_after in 1usize..4,
+    ) {
+        let registry = noise_registry();
+        let campaign = noise_campaign(seed, replications, chunk_size, threads_before);
+        let chunks = campaign.canonical_chunks();
+        let death_chunk = ((chunks - 1) as f64 * death_frac) as usize;
+
+        // The traced reference: report, JSONL bytes and trace bytes of one
+        // uninterrupted instrumented run.
+        let mut ref_jsonl = JsonlRunWriter::new(Vec::new());
+        let mut ref_trace = JsonlTraceWriter::new(Vec::new());
+        let (expected_report, _) = campaign
+            .run_instrumented_with(
+                &registry,
+                Some(&mut ref_jsonl),
+                CampaignTelemetry::none().with_trace(&mut ref_trace),
+            )
+            .expect("reference runs");
+        let expected_jsonl = ref_jsonl.finish().expect("in-memory stream");
+        let expected_trace = ref_trace.into_inner().expect("in-memory stream");
+
+        let dir = scratch_dir("chaos");
+        let tag = format!("{seed}-{replications}-{chunk_size}-{death_chunk}");
+        let ckpt_path = dir.join(format!("c-{tag}.json"));
+        let jsonl_path = dir.join(format!("s-{tag}.jsonl"));
+        let trace_path = dir.join(format!("t-{tag}.jsonl"));
+        fs::remove_file(&ckpt_path).ok();
+        fs::remove_file(&jsonl_path).ok();
+        fs::remove_file(&trace_path).ok();
+
+        // One injector across every session: the death budget is one-shot,
+        // so recovery sessions never re-trip it.
+        let injector =
+            FaultPlan::new().with(Fault::WorkerDeath { at_chunk: death_chunk }).injector();
+        let mut sessions = 0usize;
+        let report = loop {
+            sessions += 1;
+            prop_assert!(sessions <= 4, "recovery must converge quickly");
+            let resuming = ckpt_path.exists();
+            if resuming {
+                let manifest = CheckpointManifest::load(&ckpt_path).expect("manifest on disk");
+                truncate_jsonl(&jsonl_path, manifest.runs_done).expect("stream covers watermark");
+                truncate_trace_jsonl(&trace_path, manifest.runs_done).expect("trace recovers");
+            }
+            let threads = if resuming { threads_after } else { threads_before };
+            let campaign = noise_campaign(seed, replications, chunk_size, threads);
+            let mut jsonl = JsonlRunWriter::new(
+                fs::OpenOptions::new()
+                    .create(true)
+                    .append(resuming)
+                    .write(true)
+                    .truncate(!resuming)
+                    .open(&jsonl_path)
+                    .expect("stream opens"),
+            );
+            let mut trace_sink = JsonlTraceWriter::new(
+                fs::OpenOptions::new()
+                    .create(true)
+                    .append(resuming)
+                    .write(true)
+                    .truncate(!resuming)
+                    .open(&trace_path)
+                    .expect("trace opens"),
+            );
+            let telemetry = CampaignTelemetry::none().with_trace(&mut trace_sink);
+            let mut ckpt = Checkpointer::new(&ckpt_path);
+            let result = if resuming {
+                campaign.resume_chaos(&registry, &mut ckpt, Some(&mut jsonl), telemetry, &injector)
+            } else {
+                campaign.run_checkpointed_chaos(
+                    &registry,
+                    &mut ckpt,
+                    Some(&mut jsonl),
+                    telemetry,
+                    &injector,
+                )
+            };
+            match result {
+                Ok((CampaignOutcome::Complete(report), _)) => {
+                    jsonl.finish().expect("stream closes");
+                    trace_sink.into_inner().expect("trace closes");
+                    break report;
+                }
+                Ok((CampaignOutcome::Interrupted { .. }, _)) => {
+                    prop_assert!(false, "no session budget is set");
+                }
+                Err(error) => {
+                    prop_assert!(
+                        karyon::scenario::fault::is_injected(&error),
+                        "only the injected death may kill a session: {error}"
+                    );
+                    // The "crash": writers drop un-finished, like a killed
+                    // process; the next session recovers from disk.
+                }
+            }
+        };
+        // The death fires exactly once; recovery is one crash, one clean run.
+        prop_assert_eq!(injector.injected(), 1);
+        prop_assert_eq!(sessions, 2);
+        prop_assert_eq!(&report, &expected_report);
+        prop_assert_eq!(report.to_json(), expected_report.to_json());
+        let recovered_jsonl = fs::read(&jsonl_path).unwrap();
+        prop_assert!(recovered_jsonl == expected_jsonl, "recovered JSONL differs from reference");
+        let recovered_trace = fs::read(&trace_path).unwrap();
+        prop_assert!(recovered_trace == expected_trace, "recovered trace differs from reference");
+        fs::remove_file(&ckpt_path).ok();
+        fs::remove_file(&jsonl_path).ok();
+        fs::remove_file(&trace_path).ok();
     }
 }
 
