@@ -272,7 +272,11 @@ impl PointAccumulator {
 
 /// One worker's reduction of one canonical chunk: per-point partials for the
 /// points the chunk touched.
-#[derive(Debug, Default)]
+///
+/// `Clone` exists for the shard protocol ([`crate::shard`]): a shard session
+/// persists every chunk partial it merges, so a later `merge` can replay the
+/// exact canonical chunk-order fold of a single-machine run.
+#[derive(Debug, Default, Clone)]
 pub struct ChunkPartial {
     /// Point index → partial aggregate.
     pub points: BTreeMap<usize, PointAccumulator>,

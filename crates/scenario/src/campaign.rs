@@ -611,7 +611,7 @@ impl Campaign {
         sink: Option<&mut dyn RunSink>,
         telemetry: CampaignTelemetry<'_>,
     ) -> Result<(CampaignReport, RunnerStats), String> {
-        match self.run_from(registry, sink, None, 0, None, telemetry, None)? {
+        match self.run_from(registry, sink, None, 0, None, None, telemetry, None, None)? {
             (CampaignOutcome::Complete(report), stats) => Ok((report, stats)),
             (CampaignOutcome::Interrupted { .. }, _) => {
                 unreachable!("without a checkpointer the session covers every chunk")
@@ -652,7 +652,7 @@ impl Campaign {
         sink: Option<&mut dyn RunSink>,
         telemetry: CampaignTelemetry<'_>,
     ) -> Result<(CampaignOutcome, RunnerStats), String> {
-        self.run_from(registry, sink, Some(ckpt), 0, None, telemetry, None)
+        self.run_from(registry, sink, Some(ckpt), 0, None, None, telemetry, None, None)
     }
 
     /// Like [`Campaign::run_checkpointed_with`], executing under an armed
@@ -675,7 +675,7 @@ impl Campaign {
         telemetry: CampaignTelemetry<'_>,
         faults: &FaultInjector,
     ) -> Result<(CampaignOutcome, RunnerStats), String> {
-        self.run_from(registry, sink, Some(ckpt), 0, None, telemetry, Some(faults))
+        self.run_from(registry, sink, Some(ckpt), 0, None, None, telemetry, Some(faults), None)
     }
 
     /// Resumes a checkpointed campaign from the manifest at `ckpt`'s path:
@@ -718,7 +718,17 @@ impl Campaign {
         manifest.validate_for(self, total_runs, points.len(), self.canonical_chunks())?;
         let start_chunk = manifest.chunks_done;
         let accumulator = manifest.into_accumulator();
-        self.run_from(registry, sink, Some(ckpt), start_chunk, Some(accumulator), telemetry, None)
+        self.run_from(
+            registry,
+            sink,
+            Some(ckpt),
+            start_chunk,
+            None,
+            Some(accumulator),
+            telemetry,
+            None,
+            None,
+        )
     }
 
     /// Like [`Campaign::resume_with`], continuing under an armed
@@ -742,16 +752,105 @@ impl Campaign {
             sink,
             Some(ckpt),
             start_chunk,
+            None,
             Some(accumulator),
             telemetry,
             Some(faults),
+            None,
         )
     }
 
+    /// Executes only the canonical chunks `[start_chunk, end_chunk)` — one
+    /// shard of the campaign — returning the **per-chunk partials** in
+    /// canonical chunk order, plus the session's [`RunnerStats`].
+    ///
+    /// This is the execution half of the shard protocol ([`crate::shard`]):
+    /// each shard session runs an independent window of the canonical chunk
+    /// range (with its own worker count — the window, like everything else,
+    /// is thread-count-invariant) and persists the partials it produced.
+    /// The merge half replays every shard's partials in global canonical
+    /// chunk order through the same left-fold a single-machine run performs,
+    /// which is why the merged report is **bit-identical** to an
+    /// uninterrupted run's: per-chunk partials are the only shard artifact
+    /// that preserves the exact floating-point operation sequence (merging
+    /// pre-reduced per-shard accumulators would regroup it).
+    ///
+    /// A `sink` (and a trace sink in `telemetry`) attached here receives
+    /// only the shard's runs, with **global** run indices/coordinates —
+    /// shard JSONL/trace segments therefore concatenate byte-exactly, in
+    /// shard order, into the stream an uninterrupted run writes.
+    ///
+    /// An empty window (`start_chunk == end_chunk`) is valid and executes
+    /// nothing.  Errors if the window does not lie within the campaign's
+    /// canonical chunk range.  There is no checkpointing inside a shard: the
+    /// shard is the unit of retry — a faulted shard session is simply rerun
+    /// from its window start.
+    pub fn run_shard(
+        &self,
+        registry: &ScenarioRegistry,
+        start_chunk: usize,
+        end_chunk: usize,
+        sink: Option<&mut dyn RunSink>,
+    ) -> Result<(Vec<ChunkPartial>, RunnerStats), String> {
+        self.run_shard_with(registry, start_chunk, end_chunk, sink, CampaignTelemetry::none(), None)
+    }
+
+    /// Like [`Campaign::run_shard`], with a
+    /// [telemetry attachment](CampaignTelemetry) and an optional armed
+    /// [`FaultInjector`] (probed exactly like
+    /// [`Campaign::run_checkpointed_chaos`], with global chunk coordinates).
+    pub fn run_shard_with(
+        &self,
+        registry: &ScenarioRegistry,
+        start_chunk: usize,
+        end_chunk: usize,
+        sink: Option<&mut dyn RunSink>,
+        telemetry: CampaignTelemetry<'_>,
+        faults: Option<&FaultInjector>,
+    ) -> Result<(Vec<ChunkPartial>, RunnerStats), String> {
+        let chunks = self.canonical_chunks();
+        if start_chunk > end_chunk || end_chunk > chunks {
+            return Err(format!(
+                "shard window [{start_chunk}, {end_chunk}) does not lie within campaign \
+                 {:?}'s {chunks} canonical chunks",
+                self.name
+            ));
+        }
+        let mut partials: Vec<ChunkPartial> = Vec::with_capacity(end_chunk - start_chunk);
+        let mut tap = |_chunk: usize, partial: &ChunkPartial| partials.push(partial.clone());
+        let (_, stats) = self.run_from(
+            registry,
+            sink,
+            None,
+            start_chunk,
+            Some(end_chunk),
+            None,
+            telemetry,
+            faults,
+            Some(&mut tap),
+        )?;
+        debug_assert_eq!(partials.len(), end_chunk - start_chunk);
+        Ok((partials, stats))
+    }
+}
+
+/// An optional observer invoked with each chunk partial at the
+/// canonical-order merge frontier (see [`Campaign::run_from`]'s
+/// `chunk_tap` parameter).
+type ChunkTap<'a> = Option<&'a mut dyn FnMut(usize, &ChunkPartial)>;
+
+impl Campaign {
     /// The shared session runner: executes canonical chunks
     /// `start_chunk..end` (where `end` is the chunk count, or earlier for a
-    /// bounded checkpoint session) on 1..N workers, merging strictly in
-    /// canonical order into `restored` (or a fresh accumulator).
+    /// bounded checkpoint session or an explicit shard window) on 1..N
+    /// workers, merging strictly in canonical order into `restored` (or a
+    /// fresh accumulator).
+    ///
+    /// `chunk_tap`, when attached, observes every chunk partial at the
+    /// canonical-order merge frontier — immediately before the partial is
+    /// folded into the accumulator — which is how a shard session retains
+    /// the per-chunk partials its manifest persists without disturbing the
+    /// reduction.
     #[allow(clippy::too_many_arguments)]
     fn run_from(
         &self,
@@ -759,16 +858,21 @@ impl Campaign {
         mut sink: Option<&mut dyn RunSink>,
         mut ckpt: Option<&mut Checkpointer>,
         start_chunk: usize,
+        end_override: Option<usize>,
         restored: Option<CampaignAccumulator>,
         mut telemetry: CampaignTelemetry<'_>,
         faults: Option<&FaultInjector>,
+        mut chunk_tap: ChunkTap<'_>,
     ) -> Result<(CampaignOutcome, RunnerStats), String> {
         let (points, total_runs) = self.expand_points();
         let families = self.resolve_families(registry, &points)?;
         let chunks = (total_runs as usize).div_ceil(self.chunk_size);
-        let end_chunk = match &ckpt {
-            Some(c) => c.session_end_chunk(start_chunk, chunks),
-            None => chunks,
+        let end_chunk = match end_override {
+            Some(end) => end,
+            None => match &ckpt {
+                Some(c) => c.session_end_chunk(start_chunk, chunks),
+                None => chunks,
+            },
         };
         let session_chunks = end_chunk - start_chunk;
         let workers = match self.threads {
@@ -810,6 +914,9 @@ impl Campaign {
                 stats.peak_resident_records =
                     stats.peak_resident_records.max(output.records.len() as u64);
                 worker_busy[0] += output.elapsed;
+                if let Some(tap) = chunk_tap.as_deref_mut() {
+                    tap(chunk, &output.partial);
+                }
                 self.merge_chunk(&points, &mut accumulator, output, &mut sink, &mut telemetry);
                 if let Err(error) = self.checkpoint_if_due(
                     &mut ckpt,
@@ -923,6 +1030,7 @@ impl Campaign {
                 }
                 while let Some(output) = pending.remove(&next_merge) {
                     resident_records -= output.records.len() as u64;
+                    let merged_chunk = next_merge;
                     next_merge += 1;
                     gate.advance();
                     if first_error.is_some() || saw_aborted_chunk {
@@ -931,6 +1039,9 @@ impl Campaign {
                         // cover it, and streaming its records would only
                         // write a sink tail the next resume truncates.
                         continue;
+                    }
+                    if let Some(tap) = chunk_tap.as_deref_mut() {
+                        tap(merged_chunk, &output.partial);
                     }
                     self.merge_chunk(&points, &mut accumulator, output, &mut sink, &mut telemetry);
                     if let Err(error) = self.checkpoint_if_due(
@@ -1107,6 +1218,33 @@ impl Campaign {
                 }
                 let family = &families[point_index];
                 partial.record_run(point_index, record, &|metric| family.metric_range(metric));
+            }
+            accumulator.merge_chunk(partial);
+        }
+        Ok(self.finish(points, total_runs, accumulator))
+    }
+
+    /// Folds per-chunk partials — one per canonical chunk, **in canonical
+    /// chunk order** — into the final report, performing exactly the
+    /// left-fold the streaming runner performs.  The shard `merge` path
+    /// ([`crate::shard`]) feeds this the partials every shard persisted.
+    ///
+    /// Errors if a partial references a parameter point outside the
+    /// campaign's expansion (a foreign or corrupt shard manifest).
+    pub(crate) fn finish_from_chunks(
+        &self,
+        partials: impl IntoIterator<Item = ChunkPartial>,
+    ) -> Result<CampaignReport, String> {
+        let (points, total_runs) = self.expand_points();
+        let mut accumulator = CampaignAccumulator::new(points.len());
+        for (index, partial) in partials.into_iter().enumerate() {
+            if let Some(out_of_range) = partial.points.keys().find(|p| **p >= points.len()) {
+                return Err(format!(
+                    "chunk partial #{index} references parameter point {out_of_range}, but \
+                     campaign {:?} expands to only {} points",
+                    self.name,
+                    points.len()
+                ));
             }
             accumulator.merge_chunk(partial);
         }
@@ -1783,5 +1921,127 @@ mod tests {
     #[should_panic(expected = "chunk size must be at least 1")]
     fn zero_chunk_size_rejected() {
         let _ = Campaign::new("c", 1).with_chunk_size(0);
+    }
+
+    // ---- ChunkGate window edge cases --------------------------------------
+    //
+    // The gate is the primitive both the parallel runner and the shard
+    // windows lean on; these pin the degenerate windows a shard plan can
+    // legally produce.
+
+    #[test]
+    fn gate_claim_on_an_empty_window_returns_none_immediately() {
+        // start == end: a shard slice covering zero chunks must not block.
+        let gate = ChunkGate::new(7);
+        let abort = AtomicBool::new(false);
+        assert_eq!(gate.claim(7, 4, &abort), None);
+        assert_eq!(gate.occupancy(), 0);
+    }
+
+    #[test]
+    fn gate_hands_out_a_single_chunk_window_exactly_once() {
+        // A single-chunk shard: one claim succeeds, the next returns None.
+        let gate = ChunkGate::new(3);
+        let abort = AtomicBool::new(false);
+        assert_eq!(gate.claim(4, 8, &abort), Some(3));
+        assert_eq!(gate.claim(4, 8, &abort), None);
+        assert_eq!(gate.occupancy(), 1);
+        gate.advance();
+        assert_eq!(gate.occupancy(), 0);
+    }
+
+    #[test]
+    fn gate_respects_the_abort_flag_and_the_window_bound() {
+        let gate = ChunkGate::new(0);
+        let abort = AtomicBool::new(false);
+        // Window of 2: two claims fill it; a worker thread blocks on the
+        // third until the collector advances the merge frontier.
+        assert_eq!(gate.claim(10, 2, &abort), Some(0));
+        assert_eq!(gate.claim(10, 2, &abort), Some(1));
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| gate.claim(10, 2, &abort));
+            std::thread::sleep(Duration::from_millis(10));
+            gate.advance();
+            assert_eq!(handle.join().unwrap(), Some(2));
+        });
+        // Aborting makes every further claim return None, even mid-window.
+        abort.store(true, Ordering::Relaxed);
+        assert_eq!(gate.claim(10, 2, &abort), None);
+    }
+
+    #[test]
+    fn shard_windows_cover_their_chunks_and_reject_bad_bounds() {
+        let registry = echo_registry();
+        let campaign = Campaign::new("window", 5)
+            .with_chunk_size(4)
+            .entry(CampaignEntry::new("echo").replications(22)); // 6 chunks, ragged tail
+        let chunks = campaign.canonical_chunks();
+        assert_eq!(chunks, 6);
+
+        // An empty window executes nothing.
+        let (partials, stats) = campaign.run_shard(&registry, 2, 2, None).unwrap();
+        assert!(partials.is_empty());
+        assert_eq!(stats.chunks, 0);
+
+        // A single-chunk window produces exactly one partial with the
+        // chunk's runs.
+        let (partials, _) = campaign.run_shard(&registry, 1, 2, None).unwrap();
+        assert_eq!(partials.len(), 1);
+        let runs: u64 = partials[0].points.values().map(|p| p.runs).sum();
+        assert_eq!(runs, 4);
+
+        // The ragged final chunk holds only the tail runs.
+        let (partials, _) = campaign.run_shard(&registry, chunks - 1, chunks, None).unwrap();
+        let runs: u64 = partials[0].points.values().map(|p| p.runs).sum();
+        assert_eq!(runs, 22 - 4 * (chunks as u64 - 1));
+
+        // Bounds outside the canonical range are refused up front.
+        assert!(campaign.run_shard(&registry, 3, 2, None).unwrap_err().contains("shard window"));
+        assert!(campaign
+            .run_shard(&registry, 0, chunks + 1, None)
+            .unwrap_err()
+            .contains("shard window"));
+    }
+
+    #[test]
+    fn shard_boundary_on_a_checkpoint_cadence_boundary_stays_byte_identical() {
+        // A shard boundary that coincides with a checkpoint cadence boundary
+        // must not perturb the reduction: folding the shard partials equals
+        // running checkpointed sessions over the same split.
+        let registry = echo_registry();
+        let campaign = Campaign::new("cadence", 11)
+            .with_chunk_size(3)
+            .entry(CampaignEntry::new("echo").replications(27)); // 9 chunks
+        let reference = campaign.run(&registry).unwrap();
+
+        // Shard split at chunk 6 == cadence 3 × 2 checkpoint boundary.
+        let (mut left, _) = campaign.run_shard(&registry, 0, 6, None).unwrap();
+        let (right, _) = campaign.clone().with_threads(3).run_shard(&registry, 6, 9, None).unwrap();
+        left.extend(right);
+        let merged = campaign.finish_from_chunks(left).unwrap();
+        assert_eq!(merged, reference);
+        assert_eq!(merged.to_json(), reference.to_json());
+    }
+
+    #[test]
+    fn sharded_partials_fold_to_the_single_session_report_for_any_split() {
+        let registry = echo_registry();
+        let campaign = Campaign::new("fold", 19)
+            .with_chunk_size(2)
+            .entry(CampaignEntry::new("echo").replications(13)); // 7 chunks
+        let chunks = campaign.canonical_chunks();
+        let reference = campaign.run(&registry).unwrap();
+        for boundary in 0..=chunks {
+            let (mut partials, _) = campaign.run_shard(&registry, 0, boundary, None).unwrap();
+            let (tail, _) = campaign
+                .clone()
+                .with_threads(2)
+                .run_shard(&registry, boundary, chunks, None)
+                .unwrap();
+            partials.extend(tail);
+            let merged = campaign.finish_from_chunks(partials).unwrap();
+            assert_eq!(merged, reference, "boundary {boundary}");
+            assert_eq!(merged.to_json(), reference.to_json(), "boundary {boundary}");
+        }
     }
 }

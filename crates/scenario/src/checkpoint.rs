@@ -177,30 +177,37 @@ impl Checkpointer {
     /// corruption that slips past the atomic rename (bit rot, manual edits,
     /// non-atomic filesystems).
     pub(crate) fn write(&self, manifest_json: &str) -> Result<(), String> {
-        let dir = self.path.parent().filter(|p| !p.as_os_str().is_empty());
-        let tmp = self.path.with_extension("tmp");
-        let fail = |stage: &str, e: std::io::Error| {
-            format!("checkpoint write to {:?} failed ({stage}): {e}", self.path)
-        };
-        let mut file = fs::File::create(&tmp).map_err(|e| fail("create temp", e))?;
-        file.write_all(manifest_json.as_bytes()).map_err(|e| fail("write temp", e))?;
-        file.write_all(b"\n").map_err(|e| fail("write temp", e))?;
-        file.write_all(integrity_frame(manifest_json).as_bytes())
-            .map_err(|e| fail("write frame", e))?;
-        file.write_all(b"\n").map_err(|e| fail("write frame", e))?;
-        file.sync_all().map_err(|e| fail("sync temp", e))?;
-        drop(file);
-        fs::rename(&tmp, &self.path).map_err(|e| fail("rename", e))?;
-        // Make the rename durable too, where the platform allows opening
-        // directories; skipping this on failure only weakens crash-ordering,
-        // never correctness of what is read back.
-        if let Some(dir) = dir {
-            if let Ok(d) = fs::File::open(dir) {
-                let _ = d.sync_all();
-            }
-        }
-        Ok(())
+        write_framed_atomic(&self.path, manifest_json, "checkpoint")
     }
+}
+
+/// Writes `payload` plus its [`integrity frame`](integrity_frame) atomically
+/// to `path`: to a temp file in the target's directory, fsynced, then renamed
+/// over the final path, so a crash at any instant leaves either the previous
+/// file or the new one — never a torn write.  Shared by checkpoint manifests
+/// and [shard manifests](crate::shard); `what` names the artifact in errors.
+pub(crate) fn write_framed_atomic(path: &Path, payload: &str, what: &str) -> Result<(), String> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let tmp = path.with_extension("tmp");
+    let fail =
+        |stage: &str, e: std::io::Error| format!("{what} write to {path:?} failed ({stage}): {e}");
+    let mut file = fs::File::create(&tmp).map_err(|e| fail("create temp", e))?;
+    file.write_all(payload.as_bytes()).map_err(|e| fail("write temp", e))?;
+    file.write_all(b"\n").map_err(|e| fail("write temp", e))?;
+    file.write_all(integrity_frame(payload).as_bytes()).map_err(|e| fail("write frame", e))?;
+    file.write_all(b"\n").map_err(|e| fail("write frame", e))?;
+    file.sync_all().map_err(|e| fail("sync temp", e))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(|e| fail("rename", e))?;
+    // Make the rename durable too, where the platform allows opening
+    // directories; skipping this on failure only weakens crash-ordering,
+    // never correctness of what is read back.
+    if let Some(dir) = dir {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// A parsed checkpoint manifest: the campaign's identity, the canonical-chunk
@@ -397,7 +404,9 @@ pub(crate) fn render_manifest(
 
 /// Renders one point's partial.  Every `f64` is stored as its IEEE-754 bit
 /// pattern in a `u64` field, so the restore is bit-exact by construction.
-fn render_point(point: &PointAccumulator) -> String {
+/// Shared with the shard manifests of [`crate::shard`], which persist the
+/// same representation per chunk.
+pub(crate) fn render_point(point: &PointAccumulator) -> String {
     let mut metrics = ObjectWriter::new();
     for (name, acc) in &point.metrics {
         metrics.raw(name, &render_metric(acc));
@@ -443,7 +452,7 @@ fn render_metric(acc: &MetricAccumulator) -> String {
     o.finish()
 }
 
-fn parse_point(value: &JsonValue) -> Result<PointAccumulator, String> {
+pub(crate) fn parse_point(value: &JsonValue) -> Result<PointAccumulator, String> {
     let runs = value.get("runs").and_then(JsonValue::as_u64).ok_or("point is missing \"runs\"")?;
     let suspect_runs = value
         .get("suspect_runs")
@@ -657,7 +666,7 @@ pub fn truncate_trace_jsonl(path: &Path, runs_done: u64) -> Result<u64, String> 
         Err(e) => return Err(format!("cannot open trace stream {path:?}: {e}")),
     };
     let scan = scan_complete_lines(path, &file, |_, line| {
-        trace_line_run(line).is_some_and(|run| run < runs_done)
+        line_run_index(line).is_some_and(|run| run < runs_done)
     })?;
     let len = file.metadata().map_err(|e| format!("cannot stat trace stream {path:?}: {e}"))?.len();
     if scan.offset < len {
@@ -668,9 +677,11 @@ pub fn truncate_trace_jsonl(path: &Path, runs_done: u64) -> Result<u64, String> 
     Ok(scan.offset)
 }
 
-/// Extracts the run index from a trace line's canonical `{"run":N,` prefix,
-/// operating on raw bytes so torn/invalid UTF-8 elsewhere cannot panic.
-fn trace_line_run(line: &[u8]) -> Option<u64> {
+/// Extracts the run index from a line's canonical `{"run":N,` prefix (both
+/// the run-stream and trace-stream writers emit it first), operating on raw
+/// bytes so torn/invalid UTF-8 elsewhere cannot panic.  Shared with the shard
+/// segment validation of [`crate::shard`].
+pub(crate) fn line_run_index(line: &[u8]) -> Option<u64> {
     let rest = line.strip_prefix(b"{\"run\":")?;
     let digits: Vec<u8> = rest.iter().copied().take_while(u8::is_ascii_digit).collect();
     if digits.is_empty() {

@@ -48,6 +48,12 @@
 //!   [`truncate_jsonl`] to recover the artifact stream after a crash (the
 //!   `karyon-campaign` CLI drives the whole workflow from JSON spec files,
 //!   parsed via [`Campaign::from_json_str`]);
+//! * [`ShardPlan`] / [`ShardManifest`] ([`shard`]) — the shard/merge
+//!   protocol: split the canonical chunk range into contiguous windows run
+//!   independently (each with its own worker count, via
+//!   [`Campaign::run_shard`]), persist each window's per-chunk partials in an
+//!   integrity-framed manifest, and [`merge_shards`] the set back into a
+//!   report **byte-identical** to a single-machine run's;
 //! * [`FaultPlan`] / [`FaultInjector`] ([`fault`]) — deterministic fault
 //!   injection at the runner's canonical points (worker death at a chunk
 //!   boundary, mid-chunk aborts, torn manifest writes, sink I/O errors),
@@ -91,6 +97,7 @@ pub mod recovery;
 pub mod registry;
 pub mod report;
 pub mod scenario;
+pub mod shard;
 pub mod sink;
 pub mod spec;
 pub mod telemetry;
@@ -107,6 +114,10 @@ pub use recovery::{Backoff, RecordedBackoff, Recovered, RetryPolicy, WallClockBa
 pub use registry::{builtin_registry, FamilyInfo, ParamInfo, ScenarioRegistry};
 pub use report::{CampaignReport, MetricSummary, PointReport};
 pub use scenario::{RunRecord, Scenario};
+pub use shard::{
+    merge_shards, read_run_segment, read_trace_segment, validate_shard_set, ShardManifest,
+    ShardPlan, ShardSlice,
+};
 pub use sink::{read_jsonl_records, JsonlRunWriter, RunMeta, RunSink, SyncOnFlushFile};
 pub use spec::{ParamValue, ScenarioSpec};
 pub use telemetry::CampaignTelemetry;

@@ -1,0 +1,570 @@
+//! The shard-handoff coordinator: claim/lease/complete over [`NetTransport`].
+//!
+//! The file/dir shard protocol in `karyon-scenario` is coordination-free —
+//! every machine derives the same `ShardPlan` and runs its slice.  This
+//! module adds the *live* half for fleets where workers come and go: a
+//! [`ShardCoordinator`] owns the plan's shard windows and leases them to
+//! workers over any [`NetTransport`] implementation, so the handoff protocol
+//! is drilled today over the deterministic [`SimTransport`](crate::SimTransport)
+//! (partitions, worker deaths, duplicated messages) and runs unchanged over a
+//! real fabric later.
+//!
+//! # Message taxonomy
+//!
+//! All messages are single-line ASCII, versioned with a `karyon-shard-v1`
+//! prefix ([`ShardMsg`]):
+//!
+//! * `claim` (worker → coordinator) — "give me a shard".  Idempotent: a
+//!   worker that already holds a live lease gets the **same** grant again,
+//!   so duplicated or retried claims never spread one worker across two
+//!   shards.
+//! * `grant` (coordinator → worker) — a shard window `[start_chunk,
+//!   end_chunk)` plus the lease deadline and the grant's attempt number.
+//! * `idle` / `done` (coordinator → worker) — nothing to hand out right now
+//!   (retry after a backoff) / the whole plan is complete (stop).
+//! * `complete` (worker → coordinator) — the worker finished its window and
+//!   persisted the shard artifacts.
+//!
+//! # Lease/merge discipline
+//!
+//! A granted shard is `Leased` until its deadline; [`ShardCoordinator::on_tick`]
+//! returns expired leases to the pool, so a worker death (drilled with
+//! `FaultPlan` worker-death faults) delays its shard by at most one lease
+//! term before another worker is granted attempt `n+1`.  The first
+//! `complete` for a shard — whatever its attempt, since shard execution is
+//! deterministic and attempt results are byte-identical — moves it to `Done`
+//! and appends the shard to the [merge log](ShardCoordinator::merge_log)
+//! **exactly once**; every later `complete` (fabric duplicate, stale lease
+//! holder that survived) is counted and ignored, which is what makes
+//! double-merging structurally impossible.
+
+use std::fmt::Write as _;
+
+use karyon_sim::{SimDuration, SimTime};
+
+use crate::{Delivery, NetTransport, NodeId};
+
+/// Protocol tag every shard-handoff message leads with.
+const WIRE_TAG: &str = "karyon-shard-v1";
+
+/// One shard-handoff protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardMsg {
+    /// Worker → coordinator: request a shard window.
+    Claim {
+        /// The claiming worker (redundant with the fabric's `src`, kept in
+        /// the payload so the message is self-describing in logs).
+        worker: NodeId,
+    },
+    /// Coordinator → worker: a leased shard window.
+    Grant {
+        /// Shard index in the plan.
+        shard: usize,
+        /// First canonical chunk of the window (inclusive).
+        start_chunk: usize,
+        /// End of the window (exclusive).
+        end_chunk: usize,
+        /// Grant attempt for this shard, starting at 1; a lease-timeout
+        /// reassignment hands out attempt 2, and so on.
+        attempt: u32,
+        /// Fabric instant at which the lease expires.
+        lease_until: SimTime,
+    },
+    /// Coordinator → worker: nothing to hand out right now — every remaining
+    /// shard is leased; retry after a backoff.
+    Idle,
+    /// Coordinator → worker: the whole plan is complete; stop claiming.
+    Done,
+    /// Worker → coordinator: the worker finished the window of `shard` (and
+    /// persisted its artifacts) under grant `attempt`.
+    Complete {
+        /// The reporting worker.
+        worker: NodeId,
+        /// Shard index in the plan.
+        shard: usize,
+        /// The grant attempt the worker executed under.
+        attempt: u32,
+    },
+}
+
+impl ShardMsg {
+    /// Encodes the message as its single-line ASCII wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut line = String::from(WIRE_TAG);
+        match self {
+            ShardMsg::Claim { worker } => {
+                let _ = write!(line, " claim worker={}", worker.0);
+            }
+            ShardMsg::Grant { shard, start_chunk, end_chunk, attempt, lease_until } => {
+                let _ = write!(
+                    line,
+                    " grant shard={shard} start={start_chunk} end={end_chunk} \
+                     attempt={attempt} lease_until={}",
+                    lease_until.as_micros()
+                );
+            }
+            ShardMsg::Idle => line.push_str(" idle"),
+            ShardMsg::Done => line.push_str(" done"),
+            ShardMsg::Complete { worker, shard, attempt } => {
+                let _ =
+                    write!(line, " complete worker={} shard={shard} attempt={attempt}", worker.0);
+            }
+        }
+        line.into_bytes()
+    }
+
+    /// Decodes a wire payload, refusing anything that is not a well-formed
+    /// `karyon-shard-v1` message.
+    pub fn decode(payload: &[u8]) -> Result<ShardMsg, String> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| "shard message is not valid UTF-8".to_string())?;
+        let mut words = text.split_ascii_whitespace();
+        if words.next() != Some(WIRE_TAG) {
+            return Err(format!("not a {WIRE_TAG} message: {text:?}"));
+        }
+        let verb = words.next().ok_or_else(|| format!("empty {WIRE_TAG} message"))?;
+        let mut fields = std::collections::BTreeMap::new();
+        for word in words {
+            let (key, value) = word
+                .split_once('=')
+                .ok_or_else(|| format!("malformed field {word:?} in {verb:?} message"))?;
+            fields.insert(key, value);
+        }
+        let field = |key: &str| {
+            fields
+                .get(key)
+                .ok_or_else(|| format!("{verb:?} message is missing field {key:?}"))
+                .and_then(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| format!("{verb:?} message field {key:?} is not an integer"))
+                })
+        };
+        match verb {
+            "claim" => Ok(ShardMsg::Claim { worker: NodeId(field("worker")? as u32) }),
+            "grant" => Ok(ShardMsg::Grant {
+                shard: field("shard")? as usize,
+                start_chunk: field("start")? as usize,
+                end_chunk: field("end")? as usize,
+                attempt: field("attempt")? as u32,
+                lease_until: SimTime::from_micros(field("lease_until")?),
+            }),
+            "idle" => Ok(ShardMsg::Idle),
+            "done" => Ok(ShardMsg::Done),
+            "complete" => Ok(ShardMsg::Complete {
+                worker: NodeId(field("worker")? as u32),
+                shard: field("shard")? as usize,
+                attempt: field("attempt")? as u32,
+            }),
+            other => Err(format!("unknown {WIRE_TAG} verb {other:?}")),
+        }
+    }
+}
+
+/// Lifecycle of one shard window inside the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Not yet granted (or returned to the pool by a lease expiry).
+    Unassigned,
+    /// Granted and within its lease.
+    Leased {
+        /// The worker holding the lease.
+        worker: NodeId,
+        /// Fabric instant at which the lease expires.
+        deadline: SimTime,
+        /// The grant's attempt number.
+        attempt: u32,
+    },
+    /// Completed; in the merge log.
+    Done {
+        /// The worker whose `complete` was accepted first.
+        worker: NodeId,
+        /// The attempt that completed.
+        attempt: u32,
+    },
+}
+
+/// One accepted completion, in acceptance order — the coordinator's record of
+/// which worker's artifacts the merge will read for each shard.  Each shard
+/// appears **exactly once**, which the drill tests assert under worker
+/// deaths, duplicated messages and partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeRecord {
+    /// Shard index in the plan.
+    pub shard: usize,
+    /// The worker whose completion was accepted.
+    pub worker: NodeId,
+    /// The grant attempt that completed.
+    pub attempt: u32,
+}
+
+/// Per-shard bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Shard {
+    start_chunk: usize,
+    end_chunk: usize,
+    state: ShardState,
+    /// Grants handed out so far (the next grant is attempt `grants + 1`).
+    grants: u32,
+}
+
+/// The shard-handoff state machine, written against [`NetTransport`].
+///
+/// Drive it with [`on_delivery`](Self::on_delivery) for every delivery
+/// addressed to its node and [`on_tick`](Self::on_tick) whenever fabric time
+/// advances; it sends its replies through the same transport.  The
+/// coordinator is deliberately transport-agnostic and clock-agnostic — all
+/// timing comes from [`NetTransport::now`] — so the deterministic
+/// [`SimTransport`](crate::SimTransport) drills in `tests/shard.rs` exercise
+/// exactly the code a production fabric would run.
+#[derive(Debug)]
+pub struct ShardCoordinator {
+    node: NodeId,
+    lease: SimDuration,
+    shards: Vec<Shard>,
+    merge_log: Vec<MergeRecord>,
+    reassignments: u64,
+    ignored_completes: u64,
+}
+
+impl ShardCoordinator {
+    /// Creates a coordinator for the given shard windows (`[start_chunk,
+    /// end_chunk)` per shard, in shard-index order — the shape
+    /// `ShardPlan::slices()` in `karyon-scenario` produces), granting leases
+    /// of length `lease`.
+    ///
+    /// # Panics
+    /// Panics if `windows` is empty or `lease` is zero — a plan with nothing
+    /// to hand out, or leases that expire instantly, can only be a bug.
+    pub fn new(node: NodeId, windows: &[(usize, usize)], lease: SimDuration) -> Self {
+        assert!(!windows.is_empty(), "a shard coordinator needs at least one shard window");
+        assert!(!lease.is_zero(), "a zero-length lease would expire before any work happens");
+        ShardCoordinator {
+            node,
+            lease,
+            shards: windows
+                .iter()
+                .map(|&(start_chunk, end_chunk)| Shard {
+                    start_chunk,
+                    end_chunk,
+                    state: ShardState::Unassigned,
+                    grants: 0,
+                })
+                .collect(),
+            merge_log: Vec::new(),
+            reassignments: 0,
+            ignored_completes: 0,
+        }
+    }
+
+    /// The coordinator's fabric address.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current state of shard `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn shard_state(&self, index: usize) -> ShardState {
+        self.shards[index].state
+    }
+
+    /// True when every shard is `Done`.
+    pub fn is_complete(&self) -> bool {
+        self.shards.iter().all(|s| matches!(s.state, ShardState::Done { .. }))
+    }
+
+    /// Accepted completions in acceptance order, one entry per shard ever.
+    pub fn merge_log(&self) -> &[MergeRecord] {
+        &self.merge_log
+    }
+
+    /// Leases returned to the pool by expiry so far.
+    pub fn reassignments(&self) -> u64 {
+        self.reassignments
+    }
+
+    /// `complete` messages ignored because their shard was already `Done`
+    /// (fabric duplicates, stale lease holders).
+    pub fn ignored_completes(&self) -> u64 {
+        self.ignored_completes
+    }
+
+    /// Expires overdue leases against the fabric clock, returning each
+    /// expired shard to the pool for reassignment.  Call whenever fabric
+    /// time advances (the drills tick it once per scheduling round).
+    pub fn on_tick(&mut self, transport: &mut dyn NetTransport) {
+        let now = transport.now();
+        for shard in &mut self.shards {
+            if let ShardState::Leased { deadline, .. } = shard.state {
+                if now >= deadline {
+                    shard.state = ShardState::Unassigned;
+                    self.reassignments += 1;
+                }
+            }
+        }
+    }
+
+    /// Handles one delivery addressed to the coordinator, replying through
+    /// `transport`.  Malformed payloads and misaddressed deliveries are
+    /// ignored (a byzantine or foreign message must not wedge the handoff).
+    pub fn on_delivery(&mut self, delivery: &Delivery, transport: &mut dyn NetTransport) {
+        if delivery.dst != self.node {
+            return;
+        }
+        let Ok(msg) = ShardMsg::decode(&delivery.payload) else { return };
+        match msg {
+            ShardMsg::Claim { worker } => {
+                let reply = self.grant_for(worker, transport.now());
+                transport.send(self.node, delivery.src, reply.encode());
+            }
+            ShardMsg::Complete { worker, shard, attempt } => {
+                self.record_complete(worker, shard, attempt);
+            }
+            // Coordinator-originated verbs arriving here are foreign noise.
+            ShardMsg::Grant { .. } | ShardMsg::Idle | ShardMsg::Done => {}
+        }
+    }
+
+    /// Chooses the reply to a claim: the worker's existing live lease if it
+    /// holds one (idempotent claims), else the lowest-index unassigned
+    /// shard, else `Idle`/`Done`.
+    fn grant_for(&mut self, worker: NodeId, now: SimTime) -> ShardMsg {
+        // Re-send an existing live lease rather than spreading a duplicated
+        // claim across two shards.
+        for (index, shard) in self.shards.iter().enumerate() {
+            if let ShardState::Leased { worker: holder, deadline, attempt } = shard.state {
+                if holder == worker && now < deadline {
+                    return ShardMsg::Grant {
+                        shard: index,
+                        start_chunk: shard.start_chunk,
+                        end_chunk: shard.end_chunk,
+                        attempt,
+                        lease_until: deadline,
+                    };
+                }
+            }
+        }
+        for (index, shard) in self.shards.iter_mut().enumerate() {
+            if shard.state == ShardState::Unassigned {
+                shard.grants += 1;
+                let deadline = now.saturating_add(self.lease);
+                shard.state = ShardState::Leased { worker, deadline, attempt: shard.grants };
+                return ShardMsg::Grant {
+                    shard: index,
+                    start_chunk: shard.start_chunk,
+                    end_chunk: shard.end_chunk,
+                    attempt: shard.grants,
+                    lease_until: deadline,
+                };
+            }
+        }
+        if self.is_complete() {
+            ShardMsg::Done
+        } else {
+            ShardMsg::Idle
+        }
+    }
+
+    /// Applies a `complete`: the first one per shard wins — shard execution
+    /// is deterministic, so any attempt's artifacts are byte-identical and
+    /// accepting the earliest minimizes latency.  Later completes (fabric
+    /// duplicates, a stale holder racing its reassignment) are counted and
+    /// dropped, never re-merged.
+    fn record_complete(&mut self, worker: NodeId, shard: usize, attempt: u32) {
+        let Some(entry) = self.shards.get_mut(shard) else {
+            self.ignored_completes += 1;
+            return;
+        };
+        match entry.state {
+            ShardState::Done { .. } => self.ignored_completes += 1,
+            ShardState::Unassigned | ShardState::Leased { .. } => {
+                entry.state = ShardState::Done { worker, attempt };
+                self.merge_log.push(MergeRecord { shard, worker, attempt });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LoopbackTransport;
+
+    const COORD: NodeId = NodeId(0);
+    const W1: NodeId = NodeId(1);
+    const W2: NodeId = NodeId(2);
+
+    fn lease() -> SimDuration {
+        SimDuration::from_millis(100)
+    }
+
+    /// Drives one claim through a loopback fabric and decodes the reply.
+    fn claim(
+        coordinator: &mut ShardCoordinator,
+        net: &mut LoopbackTransport,
+        worker: NodeId,
+    ) -> ShardMsg {
+        net.send(worker, COORD, ShardMsg::Claim { worker }.encode());
+        let deliveries = net.drain();
+        for d in &deliveries {
+            coordinator.on_delivery(d, net);
+        }
+        let reply = net.drain();
+        assert_eq!(reply.len(), 1, "every claim gets exactly one reply");
+        assert_eq!(reply[0].dst, worker);
+        ShardMsg::decode(&reply[0].payload).unwrap()
+    }
+
+    fn complete(
+        coordinator: &mut ShardCoordinator,
+        net: &mut LoopbackTransport,
+        worker: NodeId,
+        shard: usize,
+        attempt: u32,
+    ) {
+        net.send(worker, COORD, ShardMsg::Complete { worker, shard, attempt }.encode());
+        for d in net.drain() {
+            coordinator.on_delivery(&d, net);
+        }
+    }
+
+    #[test]
+    fn messages_round_trip_the_wire_codec() {
+        let msgs = [
+            ShardMsg::Claim { worker: W1 },
+            ShardMsg::Grant {
+                shard: 2,
+                start_chunk: 10,
+                end_chunk: 15,
+                attempt: 3,
+                lease_until: SimTime::from_micros(123_456),
+            },
+            ShardMsg::Idle,
+            ShardMsg::Done,
+            ShardMsg::Complete { worker: W2, shard: 1, attempt: 2 },
+        ];
+        for msg in msgs {
+            assert_eq!(ShardMsg::decode(&msg.encode()).unwrap(), msg);
+        }
+        for junk in
+            ["", "karyon-shard-v2 claim", "karyon-shard-v1 fly", "karyon-shard-v1 claim worker=x"]
+        {
+            assert!(ShardMsg::decode(junk.as_bytes()).is_err(), "{junk:?}");
+        }
+        assert!(ShardMsg::decode(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn shards_are_granted_in_order_and_completed_exactly_once() {
+        let mut net = LoopbackTransport::new();
+        let mut coordinator = ShardCoordinator::new(COORD, &[(0, 3), (3, 5)], lease());
+
+        let g1 = claim(&mut coordinator, &mut net, W1);
+        let ShardMsg::Grant { shard: 0, start_chunk: 0, end_chunk: 3, attempt: 1, .. } = g1 else {
+            panic!("expected the first window, got {g1:?}");
+        };
+        let g2 = claim(&mut coordinator, &mut net, W2);
+        assert!(matches!(g2, ShardMsg::Grant { shard: 1, attempt: 1, .. }), "{g2:?}");
+
+        // Both shards leased: a third worker idles.
+        assert_eq!(claim(&mut coordinator, &mut net, NodeId(9)), ShardMsg::Idle);
+
+        complete(&mut coordinator, &mut net, W1, 0, 1);
+        complete(&mut coordinator, &mut net, W2, 1, 1);
+        assert!(coordinator.is_complete());
+        assert_eq!(
+            coordinator.merge_log(),
+            &[
+                MergeRecord { shard: 0, worker: W1, attempt: 1 },
+                MergeRecord { shard: 1, worker: W2, attempt: 1 },
+            ]
+        );
+
+        // Everything done: further claims are told to stop, duplicate
+        // completes are ignored, the merge log never grows.
+        assert_eq!(claim(&mut coordinator, &mut net, W1), ShardMsg::Done);
+        complete(&mut coordinator, &mut net, W2, 1, 1);
+        assert_eq!(coordinator.ignored_completes(), 1);
+        assert_eq!(coordinator.merge_log().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_claims_resend_the_same_lease() {
+        let mut net = LoopbackTransport::new();
+        let mut coordinator = ShardCoordinator::new(COORD, &[(0, 4), (4, 8)], lease());
+        let first = claim(&mut coordinator, &mut net, W1);
+        // The same worker claiming again (a retry or a fabric duplicate)
+        // gets the identical grant, not a second shard.
+        let again = claim(&mut coordinator, &mut net, W1);
+        assert_eq!(first, again);
+        assert!(matches!(coordinator.shard_state(1), ShardState::Unassigned));
+    }
+
+    #[test]
+    fn an_expired_lease_is_reassigned_exactly_once_and_never_double_merged() {
+        let mut net = LoopbackTransport::new();
+        let mut coordinator = ShardCoordinator::new(COORD, &[(0, 5)], lease());
+
+        // W1 takes the lease and dies (never completes).
+        let g = claim(&mut coordinator, &mut net, W1);
+        let ShardMsg::Grant { shard: 0, attempt: 1, lease_until, .. } = g else {
+            panic!("{g:?}");
+        };
+
+        // Before the deadline nothing expires and other workers idle.
+        net.advance_to(SimTime::from_micros(lease_until.as_micros() - 1));
+        coordinator.on_tick(&mut net);
+        assert_eq!(coordinator.reassignments(), 0);
+        assert_eq!(claim(&mut coordinator, &mut net, W2), ShardMsg::Idle);
+
+        // At the deadline the lease returns to the pool; W2 gets attempt 2.
+        net.advance_to(lease_until);
+        coordinator.on_tick(&mut net);
+        assert_eq!(coordinator.reassignments(), 1);
+        let g = claim(&mut coordinator, &mut net, W2);
+        assert!(matches!(g, ShardMsg::Grant { shard: 0, attempt: 2, .. }), "{g:?}");
+
+        // W2 completes; a late complete from the ghost of W1 is ignored.
+        complete(&mut coordinator, &mut net, W2, 0, 2);
+        complete(&mut coordinator, &mut net, W1, 0, 1);
+        assert_eq!(coordinator.merge_log(), &[MergeRecord { shard: 0, worker: W2, attempt: 2 }]);
+        assert_eq!(coordinator.ignored_completes(), 1);
+        assert!(coordinator.is_complete());
+        assert_eq!(coordinator.reassignments(), 1, "reassigned exactly once");
+    }
+
+    #[test]
+    fn a_slow_but_alive_worker_may_still_win_its_reassigned_shard() {
+        // The lease expires, the shard is reassigned — and then the original
+        // holder's complete arrives first.  Deterministic execution makes
+        // either attempt's artifacts byte-identical, so first-wins is safe;
+        // what must never happen is a second merge-log entry.
+        let mut net = LoopbackTransport::new();
+        let mut coordinator = ShardCoordinator::new(COORD, &[(0, 2)], lease());
+        let ShardMsg::Grant { lease_until, .. } = claim(&mut coordinator, &mut net, W1) else {
+            panic!();
+        };
+        net.advance_to(lease_until);
+        coordinator.on_tick(&mut net);
+        let g = claim(&mut coordinator, &mut net, W2);
+        assert!(matches!(g, ShardMsg::Grant { shard: 0, attempt: 2, .. }), "{g:?}");
+
+        complete(&mut coordinator, &mut net, W1, 0, 1); // the straggler wins
+        complete(&mut coordinator, &mut net, W2, 0, 2); // ignored
+        assert_eq!(coordinator.merge_log(), &[MergeRecord { shard: 0, worker: W1, attempt: 1 }]);
+        assert_eq!(coordinator.ignored_completes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard window")]
+    fn empty_plans_are_rejected() {
+        let _ = ShardCoordinator::new(COORD, &[], lease());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length lease")]
+    fn zero_leases_are_rejected() {
+        let _ = ShardCoordinator::new(COORD, &[(0, 1)], SimDuration::ZERO);
+    }
+}

@@ -19,6 +19,11 @@
 //!   schedules are all functions of the construction seed, so any interleaving
 //!   observed under faults is replayable bit-for-bit from that seed — the same
 //!   contract campaign runs already honour.
+//! * [`ShardCoordinator`] ([`coordinator`]) — the shard-handoff state machine
+//!   written against [`NetTransport`]: workers claim shard windows, hold them
+//!   under leases, and report completion; expired leases are reassigned and
+//!   the first completion per shard wins, so the merge log lists every shard
+//!   exactly once even under worker deaths and duplicated messages.
 //!
 //! # Determinism contract
 //!
@@ -34,9 +39,11 @@ use std::fmt;
 
 use karyon_sim::SimTime;
 
+pub mod coordinator;
 mod loopback;
 mod sim;
 
+pub use coordinator::{MergeRecord, ShardCoordinator, ShardMsg, ShardState};
 pub use loopback::LoopbackTransport;
 pub use sim::{LinkConfig, PartitionWindow, SimNetEvent, SimNetState, SimTransport};
 

@@ -22,15 +22,17 @@ use std::process::ExitCode;
 
 use karyon::scenario::fault::is_injected;
 use karyon::scenario::{
-    builtin_registry, read_jsonl_records, truncate_jsonl, truncate_trace_jsonl, Campaign,
-    CampaignOutcome, CampaignReport, CampaignTelemetry, Checkpointer, FaultInjector, FaultPlan,
-    JsonlRunWriter, RunMeta, RunRecord, RunSink, RunnerStats, ScenarioRegistry, SyncOnFlushFile,
+    builtin_registry, merge_shards, read_jsonl_records, read_run_segment, read_trace_segment,
+    truncate_jsonl, truncate_trace_jsonl, validate_shard_set, Campaign, CampaignOutcome,
+    CampaignReport, CampaignTelemetry, Checkpointer, FaultInjector, FaultPlan, JsonlRunWriter,
+    RunMeta, RunRecord, RunSink, RunnerStats, ScenarioRegistry, ShardManifest, ShardPlan,
+    SyncOnFlushFile,
 };
 use karyon::telemetry::{JsonlTraceWriter, MetricsRegistry};
 
 /// What went wrong, mapped to the process exit code (see `EXIT CODES` in
 /// [`USAGE`]).  The scripts driving chaos campaigns in CI branch on these.
-#[derive(Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ErrorKind {
     /// Bad flags or arguments, rejected before anything executed (exit 2).
     Usage,
@@ -44,6 +46,10 @@ enum ErrorKind {
     /// `chaos` recovered to completion but the recovered artifacts were not
     /// byte-identical to the fault-free reference (exit 5).
     Mismatch,
+    /// `merge` refused the shard set: manifests from a different campaign
+    /// definition, or windows that overlap / leave gaps — merging them would
+    /// double-count or silently drop runs (exit 6).
+    ShardSet,
 }
 
 impl ErrorKind {
@@ -53,10 +59,12 @@ impl ErrorKind {
             ErrorKind::Io => 3,
             ErrorKind::FaultAborted => 4,
             ErrorKind::Mismatch => 5,
+            ErrorKind::ShardSet => 6,
         }
     }
 }
 
+#[derive(Debug)]
 struct CliError {
     kind: ErrorKind,
     message: String,
@@ -89,6 +97,15 @@ USAGE:
                                                      faults, recover across sessions, and verify
                                                      the recovered artifacts are byte-identical
                                                      to a fault-free reference
+    karyon-campaign shard  <spec.json> --dir <dir> --index <i> --of <n> [OPTIONS]
+                                                     run one shard window of the campaign and
+                                                     persist its manifest + JSONL/trace segments
+                                                     under --dir (rerunnable: the shard is the
+                                                     unit of retry)
+    karyon-campaign merge  <spec.json> --dir <dir> [OPTIONS]
+                                                     merge a complete shard set back into the
+                                                     campaign report — byte-identical to a
+                                                     single-machine run's
     karyon-campaign list-families [--output json]    list the builtin scenario families
                                                      (json: parameter names, types, domains)
     karyon-campaign help                             show this help
@@ -115,6 +132,23 @@ OPTIONS:
     --fault-plan <file>   run/resume: arm a deterministic fault plan (JSON, see `chaos`);
                           an injected fault aborts the session with exit code 4
 
+SHARD OPTIONS (shard takes --threads/--quiet/--fault-plan plus):
+    --dir <dir>           where the shard's artifacts live: <campaign>.shard-<i>-of-<n>
+                          .manifest.json / .jsonl / .trace.jsonl (every shard of one
+                          campaign must share the same --dir)
+    --index <i>           this session's shard index, 0-based
+    --of <n>              total shard count; every shard must use the same <n>
+    --trace               also stream the deterministic trace segment (pass it to
+                          every shard or to none — merge stitches what it finds)
+                          (--fault-plan needs no --checkpoint here: rerun the whole
+                          shard after a fault, the manifest is only written on success)
+
+MERGE OPTIONS (merge takes --output/--metric/--quiet plus):
+    --dir <dir>           the shard directory to collect manifests from
+    --jsonl <path>        also stitch the shards' JSONL segments into one stream,
+                          byte-identical to a single-machine --jsonl run
+    --trace-dir <dir>     also stitch the trace segments to <dir>/<campaign>.trace.jsonl
+
 CHAOS OPTIONS (chaos takes --threads/--output/--quiet plus):
     --dir <dir>           working directory for the chaos checkpoint + JSONL stream
     --fault-plan <file>   the fault plan to inject: {\"faults\": [{\"kind\":
@@ -131,6 +165,8 @@ EXIT CODES:
     3   I/O or execution failure (unreadable spec, sink error, corrupt manifest...)
     4   the session was aborted by an injected fault (--fault-plan on run/resume)
     5   chaos verification failed: recovered artifacts differ from the reference
+    6   merge refused the shard set (foreign campaign fingerprint, mismatched chunk
+        size or run count, overlapping or gapped shard windows)
 
 SPEC FILE:
     {\"name\": \"demo\", \"seed\": 42, \"chunk_size\": 4096,
@@ -159,7 +195,7 @@ struct CommonArgs {
     fault_plan: Option<String>,
 }
 
-#[derive(PartialEq, Clone, Copy)]
+#[derive(Debug, PartialEq, Clone, Copy)]
 enum OutputMode {
     Json,
     Table,
@@ -174,13 +210,16 @@ fn main() -> ExitCode {
         Some("resume") => parse_common(&args[1..]).map_err(usage).and_then(|a| cmd_run(a, true)),
         Some("report") => parse_common(&args[1..]).map_err(usage).and_then(cmd_report),
         Some("chaos") => cmd_chaos(&args[1..]),
+        Some("shard") => parse_shard(&args[1..]).map_err(usage).and_then(cmd_shard),
+        Some("merge") => parse_merge(&args[1..]).map_err(usage).and_then(cmd_merge),
         Some("list-families") => cmd_list_families(&args[1..]).map_err(usage),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
         }
         Some(other) => Err(usage(format!(
-            "unknown command {other:?} (expected run, resume, report, chaos, list-families or help)"
+            "unknown command {other:?} (expected run, resume, report, chaos, shard, merge, \
+             list-families or help)"
         ))),
     };
     match result {
@@ -279,12 +318,12 @@ fn format_eta(seconds: f64) -> String {
     }
 }
 
-fn load_campaign(args: &CommonArgs) -> Result<Campaign, String> {
-    let text = std::fs::read_to_string(&args.spec_path)
-        .map_err(|e| format!("cannot read spec {:?}: {e}", args.spec_path))?;
+fn load_campaign(spec_path: &str, threads: Option<usize>) -> Result<Campaign, String> {
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read spec {spec_path:?}: {e}"))?;
     let mut campaign =
-        Campaign::from_json_str(&text).map_err(|e| format!("spec {:?}: {e}", args.spec_path))?;
-    if let Some(threads) = args.threads {
+        Campaign::from_json_str(&text).map_err(|e| format!("spec {spec_path:?}: {e}"))?;
+    if let Some(threads) = threads {
         campaign = campaign.with_threads(threads);
     }
     Ok(campaign)
@@ -366,7 +405,7 @@ impl<W: std::io::Write> RunSink for ProgressSink<W> {
 
 /// `run` and `resume`: execute (the rest of) a campaign.
 fn cmd_run(args: CommonArgs, resuming: bool) -> Result<(), CliError> {
-    let campaign = load_campaign(&args)?;
+    let campaign = load_campaign(&args.spec_path, args.threads)?;
     let registry = builtin_registry();
     validate_families(&campaign, &registry)?;
     let total = campaign.run_count();
@@ -593,7 +632,7 @@ fn cmd_report(args: CommonArgs) -> Result<(), CliError> {
     if args.fault_plan.is_some() {
         return Err(usage("--fault-plan only applies to run/resume (report never executes runs)"));
     }
-    let campaign = load_campaign(&args)?;
+    let campaign = load_campaign(&args.spec_path, args.threads)?;
     let registry = builtin_registry();
     validate_families(&campaign, &registry)?;
     match (&args.jsonl, &args.checkpoint) {
@@ -903,6 +942,348 @@ fn cmd_chaos(raw_args: &[String]) -> Result<(), CliError> {
     Ok(render(&render_args, &report)?)
 }
 
+/// What `karyon-campaign shard` parses: which window of which plan to run,
+/// and where the shard artifacts live.
+#[derive(Debug)]
+struct ShardArgs {
+    spec_path: String,
+    dir: String,
+    index: usize,
+    of: usize,
+    threads: Option<usize>,
+    trace: bool,
+    fault_plan: Option<String>,
+    quiet: bool,
+}
+
+fn parse_shard(args: &[String]) -> Result<ShardArgs, String> {
+    let mut spec_path = None;
+    let mut dir = None;
+    let mut index = None;
+    let mut of = None;
+    let mut parsed = ShardArgs {
+        spec_path: String::new(),
+        dir: String::new(),
+        index: 0,
+        of: 0,
+        threads: None,
+        trace: false,
+        fault_plan: None,
+        quiet: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of =
+            |flag: &str| iter.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--dir" => dir = Some(value_of("--dir")?),
+            "--index" => {
+                let raw = value_of("--index")?;
+                index = Some(
+                    raw.parse::<usize>()
+                        .map_err(|_| format!("--index: {raw:?} is not an integer"))?,
+                );
+            }
+            "--of" => of = Some(parse_count("--of", &value_of("--of")?)?),
+            "--threads" => {
+                let raw = value_of("--threads")?;
+                parsed.threads =
+                    Some(raw.parse().map_err(|_| format!("--threads: {raw:?} is not an integer"))?)
+            }
+            "--trace" => parsed.trace = true,
+            "--fault-plan" => parsed.fault_plan = Some(value_of("--fault-plan")?),
+            "--quiet" => parsed.quiet = true,
+            flag @ ("--checkpoint" | "--jsonl" | "--trace-dir") => {
+                return Err(format!(
+                    "{flag} does not apply to `shard` — a shard owns its artifact paths under \
+                     --dir (the shard itself is the unit of retry, no checkpoint needed)"
+                ));
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown option {flag:?}")),
+            positional => {
+                if spec_path.replace(positional.to_string()).is_some() {
+                    return Err(format!("unexpected extra argument {positional:?}"));
+                }
+            }
+        }
+    }
+    parsed.spec_path = spec_path.ok_or("missing the <spec.json> argument")?;
+    parsed.dir = dir.ok_or("shard needs --dir <dir> (where the shard artifacts live)")?;
+    parsed.index = index.ok_or("shard needs --index <i> (this session's shard, 0-based)")?;
+    parsed.of = of.ok_or("shard needs --of <n> (the total shard count)")?;
+    if parsed.index >= parsed.of {
+        return Err(format!(
+            "--index {} is out of range for --of {} (indices are 0-based)",
+            parsed.index, parsed.of
+        ));
+    }
+    Ok(parsed)
+}
+
+/// What `karyon-campaign merge` parses: the shard directory plus the
+/// stitched-output destinations.
+#[derive(Debug)]
+struct MergeArgs {
+    spec_path: String,
+    dir: String,
+    jsonl: Option<String>,
+    trace_dir: Option<String>,
+    output: OutputMode,
+    metrics: Vec<String>,
+    quiet: bool,
+}
+
+fn parse_merge(args: &[String]) -> Result<MergeArgs, String> {
+    let mut spec_path = None;
+    let mut dir = None;
+    let mut parsed = MergeArgs {
+        spec_path: String::new(),
+        dir: String::new(),
+        jsonl: None,
+        trace_dir: None,
+        output: OutputMode::Table,
+        metrics: Vec::new(),
+        quiet: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of =
+            |flag: &str| iter.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--dir" => dir = Some(value_of("--dir")?),
+            "--jsonl" => parsed.jsonl = Some(value_of("--jsonl")?),
+            "--trace-dir" => parsed.trace_dir = Some(value_of("--trace-dir")?),
+            "--output" => {
+                parsed.output = match value_of("--output")?.as_str() {
+                    "json" => OutputMode::Json,
+                    "table" => OutputMode::Table,
+                    "both" => OutputMode::Both,
+                    other => {
+                        return Err(format!("--output must be json, table or both, not {other:?}"))
+                    }
+                }
+            }
+            "--metric" => parsed.metrics.push(value_of("--metric")?),
+            "--quiet" => parsed.quiet = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown option {flag:?}")),
+            positional => {
+                if spec_path.replace(positional.to_string()).is_some() {
+                    return Err(format!("unexpected extra argument {positional:?}"));
+                }
+            }
+        }
+    }
+    parsed.spec_path = spec_path.ok_or("missing the <spec.json> argument")?;
+    parsed.dir = dir.ok_or("merge needs --dir <dir> (the shard directory to collect)")?;
+    Ok(parsed)
+}
+
+/// The canonical shard artifact path: `<dir>/<campaign>.shard-<i>-of-<n>.<ext>`.
+fn shard_path(dir: &str, campaign: &str, index: usize, of: usize, ext: &str) -> std::path::PathBuf {
+    std::path::Path::new(dir).join(format!("{campaign}.shard-{index}-of-{of}.{ext}"))
+}
+
+/// `shard`: run one window of the campaign's shard plan and persist its
+/// per-chunk partials (integrity-framed manifest) plus the window's JSONL —
+/// and optionally trace — segments, all carrying **global** run indices so
+/// `merge` can stitch the segments byte-identically.  The manifest is only
+/// written after the whole window completes: a session killed mid-window (a
+/// crash, or an injected fault under `--fault-plan`) leaves no manifest
+/// behind, and rerunning the same `shard` invocation replaces the torn
+/// segments wholesale — the shard is the unit of retry.
+fn cmd_shard(args: ShardArgs) -> Result<(), CliError> {
+    let campaign = load_campaign(&args.spec_path, args.threads)?;
+    let registry = builtin_registry();
+    validate_families(&campaign, &registry)?;
+    let injector = args.fault_plan.as_ref().map(|path| load_fault_plan(path)).transpose()?;
+
+    let plan = ShardPlan::for_campaign(&campaign, args.of);
+    let slice = plan.slice(args.index);
+    let (start_run, end_run) = slice.run_range(campaign.chunk_size(), campaign.run_count());
+
+    std::fs::create_dir_all(&args.dir)
+        .map_err(|e| CliError::from(format!("cannot create --dir {:?}: {e}", args.dir)))?;
+    let manifest_path =
+        shard_path(&args.dir, campaign.name(), args.index, args.of, "manifest.json");
+    let jsonl_path = shard_path(&args.dir, campaign.name(), args.index, args.of, "jsonl");
+    let trace_seg_path = shard_path(&args.dir, campaign.name(), args.index, args.of, "trace.jsonl");
+    // Drop any earlier manifest *before* running: if this attempt dies
+    // mid-window it must not leave a stale manifest pointing at freshly
+    // truncated segments — manifest present must always mean segments
+    // complete.
+    std::fs::remove_file(&manifest_path).ok();
+
+    let jsonl_file = std::fs::File::create(&jsonl_path)
+        .map_err(|e| CliError::from(format!("cannot open JSONL segment {jsonl_path:?}: {e}")))?;
+    let jsonl = JsonlRunWriter::new(SyncOnFlushFile::new(jsonl_file));
+    let mut trace = args
+        .trace
+        .then(|| {
+            let file = std::fs::File::create(&trace_seg_path)
+                .map_err(|e| format!("cannot open trace segment {trace_seg_path:?}: {e}"))?;
+            Ok::<_, String>(JsonlTraceWriter::new(SyncOnFlushFile::new(file)))
+        })
+        .transpose()?;
+
+    let mut progress = ProgressSink::new(Some(jsonl), start_run, campaign.run_count(), args.quiet);
+    let started = std::time::Instant::now();
+    let (partials, stats) = {
+        let mut telemetry = CampaignTelemetry::none();
+        if let Some(trace) = trace.as_mut() {
+            telemetry = telemetry.with_trace(trace);
+        }
+        campaign.run_shard_with(
+            &registry,
+            slice.start_chunk,
+            slice.end_chunk,
+            Some(&mut progress),
+            telemetry,
+            injector.as_ref(),
+        )?
+    };
+    progress.finish_line();
+    if let Some(jsonl) = progress.jsonl.take() {
+        jsonl.finish().map_err(|e| format!("finishing the JSONL segment: {e}"))?;
+    }
+    if let Some(trace) = trace.take() {
+        trace.into_inner().map_err(|e| format!("finishing the trace segment: {e}"))?;
+    }
+    ShardManifest::new(&campaign, slice, partials)?.write(&manifest_path)?;
+    if !args.quiet {
+        eprintln!(
+            "shard {}/{} of campaign {:?}: chunks [{}, {}) ({} runs, global [{start_run}, \
+             {end_run})) done in {:.2?} on {} workers; manifest {manifest_path:?}",
+            args.index,
+            args.of,
+            campaign.name(),
+            slice.start_chunk,
+            slice.end_chunk,
+            end_run - start_run,
+            started.elapsed(),
+            stats.workers,
+        );
+    }
+    Ok(())
+}
+
+/// Collects every shard manifest of `campaign` under `dir` (sorted by file
+/// name for deterministic error reporting) and validates the set tiles the
+/// campaign exactly.  A manifest that fails to load is an I/O failure (exit
+/// 3, the artifact itself is damaged); a set that loads but does not belong
+/// together is a [`ErrorKind::ShardSet`] refusal (exit 6).
+fn load_shard_set(dir: &str, campaign: &Campaign) -> Result<Vec<ShardManifest>, CliError> {
+    let prefix = format!("{}.shard-", campaign.name());
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| CliError::from(format!("cannot read shard directory {dir:?}: {e}")))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| {
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(".manifest.json"))
+        })
+        .collect();
+    paths.sort();
+    let manifests =
+        paths.iter().map(|path| ShardManifest::load(path)).collect::<Result<Vec<_>, _>>()?;
+    if let Err(why) = validate_shard_set(campaign, &manifests) {
+        return Err(CliError {
+            kind: ErrorKind::ShardSet,
+            message: format!(
+                "shard set under {dir:?} refused: {why} — every shard session must run the same \
+                 spec with the same --of, and all of them must have completed"
+            ),
+        });
+    }
+    Ok(manifests)
+}
+
+/// `merge`: stitch a complete shard set back into the single-machine
+/// artifacts.  The report re-folds the shards' per-chunk partials in
+/// canonical chunk order — the identical floating-point reduction a
+/// single-machine run performs — and the JSONL/trace streams are the shards'
+/// segments concatenated in window order, each validated against its global
+/// run range first.  Everything `merge` emits is **byte-identical** to what
+/// one uninterrupted `run` would have produced.
+fn cmd_merge(args: MergeArgs) -> Result<(), CliError> {
+    let campaign = load_campaign(&args.spec_path, None)?;
+    let registry = builtin_registry();
+    validate_families(&campaign, &registry)?;
+    let mut manifests = load_shard_set(&args.dir, &campaign)?;
+    manifests.sort_by_key(|m| m.start_chunk);
+
+    if let Some(out_path) = &args.jsonl {
+        let mut stitched = Vec::new();
+        for manifest in &manifests {
+            let (start, end) = manifest.run_range();
+            if start == end {
+                continue;
+            }
+            let seg = shard_path(
+                &args.dir,
+                &manifest.campaign,
+                manifest.shard_index,
+                manifest.shard_count,
+                "jsonl",
+            );
+            stitched.extend_from_slice(&read_run_segment(&seg, start, end)?);
+        }
+        std::fs::write(out_path, &stitched).map_err(|e| {
+            CliError::from(format!("cannot write stitched JSONL {out_path:?}: {e}"))
+        })?;
+    }
+    if let Some(out_dir) = &args.trace_dir {
+        let mut stitched = Vec::new();
+        for manifest in &manifests {
+            let (start, end) = manifest.run_range();
+            if start == end {
+                continue;
+            }
+            let seg = shard_path(
+                &args.dir,
+                &manifest.campaign,
+                manifest.shard_index,
+                manifest.shard_count,
+                "trace.jsonl",
+            );
+            stitched.extend_from_slice(&read_trace_segment(&seg, start, end)?);
+        }
+        std::fs::create_dir_all(out_dir)
+            .map_err(|e| CliError::from(format!("cannot create --trace-dir {out_dir:?}: {e}")))?;
+        let out_path = trace_path(out_dir, campaign.name());
+        std::fs::write(&out_path, &stitched).map_err(|e| {
+            CliError::from(format!("cannot write stitched trace {out_path:?}: {e}"))
+        })?;
+    }
+
+    let shard_count = manifests.len();
+    let report = merge_shards(&campaign, manifests)?;
+    if !args.quiet {
+        eprintln!(
+            "merged {shard_count} shards of campaign {:?}: {} runs, {} points; suspect runs: {}",
+            campaign.name(),
+            report.total_runs,
+            report.points.len(),
+            report.suspect_runs(),
+        );
+    }
+    let render_args = CommonArgs {
+        spec_path: args.spec_path,
+        jsonl: None,
+        checkpoint: None,
+        checkpoint_every: 1,
+        max_chunks: None,
+        threads: None,
+        output: args.output,
+        metrics: args.metrics,
+        trace_dir: None,
+        metrics_path: None,
+        quiet: args.quiet,
+        force: false,
+        fault_plan: None,
+    };
+    Ok(render(&render_args, &report)?)
+}
+
 fn cmd_list_families(args: &[String]) -> Result<(), String> {
     let mut json = false;
     let mut iter = args.iter();
@@ -1110,6 +1491,86 @@ mod tests {
 
     fn strings(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_shard_and_merge_validate_their_flags() {
+        let parsed =
+            parse_shard(&strings(&["spec.json", "--dir", "d", "--index", "0", "--of", "3"]))
+                .unwrap();
+        assert_eq!((parsed.index, parsed.of), (0, 3));
+        assert!(!parsed.trace && parsed.fault_plan.is_none());
+
+        for (args, needle) in [
+            (vec!["spec.json", "--dir", "d", "--index", "3", "--of", "3"], "out of range"),
+            (vec!["spec.json", "--dir", "d", "--index", "0"], "--of"),
+            (vec!["spec.json", "--index", "0", "--of", "3"], "--dir"),
+            (vec!["spec.json", "--dir", "d", "--index", "0", "--of", "0"], "positive"),
+            (
+                vec!["spec.json", "--dir", "d", "--index", "0", "--of", "3", "--checkpoint", "c"],
+                "does not apply",
+            ),
+        ] {
+            let err = parse_shard(&strings(&args)).unwrap_err();
+            assert!(err.contains(needle), "{args:?}: {err}");
+        }
+
+        let parsed = parse_merge(&strings(&["spec.json", "--dir", "d", "--jsonl", "o"])).unwrap();
+        assert_eq!(parsed.jsonl.as_deref(), Some("o"));
+        assert!(parse_merge(&strings(&["spec.json"])).unwrap_err().contains("--dir"));
+    }
+
+    /// The exit-code contract of `merge`: a shard set that loads but does
+    /// not tile the campaign is a ShardSet refusal (exit 6); a manifest
+    /// that fails to load at all is an I/O failure (exit 3).
+    #[test]
+    fn merge_maps_shard_set_refusals_to_exit_6_and_corruption_to_exit_3() {
+        let dir = std::env::temp_dir().join(format!("karyon-cli-shard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_str = dir.to_str().unwrap();
+        let campaign = Campaign::new("cli-shards", 9)
+            .with_chunk_size(4)
+            .entry(CampaignEntry::new("lane-change").replications(24).duration_secs(30));
+        let registry = builtin_registry();
+        let plan = ShardPlan::for_campaign(&campaign, 3);
+
+        // Only 2 of 3 shards present: loads fine, but the set has a gap.
+        for index in [0usize, 1] {
+            let slice = plan.slice(index);
+            let (partials, _) =
+                campaign.run_shard(&registry, slice.start_chunk, slice.end_chunk, None).unwrap();
+            ShardManifest::new(&campaign, slice, partials)
+                .unwrap()
+                .write(&shard_path(dir_str, "cli-shards", index, 3, "manifest.json"))
+                .unwrap();
+        }
+        let error = load_shard_set(dir_str, &campaign).expect_err("an incomplete set refuses");
+        assert_eq!(error.kind.code(), 6, "{}", error.message);
+        assert!(error.message.contains("3 shards but 2 manifests"), "{}", error.message);
+
+        // Complete the set: it validates.
+        let slice = plan.slice(2);
+        let (partials, _) =
+            campaign.run_shard(&registry, slice.start_chunk, slice.end_chunk, None).unwrap();
+        ShardManifest::new(&campaign, slice, partials)
+            .unwrap()
+            .write(&shard_path(dir_str, "cli-shards", 2, 3, "manifest.json"))
+            .unwrap();
+        assert_eq!(load_shard_set(dir_str, &campaign).unwrap().len(), 3);
+
+        // A different spec (seed) refuses on the fingerprint, still exit 6.
+        let foreign = Campaign::new("cli-shards", 10)
+            .with_chunk_size(4)
+            .entry(CampaignEntry::new("lane-change").replications(24).duration_secs(30));
+        let error = load_shard_set(dir_str, &foreign).expect_err("foreign fingerprint");
+        assert_eq!(error.kind.code(), 6, "{}", error.message);
+        assert!(error.message.contains("fingerprint"), "{}", error.message);
+
+        // Corrupt one manifest on disk: that is artifact damage, exit 3.
+        std::fs::write(shard_path(dir_str, "cli-shards", 1, 3, "manifest.json"), "{ torn").unwrap();
+        let error = load_shard_set(dir_str, &campaign).expect_err("corruption must refuse");
+        assert_eq!(error.kind.code(), 3, "{}", error.message);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
