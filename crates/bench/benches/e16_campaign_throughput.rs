@@ -2,33 +2,49 @@
 //!
 //! The KARYON safety argument is built on huge fault-injection sweeps (§VI),
 //! so the experiment pipeline's own throughput is a tracked quantity from
-//! this experiment onward.  Five measurements, written to
+//! this experiment onward.  Six measurements, written to
 //! `BENCH_campaign.json` for CI to archive:
 //!
 //! 1. **Event core** — the calendar-queue [`EventQueue`] against the
 //!    [`HeapEventQueue`] baseline on a hold-model workload (pop the earliest
 //!    event, schedule one a random delay ahead) at several resident queue
 //!    sizes.  The acceptance bar is a ≥2× speedup.
-//! 2. **Volume campaign** — a million-run (quick mode: 100k) echo-style
-//!    campaign through the chunked runner, with a streaming sink attached:
-//!    runs/sec, serial-vs-parallel bit-identity, and the peak number of
-//!    resident records, which must be bounded by `chunk size × in-flight
-//!    window`, never by the run count.
-//! 3. **Checkpoint overhead** — the volume campaign re-run with crash-safe
-//!    checkpointing at every canonical chunk (the most aggressive cadence):
-//!    runs/sec against the uncheckpointed baseline plus the manifest size,
-//!    quantifying what resumability costs on a worst-case (near-zero-work)
-//!    scenario.
-//! 4. **Mixed campaign** — a multi-family sweep exercising the net stack
+//! 2. **Periodic trains** — the fixed-period fast path, three ways: 16
+//!    staggered periodic tasks run as self-rescheduling one-shots on the
+//!    heap, as self-rescheduling one-shots on the calendar queue, and as
+//!    [`EventQueue::schedule_periodic`] trains (pop-only — the train
+//!    regenerates itself).  The property suite pins all three
+//!    order-identical; this measurement prices them.  The acceptance bar is
+//!    the fast path at ≥2× the calendar one-shot rate.
+//! 3. **Volume campaign** — a million-run (quick mode: 100k) echo-style
+//!    campaign through the chunked runner: serial and parallel rates, with
+//!    and without a streaming sink, at the default and a large chunk size;
+//!    serial-vs-parallel bit-identity; and the peak number of resident
+//!    records, which must be bounded by `chunk size × in-flight window`,
+//!    never by the run count.
+//! 4. **Checkpoint overhead** — the volume campaign re-run with crash-safe
+//!    checkpointing at every canonical chunk (the most aggressive cadence).
+//! 5. **Mixed campaign** — a multi-family sweep exercising the net stack
 //!    (`tdma`, `inaccessibility`), the middleware QoS channel and the
 //!    vehicle platoon, i.e. real simulation work per run.
-//! 5. **Telemetry overhead** — the volume campaign re-run through the
+//! 6. **Telemetry overhead** — the volume campaign re-run through the
 //!    instrumented entry point with telemetry *detached*
 //!    ([`CampaignTelemetry::none`]) and again with a trace sink + metrics
 //!    registry attached.  The detached rate must sit within noise of the
-//!    plain baseline (telemetry-off is the same code path, so this is the
-//!    regression guard — asserted even in quick mode), and every variant's
-//!    report must be bit-identical.
+//!    plain baseline (telemetry-off is the same code path), and every
+//!    variant's report must be bit-identical.
+//!
+//! Every rate is a **median of three timed samples after a discarded warmup
+//! pass** (see [`median_of_3`]), so quick-mode numbers on shared CI machines
+//! are trustworthy enough to guard on: a single scheduler hiccup or cold
+//! cache can no longer report nonsense like telemetry-off running 2.6×
+//! *faster* than the identical plain code path.  Guarded *ratios* (the
+//! hold-model speedup, the train fast-path multiples) additionally
+//! interleave their two sides within each sample and take the median of the
+//! per-sample ratios (see [`median_paired`]): a frequency dip that spans one
+//! side's samples cancels out instead of manufacturing a regression.  Each `BENCH_campaign.json`
+//! object records its `ops_per_workload` and `samples` so consumers know
+//! what was measured.
 //!
 //! Quick mode (`E16_QUICK=1`, used by CI) shrinks the workloads ~10×.
 
@@ -42,6 +58,45 @@ use karyon_scenario::{
 use karyon_sim::table::fmt3;
 use karyon_sim::{splitmix64, EventQueue, HeapEventQueue, Rng, SimDuration, SimTime, Table};
 use karyon_telemetry::{JsonlTraceWriter, MetricsRegistry};
+
+/// Number of timed samples per measurement (after one discarded warmup).
+const SAMPLES: u64 = 3;
+
+/// Median of three rates: robust to one bad sample in either direction,
+/// which is the failure mode of wall-clock benchmarking on shared CI
+/// machines.
+fn median3(mut rates: [f64; 3]) -> f64 {
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    rates[1]
+}
+
+/// Runs `sample` once as a discarded warmup (first-touch page faults, cold
+/// caches, lazy allocations), then three times, and returns the median rate.
+fn median_of_3(mut sample: impl FnMut() -> f64) -> f64 {
+    let _warmup = sample();
+    median3([sample(), sample(), sample()])
+}
+
+/// Like [`median_of_3`], but for a *guarded ratio* between two measurements:
+/// runs the sides back-to-back within each sample and returns
+/// `(median_a, median_b, median of per-sample b/a)`.  Dividing two
+/// independently-taken medians is not robust — a multi-second frequency dip
+/// or noisy neighbor that spans one side's three samples manufactures a
+/// fake regression.  Pairing the sides puts any machine-wide slowdown on
+/// both ends of each ratio, so the ratio median stays stable even when the
+/// absolute rates wobble.
+fn median_paired(mut a: impl FnMut() -> f64, mut b: impl FnMut() -> f64) -> (f64, f64, f64) {
+    let (_, _) = (a(), b());
+    let mut ra = [0.0; 3];
+    let mut rb = [0.0; 3];
+    let mut ratio = [0.0; 3];
+    for k in 0..3 {
+        ra[k] = a();
+        rb[k] = b();
+        ratio[k] = rb[k] / ra[k];
+    }
+    (median3(ra), median3(rb), median3(ratio))
+}
 
 /// A deliberately cheap scenario: metrics are arithmetic over the seed, so
 /// the volume measurement isolates the runner (seed derivation, chunking,
@@ -63,6 +118,13 @@ impl Scenario for EchoScenario {
     fn run(&self, spec: &ScenarioSpec) -> RunRecord {
         let mut state = spec.seed;
         let draw = splitmix64(&mut state);
+        // One trace event per run (a no-op unless a collection scope is
+        // active), so the traced-campaign measurement serializes real bytes.
+        karyon_telemetry::trace::event(
+            "echo.run",
+            SimTime::from_micros(draw % 1_000),
+            &[("seed", karyon_telemetry::AttrValue::U64(spec.seed))],
+        );
         let mut record = RunRecord::new();
         record.set("uniform", (draw >> 11) as f64 / (1u64 << 53) as f64);
         record.set("seed_lo", (spec.seed % 1_000) as f64);
@@ -87,6 +149,27 @@ fn queue_ops_per_sec<Q>(
     for i in 0..ops {
         let (t, _) = pop(queue).expect("hold model never drains");
         schedule(queue, t + SimDuration::from_micros(rng.range_u64(1, 100_000)), i);
+    }
+    ops as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Periodic-task workload as self-rescheduling one-shots: every pop of task
+/// `i` schedules its next tick one period ahead — the pre-train idiom every
+/// scenario family used, paying full schedule+pop cost per tick.
+fn periodic_oneshot_rate<Q>(
+    mut schedule: impl FnMut(&mut Q, SimTime, u64),
+    mut pop: impl FnMut(&mut Q) -> Option<(SimTime, u64)>,
+    queue: &mut Q,
+    periods: &[SimDuration],
+    ops: u64,
+) -> f64 {
+    for (i, _) in periods.iter().enumerate() {
+        schedule(queue, SimTime::from_micros(i as u64), i as u64);
+    }
+    let start = Instant::now();
+    for _ in 0..ops {
+        let (t, task) = pop(queue).expect("periodic tasks never drain");
+        schedule(queue, t + periods[task as usize], task);
     }
     ops as f64 / start.elapsed().as_secs_f64()
 }
@@ -157,18 +240,16 @@ fn main() {
     let mut workloads = Vec::new();
     let mut worst_speedup = f64::INFINITY;
     for &resident in &[1_024usize, 16_384, 131_072] {
-        let mut heap = HeapEventQueue::new();
-        let heap_rate =
-            queue_ops_per_sec(|q, t, p| q.schedule(t, p), |q| q.pop(), &mut heap, resident, ops);
-        let mut calendar = EventQueue::new();
-        let calendar_rate = queue_ops_per_sec(
-            |q, t, p| q.schedule(t, p),
-            |q| q.pop(),
-            &mut calendar,
-            resident,
-            ops,
+        let (heap_rate, calendar_rate, speedup) = median_paired(
+            || {
+                let mut q = HeapEventQueue::new();
+                queue_ops_per_sec(|q, t, p| q.schedule(t, p), |q| q.pop(), &mut q, resident, ops)
+            },
+            || {
+                let mut q = EventQueue::new();
+                queue_ops_per_sec(|q, t, p| q.schedule(t, p), |q| q.pop(), &mut q, resident, ops)
+            },
         );
-        let speedup = calendar_rate / heap_rate;
         worst_speedup = worst_speedup.min(speedup);
         queue_table.add_row(&[
             resident.to_string(),
@@ -185,28 +266,98 @@ fn main() {
     }
     queue_table.print();
 
-    // ----- 2. Volume campaign: chunked aggregation at scale. -------------
+    // ----- 2. Periodic trains: the fixed-period fast path, three ways. ----
+    // 16 tasks with staggered starts and coprime-ish periods (50, 57, 64, …
+    // µs) — a caricature of the TDMA slot clocks, pulse-sync rounds and
+    // middleware publish loops that dominate the paper's workloads.
+    let train_ops: u64 = if quick { 2_000_000 } else { 8_000_000 };
+    let periods: Vec<SimDuration> =
+        (0..16u64).map(|i| SimDuration::from_micros(50 + 7 * i)).collect();
+    let heap_side = || {
+        let mut q = HeapEventQueue::new();
+        periodic_oneshot_rate(|q, t, p| q.schedule(t, p), |q| q.pop(), &mut q, &periods, train_ops)
+    };
+    let calendar_side = || {
+        let mut q = EventQueue::new();
+        periodic_oneshot_rate(|q, t, p| q.schedule(t, p), |q| q.pop(), &mut q, &periods, train_ops)
+    };
+    let fastpath_side = || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for (i, period) in periods.iter().enumerate() {
+            q.schedule_periodic(SimTime::from_micros(i as u64), *period, i as u64);
+        }
+        let start = Instant::now();
+        let mut last = SimTime::ZERO;
+        for _ in 0..train_ops {
+            let (t, _) = q.pop().expect("trains never drain");
+            assert!(t >= last, "train ticks must be time-ordered");
+            last = t;
+        }
+        train_ops as f64 / start.elapsed().as_secs_f64()
+    };
+    // Interleave all three representations within each sample (same pairing
+    // rationale as [`median_paired`]) and guard on per-sample ratio medians.
+    let (_, _, _) = (heap_side(), calendar_side(), fastpath_side());
+    let mut heap_samples = [0.0; 3];
+    let mut calendar_samples = [0.0; 3];
+    let mut fastpath_samples = [0.0; 3];
+    let mut vs_calendar = [0.0; 3];
+    let mut vs_heap = [0.0; 3];
+    for k in 0..3 {
+        heap_samples[k] = heap_side();
+        calendar_samples[k] = calendar_side();
+        fastpath_samples[k] = fastpath_side();
+        vs_calendar[k] = fastpath_samples[k] / calendar_samples[k];
+        vs_heap[k] = fastpath_samples[k] / heap_samples[k];
+    }
+    let train_heap_rate = median3(heap_samples);
+    let train_calendar_rate = median3(calendar_samples);
+    let fastpath_rate = median3(fastpath_samples);
+    let fastpath_vs_calendar = median3(vs_calendar);
+    let fastpath_vs_heap = median3(vs_heap);
+    let mut train_table = Table::new(
+        "E16b — periodic trains: 16 fixed-period tasks, three representations",
+        &["representation", "ticks/s [M]", "vs calendar one-shots"],
+    );
+    train_table.add_row(&["heap one-shots".into(), fmt3(train_heap_rate / 1e6), {
+        format!("{:.2}x", train_heap_rate / train_calendar_rate)
+    }]);
+    train_table.add_row(&["calendar one-shots".into(), fmt3(train_calendar_rate / 1e6), {
+        "1.00x".into()
+    }]);
+    train_table.add_row(&[
+        "calendar trains (fast path)".into(),
+        fmt3(fastpath_rate / 1e6),
+        format!("{fastpath_vs_calendar:.2}x"),
+    ]);
+    train_table.print();
+
+    // ----- 3. Volume campaign: chunked aggregation at scale. -------------
     let runs_per_point: u64 = if quick { 25_000 } else { 250_000 };
     let campaign = volume_campaign(runs_per_point);
     let total_runs = campaign.run_count();
 
-    let serial_start = Instant::now();
+    // Reference report + full invariants once; the timed samples then only
+    // re-assert report identity.
     let serial = campaign.clone().with_threads(1).run(&registry).expect("echo is registered");
-    let serial_elapsed = serial_start.elapsed();
+    let serial_rate = median_of_3(|| {
+        let start = Instant::now();
+        let report = campaign.clone().with_threads(1).run(&registry).expect("echo is registered");
+        let rate = total_runs as f64 / start.elapsed().as_secs_f64();
+        assert_eq!(report, serial, "serial echo campaign must be deterministic");
+        rate
+    });
 
     // At least two workers so the windowed claim/merge machinery is always
     // exercised, even on single-core CI runners.
     let parallel_threads =
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2);
     let mut sink = CountingSink { runs: 0 };
-    let parallel_start = Instant::now();
     let (parallel, stats) = campaign
         .clone()
         .with_threads(parallel_threads)
         .run_instrumented(&registry, Some(&mut sink))
         .expect("echo is registered");
-    let parallel_elapsed = parallel_start.elapsed();
-
     assert_eq!(serial, parallel, "volume campaign must be bit-identical for 1 vs N threads");
     assert_eq!(sink.runs, total_runs, "the sink must see every run exactly once");
     assert_eq!(parallel.suspect_runs(), 0, "echo never schedules into the past");
@@ -219,59 +370,140 @@ fn main() {
         total_runs
     );
 
-    let serial_rate = total_runs as f64 / serial_elapsed.as_secs_f64();
-    let parallel_rate = total_runs as f64 / parallel_elapsed.as_secs_f64();
+    // Why four parallel rates?  The historical "anomaly" — parallel at 2.3M
+    // runs/s vs serial at 6.2M — conflated three effects: (a) the serial
+    // number was measured sink-less while the parallel one paid the sink's
+    // canonical-order chunk buffering, (b) echo runs are near-zero work, so
+    // the per-chunk machinery (claim/merge gate, channel hop, worker wakeup)
+    // is the *entire* cost and more workers only add contention, and (c) at
+    // the default 4096-run chunk the quick-mode campaign is just 25 chunks —
+    // too few to amortise anything.  The grid below separates the effects:
+    // parallel-no-sink is the apples-to-apples comparand for `serial`, and
+    // the large-chunk variant amortises the per-chunk overhead.  The honest
+    // headline: for sub-microsecond runs the chunked runner crosses over to
+    // a win only once per-run work dwarfs the ~µs per-chunk toll — real
+    // families (measurement 5) are 3–6 orders of magnitude past that.
+    let parallel_sink_rate = median_of_3(|| {
+        let mut sink = CountingSink { runs: 0 };
+        let start = Instant::now();
+        let (report, _) = campaign
+            .clone()
+            .with_threads(parallel_threads)
+            .run_instrumented(&registry, Some(&mut sink))
+            .expect("echo is registered");
+        let rate = total_runs as f64 / start.elapsed().as_secs_f64();
+        assert_eq!(report, serial, "sinked parallel report must stay bit-identical");
+        rate
+    });
+    let parallel_nosink_rate = median_of_3(|| {
+        let start = Instant::now();
+        let report = campaign
+            .clone()
+            .with_threads(parallel_threads)
+            .run(&registry)
+            .expect("echo is registered");
+        let rate = total_runs as f64 / start.elapsed().as_secs_f64();
+        assert_eq!(report, serial, "sink-less parallel report must stay bit-identical");
+        rate
+    });
+    // Bit-identity is *per chunk size*: the chunk is the unit of metric
+    // aggregation, so changing it reorders floating-point summation and the
+    // report differs in final ulps.  Thread count never does — the canonical
+    // merge replays chunks in serial order — so each chunk size gets its own
+    // serial reference.
+    let large_chunk: usize = 16_384;
+    let large_serial = campaign
+        .clone()
+        .with_threads(1)
+        .with_chunk_size(large_chunk)
+        .run(&registry)
+        .expect("echo is registered");
+    let large_chunk_rate = median_of_3(|| {
+        let start = Instant::now();
+        let report = campaign
+            .clone()
+            .with_threads(parallel_threads)
+            .with_chunk_size(large_chunk)
+            .run(&registry)
+            .expect("echo is registered");
+        let rate = total_runs as f64 / start.elapsed().as_secs_f64();
+        assert_eq!(report, large_serial, "large-chunk runs must match their serial reference");
+        rate
+    });
+
     let mut volume_table = Table::new(
-        "E16b — volume campaign (echo scenario through the chunked runner)",
-        &["runs", "threads", "runs/s", "peak resident records", "bound (chunk × window)"],
+        "E16c — volume campaign (echo scenario through the chunked runner)",
+        &["variant", "threads", "chunk", "runs/s", "vs serial"],
     );
     volume_table.add_row(&[
-        total_runs.to_string(),
+        "serial, no sink".into(),
         "1".into(),
+        campaign.chunk_size().to_string(),
         format!("{serial_rate:.0}"),
-        "0 (no sink)".into(),
-        resident_bound.to_string(),
+        "1.00x".into(),
     ]);
     volume_table.add_row(&[
-        total_runs.to_string(),
-        stats.workers.to_string(),
-        format!("{parallel_rate:.0}"),
-        stats.peak_resident_records.to_string(),
-        resident_bound.to_string(),
+        "parallel, no sink".into(),
+        parallel_threads.to_string(),
+        campaign.chunk_size().to_string(),
+        format!("{parallel_nosink_rate:.0}"),
+        format!("{:.2}x", parallel_nosink_rate / serial_rate),
+    ]);
+    volume_table.add_row(&[
+        "parallel, counting sink".into(),
+        parallel_threads.to_string(),
+        campaign.chunk_size().to_string(),
+        format!("{parallel_sink_rate:.0}"),
+        format!("{:.2}x", parallel_sink_rate / serial_rate),
+    ]);
+    volume_table.add_row(&[
+        "parallel, no sink".into(),
+        parallel_threads.to_string(),
+        large_chunk.to_string(),
+        format!("{large_chunk_rate:.0}"),
+        format!("{:.2}x", large_chunk_rate / serial_rate),
     ]);
     volume_table.print();
     println!(
-        "bit-identity: 1-thread and {}-thread reports are identical across {} runs\n",
+        "bit-identity: 1-thread and {}-thread reports are identical across {} runs\n\
+         (echo runs are near-zero work: the chunked runner's per-chunk toll only pays\n\
+         off once per-run work exceeds it — see the mixed campaign for real families)\n",
         stats.workers, total_runs
     );
 
-    // ----- 3. Checkpoint overhead on the volume campaign. ----------------
+    // ----- 4. Checkpoint overhead on the volume campaign. ----------------
     // Worst case by construction: the echo scenario does near-zero work per
     // run, so every microsecond of manifest serialisation shows up in the
-    // rate.  Real campaigns (measurement 4) amortise it into noise.
+    // rate.  Real campaigns (measurement 5) amortise it into noise.
     let ckpt_path =
         std::env::temp_dir().join(format!("karyon-e16-ckpt-{}.json", std::process::id()));
-    let mut checkpointer = Checkpointer::new(&ckpt_path).every_chunks(1);
-    // Same sink as the plain parallel run, so the delta is checkpointing
-    // alone (serialisation + atomic write), not sink bookkeeping.
-    let mut ckpt_sink = CountingSink { runs: 0 };
-    let ckpt_start = Instant::now();
-    let (ckpt_outcome, ckpt_stats) = campaign
-        .clone()
-        .with_threads(parallel_threads)
-        .run_checkpointed(&registry, &mut checkpointer, Some(&mut ckpt_sink))
-        .expect("echo is registered");
-    let ckpt_elapsed = ckpt_start.elapsed();
-    let CampaignOutcome::Complete(ckpt_report) = ckpt_outcome else {
-        panic!("an unbounded checkpointed session completes");
-    };
-    assert_eq!(ckpt_report, parallel, "checkpointing must not perturb the report in any bit");
-    let manifest_bytes = std::fs::metadata(&ckpt_path).map(|m| m.len()).unwrap_or(0);
+    let mut ckpt_chunks = 0u64;
+    let mut manifest_bytes = 0u64;
+    let ckpt_rate = median_of_3(|| {
+        // A leftover manifest would make the next sample resume (and skip
+        // all the work), so every sample starts from scratch.
+        std::fs::remove_file(&ckpt_path).ok();
+        let mut checkpointer = Checkpointer::new(&ckpt_path).every_chunks(1);
+        let mut ckpt_sink = CountingSink { runs: 0 };
+        let start = Instant::now();
+        let (ckpt_outcome, ckpt_stats) = campaign
+            .clone()
+            .with_threads(parallel_threads)
+            .run_checkpointed(&registry, &mut checkpointer, Some(&mut ckpt_sink))
+            .expect("echo is registered");
+        let rate = total_runs as f64 / start.elapsed().as_secs_f64();
+        let CampaignOutcome::Complete(ckpt_report) = ckpt_outcome else {
+            panic!("an unbounded checkpointed session completes");
+        };
+        assert_eq!(ckpt_report, serial, "checkpointing must not perturb the report in any bit");
+        ckpt_chunks = ckpt_stats.chunks;
+        manifest_bytes = std::fs::metadata(&ckpt_path).map(|m| m.len()).unwrap_or(0);
+        rate
+    });
     std::fs::remove_file(&ckpt_path).ok();
-    let ckpt_rate = total_runs as f64 / ckpt_elapsed.as_secs_f64();
-    let ckpt_relative = ckpt_rate / parallel_rate;
+    let ckpt_relative = ckpt_rate / parallel_sink_rate;
     let mut ckpt_table = Table::new(
-        "E16c — checkpoint overhead (manifest every canonical chunk, worst case)",
+        "E16d — checkpoint overhead (manifest every canonical chunk, worst case)",
         &[
             "runs",
             "checkpoints",
@@ -283,69 +515,79 @@ fn main() {
     );
     ckpt_table.add_row(&[
         total_runs.to_string(),
-        ckpt_stats.chunks.to_string(),
-        format!("{parallel_rate:.0}"),
+        ckpt_chunks.to_string(),
+        format!("{parallel_sink_rate:.0}"),
         format!("{ckpt_rate:.0}"),
         format!("{ckpt_relative:.2}x"),
         manifest_bytes.to_string(),
     ]);
     ckpt_table.print();
 
-    // ----- 4. Mixed campaign: real per-run simulation work. --------------
+    // ----- 5. Mixed campaign: real per-run simulation work. --------------
     let replications: u64 = if quick { 3 } else { 15 };
     let mixed = mixed_campaign(replications);
     let mixed_runs = mixed.run_count();
-    let mixed_start = Instant::now();
-    let mixed_report = mixed.run(&registry).expect("builtin families");
-    let mixed_elapsed = mixed_start.elapsed();
-    let mixed_rate = mixed_runs as f64 / mixed_elapsed.as_secs_f64();
+    let mixed_reference = mixed.run(&registry).expect("builtin families");
+    let mixed_rate = median_of_3(|| {
+        let start = Instant::now();
+        let report = mixed.run(&registry).expect("builtin families");
+        let rate = mixed_runs as f64 / start.elapsed().as_secs_f64();
+        assert_eq!(report, mixed_reference, "mixed campaign must be deterministic");
+        rate
+    });
     println!(
-        "E16d — mixed campaign: {} runs over {} families in {:.2?} ({:.1} runs/s)",
-        mixed_runs, 4, mixed_elapsed, mixed_rate
+        "E16e — mixed campaign: {} runs over {} families ({:.1} runs/s)",
+        mixed_runs, 4, mixed_rate
     );
-    assert_eq!(mixed_report.total_runs, mixed_runs);
+    assert_eq!(mixed_reference.total_runs, mixed_runs);
+    assert_eq!(mixed_reference.suspect_runs(), 0, "engine-driven families stay causality-clean");
 
-    // ----- 5. Telemetry overhead on the volume campaign. -----------------
+    // ----- 6. Telemetry overhead on the volume campaign. -----------------
     // Detached telemetry is the same code path as the plain run (one branch
     // per chunk), so its rate is the regression guard: if the telemetry
     // plumbing ever leaks cost into untraced campaigns, this ratio drops.
-    let detached_start = Instant::now();
-    let (detached_report, _) = campaign
-        .clone()
-        .with_threads(parallel_threads)
-        .run_instrumented_with(&registry, None, CampaignTelemetry::none())
-        .expect("echo is registered");
-    let detached_elapsed = detached_start.elapsed();
-    assert_eq!(detached_report, parallel, "detached telemetry must not perturb the report");
-    let detached_rate = total_runs as f64 / detached_elapsed.as_secs_f64();
-    let detached_relative = detached_rate / parallel_rate;
+    let detached_rate = median_of_3(|| {
+        let start = Instant::now();
+        let (report, _) = campaign
+            .clone()
+            .with_threads(parallel_threads)
+            .run_instrumented_with(&registry, None, CampaignTelemetry::none())
+            .expect("echo is registered");
+        let rate = total_runs as f64 / start.elapsed().as_secs_f64();
+        assert_eq!(report, serial, "detached telemetry must not perturb the report");
+        rate
+    });
+    let detached_relative = detached_rate / parallel_nosink_rate;
 
-    let mut trace_writer = JsonlTraceWriter::new(Vec::new());
-    let mut metrics = MetricsRegistry::new();
-    let traced_start = Instant::now();
-    let (traced_report, _) = campaign
-        .clone()
-        .with_threads(parallel_threads)
-        .run_instrumented_with(
-            &registry,
-            None,
-            CampaignTelemetry::none().with_trace(&mut trace_writer).with_metrics(&mut metrics),
-        )
-        .expect("echo is registered");
-    let traced_elapsed = traced_start.elapsed();
-    assert_eq!(traced_report, parallel, "attached telemetry must not perturb the report");
-    assert_eq!(metrics.counter("campaign.runs"), total_runs);
-    let trace_bytes = trace_writer.into_inner().expect("Vec sink never errors").len() as u64;
-    let traced_rate = total_runs as f64 / traced_elapsed.as_secs_f64();
-    let traced_relative = traced_rate / parallel_rate;
+    let mut trace_bytes = 0u64;
+    let traced_rate = median_of_3(|| {
+        let mut trace_writer = JsonlTraceWriter::new(Vec::new());
+        let mut metrics = MetricsRegistry::new();
+        let start = Instant::now();
+        let (report, _) = campaign
+            .clone()
+            .with_threads(parallel_threads)
+            .run_instrumented_with(
+                &registry,
+                None,
+                CampaignTelemetry::none().with_trace(&mut trace_writer).with_metrics(&mut metrics),
+            )
+            .expect("echo is registered");
+        let rate = total_runs as f64 / start.elapsed().as_secs_f64();
+        assert_eq!(report, serial, "attached telemetry must not perturb the report");
+        assert_eq!(metrics.counter("campaign.runs"), total_runs);
+        trace_bytes = trace_writer.into_inner().expect("Vec sink never errors").len() as u64;
+        rate
+    });
+    let traced_relative = traced_rate / parallel_nosink_rate;
 
     let mut telemetry_table = Table::new(
-        "E16e — telemetry overhead (volume campaign, detached vs attached)",
+        "E16f — telemetry overhead (volume campaign, detached vs attached)",
         &["variant", "runs/s", "relative", "trace bytes"],
     );
     telemetry_table.add_row(&[
         "plain".into(),
-        format!("{parallel_rate:.0}"),
+        format!("{parallel_nosink_rate:.0}"),
         "1.00x".into(),
         "-".into(),
     ]);
@@ -362,13 +604,14 @@ fn main() {
         trace_bytes.to_string(),
     ]);
     telemetry_table.print();
-    // The guard holds in quick mode too: same code path, so only scheduler
-    // noise separates the rates.  The band is generous (2x either way) to
-    // keep shared CI machines from flapping; a real leak (per-run TLS work,
-    // per-record cloning) costs an order of magnitude on this near-zero-work
-    // scenario and lands far outside it.
+    // The guard holds in quick mode too, and with warmup + median-of-3 it
+    // can tighten from the old "within 2x either way" to a real band: the
+    // detached path is the plain path plus one branch per chunk, so its
+    // median rate must sit within ±30% of plain.  A real leak (per-run TLS
+    // work, per-record cloning) costs an order of magnitude on this
+    // near-zero-work scenario and lands far outside the band.
     assert!(
-        detached_relative > 0.5,
+        (0.7..=1.3).contains(&detached_relative),
         "telemetry-off campaign rate fell outside noise: {detached_relative:.2}x of baseline"
     );
 
@@ -376,16 +619,32 @@ fn main() {
     let mut queue_json = ObjectWriter::new();
     queue_json
         .u64("ops_per_workload", ops)
+        .u64("samples", SAMPLES)
         .f64("worst_speedup", worst_speedup)
         .raw("workloads", &karyon_scenario::json::array(&workloads));
+    let mut trains_json = ObjectWriter::new();
+    trains_json
+        .u64("trains", periods.len() as u64)
+        .u64("ops_per_workload", train_ops)
+        .u64("samples", SAMPLES)
+        .f64("heap_ops_per_sec", train_heap_rate)
+        .f64("calendar_ops_per_sec", train_calendar_rate)
+        .f64("fastpath_ops_per_sec", fastpath_rate)
+        .f64("fastpath_vs_calendar", fastpath_vs_calendar)
+        .f64("fastpath_vs_heap", fastpath_vs_heap);
     let mut volume_json = ObjectWriter::new();
     volume_json
         .u64("runs", total_runs)
+        .u64("ops_per_workload", total_runs)
+        .u64("samples", SAMPLES)
         .u64("chunk_size", campaign.chunk_size() as u64)
         .u64("workers", stats.workers as u64)
         .u64("chunks", stats.chunks)
         .f64("serial_runs_per_sec", serial_rate)
-        .f64("parallel_runs_per_sec", parallel_rate)
+        .f64("parallel_runs_per_sec", parallel_sink_rate)
+        .f64("parallel_nosink_runs_per_sec", parallel_nosink_rate)
+        .u64("large_chunk_size", large_chunk as u64)
+        .f64("large_chunk_runs_per_sec", large_chunk_rate)
         .u64("peak_resident_records", stats.peak_resident_records)
         .u64("resident_bound", resident_bound)
         .u64("peak_pending_chunks", stats.peak_pending_chunks as u64)
@@ -394,7 +653,9 @@ fn main() {
     let mut ckpt_json = ObjectWriter::new();
     ckpt_json
         .u64("runs", total_runs)
-        .u64("checkpoints_written", ckpt_stats.chunks)
+        .u64("ops_per_workload", total_runs)
+        .u64("samples", SAMPLES)
+        .u64("checkpoints_written", ckpt_chunks)
         .f64("runs_per_sec", ckpt_rate)
         .f64("relative_to_plain", ckpt_relative)
         .u64("manifest_bytes", manifest_bytes)
@@ -402,12 +663,16 @@ fn main() {
     let mut mixed_json = ObjectWriter::new();
     mixed_json
         .u64("runs", mixed_runs)
+        .u64("ops_per_workload", mixed_runs)
+        .u64("samples", SAMPLES)
         .u64("families", 4)
         .f64("runs_per_sec", mixed_rate)
-        .u64("suspect_runs", mixed_report.suspect_runs());
+        .u64("suspect_runs", mixed_reference.suspect_runs());
     let mut telemetry_json = ObjectWriter::new();
     telemetry_json
         .u64("runs", total_runs)
+        .u64("ops_per_workload", total_runs)
+        .u64("samples", SAMPLES)
         .f64("detached_runs_per_sec", detached_rate)
         .f64("detached_relative_to_plain", detached_relative)
         .f64("traced_runs_per_sec", traced_rate)
@@ -418,6 +683,7 @@ fn main() {
     root.string("bench", "e16_campaign_throughput")
         .bool("quick", quick)
         .raw("event_queue", &queue_json.finish())
+        .raw("periodic_trains", &trains_json.finish())
         .raw("volume_campaign", &volume_json.finish())
         .raw("checkpointing", &ckpt_json.finish())
         .raw("mixed_campaign", &mixed_json.finish())
@@ -431,18 +697,29 @@ fn main() {
 
     println!(
         "\nExpectation: the calendar queue sustains ≥2x the BinaryHeap baseline's hold-model\n\
-         throughput at every resident size, and the chunked runner completes the volume\n\
+         throughput at every resident size, periodic trains sustain ≥2x the calendar's\n\
+         one-shot rate on the 16-task workload, and the chunked runner completes the volume\n\
          campaign with peak resident records bounded by chunk size x in-flight window —\n\
          independent of the run count — while 1-thread and N-thread reports stay bit-identical."
     );
-    // The ≥2× bar is enforced only in full (local/perf-tracking) runs:
-    // quick mode runs on shared CI machines where wall-clock ratios are
-    // noisy, and BENCH_campaign.json already records the signal.
+    // With warmup + median-of-3 the perf bars hold in quick mode too (the
+    // CI schema/perf guard re-checks them from BENCH_campaign.json); the
+    // stricter in-process asserts still run only on full (perf-tracking)
+    // runs to keep degraded shared machines from hard-failing the bench.
     if quick {
         if worst_speedup < 2.0 {
             println!("note: quick-mode speedup {worst_speedup:.2}x below the 2x full-run bar");
         }
+        if fastpath_vs_calendar < 2.0 {
+            println!(
+                "note: quick-mode fast path {fastpath_vs_calendar:.2}x below the 2x full-run bar"
+            );
+        }
     } else {
         assert!(worst_speedup >= 2.0, "calendar queue speedup regressed: {worst_speedup:.2}x");
+        assert!(
+            fastpath_vs_calendar >= 2.0,
+            "periodic-train fast path regressed: {fastpath_vs_calendar:.2}x vs calendar one-shots"
+        );
     }
 }

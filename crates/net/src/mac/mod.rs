@@ -225,6 +225,11 @@ impl<M: MacProtocol> MacSimulation<M> {
         self.slot
     }
 
+    /// Duration of one slot, as configured.
+    pub fn slot_duration(&self) -> SimDuration {
+        self.config.slot_duration
+    }
+
     /// Node identifiers currently in the simulation.
     pub fn node_ids(&self) -> Vec<NodeId> {
         self.nodes.iter().map(|n| n.id).collect()

@@ -87,7 +87,10 @@ impl Scenario for MiddlewareQosScenario {
         let mut engine: Engine<EventBus, QosEvent> = Engine::new(bus);
         // No-op unless a campaign trace scope is active (clamp attribution).
         karyon_telemetry::observe_engine(&mut engine);
-        engine.schedule_at(SimTime::ZERO, QosEvent::Publish);
+        // The publish loop is a fixed-period train: one registration replaces
+        // the per-tick self-reschedule, with identical tick times (0, period,
+        // 2·period, … ≤ end) and O(1) per-tick queue cost.
+        engine.schedule_periodic(SimTime::ZERO, period, QosEvent::Publish);
         if degrade {
             engine.schedule_at(
                 SimTime::from_secs_f64(spec.duration.as_secs_f64() / 2.0),
@@ -100,7 +103,6 @@ impl Scenario for MiddlewareQosScenario {
                 bus.publish(&publisher, Payload::tagged(published), ctx.now());
                 published += 1;
                 bus.drain_with(subscription, ctx.now(), usize::MAX, |_| {});
-                ctx.schedule_in(period, QosEvent::Publish);
             }
             QosEvent::Degrade => {
                 bus.update_capability(NetworkId(1), NetworkCapability::wireless_degraded());
@@ -238,8 +240,12 @@ impl Scenario for MiddlewareOverloadScenario {
         let mut engine: Engine<EventBus, OverloadEvent> = Engine::new(bus);
         // No-op unless a campaign trace scope is active (clamp attribution).
         karyon_telemetry::observe_engine(&mut engine);
-        engine.schedule_at(SimTime::ZERO, OverloadEvent::Publish);
-        engine.schedule_at(SimTime::ZERO, OverloadEvent::Drain);
+        // Both loops are fixed-period trains.  Registration order is the tie
+        // order: publishes land before drains at coincident ticks, so a drain
+        // always sees the tick's publish (the same order the self-scheduling
+        // version established at t=0).
+        engine.schedule_periodic(SimTime::ZERO, publish_period, OverloadEvent::Publish);
+        engine.schedule_periodic(SimTime::ZERO, drain_period, OverloadEvent::Drain);
         let mut published: u64 = 0;
         let mut peak_backlog: usize = 0;
         let mut drain_tick: u64 = 0;
@@ -248,7 +254,6 @@ impl Scenario for MiddlewareOverloadScenario {
                 bus.publish(&publisher, Payload::tagged(published), ctx.now());
                 published += 1;
                 peak_backlog = peak_backlog.max(bus.backlog());
-                ctx.schedule_in(publish_period, OverloadEvent::Publish);
             }
             OverloadEvent::Drain => {
                 for &(class, sub) in &subs {
@@ -272,7 +277,6 @@ impl Scenario for MiddlewareOverloadScenario {
                     }
                 }
                 drain_tick += 1;
-                ctx.schedule_in(drain_period, OverloadEvent::Drain);
             }
         });
 

@@ -83,7 +83,11 @@ pub struct SimNetState {
 }
 
 /// One in-flight message inside the embedded engine.
-#[derive(Debug)]
+///
+/// `Clone` because the engine's run loop requires cloneable events (periodic
+/// trains replicate their payload per tick); in-flight messages themselves
+/// are never duplicated by the clone — each is scheduled and popped once.
+#[derive(Debug, Clone)]
 pub struct SimNetEvent {
     delivery: Delivery,
     send_seq: u64,

@@ -7,7 +7,7 @@ use karyon::net::end_to_end::{eventually_fifo, E2EConfig, EndToEndSession};
 use karyon::sensors::abstract_sensor::combine_outcomes;
 use karyon::sensors::detectors::{DetectionOutcome, DetectorClass};
 use karyon::sensors::{marzullo_fuse, weighted_fuse, Interval, Measurement, Validity};
-use karyon::sim::{EventQueue, HeapEventQueue, Rng, SimDuration, SimTime};
+use karyon::sim::{EventQueue, HeapEventQueue, Rng, SimDuration, SimTime, TrainId};
 
 proptest! {
     /// The event queue always pops events in non-decreasing time order,
@@ -75,6 +75,146 @@ proptest! {
             }
         }
         prop_assert!(calendar.is_empty());
+    }
+
+    /// Three-way identity, mixed workload: the calendar queue and the heap
+    /// baseline must stay pop-identical when periodic trains (created,
+    /// cancelled and retuned mid-run), one-shots and batch-staged
+    /// same-timestamp bursts interleave.  Train ids are allocated identically
+    /// by both queues, so one id drives both.
+    #[test]
+    fn trains_one_shots_and_bursts_stay_heap_identical(
+        seed in any::<u64>(),
+        ops in 50usize..300,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let mut calendar: EventQueue<u64> = EventQueue::new();
+        let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+        let mut payload = 0u64;
+        let mut frontier = SimTime::ZERO;
+        let mut live: Vec<TrainId> = Vec::new();
+        for _ in 0..ops {
+            match rng.range_u64(0, 8) {
+                0..=2 => {
+                    let expected = heap.pop();
+                    prop_assert_eq!(calendar.pop(), expected);
+                    if let Some((t, _)) = expected {
+                        frontier = t;
+                    }
+                }
+                3..=4 => {
+                    // One-shot: tie with the frontier, near, or deep overflow.
+                    let delta = match rng.range_u64(0, 2) {
+                        0 => 0,
+                        1 => rng.range_u64(1, 4_000),
+                        _ => rng.range_u64(1_000_000, 20_000_000_000),
+                    };
+                    let t = frontier + SimDuration::from_micros(delta);
+                    calendar.schedule(t, payload);
+                    heap.schedule(t, payload);
+                    payload += 1;
+                }
+                5 => {
+                    // Same-timestamp burst through the batch-staging path.
+                    let t = frontier + SimDuration::from_micros(rng.range_u64(0, 10_000));
+                    let mut a = Vec::new();
+                    for _ in 0..rng.range_u64(2, 6) {
+                        a.push((t, payload));
+                        payload += 1;
+                    }
+                    let mut b = a.clone();
+                    calendar.schedule_batch(&mut a);
+                    heap.schedule_batch(&mut b);
+                }
+                6 => {
+                    if live.len() < 6 {
+                        let start = frontier + SimDuration::from_micros(rng.range_u64(0, 5_000));
+                        let period = SimDuration::from_micros(rng.range_u64(1, 3_000));
+                        let id = calendar.schedule_periodic(start, period, payload);
+                        prop_assert_eq!(heap.schedule_periodic(start, period, payload), id);
+                        live.push(id);
+                        payload += 1;
+                    }
+                }
+                7 => {
+                    if !live.is_empty() {
+                        let at = rng.range_u64(0, live.len() as u64 - 1) as usize;
+                        let id = live.swap_remove(at);
+                        prop_assert_eq!(calendar.cancel_train(id), heap.cancel_train(id));
+                    }
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let at = rng.range_u64(0, live.len() as u64 - 1) as usize;
+                        let period = SimDuration::from_micros(rng.range_u64(1, 10_000));
+                        prop_assert_eq!(
+                            calendar.retune_train(live[at], period),
+                            heap.retune_train(live[at], period)
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(calendar.len(), heap.len());
+            prop_assert_eq!(calendar.next_time(), heap.next_time());
+        }
+        // Cancel the survivors (trains never drain on their own), then the
+        // remaining one-shots must drain identically.
+        for id in live {
+            prop_assert_eq!(calendar.cancel_train(id), heap.cancel_train(id));
+        }
+        loop {
+            let expected = heap.pop();
+            prop_assert_eq!(calendar.pop(), expected);
+            if expected.is_none() {
+                break;
+            }
+        }
+        prop_assert!(calendar.is_empty());
+    }
+
+    /// The train fast path against its own semantic definition: a periodic
+    /// train must pop exactly like all of its ticks eagerly scheduled as
+    /// one-shots at the `schedule_periodic` call — including FIFO ties
+    /// against one-shots placed exactly on tick times before and after the
+    /// train's creation.
+    #[test]
+    fn periodic_fast_path_matches_eager_materialization(
+        seed in any::<u64>(),
+        trains in 1usize..5,
+    ) {
+        let horizon = SimTime::from_millis(50);
+        let mut rng = Rng::seed_from(seed);
+        let mut fast: EventQueue<u64> = EventQueue::new();
+        let mut eager: EventQueue<u64> = EventQueue::new();
+        let mut payload = 1_000_000u64;
+        for train in 0..trains as u64 {
+            let start = SimTime::from_micros(rng.range_u64(0, 10_000));
+            let period = SimDuration::from_micros(rng.range_u64(100, 5_000));
+            // A one-shot scheduled *before* the train, exactly on a future
+            // tick time: it must win that tie in both queues.
+            let before = start + period.saturating_mul(rng.range_u64(0, 10));
+            fast.schedule(before, payload);
+            eager.schedule(before, payload);
+            payload += 1;
+            fast.schedule_periodic(start, period, train);
+            let mut t = start;
+            while t <= horizon {
+                eager.schedule(t, train);
+                t += period;
+            }
+            // And one *after*, again on a tick time: it must lose the tie.
+            let after = start + period.saturating_mul(rng.range_u64(0, 10));
+            fast.schedule(after, payload);
+            eager.schedule(after, payload);
+            payload += 1;
+        }
+        loop {
+            let expected = eager.pop_until(horizon);
+            prop_assert_eq!(fast.pop_until(horizon), expected);
+            if expected.is_none() {
+                break;
+            }
+        }
     }
 
     /// Validity is always clamped into [0, 1] and combination never exceeds

@@ -24,7 +24,7 @@ use karyon::telemetry::{observe_engine, trace, AttrValue, JsonlTraceWriter, Metr
 /// path (with debug-label attribution) is exercised.
 struct Ticker;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Tick {
     Step(u64),
     Rewind,
